@@ -1,0 +1,120 @@
+//! Random linear projection and vector distances.
+//!
+//! SimPoint projects the very high-dimensional BBVs down to 15
+//! dimensions with a random matrix before clustering; the paper's
+//! Figures 5/6 use a 3-dimensional projection for visualization. Random
+//! projection approximately preserves distances (Johnson–Lindenstrauss),
+//! which is all k-means needs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Projects each vector to `dims` dimensions with a dense random matrix
+/// whose entries are uniform in [-1, 1], deterministic in `seed`.
+///
+/// All input vectors must have equal length; the output has one `dims`-
+/// length vector per input.
+///
+/// # Panics
+///
+/// Panics if the vectors have inconsistent lengths.
+pub fn project(vectors: &[Vec<f64>], dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    let Some(first) = vectors.first() else {
+        return Vec::new();
+    };
+    let input_dims = first.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Row-major projection matrix: dims x input_dims.
+    let matrix: Vec<f64> =
+        (0..dims * input_dims).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+    vectors
+        .iter()
+        .map(|v| {
+            assert_eq!(v.len(), input_dims, "inconsistent vector lengths");
+            (0..dims)
+                .map(|d| {
+                    let row = &matrix[d * input_dims..(d + 1) * input_dims];
+                    row.iter().zip(v).map(|(m, x)| m * x).sum()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Manhattan (L1) distance between two equal-length vectors.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Euclidean (L2) distance between two equal-length vectors.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn projection_shape_and_determinism() {
+        let vs = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]];
+        let p1 = project(&vs, 2, 7);
+        let p2 = project(&vs, 2, 7);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 2);
+        assert!(p1.iter().all(|v| v.len() == 2));
+        let p3 = project(&vs, 2, 8);
+        assert_ne!(p1, p3, "different seeds give different projections");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(project(&[], 5, 1).is_empty());
+    }
+
+    #[test]
+    fn identical_vectors_project_identically() {
+        let vs = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        let p = project(&vs, 4, 3);
+        assert_eq!(p[0], p[1]);
+    }
+
+    #[test]
+    fn distances_basic() {
+        assert_eq!(manhattan(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(manhattan(&[1.0], &[1.0]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn projection_is_linear(
+            a in proptest::collection::vec(-10.0f64..10.0, 4),
+            b in proptest::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            // project(a) + project(b) == project(a + b) under same matrix.
+            let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            let p = project(&[a, b, sum], 3, 99);
+            for d in 0..3 {
+                prop_assert!((p[0][d] + p[1][d] - p[2][d]).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn distances_are_metrics(
+            a in proptest::collection::vec(-10.0f64..10.0, 5),
+            b in proptest::collection::vec(-10.0f64..10.0, 5),
+            c in proptest::collection::vec(-10.0f64..10.0, 5),
+        ) {
+            for dist in [manhattan, euclidean] {
+                prop_assert!(dist(&a, &b) >= 0.0);
+                prop_assert!((dist(&a, &b) - dist(&b, &a)).abs() < 1e-12);
+                prop_assert!(dist(&a, &a) < 1e-12);
+                prop_assert!(dist(&a, &c) <= dist(&a, &b) + dist(&b, &c) + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! One benchmark per paper figure: times the end-to-end pipeline that
+//! regenerates each figure's data, on a reduced workload where the full
+//! suite would be too slow for a benchmark harness. `cargo bench`
+//! therefore exercises every experiment path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spm_bench::approaches::behavior_data;
+use spm_bench::fig03::time_series;
+use spm_bench::fig04::cross_isa;
+use spm_bench::fig056::projections;
+use spm_bench::fig10::cache_row;
+use spm_bench::fig1112::simpoint_row;
+use spm_ir::CompileConfig;
+use spm_workloads::build;
+
+fn fig03(c: &mut Criterion) {
+    c.bench_function("fig03_gzip_timeseries", |b| {
+        b.iter(|| time_series("gzip", 100_000).firings.len())
+    });
+}
+
+fn fig04(c: &mut Criterion) {
+    c.bench_function("fig04_gzip_cross_isa", |b| {
+        b.iter(|| {
+            let isa = cross_isa("gzip", &CompileConfig::baseline(), &CompileConfig::alt_isa());
+            assert!(isa.traces_identical);
+            isa.num_markers
+        })
+    });
+}
+
+fn fig0506(c: &mut Criterion) {
+    c.bench_function("fig05_06_bzip2_projection", |b| {
+        b.iter(|| {
+            let p = projections("bzip2");
+            assert!(p.vli_tightness <= p.fixed_tightness);
+            p.fixed_points.len()
+        })
+    });
+}
+
+fn fig070809(c: &mut Criterion) {
+    // One representative program instead of the full 11-program suite.
+    let w = build("mgrid").expect("mgrid");
+    c.bench_function("fig07_08_09_mgrid_behavior", |b| {
+        b.iter(|| behavior_data(&w).runs.len())
+    });
+}
+
+fn fig10(c: &mut Criterion) {
+    let w = build("swim").expect("swim");
+    c.bench_function("fig10_swim_cache_reconfig", |b| {
+        b.iter(|| cache_row(&w).spm_self.avg_size_kb)
+    });
+}
+
+fn fig1112(c: &mut Criterion) {
+    let w = build("art").expect("art");
+    c.bench_function("fig11_12_art_simpoint", |b| b.iter(|| simpoint_row(&w).entries.len()));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig03, fig04, fig0506, fig070809, fig10, fig1112
+);
+criterion_main!(benches);

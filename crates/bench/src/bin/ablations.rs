@@ -1,0 +1,6 @@
+//! Regenerates the ablation tables for the reproduction's design
+//! choices (DESIGN.md section 7).
+
+fn main() {
+    print!("{}", spm_bench::ablation::all());
+}

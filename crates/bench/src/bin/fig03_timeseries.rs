@@ -1,0 +1,7 @@
+//! Regenerates Figure 3: time-varying CPI / DL1 miss rate for
+//! gzip/graphic with software phase marker positions.
+
+fn main() {
+    let series = spm_bench::fig03::time_series("gzip", 100_000);
+    print!("{}", spm_bench::fig03::render(&series));
+}

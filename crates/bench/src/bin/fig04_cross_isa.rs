@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (cross-ISA marker mapping) and the
+//! Section 6.2.1 cross-compilation trace check.
+
+fn main() {
+    print!("{}", spm_bench::fig04::figure04());
+}

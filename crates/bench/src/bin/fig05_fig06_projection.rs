@@ -1,0 +1,6 @@
+//! Regenerates Figures 5 and 6: 3-D BBV projections of bzip2 under
+//! fixed-length vs marker-defined variable-length intervals.
+
+fn main() {
+    print!("{}", spm_bench::fig056::figures_05_06("bzip2"));
+}

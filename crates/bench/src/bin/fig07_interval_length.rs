@@ -1,0 +1,6 @@
+//! Regenerates Figure 7: average instructions per interval.
+
+fn main() {
+    let data = spm_bench::fig789::compute_suite();
+    print!("{}", spm_bench::fig789::figure07(&data));
+}

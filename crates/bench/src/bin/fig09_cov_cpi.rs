@@ -1,0 +1,6 @@
+//! Regenerates Figure 9: per-phase CoV of CPI per approach.
+
+fn main() {
+    let data = spm_bench::fig789::compute_suite();
+    print!("{}", spm_bench::fig789::figure09(&data));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10: adaptive data-cache reconfiguration.
+
+fn main() {
+    print!("{}", spm_bench::fig10::figure10());
+}

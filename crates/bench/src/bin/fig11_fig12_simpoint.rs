@@ -1,0 +1,9 @@
+//! Regenerates Figures 11 and 12: SimPoint simulation time and CPI
+//! error, fixed-length vs marker-driven variable-length intervals.
+
+fn main() {
+    let rows = spm_bench::fig1112::compute_suite();
+    print!("{}", spm_bench::fig1112::figure11(&rows));
+    println!();
+    print!("{}", spm_bench::fig1112::figure12(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the seed-robustness table (figure shapes under unseen
+//! input seeds).
+
+fn main() {
+    print!("{}", spm_bench::robustness::robustness_table());
+}

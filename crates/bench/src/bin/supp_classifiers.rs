@@ -1,0 +1,7 @@
+//! Regenerates the supplementary classification-structure comparison
+//! (the paper's Section 2.3 citation: procedures alone vs procedures
+//! and loops vs BBVs).
+
+fn main() {
+    print!("{}", spm_bench::classifiers::classifier_table());
+}

@@ -1,0 +1,143 @@
+//! Figures 5 and 6: 3-D random projections of bzip2's basic block
+//! vectors under fixed-length intervals (scattered) vs marker-defined
+//! variable-length intervals (tightly clustered).
+
+use crate::passes::profile;
+use crate::{ANALYSIS_SEED, BBV_FIXED, LIMIT_MAX, LIMIT_MIN};
+use spm_bbv::{euclidean, project, Boundaries, IntervalBbv, IntervalBbvCollector};
+use spm_core::{partition, MarkerRuntime, SelectConfig, PRELUDE_PHASE};
+use spm_simpoint::kmeans;
+use spm_sim::{run, TraceObserver};
+use spm_workloads::build;
+
+/// The projected point clouds and their tightness statistics.
+#[derive(Debug)]
+pub struct Projection {
+    /// 3-D points of the fixed-length intervals (Figure 5).
+    pub fixed_points: Vec<Vec<f64>>,
+    /// 3-D points of the variable-length intervals (Figure 6).
+    pub vli_points: Vec<Vec<f64>>,
+    /// Mean distance to the assigned centroid after clustering the
+    /// fixed-interval points (normalized by the cloud's RMS radius).
+    pub fixed_tightness: f64,
+    /// Same statistic for the VLI points.
+    pub vli_tightness: f64,
+}
+
+/// Normalized mean distance to assigned centroids: lower = tighter
+/// clusters, quantifying what the paper shows visually.
+fn tightness(points: &[Vec<f64>], k: usize, seed: u64) -> f64 {
+    let weights = vec![1.0; points.len()];
+    let clustering = kmeans(points, &weights, k, seed);
+    let mean_dist: f64 = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| euclidean(p, &clustering.centroids[clustering.assignments[i]]))
+        .sum::<f64>()
+        / points.len() as f64;
+    // Normalize by the RMS distance to the global centroid.
+    let d = points[0].len();
+    let mut center = vec![0.0; d];
+    for p in points {
+        for (c, x) in center.iter_mut().zip(p) {
+            *c += x / points.len() as f64;
+        }
+    }
+    let rms = (points.iter().map(|p| euclidean(p, &center).powi(2)).sum::<f64>()
+        / points.len() as f64)
+        .sqrt();
+    if rms <= 0.0 {
+        0.0
+    } else {
+        mean_dist / rms
+    }
+}
+
+/// Computes the Figures 5/6 data for a workload (the paper uses
+/// bzip2/graphic). Both interval sets are projected with the **same**
+/// projection matrix, as in the paper.
+pub fn projections(name: &str) -> Projection {
+    let w = build(name).expect("known workload");
+    let program = &w.program;
+
+    // Limit markers so that the VLI count is comparable to the number of
+    // fixed intervals (the paper keeps the two counts similar).
+    let graph = profile(program, &w.ref_input);
+    let markers = spm_core::select_markers(
+        &graph,
+        &SelectConfig::with_limit(LIMIT_MIN, LIMIT_MAX),
+    )
+    .markers;
+    let mut runtime = MarkerRuntime::new(&markers);
+    let total = run(program, &w.ref_input, &mut [&mut runtime]).expect("runs").instrs;
+    let vlis = partition(&runtime.into_firings(), total);
+    let cuts: Vec<(u64, usize)> = vlis.iter().skip(1).map(|v| (v.begin, v.phase)).collect();
+
+    let mut fixed = IntervalBbvCollector::new(program, Boundaries::Fixed(BBV_FIXED));
+    let mut vli = IntervalBbvCollector::new(
+        program,
+        Boundaries::Explicit { cuts, prelude_phase: PRELUDE_PHASE },
+    );
+    {
+        let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut fixed, &mut vli];
+        run(program, &w.ref_input, &mut observers).expect("runs");
+    }
+    let fixed = fixed.into_intervals();
+    let vli = vli.into_intervals();
+
+    // One projection matrix for both sets: project the concatenation.
+    let all: Vec<Vec<f64>> = fixed
+        .iter()
+        .chain(vli.iter())
+        .map(|iv: &IntervalBbv| iv.bbv.clone())
+        .collect();
+    let projected = project(&all, 3, ANALYSIS_SEED);
+    let (fixed_points, vli_points) = projected.split_at(fixed.len());
+
+    let k = 5;
+    Projection {
+        fixed_tightness: tightness(fixed_points, k, ANALYSIS_SEED),
+        vli_tightness: tightness(vli_points, k, ANALYSIS_SEED),
+        fixed_points: fixed_points.to_vec(),
+        vli_points: vli_points.to_vec(),
+    }
+}
+
+/// Renders the two point clouds and the tightness summary.
+pub fn figures_05_06(name: &str) -> String {
+    let p = projections(name);
+    let mut out = format!(
+        "# Figures 5/6: 3-D BBV projection of {name}\n# fixed intervals: {} points, tightness {:.3}\n# VLI intervals: {} points, tightness {:.3}\n",
+        p.fixed_points.len(),
+        p.fixed_tightness,
+        p.vli_points.len(),
+        p.vli_tightness,
+    );
+    out.push_str("# section: fixed (Figure 5)\nx\ty\tz\n");
+    for pt in &p.fixed_points {
+        out.push_str(&format!("{:.4}\t{:.4}\t{:.4}\n", pt[0], pt[1], pt[2]));
+    }
+    out.push_str("# section: vli (Figure 6)\nx\ty\tz\n");
+    for pt in &p.vli_points {
+        out.push_str(&format!("{:.4}\t{:.4}\t{:.4}\n", pt[0], pt[1], pt[2]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vli_projection_is_tighter() {
+        let p = projections("bzip2");
+        assert!(p.fixed_points.len() > 20);
+        assert!(p.vli_points.len() > 5);
+        assert!(
+            p.vli_tightness < p.fixed_tightness,
+            "VLIs must cluster tighter: {} vs {}",
+            p.vli_tightness,
+            p.fixed_tightness
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Figures 7, 8, and 9: average interval length, number of phases, and
+//! per-phase CoV of CPI for the six approaches over the behaviour suite.
+
+use crate::approaches::{behavior_data, BehaviorData, Metric, APPROACHES};
+use crate::table::{f3, pct, Table};
+use crate::BBV_FIXED;
+use spm_workloads::behavior_suite;
+
+/// Computed behaviour data for the whole suite (shared by the three
+/// figures — compute once, render thrice).
+pub fn compute_suite() -> Vec<BehaviorData> {
+    behavior_suite().iter().map(behavior_data).collect()
+}
+
+/// Figure 7: average instructions per interval (in millions of
+/// instructions, like the paper's y-axis; our scale is ~10^3 smaller).
+pub fn figure07(data: &[BehaviorData]) -> String {
+    let mut header = vec!["bench"];
+    header.extend(APPROACHES);
+    let mut t = Table::new(
+        "Figure 7: average instructions per interval (thousands)",
+        &header,
+    );
+    let mut sums = vec![0.0; APPROACHES.len()];
+    for d in data {
+        let mut row = vec![d.name.to_string()];
+        for (i, (_, run)) in d.runs.iter().enumerate() {
+            sums[i] += run.avg_len;
+            row.push(f3(run.avg_len / 1e3));
+        }
+        t.row(row);
+    }
+    let mut avg = vec!["avg".to_string()];
+    for s in sums {
+        avg.push(f3(s / data.len() as f64 / 1e3));
+    }
+    t.row(avg);
+    t.render()
+}
+
+/// Figure 8: number of unique phase ids detected per approach.
+pub fn figure08(data: &[BehaviorData]) -> String {
+    let mut header = vec!["bench"];
+    header.extend(APPROACHES);
+    let mut t = Table::new("Figure 8: number of phases detected", &header);
+    let mut sums = vec![0.0; APPROACHES.len()];
+    for d in data {
+        let mut row = vec![d.name.to_string()];
+        for (i, (_, run)) in d.runs.iter().enumerate() {
+            sums[i] += run.num_phases as f64;
+            row.push(run.num_phases.to_string());
+        }
+        t.row(row);
+    }
+    let mut avg = vec!["avg".to_string()];
+    for s in sums {
+        avg.push(f3(s / data.len() as f64));
+    }
+    t.row(avg);
+    t.render()
+}
+
+/// Figure 9: instruction-weighted per-phase CoV of CPI, plus the
+/// whole-program CoV at two fixed interval sizes (the paper's 100K and
+/// 10M bars, scaled to 1K and 10K).
+pub fn figure09(data: &[BehaviorData]) -> String {
+    let mut header = vec!["bench"];
+    header.extend(APPROACHES);
+    header.push("whole-1k");
+    header.push("whole-10k");
+    let mut t = Table::new("Figure 9: CoV of CPI per phase", &header);
+    let cols = APPROACHES.len() + 2;
+    let mut sums = vec![0.0; cols];
+    for d in data {
+        let mut row = vec![d.name.to_string()];
+        for (i, (_, run)) in d.runs.iter().enumerate() {
+            let cov = run.cov_of(&d.timeline, Metric::Cpi);
+            sums[i] += cov;
+            row.push(pct(cov));
+        }
+        let w1 = d.whole_program_cov(1_000, Metric::Cpi);
+        let w10 = d.whole_program_cov(BBV_FIXED, Metric::Cpi);
+        sums[cols - 2] += w1;
+        sums[cols - 1] += w10;
+        row.push(pct(w1));
+        row.push(pct(w10));
+        t.row(row);
+    }
+    let mut avg = vec!["avg".to_string()];
+    for s in sums {
+        avg.push(pct(s / data.len() as f64));
+    }
+    t.row(avg);
+    t.render()
+}
+
+/// Supplementary table: the same per-phase CoV computation for the DL1
+/// miss rate (the paper validates markers by "counting execution cycles
+/// and data cache hits").
+pub fn figure09_missrate(data: &[BehaviorData]) -> String {
+    let mut header = vec!["bench"];
+    header.extend(APPROACHES);
+    let mut t = Table::new("Figure 9 (supplementary): CoV of DL1 miss rate per phase", &header);
+    for d in data {
+        let mut row = vec![d.name.to_string()];
+        for (_, run) in d.runs.iter() {
+            row.push(pct(run.cov_of(&d.timeline, Metric::MissRate)));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approaches::behavior_data;
+    use spm_workloads::build;
+
+    /// A scaled-down end-to-end check on two representative programs:
+    /// a regular FP one and the irregular gcc.
+    #[test]
+    fn shapes_hold_on_representatives() {
+        for name in ["swim", "gcc"] {
+            let w = build(name).unwrap();
+            let d = behavior_data(&w);
+            let by: std::collections::HashMap<&str, _> =
+                d.runs.iter().map(|(n, r)| (*n, r)).collect();
+            // Markers exist for every approach on both programs (the
+            // paper's key claim: structure is found even for gcc).
+            assert!(by["nolimit-self"].num_phases > 1, "{name} self markers");
+            assert!(by["nolimit-cross"].num_phases > 1, "{name} cross markers");
+            // CoV of CPI with markers is below the whole-program CoV.
+            let whole = d.whole_program_cov(crate::BBV_FIXED, Metric::Cpi);
+            let marked = by["nolimit-self"].cov_of(&d.timeline, Metric::Cpi);
+            assert!(marked < whole, "{name}: {marked} !< {whole}");
+        }
+    }
+
+    #[test]
+    fn tables_render_for_one_program() {
+        let w = build("mgrid").unwrap();
+        let data = vec![behavior_data(&w)];
+        for table in [figure07(&data), figure08(&data), figure09(&data)] {
+            assert!(table.contains("mgrid"));
+            assert!(table.lines().count() >= 4);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Experiment harnesses regenerating every figure of the paper's
+//! evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md
+//! for recorded results).
+//!
+//! Each `figNN` module exposes a function returning the figure's data as
+//! a formatted table; the `src/bin/` binaries print them. Everything is
+//! deterministic, so tables are reproducible run to run.
+//!
+//! # Scaling
+//!
+//! SPEC `ref` executions run 10^10–10^11 instructions; the synthetic
+//! workloads run ~10^7. All interval thresholds scale by ~10^3
+//! ([`ILOWER`], [`LIMIT_MAX`], [`BBV_FIXED`]): the analyses are
+//! scale-free in the ratio `interval / program length`, so the figure
+//! *shapes* are preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod classifiers;
+pub mod approaches;
+pub mod fig03;
+pub mod fig04;
+pub mod fig056;
+pub mod fig10;
+pub mod fig1112;
+pub mod fig789;
+pub mod passes;
+pub mod robustness;
+pub mod table;
+
+/// Minimum average interval size for marker selection (paper: 10M).
+pub const ILOWER: u64 = 10_000;
+/// Minimum interval size of the limit variant (paper: 10M).
+pub const LIMIT_MIN: u64 = 10_000;
+/// Maximum interval size of the limit variant (paper: 200M).
+pub const LIMIT_MAX: u64 = 200_000;
+/// Fixed BBV interval size for the SimPoint comparison (paper: 10M).
+pub const BBV_FIXED: u64 = 10_000;
+/// Metrics-timeline granule in instructions.
+pub const GRANULE: u64 = 1_000;
+/// Random-projection dimensionality used by SimPoint (as in the paper).
+pub const PROJECTION_DIMS: usize = 15;
+/// `k_max` used for the BBV/SimPoint phase classification (as in the
+/// paper's behaviour study).
+pub const KMAX: usize = 10;
+/// Seed for all randomized analysis components.
+pub const ANALYSIS_SEED: u64 = 0x5051_2006;

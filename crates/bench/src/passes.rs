@@ -1,0 +1,192 @@
+//! Shared simulation passes: profiling, metric timelines, marker
+//! detection, BBV collection, and the parallel cache-bank timeline used
+//! by the reconfiguration experiment.
+
+use crate::GRANULE;
+use spm_cache::{reconfigurable_configs, CacheBank};
+use spm_core::{CallLoopGraph, CallLoopProfiler, MarkerFiring, MarkerRuntime, MarkerSet};
+use spm_ir::{Input, Program};
+use spm_sim::{run, Timeline, TraceEvent, TraceObserver};
+
+/// Profiles one execution into a call-loop graph.
+pub fn profile(program: &Program, input: &Input) -> CallLoopGraph {
+    let mut profiler = CallLoopProfiler::new();
+    run(program, input, &mut [&mut profiler]).expect("workload runs");
+    profiler.into_graph()
+}
+
+/// Runs with a metrics timeline; returns the timeline and the total
+/// instruction count.
+pub fn timeline(program: &Program, input: &Input) -> (Timeline, u64) {
+    let mut t = Timeline::with_defaults(GRANULE);
+    let summary = run(program, input, &mut [&mut t]).expect("workload runs");
+    (t, summary.instrs)
+}
+
+/// Detects marker firings for several marker sets in a single pass;
+/// returns one firing list per set plus the total instruction count.
+pub fn detect_all(
+    program: &Program,
+    input: &Input,
+    marker_sets: &[&MarkerSet],
+) -> (Vec<Vec<MarkerFiring>>, u64) {
+    let mut runtimes: Vec<MarkerRuntime> =
+        marker_sets.iter().map(|m| MarkerRuntime::new(m)).collect();
+    let mut observers: Vec<&mut dyn TraceObserver> =
+        runtimes.iter_mut().map(|r| r as &mut dyn TraceObserver).collect();
+    let summary = run(program, input, &mut observers).expect("workload runs");
+    (runtimes.into_iter().map(MarkerRuntime::into_firings).collect(), summary.instrs)
+}
+
+/// Per-granule miss/access counts for every reconfigurable cache
+/// configuration, from a single pass: the offline equivalent of the
+/// paper's Cheetah runs, queryable for any interval partitioning.
+#[derive(Debug, Clone)]
+pub struct BankTimeline {
+    granule: u64,
+    bank: CacheBank,
+    /// Cumulative misses per config at each granule boundary.
+    miss_snaps: Vec<Vec<u64>>,
+    /// Cumulative accesses at each granule boundary.
+    access_snaps: Vec<u64>,
+    instrs: u64,
+    next_boundary: u64,
+    finished: bool,
+}
+
+impl BankTimeline {
+    /// Creates a bank timeline over the paper's 8 configurations.
+    pub fn new(granule: u64) -> Self {
+        let bank = CacheBank::new(reconfigurable_configs());
+        let n = bank.len();
+        Self {
+            granule: granule.max(1),
+            bank,
+            miss_snaps: vec![vec![0; n]],
+            access_snaps: vec![0],
+            instrs: 0,
+            next_boundary: granule.max(1),
+            finished: false,
+        }
+    }
+
+    /// Number of configurations.
+    pub fn configs(&self) -> Vec<spm_cache::CacheConfig> {
+        self.bank.configs()
+    }
+
+    /// Total instructions observed.
+    pub fn total_instrs(&self) -> u64 {
+        self.instrs
+    }
+
+    fn snapshot(&mut self) {
+        self.miss_snaps.push(self.bank.misses());
+        self.access_snaps.push(self.bank.accesses());
+    }
+
+    fn index_of(&self, icount: u64) -> usize {
+        (icount.div_ceil(self.granule) as usize).min(self.miss_snaps.len() - 1)
+    }
+
+    /// Misses per configuration in `[begin, end)`, snapped to granules.
+    pub fn misses(&self, begin: u64, end: u64) -> Vec<u64> {
+        let (b, e) = (self.index_of(begin), self.index_of(end));
+        self.miss_snaps[e]
+            .iter()
+            .zip(&self.miss_snaps[b])
+            .map(|(hi, lo)| hi - lo)
+            .collect()
+    }
+
+    /// Accesses in `[begin, end)`, snapped to granules.
+    pub fn accesses(&self, begin: u64, end: u64) -> u64 {
+        let (b, e) = (self.index_of(begin), self.index_of(end));
+        self.access_snaps[e] - self.access_snaps[b]
+    }
+}
+
+impl TraceObserver for BankTimeline {
+    fn on_event(&mut self, _icount: u64, event: &TraceEvent) {
+        match *event {
+            TraceEvent::BlockExec { instrs, .. } => {
+                if self.instrs >= self.next_boundary {
+                    self.snapshot();
+                    self.next_boundary = (self.instrs / self.granule + 1) * self.granule;
+                }
+                self.instrs += u64::from(instrs);
+            }
+            TraceEvent::MemAccess { addr, write } => {
+                self.bank.access(addr, write);
+            }
+            TraceEvent::Finish
+                if !self.finished => {
+                    self.finished = true;
+                    self.snapshot();
+                }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spm_ir::{ProgramBuilder, Trip};
+
+    fn toy() -> (Program, Input) {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.region_bytes("d", 1 << 16);
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(100), |outer| {
+                outer.call("work");
+            });
+        });
+        b.proc("work", |p| {
+            p.loop_(Trip::Fixed(20), |body| {
+                body.block(50).rand_read(r, 2).done();
+            });
+        });
+        (b.build("main").unwrap(), Input::new("x", 1))
+    }
+
+    #[test]
+    fn profile_and_detect_roundtrip() {
+        let (program, input) = toy();
+        let graph = profile(&program, &input);
+        assert!(!graph.edges().is_empty());
+        let outcome =
+            spm_core::select_markers(&graph, &spm_core::SelectConfig::new(500));
+        let (firings, total) = detect_all(&program, &input, &[&outcome.markers]);
+        assert_eq!(total, 100_000);
+        assert!(!firings[0].is_empty());
+    }
+
+    #[test]
+    fn bank_timeline_intervals_sum() {
+        let (program, input) = toy();
+        let mut bank = BankTimeline::new(500);
+        run(&program, &input, &mut [&mut bank]).unwrap();
+        let whole = bank.misses(0, 100_000);
+        let a = bank.misses(0, 50_000);
+        let b = bank.misses(50_000, 100_000);
+        for i in 0..whole.len() {
+            assert_eq!(whole[i], a[i] + b[i], "config {i}");
+        }
+        assert_eq!(bank.accesses(0, 100_000), 100 * 20 * 2);
+        // Monotone in config size.
+        assert!(whole.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn bank_timeline_boundaries_snap() {
+        let (program, input) = toy();
+        let mut bank = BankTimeline::new(500);
+        run(&program, &input, &mut [&mut bank]).unwrap();
+        // Unaligned query snaps to the containing granules and still
+        // partitions exactly.
+        let a = bank.accesses(0, 33_333);
+        let b = bank.accesses(33_333, 100_000);
+        assert_eq!(a + b, 4000);
+    }
+}

@@ -1,0 +1,347 @@
+//! Adaptive data-cache reconfiguration driven by phase ids.
+//!
+//! This is the experiment of the paper's Section 6.1 (Figure 10),
+//! replicating Shen et al.'s protocol: execution is divided into
+//! intervals, each tagged with a phase id (by software phase markers,
+//! reuse-distance markers, or an oracle SimPoint classification). The
+//! **first two intervals of every phase are spent exploring** the
+//! candidate cache configurations; afterwards, whenever the phase recurs,
+//! the best configuration found during exploration — the *smallest* cache
+//! that does not increase the miss rate — is used directly.
+//!
+//! The quality metric is the **average cache size** over the run,
+//! weighted by instructions, under the constraint of no (tolerated)
+//! increase in miss rate.
+
+use crate::model::CacheConfig;
+
+/// Per-interval measurements: the phase id assigned by a classifier plus
+/// the interval's miss count under every candidate configuration
+/// (obtained from a [`CacheBank`](crate::CacheBank) pass).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalRecord {
+    /// Phase id assigned to the interval by the classification under test.
+    pub phase: usize,
+    /// Instructions executed in the interval (the weighting).
+    pub instrs: u64,
+    /// Data accesses in the interval.
+    pub accesses: u64,
+    /// Misses in the interval under each configuration, in the same order
+    /// as the `configs` slice passed to [`run_adaptive`].
+    pub misses: Vec<u64>,
+}
+
+/// Result of one adaptive-reconfiguration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveOutcome {
+    /// Instruction-weighted average cache size in KB (the paper's
+    /// Figure 10 y-axis).
+    pub avg_size_kb: f64,
+    /// Total misses incurred by the adaptive scheme.
+    pub misses: u64,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Index of the best fixed configuration (smallest with maximal hit
+    /// rate, within tolerance).
+    pub best_fixed: usize,
+    /// Size in KB of the best fixed configuration.
+    pub best_fixed_kb: f64,
+    /// Total misses of the best fixed configuration.
+    pub best_fixed_misses: u64,
+    /// Configuration chosen for each phase id (`None` if the phase never
+    /// finished exploring).
+    pub phase_choices: Vec<Option<usize>>,
+}
+
+impl AdaptiveOutcome {
+    /// Miss rate of the adaptive scheme.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss rate of the best fixed configuration.
+    pub fn best_fixed_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.best_fixed_misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Number of exploration intervals per phase used by the paper ("the
+/// first two intervals for each phase marker are spent experimenting").
+pub const EXPLORE_INTERVALS: usize = 2;
+
+/// Tolerated miss increase when choosing a smaller configuration.
+///
+/// The paper allows "no increase in cache miss rate", measured at the
+/// granularity real studies can measure: a small **relative** slack plus
+/// an **absolute miss-rate** slack. The absolute component matters at
+/// reproduction scale: phases here span 10^4–10^5 instructions (10^3
+/// times shorter than SPEC phases), so the one-time refill when a phase
+/// regains the cache is a visible fraction of its accesses, while the
+/// largest configuration — which retains every phase's working set —
+/// shows near-zero misses. A purely relative bound against that
+/// near-zero minimum would always force the largest cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative slack over the minimum miss count (e.g. `0.02`).
+    pub relative: f64,
+    /// Absolute slack as a fraction of the phase's accesses
+    /// (`0.05` = five percentage points of miss rate).
+    pub absolute_rate: f64,
+}
+
+impl Tolerance {
+    /// Strict tolerance: relative only.
+    pub fn relative(relative: f64) -> Self {
+        Self { relative, absolute_rate: 0.0 }
+    }
+
+    /// Maximum tolerated miss count given the minimum and the access
+    /// count.
+    fn limit(&self, min_misses: u64, accesses: u64) -> f64 {
+        let rel = min_misses as f64 * (1.0 + self.relative.max(0.0));
+        let abs = min_misses as f64 + accesses as f64 * self.absolute_rate.max(0.0);
+        rel.max(abs)
+    }
+}
+
+/// Runs the adaptive reconfiguration policy.
+///
+/// `configs` must be sorted smallest-first (as
+/// [`reconfigurable_configs`](crate::reconfigurable_configs) returns
+/// them) and every record's `misses` must have `configs.len()` entries.
+/// `tolerance` bounds the allowed miss increase over the best
+/// configuration when choosing a smaller cache (see [`Tolerance`]).
+///
+/// During exploration the controller is charged the **largest**
+/// configuration's size and misses (it cannot yet commit to a smaller
+/// cache); phases still exploring at program end never leave the largest
+/// configuration.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or a record's `misses` length disagrees
+/// with `configs.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use spm_cache::adaptive::{run_adaptive, IntervalRecord, Tolerance};
+/// use spm_cache::reconfigurable_configs;
+///
+/// let configs = reconfigurable_configs();
+/// // One phase whose misses are identical in every configuration: after
+/// // two exploration intervals, the controller drops to 32KB.
+/// let intervals: Vec<IntervalRecord> = (0..10)
+///     .map(|_| IntervalRecord { phase: 0, instrs: 1_000, accesses: 100, misses: vec![4; 8] })
+///     .collect();
+/// let outcome = run_adaptive(&configs, &intervals, Tolerance::relative(0.0));
+/// assert!(outcome.avg_size_kb < outcome.best_fixed_kb + 64.0);
+/// assert_eq!(outcome.phase_choices, vec![Some(0)]);
+/// ```
+pub fn run_adaptive(
+    configs: &[CacheConfig],
+    intervals: &[IntervalRecord],
+    tolerance: Tolerance,
+) -> AdaptiveOutcome {
+    assert!(!configs.is_empty(), "need at least one cache configuration");
+    let n_cfg = configs.len();
+    let largest = n_cfg - 1;
+    let n_phases = intervals.iter().map(|r| r.phase + 1).max().unwrap_or(0);
+
+    #[derive(Clone)]
+    struct PhaseState {
+        explored: usize,
+        miss_sums: Vec<u64>,
+        access_sum: u64,
+        choice: Option<usize>,
+    }
+    let mut phases = vec![
+        PhaseState { explored: 0, miss_sums: vec![0; n_cfg], access_sum: 0, choice: None };
+        n_phases
+    ];
+
+    let mut weighted_size = 0.0;
+    let mut total_instrs = 0u64;
+    let mut misses = 0u64;
+    let mut accesses = 0u64;
+
+    for rec in intervals {
+        assert_eq!(rec.misses.len(), n_cfg, "misses length must match configs");
+        let state = &mut phases[rec.phase];
+        let cfg = match state.choice {
+            Some(c) => c,
+            None => {
+                for (sum, m) in state.miss_sums.iter_mut().zip(&rec.misses) {
+                    *sum += m;
+                }
+                state.access_sum += rec.accesses;
+                state.explored += 1;
+                if state.explored >= EXPLORE_INTERVALS {
+                    state.choice =
+                        Some(pick_config(&state.miss_sums, state.access_sum, tolerance));
+                }
+                largest
+            }
+        };
+        weighted_size += configs[cfg].size_kb() * rec.instrs as f64;
+        total_instrs += rec.instrs;
+        misses += rec.misses[cfg];
+        accesses += rec.accesses;
+    }
+
+    // Best fixed configuration over the whole run (same tolerance rule,
+    // applied to the whole execution's accesses).
+    let mut fixed_misses = vec![0u64; n_cfg];
+    let mut fixed_accesses = 0u64;
+    for rec in intervals {
+        for (sum, m) in fixed_misses.iter_mut().zip(&rec.misses) {
+            *sum += m;
+        }
+        fixed_accesses += rec.accesses;
+    }
+    let best_fixed = pick_config(&fixed_misses, fixed_accesses, tolerance);
+
+    AdaptiveOutcome {
+        avg_size_kb: if total_instrs == 0 {
+            0.0
+        } else {
+            weighted_size / total_instrs as f64
+        },
+        misses,
+        accesses,
+        best_fixed,
+        best_fixed_kb: configs[best_fixed].size_kb(),
+        best_fixed_misses: fixed_misses[best_fixed],
+        phase_choices: phases.into_iter().map(|p| p.choice).collect(),
+    }
+}
+
+/// Smallest configuration whose miss count is within tolerance of the
+/// minimum (configs assumed sorted smallest-first).
+fn pick_config(miss_sums: &[u64], accesses: u64, tolerance: Tolerance) -> usize {
+    let min = miss_sums.iter().copied().min().unwrap_or(0);
+    let limit = tolerance.limit(min, accesses);
+    miss_sums
+        .iter()
+        .position(|&m| m as f64 <= limit)
+        .unwrap_or(miss_sums.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::reconfigurable_configs;
+
+    fn record(phase: usize, misses: Vec<u64>) -> IntervalRecord {
+        IntervalRecord { phase, instrs: 1000, accesses: 100, misses }
+    }
+
+    #[test]
+    fn pick_config_prefers_smallest_within_tolerance() {
+        let strict = Tolerance::relative(0.0);
+        assert_eq!(pick_config(&[100, 100, 100], 1000, strict), 0);
+        assert_eq!(pick_config(&[101, 100, 100], 1000, strict), 1);
+        assert_eq!(pick_config(&[101, 100, 100], 1000, Tolerance::relative(0.02)), 0);
+        assert_eq!(pick_config(&[300, 200, 100], 1000, strict), 2);
+    }
+
+    #[test]
+    fn absolute_tolerance_admits_refill_noise() {
+        // 30 extra misses on 1000 accesses: rejected by a strict rule,
+        // admitted by a 5% absolute-rate slack.
+        let t = Tolerance { relative: 0.0, absolute_rate: 0.05 };
+        assert_eq!(pick_config(&[30, 0], 1000, Tolerance::relative(0.0)), 1);
+        assert_eq!(pick_config(&[30, 0], 1000, t), 0);
+        // But genuinely worse configs are still rejected.
+        assert_eq!(pick_config(&[200, 0], 1000, t), 1);
+    }
+
+    #[test]
+    fn exploration_uses_largest_config() {
+        let configs = reconfigurable_configs();
+        // One phase, only two intervals: never leaves exploration pricing.
+        let ivs = vec![record(0, vec![10; 8]), record(0, vec![10; 8])];
+        let out = run_adaptive(&configs, &ivs, Tolerance::relative(0.0));
+        assert_eq!(out.avg_size_kb, 256.0);
+        // The choice is made after the 2nd interval even though it was
+        // never used.
+        assert_eq!(out.phase_choices, vec![Some(0)]);
+    }
+
+    #[test]
+    fn stable_phase_converges_to_small_cache() {
+        let configs = reconfigurable_configs();
+        // Misses identical across configs: smallest suffices.
+        let ivs: Vec<IntervalRecord> = (0..10).map(|_| record(0, vec![5; 8])).collect();
+        let out = run_adaptive(&configs, &ivs, Tolerance::relative(0.0));
+        // 2 intervals at 256KB + 8 at 32KB.
+        let expect = (2.0 * 256.0 + 8.0 * 32.0) / 10.0;
+        assert!((out.avg_size_kb - expect).abs() < 1e-9, "{}", out.avg_size_kb);
+        assert_eq!(out.best_fixed_kb, 32.0);
+    }
+
+    #[test]
+    fn phase_needing_big_cache_stays_big() {
+        let configs = reconfigurable_configs();
+        // Misses fall off steeply until 4 ways (128KB).
+        let m = vec![1000, 800, 500, 100, 100, 100, 100, 100];
+        let ivs: Vec<IntervalRecord> = (0..10).map(|_| record(0, m.clone())).collect();
+        let out = run_adaptive(&configs, &ivs, Tolerance::relative(0.0));
+        assert_eq!(out.phase_choices, vec![Some(3)]);
+        assert_eq!(out.best_fixed, 3);
+    }
+
+    #[test]
+    fn two_phases_get_independent_choices() {
+        let configs = reconfigurable_configs();
+        let small = vec![5; 8];
+        let big = vec![900, 700, 400, 200, 50, 50, 50, 50];
+        let mut ivs = Vec::new();
+        for _ in 0..6 {
+            ivs.push(record(0, small.clone()));
+            ivs.push(record(1, big.clone()));
+        }
+        let out = run_adaptive(&configs, &ivs, Tolerance::relative(0.0));
+        assert_eq!(out.phase_choices, vec![Some(0), Some(4)]);
+        // Best fixed must satisfy the big phase: 256KB... actually the sum
+        // over both phases: small adds equal misses so choice driven by big.
+        assert_eq!(out.best_fixed, 4);
+        // Adaptive average size must be below best fixed size (that is the
+        // whole point of reconfiguration).
+        assert!(out.avg_size_kb < out.best_fixed_kb * 1.5);
+    }
+
+    #[test]
+    fn miss_accounting_is_exact() {
+        let configs = reconfigurable_configs();
+        let ivs: Vec<IntervalRecord> = (0..4).map(|_| record(0, vec![7; 8])).collect();
+        let out = run_adaptive(&configs, &ivs, Tolerance::relative(0.0));
+        assert_eq!(out.misses, 28);
+        assert_eq!(out.accesses, 400);
+        assert!((out.miss_rate() - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_harmless() {
+        let configs = reconfigurable_configs();
+        let out = run_adaptive(&configs, &[], Tolerance::relative(0.0));
+        assert_eq!(out.avg_size_kb, 0.0);
+        assert_eq!(out.misses, 0);
+        assert_eq!(out.miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "misses length")]
+    fn mismatched_miss_vector_panics() {
+        let configs = reconfigurable_configs();
+        let _ = run_adaptive(&configs, &[record(0, vec![1; 3])], Tolerance::relative(0.0));
+    }
+}

@@ -1,0 +1,40 @@
+//! Data-cache models for the phase-marker evaluation.
+//!
+//! Three pieces:
+//!
+//! * [`Cache`] — a set-associative LRU cache simulator (the DL1 model
+//!   behind the paper's miss-rate curves and the timing model's memory
+//!   penalty),
+//! * [`CacheBank`] — several configurations simulated in parallel on one
+//!   address stream, used to measure each interval's misses under every
+//!   candidate configuration at once (replacing the paper's ATOM-based
+//!   Cheetah simulator), and
+//! * [`adaptive`] — the adaptive cache-reconfiguration policy from Shen
+//!   et al. that the paper's Figure 10 evaluates: the first two intervals
+//!   of each phase explore configurations, after which the best (smallest
+//!   with no miss-rate increase) configuration is reused whenever the
+//!   phase recurs.
+//!
+//! The reconfigurable cache matches the paper's hardware: 64-byte blocks,
+//! 512 sets, associativity 1 to 8 ways, i.e. 32KB to 256KB
+//! ([`reconfigurable_configs`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use spm_cache::{Cache, CacheConfig};
+//!
+//! let mut dl1 = Cache::new(CacheConfig::new(512, 2, 64));
+//! assert!(!dl1.access(0x1000, false)); // cold miss
+//! assert!(dl1.access(0x1008, false));  // same 64B block: hit
+//! assert_eq!(dl1.misses(), 1);
+//! assert_eq!(dl1.accesses(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+mod model;
+
+pub use model::{reconfigurable_configs, Cache, CacheBank, CacheConfig};

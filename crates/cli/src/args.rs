@@ -1,0 +1,153 @@
+//! Minimal argument parsing for the `spm` CLI (no external parser: the
+//! grammar is one subcommand plus `--flag [value]` pairs).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand, its positional arguments, and
+/// its `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// First non-flag token (e.g. `select`).
+    pub command: String,
+    /// Remaining non-flag tokens (e.g. the workload name).
+    pub positional: Vec<String>,
+    /// `--key value` and bare `--key` (value `""`) options.
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Errors from argument handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A flag that requires a value was given none.
+    MissingValue(String),
+    /// A value failed to parse as the expected type.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A required positional argument is missing.
+    MissingPositional(&'static str),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given (try `spm help`)"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} requires a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "flag --{flag}: cannot parse `{value}`")
+            }
+            ArgError::MissingPositional(name) => write!(f, "missing argument: <{name}>"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["procs-only", "dot", "help", "plot"];
+
+/// Parses a token stream (without the program name).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, ArgError> {
+    let mut parsed = ParsedArgs::default();
+    let mut iter = args.into_iter().peekable();
+    while let Some(token) = iter.next() {
+        if let Some(flag) = token.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&flag) {
+                parsed.flags.insert(flag.to_string(), String::new());
+            } else {
+                let value =
+                    iter.next().ok_or_else(|| ArgError::MissingValue(flag.to_string()))?;
+                parsed.flags.insert(flag.to_string(), value);
+            }
+        } else if parsed.command.is_empty() {
+            parsed.command = token;
+        } else {
+            parsed.positional.push(token);
+        }
+    }
+    if parsed.command.is_empty() {
+        return Err(ArgError::MissingCommand);
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// The first positional argument, or an error naming it.
+    pub fn positional(&self, name: &'static str) -> Result<&str, ArgError> {
+        self.positional.first().map(String::as_str).ok_or(ArgError::MissingPositional(name))
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// A string flag with a default.
+    pub fn str_flag(&self, flag: &str, default: &str) -> String {
+        self.flags.get(flag).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// An integer flag with a default.
+    pub fn u64_flag(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(s: &str) -> Result<ParsedArgs, ArgError> {
+        parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_positional_and_flags() {
+        let p = parse_str("select gzip --ilower 5000 --procs-only").unwrap();
+        assert_eq!(p.command, "select");
+        assert_eq!(p.positional, vec!["gzip"]);
+        assert_eq!(p.u64_flag("ilower", 0).unwrap(), 5000);
+        assert!(p.has("procs-only"));
+        assert!(!p.has("dot"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = parse_str("partition swim").unwrap();
+        assert_eq!(p.str_flag("input", "ref"), "ref");
+        assert_eq!(p.u64_flag("ilower", 10_000).unwrap(), 10_000);
+        assert_eq!(p.positional("workload").unwrap(), "swim");
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(parse_str(""), Err(ArgError::MissingCommand));
+        assert_eq!(
+            parse_str("select gzip --ilower"),
+            Err(ArgError::MissingValue("ilower".into()))
+        );
+        let p = parse_str("select gzip --ilower abc").unwrap();
+        assert!(matches!(p.u64_flag("ilower", 0), Err(ArgError::BadValue { .. })));
+        let p = parse_str("select").unwrap();
+        assert!(matches!(p.positional("workload"), Err(ArgError::MissingPositional(_))));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(ArgError::MissingCommand.to_string().contains("spm help"));
+        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
+        assert!(ArgError::MissingPositional("workload").to_string().contains("<workload>"));
+    }
+}

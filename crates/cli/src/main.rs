@@ -1,0 +1,524 @@
+//! `spm` — command-line driver for the software-phase-marker pipeline.
+//!
+//! ```text
+//! spm list
+//! spm profile <workload> [--input train|ref] [--dot] [--markers FILE]
+//! spm select  <workload> [--input train|ref] [--ilower N] [--limit N] [--procs-only]
+//! spm partition <workload> [--markers FILE] [--input train|ref] [--ilower N]
+//! spm predict <workload> [--order K] [--ilower N]
+//! spm structure <workload> [--ilower N]
+//! spm explain <workload> [--input train|ref] [--ilower N] [--limit N]
+//! spm timeseries <workload> [--input train|ref] [--step N] [--plot]
+//! spm record <workload> [--input train|ref] --out FILE
+//! spm replay <tracefile>
+//! spm help
+//! ```
+//!
+//! `profile` prints the call-loop graph (text format, or Graphviz with
+//! `--dot`); `select` prints a marker file; `partition` re-runs the
+//! program with markers (from `--markers` or selected on the spot) and
+//! prints one line per variable-length interval with CPI and DL1 miss
+//! rate; `predict` trains the Markov phase predictor on the partition
+//! and reports accuracy. Workloads are the built-in synthetic suite.
+
+mod args;
+mod plot;
+
+use args::{parse, ArgError, ParsedArgs};
+use spm_core::predict::{DurationPredictor, MarkovPredictor, PhasePredictor};
+use spm_core::text::{graph_to_dot, parse_markers, write_graph, write_markers};
+use spm_core::{partition, select_markers, CallLoopProfiler, MarkerRuntime, SelectConfig};
+use spm_ir::{parse_workload, Input, Program};
+use spm_sim::{run, Timeline, TraceObserver};
+use spm_workloads::{build, ALL_NAMES};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Piping into `head` closes stdout early; exit quietly with the
+    // conventional SIGPIPE status instead of panicking mid-print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("Broken pipe"));
+        if broken_pipe {
+            std::process::exit(141);
+        }
+        default_hook(info);
+    }));
+
+    let parsed = match parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "list" => cmd_list(),
+        "profile" => cmd_profile(&parsed),
+        "select" => cmd_select(&parsed),
+        "partition" => cmd_partition(&parsed),
+        "predict" => cmd_predict(&parsed),
+        "structure" => cmd_structure(&parsed),
+        "explain" => cmd_explain(&parsed),
+        "export" => cmd_export(&parsed),
+        "timeseries" => cmd_timeseries(&parsed),
+        "record" => cmd_record(&parsed),
+        "replay" => cmd_replay(&parsed),
+        "help" | "--help" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}` (try `spm help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+spm - software phase markers (CGO'06 reproduction)
+
+USAGE:
+  spm list
+  spm profile <workload> [--input train|ref] [--dot]
+  spm select  <workload> [--input train|ref] [--ilower N] [--limit N] [--procs-only]
+  spm partition <workload> [--markers FILE] [--input train|ref] [--ilower N]
+  spm predict <workload> [--order K] [--ilower N]
+  spm structure <workload> [--ilower N]
+  spm explain <workload> [--input train|ref] [--ilower N] [--limit N]
+  spm export <workload>
+  spm timeseries <workload> [--input train|ref] [--step N] [--plot]
+  spm record <workload> [--input train|ref] --out FILE
+  spm replay <tracefile>
+
+FLAGS:
+  --out FILE          where `record` writes the trace
+  --input train|ref   which input to run (default: ref; select defaults to train)
+  --ilower N          minimum average interval size in instructions (default 10000)
+  --limit N           enable the max-interval-size (SimPoint) variant
+  --procs-only        consider procedure edges only
+  --dot               emit the call-loop graph as Graphviz DOT
+  --markers FILE      read markers from FILE instead of selecting them
+  --order K           Markov predictor history length (default 1)
+  --step N            sample stride for timeseries (default 10000)
+  --plot              render timeseries as terminal sparklines
+  --param k=v[,k=v]   override input parameters
+";
+
+/// A resolved analysis target: a built-in workload, or a workload file
+/// in the text DSL (any positional argument naming a readable file).
+struct Target {
+    program: Program,
+    inputs: Vec<Input>,
+}
+
+fn workload(parsed: &ParsedArgs) -> Result<Target, String> {
+    let name = parsed.positional("workload").map_err(|e| e.to_string())?;
+    if std::path::Path::new(name).is_file() {
+        let src = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
+        let parsed_file = parse_workload(&src).map_err(|e| format!("{name}: {e}"))?;
+        if parsed_file.inputs.is_empty() {
+            return Err(format!("{name}: the workload file declares no `input` blocks"));
+        }
+        return Ok(Target { program: parsed_file.program, inputs: parsed_file.inputs });
+    }
+    let w = build(name).ok_or_else(|| {
+        format!(
+            "unknown workload `{name}` (and no such file); available: {}",
+            ALL_NAMES.join(", ")
+        )
+    })?;
+    Ok(Target { program: w.program, inputs: vec![w.train_input, w.ref_input] })
+}
+
+fn input_of(w: &Target, parsed: &ParsedArgs, default: &str) -> Result<Input, String> {
+    let wanted = parsed.str_flag("input", default);
+    // Fall back to the first declared input when the conventional name
+    // is absent (single-input workload files).
+    let base = w
+        .inputs
+        .iter()
+        .find(|i| i.name() == wanted)
+        .or_else(|| if parsed.flags.contains_key("input") { None } else { w.inputs.first() })
+        .ok_or_else(|| {
+            let names: Vec<&str> = w.inputs.iter().map(|i| i.name()).collect();
+            format!("no input named `{wanted}`; declared inputs: {}", names.join(", "))
+        })?;
+    // Apply `--param key=value,key=value` overrides.
+    let mut input = base.clone();
+    if let Some(spec) = parsed.flags.get("param") {
+        for pair in spec.split(',') {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--param expects key=value, got `{pair}`"))?;
+            let value: u64 =
+                value.parse().map_err(|_| format!("--param {key}: bad value `{value}`"))?;
+            input = input.with(key, value);
+        }
+    }
+    Ok(input)
+}
+
+fn select_config(parsed: &ParsedArgs) -> Result<SelectConfig, ArgError> {
+    let ilower = parsed.u64_flag("ilower", 10_000)?;
+    let mut config = match parsed.u64_flag("limit", 0)? {
+        0 => SelectConfig::new(ilower),
+        limit => SelectConfig::with_limit(ilower, limit),
+    };
+    if parsed.has("procs-only") {
+        config = config.procedures_only();
+    }
+    Ok(config)
+}
+
+fn profile_graph(w: &Target, input: &Input) -> Result<spm_core::CallLoopGraph, String> {
+    let mut profiler = CallLoopProfiler::new();
+    run(&w.program, input, &mut [&mut profiler]).map_err(|e| e.to_string())?;
+    Ok(profiler.into_graph())
+}
+
+fn load_or_select_markers(
+    w: &Target,
+    parsed: &ParsedArgs,
+) -> Result<spm_core::MarkerSet, String> {
+    if let Some(path) = parsed.flags.get("markers") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return parse_markers(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let train = w
+        .inputs
+        .iter()
+        .find(|i| i.name() == "train")
+        .or_else(|| w.inputs.first())
+        .ok_or("workload has no inputs")?;
+    let graph = profile_graph(w, train)?;
+    let config = select_config(parsed).map_err(|e| e.to_string())?;
+    Ok(select_markers(&graph, &config).markers)
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "workload", "train instrs", "ref instrs", "est ref"
+    );
+    for w in spm_workloads::suite() {
+        let t = run(&w.program, &w.train_input, &mut []).map_err(|e| e.to_string())?;
+        let r = run(&w.program, &w.ref_input, &mut []).map_err(|e| e.to_string())?;
+        let est = spm_ir::estimate_work(&w.program, &w.ref_input);
+        println!(
+            "{:<10} {:>14} {:>14} {:>14.0}",
+            w.name, t.instrs, r.instrs, est.instrs
+        );
+    }
+    Ok(())
+}
+
+fn cmd_profile(parsed: &ParsedArgs) -> Result<(), String> {
+    let w = workload(parsed)?;
+    let input = input_of(&w, parsed, "ref")?;
+    let graph = profile_graph(&w, &input)?;
+    if parsed.has("dot") {
+        let markers = parsed
+            .flags
+            .get("markers")
+            .map(|path| -> Result<_, String> {
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                parse_markers(&text).map_err(|e| format!("{path}: {e}"))
+            })
+            .transpose()?;
+        print!("{}", graph_to_dot(&graph, markers.as_ref()));
+    } else {
+        print!("{}", write_graph(&graph));
+    }
+    let summary = spm_core::summarize(&graph);
+    eprintln!(
+        "# {} nodes, {} edges, {} procs, {} loops, depth {}, {} traversals",
+        summary.nodes,
+        summary.edges,
+        summary.procs,
+        summary.loops,
+        summary.max_depth,
+        summary.total_traversals
+    );
+    for cycle in &summary.recursive_cycles {
+        let names: Vec<String> = cycle.iter().map(|k| k.to_string()).collect();
+        eprintln!("# recursive cycle: {}", names.join(" -> "));
+    }
+    Ok(())
+}
+
+fn cmd_select(parsed: &ParsedArgs) -> Result<(), String> {
+    let w = workload(parsed)?;
+    let input = input_of(&w, parsed, "train")?;
+    let graph = profile_graph(&w, &input)?;
+    let config = select_config(parsed).map_err(|e| e.to_string())?;
+    let outcome = select_markers(&graph, &config);
+    eprintln!(
+        "# {} markers from {} candidates (avg CoV {:.2}%, threshold spread {:.2}%)",
+        outcome.markers.len(),
+        outcome.candidate_edges,
+        outcome.avg_cov * 100.0,
+        outcome.std_cov * 100.0
+    );
+    print!("{}", write_markers(&outcome.markers));
+    Ok(())
+}
+
+fn cmd_partition(parsed: &ParsedArgs) -> Result<(), String> {
+    let w = workload(parsed)?;
+    let markers = load_or_select_markers(&w, parsed)?;
+    let input = input_of(&w, parsed, "ref")?;
+    let mut runtime = MarkerRuntime::new(&markers);
+    let mut timeline = Timeline::with_defaults(1_000);
+    let total = {
+        let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut runtime, &mut timeline];
+        run(&w.program, &input, &mut observers).map_err(|e| e.to_string())?.instrs
+    };
+    let vlis = partition(&runtime.firings(), total);
+    println!("begin\tend\tphase\tcpi\tdl1_miss");
+    for v in &vlis {
+        println!(
+            "{}\t{}\t{}\t{:.4}\t{:.4}",
+            v.begin,
+            v.end,
+            v.phase,
+            timeline.cpi(v.begin..v.end),
+            timeline.miss_rate(v.begin..v.end)
+        );
+    }
+    eprintln!(
+        "# {} intervals, {} phases, avg length {:.0} instrs",
+        vlis.len(),
+        spm_core::marker::phase_count(&vlis),
+        spm_core::marker::avg_interval_len(&vlis)
+    );
+    let mut lengths = spm_stats::LogHistogram::new();
+    lengths.extend(vlis.iter().map(|v| v.len()));
+    eprint!("# interval length distribution:\n{}", indent(&lengths.render()));
+    Ok(())
+}
+
+fn indent(text: &str) -> String {
+    text.lines().map(|l| format!("#   {l}\n")).collect()
+}
+
+fn cmd_predict(parsed: &ParsedArgs) -> Result<(), String> {
+    let w = workload(parsed)?;
+    let markers = load_or_select_markers(&w, parsed)?;
+    let input = input_of(&w, parsed, "ref")?;
+    let mut runtime = MarkerRuntime::new(&markers);
+    let total = run(&w.program, &input, &mut [&mut runtime])
+        .map_err(|e| e.to_string())?
+        .instrs;
+    let vlis = partition(&runtime.firings(), total);
+
+    let order = parsed.u64_flag("order", 1).map_err(|e| e.to_string())? as usize;
+    let mut markov = MarkovPredictor::new(order);
+    let mut last = spm_core::predict::LastPhasePredictor::new();
+    let mut durations = DurationPredictor::new();
+    for v in &vlis {
+        markov.observe(v.phase);
+        last.observe(v.phase);
+        durations.observe(v.phase, v.len());
+    }
+    println!("workload: {} ({} intervals)", w.program.name(), vlis.len());
+    println!("  last-phase accuracy:  {:.1}%", last.accuracy() * 100.0);
+    println!(
+        "  markov({order}) accuracy:   {:.1}% ({} table entries)",
+        markov.accuracy() * 100.0,
+        markov.table_size()
+    );
+    let mut phases: Vec<usize> = vlis.iter().map(|v| v.phase).collect();
+    phases.sort_unstable();
+    phases.dedup();
+    for phase in phases {
+        if let (Some(mean), Some(cov)) =
+            (durations.predict(phase), durations.confidence_cov(phase))
+        {
+            println!("  phase {phase}: expected {mean:.0} instrs (CoV {:.1}%)", cov * 100.0);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_structure(parsed: &ParsedArgs) -> Result<(), String> {
+    let w = workload(parsed)?;
+    let markers = load_or_select_markers(&w, parsed)?;
+    let input = input_of(&w, parsed, "ref")?;
+    let mut runtime = MarkerRuntime::new(&markers);
+    let total = run(&w.program, &input, &mut [&mut runtime])
+        .map_err(|e| e.to_string())?
+        .instrs;
+    let vlis = partition(&runtime.firings(), total);
+    let hierarchy = spm_reuse::phase_hierarchy(&vlis);
+    println!(
+        "workload: {} ({} intervals, compression {:.2})",
+        w.program.name(),
+        vlis.len(),
+        hierarchy.compression_ratio
+    );
+    if !hierarchy.is_hierarchical() {
+        println!("  no repeating super-phase structure found");
+        return Ok(());
+    }
+    println!("  {} super-phases, max depth {}:", hierarchy.super_phases.len(), hierarchy.max_depth());
+    for sp in hierarchy.super_phases.iter().take(10) {
+        let phases: Vec<String> = sp.phases.iter().map(|p| p.to_string()).collect();
+        println!(
+            "    [{}] x{} (depth {})",
+            phases.join(" "),
+            sp.uses,
+            sp.depth
+        );
+    }
+    Ok(())
+}
+
+fn cmd_record(parsed: &ParsedArgs) -> Result<(), String> {
+    let w = workload(parsed)?;
+    let input = input_of(&w, parsed, "ref")?;
+    let out = parsed
+        .flags
+        .get("out")
+        .ok_or("record requires --out FILE")?
+        .clone();
+    let mut recorder = spm_sim::record::TraceRecorder::new();
+    let summary =
+        run(&w.program, &input, &mut [&mut recorder]).map_err(|e| e.to_string())?;
+    let events = recorder.events();
+    let bytes = recorder.into_bytes();
+    std::fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "recorded {} events ({} instructions) into {out} ({} bytes)",
+        events,
+        summary.instrs,
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_replay(parsed: &ParsedArgs) -> Result<(), String> {
+    let path = parsed.positional("tracefile").map_err(|e| e.to_string())?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut timing = spm_sim::TimingModel::default();
+    let events = spm_sim::record::replay(&bytes, &mut [&mut timing])
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!("trace: {path}");
+    println!("  events:        {events}");
+    println!("  instructions:  {}", timing.instrs());
+    println!("  CPI:           {:.4}", timing.cpi());
+    println!("  DL1 miss rate: {:.4}", timing.dl1_miss_rate());
+    println!("  mispredicts:   {} / {} branches", timing.mispredicts(), timing.branches());
+    Ok(())
+}
+
+fn cmd_explain(parsed: &ParsedArgs) -> Result<(), String> {
+    let w = workload(parsed)?;
+    let input = input_of(&w, parsed, "train")?;
+    let graph = profile_graph(&w, &input)?;
+    let config = select_config(parsed).map_err(|e| e.to_string())?;
+    let outcome = select_markers(&graph, &config);
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>8}  decision",
+        "edge", "C", "A", "max", "CoV"
+    );
+    // Largest edges first: the ones that matter for marking.
+    let mut edges: Vec<_> = graph.edges().iter().collect();
+    edges.sort_by(|a, b| b.avg().partial_cmp(&a.avg()).unwrap_or(std::cmp::Ordering::Equal));
+    for edge in edges {
+        let name = format!(
+            "{}->{}",
+            graph.node(edge.from).key,
+            graph.node(edge.to).key
+        );
+        println!(
+            "{:<24} {:>10} {:>12.0} {:>12.0} {:>7.2}%  {}",
+            name,
+            edge.count(),
+            edge.avg(),
+            edge.max(),
+            edge.cov() * 100.0,
+            outcome.decisions[edge.id.index()]
+        );
+    }
+    eprintln!(
+        "# {} markers; base CoV threshold {:.2}% (+{:.2}% spread)",
+        outcome.markers.len(),
+        outcome.avg_cov.max(config.cov_floor) * 100.0,
+        outcome.std_cov * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_timeseries(parsed: &ParsedArgs) -> Result<(), String> {
+    let w = workload(parsed)?;
+    let input = input_of(&w, parsed, "ref")?;
+    let step = parsed.u64_flag("step", 10_000).map_err(|e| e.to_string())?.max(1);
+    let markers = load_or_select_markers(&w, parsed)?;
+
+    let mut runtime = MarkerRuntime::new(&markers);
+    let mut timeline = Timeline::with_defaults(1_000);
+    let total = {
+        let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut runtime, &mut timeline];
+        run(&w.program, &input, &mut observers).map_err(|e| e.to_string())?.instrs
+    };
+
+    let firings = runtime.firings();
+    let mut samples = Vec::new();
+    let mut per_sample_marker = Vec::new();
+    let mut next_firing = 0usize;
+    let mut at = 0u64;
+    while at < total {
+        let end = (at + step).min(total);
+        // The first marker firing within this sample window, if any.
+        let mut marker = String::new();
+        while next_firing < firings.len() && firings[next_firing].icount < end {
+            if marker.is_empty() {
+                marker = format!("m{}", firings[next_firing].marker);
+            }
+            next_firing += 1;
+        }
+        samples.push((at, timeline.cpi(at..end), timeline.miss_rate(at..end)));
+        per_sample_marker.push(marker);
+        at = end;
+    }
+
+    if parsed.has("plot") {
+        let width = 100.min(samples.len().max(10));
+        let cpi: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        let miss: Vec<f64> = samples.iter().map(|s| s.2).collect();
+        print!("{}", plot::chart(&[("cpi", &cpi[..]), ("dl1_miss", &miss[..])], width));
+        let marker_positions: Vec<usize> = per_sample_marker
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let label_width = "dl1_miss".len();
+        println!(
+            "{:>label_width$} {}",
+            "markers",
+            plot::tick_row(&marker_positions, samples.len(), width)
+        );
+        return Ok(());
+    }
+
+    println!("icount\tcpi\tdl1_miss\tmarker");
+    for ((at, cpi, miss), marker) in samples.iter().zip(&per_sample_marker) {
+        println!("{at}\t{cpi:.4}\t{miss:.4}\t{marker}");
+    }
+    Ok(())
+}
+
+fn cmd_export(parsed: &ParsedArgs) -> Result<(), String> {
+    let w = workload(parsed)?;
+    print!("{}", spm_ir::write_workload(&w.program, &w.inputs));
+    Ok(())
+}

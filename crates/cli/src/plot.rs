@@ -1,0 +1,136 @@
+//! Terminal plotting: Unicode sparklines and simple multi-row charts
+//! for the `timeseries` subcommand (the paper's Figure 3 in a
+//! terminal).
+
+/// The eight block characters from lowest to highest.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Resamples `values` to `width` samples by averaging each bin.
+fn resample(values: &[f64], width: usize) -> Vec<f64> {
+    if values.is_empty() || width == 0 {
+        return Vec::new();
+    }
+    (0..width)
+        .map(|i| {
+            let lo = i * values.len() / width;
+            let hi = (((i + 1) * values.len()) / width).max(lo + 1).min(values.len());
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Renders a one-line sparkline of the series, resampled to `width`
+/// columns and scaled to the series' own min..max range.
+///
+/// # Examples
+///
+/// ```ignore
+/// sparkline(&[0.0, 1.0, 2.0, 3.0], 4) == "▁▃▅█"
+/// ```
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let resampled = resample(values, width);
+    if resampled.is_empty() {
+        return String::new();
+    }
+    let (lo, hi) = resampled
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    let span = (hi - lo).max(1e-12);
+    resampled
+        .iter()
+        .map(|&x| {
+            let level = (((x - lo) / span) * 7.0).round() as usize;
+            BLOCKS[level.min(7)]
+        })
+        .collect()
+}
+
+/// Renders a tick row: a `|` in every column where at least one event
+/// falls, over a series of `n` samples resampled to `width`.
+pub fn tick_row(positions: &[usize], n: usize, width: usize) -> String {
+    if n == 0 || width == 0 {
+        return String::new();
+    }
+    let mut cols = vec![false; width];
+    for &p in positions {
+        if p < n {
+            cols[p * width / n] = true;
+        }
+    }
+    cols.iter().map(|&hit| if hit { '|' } else { ' ' }).collect()
+}
+
+/// A labelled multi-series terminal chart: one sparkline row per
+/// series, aligned labels, shared width.
+pub fn chart(series: &[(&str, &[f64])], width: usize) -> String {
+    let label_width = series.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, values) in series {
+        let (lo, hi) = values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        out.push_str(&format!(
+            "{label:>label_width$} {} [{lo:.3}..{hi:.3}]\n",
+            sparkline(values, width)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(s.chars().count(), 4);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn sparkline_resamples_down_and_up() {
+        let many: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert_eq!(sparkline(&many, 10).chars().count(), 10);
+        let few = [1.0, 2.0];
+        assert_eq!(sparkline(&few, 8).chars().count(), 8);
+    }
+
+    #[test]
+    fn flat_series_does_not_panic() {
+        let s = sparkline(&[5.0; 20], 10);
+        assert_eq!(s.chars().count(), 10);
+        // All the same level.
+        assert_eq!(s.chars().collect::<std::collections::HashSet<_>>().len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+        assert_eq!(tick_row(&[], 0, 10), "");
+    }
+
+    #[test]
+    fn tick_row_marks_positions() {
+        let row = tick_row(&[0, 50, 99], 100, 10);
+        assert_eq!(row.len(), 10);
+        assert_eq!(&row[0..1], "|");
+        assert_eq!(&row[5..6], "|");
+        assert_eq!(&row[9..10], "|");
+        assert_eq!(row.matches('|').count(), 3);
+    }
+
+    #[test]
+    fn chart_aligns_labels() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        let text = chart(&[("cpi", &a), ("dl1_miss", &b)], 12);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("     cpi "));
+        assert!(lines[1].starts_with("dl1_miss "));
+        assert!(lines[0].contains("[1.000..3.000]"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Structural analysis of call-loop graphs: recursion detection
+//! (strongly connected components) and summary statistics.
+//!
+//! The head/body split exists precisely because of recursion (paper
+//! Section 4.2); these helpers make the recursive structure visible —
+//! which cycles exist, how deep the graph is, and where the execution
+//! weight sits — for reports and for validating profiles.
+
+use crate::graph::{CallLoopGraph, NodeId, NodeKey};
+use spm_stats::LogHistogram;
+
+/// Summary statistics of one call-loop graph.
+#[derive(Debug, Clone)]
+pub struct GraphSummary {
+    /// Number of nodes (including the root).
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of distinct procedures observed.
+    pub procs: usize,
+    /// Number of distinct loops observed.
+    pub loops: usize,
+    /// Estimated maximum call-loop depth.
+    pub max_depth: u32,
+    /// Total edge traversals recorded.
+    pub total_traversals: u64,
+    /// Recursive cycles: each is the node keys of one non-trivial
+    /// strongly connected component (or a self-loop).
+    pub recursive_cycles: Vec<Vec<NodeKey>>,
+    /// Histogram of per-edge average hierarchical instruction counts,
+    /// showing which time scales the program's structure covers.
+    pub edge_avg_histogram: LogHistogram,
+}
+
+/// Summarizes a graph.
+///
+/// # Examples
+///
+/// ```
+/// use spm_core::graph::{CallLoopGraph, NodeKey};
+/// use spm_core::summarize;
+/// use spm_ir::ProcId;
+///
+/// let mut graph = CallLoopGraph::new();
+/// let root = graph.root();
+/// let a = graph.intern(NodeKey::ProcHead(ProcId(0)));
+/// let b = graph.intern(NodeKey::ProcHead(ProcId(1)));
+/// graph.record_traversal(root, a, 100);
+/// graph.record_traversal(a, b, 40);
+/// // Mutual recursion: b calls back into a.
+/// graph.record_traversal(b, a, 10);
+///
+/// let summary = summarize(&graph);
+/// assert_eq!(summary.procs, 2);
+/// assert_eq!(summary.recursive_cycles.len(), 1);
+/// ```
+pub fn summarize(graph: &CallLoopGraph) -> GraphSummary {
+    let mut procs = std::collections::HashSet::new();
+    let mut loops = std::collections::HashSet::new();
+    for node in graph.nodes() {
+        match node.key {
+            NodeKey::ProcHead(p) | NodeKey::ProcBody(p) => {
+                procs.insert(p);
+            }
+            NodeKey::LoopHead(l) | NodeKey::LoopBody(l) => {
+                loops.insert(l);
+            }
+            NodeKey::Root => {}
+        }
+    }
+    let mut histogram = LogHistogram::new();
+    let mut total_traversals = 0;
+    for edge in graph.edges() {
+        histogram.record(edge.avg().max(0.0) as u64);
+        total_traversals += edge.count();
+    }
+    GraphSummary {
+        nodes: graph.nodes().len(),
+        edges: graph.edges().len(),
+        procs: procs.len(),
+        loops: loops.len(),
+        max_depth: graph.estimate_max_depth().into_iter().max().unwrap_or(0),
+        total_traversals,
+        recursive_cycles: recursive_cycles(graph),
+        edge_avg_histogram: histogram,
+    }
+}
+
+/// Finds the recursive cycles of the graph: every strongly connected
+/// component with more than one node, plus single nodes with a
+/// self-edge. Uses an iterative Tarjan so deep graphs cannot overflow
+/// the host stack.
+pub fn recursive_cycles(graph: &CallLoopGraph) -> Vec<Vec<NodeKey>> {
+    let n = graph.nodes().len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Iterative Tarjan: frames of (node, out-edge cursor).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&(v, cursor)) = frames.last() {
+            let outs = graph.out_edges(NodeId(v as u32));
+            if cursor < outs.len() {
+                frames.last_mut().expect("frame exists").1 += 1;
+                let w = graph.edge(outs[cursor]).to.index();
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let is_cycle = component.len() > 1
+                        || graph
+                            .out_edges(NodeId(v as u32))
+                            .iter()
+                            .any(|&e| graph.edge(e).to.index() == v);
+                    if is_cycle {
+                        components.push(
+                            component
+                                .into_iter()
+                                .map(|i| graph.nodes()[i].key)
+                                .collect(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CallLoopProfiler;
+    use spm_ir::{Input, ProgramBuilder, Program, Trip};
+    use spm_sim::run;
+
+    fn profile(program: &Program) -> CallLoopGraph {
+        let mut profiler = CallLoopProfiler::new();
+        run(program, &Input::new("t", 1), &mut [&mut profiler]).unwrap();
+        profiler.into_graph()
+    }
+
+    #[test]
+    fn non_recursive_program_has_no_cycles() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(5), |body| body.call("f"));
+        });
+        b.proc("f", |p| p.block(10).done());
+        let graph = profile(&b.build("main").unwrap());
+        assert!(recursive_cycles(&graph).is_empty());
+        let summary = summarize(&graph);
+        assert_eq!(summary.procs, 1); // only f is *called*
+        assert_eq!(summary.loops, 1);
+        assert!(summary.max_depth >= 3);
+        assert!(summary.recursive_cycles.is_empty());
+    }
+
+    #[test]
+    fn direct_recursion_is_one_cycle() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("rec"));
+        b.proc("rec", |p| {
+            p.block(5).done();
+            p.if_periodic(3, 1, |_| {}, |e| e.call("rec"));
+        });
+        let graph = profile(&b.build("main").unwrap());
+        let cycles = recursive_cycles(&graph);
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        // The cycle contains rec's head and body.
+        assert!(cycles[0].len() >= 2);
+        assert!(cycles[0].iter().all(|k| k.is_proc()));
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_component() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("even"));
+        b.proc("even", |p| {
+            p.block(3).done();
+            p.if_periodic(4, 3, |_| {}, |e| e.call("odd"));
+        });
+        b.proc("odd", |p| {
+            p.block(3).done();
+            p.if_periodic(4, 3, |_| {}, |e| e.call("even"));
+        });
+        let graph = profile(&b.build("main").unwrap());
+        let cycles = recursive_cycles(&graph);
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        // even and odd (heads + bodies) share the component.
+        assert!(cycles[0].len() >= 4, "{cycles:?}");
+    }
+
+    #[test]
+    fn summary_counts_and_histogram() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(100), |outer| {
+                outer.loop_(Trip::Fixed(10), |inner| {
+                    inner.block(50).done();
+                });
+            });
+        });
+        let graph = profile(&b.build("main").unwrap());
+        let summary = summarize(&graph);
+        assert_eq!(summary.loops, 2);
+        assert_eq!(summary.edges, 4);
+        assert_eq!(summary.nodes, 5);
+        assert_eq!(summary.edge_avg_histogram.count(), 4);
+        // Traversals: 1 outer entry + 100 iters + 100 inner entries +
+        // 1000 inner iters.
+        assert_eq!(summary.total_traversals, 1 + 100 + 100 + 1000);
+    }
+}

@@ -1,0 +1,284 @@
+//! Cross-binary phase markers (paper Section 6.2.1 and Figure 4).
+//!
+//! The paper selects one marker set that is valid across two
+//! compilations of the same source program by mapping markers through
+//! debug line-number information, and verifies that the two binaries
+//! produce **identical marker traces** (same markers, same order).
+//!
+//! Here the stable identity is the [`SourceId`] each IR construct keeps
+//! through every [`CompileConfig`](spm_ir::CompileConfig) lowering. The
+//! selection restricts itself to call-loop graph edges that exist *in
+//! both binaries' graphs with the same traversal count* — edges that
+//! unrolling changed or inlining deleted are thereby excluded, matching
+//! the paper's "picking phase markers that are not compiled away".
+
+use crate::graph::{CallLoopGraph, NodeKey, SourceRole};
+use crate::marker::{Marker, MarkerFiring, MarkerSet};
+use crate::select::{select_markers, SelectConfig, SelectionOutcome};
+use spm_ir::{LoopId, ProcId, Program, SourceId};
+use std::collections::HashMap;
+
+/// Source-level identity of a call-loop graph node: `None` is the root
+/// context, otherwise the role plus the stable source location.
+pub type SourceNodeKey = Option<(SourceRole, SourceId)>;
+
+/// Maps a node key of `program` to its source-level identity.
+pub fn node_source(key: NodeKey, program: &Program) -> SourceNodeKey {
+    key.source(program)
+}
+
+/// Reverse source maps for one binary.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMaps {
+    procs: HashMap<SourceId, ProcId>,
+    loops: HashMap<SourceId, LoopId>,
+}
+
+impl SourceMaps {
+    /// Builds the reverse maps for a program.
+    pub fn new(program: &Program) -> Self {
+        let mut maps = Self::default();
+        for (i, src) in program.proc_sources().iter().enumerate() {
+            maps.procs.insert(*src, ProcId::from(i));
+        }
+        for (i, src) in program.loop_sources().iter().enumerate() {
+            maps.loops.insert(*src, LoopId::from(i));
+        }
+        maps
+    }
+
+    /// Resolves a source-level node identity to this binary's node key.
+    pub fn resolve(&self, src: SourceNodeKey) -> Option<NodeKey> {
+        match src {
+            None => Some(NodeKey::Root),
+            Some((SourceRole::ProcHead, s)) => self.procs.get(&s).map(|&p| NodeKey::ProcHead(p)),
+            Some((SourceRole::ProcBody, s)) => self.procs.get(&s).map(|&p| NodeKey::ProcBody(p)),
+            Some((SourceRole::LoopHead, s)) => self.loops.get(&s).map(|&l| NodeKey::LoopHead(l)),
+            Some((SourceRole::LoopBody, s)) => self.loops.get(&s).map(|&l| NodeKey::LoopBody(l)),
+        }
+    }
+}
+
+/// Maps one marker from `from_prog`'s id space into `to_prog`'s.
+///
+/// Returns `None` when the marker's procedure or loop does not exist in
+/// the target binary.
+pub fn map_marker(marker: Marker, from_prog: &Program, to_maps: &SourceMaps) -> Option<Marker> {
+    match marker {
+        Marker::Edge { from, to } => {
+            let from = to_maps.resolve(node_source(from, from_prog))?;
+            let to = to_maps.resolve(node_source(to, from_prog))?;
+            Some(Marker::Edge { from, to })
+        }
+        Marker::LoopGroup { loop_id, group } => {
+            let src = from_prog.loop_sources()[loop_id.index()];
+            match to_maps.resolve(Some((SourceRole::LoopHead, src)))? {
+                NodeKey::LoopHead(l) => Some(Marker::LoopGroup { loop_id: l, group }),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// A marker set expressed in both binaries' id spaces; marker ids agree
+/// across the two sets, so firing sequences are directly comparable.
+#[derive(Debug, Clone)]
+pub struct CrossBinaryMarkers {
+    /// Markers in binary A's id space.
+    pub markers_a: MarkerSet,
+    /// Markers in binary B's id space.
+    pub markers_b: MarkerSet,
+    /// The selection outcome on the edge intersection.
+    pub outcome: SelectionOutcome,
+}
+
+/// Selects one marker set valid across two compilations of the same
+/// source program.
+///
+/// The call-loop graphs of both binaries (profiled on the same input)
+/// are intersected: only edges present in both, **with equal traversal
+/// counts**, survive — a compilation transform that changes how often a
+/// construct executes (unrolling) or removes it (inlining) disqualifies
+/// its edges. Marker selection then runs on binary A's statistics over
+/// the intersection, and the selected markers are emitted in both id
+/// spaces.
+///
+/// # Examples
+///
+/// See `examples/cross_binary_simpoints.rs` for the full Figure 4
+/// reproduction.
+pub fn select_cross_binary(
+    graph_a: &CallLoopGraph,
+    prog_a: &Program,
+    graph_b: &CallLoopGraph,
+    prog_b: &Program,
+    config: &SelectConfig,
+) -> CrossBinaryMarkers {
+    // Source-level edge counts of binary B.
+    let mut b_edges: HashMap<(SourceNodeKey, SourceNodeKey), u64> = HashMap::new();
+    for edge in graph_b.edges() {
+        let from = node_source(graph_b.node(edge.from).key, prog_b);
+        let to = node_source(graph_b.node(edge.to).key, prog_b);
+        b_edges.insert((from, to), edge.count());
+    }
+
+    // Filtered copy of graph A: only edges matched in B with equal count.
+    let mut filtered = CallLoopGraph::new();
+    for edge in graph_a.edges() {
+        let from_key = graph_a.node(edge.from).key;
+        let to_key = graph_a.node(edge.to).key;
+        let src = (node_source(from_key, prog_a), node_source(to_key, prog_a));
+        if b_edges.get(&src) == Some(&edge.count()) {
+            let from = filtered.intern(from_key);
+            let to = filtered.intern(to_key);
+            filtered.merge_edge_stats(from, to, &edge.stats);
+        }
+    }
+
+    let outcome = select_markers(&filtered, config);
+    let maps_b = SourceMaps::new(prog_b);
+    let mut markers_a = MarkerSet::new();
+    let mut markers_b = MarkerSet::new();
+    for (_, marker) in outcome.markers.iter() {
+        // Mapping cannot fail: every selected edge survived the
+        // intersection, so its constructs exist in B.
+        let mapped = map_marker(marker, prog_a, &maps_b)
+            .expect("intersected marker must map to binary B");
+        markers_a.insert(marker);
+        markers_b.insert(mapped);
+    }
+    CrossBinaryMarkers { markers_a, markers_b, outcome }
+}
+
+/// Whether two firing sequences denote the same marker trace: the same
+/// markers in the same order (instruction counts are allowed to differ —
+/// the binaries execute different instruction counts for the same
+/// source-level work).
+pub fn traces_match(a: &[MarkerFiring], b: &[MarkerFiring]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.marker == y.marker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marker::MarkerRuntime;
+    use crate::profile::CallLoopProfiler;
+    use spm_ir::{compile, CompileConfig, Input, ProgramBuilder, Trip};
+    use spm_sim::run;
+
+    fn source_program() -> Program {
+        let mut b = ProgramBuilder::new("x");
+        let r = b.region_bytes("d", 1 << 14);
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(30), |outer| {
+                outer.call("work");
+                outer.call("tiny");
+            });
+        });
+        b.proc("work", |p| {
+            p.loop_(Trip::Fixed(200), |body| {
+                body.block(50).seq_read(r, 2).done();
+            });
+        });
+        b.proc("tiny", |p| {
+            p.block(4).done();
+        });
+        b.build("main").unwrap()
+    }
+
+    fn profile(program: &Program, input: &Input) -> CallLoopGraph {
+        let mut prof = CallLoopProfiler::new();
+        run(program, input, &mut [&mut prof]).unwrap();
+        prof.into_graph()
+    }
+
+    #[test]
+    fn cross_binary_markers_produce_identical_traces() {
+        let src = source_program();
+        let bin_a = compile(&src, &CompileConfig::unoptimized());
+        let bin_b = compile(&src, &CompileConfig::optimized());
+        let input = Input::new("ref", 5);
+
+        let graph_a = profile(&bin_a, &input);
+        let graph_b = profile(&bin_b, &input);
+
+        let cross = select_cross_binary(
+            &graph_a,
+            &bin_a,
+            &graph_b,
+            &bin_b,
+            &SelectConfig::new(2_000),
+        );
+        assert!(!cross.markers_a.is_empty(), "intersection must yield markers");
+        assert_eq!(cross.markers_a.len(), cross.markers_b.len());
+
+        let mut rt_a = MarkerRuntime::new(&cross.markers_a);
+        run(&bin_a, &input, &mut [&mut rt_a]).unwrap();
+        let mut rt_b = MarkerRuntime::new(&cross.markers_b);
+        run(&bin_b, &input, &mut [&mut rt_b]).unwrap();
+
+        assert!(
+            traces_match(&rt_a.firings(), &rt_b.firings()),
+            "marker traces must be identical across compilations: {} vs {} firings",
+            rt_a.firings().len(),
+            rt_b.firings().len()
+        );
+        assert!(!rt_a.firings().is_empty());
+    }
+
+    #[test]
+    fn inlined_call_edges_are_excluded() {
+        let src = source_program();
+        let bin_a = compile(&src, &CompileConfig::unoptimized());
+        let bin_b = compile(&src, &CompileConfig::optimized()); // inlines `tiny`
+        let input = Input::new("ref", 5);
+
+        let graph_a = profile(&bin_a, &input);
+        let graph_b = profile(&bin_b, &input);
+        let cross = select_cross_binary(
+            &graph_a,
+            &bin_a,
+            &graph_b,
+            &bin_b,
+            &SelectConfig::new(1),
+        );
+        let tiny = bin_a.proc_by_name("tiny").unwrap().id;
+        for (_, m) in cross.markers_a.iter() {
+            if let Marker::Edge { to, .. } = m {
+                assert_ne!(
+                    to,
+                    NodeKey::ProcHead(tiny),
+                    "inlined procedure's call edge must not be marked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_marker_round_trips_on_same_binary() {
+        let src = source_program();
+        let bin = compile(&src, &CompileConfig::baseline());
+        let maps = SourceMaps::new(&bin);
+        let work = bin.proc_by_name("work").unwrap().id;
+        let m = Marker::Edge { from: NodeKey::Root, to: NodeKey::ProcHead(work) };
+        assert_eq!(map_marker(m, &bin, &maps), Some(m));
+        let g = Marker::LoopGroup { loop_id: LoopId(0), group: 7 };
+        assert_eq!(map_marker(g, &bin, &maps), Some(g));
+    }
+
+    #[test]
+    fn traces_match_rejects_mismatch() {
+        let a = vec![MarkerFiring { icount: 1, marker: 0 }, MarkerFiring { icount: 9, marker: 1 }];
+        let b_same = vec![
+            MarkerFiring { icount: 4, marker: 0 },
+            MarkerFiring { icount: 20, marker: 1 },
+        ];
+        let b_diff = vec![
+            MarkerFiring { icount: 4, marker: 1 },
+            MarkerFiring { icount: 20, marker: 1 },
+        ];
+        assert!(traces_match(&a, &b_same), "icounts may differ");
+        assert!(!traces_match(&a, &b_diff));
+        assert!(!traces_match(&a, &b_same[..1]));
+    }
+}

@@ -1,0 +1,336 @@
+//! Run-time phase prediction from marker firings.
+//!
+//! The paper's stated use of software phase markers is to trigger
+//! dynamic reconfiguration: "software phase markers can be used to
+//! easily and accurately predict program phase changes at run-time with
+//! no hardware support". Acting *at* a phase change is free (the marker
+//! is the trigger); acting *ahead* of one — prefetching a
+//! configuration, warming a structure — additionally needs a prediction
+//! of **which phase comes next** and **how long the current phase will
+//! last**. This module provides the standard predictors from the
+//! phase-tracking literature the paper builds on (Sherwood et al.'s
+//! phase tracking and prediction):
+//!
+//! * [`LastPhasePredictor`] — predicts the phase sequence is constant
+//!   (the baseline every paper compares against);
+//! * [`MarkovPredictor`] — order-`k` Markov prediction on the phase-id
+//!   sequence;
+//! * [`DurationPredictor`] — per-phase running statistics of interval
+//!   lengths, predicting the current phase's remaining duration.
+//!
+//! All predictors are updated online from
+//! [`MarkerFiring`](crate::MarkerFiring)s (or phase
+//! ids directly) and report their own accuracy.
+//!
+//! # Examples
+//!
+//! ```
+//! use spm_core::predict::{MarkovPredictor, PhasePredictor};
+//!
+//! // A strictly alternating phase sequence is perfectly predictable
+//! // with one phase of context.
+//! let mut p = MarkovPredictor::new(1);
+//! for i in 0..100 {
+//!     p.observe(i % 2);
+//! }
+//! assert_eq!(p.predict(), Some(0));
+//! assert!(p.accuracy() > 0.95);
+//! ```
+
+use crate::marker::Vli;
+use spm_stats::Running;
+use std::collections::HashMap;
+
+/// Common interface of the phase predictors.
+pub trait PhasePredictor {
+    /// Predicts the next phase id, or `None` before any history exists.
+    fn predict(&self) -> Option<usize>;
+
+    /// Feeds the actually observed next phase (scoring the previous
+    /// prediction, then updating state).
+    fn observe(&mut self, phase: usize);
+
+    /// Number of scored predictions.
+    fn predictions(&self) -> u64;
+
+    /// Fraction of scored predictions that were correct.
+    fn accuracy(&self) -> f64;
+}
+
+/// Predicts that the next phase equals the current one.
+///
+/// Because the marker runtime fires at phase *changes*, consecutive
+/// intervals usually differ, and last-phase prediction is weak on
+/// alternating sequences — exactly why the literature uses Markov
+/// predictors on top.
+#[derive(Debug, Clone, Default)]
+pub struct LastPhasePredictor {
+    last: Option<usize>,
+    correct: u64,
+    total: u64,
+}
+
+impl LastPhasePredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PhasePredictor for LastPhasePredictor {
+    fn predict(&self) -> Option<usize> {
+        self.last
+    }
+
+    fn observe(&mut self, phase: usize) {
+        if let Some(predicted) = self.predict() {
+            self.total += 1;
+            if predicted == phase {
+                self.correct += 1;
+            }
+        }
+        self.last = Some(phase);
+    }
+
+    fn predictions(&self) -> u64 {
+        self.total
+    }
+
+    fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Order-`k` Markov predictor over phase ids: remembers, for every
+/// length-`k` phase history, the most frequent successor.
+#[derive(Debug, Clone)]
+pub struct MarkovPredictor {
+    order: usize,
+    history: Vec<usize>,
+    /// history -> (successor -> count)
+    table: HashMap<Vec<usize>, HashMap<usize, u64>>,
+    correct: u64,
+    total: u64,
+}
+
+impl MarkovPredictor {
+    /// Creates a predictor with the given history length (at least 1).
+    pub fn new(order: usize) -> Self {
+        Self {
+            order: order.max(1),
+            history: Vec::new(),
+            table: HashMap::new(),
+            correct: 0,
+            total: 0,
+        }
+    }
+
+    /// The history length.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of distinct histories recorded (the predictor's table
+    /// size — hardware implementations bound this).
+    pub fn table_size(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl PhasePredictor for MarkovPredictor {
+    fn predict(&self) -> Option<usize> {
+        if self.history.len() < self.order {
+            return None;
+        }
+        self.table
+            .get(&self.history)?
+            .iter()
+            .max_by_key(|&(phase, count)| (*count, std::cmp::Reverse(*phase)))
+            .map(|(&phase, _)| phase)
+    }
+
+    fn observe(&mut self, phase: usize) {
+        if let Some(predicted) = self.predict() {
+            self.total += 1;
+            if predicted == phase {
+                self.correct += 1;
+            }
+        }
+        if self.history.len() == self.order {
+            *self
+                .table
+                .entry(self.history.clone())
+                .or_default()
+                .entry(phase)
+                .or_insert(0) += 1;
+        }
+        self.history.push(phase);
+        if self.history.len() > self.order {
+            self.history.remove(0);
+        }
+    }
+
+    fn predictions(&self) -> u64 {
+        self.total
+    }
+
+    fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Predicts how long intervals of each phase last, from per-phase
+/// running statistics; useful to decide whether an optimization's
+/// overhead can be recouped within the current phase.
+#[derive(Debug, Clone, Default)]
+pub struct DurationPredictor {
+    per_phase: HashMap<usize, Running>,
+}
+
+impl DurationPredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed interval.
+    pub fn observe(&mut self, phase: usize, len_instrs: u64) {
+        self.per_phase.entry(phase).or_default().push(len_instrs as f64);
+    }
+
+    /// Bulk-trains from a VLI partition.
+    pub fn train(&mut self, vlis: &[Vli]) {
+        for v in vlis {
+            self.observe(v.phase, v.len());
+        }
+    }
+
+    /// Predicted duration (mean observed length) of the phase, or
+    /// `None` if never seen.
+    pub fn predict(&self, phase: usize) -> Option<f64> {
+        self.per_phase.get(&phase).filter(|r| r.count() > 0).map(Running::mean)
+    }
+
+    /// CoV of the phase's observed durations (how trustworthy
+    /// [`predict`](Self::predict) is); `None` if never seen.
+    pub fn confidence_cov(&self, phase: usize) -> Option<f64> {
+        self.per_phase.get(&phase).filter(|r| r.count() > 0).map(Running::cov)
+    }
+}
+
+/// Trains a predictor on a phase-id sequence and returns its accuracy;
+/// convenience for evaluating predictors offline on a partition.
+pub fn evaluate<P: PhasePredictor>(predictor: &mut P, vlis: &[Vli]) -> f64 {
+    for v in vlis {
+        predictor.observe(v.phase);
+    }
+    predictor.accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marker::PRELUDE_PHASE;
+
+    fn vlis_from(phases: &[usize]) -> Vec<Vli> {
+        let mut begin = 0;
+        phases
+            .iter()
+            .map(|&phase| {
+                let v = Vli { begin, end: begin + 100, phase };
+                begin += 100;
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn last_phase_fails_on_alternation() {
+        let mut p = LastPhasePredictor::new();
+        for i in 0..100 {
+            p.observe(i % 2);
+        }
+        assert!(p.accuracy() < 0.05, "alternating defeats last-phase: {}", p.accuracy());
+        assert_eq!(p.predictions(), 99);
+    }
+
+    #[test]
+    fn last_phase_wins_on_constant() {
+        let mut p = LastPhasePredictor::new();
+        for _ in 0..50 {
+            p.observe(3);
+        }
+        assert_eq!(p.accuracy(), 1.0);
+        assert_eq!(p.predict(), Some(3));
+    }
+
+    #[test]
+    fn markov_learns_alternation() {
+        let mut p = MarkovPredictor::new(1);
+        for i in 0..200 {
+            p.observe(i % 2);
+        }
+        assert!(p.accuracy() > 0.95, "{}", p.accuracy());
+        assert_eq!(p.table_size(), 2);
+    }
+
+    #[test]
+    fn markov_order2_learns_aab_pattern() {
+        // Sequence A A B A A B...: order 1 cannot disambiguate what
+        // follows A; order 2 can.
+        let pattern = [0usize, 0, 1];
+        let seq: Vec<usize> = (0..300).map(|i| pattern[i % 3]).collect();
+        let mut o1 = MarkovPredictor::new(1);
+        let mut o2 = MarkovPredictor::new(2);
+        for &s in &seq {
+            o1.observe(s);
+            o2.observe(s);
+        }
+        assert!(o2.accuracy() > 0.95, "order 2 = {}", o2.accuracy());
+        assert!(o2.accuracy() > o1.accuracy());
+    }
+
+    #[test]
+    fn markov_no_prediction_before_history() {
+        let mut p = MarkovPredictor::new(3);
+        assert_eq!(p.predict(), None);
+        p.observe(1);
+        p.observe(2);
+        assert_eq!(p.predict(), None, "needs `order` items of history");
+        assert_eq!(p.predictions(), 0);
+    }
+
+    #[test]
+    fn duration_predictor_means_and_confidence() {
+        let mut d = DurationPredictor::new();
+        d.observe(1, 100);
+        d.observe(1, 300);
+        d.observe(2, 50);
+        assert_eq!(d.predict(1), Some(200.0));
+        assert_eq!(d.predict(2), Some(50.0));
+        assert_eq!(d.predict(9), None);
+        assert!(d.confidence_cov(1).unwrap() > 0.4);
+        assert_eq!(d.confidence_cov(2), Some(0.0));
+    }
+
+    #[test]
+    fn evaluate_on_partition() {
+        let phases: Vec<usize> = (0..100).map(|i| if i % 2 == 0 { 1 } else { 2 }).collect();
+        let vlis = vlis_from(&phases);
+        let mut markov = MarkovPredictor::new(1);
+        let acc = evaluate(&mut markov, &vlis);
+        assert!(acc > 0.9);
+        let mut duration = DurationPredictor::new();
+        duration.train(&vlis);
+        assert_eq!(duration.predict(1), Some(100.0));
+        assert_eq!(duration.predict(PRELUDE_PHASE), None);
+    }
+}

@@ -1,0 +1,345 @@
+//! Building the call-loop graph from an execution trace (the paper's
+//! ATOM profiling run).
+
+use crate::graph::{CallLoopGraph, NodeId, NodeKey};
+use spm_sim::{TraceEvent, TraceObserver};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    ProcHead,
+    ProcBody,
+    LoopHead,
+    LoopBody,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    kind: FrameKind,
+    from: NodeId,
+    to: NodeId,
+    start: u64,
+}
+
+/// Trace observer that constructs the [`CallLoopGraph`] of one execution.
+///
+/// Maintains a shadow stack of active procedure activations and loop
+/// nests. Each activation/entry/iteration contributes one traversal of
+/// the corresponding graph edge, annotated with the hierarchical
+/// instruction count elapsed until the matching return/exit/next
+/// iteration:
+///
+/// * `Call p` (from context `c`): traverses `c -> head(p)` and
+///   `head(p) -> body(p)`, both closed at the matching `Return`;
+/// * `LoopEnter l` (from context `c`): traverses `c -> head(l)`, closed
+///   at `LoopExit`;
+/// * `LoopIter l`: traverses `head(l) -> body(l)`, closed at the next
+///   iteration or at `LoopExit`.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone, Default)]
+pub struct CallLoopProfiler {
+    graph: CallLoopGraph,
+    stack: Vec<Frame>,
+}
+
+impl CallLoopProfiler {
+    /// Creates a profiler with an empty graph.
+    pub fn new() -> Self {
+        Self { graph: CallLoopGraph::new(), stack: Vec::new() }
+    }
+
+    /// Finishes profiling and returns the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace ended with unbalanced call/loop events (which
+    /// a complete engine run never produces).
+    pub fn into_graph(self) -> CallLoopGraph {
+        assert!(
+            self.stack.is_empty(),
+            "unbalanced trace: {} frame(s) still open",
+            self.stack.len()
+        );
+        self.graph
+    }
+
+    /// The graph built so far (useful mid-run in tests).
+    pub fn graph(&self) -> &CallLoopGraph {
+        &self.graph
+    }
+
+    fn context(&self) -> NodeId {
+        self.stack.last().map_or(self.graph.root(), |f| f.to)
+    }
+
+    fn push(&mut self, kind: FrameKind, from: NodeId, to: NodeId, start: u64) {
+        self.stack.push(Frame { kind, from, to, start });
+    }
+
+    fn pop(&mut self, kind: FrameKind, icount: u64) {
+        let frame = self.stack.pop().expect("pop on empty shadow stack");
+        debug_assert_eq!(frame.kind, kind, "shadow stack corrupted");
+        self.graph
+            .record_traversal(frame.from, frame.to, icount - frame.start);
+    }
+}
+
+impl TraceObserver for CallLoopProfiler {
+    fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Call { proc } => {
+                let ctx = self.context();
+                let head = self.graph.intern(NodeKey::ProcHead(proc));
+                let body = self.graph.intern(NodeKey::ProcBody(proc));
+                self.push(FrameKind::ProcHead, ctx, head, icount);
+                self.push(FrameKind::ProcBody, head, body, icount);
+            }
+            TraceEvent::Return { .. } => {
+                self.pop(FrameKind::ProcBody, icount);
+                self.pop(FrameKind::ProcHead, icount);
+            }
+            TraceEvent::LoopEnter { loop_id } => {
+                let ctx = self.context();
+                let head = self.graph.intern(NodeKey::LoopHead(loop_id));
+                self.push(FrameKind::LoopHead, ctx, head, icount);
+            }
+            TraceEvent::LoopIter { loop_id } => {
+                if self
+                    .stack
+                    .last()
+                    .is_some_and(|f| f.kind == FrameKind::LoopBody)
+                {
+                    self.pop(FrameKind::LoopBody, icount);
+                }
+                let head = self.graph.intern(NodeKey::LoopHead(loop_id));
+                let body = self.graph.intern(NodeKey::LoopBody(loop_id));
+                self.push(FrameKind::LoopBody, head, body, icount);
+            }
+            TraceEvent::LoopExit { .. } => {
+                if self
+                    .stack
+                    .last()
+                    .is_some_and(|f| f.kind == FrameKind::LoopBody)
+                {
+                    self.pop(FrameKind::LoopBody, icount);
+                }
+                self.pop(FrameKind::LoopHead, icount);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spm_ir::{Input, LoopId, ProcId, ProgramBuilder, Program, Trip};
+    use spm_sim::run;
+
+    fn profile(program: &Program, input: &Input) -> CallLoopGraph {
+        let mut profiler = CallLoopProfiler::new();
+        run(program, input, &mut [&mut profiler]).unwrap();
+        profiler.into_graph()
+    }
+
+    /// The paper's Figure 1/2 structure: foo with a loop calling X or Y,
+    /// then X after the loop; X calls Z.
+    fn figure1_program() -> Program {
+        let mut b = ProgramBuilder::new("fig1");
+        b.proc("main", |p| {
+            p.call("foo");
+        });
+        b.proc("foo", |p| {
+            p.loop_(Trip::Fixed(50), |body| {
+                body.if_prob(
+                    0.7,
+                    |t| t.call("x"),
+                    |e| e.call("y"),
+                );
+            });
+            p.call("x");
+        });
+        b.proc("x", |p| {
+            p.block(30).done();
+            p.call("z");
+        });
+        b.proc("y", |p| {
+            p.block(70).done();
+        });
+        b.proc("z", |p| {
+            p.block(50).done();
+        });
+        b.build("main").unwrap()
+    }
+
+    #[test]
+    fn figure1_graph_shape() {
+        let program = figure1_program();
+        let graph = profile(&program, &Input::new("t", 42));
+        let id = |name: &str| program.proc_by_name(name).unwrap().id;
+
+        let foo_body = graph.node_by_key(NodeKey::ProcBody(id("foo"))).unwrap();
+        let loop_head = graph.node_by_key(NodeKey::LoopHead(LoopId(0))).unwrap();
+        let loop_body = graph.node_by_key(NodeKey::LoopBody(LoopId(0))).unwrap();
+        let x_head = graph.node_by_key(NodeKey::ProcHead(id("x"))).unwrap();
+        let x_body = graph.node_by_key(NodeKey::ProcBody(id("x"))).unwrap();
+        let z_head = graph.node_by_key(NodeKey::ProcHead(id("z"))).unwrap();
+
+        // foo body -> loop head: entered once.
+        let e = graph.edge_between(foo_body, loop_head).unwrap();
+        assert_eq!(e.count(), 1);
+
+        // loop head -> loop body: 50 iterations.
+        let e = graph.edge_between(loop_head, loop_body).unwrap();
+        assert_eq!(e.count(), 50);
+
+        // Calls to x come from both the loop body and foo's body.
+        let from_loop = graph.edge_between(loop_body, x_head).unwrap();
+        let from_foo = graph.edge_between(foo_body, x_head).unwrap();
+        assert_eq!(from_foo.count(), 1);
+        assert!(from_loop.count() > 10);
+
+        // x body -> z head aggregates all x activations.
+        let e = graph.edge_between(x_body, z_head).unwrap();
+        assert_eq!(e.count(), from_loop.count() + from_foo.count());
+    }
+
+    #[test]
+    fn hierarchical_counts_include_callees() {
+        // main calls f once; f runs a block then calls g (block of 100).
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("f"));
+        b.proc("f", |p| {
+            p.block(10).done();
+            p.call("g");
+        });
+        b.proc("g", |p| p.block(100).done());
+        let program = b.build("main").unwrap();
+        let graph = profile(&program, &Input::new("t", 1));
+        let id = |name: &str| program.proc_by_name(name).unwrap().id;
+
+        let root = graph.root();
+        let f_head = graph.node_by_key(NodeKey::ProcHead(id("f"))).unwrap();
+        let e = graph.edge_between(root, f_head).unwrap();
+        assert_eq!(e.avg(), 110.0, "call edge must count callee instructions");
+
+        let f_body = graph.node_by_key(NodeKey::ProcBody(id("f"))).unwrap();
+        let g_head = graph.node_by_key(NodeKey::ProcHead(id("g"))).unwrap();
+        let e = graph.edge_between(f_body, g_head).unwrap();
+        assert_eq!(e.avg(), 100.0);
+    }
+
+    #[test]
+    fn loop_head_vs_body_counts() {
+        // Loop entered 4 times with 10 iterations of a 7-instruction block.
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(4), |outer| {
+                outer.loop_(Trip::Fixed(10), |inner| {
+                    inner.block(7).done();
+                });
+            });
+        });
+        let program = b.build("main").unwrap();
+        let graph = profile(&program, &Input::new("t", 1));
+
+        let outer_body = graph.node_by_key(NodeKey::LoopBody(LoopId(0))).unwrap();
+        let inner_head = graph.node_by_key(NodeKey::LoopHead(LoopId(1))).unwrap();
+        let inner_body = graph.node_by_key(NodeKey::LoopBody(LoopId(1))).unwrap();
+
+        let entry = graph.edge_between(outer_body, inner_head).unwrap();
+        assert_eq!(entry.count(), 4);
+        assert_eq!(entry.avg(), 70.0, "entry-to-exit counts the whole nest");
+        assert_eq!(entry.cov(), 0.0, "perfectly regular loop");
+
+        let iter = graph.edge_between(inner_head, inner_body).unwrap();
+        assert_eq!(iter.count(), 40);
+        assert_eq!(iter.avg(), 7.0, "per-iteration count");
+    }
+
+    #[test]
+    fn recursion_distinguishes_head_and_body() {
+        // A procedure that recurses a fixed number of times via a
+        // periodic branch would be complex; instead use direct recursion
+        // guarded by probability 1 until the depth limit truncates it.
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("rec"));
+        b.proc("rec", |p| {
+            p.block(10).done();
+            p.if_periodic(4, 1, |_| {}, |e| e.call("rec"));
+        });
+        let program = b.build("main").unwrap();
+        let graph = profile(&program, &Input::new("t", 1));
+        let rec = program.proc_by_name("rec").unwrap().id;
+
+        let head = graph.node_by_key(NodeKey::ProcHead(rec)).unwrap();
+        let body = graph.node_by_key(NodeKey::ProcBody(rec)).unwrap();
+        // The recursive call edge body -> head exists.
+        let rec_edge = graph.edge_between(body, head).unwrap();
+        assert!(rec_edge.count() >= 1);
+        // head -> body aggregates every activation (outer + recursive).
+        let hb = graph.edge_between(head, body).unwrap();
+        let root_edge = graph
+            .edge_between(graph.root(), head)
+            .unwrap();
+        assert_eq!(hb.count(), root_edge.count() + rec_edge.count());
+        // The outermost activation contains the recursive ones.
+        assert!(root_edge.avg() > rec_edge.avg());
+    }
+
+    #[test]
+    fn zero_trip_loops_record_zero_length_entry() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(0), |body| {
+                body.block(1).done();
+            });
+            p.block(5).done();
+        });
+        let program = b.build("main").unwrap();
+        let graph = profile(&program, &Input::new("t", 1));
+        let head = graph.node_by_key(NodeKey::LoopHead(LoopId(0))).unwrap();
+        let e = graph.edge_between(graph.root(), head).unwrap();
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.avg(), 0.0);
+        assert!(graph.node_by_key(NodeKey::LoopBody(LoopId(0))).is_none());
+    }
+
+    #[test]
+    fn variable_work_shows_up_as_cov() {
+        // A loop whose per-iteration work alternates between 10 and 1000
+        // instructions has high body CoV, but entry-to-exit is stable.
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(10), |outer| {
+                outer.loop_(Trip::Fixed(20), |inner| {
+                    inner.if_periodic(
+                        2,
+                        0,
+                        |t| t.block(1000).done(),
+                        |e| e.block(10).done(),
+                    );
+                });
+            });
+        });
+        let program = b.build("main").unwrap();
+        let graph = profile(&program, &Input::new("t", 1));
+        let inner_head = graph.node_by_key(NodeKey::LoopHead(LoopId(1))).unwrap();
+        let inner_body = graph.node_by_key(NodeKey::LoopBody(LoopId(1))).unwrap();
+        let outer_body = graph.node_by_key(NodeKey::LoopBody(LoopId(0))).unwrap();
+
+        let iter = graph.edge_between(inner_head, inner_body).unwrap();
+        assert!(iter.cov() > 0.5, "alternating work must show high CoV, got {}", iter.cov());
+
+        let entry = graph.edge_between(outer_body, inner_head).unwrap();
+        assert_eq!(entry.cov(), 0.0, "entry-to-exit totals are identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced trace")]
+    fn unbalanced_trace_panics() {
+        let mut profiler = CallLoopProfiler::new();
+        profiler.on_event(0, &TraceEvent::Call { proc: ProcId(0) });
+        let _ = profiler.into_graph();
+    }
+}

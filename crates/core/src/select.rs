@@ -1,0 +1,609 @@
+//! The two-pass marker-selection algorithm (paper Section 5).
+//!
+//! **Pass 1** prunes the call-loop graph by average hierarchical
+//! instruction count: only edges whose average is at least `ilower` (the
+//! minimum allowed interval size) remain candidates. Nodes are processed
+//! in reverse estimated-max-depth order — children before parents,
+//! leaf-first tie-breaking — so the search starts at small granularities
+//! and moves upward.
+//!
+//! **Pass 2** derives a per-program CoV threshold from the candidates:
+//! the base threshold is the candidates' average CoV, and the threshold
+//! applied to an edge grows linearly from `avg(CoV)` at `A = ilower` to
+//! `avg(CoV) + stddev(CoV)` at the largest candidate average, allowing
+//! more variability as the average instruction count grows away from
+//! `ilower` (the paper gives no closed form; this linear ramp follows its
+//! description). An edge is selected as a marker when it satisfies both
+//! the size and the CoV threshold.
+//!
+//! The **limit variant** (paper Section 5.2, used with SimPoint)
+//! additionally enforces a maximum interval size: when a node's incoming
+//! edge has a maximum hierarchical count above `max_limit`, the search on
+//! that path stops and the node's outgoing edges (which are below the
+//! limit) are marked instead; and consecutive iterations of low-variance
+//! loops whose iterations are individually too small are **merged** into
+//! groups of `N` iterations, choosing the `N` in range that divides the
+//! average iterations-per-entry most evenly.
+
+use crate::graph::{CallLoopGraph, Edge, NodeKey};
+use crate::marker::{Marker, MarkerSet};
+use spm_stats::Running;
+use std::collections::HashSet;
+
+/// Configuration of one marker-selection run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectConfig {
+    /// Minimum allowed average interval size (`ilower`), in instructions.
+    pub ilower: u64,
+    /// Maximum interval size; enables the paper's limit variant.
+    pub max_limit: Option<u64>,
+    /// Restrict marking to procedure edges (the Huang et al. style
+    /// procedures-only comparison of the paper's Figures 7–10).
+    pub procedures_only: bool,
+    /// Lower bound on the applied CoV threshold. The paper's base
+    /// threshold is the candidates' average CoV, which degenerates when
+    /// a program is *uniformly* stable (every candidate CoV near zero —
+    /// the mean rejects half of a tightly clustered set on floating
+    /// fuzz). The floor admits any edge at least this stable; 5%
+    /// matches the paper's worked example, where a 5% CoV edge is a
+    /// good marker and a 10% one is rejected.
+    pub cov_floor: f64,
+}
+
+impl SelectConfig {
+    /// The default (no-limit) algorithm with the given `ilower`.
+    pub fn new(ilower: u64) -> Self {
+        Self { ilower, max_limit: None, procedures_only: false, cov_floor: 0.05 }
+    }
+
+    /// The limit variant with minimum `ilower` and maximum `max_limit`
+    /// (the paper uses 10M and 200M instructions for SimPoint).
+    pub fn with_limit(ilower: u64, max_limit: u64) -> Self {
+        Self { max_limit: Some(max_limit), ..Self::new(ilower) }
+    }
+
+    /// Restricts marking to procedure edges, builder-style.
+    #[must_use]
+    pub fn procedures_only(mut self) -> Self {
+        self.procedures_only = true;
+        self
+    }
+}
+
+/// Why an edge was (not) selected, recorded per edge for
+/// explainability; indexed by [`EdgeId`](crate::graph::EdgeId) order in
+/// [`SelectionOutcome::decisions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeDecision {
+    /// Selected as a marker.
+    Marked,
+    /// Selected because an ancestor path exceeded `max_limit` and this
+    /// edge was below it (the limit variant's cut rule).
+    MarkedViaCut,
+    /// Its loop's iterations were merged into a group of `n`.
+    MergedIterations {
+        /// Iterations per group.
+        group: u64,
+    },
+    /// Average hierarchical instruction count below `ilower`.
+    TooSmall,
+    /// CoV above the edge's applied threshold.
+    TooVariable {
+        /// The edge's CoV.
+        cov: f64,
+        /// The threshold it had to meet.
+        threshold: f64,
+    },
+    /// Maximum hierarchical count exceeded `max_limit`.
+    OverLimit,
+    /// Filtered out (procedures-only mode and a loop edge).
+    Ineligible,
+}
+
+impl std::fmt::Display for EdgeDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeDecision::Marked => write!(f, "marked"),
+            EdgeDecision::MarkedViaCut => write!(f, "marked (limit cut)"),
+            EdgeDecision::MergedIterations { group } => {
+                write!(f, "merged x{group} iterations")
+            }
+            EdgeDecision::TooSmall => write!(f, "rejected: below ilower"),
+            EdgeDecision::TooVariable { cov, threshold } => {
+                write!(f, "rejected: CoV {:.1}% > {:.1}%", cov * 100.0, threshold * 100.0)
+            }
+            EdgeDecision::OverLimit => write!(f, "rejected: exceeds max-limit"),
+            EdgeDecision::Ineligible => write!(f, "ineligible (procedures-only)"),
+        }
+    }
+}
+
+/// Result of a marker-selection run.
+#[derive(Debug, Clone)]
+pub struct SelectionOutcome {
+    /// The selected markers.
+    pub markers: MarkerSet,
+    /// Number of candidate edges surviving pass 1.
+    pub candidate_edges: usize,
+    /// Average CoV over the candidates (the base threshold).
+    pub avg_cov: f64,
+    /// Standard deviation of the candidates' CoV (the threshold spread).
+    pub std_cov: f64,
+    /// Per-edge decision, indexed like
+    /// [`CallLoopGraph::edges`](crate::CallLoopGraph::edges).
+    pub decisions: Vec<EdgeDecision>,
+}
+
+/// Runs the marker-selection algorithm on a call-loop graph.
+///
+/// See the crate-level example for the full profile → select → detect
+/// pipeline.
+///
+/// # Examples
+///
+/// Selection is a pure function of the graph, so graphs loaded from
+/// disk (or built by hand, as here) work exactly like profiled ones:
+///
+/// ```
+/// use spm_core::graph::{CallLoopGraph, NodeKey};
+/// use spm_core::{select_markers, SelectConfig};
+/// use spm_ir::ProcId;
+///
+/// let mut graph = CallLoopGraph::new();
+/// let root = graph.root();
+/// let head = graph.intern(NodeKey::ProcHead(ProcId(0)));
+/// for _ in 0..100 {
+///     graph.record_traversal(root, head, 50_000); // stable 50K activations
+/// }
+/// let outcome = select_markers(&graph, &SelectConfig::new(10_000));
+/// assert_eq!(outcome.markers.len(), 1);
+/// ```
+pub fn select_markers(graph: &CallLoopGraph, config: &SelectConfig) -> SelectionOutcome {
+    let order = graph.selection_order();
+
+    // Pass 1: prune by average hierarchical instruction count.
+    let mut candidates: Vec<&Edge> = Vec::new();
+    for &node in &order {
+        for &edge_id in graph.in_edges(node) {
+            let edge = graph.edge(edge_id);
+            if !eligible(graph, edge, config) {
+                continue;
+            }
+            if edge.avg() >= config.ilower as f64 {
+                candidates.push(edge);
+            }
+        }
+    }
+
+    // CoV threshold statistics over the candidates.
+    let mut cov_stats = Running::new();
+    let mut max_avg: f64 = config.ilower as f64;
+    for edge in &candidates {
+        cov_stats.push(edge.cov());
+        max_avg = max_avg.max(edge.avg());
+    }
+    let avg_cov = cov_stats.mean();
+    let std_cov = cov_stats.population_stddev();
+    let threshold = |edge: &Edge| -> f64 {
+        let span = max_avg - config.ilower as f64;
+        let frac = if span <= 0.0 {
+            0.0
+        } else {
+            ((edge.avg() - config.ilower as f64) / span).clamp(0.0, 1.0)
+        };
+        (avg_cov + std_cov * frac).max(config.cov_floor)
+    };
+
+    // Pass 2: select markers in the same order, recording a decision
+    // per edge.
+    let mut markers = MarkerSet::new();
+    let mut decisions = vec![EdgeDecision::TooSmall; graph.edges().len()];
+    let mut marked: HashSet<(NodeKey, NodeKey)> = HashSet::new();
+    let mark = |markers: &mut MarkerSet, marked: &mut HashSet<_>, edge: &Edge| {
+        let from = graph.node(edge.from).key;
+        let to = graph.node(edge.to).key;
+        if marked.insert((from, to)) {
+            markers.insert(Marker::Edge { from, to });
+        }
+    };
+
+    for &node in &order {
+        for &edge_id in graph.in_edges(node) {
+            let edge = graph.edge(edge_id);
+            let decision = &mut decisions[edge_id.index()];
+            if !eligible(graph, edge, config) {
+                *decision = EdgeDecision::Ineligible;
+                continue;
+            }
+            if let Some(limit) = config.max_limit {
+                let limit_f = limit as f64;
+                if edge.max() > limit_f {
+                    *decision = EdgeDecision::OverLimit;
+                    // Paper: stop searching on this path; mark the current
+                    // node's outgoing edges, which are below the limit.
+                    // Too-small loop-iteration edges are merged into
+                    // iteration groups rather than marked raw (else the
+                    // intervals would be a single iteration long).
+                    for &out_id in graph.out_edges(node) {
+                        let out = graph.edge(out_id);
+                        if !eligible(graph, out, config) || out.max() > limit_f {
+                            continue;
+                        }
+                        if out.avg() >= config.ilower as f64 {
+                            mark(&mut markers, &mut marked, out);
+                            decisions[out_id.index()] = EdgeDecision::MarkedViaCut;
+                        } else if let Some(group) =
+                            try_merge_iterations(graph, out, config.ilower, limit, &mut markers)
+                        {
+                            decisions[out_id.index()] =
+                                EdgeDecision::MergedIterations { group };
+                        } else if out.avg() >= config.ilower as f64 / 10.0 {
+                            // The paper accepts "a large number of small
+                            // intervals" here, but a marker per loop
+                            // iteration of a handful of instructions is
+                            // useless: cap the flood an order of
+                            // magnitude below the minimum.
+                            mark(&mut markers, &mut marked, out);
+                            decisions[out_id.index()] = EdgeDecision::MarkedViaCut;
+                        }
+                    }
+                    continue;
+                }
+                if edge.avg() >= config.ilower as f64 && edge.cov() <= threshold(edge) {
+                    mark(&mut markers, &mut marked, edge);
+                    *decision = EdgeDecision::Marked;
+                } else if edge.cov() <= threshold(edge) {
+                    // Merging loop iterations: a regular but too-small
+                    // iteration edge becomes a grouped marker.
+                    if let Some(group) =
+                        try_merge_iterations(graph, edge, config.ilower, limit, &mut markers)
+                    {
+                        *decision = EdgeDecision::MergedIterations { group };
+                    }
+                } else if edge.avg() >= config.ilower as f64 {
+                    *decision =
+                        EdgeDecision::TooVariable { cov: edge.cov(), threshold: threshold(edge) };
+                }
+            } else if edge.avg() < config.ilower as f64 {
+                *decision = EdgeDecision::TooSmall;
+            } else if edge.cov() <= threshold(edge) {
+                mark(&mut markers, &mut marked, edge);
+                *decision = EdgeDecision::Marked;
+            } else {
+                *decision =
+                    EdgeDecision::TooVariable { cov: edge.cov(), threshold: threshold(edge) };
+            }
+        }
+    }
+
+    SelectionOutcome { markers, candidate_edges: candidates.len(), avg_cov, std_cov, decisions }
+}
+
+/// Edge filtering shared by both passes: the procedures-only variant
+/// ignores edges into loop nodes.
+fn eligible(graph: &CallLoopGraph, edge: &Edge, config: &SelectConfig) -> bool {
+    if !config.procedures_only {
+        return true;
+    }
+    !graph.node(edge.to).key.is_loop()
+}
+
+/// Attempts to create a [`Marker::LoopGroup`] for a loop-head -> loop-body
+/// edge whose iterations are individually smaller than `ilower`; returns
+/// the chosen group size when a marker was created.
+fn try_merge_iterations(
+    graph: &CallLoopGraph,
+    edge: &Edge,
+    ilower: u64,
+    max_limit: u64,
+    markers: &mut MarkerSet,
+) -> Option<u64> {
+    let (NodeKey::LoopHead(loop_id), NodeKey::LoopBody(body_id)) =
+        (graph.node(edge.from).key, graph.node(edge.to).key)
+    else {
+        return None;
+    };
+    debug_assert_eq!(loop_id, body_id);
+    let avg = edge.avg();
+    if avg <= 0.0 || avg >= ilower as f64 {
+        return None;
+    }
+
+    // Average iterations per entry: body traversals / head entries. A
+    // group cannot span loop entries, so N is also bounded by the
+    // iterations available per entry.
+    let entries: u64 = graph
+        .in_edges(edge.from)
+        .iter()
+        .map(|&e| graph.edge(e).count())
+        .sum();
+    if entries == 0 {
+        return None;
+    }
+    let iters_per_entry = (edge.count() as f64 / entries as f64).round().max(1.0) as u64;
+
+    let lo = (ilower as f64 / avg).ceil() as u64;
+    let hi = ((max_limit as f64 / avg).floor() as u64).min(iters_per_entry);
+    if lo > hi || hi < 2 {
+        return None;
+    }
+    let lo = lo.max(2);
+
+    // Pick N in [lo, hi] minimizing iters_per_entry mod N (an N that
+    // divides the iterations evenly); bounded scan for determinism.
+    let mut best: Option<(u64, u64)> = None; // (remainder, n)
+    for n in lo..=hi.min(lo + 8192) {
+        let rem = iters_per_entry % n;
+        if best.is_none_or(|(brem, _)| rem < brem) {
+            best = Some((rem, n));
+            if rem == 0 {
+                break;
+            }
+        }
+    }
+    best.map(|(_, n)| {
+        markers.insert(Marker::LoopGroup { loop_id, group: n });
+        n
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marker::Marker;
+    use crate::profile::CallLoopProfiler;
+    use spm_ir::{Input, LoopId, ProgramBuilder, Program, Trip};
+    use spm_sim::run;
+
+    fn profile(program: &Program) -> CallLoopGraph {
+        let mut profiler = CallLoopProfiler::new();
+        run(program, &Input::new("t", 7), &mut [&mut profiler]).unwrap();
+        profiler.into_graph()
+    }
+
+    /// Two stable phases: a compute loop and a memory loop, alternating,
+    /// each ~100K instructions per activation.
+    fn two_phase_program() -> Program {
+        let mut b = ProgramBuilder::new("p");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(20), |outer| {
+                outer.call("phase_a");
+                outer.call("phase_b");
+            });
+        });
+        b.proc("phase_a", |p| {
+            p.loop_(Trip::Fixed(1000), |body| {
+                body.block(100).done();
+            });
+        });
+        b.proc("phase_b", |p| {
+            p.loop_(Trip::Fixed(500), |body| {
+                body.block(100).done();
+            });
+        });
+        b.build("main").unwrap()
+    }
+
+    #[test]
+    fn selects_stable_phase_boundaries() {
+        let program = two_phase_program();
+        let graph = profile(&program);
+        let outcome = select_markers(&graph, &SelectConfig::new(20_000));
+        assert!(!outcome.markers.is_empty(), "must find markers");
+        // The calls to phase_a / phase_b (avg 100K / 50K hierarchical
+        // instructions, zero variance) are ideal markers.
+        let a = program.proc_by_name("phase_a").unwrap().id;
+        let b = program.proc_by_name("phase_b").unwrap().id;
+        let has_proc_marker = |p| {
+            outcome.markers.iter().any(|(_, m)| match m {
+                Marker::Edge { to, .. } => {
+                    to == NodeKey::ProcHead(p) || to == NodeKey::ProcBody(p)
+                }
+                _ => false,
+            })
+        };
+        assert!(has_proc_marker(a), "phase_a call edge should be marked");
+        assert!(has_proc_marker(b), "phase_b call edge should be marked");
+    }
+
+    #[test]
+    fn ilower_prunes_small_edges() {
+        let program = two_phase_program();
+        let graph = profile(&program);
+        // With ilower = 1, even single iterations (100 instrs) qualify.
+        let fine = select_markers(&graph, &SelectConfig::new(1));
+        // With a huge ilower, nothing qualifies.
+        let coarse = select_markers(&graph, &SelectConfig::new(u64::MAX / 2));
+        assert!(fine.candidate_edges > 0);
+        assert_eq!(coarse.candidate_edges, 0);
+        assert!(coarse.markers.is_empty());
+        assert!(fine.markers.len() >= coarse.markers.len());
+    }
+
+    #[test]
+    fn high_variance_edges_are_rejected() {
+        // A call whose hierarchical size varies wildly (Uniform trips)
+        // next to one that is perfectly stable; with both at the same
+        // average size, only the stable one should be marked.
+        let mut b = ProgramBuilder::new("p");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(50), |outer| {
+                outer.call("stable");
+                outer.call("wild");
+            });
+        });
+        b.proc("stable", |p| {
+            p.loop_(Trip::Fixed(100), |body| {
+                body.block(100).done();
+            });
+        });
+        b.proc("wild", |p| {
+            p.loop_(Trip::Uniform { lo: 1, hi: 200 }, |body| {
+                body.block(100).done();
+            });
+        });
+        let program = b.build("main").unwrap();
+        let graph = profile(&program);
+        let outcome = select_markers(&graph, &SelectConfig::new(5_000));
+        let stable = program.proc_by_name("stable").unwrap().id;
+        let wild = program.proc_by_name("wild").unwrap().id;
+        let marked = |p| {
+            outcome.markers.iter().any(|(_, m)| match m {
+                Marker::Edge { to, .. } => {
+                    to == NodeKey::ProcHead(p) || to == NodeKey::ProcBody(p)
+                }
+                _ => false,
+            })
+        };
+        assert!(marked(stable), "stable call must be marked");
+        assert!(!marked(wild), "wildly varying call must be rejected");
+    }
+
+    #[test]
+    fn procedures_only_never_marks_loops() {
+        let program = two_phase_program();
+        let graph = profile(&program);
+        let outcome = select_markers(&graph, &SelectConfig::new(1).procedures_only());
+        assert!(!outcome.markers.is_empty());
+        for (_, m) in outcome.markers.iter() {
+            match m {
+                Marker::Edge { to, .. } => assert!(!to.is_loop(), "loop edge marked: {m}"),
+                Marker::LoopGroup { .. } => panic!("loop group in procedures-only mode"),
+            }
+        }
+    }
+
+    #[test]
+    fn limit_variant_caps_interval_size() {
+        // One giant stable procedure call (2M instructions) that the
+        // no-limit algorithm marks; with max_limit = 100K the algorithm
+        // must descend into the loop and mark smaller structures.
+        let mut b = ProgramBuilder::new("p");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(10), |outer| {
+                outer.call("huge");
+            });
+        });
+        b.proc("huge", |p| {
+            p.loop_(Trip::Fixed(2000), |body| {
+                body.block(100).done();
+            });
+        });
+        let program = b.build("main").unwrap();
+        let graph = profile(&program);
+
+        let nolimit = select_markers(&graph, &SelectConfig::new(10_000));
+        let limited = select_markers(&graph, &SelectConfig::with_limit(10_000, 100_000));
+
+        // No-limit marks the 200K-instruction call edge.
+        let huge = program.proc_by_name("huge").unwrap().id;
+        assert!(nolimit.markers.iter().any(|(_, m)| matches!(
+            m,
+            Marker::Edge { to, .. } if to == NodeKey::ProcHead(huge)
+        )));
+        // Limit variant must not mark anything whose average exceeds the cap;
+        // it merges loop iterations instead (100-instr iterations, group
+        // 100..=1000).
+        let group = limited.markers.iter().find_map(|(_, m)| match m {
+            Marker::LoopGroup { loop_id, group } => Some((loop_id, group)),
+            _ => None,
+        });
+        let (loop_id, group) = group.expect("limit variant should merge loop iterations");
+        assert_eq!(loop_id, LoopId(1), "inner loop of `huge`");
+        assert!((100..=1000).contains(&group), "group {group} out of range");
+        // 2000 iterations per entry: N should divide evenly.
+        assert_eq!(2000 % group, 0, "group {group} should divide 2000");
+    }
+
+    #[test]
+    fn merged_iterations_respect_bounds() {
+        let program = two_phase_program();
+        let graph = profile(&program);
+        let outcome = select_markers(&graph, &SelectConfig::with_limit(5_000, 40_000));
+        for (_, m) in outcome.markers.iter() {
+            if let Marker::LoopGroup { group, .. } = m {
+                // 100-instruction iterations: group in [50, 400].
+                assert!((50..=400).contains(&group), "group {group}");
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_explain_every_edge() {
+        let program = two_phase_program();
+        let graph = profile(&program);
+        let outcome = select_markers(&graph, &SelectConfig::new(20_000));
+        assert_eq!(outcome.decisions.len(), graph.edges().len());
+        // Every edge selected as a marker carries a Marked decision and
+        // vice versa.
+        for edge in graph.edges() {
+            let from = graph.node(edge.from).key;
+            let to = graph.node(edge.to).key;
+            let is_marked = outcome.markers.edge_marker(from, to).is_some();
+            let says_marked = matches!(
+                outcome.decisions[edge.id.index()],
+                EdgeDecision::Marked | EdgeDecision::MarkedViaCut
+            );
+            assert_eq!(is_marked, says_marked, "edge {from}->{to}");
+        }
+        // Rendering is total.
+        for d in &outcome.decisions {
+            assert!(!d.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn decisions_name_rejection_reasons() {
+        // High-variance edge must be explained as TooVariable, small
+        // edges as TooSmall, and procedures-only filtering as
+        // Ineligible.
+        let mut b = ProgramBuilder::new("p");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(50), |outer| {
+                outer.call("stable");
+                outer.call("wild");
+            });
+        });
+        b.proc("stable", |p| {
+            p.loop_(Trip::Fixed(100), |body| {
+                body.block(100).done();
+            });
+        });
+        b.proc("wild", |p| {
+            p.loop_(Trip::Uniform { lo: 1, hi: 200 }, |body| {
+                body.block(100).done();
+            });
+        });
+        let program = b.build("main").unwrap();
+        let graph = profile(&program);
+        let outcome = select_markers(&graph, &SelectConfig::new(5_000));
+        let wild = program.proc_by_name("wild").unwrap().id;
+        let wild_head = graph.node_by_key(NodeKey::ProcHead(wild)).unwrap();
+        let wild_edge = graph.in_edges(wild_head)[0];
+        assert!(
+            matches!(outcome.decisions[wild_edge.index()], EdgeDecision::TooVariable { .. }),
+            "got {:?}",
+            outcome.decisions[wild_edge.index()]
+        );
+
+        let procs_only = select_markers(&graph, &SelectConfig::new(5_000).procedures_only());
+        let some_loop_edge = graph
+            .edges()
+            .iter()
+            .find(|e| graph.node(e.to).key.is_loop())
+            .expect("graph has loop edges");
+        assert_eq!(
+            procs_only.decisions[some_loop_edge.id.index()],
+            EdgeDecision::Ineligible
+        );
+    }
+
+    #[test]
+    fn empty_graph_selects_nothing() {
+        let graph = CallLoopGraph::new();
+        let outcome = select_markers(&graph, &SelectConfig::new(100));
+        assert!(outcome.markers.is_empty());
+        assert_eq!(outcome.candidate_edges, 0);
+        assert_eq!(outcome.avg_cov, 0.0);
+    }
+}

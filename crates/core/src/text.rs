@@ -1,0 +1,368 @@
+//! Plain-text serialization of call-loop graphs and marker sets, plus
+//! Graphviz (DOT) export.
+//!
+//! Profiles are expensive relative to selection, so a real deployment
+//! profiles once and experiments with marker parameters offline — which
+//! needs the graph on disk. The format is line-oriented and stable:
+//!
+//! ```text
+//! callloop-graph v1
+//! edge <from> <to> <count> <mean> <m2> <min> <max>
+//! ```
+//!
+//! ```text
+//! markers v1
+//! edge <from> <to>
+//! group <loop> <n>
+//! ```
+//!
+//! where node keys print as `root`, `p3.head`, `p3.body`, `L7.head`,
+//! `L7.body` ([`NodeKey`]'s `Display`). [`graph_to_dot`] renders the
+//! paper's Figure 2 view: every edge labelled with `C`, `A`, and CoV.
+
+use crate::graph::{CallLoopGraph, NodeKey};
+use crate::marker::{Marker, MarkerSet};
+use spm_ir::{LoopId, ProcId};
+use spm_stats::Running;
+use std::fmt;
+
+/// Errors from parsing the text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line (0 for a missing
+    /// header).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a node key as printed by its `Display` impl.
+pub fn parse_node_key(s: &str) -> Option<NodeKey> {
+    if s == "root" {
+        return Some(NodeKey::Root);
+    }
+    let (id_part, role) = s.split_once('.')?;
+    let mut chars = id_part.chars();
+    let kind = chars.next()?;
+    let num: u32 = chars.as_str().parse().ok()?;
+    match (kind, role) {
+        ('p', "head") => Some(NodeKey::ProcHead(ProcId(num))),
+        ('p', "body") => Some(NodeKey::ProcBody(ProcId(num))),
+        ('L', "head") => Some(NodeKey::LoopHead(LoopId(num))),
+        ('L', "body") => Some(NodeKey::LoopBody(LoopId(num))),
+        _ => None,
+    }
+}
+
+/// Serializes a call-loop graph; inverse of [`parse_graph`].
+pub fn write_graph(graph: &CallLoopGraph) -> String {
+    let mut out = String::from("callloop-graph v1\n");
+    for edge in graph.edges() {
+        let (count, mean, m2, min, max) = edge.stats.into_parts();
+        out.push_str(&format!(
+            "edge {} {} {} {} {} {} {}\n",
+            graph.node(edge.from).key,
+            graph.node(edge.to).key,
+            count,
+            fmt_f64(mean),
+            fmt_f64(m2),
+            fmt_f64(min),
+            fmt_f64(max),
+        ));
+    }
+    out
+}
+
+/// `f64` formatting that round-trips exactly.
+fn fmt_f64(x: f64) -> String {
+    // `{:?}` prints the shortest representation that parses back to the
+    // same bits for finite values.
+    format!("{x:?}")
+}
+
+/// Parses a graph written by [`write_graph`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the first malformed line.
+pub fn parse_graph(text: &str) -> Result<CallLoopGraph, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == "callloop-graph v1" => {}
+        _ => return Err(err(0, "missing `callloop-graph v1` header")),
+    }
+    let mut graph = CallLoopGraph::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 8 || fields[0] != "edge" {
+            return Err(err(line_no, format!("expected `edge <from> <to> <c> <mean> <m2> <min> <max>`, got `{line}`")));
+        }
+        let from = parse_node_key(fields[1])
+            .ok_or_else(|| err(line_no, format!("bad node key `{}`", fields[1])))?;
+        let to = parse_node_key(fields[2])
+            .ok_or_else(|| err(line_no, format!("bad node key `{}`", fields[2])))?;
+        let count: u64 =
+            fields[3].parse().map_err(|_| err(line_no, "bad count"))?;
+        let nums: Vec<f64> = fields[4..8]
+            .iter()
+            .map(|f| f.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| err(line_no, "bad float field"))?;
+        let stats = Running::from_parts(count, nums[0], nums[1], nums[2], nums[3]);
+        let from = graph.intern(from);
+        let to = graph.intern(to);
+        graph.merge_edge_stats(from, to, &stats);
+    }
+    Ok(graph)
+}
+
+/// Serializes a marker set; inverse of [`parse_markers`].
+pub fn write_markers(markers: &MarkerSet) -> String {
+    let mut out = String::from("markers v1\n");
+    for (_, marker) in markers.iter() {
+        match marker {
+            Marker::Edge { from, to } => out.push_str(&format!("edge {from} {to}\n")),
+            Marker::LoopGroup { loop_id, group } => {
+                out.push_str(&format!("group {} {group}\n", loop_id.0))
+            }
+        }
+    }
+    out
+}
+
+/// Parses a marker set written by [`write_markers`]. Marker ids are
+/// preserved (insertion order equals file order).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the first malformed line.
+///
+/// # Examples
+///
+/// ```
+/// use spm_core::text::{parse_markers, write_markers};
+///
+/// let text = "markers v1\nedge root p0.head\ngroup 2 40\n";
+/// let markers = parse_markers(text).unwrap();
+/// assert_eq!(markers.len(), 2);
+/// assert_eq!(write_markers(&markers), text);
+/// ```
+pub fn parse_markers(text: &str) -> Result<MarkerSet, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == "markers v1" => {}
+        _ => return Err(err(0, "missing `markers v1` header")),
+    }
+    let mut markers = MarkerSet::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["edge", from, to] => {
+                let from = parse_node_key(from)
+                    .ok_or_else(|| err(line_no, format!("bad node key `{from}`")))?;
+                let to = parse_node_key(to)
+                    .ok_or_else(|| err(line_no, format!("bad node key `{to}`")))?;
+                markers.insert(Marker::Edge { from, to });
+            }
+            ["group", loop_id, n] => {
+                let loop_id: u32 =
+                    loop_id.parse().map_err(|_| err(line_no, "bad loop id"))?;
+                let group: u64 = n.parse().map_err(|_| err(line_no, "bad group size"))?;
+                markers.insert(Marker::LoopGroup { loop_id: LoopId(loop_id), group });
+            }
+            _ => return Err(err(line_no, format!("unrecognized marker line `{line}`"))),
+        }
+    }
+    Ok(markers)
+}
+
+/// Renders the graph in Graphviz DOT, each edge labelled with the
+/// paper's Figure 2 annotations (`C`, `A`, CoV). Optionally highlights
+/// marker edges in bold red.
+pub fn graph_to_dot(graph: &CallLoopGraph, markers: Option<&MarkerSet>) -> String {
+    let mut out = String::from("digraph callloop {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for node in graph.nodes() {
+        out.push_str(&format!("  \"{}\";\n", node.key));
+    }
+    for edge in graph.edges() {
+        let from = graph.node(edge.from).key;
+        let to = graph.node(edge.to).key;
+        let marked = markers
+            .and_then(|m| m.edge_marker(from, to))
+            .is_some();
+        let style = if marked { ", color=red, penwidth=2.0" } else { "" };
+        out.push_str(&format!(
+            "  \"{from}\" -> \"{to}\" [label=\"C={} A={:.0} CoV={:.1}%\"{style}];\n",
+            edge.count(),
+            edge.avg(),
+            edge.cov() * 100.0,
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CallLoopProfiler;
+    use crate::select::{select_markers, SelectConfig};
+    use spm_ir::{Input, ProgramBuilder, Trip};
+    use spm_sim::run;
+
+    fn sample_graph() -> CallLoopGraph {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(10), |outer| {
+                outer.call("work");
+            });
+        });
+        b.proc("work", |p| {
+            p.loop_(Trip::Uniform { lo: 5, hi: 50 }, |body| {
+                body.block(100).done();
+            });
+        });
+        let program = b.build("main").unwrap();
+        let mut profiler = CallLoopProfiler::new();
+        run(&program, &Input::new("x", 5), &mut [&mut profiler]).unwrap();
+        profiler.into_graph()
+    }
+
+    #[test]
+    fn node_keys_round_trip() {
+        for key in [
+            NodeKey::Root,
+            NodeKey::ProcHead(ProcId(0)),
+            NodeKey::ProcBody(ProcId(42)),
+            NodeKey::LoopHead(LoopId(7)),
+            NodeKey::LoopBody(LoopId(1)),
+        ] {
+            assert_eq!(parse_node_key(&key.to_string()), Some(key));
+        }
+        assert_eq!(parse_node_key("nonsense"), None);
+        assert_eq!(parse_node_key("p1.middle"), None);
+        assert_eq!(parse_node_key("q1.head"), None);
+    }
+
+    #[test]
+    fn graph_round_trips_exactly() {
+        let graph = sample_graph();
+        let text = write_graph(&graph);
+        let parsed = parse_graph(&text).expect("parses");
+        assert_eq!(parsed.edges().len(), graph.edges().len());
+        for edge in graph.edges() {
+            let from_key = graph.node(edge.from).key;
+            let to_key = graph.node(edge.to).key;
+            let pf = parsed.node_by_key(from_key).expect("node survives");
+            let pt = parsed.node_by_key(to_key).expect("node survives");
+            let pe = parsed.edge_between(pf, pt).expect("edge survives");
+            assert_eq!(pe.count(), edge.count());
+            assert_eq!(pe.avg(), edge.avg(), "exact float round-trip");
+            assert_eq!(pe.cov(), edge.cov());
+            assert_eq!(pe.max(), edge.max());
+        }
+    }
+
+    #[test]
+    fn selection_on_parsed_graph_matches_original() {
+        let graph = sample_graph();
+        let parsed = parse_graph(&write_graph(&graph)).unwrap();
+        let config = SelectConfig::new(1_000);
+        let a = select_markers(&graph, &config);
+        let b = select_markers(&parsed, &config);
+        let set = |o: &crate::select::SelectionOutcome| {
+            let mut v: Vec<String> =
+                o.markers.iter().map(|(_, m)| m.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(set(&a), set(&b));
+    }
+
+    #[test]
+    fn markers_round_trip_with_ids() {
+        let mut markers = MarkerSet::new();
+        markers.insert(Marker::Edge { from: NodeKey::Root, to: NodeKey::ProcHead(ProcId(1)) });
+        markers.insert(Marker::LoopGroup { loop_id: LoopId(3), group: 40 });
+        markers.insert(Marker::Edge {
+            from: NodeKey::LoopBody(LoopId(2)),
+            to: NodeKey::ProcHead(ProcId(9)),
+        });
+        let parsed = parse_markers(&write_markers(&markers)).expect("parses");
+        assert_eq!(parsed.len(), markers.len());
+        for (id, m) in markers.iter() {
+            match m {
+                Marker::Edge { from, to } => assert_eq!(parsed.edge_marker(from, to), Some(id)),
+                Marker::LoopGroup { loop_id, group } => {
+                    assert_eq!(parsed.group_marker(loop_id), Some((group, id)))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        assert_eq!(parse_graph("wrong header").unwrap_err().line, 0);
+        let bad = "callloop-graph v1\nedge root p0.head nonsense 1 2 3 4\n";
+        let e = parse_graph(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+
+        let bad = "markers v1\nedge root\n";
+        assert_eq!(parse_markers(bad).unwrap_err().line, 2);
+        assert!(parse_markers("nope").is_err());
+    }
+
+    proptest::proptest! {
+        /// Arbitrary text fed to the graph/marker parsers errors
+        /// gracefully.
+        #[test]
+        fn parsers_never_panic(src in "[ -~\n]{0,200}") {
+            let _ = parse_graph(&src);
+            let _ = parse_markers(&src);
+            let _ = parse_node_key(&src);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "markers v1\n\n# a comment\nedge root p0.head\n";
+        assert_eq!(parse_markers(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dot_output_contains_annotations_and_highlights() {
+        let graph = sample_graph();
+        let outcome = select_markers(&graph, &SelectConfig::new(1_000));
+        let dot = graph_to_dot(&graph, Some(&outcome.markers));
+        assert!(dot.starts_with("digraph callloop {"));
+        assert!(dot.contains("C="));
+        assert!(dot.contains("CoV="));
+        if !outcome.markers.is_empty() {
+            assert!(dot.contains("color=red"), "markers should be highlighted");
+        }
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,384 @@
+//! Fluent construction of workload programs.
+
+use crate::ids::{BlockId, BranchId, LoopId, ProcId, RegionId, SourceId};
+use crate::program::{
+    AccessPattern, Block, BuildError, CallSite, Cond, IfStmt, Loop, MemRef, Procedure, Program,
+    Region, SizeSpec, Stmt, Trip,
+};
+use std::collections::HashMap;
+
+/// Builds a [`Program`] from procedures, loops, blocks, and regions.
+///
+/// Procedures may be called before they are defined (mutual recursion is
+/// allowed); [`build`](Self::build) verifies that every referenced
+/// procedure was eventually defined.
+///
+/// Every construct receives a fresh [`SourceId`] at creation, which
+/// compilation transforms preserve — the equivalent of source line
+/// numbers in the paper's cross-binary experiments.
+///
+/// # Examples
+///
+/// ```
+/// use spm_ir::{ProgramBuilder, Trip};
+///
+/// let mut b = ProgramBuilder::new("example");
+/// let heap = b.region_bytes("heap", 1 << 20);
+/// b.proc("main", |p| {
+///     p.loop_(Trip::Fixed(10), |body| {
+///         body.call("work");
+///     });
+/// });
+/// b.proc("work", |p| {
+///     p.block(100).chase_read(heap, 16).done();
+/// });
+/// let program = b.build("main").unwrap();
+/// assert_eq!(program.procs().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    regions: Vec<Region>,
+    procs: Vec<Option<Procedure>>,
+    proc_ids: HashMap<String, ProcId>,
+    next_source: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            regions: Vec::new(),
+            procs: Vec::new(),
+            proc_ids: HashMap::new(),
+            next_source: 0,
+        }
+    }
+
+    fn fresh_source(&mut self) -> SourceId {
+        let id = SourceId(self.next_source);
+        self.next_source += 1;
+        id
+    }
+
+    fn proc_id(&mut self, name: &str) -> ProcId {
+        if let Some(&id) = self.proc_ids.get(name) {
+            return id;
+        }
+        let id = ProcId::from(self.procs.len());
+        self.procs.push(None);
+        self.proc_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares a fixed-size data region and returns its id.
+    pub fn region_bytes(&mut self, name: impl Into<String>, bytes: u64) -> RegionId {
+        self.region(name, SizeSpec::Bytes(bytes))
+    }
+
+    /// Declares a region whose size is `bytes_per * input.param(param)`.
+    pub fn region_scaled(
+        &mut self,
+        name: impl Into<String>,
+        param: impl Into<String>,
+        bytes_per: u64,
+    ) -> RegionId {
+        self.region(name, SizeSpec::ParamScaled { param: param.into(), bytes_per })
+    }
+
+    /// Declares a data region with an explicit [`SizeSpec`].
+    pub fn region(&mut self, name: impl Into<String>, size: SizeSpec) -> RegionId {
+        let id = RegionId::from(self.regions.len());
+        self.regions.push(Region { id, name: name.into(), size });
+        id
+    }
+
+    /// Defines a procedure. The closure receives a [`BodyBuilder`] for the
+    /// procedure body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a procedure with this name has already been *defined*
+    /// (calling a not-yet-defined procedure is fine).
+    pub fn proc(&mut self, name: &str, f: impl FnOnce(&mut BodyBuilder<'_>)) {
+        let id = self.proc_id(name);
+        assert!(
+            self.procs[id.index()].is_none(),
+            "procedure `{name}` defined more than once"
+        );
+        let source = self.fresh_source();
+        let mut body = BodyBuilder { builder: self, stmts: Vec::new() };
+        f(&mut body);
+        let stmts = body.stmts;
+        self.procs[id.index()] =
+            Some(Procedure { id, name: name.to_string(), body: stmts, source });
+    }
+
+    /// Finalizes the program with the given entry procedure: resolves all
+    /// call targets, assigns dense ids, and builds the summary tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UndefinedProcedure`] if any called procedure
+    /// was never defined, and [`BuildError::UndefinedEntry`] if the entry
+    /// name is unknown or undefined.
+    pub fn build(self, entry: &str) -> Result<Program, BuildError> {
+        let entry_id = match self.proc_ids.get(entry) {
+            Some(&id) if self.procs[id.index()].is_some() => id,
+            _ => return Err(BuildError::UndefinedEntry(entry.to_string())),
+        };
+        let mut procs = Vec::with_capacity(self.procs.len());
+        for (slot, (name, _)) in self.procs.into_iter().zip(sorted_by_id(&self.proc_ids)) {
+            match slot {
+                Some(p) => procs.push(p),
+                None => return Err(BuildError::UndefinedProcedure(name)),
+            }
+        }
+        let mut program = Program {
+            name: self.name,
+            procs,
+            entry: entry_id,
+            regions: self.regions,
+            block_sizes: Vec::new(),
+            block_sources: Vec::new(),
+            loop_sources: Vec::new(),
+            branch_count: 0,
+        };
+        program.renumber();
+        Ok(program)
+    }
+}
+
+/// Returns `(name, id)` pairs ordered by id, so undefined-procedure
+/// errors name the right procedure.
+fn sorted_by_id(map: &HashMap<String, ProcId>) -> Vec<(String, ProcId)> {
+    let mut pairs: Vec<(String, ProcId)> =
+        map.iter().map(|(name, &id)| (name.clone(), id)).collect();
+    pairs.sort_by_key(|(_, id)| *id);
+    pairs
+}
+
+/// Builds a list of statements (a procedure body, loop body, or branch
+/// arm).
+#[derive(Debug)]
+pub struct BodyBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    stmts: Vec<Stmt>,
+}
+
+impl<'a> BodyBuilder<'a> {
+    /// Starts a basic block of `instrs` instructions; finish it with
+    /// [`BlockBuilder::done`].
+    pub fn block(&mut self, instrs: u32) -> BlockBuilder<'_, 'a> {
+        let source = self.builder.fresh_source();
+        BlockBuilder {
+            body: self,
+            block: Block { id: BlockId(0), instrs, base_cpi: 1.0, mem: Vec::new(), source },
+        }
+    }
+
+    /// Adds a loop with the given trip-count generator.
+    pub fn loop_(&mut self, trip: Trip, f: impl FnOnce(&mut BodyBuilder<'_>)) {
+        let source = self.builder.fresh_source();
+        let mut inner = BodyBuilder { builder: self.builder, stmts: Vec::new() };
+        f(&mut inner);
+        let body = inner.stmts;
+        self.stmts.push(Stmt::Loop(Loop { id: LoopId(0), trip, body, source }));
+    }
+
+    /// Adds a call to the named procedure (which may be defined later).
+    pub fn call(&mut self, target: &str) {
+        let target = self.builder.proc_id(target);
+        let source = self.builder.fresh_source();
+        self.stmts.push(Stmt::Call(CallSite { target, source }));
+    }
+
+    /// Adds a conditional with an arbitrary [`Cond`].
+    pub fn if_(
+        &mut self,
+        cond: Cond,
+        then_f: impl FnOnce(&mut BodyBuilder<'_>),
+        else_f: impl FnOnce(&mut BodyBuilder<'_>),
+    ) {
+        let source = self.builder.fresh_source();
+        let mut then_b = BodyBuilder { builder: self.builder, stmts: Vec::new() };
+        then_f(&mut then_b);
+        let then_body = then_b.stmts;
+        let mut else_b = BodyBuilder { builder: self.builder, stmts: Vec::new() };
+        else_f(&mut else_b);
+        let else_body = else_b.stmts;
+        self.stmts.push(Stmt::If(IfStmt { id: BranchId(0), cond, then_body, else_body, source }));
+    }
+
+    /// Adds a conditional taken with probability `p`.
+    pub fn if_prob(
+        &mut self,
+        p: f64,
+        then_f: impl FnOnce(&mut BodyBuilder<'_>),
+        else_f: impl FnOnce(&mut BodyBuilder<'_>),
+    ) {
+        self.if_(Cond::Prob(p), then_f, else_f);
+    }
+
+    /// Adds a conditional taken on every `period`-th execution.
+    pub fn if_periodic(
+        &mut self,
+        period: u64,
+        offset: u64,
+        then_f: impl FnOnce(&mut BodyBuilder<'_>),
+        else_f: impl FnOnce(&mut BodyBuilder<'_>),
+    ) {
+        self.if_(Cond::Periodic { period, offset }, then_f, else_f);
+    }
+}
+
+/// Configures one basic block; finish with [`done`](Self::done).
+#[must_use = "call .done() to add the block to the enclosing body"]
+#[derive(Debug)]
+pub struct BlockBuilder<'b, 'a> {
+    body: &'b mut BodyBuilder<'a>,
+    block: Block,
+}
+
+impl BlockBuilder<'_, '_> {
+    /// Sets the block's base CPI (default 1.0).
+    pub fn base_cpi(mut self, cpi: f64) -> Self {
+        self.block.base_cpi = cpi;
+        self
+    }
+
+    /// Adds an arbitrary memory reference.
+    pub fn mem(mut self, region: RegionId, pattern: AccessPattern, count: u32, write: bool) -> Self {
+        self.block.mem.push(MemRef { region, pattern, count, write });
+        self
+    }
+
+    /// Adds `count` sequential (unit-stride) reads of `region` per
+    /// execution.
+    pub fn seq_read(self, region: RegionId, count: u32) -> Self {
+        self.mem(region, AccessPattern::Sequential { stride: 8 }, count, false)
+    }
+
+    /// Adds `count` sequential (unit-stride) writes of `region` per
+    /// execution.
+    pub fn seq_write(self, region: RegionId, count: u32) -> Self {
+        self.mem(region, AccessPattern::Sequential { stride: 8 }, count, true)
+    }
+
+    /// Adds `count` strided reads of `region` per execution.
+    pub fn stride_read(self, region: RegionId, count: u32, stride: u32) -> Self {
+        self.mem(region, AccessPattern::Sequential { stride }, count, false)
+    }
+
+    /// Adds `count` uniformly random reads of `region` per execution.
+    pub fn rand_read(self, region: RegionId, count: u32) -> Self {
+        self.mem(region, AccessPattern::Random, count, false)
+    }
+
+    /// Adds `count` uniformly random writes of `region` per execution.
+    pub fn rand_write(self, region: RegionId, count: u32) -> Self {
+        self.mem(region, AccessPattern::Random, count, true)
+    }
+
+    /// Adds `count` pointer-chasing reads of `region` per execution.
+    pub fn chase_read(self, region: RegionId, count: u32) -> Self {
+        self.mem(region, AccessPattern::PointerChase, count, false)
+    }
+
+    /// Adds `count` hotspot reads of `region` (90% land in the hottest
+    /// `hot_pct` percent).
+    pub fn hot_read(self, region: RegionId, count: u32, hot_pct: u8) -> Self {
+        self.mem(region, AccessPattern::Hotspot { hot_pct }, count, false)
+    }
+
+    /// Finishes the block and appends it to the enclosing body.
+    pub fn done(self) {
+        self.body.stmts.push(Stmt::Block(self.block));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_calls_resolve() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("later"));
+        b.proc("later", |p| p.block(1).done());
+        let prog = b.build("main").unwrap();
+        let main = prog.proc_by_name("main").unwrap();
+        match &main.body[0] {
+            Stmt::Call(c) => {
+                assert_eq!(prog.proc(c.target).name, "later");
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_call_is_an_error() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("ghost"));
+        assert_eq!(
+            b.build("main"),
+            Err(BuildError::UndefinedProcedure("ghost".to_string()))
+        );
+    }
+
+    #[test]
+    fn undefined_entry_is_an_error() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.block(1).done());
+        assert_eq!(b.build("nope"), Err(BuildError::UndefinedEntry("nope".to_string())));
+    }
+
+    #[test]
+    fn entry_must_be_defined_not_just_referenced() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.call("helper"));
+        // `helper` is referenced but never defined; using it as entry fails.
+        assert_eq!(b.build("helper"), Err(BuildError::UndefinedEntry("helper".to_string())));
+    }
+
+    #[test]
+    #[should_panic(expected = "defined more than once")]
+    fn duplicate_definition_panics() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| p.block(1).done());
+        b.proc("main", |p| p.block(2).done());
+    }
+
+    #[test]
+    fn source_ids_are_unique() {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.region_bytes("d", 1024);
+        b.proc("main", |p| {
+            p.block(1).seq_read(r, 1).done();
+            p.loop_(Trip::Fixed(2), |body| {
+                body.block(2).done();
+            });
+            p.if_prob(0.1, |t| t.block(3).done(), |_| {});
+        });
+        let prog = b.build("main").unwrap();
+        let mut sources: Vec<u32> = prog.block_sources().iter().map(|s| s.0).collect();
+        sources.extend(prog.loop_sources().iter().map(|s| s.0));
+        sources.extend(prog.proc_sources().iter().map(|s| s.0));
+        let len = sources.len();
+        sources.sort_unstable();
+        sources.dedup();
+        assert_eq!(sources.len(), len, "duplicate source ids");
+    }
+
+    #[test]
+    fn recursion_builds() {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("fib", |p| {
+            p.block(5).done();
+            p.if_prob(0.5, |t| t.call("fib"), |_| {});
+        });
+        let prog = b.build("fib").unwrap();
+        assert_eq!(prog.procs().len(), 1);
+    }
+}

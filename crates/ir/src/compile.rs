@@ -1,0 +1,330 @@
+//! Compilation transforms: lowering one source program under different
+//! "compilers" / "ISAs".
+//!
+//! The paper's Section 6.2.1 selects one marker set that is valid across
+//! two compilations of the same source (unoptimized and peak-optimized
+//! Alpha; Figure 4 maps Alpha markers onto a Linux x86 binary through
+//! source line numbers). We model a compilation as a deterministic
+//! transform of the IR:
+//!
+//! * **instruction-selection cost scaling** — every block's instruction
+//!   count is scaled (different ISAs need different instruction counts
+//!   for the same source statement),
+//! * **loop unrolling** — straight-line bodies of fixed-trip loops are
+//!   replicated, dividing the trip count, and
+//! * **inlining** — calls to small straight-line procedures are replaced
+//!   by the callee body.
+//!
+//! All transforms preserve [`SourceId`](crate::SourceId)s, so markers can
+//! be mapped across binaries exactly as the paper maps them through debug
+//! line information. Unrolling changes *iteration* counts (so loop-body
+//! markers are not portable) and inlining deletes call sites (so those
+//! call markers disappear) — faithful to the paper's remark about
+//! "picking phase markers that are not compiled away".
+
+use crate::program::{Procedure, Program, Stmt, Trip};
+
+/// A compilation configuration: one "compiler + ISA" lowering.
+///
+/// # Examples
+///
+/// ```
+/// use spm_ir::{compile, CompileConfig, ProgramBuilder, Trip};
+///
+/// let mut b = ProgramBuilder::new("t");
+/// b.proc("main", |p| {
+///     p.loop_(Trip::Fixed(8), |body| {
+///         body.block(10).done();
+///     });
+/// });
+/// let source = b.build("main").unwrap();
+/// let opt = compile(&source, &CompileConfig::optimized());
+/// // Unrolling by 4 leaves 2 iterations of a 4x body.
+/// assert_eq!(opt.block_count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileConfig {
+    /// Name of the configuration (e.g. `"alpha-O0"`).
+    pub name: &'static str,
+    /// Multiplier on every block's instruction count (rounded, min 1).
+    pub cost_scale: f64,
+    /// Multiplier on every block's base CPI.
+    pub cpi_scale: f64,
+    /// Unroll factor for fixed-trip, straight-line loops (1 = off).
+    pub unroll: u32,
+    /// Inline callees whose bodies are at most this many straight-line
+    /// blocks (0 = off).
+    pub inline_max_blocks: usize,
+}
+
+impl CompileConfig {
+    /// Identity lowering: the "native Alpha" baseline binary.
+    pub fn baseline() -> Self {
+        Self { name: "baseline", cost_scale: 1.0, cpi_scale: 1.0, unroll: 1, inline_max_blocks: 0 }
+    }
+
+    /// A different ISA: more instructions per source statement, slightly
+    /// lower base CPI (the paper's Alpha-to-x86 mapping experiment).
+    pub fn alt_isa() -> Self {
+        Self { name: "alt-isa", cost_scale: 1.4, cpi_scale: 0.85, unroll: 1, inline_max_blocks: 0 }
+    }
+
+    /// Unoptimized build: bloated blocks, no unrolling or inlining.
+    pub fn unoptimized() -> Self {
+        Self { name: "O0", cost_scale: 1.6, cpi_scale: 1.1, unroll: 1, inline_max_blocks: 0 }
+    }
+
+    /// Peak-optimized build: tighter code, 4x unrolling, small-procedure
+    /// inlining.
+    pub fn optimized() -> Self {
+        Self { name: "peak", cost_scale: 0.8, cpi_scale: 0.95, unroll: 4, inline_max_blocks: 3 }
+    }
+}
+
+impl Default for CompileConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// Lowers `source` under `config`, producing a new numbered [`Program`].
+///
+/// [`SourceId`](crate::SourceId)s are preserved on every surviving
+/// construct; dense block/loop/branch ids are reassigned.
+pub fn compile(source: &Program, config: &CompileConfig) -> Program {
+    let mut program = source.clone();
+    let inlinable: Vec<Option<Vec<Stmt>>> =
+        program.procs.iter().map(|p| inlinable_body(p, config.inline_max_blocks)).collect();
+    for proc in &mut program.procs {
+        transform_stmts(&mut proc.body, config, &inlinable);
+    }
+    program.name = format!("{}:{}", source.name, config.name);
+    program.renumber();
+    program
+}
+
+/// Returns the callee body to paste at call sites, if the procedure is
+/// small and straight-line (blocks only).
+fn inlinable_body(proc: &Procedure, max_blocks: usize) -> Option<Vec<Stmt>> {
+    if max_blocks == 0 || proc.body.len() > max_blocks {
+        return None;
+    }
+    if proc.body.iter().all(|s| matches!(s, Stmt::Block(_))) {
+        Some(proc.body.clone())
+    } else {
+        None
+    }
+}
+
+fn transform_stmts(stmts: &mut Vec<Stmt>, config: &CompileConfig, inlinable: &[Option<Vec<Stmt>>]) {
+    let mut out = Vec::with_capacity(stmts.len());
+    for mut stmt in std::mem::take(stmts) {
+        match &mut stmt {
+            Stmt::Block(b) => {
+                b.instrs = ((b.instrs as f64 * config.cost_scale).round() as u32).max(1);
+                b.base_cpi *= config.cpi_scale;
+                out.push(stmt);
+            }
+            Stmt::Loop(l) => {
+                transform_stmts(&mut l.body, config, inlinable);
+                maybe_unroll(l, config.unroll);
+                out.push(stmt);
+            }
+            Stmt::Call(c) => {
+                if let Some(body) = &inlinable[c.target.index()] {
+                    // Paste a cost-scaled copy of the callee; source ids of
+                    // the callee blocks are preserved (same source lines).
+                    let mut copy = body.clone();
+                    transform_stmts(&mut copy, config, inlinable);
+                    out.extend(copy);
+                } else {
+                    out.push(stmt);
+                }
+            }
+            Stmt::If(i) => {
+                transform_stmts(&mut i.then_body, config, inlinable);
+                transform_stmts(&mut i.else_body, config, inlinable);
+                out.push(stmt);
+            }
+        }
+    }
+    *stmts = out;
+}
+
+/// Unrolls a fixed-trip, straight-line loop by the factor when the trip
+/// count divides evenly.
+fn maybe_unroll(l: &mut crate::program::Loop, factor: u32) {
+    if factor <= 1 {
+        return;
+    }
+    let factor = factor as u64;
+    let Trip::Fixed(n) = l.trip else { return };
+    if n < factor || n % factor != 0 {
+        return;
+    }
+    if !l.body.iter().all(|s| matches!(s, Stmt::Block(_))) {
+        return;
+    }
+    let original = l.body.clone();
+    for _ in 1..factor {
+        l.body.extend(original.iter().cloned());
+    }
+    l.trip = Trip::Fixed(n / factor);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn two_proc_program() -> Program {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.region_bytes("d", 4096);
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(12), |body| {
+                body.block(10).seq_read(r, 2).done();
+                body.call("tiny");
+            });
+            p.call("tiny");
+        });
+        b.proc("tiny", |p| {
+            p.block(4).done();
+        });
+        b.build("main").unwrap()
+    }
+
+    #[test]
+    fn baseline_is_identity_up_to_name() {
+        let src = two_proc_program();
+        let out = compile(&src, &CompileConfig::baseline());
+        assert_eq!(out.block_sizes(), src.block_sizes());
+        assert_eq!(out.loop_count(), src.loop_count());
+        assert_eq!(out.name(), "t:baseline");
+    }
+
+    #[test]
+    fn cost_scale_scales_blocks() {
+        let src = two_proc_program();
+        let out = compile(&src, &CompileConfig::alt_isa());
+        // 10 * 1.4 = 14, 4 * 1.4 = 5.6 -> 6
+        assert_eq!(out.block_sizes(), &[14, 6]);
+    }
+
+    #[test]
+    fn inlining_removes_call_sites() {
+        let src = two_proc_program();
+        let out = compile(&src, &CompileConfig::optimized());
+        let main = out.proc_by_name("main").unwrap();
+        let has_call = |stmts: &[Stmt]| stmts.iter().any(|s| matches!(s, Stmt::Call(_)));
+        fn any_call(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::Call(_) => true,
+                Stmt::Loop(l) => any_call(&l.body),
+                Stmt::If(i) => any_call(&i.then_body) || any_call(&i.else_body),
+                Stmt::Block(_) => false,
+            })
+        }
+        assert!(!any_call(&main.body), "calls to tiny should be inlined");
+        let _ = has_call;
+    }
+
+    #[test]
+    fn inlined_blocks_keep_source_ids() {
+        let src = two_proc_program();
+        let tiny_block_source = match &src.proc_by_name("tiny").unwrap().body[0] {
+            Stmt::Block(b) => b.source,
+            _ => unreachable!(),
+        };
+        let out = compile(&src, &CompileConfig::optimized());
+        let count = out
+            .block_sources()
+            .iter()
+            .filter(|&&s| s == tiny_block_source)
+            .count();
+        // Inlined at two call sites + original definition body.
+        assert!(count >= 3, "expected >=3 copies of tiny's block source, got {count}");
+    }
+
+    #[test]
+    fn unroll_divides_trip_and_replicates_body() {
+        let mut b = ProgramBuilder::new("u");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(12), |body| {
+                body.block(10).done();
+            });
+        });
+        let src = b.build("main").unwrap();
+        let out = compile(&src, &CompileConfig { unroll: 4, ..CompileConfig::baseline() });
+        let main = out.proc_by_name("main").unwrap();
+        match &main.body[0] {
+            Stmt::Loop(l) => {
+                assert_eq!(l.trip, Trip::Fixed(3));
+                assert_eq!(l.body.len(), 4);
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unroll_skips_non_dividing_and_non_straightline() {
+        let mut b = ProgramBuilder::new("u");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(7), |body| {
+                body.block(10).done();
+            });
+            p.loop_(Trip::Fixed(8), |body| {
+                body.call("f");
+            });
+            p.loop_(Trip::Uniform { lo: 1, hi: 9 }, |body| {
+                body.block(10).done();
+            });
+        });
+        b.proc("f", |p| p.block(1).done());
+        let src = b.build("main").unwrap();
+        let out = compile(
+            &src,
+            &CompileConfig { unroll: 4, inline_max_blocks: 0, ..CompileConfig::baseline() },
+        );
+        let main = out.proc_by_name("main").unwrap();
+        for stmt in &main.body {
+            if let Stmt::Loop(l) = stmt {
+                assert_eq!(l.body.len(), 1, "no loop should have been unrolled");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_work_is_preserved_by_unrolling() {
+        // Total expected block executions * instructions should be the
+        // same before and after unrolling.
+        let mut b = ProgramBuilder::new("u");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(100), |body| {
+                body.block(10).done();
+            });
+        });
+        let src = b.build("main").unwrap();
+        let out = compile(&src, &CompileConfig { unroll: 4, ..CompileConfig::baseline() });
+        let work = |prog: &Program| -> f64 {
+            let main = prog.proc_by_name("main").unwrap();
+            match &main.body[0] {
+                Stmt::Loop(l) => {
+                    let per_iter: u32 = l
+                        .body
+                        .iter()
+                        .map(|s| match s {
+                            Stmt::Block(b) => b.instrs,
+                            _ => 0,
+                        })
+                        .sum();
+                    match l.trip {
+                        Trip::Fixed(n) => n as f64 * per_iter as f64,
+                        _ => unreachable!(),
+                    }
+                }
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(work(&src), work(&out));
+    }
+}

@@ -1,0 +1,92 @@
+//! Newtype identifiers for program entities.
+//!
+//! All ids are dense indices assigned during [`Program`](crate::Program)
+//! numbering, except [`SourceId`], which is assigned once at build time
+//! and survives compilation transforms — it plays the role of the debug
+//! line-number information the paper uses to map Alpha markers onto x86
+//! binaries.
+
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the id as a dense `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Identifies a procedure within one compiled [`Program`](crate::Program).
+    ProcId,
+    "p"
+);
+dense_id!(
+    /// Identifies a loop within one compiled [`Program`](crate::Program).
+    LoopId,
+    "L"
+);
+dense_id!(
+    /// Identifies a basic block within one compiled [`Program`](crate::Program).
+    BlockId,
+    "b"
+);
+dense_id!(
+    /// Identifies a conditional branch (an `if`) within one compiled
+    /// [`Program`](crate::Program); used to index branch-predictor state.
+    BranchId,
+    "br"
+);
+dense_id!(
+    /// Identifies a data region (a named memory range) of a program.
+    RegionId,
+    "r"
+);
+dense_id!(
+    /// A stable *source location*: assigned when a program is first built
+    /// and preserved by every compilation transform, like the line-number
+    /// debug information the paper uses to map markers across binaries.
+    SourceId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ProcId(3).to_string(), "p3");
+        assert_eq!(LoopId(0).to_string(), "L0");
+        assert_eq!(BlockId(7).to_string(), "b7");
+        assert_eq!(BranchId(1).to_string(), "br1");
+        assert_eq!(RegionId(2).to_string(), "r2");
+        assert_eq!(SourceId(9).to_string(), "s9");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let id = BlockId::from(42usize);
+        assert_eq!(id.index(), 42);
+    }
+}

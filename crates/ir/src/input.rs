@@ -1,0 +1,93 @@
+//! Program inputs: named parameter sets, mirroring SPEC `train`/`ref`
+//! input pairs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named input to a workload program.
+///
+/// Inputs carry a deterministic RNG seed plus integer parameters that
+/// trip counts, branch conditions, and region sizes may reference, so the
+/// same program exhibits input-dependent behaviour — the property the
+/// paper's *cross-train* experiments (select markers on `train`, measure
+/// on `ref`) depend on.
+///
+/// # Examples
+///
+/// ```
+/// use spm_ir::Input;
+///
+/// let input = Input::new("train", 42).with("blocks", 100).with("insize", 1 << 16);
+/// assert_eq!(input.param("blocks"), Some(100));
+/// assert_eq!(input.param("missing"), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Input {
+    name: String,
+    seed: u64,
+    params: BTreeMap<String, u64>,
+}
+
+impl Input {
+    /// Creates an input with the given name and RNG seed and no
+    /// parameters.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        Self { name: name.into(), seed, params: BTreeMap::new() }
+    }
+
+    /// Adds (or replaces) a parameter, builder-style.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: u64) -> Self {
+        self.params.insert(key.into(), value);
+        self
+    }
+
+    /// The input's name (e.g. `"train"` or `"ref"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The deterministic RNG seed used by the execution engine.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Looks up a parameter value.
+    pub fn param(&self, key: &str) -> Option<u64> {
+        self.params.get(key).copied()
+    }
+
+    /// Iterates over all `(name, value)` parameters in name order.
+    pub fn params(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl fmt::Display for Input {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(seed={})", self.name, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_replaces_existing() {
+        let input = Input::new("ref", 1).with("n", 5).with("n", 7);
+        assert_eq!(input.param("n"), Some(7));
+    }
+
+    #[test]
+    fn params_iterates_in_name_order() {
+        let input = Input::new("ref", 1).with("zeta", 1).with("alpha", 2);
+        let names: Vec<&str> = input.params().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn display_includes_seed() {
+        assert_eq!(Input::new("train", 9).to_string(), "train(seed=9)");
+    }
+}

@@ -1,0 +1,57 @@
+//! Workload intermediate representation for the phase-marker pipeline.
+//!
+//! The CGO'06 paper profiles Alpha binaries with ATOM. We do not have
+//! ATOM, Alpha binaries, or SPEC inputs, so this crate defines the
+//! *closest synthetic equivalent*: a structured program representation
+//! with **procedures**, **loops**, **basic blocks**, **conditional
+//! branches**, and **memory references** with explicit access patterns.
+//! The interpreter in `spm-sim` executes these programs and emits exactly
+//! the event stream ATOM instrumentation would deliver (block executions,
+//! calls/returns, loop back-edges, data addresses), which is all any of
+//! the paper's analyses consume.
+//!
+//! Programs are built with [`ProgramBuilder`], parameterized by an
+//! [`Input`] (the paper's `train` vs `ref` inputs), and can be lowered
+//! under different [`CompileConfig`]s — emulating the paper's
+//! cross-compilation and cross-ISA experiments, where phase markers chosen
+//! on an Alpha binary are mapped through source locations onto an x86
+//! binary.
+//!
+//! # Examples
+//!
+//! ```
+//! use spm_ir::{ProgramBuilder, Trip};
+//!
+//! let mut b = ProgramBuilder::new("toy");
+//! let data = b.region_bytes("data", 1 << 16);
+//! b.proc("main", |p| {
+//!     p.loop_(Trip::Fixed(100), |body| {
+//!         body.block(50).seq_read(data, 8).done();
+//!     });
+//! });
+//! let program = b.build("main").unwrap();
+//! assert_eq!(program.name(), "toy");
+//! assert!(program.block_count() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod compile;
+mod estimate;
+mod ids;
+mod input;
+pub mod parse;
+mod program;
+
+pub use builder::{BlockBuilder, BodyBuilder, ProgramBuilder};
+pub use compile::{compile, CompileConfig};
+pub use estimate::{estimate_work, WorkEstimate};
+pub use ids::{BlockId, BranchId, LoopId, ProcId, RegionId, SourceId};
+pub use input::Input;
+pub use parse::{parse_workload, write_workload, DslError, ParsedWorkload};
+pub use program::{
+    AccessPattern, Block, BuildError, CallSite, Cond, IfStmt, Loop, MemRef, Procedure, Program,
+    Region, SizeSpec, Stmt, Trip,
+};

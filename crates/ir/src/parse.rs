@@ -1,0 +1,849 @@
+//! A small text language for workload programs.
+//!
+//! Programs built with [`ProgramBuilder`] require
+//! Rust; this module lets a downstream user describe a workload — and
+//! its inputs — in a plain-text file instead:
+//!
+//! ```text
+//! program toy
+//!
+//! region data bytes 65536
+//! region heap scaled heapsize 1
+//!
+//! input train seed 1 { chunks 10  heapsize 4096 }
+//! input ref   seed 2 { chunks 80  heapsize 65536 }
+//!
+//! proc main {
+//!   loop param chunks {
+//!     call work
+//!     if periodic 4 0 {
+//!       block 30 { write data seq 4 }
+//!     } else { }
+//!   }
+//! }
+//!
+//! proc work {
+//!   loop jitter 500 5 {
+//!     block 60 cpi 0.8 { read data seq 2 ; read heap chase 1 }
+//!   }
+//! }
+//! ```
+//!
+//! Statements: `block N [cpi F] [{ memrefs }]`, `loop TRIP { ... }`,
+//! `call NAME`, `if COND { ... } else { ... }`. Trip counts:
+//! `fixed N`, `param NAME`, `scaled NAME DIV`, `uniform LO HI`,
+//! `jitter MEAN PCT`. Conditions: `prob F`, `periodic PERIOD OFFSET`,
+//! `param_at_least NAME N`. Memory references:
+//! `read|write REGION PATTERN COUNT` with patterns `seq [STRIDE]`,
+//! `rand`, `chase`, `hot PCT`. Comments run from `#` to end of line.
+//! The entry procedure is `main`.
+
+use crate::builder::{BlockBuilder, BodyBuilder, ProgramBuilder};
+use crate::input::Input;
+use crate::program::{AccessPattern, BuildError, Cond, Program, Trip};
+use std::fmt;
+
+/// A parsed workload file: the program plus its named inputs.
+#[derive(Debug, Clone)]
+pub struct ParsedWorkload {
+    /// The program, entry procedure `main`.
+    pub program: Program,
+    /// The `input` blocks, in file order.
+    pub inputs: Vec<Input>,
+}
+
+impl ParsedWorkload {
+    /// The input with the given name, if declared.
+    pub fn input(&self, name: &str) -> Option<&Input> {
+        self.inputs.iter().find(|i| i.name() == name)
+    }
+}
+
+/// A parse or build failure, with the source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line of the offending token (0 = end of input).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+impl From<BuildError> for DslError {
+    fn from(e: BuildError) -> Self {
+        DslError { line: 0, message: e.to_string() }
+    }
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    LBrace,
+    RBrace,
+    Semi,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Number(n) => write!(f, "`{n}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Semi => write!(f, "`;`"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, DslError> {
+    let mut out = Vec::new();
+    for (i, raw_line) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.split('#').next().unwrap_or("");
+        let mut chars = line.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                '{' => {
+                    chars.next();
+                    out.push((line_no, Tok::LBrace));
+                }
+                '}' => {
+                    chars.next();
+                    out.push((line_no, Tok::RBrace));
+                }
+                ';' => {
+                    chars.next();
+                    out.push((line_no, Tok::Semi));
+                }
+                c if c.is_ascii_digit() => {
+                    let mut text = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_digit() || c == '.' || c == '_' {
+                            if c != '_' {
+                                text.push(c);
+                            }
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let value: f64 = text.parse().map_err(|_| DslError {
+                        line: line_no,
+                        message: format!("bad number `{text}`"),
+                    })?;
+                    out.push((line_no, Tok::Number(value)));
+                }
+                c if c.is_alphanumeric() || c == '_' => {
+                    let mut text = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            text.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push((line_no, Tok::Ident(text)));
+                }
+                other => {
+                    return Err(DslError {
+                        line: line_no,
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).map_or_else(
+            || self.toks.last().map_or(0, |t| t.0),
+            |t| t.0,
+        )
+    }
+
+    fn err(&self, message: impl Into<String>) -> DslError {
+        DslError { line: self.line(), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.1)
+    }
+
+    fn next(&mut self) -> Result<Tok, DslError> {
+        let tok = self
+            .toks
+            .get(self.pos)
+            .map(|t| t.1.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(tok)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, DslError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(DslError {
+                line: self.toks[self.pos - 1].0,
+                message: format!("expected {what}, got {other}"),
+            }),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DslError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(s) if s == kw => Ok(()),
+            other => Err(DslError { line, message: format!("expected `{kw}`, got {other}") }),
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<f64, DslError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Number(n) => Ok(n),
+            other => Err(DslError { line, message: format!("expected {what}, got {other}") }),
+        }
+    }
+
+    fn expect_u64(&mut self, what: &str) -> Result<u64, DslError> {
+        let line = self.line();
+        let n = self.expect_number(what)?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(DslError { line, message: format!("{what} must be a non-negative integer") });
+        }
+        Ok(n as u64)
+    }
+
+    fn expect_tok(&mut self, tok: Tok) -> Result<(), DslError> {
+        let line = self.line();
+        let got = self.next()?;
+        if got == tok {
+            Ok(())
+        } else {
+            Err(DslError { line, message: format!("expected {tok}, got {got}") })
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+}
+
+/// Parses a workload file. See the module docs for the grammar.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] naming the line of the first problem,
+/// including semantic ones (undefined regions or procedures).
+pub fn parse_workload(src: &str) -> Result<ParsedWorkload, DslError> {
+    let mut p = Parser { toks: lex(src)?, pos: 0 };
+    p.expect_keyword("program")?;
+    let name = p.expect_ident("program name")?;
+    let mut builder = ProgramBuilder::new(name);
+    let mut regions: Vec<(String, crate::RegionId)> = Vec::new();
+    let mut inputs = Vec::new();
+    let mut defined_any_proc = false;
+
+    while p.peek().is_some() {
+        if p.at_keyword("region") {
+            p.next()?;
+            let rname = p.expect_ident("region name")?;
+            let id = if p.at_keyword("bytes") {
+                p.next()?;
+                let bytes = p.expect_u64("byte size")?;
+                builder.region_bytes(rname.clone(), bytes)
+            } else if p.at_keyword("scaled") {
+                p.next()?;
+                let param = p.expect_ident("parameter name")?;
+                let per = p.expect_u64("bytes per unit")?;
+                builder.region_scaled(rname.clone(), param, per)
+            } else {
+                return Err(p.err("expected `bytes N` or `scaled PARAM N`"));
+            };
+            regions.push((rname, id));
+        } else if p.at_keyword("input") {
+            p.next()?;
+            let iname = p.expect_ident("input name")?;
+            p.expect_keyword("seed")?;
+            let seed = p.expect_u64("seed")?;
+            p.expect_tok(Tok::LBrace)?;
+            let mut input = Input::new(iname, seed);
+            while !matches!(p.peek(), Some(Tok::RBrace)) {
+                let key = p.expect_ident("parameter name")?;
+                let value = p.expect_u64("parameter value")?;
+                input = input.with(key, value);
+            }
+            p.expect_tok(Tok::RBrace)?;
+            inputs.push(input);
+        } else if p.at_keyword("proc") {
+            p.next()?;
+            let pname = p.expect_ident("procedure name")?;
+            defined_any_proc = true;
+            // Parse the body into a closure-driven builder by buffering
+            // the statements first (the builder API is closure-based).
+            let stmts = parse_body(&mut p, &regions)?;
+            builder.proc(&pname, |body| emit(body, &stmts));
+        } else {
+            return Err(p.err("expected `region`, `input`, or `proc`"));
+        }
+    }
+    if !defined_any_proc {
+        return Err(DslError { line: 0, message: "no procedures defined".into() });
+    }
+    let program = builder.build("main").map_err(DslError::from)?;
+    Ok(ParsedWorkload { program, inputs })
+}
+
+/// Parser-side statement AST, emitted into the builder afterwards.
+#[derive(Debug, Clone)]
+enum Ast {
+    Block { instrs: u32, cpi: f64, mem: Vec<(crate::RegionId, AccessPattern, u32, bool)> },
+    Loop { trip: Trip, body: Vec<Ast> },
+    Call(String),
+    If { cond: Cond, then_body: Vec<Ast>, else_body: Vec<Ast> },
+}
+
+fn emit(body: &mut BodyBuilder<'_>, stmts: &[Ast]) {
+    for stmt in stmts {
+        match stmt {
+            Ast::Block { instrs, cpi, mem } => {
+                let mut blk: BlockBuilder<'_, '_> = body.block(*instrs).base_cpi(*cpi);
+                for &(region, pattern, count, write) in mem {
+                    blk = blk.mem(region, pattern, count, write);
+                }
+                blk.done();
+            }
+            Ast::Loop { trip, body: inner } => {
+                body.loop_(trip.clone(), |b| emit(b, inner));
+            }
+            Ast::Call(name) => body.call(name),
+            Ast::If { cond, then_body, else_body } => {
+                body.if_(cond.clone(), |t| emit(t, then_body), |e| emit(e, else_body));
+            }
+        }
+    }
+}
+
+fn parse_body(
+    p: &mut Parser,
+    regions: &[(String, crate::RegionId)],
+) -> Result<Vec<Ast>, DslError> {
+    p.expect_tok(Tok::LBrace)?;
+    let mut stmts = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Tok::RBrace) => {
+                p.next()?;
+                return Ok(stmts);
+            }
+            Some(Tok::Ident(kw)) => {
+                let kw = kw.clone();
+                stmts.push(parse_stmt(p, &kw, regions)?);
+            }
+            _ => return Err(p.err("expected a statement or `}`")),
+        }
+    }
+}
+
+fn parse_stmt(
+    p: &mut Parser,
+    kw: &str,
+    regions: &[(String, crate::RegionId)],
+) -> Result<Ast, DslError> {
+    match kw {
+        "block" => {
+            p.next()?;
+            let instrs = p.expect_u64("block size")?;
+            if instrs == 0 || instrs > u32::MAX as u64 {
+                return Err(p.err("block size must be 1..=u32::MAX"));
+            }
+            let mut cpi = 1.0;
+            if p.at_keyword("cpi") {
+                p.next()?;
+                cpi = p.expect_number("cpi value")?;
+            }
+            let mut mem = Vec::new();
+            if matches!(p.peek(), Some(Tok::LBrace)) {
+                p.next()?;
+                loop {
+                    match p.peek() {
+                        Some(Tok::RBrace) => {
+                            p.next()?;
+                            break;
+                        }
+                        Some(Tok::Semi) => {
+                            p.next()?;
+                        }
+                        _ => mem.push(parse_memref(p, regions)?),
+                    }
+                }
+            }
+            Ok(Ast::Block { instrs: instrs as u32, cpi, mem })
+        }
+        "loop" => {
+            p.next()?;
+            let trip = parse_trip(p)?;
+            let body = parse_body(p, regions)?;
+            Ok(Ast::Loop { trip, body })
+        }
+        "call" => {
+            p.next()?;
+            Ok(Ast::Call(p.expect_ident("procedure name")?))
+        }
+        "if" => {
+            p.next()?;
+            let cond = parse_cond(p)?;
+            let then_body = parse_body(p, regions)?;
+            p.expect_keyword("else")?;
+            let else_body = parse_body(p, regions)?;
+            Ok(Ast::If { cond, then_body, else_body })
+        }
+        other => Err(p.err(format!("unknown statement `{other}`"))),
+    }
+}
+
+fn parse_trip(p: &mut Parser) -> Result<Trip, DslError> {
+    let kind = p.expect_ident("trip kind")?;
+    match kind.as_str() {
+        "fixed" => Ok(Trip::Fixed(p.expect_u64("trip count")?)),
+        "param" => Ok(Trip::Param(p.expect_ident("parameter name")?)),
+        "scaled" => Ok(Trip::ParamScaled {
+            param: p.expect_ident("parameter name")?,
+            div: p.expect_u64("divisor")?,
+        }),
+        "uniform" => {
+            let lo = p.expect_u64("lower bound")?;
+            let hi = p.expect_u64("upper bound")?;
+            Ok(Trip::Uniform { lo, hi })
+        }
+        "jitter" => {
+            let mean = p.expect_u64("mean")?;
+            let pct = p.expect_u64("percent")?;
+            if pct > 100 {
+                return Err(p.err("jitter percent must be <= 100"));
+            }
+            Ok(Trip::Jitter { mean, pct: pct as u8 })
+        }
+        other => Err(p.err(format!("unknown trip kind `{other}`"))),
+    }
+}
+
+fn parse_cond(p: &mut Parser) -> Result<Cond, DslError> {
+    let kind = p.expect_ident("condition kind")?;
+    match kind.as_str() {
+        "prob" => Ok(Cond::Prob(p.expect_number("probability")?)),
+        "periodic" => Ok(Cond::Periodic {
+            period: p.expect_u64("period")?,
+            offset: p.expect_u64("offset")?,
+        }),
+        "param_at_least" => Ok(Cond::ParamAtLeast {
+            param: p.expect_ident("parameter name")?,
+            threshold: p.expect_u64("threshold")?,
+        }),
+        other => Err(p.err(format!("unknown condition `{other}`"))),
+    }
+}
+
+fn parse_memref(
+    p: &mut Parser,
+    regions: &[(String, crate::RegionId)],
+) -> Result<(crate::RegionId, AccessPattern, u32, bool), DslError> {
+    let dir = p.expect_ident("`read` or `write`")?;
+    let write = match dir.as_str() {
+        "read" => false,
+        "write" => true,
+        other => return Err(p.err(format!("expected `read` or `write`, got `{other}`"))),
+    };
+    let rname = p.expect_ident("region name")?;
+    let region = regions
+        .iter()
+        .find(|(n, _)| *n == rname)
+        .map(|(_, id)| *id)
+        .ok_or_else(|| p.err(format!("undefined region `{rname}`")))?;
+    let pat = p.expect_ident("access pattern")?;
+    let pattern = match pat.as_str() {
+        "seq" => AccessPattern::Sequential { stride: 8 },
+        "stride" => {
+            let stride = p.expect_u64("stride bytes")?;
+            AccessPattern::Sequential { stride: stride as u32 }
+        }
+        "rand" => AccessPattern::Random,
+        "chase" => AccessPattern::PointerChase,
+        "hot" => {
+            let pct = p.expect_u64("hot percent")?;
+            if pct == 0 || pct > 100 {
+                return Err(p.err("hot percent must be 1..=100"));
+            }
+            AccessPattern::Hotspot { hot_pct: pct as u8 }
+        }
+        other => Err(p.err(format!("unknown access pattern `{other}`")))?,
+    };
+    let count = p.expect_u64("access count")?;
+    Ok((region, pattern, count as u32, write))
+}
+
+
+// -------------------------------------------------------------- printer
+
+/// Renders a built [`Program`] (plus inputs) back into the text DSL —
+/// the inverse of [`parse_workload`], letting programs constructed with
+/// the builder API be exported as `.spm` files for the CLI.
+///
+/// The output parses back into a behaviourally identical program:
+/// procedure/loop/branch structure, block sizes, CPIs, and memory
+/// references are preserved exactly (dense ids may be renumbered).
+///
+/// # Examples
+///
+/// ```
+/// use spm_ir::{parse_workload, write_workload, Input, ProgramBuilder, Trip};
+///
+/// let mut b = ProgramBuilder::new("t");
+/// b.proc("main", |p| {
+///     p.loop_(Trip::Fixed(10), |body| {
+///         body.block(50).done();
+///     });
+/// });
+/// let program = b.build("main").unwrap();
+/// let text = write_workload(&program, &[Input::new("ref", 1)]);
+/// let reparsed = parse_workload(&text).unwrap();
+/// assert_eq!(reparsed.program.block_sizes(), program.block_sizes());
+/// ```
+pub fn write_workload(program: &Program, inputs: &[Input]) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    // The DSL's program/identifier grammar is alphanumeric; squash
+    // anything else (compiled names like "gzip:peak").
+    let sanitize = |name: &str| -> String {
+        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect()
+    };
+    let _ = writeln!(out, "program {}", sanitize(program.name()));
+    out.push('\n');
+    for region in program.regions() {
+        match &region.size {
+            crate::SizeSpec::Bytes(b) => {
+                let _ = writeln!(out, "region {} bytes {b}", sanitize(&region.name));
+            }
+            crate::SizeSpec::ParamScaled { param, bytes_per } => {
+                let _ = writeln!(
+                    out,
+                    "region {} scaled {param} {bytes_per}",
+                    sanitize(&region.name)
+                );
+            }
+        }
+    }
+    for input in inputs {
+        let params: Vec<String> =
+            input.params().map(|(k, v)| format!("{k} {v}")).collect();
+        let _ = writeln!(
+            out,
+            "input {} seed {} {{ {} }}",
+            sanitize(input.name()),
+            input.seed(),
+            params.join(" ")
+        );
+    }
+    for proc in program.procs() {
+        out.push('\n');
+        let _ = writeln!(out, "proc {} {{", sanitize(&proc.name));
+        write_stmts(&mut out, program, &proc.body, 1, &sanitize);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn write_stmts(
+    out: &mut String,
+    program: &Program,
+    stmts: &[crate::Stmt],
+    depth: usize,
+    sanitize: &dyn Fn(&str) -> String,
+) {
+    use std::fmt::Write as _;
+    let pad = "  ".repeat(depth);
+    for stmt in stmts {
+        match stmt {
+            crate::Stmt::Block(b) => {
+                let _ = write!(out, "{pad}block {}", b.instrs);
+                if b.base_cpi != 1.0 {
+                    let _ = write!(out, " cpi {}", b.base_cpi);
+                }
+                if !b.mem.is_empty() {
+                    let refs: Vec<String> = b
+                        .mem
+                        .iter()
+                        .map(|m| {
+                            let dir = if m.write { "write" } else { "read" };
+                            let region = sanitize(&program.regions()[m.region.index()].name);
+                            let pat = match m.pattern {
+                                AccessPattern::Sequential { stride: 8 } => "seq".to_string(),
+                                AccessPattern::Sequential { stride } => {
+                                    format!("stride {stride}")
+                                }
+                                AccessPattern::Random => "rand".to_string(),
+                                AccessPattern::PointerChase => "chase".to_string(),
+                                AccessPattern::Hotspot { hot_pct } => format!("hot {hot_pct}"),
+                            };
+                            format!("{dir} {region} {pat} {}", m.count)
+                        })
+                        .collect();
+                    let _ = write!(out, " {{ {} }}", refs.join(" ; "));
+                }
+                out.push('\n');
+            }
+            crate::Stmt::Loop(l) => {
+                let trip = match &l.trip {
+                    Trip::Fixed(n) => format!("fixed {n}"),
+                    Trip::Param(p) => format!("param {p}"),
+                    Trip::ParamScaled { param, div } => format!("scaled {param} {div}"),
+                    Trip::Uniform { lo, hi } => format!("uniform {lo} {hi}"),
+                    Trip::Jitter { mean, pct } => format!("jitter {mean} {pct}"),
+                };
+                let _ = writeln!(out, "{pad}loop {trip} {{");
+                write_stmts(out, program, &l.body, depth + 1, sanitize);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            crate::Stmt::Call(c) => {
+                let _ = writeln!(out, "{pad}call {}", sanitize(&program.proc(c.target).name));
+            }
+            crate::Stmt::If(i) => {
+                let cond = match &i.cond {
+                    Cond::Prob(p) => format!("prob {p}"),
+                    Cond::Periodic { period, offset } => format!("periodic {period} {offset}"),
+                    Cond::ParamAtLeast { param, threshold } => {
+                        format!("param_at_least {param} {threshold}")
+                    }
+                };
+                let _ = writeln!(out, "{pad}if {cond} {{");
+                write_stmts(out, program, &i.then_body, depth + 1, sanitize);
+                let _ = writeln!(out, "{pad}}} else {{");
+                write_stmts(out, program, &i.else_body, depth + 1, sanitize);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = r#"
+        program toy
+        region data bytes 65536
+        region heap scaled heapsize 8
+
+        input train seed 1 { chunks 5 heapsize 1024 }
+        input ref seed 2 { chunks 40 heapsize 8192 }
+
+        proc main {
+            loop param chunks {
+                call work
+                if periodic 4 0 {
+                    block 30 { write data seq 4 }
+                } else { }
+            }
+        }
+
+        proc work {
+            loop jitter 500 5 {
+                block 60 cpi 0.8 { read data seq 2 ; read heap chase 1 }
+            }
+            # a comment
+            block 10 { read data hot 25 3 }
+        }
+    "#;
+
+    #[test]
+    fn parses_and_runs() {
+        let parsed = parse_workload(TOY).expect("parses");
+        assert_eq!(parsed.program.name(), "toy");
+        assert_eq!(parsed.inputs.len(), 2);
+        assert_eq!(parsed.input("train").unwrap().param("chunks"), Some(5));
+        assert!(parsed.input("nope").is_none());
+        assert_eq!(parsed.program.procs().len(), 2);
+        assert_eq!(parsed.program.loop_count(), 2);
+        assert_eq!(parsed.program.branch_count(), 1);
+        assert_eq!(parsed.program.block_count(), 3);
+    }
+
+    #[test]
+    fn dsl_matches_builder_equivalent() {
+        // The parsed program's static tables must match the same program
+        // written with the builder API directly.
+        let parsed = parse_workload(TOY).unwrap();
+        let mut b = ProgramBuilder::new("toy");
+        let data = b.region_bytes("data", 65536);
+        let heap = b.region_scaled("heap", "heapsize", 8);
+        b.proc("main", |p| {
+            p.loop_(Trip::Param("chunks".into()), |l| {
+                l.call("work");
+                l.if_periodic(4, 0, |t| t.block(30).seq_write(data, 4).done(), |_| {});
+            });
+        });
+        b.proc("work", |p| {
+            p.loop_(Trip::Jitter { mean: 500, pct: 5 }, |l| {
+                l.block(60).base_cpi(0.8).seq_read(data, 2).chase_read(heap, 1).done();
+            });
+            p.block(10).hot_read(data, 3, 25).done();
+        });
+        let manual = b.build("main").unwrap();
+        assert_eq!(parsed.program.block_sizes(), manual.block_sizes());
+        assert_eq!(parsed.program.loop_count(), manual.loop_count());
+        assert_eq!(parsed.program.branch_count(), manual.branch_count());
+    }
+
+    #[test]
+    fn error_lines_are_reported() {
+        let missing_main = "program x\nproc helper { block 1 }\n";
+        let e = parse_workload(missing_main).unwrap_err();
+        assert!(e.message.contains("main"), "{e}");
+
+        let bad_stmt = "program x\nproc main {\n  jump 3\n}\n";
+        let e = parse_workload(bad_stmt).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("jump"));
+
+        let bad_region = "program x\nproc main {\n  block 5 { read ghost seq 1 }\n}\n";
+        let e = parse_workload(bad_region).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("ghost"));
+
+        let bad_char = "program x\nproc main @ {}\n";
+        let e = parse_workload(bad_char).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn undefined_call_is_caught() {
+        let src = "program x\nproc main { call ghost }\n";
+        let e = parse_workload(src).unwrap_err();
+        assert!(e.message.contains("ghost"), "{e}");
+    }
+
+    #[test]
+    fn rejects_invalid_values() {
+        for (src, needle) in [
+            ("program x\nproc main { block 0 }\n", "block size"),
+            ("program x\nproc main { loop jitter 5 200 { } }\n", "percent"),
+            ("program x\nproc main { block 5 cpi oops }\n", "cpi"),
+            (
+                "program x\nregion d bytes 64\nproc main { block 5 { read d hot 0 1 } }\n",
+                "hot percent",
+            ),
+        ] {
+            let e = parse_workload(src).unwrap_err();
+            assert!(e.message.contains(needle), "src={src} err={e}");
+        }
+    }
+
+    #[test]
+    fn empty_input_fails_cleanly() {
+        assert!(parse_workload("").is_err());
+        assert!(parse_workload("program x").is_err(), "no procs");
+    }
+
+    #[test]
+    fn printer_round_trips_the_toy_program() {
+        let parsed = parse_workload(TOY).unwrap();
+        let printed = write_workload(&parsed.program, &parsed.inputs);
+        let reparsed = parse_workload(&printed).unwrap_or_else(|e| {
+            panic!("printed DSL must parse: {e}\n{printed}");
+        });
+        assert_eq!(reparsed.program.block_sizes(), parsed.program.block_sizes());
+        assert_eq!(reparsed.program.loop_count(), parsed.program.loop_count());
+        assert_eq!(reparsed.program.branch_count(), parsed.program.branch_count());
+        assert_eq!(reparsed.inputs, parsed.inputs);
+    }
+
+    #[test]
+    fn printer_handles_every_construct() {
+        let mut b = ProgramBuilder::new("full");
+        let r = b.region_bytes("fixed_region", 4096);
+        let r2 = b.region_scaled("scaled_region", "sz", 8);
+        b.proc("main", |p| {
+            p.block(10)
+                .base_cpi(0.75)
+                .seq_read(r, 1)
+                .stride_read(r, 2, 256)
+                .rand_write(r2, 3)
+                .chase_read(r2, 4)
+                .hot_read(r, 5, 30)
+                .done();
+            p.loop_(Trip::Uniform { lo: 2, hi: 9 }, |l| l.call("f"));
+            p.loop_(Trip::ParamScaled { param: "sz".into(), div: 16 }, |l| {
+                l.block(1).done();
+            });
+            p.if_(
+                Cond::ParamAtLeast { param: "sz".into(), threshold: 5 },
+                |t| t.block(2).done(),
+                |e| {
+                    e.if_periodic(7, 2, |t| t.block(3).done(), |_| {});
+                },
+            );
+        });
+        b.proc("f", |p| p.block(4).done());
+        let program = b.build("main").unwrap();
+        let printed = write_workload(&program, &[Input::new("ref", 3).with("sz", 100)]);
+        let reparsed = parse_workload(&printed).unwrap_or_else(|e| {
+            panic!("{e}\n{printed}");
+        });
+        assert_eq!(reparsed.program.block_sizes(), program.block_sizes());
+        assert_eq!(reparsed.program.branch_count(), program.branch_count());
+    }
+
+    proptest::proptest! {
+        /// The parser must reject arbitrary garbage with an error, never
+        /// a panic (and must not accept random noise as a program).
+        #[test]
+        fn arbitrary_input_never_panics(src in "[ -~\n]{0,300}") {
+            let _ = parse_workload(&src);
+        }
+
+        /// Mutating a valid program (truncation at any point) still
+        /// never panics.
+        #[test]
+        fn truncations_never_panic(cut in 0usize..400) {
+            let cut = cut.min(TOY.len());
+            // Truncate on a char boundary.
+            let mut end = cut;
+            while !TOY.is_char_boundary(end) {
+                end -= 1;
+            }
+            let _ = parse_workload(&TOY[..end]);
+        }
+    }
+
+    #[test]
+    fn numbers_allow_underscores() {
+        let src = "program x\nregion d bytes 1_048_576\nproc main { block 1_000 }\n";
+        let parsed = parse_workload(src).unwrap();
+        assert_eq!(parsed.program.block_sizes(), &[1000]);
+    }
+}

@@ -1,0 +1,509 @@
+//! Core program representation: procedures, statements, loops, blocks,
+//! memory references, and data regions.
+
+use crate::ids::{BlockId, BranchId, LoopId, ProcId, RegionId, SourceId};
+use crate::input::Input;
+use std::fmt;
+
+/// How many iterations a loop performs on each entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trip {
+    /// Exactly `n` iterations every entry (perfectly regular loops).
+    Fixed(u64),
+    /// The value of an input parameter (input-scaled loops).
+    Param(String),
+    /// An input parameter divided by a constant (at least 1).
+    ParamScaled {
+        /// Parameter name looked up in the [`Input`].
+        param: String,
+        /// Divisor applied to the parameter value.
+        div: u64,
+    },
+    /// Uniformly random in `[lo, hi]`, drawn per loop entry — models
+    /// data-dependent trip counts (the paper's "integer programs are more
+    /// variable").
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// `mean` plus or minus `pct` percent, drawn per loop entry: mild
+    /// data-dependent jitter around a stable trip count.
+    Jitter {
+        /// Central trip count.
+        mean: u64,
+        /// Maximum deviation as a percentage of `mean`.
+        pct: u8,
+    },
+}
+
+impl Trip {
+    /// The expected number of iterations under `input` (used by tests and
+    /// workload sanity checks; the engine draws actual values).
+    pub fn expected(&self, input: &Input) -> f64 {
+        match self {
+            Trip::Fixed(n) => *n as f64,
+            Trip::Param(p) => input.param(p).unwrap_or(0) as f64,
+            Trip::ParamScaled { param, div } => {
+                input.param(param).unwrap_or(0) as f64 / (*div).max(1) as f64
+            }
+            Trip::Uniform { lo, hi } => (*lo as f64 + *hi as f64) / 2.0,
+            Trip::Jitter { mean, .. } => *mean as f64,
+        }
+    }
+}
+
+/// A branch condition for an [`IfStmt`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// Taken with the given probability, drawn per execution.
+    Prob(f64),
+    /// Taken on every `period`-th execution (counting from `offset`):
+    /// perfectly periodic control flow, the backbone of repeating phase
+    /// behaviour.
+    Periodic {
+        /// Period in executions; must be at least 1.
+        period: u64,
+        /// Executions (mod `period`) on which the branch is taken.
+        offset: u64,
+    },
+    /// Taken iff the input parameter is at least the threshold: whole-run
+    /// mode switches between inputs.
+    ParamAtLeast {
+        /// Parameter name looked up in the [`Input`].
+        param: String,
+        /// Inclusive threshold.
+        threshold: u64,
+    },
+}
+
+/// Memory access pattern of a [`MemRef`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Walks the region with the given stride in bytes, wrapping at the
+    /// end; a streaming pattern with high spatial locality for small
+    /// strides.
+    Sequential {
+        /// Stride between consecutive accesses, in bytes.
+        stride: u32,
+    },
+    /// Uniformly random addresses across the region: the worst case for
+    /// any cache smaller than the region.
+    Random,
+    /// A pseudo-random pointer chase through the region (a fixed
+    /// permutation walk), modelling linked data structures such as mcf's
+    /// network arcs.
+    PointerChase,
+    /// Accesses concentrated in a hot fraction of the region: 90% of
+    /// accesses hit the first `hot_pct` percent, the rest are uniform.
+    Hotspot {
+        /// Size of the hot sub-region, in percent of the region (1..=100).
+        hot_pct: u8,
+    },
+}
+
+/// A bundle of memory accesses performed by a basic block on each
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Region the accesses fall into.
+    pub region: RegionId,
+    /// Address generation pattern.
+    pub pattern: AccessPattern,
+    /// Number of accesses issued per block execution.
+    pub count: u32,
+    /// Whether the accesses are writes.
+    pub write: bool,
+}
+
+/// A basic block: a straight-line run of `instrs` instructions plus its
+/// memory references.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Dense id, assigned by program numbering.
+    pub id: BlockId,
+    /// Number of instructions the block represents.
+    pub instrs: u32,
+    /// Base cycles-per-instruction contributed by the block's instruction
+    /// mix, before memory and branch penalties (dense FP code < 1.0,
+    /// dependent integer code > 1.0).
+    pub base_cpi: f64,
+    /// Memory references issued each execution.
+    pub mem: Vec<MemRef>,
+    /// Stable source location.
+    pub source: SourceId,
+}
+
+/// A natural loop with a trip-count generator and a body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    /// Dense id, assigned by program numbering.
+    pub id: LoopId,
+    /// Trip-count generator evaluated on each loop entry.
+    pub trip: Trip,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+    /// Stable source location.
+    pub source: SourceId,
+}
+
+/// A direct call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee.
+    pub target: ProcId,
+    /// Stable source location of the call instruction.
+    pub source: SourceId,
+}
+
+/// A two-way conditional.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IfStmt {
+    /// Dense id, assigned by program numbering; indexes predictor state.
+    pub id: BranchId,
+    /// Branch condition evaluated per execution.
+    pub cond: Cond,
+    /// Statements executed when the condition holds.
+    pub then_body: Vec<Stmt>,
+    /// Statements executed otherwise.
+    pub else_body: Vec<Stmt>,
+    /// Stable source location of the branch.
+    pub source: SourceId,
+}
+
+/// A statement in a procedure or loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Straight-line code.
+    Block(Block),
+    /// A loop.
+    Loop(Loop),
+    /// A direct procedure call.
+    Call(CallSite),
+    /// A conditional.
+    If(IfStmt),
+}
+
+/// A procedure: a named body of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Procedure {
+    /// Dense id, equal to the procedure's position in the program.
+    pub id: ProcId,
+    /// Human-readable name.
+    pub name: String,
+    /// Procedure body.
+    pub body: Vec<Stmt>,
+    /// Stable source location of the procedure entry.
+    pub source: SourceId,
+}
+
+/// Size of a data region, possibly input-dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SizeSpec {
+    /// A fixed size in bytes.
+    Bytes(u64),
+    /// `bytes_per * param`: the region scales with the input.
+    ParamScaled {
+        /// Parameter name looked up in the [`Input`].
+        param: String,
+        /// Bytes contributed per unit of the parameter.
+        bytes_per: u64,
+    },
+}
+
+impl SizeSpec {
+    /// Resolves the region size in bytes under the given input. Sizes are
+    /// clamped to at least 64 bytes (one cache block).
+    pub fn resolve(&self, input: &Input) -> u64 {
+        let raw = match self {
+            SizeSpec::Bytes(b) => *b,
+            SizeSpec::ParamScaled { param, bytes_per } => {
+                input.param(param).unwrap_or(0).saturating_mul(*bytes_per)
+            }
+        };
+        raw.max(64)
+    }
+}
+
+/// A named data region of a program's address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Dense id.
+    pub id: RegionId,
+    /// Human-readable name.
+    pub name: String,
+    /// Size specification.
+    pub size: SizeSpec,
+}
+
+/// Errors detected when finalizing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A call referenced a procedure name that was never defined.
+    UndefinedProcedure(String),
+    /// The requested entry procedure does not exist.
+    UndefinedEntry(String),
+    /// A procedure was defined twice.
+    DuplicateProcedure(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedProcedure(name) => {
+                write!(f, "call to undefined procedure `{name}`")
+            }
+            BuildError::UndefinedEntry(name) => {
+                write!(f, "entry procedure `{name}` is not defined")
+            }
+            BuildError::DuplicateProcedure(name) => {
+                write!(f, "procedure `{name}` defined more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A complete program: procedures, an entry point, and data regions.
+///
+/// A `Program` is always *numbered*: every block, loop, and branch has a
+/// dense id, and the summary tables ([`block_sizes`](Self::block_sizes),
+/// [`loop_sources`](Self::loop_sources), ...) are consistent with the
+/// bodies. Programs are produced by
+/// [`ProgramBuilder::build`](crate::ProgramBuilder::build) or by
+/// [`compile`](crate::compile), never assembled by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) procs: Vec<Procedure>,
+    pub(crate) entry: ProcId,
+    pub(crate) regions: Vec<Region>,
+    // Summary tables rebuilt by `renumber`.
+    pub(crate) block_sizes: Vec<u32>,
+    pub(crate) block_sources: Vec<SourceId>,
+    pub(crate) loop_sources: Vec<SourceId>,
+    pub(crate) branch_count: u32,
+}
+
+impl Program {
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry procedure.
+    pub fn entry(&self) -> ProcId {
+        self.entry
+    }
+
+    /// All procedures, indexed by [`ProcId`].
+    pub fn procs(&self) -> &[Procedure] {
+        &self.procs
+    }
+
+    /// Looks up a procedure.
+    pub fn proc(&self, id: ProcId) -> &Procedure {
+        &self.procs[id.index()]
+    }
+
+    /// Looks up a procedure by name.
+    pub fn proc_by_name(&self, name: &str) -> Option<&Procedure> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// All data regions, indexed by [`RegionId`].
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of basic blocks (dense id space).
+    pub fn block_count(&self) -> usize {
+        self.block_sizes.len()
+    }
+
+    /// Number of loops (dense id space).
+    pub fn loop_count(&self) -> usize {
+        self.loop_sources.len()
+    }
+
+    /// Number of conditional branches (dense id space).
+    pub fn branch_count(&self) -> usize {
+        self.branch_count as usize
+    }
+
+    /// Instruction size of every block, indexed by [`BlockId`]; the BBV
+    /// weighting table ("we multiply each count by the number of
+    /// instructions in the basic block").
+    pub fn block_sizes(&self) -> &[u32] {
+        &self.block_sizes
+    }
+
+    /// Source location of every block, indexed by [`BlockId`].
+    pub fn block_sources(&self) -> &[SourceId] {
+        &self.block_sources
+    }
+
+    /// Source location of every loop, indexed by [`LoopId`].
+    pub fn loop_sources(&self) -> &[SourceId] {
+        &self.loop_sources
+    }
+
+    /// Source location of every procedure, indexed by [`ProcId`].
+    pub fn proc_sources(&self) -> Vec<SourceId> {
+        self.procs.iter().map(|p| p.source).collect()
+    }
+
+    /// Reassigns dense block/loop/branch ids in a deterministic preorder
+    /// walk and rebuilds the summary tables. Called by the builder and by
+    /// every compilation transform.
+    pub(crate) fn renumber(&mut self) {
+        let mut blocks = 0u32;
+        let mut loops = 0u32;
+        let mut branches = 0u32;
+        let mut block_sizes = Vec::new();
+        let mut block_sources = Vec::new();
+        let mut loop_sources = Vec::new();
+
+        fn walk(
+            stmts: &mut [Stmt],
+            blocks: &mut u32,
+            loops: &mut u32,
+            branches: &mut u32,
+            block_sizes: &mut Vec<u32>,
+            block_sources: &mut Vec<SourceId>,
+            loop_sources: &mut Vec<SourceId>,
+        ) {
+            for stmt in stmts {
+                match stmt {
+                    Stmt::Block(b) => {
+                        b.id = BlockId(*blocks);
+                        *blocks += 1;
+                        block_sizes.push(b.instrs);
+                        block_sources.push(b.source);
+                    }
+                    Stmt::Loop(l) => {
+                        l.id = LoopId(*loops);
+                        *loops += 1;
+                        loop_sources.push(l.source);
+                        walk(
+                            &mut l.body,
+                            blocks,
+                            loops,
+                            branches,
+                            block_sizes,
+                            block_sources,
+                            loop_sources,
+                        );
+                    }
+                    Stmt::Call(_) => {}
+                    Stmt::If(i) => {
+                        i.id = BranchId(*branches);
+                        *branches += 1;
+                        walk(
+                            &mut i.then_body,
+                            blocks,
+                            loops,
+                            branches,
+                            block_sizes,
+                            block_sources,
+                            loop_sources,
+                        );
+                        walk(
+                            &mut i.else_body,
+                            blocks,
+                            loops,
+                            branches,
+                            block_sizes,
+                            block_sources,
+                            loop_sources,
+                        );
+                    }
+                }
+            }
+        }
+
+        for proc in &mut self.procs {
+            walk(
+                &mut proc.body,
+                &mut blocks,
+                &mut loops,
+                &mut branches,
+                &mut block_sizes,
+                &mut block_sources,
+                &mut loop_sources,
+            );
+        }
+        self.block_sizes = block_sizes;
+        self.block_sources = block_sources;
+        self.loop_sources = loop_sources;
+        self.branch_count = branches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn trip_expected_values() {
+        let input = Input::new("t", 0).with("n", 40);
+        assert_eq!(Trip::Fixed(7).expected(&input), 7.0);
+        assert_eq!(Trip::Param("n".into()).expected(&input), 40.0);
+        assert_eq!(Trip::Param("missing".into()).expected(&input), 0.0);
+        assert_eq!(Trip::ParamScaled { param: "n".into(), div: 4 }.expected(&input), 10.0);
+        assert_eq!(Trip::Uniform { lo: 10, hi: 20 }.expected(&input), 15.0);
+        assert_eq!(Trip::Jitter { mean: 9, pct: 50 }.expected(&input), 9.0);
+    }
+
+    #[test]
+    fn size_spec_resolves_and_clamps() {
+        let input = Input::new("t", 0).with("n", 100);
+        assert_eq!(SizeSpec::Bytes(1024).resolve(&input), 1024);
+        assert_eq!(
+            SizeSpec::ParamScaled { param: "n".into(), bytes_per: 8 }.resolve(&input),
+            800
+        );
+        assert_eq!(SizeSpec::Bytes(1).resolve(&input), 64);
+        assert_eq!(
+            SizeSpec::ParamScaled { param: "missing".into(), bytes_per: 8 }.resolve(&input),
+            64
+        );
+    }
+
+    #[test]
+    fn renumber_assigns_preorder_ids() {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.region_bytes("d", 4096);
+        b.proc("main", |p| {
+            p.block(10).done();
+            p.loop_(Trip::Fixed(3), |body| {
+                body.block(20).seq_read(r, 1).done();
+                body.if_prob(0.5, |t| t.block(30).done(), |e| e.block(40).done());
+            });
+        });
+        let prog = b.build("main").unwrap();
+        assert_eq!(prog.block_count(), 4);
+        assert_eq!(prog.loop_count(), 1);
+        assert_eq!(prog.branch_count(), 1);
+        assert_eq!(prog.block_sizes(), &[10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn build_error_display() {
+        assert_eq!(
+            BuildError::UndefinedProcedure("f".into()).to_string(),
+            "call to undefined procedure `f`"
+        );
+        assert_eq!(
+            BuildError::UndefinedEntry("m".into()).to_string(),
+            "entry procedure `m` is not defined"
+        );
+        assert_eq!(
+            BuildError::DuplicateProcedure("f".into()).to_string(),
+            "procedure `f` defined more than once"
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Haar wavelet analysis of the reuse-distance signal.
+//!
+//! Shen et al. apply wavelet filtering to the reuse-distance trace to
+//! expose abrupt locality changes; the finest-scale Haar detail
+//! coefficients are large exactly where the signal jumps, so phase
+//! boundaries are the positions of outlier coefficients.
+
+use spm_stats::Running;
+
+/// One level of the Haar wavelet transform: returns
+/// `(approximations, details)` with
+/// `a[i] = (x[2i] + x[2i+1]) / sqrt(2)` and
+/// `d[i] = (x[2i] - x[2i+1]) / sqrt(2)`.
+/// A trailing odd sample is carried into the approximations unchanged.
+pub fn haar_step(signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let sqrt2 = std::f64::consts::SQRT_2;
+    let pairs = signal.len() / 2;
+    let mut approx = Vec::with_capacity(pairs + signal.len() % 2);
+    let mut detail = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        approx.push((signal[2 * i] + signal[2 * i + 1]) / sqrt2);
+        detail.push((signal[2 * i] - signal[2 * i + 1]) / sqrt2);
+    }
+    if signal.len() % 2 == 1 {
+        approx.push(signal[signal.len() - 1]);
+    }
+    (approx, detail)
+}
+
+/// Full multi-level decomposition: returns the detail coefficients of
+/// each level, finest first, down to a single-sample approximation.
+pub fn haar_details(signal: &[f64]) -> Vec<Vec<f64>> {
+    let mut levels = Vec::new();
+    let mut current = signal.to_vec();
+    while current.len() >= 2 {
+        let (approx, detail) = haar_step(&current);
+        levels.push(detail);
+        current = approx;
+    }
+    levels
+}
+
+/// Detects phase boundaries in a signal: indices `i` such that the jump
+/// from `x[i-1]` to `x[i]` belongs to the *large* class of the absolute
+/// first differences (the finest-scale Haar details up to
+/// normalization).
+///
+/// The split between small (within-phase noise) and large (transition)
+/// differences is found with **exact Otsu thresholding** — the split of
+/// the sorted differences maximizing the between-class variance. A
+/// boundary class is only accepted when the split is *decisive*: the
+/// between-class variance explains at least half of the total variance
+/// and the large class's mean is several times the small class's, so
+/// unimodal noise produces no boundaries no matter its amplitude.
+/// Adjacent detections merge to the first index of each run.
+pub fn detect_boundaries(signal: &[f64]) -> Vec<usize> {
+    if signal.len() < 3 {
+        return Vec::new();
+    }
+    let n = signal.len();
+    let mut flags = vec![false; n];
+
+    // Scale 1: adjacent differences.
+    let d1: Vec<f64> = signal.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+    let t1 = otsu_threshold(&d1);
+    if let Some(t1) = t1 {
+        for (j, &d) in d1.iter().enumerate() {
+            if d > t1 {
+                flags[j + 1] = true;
+            }
+        }
+    }
+
+    // Scale 2: differences across one window, catching transitions that
+    // straddle a window boundary and split into two sub-threshold jumps
+    // (the second wavelet level). Only adds flags where scale 1 saw
+    // nothing adjacent.
+    let d2: Vec<f64> = signal.windows(3).map(|w| (w[2] - w[0]).abs()).collect();
+    if let Some(t2) = otsu_threshold(&d2) {
+        for (j, &d) in d2.iter().enumerate() {
+            if d > t2 {
+                let near_scale1 = t1.is_some_and(|t1| d1[j] > t1 || d1[j + 1] > t1);
+                if !near_scale1 {
+                    flags[j + 1] = true;
+                }
+            }
+        }
+    }
+
+    // Merge runs of adjacent flags to their first index.
+    let mut boundaries = Vec::new();
+    let mut in_run = false;
+    for (i, &flag) in flags.iter().enumerate() {
+        if flag {
+            if !in_run {
+                boundaries.push(i);
+                in_run = true;
+            }
+        } else {
+            in_run = false;
+        }
+    }
+    boundaries
+}
+
+/// How much of the total variance the Otsu split must explain.
+const MIN_SEPARATION: f64 = 0.5;
+/// Minimum ratio of the large class's mean to the small class's.
+const MIN_CLASS_RATIO: f64 = 4.0;
+
+/// Exact Otsu threshold over continuous values: evaluates every split of
+/// the sorted values and returns the one maximizing the between-class
+/// variance, or `None` when no decisive split exists.
+fn otsu_threshold(values: &[f64]) -> Option<f64> {
+    let n = values.len();
+    if n < 2 {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut total = Running::new();
+    for &v in &sorted {
+        total.push(v);
+    }
+    let variance = total.population_variance();
+    if variance <= 0.0 {
+        return None;
+    }
+    let mean = total.mean();
+
+    // Between-class variance at split k (low = sorted[..k]):
+    // w_lo (mu_lo - mu)^2 + w_hi (mu_hi - mu)^2, via prefix sums.
+    let mut best: Option<(f64, usize)> = None;
+    let mut prefix = 0.0;
+    let sum: f64 = sorted.iter().sum();
+    for k in 1..n {
+        prefix += sorted[k - 1];
+        if sorted[k - 1] == sorted[k] {
+            continue; // not a valid split point
+        }
+        let w_lo = k as f64 / n as f64;
+        let w_hi = 1.0 - w_lo;
+        let mu_lo = prefix / k as f64;
+        let mu_hi = (sum - prefix) / (n - k) as f64;
+        let between = w_lo * (mu_lo - mean).powi(2) + w_hi * (mu_hi - mean).powi(2);
+        if best.is_none_or(|(b, _)| between > b) {
+            best = Some((between, k));
+        }
+    }
+    let (between, k) = best?;
+    if between / variance < MIN_SEPARATION {
+        return None;
+    }
+    let mu_lo = sorted[..k].iter().sum::<f64>() / k as f64;
+    let mu_hi = sorted[k..].iter().sum::<f64>() / (n - k) as f64;
+    if mu_hi < MIN_CLASS_RATIO * mu_lo.max(1e-12) {
+        return None;
+    }
+    // Threshold halfway between the classes.
+    Some((sorted[k - 1] + sorted[k]) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haar_step_basic() {
+        let (a, d) = haar_step(&[1.0, 1.0, 5.0, 3.0]);
+        let s = std::f64::consts::SQRT_2;
+        assert!((a[0] - 2.0 / s).abs() < 1e-12);
+        assert!((a[1] - 8.0 / s).abs() < 1e-12);
+        assert!((d[0] - 0.0).abs() < 1e-12);
+        assert!((d[1] - 2.0 / s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn haar_step_odd_length_carries_tail() {
+        let (a, d) = haar_step(&[1.0, 1.0, 9.0]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(d.len(), 1);
+        assert_eq!(a[1], 9.0);
+    }
+
+    #[test]
+    fn haar_details_level_count() {
+        let signal: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let levels = haar_details(&signal);
+        assert_eq!(levels.len(), 4); // 16 -> 8 -> 4 -> 2 -> 1
+        assert_eq!(levels[0].len(), 8);
+        assert_eq!(levels[3].len(), 1);
+    }
+
+    #[test]
+    fn haar_preserves_energy() {
+        let signal = vec![3.0, 1.0, -2.0, 4.0, 0.5, 0.5, 7.0, -1.0];
+        let (a, d) = haar_step(&signal);
+        let energy = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+        assert!((energy(&signal) - energy(&a) - energy(&d)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_step_change() {
+        let mut signal = vec![1.0; 50];
+        signal.extend(vec![10.0; 50]);
+        let b = detect_boundaries(&signal);
+        assert_eq!(b, vec![50]);
+    }
+
+    #[test]
+    fn flat_signal_has_no_boundaries() {
+        let signal = vec![2.5; 100];
+        assert!(detect_boundaries(&signal).is_empty());
+    }
+
+    #[test]
+    fn noisy_signal_without_steps_is_quiet() {
+        // Small alternating noise: every diff equals the mean diff, so
+        // nothing exceeds mean + k*std.
+        let signal: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 1.1 }).collect();
+        assert!(detect_boundaries(&signal).is_empty());
+    }
+
+    #[test]
+    fn adjacent_detections_merge() {
+        // A two-step ramp: both diffs spike, one boundary reported.
+        let mut signal = vec![0.0; 40];
+        signal.push(5.0);
+        signal.extend(vec![10.0; 40]);
+        let b = detect_boundaries(&signal);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0], 40);
+    }
+
+    #[test]
+    fn short_signals_yield_nothing() {
+        assert!(detect_boundaries(&[]).is_empty());
+        assert!(detect_boundaries(&[1.0, 100.0]).is_empty());
+    }
+
+    #[test]
+    fn repeating_phases_detect_every_transition() {
+        let mut signal = Vec::new();
+        for _ in 0..5 {
+            signal.extend(vec![1.0; 20]);
+            signal.extend(vec![8.0; 20]);
+        }
+        let b = detect_boundaries(&signal);
+        assert_eq!(b.len(), 9, "transitions at every 20-sample boundary: {b:?}");
+        assert!(b.iter().all(|&i| i % 20 == 0));
+    }
+}

@@ -1,0 +1,482 @@
+//! The Sequitur grammar-inference algorithm (Nevill-Manning & Witten).
+//!
+//! Sequitur incrementally builds a context-free grammar for a sequence
+//! by enforcing **digram uniqueness** (no pair of adjacent symbols
+//! appears twice in the grammar — a repeated digram becomes a rule).
+//! **Rule utility** (every rule is used at least twice) is enforced here
+//! as a normalization pass when the grammar is extracted, which yields
+//! the same final grammar for the sequences we care about while keeping
+//! the on-line data structures simple.
+//!
+//! Shen et al. run Sequitur over (wavelet-filtered) reuse-distance
+//! phase sequences to find their repeating structure; the locality
+//! baseline uses the achieved **compression ratio** as its regularity
+//! test — sequences that do not compress (gcc, vortex in the paper)
+//! have no exploitable phase pattern.
+//!
+//! # Examples
+//!
+//! ```
+//! use spm_reuse::Sequitur;
+//!
+//! let mut s = Sequitur::new();
+//! for sym in [1, 2, 3, 1, 2, 3, 1, 2, 3] {
+//!     s.push(sym);
+//! }
+//! let grammar = s.finish();
+//! assert_eq!(grammar.expand(), vec![1, 2, 3, 1, 2, 3, 1, 2, 3]);
+//! assert!(grammar.rules.len() > 1, "the repeat becomes a rule");
+//! assert!(grammar.compression_ratio(9) < 1.0);
+//! ```
+
+use std::collections::HashMap;
+
+/// A grammar symbol: a terminal or a reference to a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sym {
+    /// A terminal of the input alphabet.
+    Term(u32),
+    /// A reference to `Grammar::rules[i]`.
+    Rule(usize),
+}
+
+/// The extracted grammar; `rules[0]` is the start rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grammar {
+    /// Right-hand sides; rule 0 derives the whole input.
+    pub rules: Vec<Vec<Sym>>,
+}
+
+impl Grammar {
+    /// Expands the grammar back into the original sequence.
+    pub fn expand(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.expand_rule(0, &mut out);
+        out
+    }
+
+    fn expand_rule(&self, rule: usize, out: &mut Vec<u32>) {
+        for sym in &self.rules[rule] {
+            match sym {
+                Sym::Term(t) => out.push(*t),
+                Sym::Rule(r) => self.expand_rule(*r, out),
+            }
+        }
+    }
+
+    /// Total number of symbols on all right-hand sides (the grammar
+    /// size).
+    pub fn size(&self) -> usize {
+        self.rules.iter().map(Vec::len).sum()
+    }
+
+    /// Grammar size divided by the input length: well below 1.0 for
+    /// highly repetitive sequences, near (or above) 1.0 for irregular
+    /// ones.
+    pub fn compression_ratio(&self, input_len: usize) -> f64 {
+        if input_len == 0 {
+            1.0
+        } else {
+            self.size() as f64 / input_len as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Term(u32),
+    Rule(u32),
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// `None` marks a rule guard.
+    key: Option<Key>,
+    /// For guards: which rule they guard.
+    rule: u32,
+    prev: usize,
+    next: usize,
+}
+
+/// On-line Sequitur state; feed terminals with [`push`](Self::push),
+/// extract the grammar with [`finish`](Self::finish).
+#[derive(Debug, Clone)]
+pub struct Sequitur {
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Guard slot of each rule; rule 0 is the start rule.
+    guards: Vec<usize>,
+    /// Reference count of each rule (rule 0 stays 0).
+    refs: Vec<usize>,
+    digrams: HashMap<(Key, Key), usize>,
+    len: usize,
+}
+
+impl Default for Sequitur {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sequitur {
+    /// Creates an empty grammar builder.
+    pub fn new() -> Self {
+        let mut s = Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            guards: Vec::new(),
+            refs: Vec::new(),
+            digrams: HashMap::new(),
+            len: 0,
+        };
+        s.new_rule();
+        s
+    }
+
+    /// Number of terminals pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no terminals have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn new_rule(&mut self) -> u32 {
+        let rule = self.guards.len() as u32;
+        let g = self.alloc(Slot { key: None, rule, prev: NIL, next: NIL });
+        self.slots[g].prev = g;
+        self.slots[g].next = g;
+        self.guards.push(g);
+        self.refs.push(0);
+        rule
+    }
+
+    fn alloc(&mut self, slot: Slot) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.slots[i] = slot;
+            i
+        } else {
+            self.slots.push(slot);
+            self.slots.len() - 1
+        }
+    }
+
+    fn insert_after(&mut self, pos: usize, key: Key) -> usize {
+        let next = self.slots[pos].next;
+        let s = self.alloc(Slot { key: Some(key), rule: 0, prev: pos, next });
+        self.slots[pos].next = s;
+        self.slots[next].prev = s;
+        if let Key::Rule(r) = key {
+            self.refs[r as usize] += 1;
+        }
+        s
+    }
+
+    /// Unlinks and frees a symbol slot (digram bookkeeping is the
+    /// caller's responsibility).
+    fn remove(&mut self, s: usize) {
+        let (prev, next) = (self.slots[s].prev, self.slots[s].next);
+        self.slots[prev].next = next;
+        self.slots[next].prev = prev;
+        if let Some(Key::Rule(r)) = self.slots[s].key {
+            self.refs[r as usize] -= 1;
+        }
+        self.slots[s].key = None;
+        self.slots[s].prev = NIL;
+        self.slots[s].next = NIL;
+        self.free.push(s);
+    }
+
+    fn digram_at(&self, s: usize) -> Option<(Key, Key)> {
+        let a = self.slots[s].key?;
+        let b = self.slots[self.slots[s].next].key?;
+        Some((a, b))
+    }
+
+    /// Removes the digram-index entry for the digram starting at `s`, if
+    /// it points at `s`.
+    fn unindex(&mut self, s: usize) {
+        if let Some(dg) = self.digram_at(s) {
+            if self.digrams.get(&dg) == Some(&s) {
+                self.digrams.remove(&dg);
+            }
+        }
+    }
+
+    /// Appends a terminal to the input (the start rule) and restores the
+    /// digram-uniqueness invariant.
+    pub fn push(&mut self, terminal: u32) {
+        self.len += 1;
+        let guard = self.guards[0];
+        let last = self.slots[guard].prev;
+        let s = self.insert_after(last, Key::Term(terminal));
+        let prev = self.slots[s].prev;
+        if self.slots[prev].key.is_some() {
+            self.check(prev);
+        }
+    }
+
+    /// Enforces digram uniqueness for the digram starting at `s`.
+    /// Returns true if a substitution rewrote the neighbourhood of `s`.
+    fn check(&mut self, s: usize) -> bool {
+        let Some(dg) = self.digram_at(s) else {
+            return false;
+        };
+        match self.digrams.get(&dg) {
+            None => {
+                self.digrams.insert(dg, s);
+                false
+            }
+            Some(&t) if t == s => false,
+            Some(&t) if self.slots[t].next == s || self.slots[s].next == t => {
+                // Overlapping occurrence (e.g. "aaa"): do nothing.
+                false
+            }
+            Some(&t) => {
+                self.handle_match(s, t);
+                true
+            }
+        }
+    }
+
+    /// `t` is the indexed occurrence of the digram, `s` a new
+    /// non-overlapping one.
+    fn handle_match(&mut self, s: usize, t: usize) {
+        // Is `t` exactly the body of some rule? Then reuse that rule.
+        let t_prev = self.slots[t].prev;
+        let t_next2 = self.slots[self.slots[t].next].next;
+        if self.slots[t_prev].key.is_none() && self.slots[t_next2].key.is_none() && t_prev == t_next2
+        {
+            let rule = self.slots[t_prev].rule;
+            self.substitute(s, rule);
+        } else {
+            let (k1, k2) = self.digram_at(s).expect("digram vanished");
+            let rule = self.new_rule();
+            let guard = self.guards[rule as usize];
+            let first = self.insert_after(guard, k1);
+            self.insert_after(first, k2);
+            self.substitute(t, rule);
+            self.substitute(s, rule);
+            self.digrams.insert((k1, k2), first);
+        }
+    }
+
+    /// Replaces the digram starting at `p` with a reference to `rule`,
+    /// then re-checks the digrams formed around the new symbol.
+    fn substitute(&mut self, p: usize, rule: u32) {
+        let q = self.slots[p].prev;
+        let second = self.slots[p].next;
+        // Un-index digrams that involve the symbols being deleted.
+        if self.slots[q].key.is_some() {
+            self.unindex(q);
+        }
+        self.unindex(p);
+        self.unindex(second);
+        self.remove(second);
+        self.remove(p);
+        let m = self.insert_after(q, Key::Rule(rule));
+        // Classic Sequitur: check (q, m); only if that did not rewrite,
+        // check (m, next).
+        let rewrote = if self.slots[q].key.is_some() { self.check(q) } else { false };
+        if !rewrote {
+            self.check(m);
+        }
+    }
+
+    /// Extracts the grammar, inlining single-use rules (rule utility)
+    /// and dropping unused ones.
+    pub fn finish(self) -> Grammar {
+        // Raw extraction.
+        let mut rules: Vec<Vec<Sym>> = Vec::with_capacity(self.guards.len());
+        for &guard in &self.guards {
+            let mut body = Vec::new();
+            let mut cur = self.slots[guard].next;
+            while cur != guard {
+                match self.slots[cur].key.expect("guard inside body") {
+                    Key::Term(t) => body.push(Sym::Term(t)),
+                    Key::Rule(r) => body.push(Sym::Rule(r as usize)),
+                }
+                cur = self.slots[cur].next;
+            }
+            rules.push(body);
+        }
+
+        // Rule utility: inline rules referenced at most once, repeatedly.
+        loop {
+            let mut refs = vec![0usize; rules.len()];
+            for body in &rules {
+                for sym in body {
+                    if let Sym::Rule(r) = sym {
+                        refs[*r] += 1;
+                    }
+                }
+            }
+            let Some(victim) = (1..rules.len()).find(|&r| refs[r] <= 1 && !rules[r].is_empty())
+            else {
+                break;
+            };
+            let body = std::mem::take(&mut rules[victim]);
+            if refs[victim] == 0 {
+                continue; // dropped entirely
+            }
+            for host in rules.iter_mut() {
+                if let Some(i) = host.iter().position(|s| *s == Sym::Rule(victim)) {
+                    host.splice(i..=i, body.iter().copied());
+                    break;
+                }
+            }
+        }
+
+        // Compact: drop emptied rules, remap ids.
+        let mut remap = vec![usize::MAX; rules.len()];
+        let mut kept: Vec<Vec<Sym>> = Vec::new();
+        for (i, body) in rules.iter().enumerate() {
+            if i == 0 || !body.is_empty() {
+                remap[i] = kept.len();
+                kept.push(body.clone());
+            }
+        }
+        for body in &mut kept {
+            for sym in body {
+                if let Sym::Rule(r) = sym {
+                    *r = remap[*r];
+                    debug_assert_ne!(*r, usize::MAX, "dangling rule reference");
+                }
+            }
+        }
+        Grammar { rules: kept }
+    }
+}
+
+/// Convenience: builds the grammar of a whole sequence.
+pub fn infer(sequence: &[u32]) -> Grammar {
+    let mut s = Sequitur::new();
+    for &t in sequence {
+        s.push(t);
+    }
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_invariants(g: &Grammar, input: &[u32]) {
+        assert_eq!(g.expand(), input, "grammar must reproduce the input");
+        // Rule utility: every rule except the start is used >= 2 times.
+        let mut refs = vec![0usize; g.rules.len()];
+        for body in &g.rules {
+            for sym in body {
+                if let Sym::Rule(r) = sym {
+                    refs[*r] += 1;
+                }
+            }
+        }
+        for (r, &count) in refs.iter().enumerate().skip(1) {
+            assert!(count >= 2, "rule {r} used {count} time(s)");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = infer(&[]);
+        assert_eq!(g.expand(), Vec::<u32>::new());
+        let g = infer(&[7]);
+        assert_eq!(g.expand(), vec![7]);
+        assert_eq!(g.rules.len(), 1);
+    }
+
+    #[test]
+    fn classic_abcdbc() {
+        // "abcdbc" -> S: a R d R, R: b c
+        let input = [0, 1, 2, 3, 1, 2];
+        let g = infer(&input);
+        check_invariants(&g, &input);
+        assert_eq!(g.rules.len(), 2);
+        assert_eq!(g.rules[1], vec![Sym::Term(1), Sym::Term(2)]);
+    }
+
+    #[test]
+    fn repeated_block_compresses() {
+        let mut input = Vec::new();
+        for _ in 0..32 {
+            input.extend([5u32, 6, 7, 8]);
+        }
+        let g = infer(&input);
+        check_invariants(&g, &input);
+        assert!(
+            g.compression_ratio(input.len()) < 0.35,
+            "ratio = {}",
+            g.compression_ratio(input.len())
+        );
+    }
+
+    #[test]
+    fn aaa_overlap_is_handled() {
+        for n in 2..20 {
+            let input = vec![1u32; n];
+            let g = infer(&input);
+            check_invariants(&g, &input);
+        }
+    }
+
+    #[test]
+    fn nested_repetition_builds_hierarchy() {
+        // (ab ab cd cd)^4: expect hierarchical rules.
+        let mut input = Vec::new();
+        for _ in 0..4 {
+            input.extend([1u32, 2, 1, 2, 3, 4, 3, 4]);
+        }
+        let g = infer(&input);
+        check_invariants(&g, &input);
+        assert!(g.rules.len() >= 3, "hierarchy expected, got {:?}", g.rules);
+    }
+
+    #[test]
+    fn random_sequence_does_not_compress() {
+        // An alphabet-heavy non-repeating sequence: ratio near 1.
+        let input: Vec<u32> = (0..200).map(|i| (i * 7919 + 31) % 997).collect();
+        let g = infer(&input);
+        check_invariants(&g, &input);
+        assert!(g.compression_ratio(input.len()) > 0.8);
+    }
+
+    #[test]
+    fn compression_ratio_empty_input() {
+        let g = infer(&[]);
+        assert_eq!(g.compression_ratio(0), 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn expansion_round_trips(input in proptest::collection::vec(0u32..6, 0..300)) {
+            let g = infer(&input);
+            check_invariants(&g, &input);
+        }
+
+        #[test]
+        fn expansion_round_trips_binary(input in proptest::collection::vec(0u32..2, 0..400)) {
+            let g = infer(&input);
+            check_invariants(&g, &input);
+        }
+
+        #[test]
+        fn periodic_inputs_compress(period in 2usize..8, reps in 8usize..40) {
+            let unit: Vec<u32> = (0..period as u32).collect();
+            let mut input = Vec::new();
+            for _ in 0..reps {
+                input.extend(&unit);
+            }
+            let g = infer(&input);
+            check_invariants(&g, &input);
+            prop_assert!(g.compression_ratio(input.len()) < 0.6);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The trace event stream and the observer interface.
+
+use spm_ir::{BlockId, BranchId, LoopId, ProcId};
+
+/// One event in the execution trace.
+///
+/// Events are delivered in program order together with the instruction
+/// count *after* the event (see [`TraceObserver::on_event`]). Only
+/// [`BlockExec`](TraceEvent::BlockExec) advances the instruction count;
+/// control constructs (calls, loops, branches) are instantaneous, so the
+/// instruction totals seen by every analysis agree exactly with the sum
+/// of basic-block sizes — the same accounting the paper's BBVs use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A basic block executed.
+    BlockExec {
+        /// The block.
+        block: BlockId,
+        /// Its instruction count.
+        instrs: u32,
+        /// Its base CPI (for the timing model).
+        base_cpi: f64,
+    },
+    /// One data access issued by the current block.
+    MemAccess {
+        /// Byte address.
+        addr: u64,
+        /// Whether the access is a write.
+        write: bool,
+    },
+    /// A conditional branch resolved.
+    Branch {
+        /// The branch.
+        branch: BranchId,
+        /// Whether it was taken.
+        taken: bool,
+    },
+    /// A procedure was called (event fires before its body runs).
+    Call {
+        /// The callee.
+        proc: ProcId,
+    },
+    /// A procedure returned.
+    Return {
+        /// The procedure returning.
+        proc: ProcId,
+    },
+    /// A loop was entered (before the first iteration, if any).
+    LoopEnter {
+        /// The loop.
+        loop_id: LoopId,
+    },
+    /// One loop iteration is about to run (fires once per iteration,
+    /// including the first — the "loop back edge" view of the paper).
+    LoopIter {
+        /// The loop.
+        loop_id: LoopId,
+    },
+    /// The loop exited.
+    LoopExit {
+        /// The loop.
+        loop_id: LoopId,
+    },
+    /// Execution finished; always the last event.
+    Finish,
+}
+
+/// Consumes the trace stream of one execution.
+///
+/// Implementations are the reproduction's equivalent of ATOM analysis
+/// routines; several observers are driven from a single pass.
+pub trait TraceObserver {
+    /// Called for every event, with `icount` = total instructions
+    /// executed up to and including this event.
+    fn on_event(&mut self, icount: u64, event: &TraceEvent);
+}
+
+/// Blanket implementation so plain closures can observe traces in tests
+/// and examples.
+impl<F: FnMut(u64, &TraceEvent)> TraceObserver for F {
+    fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+        self(icount, event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_observers() {
+        let mut seen = Vec::new();
+        {
+            let mut obs = |icount: u64, ev: &TraceEvent| {
+                seen.push((icount, matches!(ev, TraceEvent::Finish)));
+            };
+            obs.on_event(5, &TraceEvent::Finish);
+        }
+        assert_eq!(seen, vec![(5, true)]);
+    }
+}

@@ -1,0 +1,400 @@
+//! Trace recording and replay.
+//!
+//! ATOM-style workflows separate *instrumentation* from *analysis*: one
+//! expensive instrumented run produces a trace, then any number of
+//! analyses replay it. [`TraceRecorder`] captures an execution's event
+//! stream into a compact byte encoding (tag byte + LEB128 varints,
+//! instruction counts delta-encoded), and [`replay`] drives any set of
+//! [`TraceObserver`]s from it — producing byte-for-byte the same
+//! observations the live run did.
+//!
+//! # Examples
+//!
+//! ```
+//! use spm_ir::{Input, ProgramBuilder, Trip};
+//! use spm_sim::{record::replay, record::TraceRecorder, run, TimingModel};
+//!
+//! let mut b = ProgramBuilder::new("t");
+//! b.proc("main", |p| {
+//!     p.loop_(Trip::Fixed(10), |body| {
+//!         body.block(50).done();
+//!     });
+//! });
+//! let program = b.build("main").unwrap();
+//!
+//! // Record once...
+//! let mut recorder = TraceRecorder::new();
+//! run(&program, &Input::new("x", 1), &mut [&mut recorder]).unwrap();
+//! let trace = recorder.into_bytes();
+//!
+//! // ...analyze later, without the program.
+//! let mut timing = TimingModel::default();
+//! replay(&trace, &mut [&mut timing]).unwrap();
+//! assert_eq!(timing.instrs(), 500);
+//! ```
+
+use crate::events::{TraceEvent, TraceObserver};
+use spm_ir::{BlockId, BranchId, LoopId, ProcId};
+use std::fmt;
+
+/// Event tag bytes (stable encoding).
+mod tag {
+    pub const BLOCK: u8 = 1;
+    pub const MEM_READ: u8 = 2;
+    pub const MEM_WRITE: u8 = 3;
+    pub const BRANCH_TAKEN: u8 = 4;
+    pub const BRANCH_NOT: u8 = 5;
+    pub const CALL: u8 = 6;
+    pub const RETURN: u8 = 7;
+    pub const LOOP_ENTER: u8 = 8;
+    pub const LOOP_ITER: u8 = 9;
+    pub const LOOP_EXIT: u8 = 10;
+    pub const FINISH: u8 = 11;
+}
+
+fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(DecodeError::Overflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Errors while decoding a recorded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended inside an event.
+    Truncated,
+    /// A varint exceeded 64 bits.
+    Overflow,
+    /// An unknown event tag was found.
+    BadTag(u8),
+    /// The trace did not begin with the expected magic bytes.
+    BadMagic,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "trace truncated mid-event"),
+            DecodeError::Overflow => write!(f, "varint overflows 64 bits"),
+            DecodeError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            DecodeError::BadMagic => write!(f, "not an spm trace (bad magic)"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 8] = b"spmtrc01";
+
+/// Observer encoding the event stream into a compact byte trace.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    bytes: Vec<u8>,
+    last_icount: u64,
+    events: u64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self { bytes: MAGIC.to_vec(), last_icount: 0, events: 0 }
+    }
+
+    /// Number of events recorded so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Size of the encoded trace so far, in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Finishes recording and returns the encoded trace.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl TraceObserver for TraceRecorder {
+    fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+        self.events += 1;
+        let delta = icount - self.last_icount;
+        self.last_icount = icount;
+        let out = &mut self.bytes;
+        match *event {
+            TraceEvent::BlockExec { block, instrs, base_cpi } => {
+                out.push(tag::BLOCK);
+                push_varint(out, delta);
+                push_varint(out, u64::from(block.0));
+                push_varint(out, u64::from(instrs));
+                out.extend_from_slice(&base_cpi.to_le_bytes());
+            }
+            TraceEvent::MemAccess { addr, write } => {
+                out.push(if write { tag::MEM_WRITE } else { tag::MEM_READ });
+                push_varint(out, delta);
+                push_varint(out, addr);
+            }
+            TraceEvent::Branch { branch, taken } => {
+                out.push(if taken { tag::BRANCH_TAKEN } else { tag::BRANCH_NOT });
+                push_varint(out, delta);
+                push_varint(out, u64::from(branch.0));
+            }
+            TraceEvent::Call { proc } => {
+                out.push(tag::CALL);
+                push_varint(out, delta);
+                push_varint(out, u64::from(proc.0));
+            }
+            TraceEvent::Return { proc } => {
+                out.push(tag::RETURN);
+                push_varint(out, delta);
+                push_varint(out, u64::from(proc.0));
+            }
+            TraceEvent::LoopEnter { loop_id } => {
+                out.push(tag::LOOP_ENTER);
+                push_varint(out, delta);
+                push_varint(out, u64::from(loop_id.0));
+            }
+            TraceEvent::LoopIter { loop_id } => {
+                out.push(tag::LOOP_ITER);
+                push_varint(out, delta);
+                push_varint(out, u64::from(loop_id.0));
+            }
+            TraceEvent::LoopExit { loop_id } => {
+                out.push(tag::LOOP_EXIT);
+                push_varint(out, delta);
+                push_varint(out, u64::from(loop_id.0));
+            }
+            TraceEvent::Finish => {
+                out.push(tag::FINISH);
+                push_varint(out, delta);
+            }
+        }
+    }
+}
+
+fn read_id(bytes: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
+    let v = read_varint(bytes, pos)?;
+    u32::try_from(v).map_err(|_| DecodeError::Overflow)
+}
+
+/// Replays a recorded trace into the observers, returning the number of
+/// events delivered.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input; events before the
+/// error have already been delivered.
+pub fn replay(
+    bytes: &[u8],
+    observers: &mut [&mut dyn TraceObserver],
+) -> Result<u64, DecodeError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut pos = MAGIC.len();
+    let mut icount = 0u64;
+    let mut events = 0u64;
+    while pos < bytes.len() {
+        let tag_byte = bytes[pos];
+        pos += 1;
+        let delta = read_varint(bytes, &mut pos)?;
+        icount += delta;
+        let event = match tag_byte {
+            tag::BLOCK => {
+                let block = BlockId(read_id(bytes, &mut pos)?);
+                let instrs = read_id(bytes, &mut pos)?;
+                let raw = bytes
+                    .get(pos..pos + 8)
+                    .ok_or(DecodeError::Truncated)?
+                    .try_into()
+                    .expect("8 bytes");
+                pos += 8;
+                TraceEvent::BlockExec { block, instrs, base_cpi: f64::from_le_bytes(raw) }
+            }
+            tag::MEM_READ => TraceEvent::MemAccess { addr: read_varint(bytes, &mut pos)?, write: false },
+            tag::MEM_WRITE => TraceEvent::MemAccess { addr: read_varint(bytes, &mut pos)?, write: true },
+            tag::BRANCH_TAKEN => {
+                TraceEvent::Branch { branch: BranchId(read_id(bytes, &mut pos)?), taken: true }
+            }
+            tag::BRANCH_NOT => {
+                TraceEvent::Branch { branch: BranchId(read_id(bytes, &mut pos)?), taken: false }
+            }
+            tag::CALL => TraceEvent::Call { proc: ProcId(read_id(bytes, &mut pos)?) },
+            tag::RETURN => TraceEvent::Return { proc: ProcId(read_id(bytes, &mut pos)?) },
+            tag::LOOP_ENTER => TraceEvent::LoopEnter { loop_id: LoopId(read_id(bytes, &mut pos)?) },
+            tag::LOOP_ITER => TraceEvent::LoopIter { loop_id: LoopId(read_id(bytes, &mut pos)?) },
+            tag::LOOP_EXIT => TraceEvent::LoopExit { loop_id: LoopId(read_id(bytes, &mut pos)?) },
+            tag::FINISH => TraceEvent::Finish,
+            other => return Err(DecodeError::BadTag(other)),
+        };
+        for obs in observers.iter_mut() {
+            obs.on_event(icount, &event);
+        }
+        events += 1;
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use proptest::prelude::*;
+    use spm_ir::{Input, ProgramBuilder, Trip};
+
+    /// Collects raw events for equality comparison.
+    #[derive(Default, PartialEq, Debug)]
+    struct Collector(Vec<(u64, TraceEvent)>);
+
+    impl TraceObserver for Collector {
+        fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+            self.0.push((icount, *event));
+        }
+    }
+
+    fn sample_program() -> spm_ir::Program {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.region_bytes("d", 1 << 14);
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(20), |outer| {
+                outer.block(30).rand_read(r, 2).seq_write(r, 1).done();
+                outer.if_prob(0.5, |t| t.call("f"), |_| {});
+            });
+        });
+        b.proc("f", |p| p.block(7).done());
+        b.build("main").unwrap()
+    }
+
+    #[test]
+    fn replay_reproduces_live_events_exactly() {
+        let program = sample_program();
+        let input = Input::new("x", 77);
+        let mut live = Collector::default();
+        let mut recorder = TraceRecorder::new();
+        {
+            let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut live, &mut recorder];
+            run(&program, &input, &mut observers).unwrap();
+        }
+        let recorded_events = recorder.events();
+        let trace = recorder.into_bytes();
+
+        let mut replayed = Collector::default();
+        let events = replay(&trace, &mut [&mut replayed]).unwrap();
+        assert_eq!(events, recorded_events);
+        assert_eq!(replayed, live);
+    }
+
+    #[test]
+    fn replayed_analysis_matches_live_analysis() {
+        // A timing model driven by replay reaches the identical state.
+        use crate::timing::TimingModel;
+        let program = sample_program();
+        let input = Input::new("x", 3);
+        let mut live = TimingModel::default();
+        let mut recorder = TraceRecorder::new();
+        {
+            let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut live, &mut recorder];
+            run(&program, &input, &mut observers).unwrap();
+        }
+        let mut replayed = TimingModel::default();
+        replay(&recorder.into_bytes(), &mut [&mut replayed]).unwrap();
+        assert_eq!(live.instrs(), replayed.instrs());
+        assert_eq!(live.cycles(), replayed.cycles());
+        assert_eq!(live.dl1_misses(), replayed.dl1_misses());
+        assert_eq!(live.mispredicts(), replayed.mispredicts());
+    }
+
+    #[test]
+    fn trace_is_compact() {
+        let program = sample_program();
+        let mut recorder = TraceRecorder::new();
+        run(&program, &Input::new("x", 1), &mut [&mut recorder]).unwrap();
+        let per_event = recorder.byte_len() as f64 / recorder.events() as f64;
+        assert!(per_event < 8.0, "{per_event} bytes/event is too fat");
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(replay(b"nope", &mut []), Err(DecodeError::BadMagic));
+        let mut bad = MAGIC.to_vec();
+        bad.push(99); // unknown tag
+        bad.push(0); // delta
+        assert_eq!(replay(&bad, &mut []), Err(DecodeError::BadTag(99)));
+        let mut trunc = MAGIC.to_vec();
+        trunc.push(tag::BLOCK);
+        trunc.push(0);
+        assert_eq!(replay(&trunc, &mut []), Err(DecodeError::Truncated));
+        // Varint overflow: 11 continuation bytes.
+        let mut over = MAGIC.to_vec();
+        over.push(tag::FINISH);
+        over.extend([0xff; 10]);
+        over.push(0x01);
+        assert_eq!(replay(&over, &mut []), Err(DecodeError::Overflow));
+    }
+
+    #[test]
+    fn empty_trace_replays_zero_events() {
+        assert_eq!(replay(MAGIC, &mut []), Ok(0));
+    }
+
+    proptest! {
+        #[test]
+        fn varints_round_trip(values in proptest::collection::vec(any::<u64>(), 0..50)) {
+            let mut bytes = Vec::new();
+            for &v in &values {
+                push_varint(&mut bytes, v);
+            }
+            let mut pos = 0;
+            for &v in &values {
+                prop_assert_eq!(read_varint(&bytes, &mut pos), Ok(v));
+            }
+            prop_assert_eq!(pos, bytes.len());
+        }
+
+        #[test]
+        fn recorded_traces_replay_for_random_seeds(seed in 0u64..500) {
+            let program = sample_program();
+            let input = Input::new("x", seed);
+            let mut live = Collector::default();
+            let mut recorder = TraceRecorder::new();
+            {
+                let mut observers: Vec<&mut dyn TraceObserver> =
+                    vec![&mut live, &mut recorder];
+                run(&program, &input, &mut observers).unwrap();
+            }
+            let mut replayed = Collector::default();
+            replay(&recorder.into_bytes(), &mut [&mut replayed]).unwrap();
+            prop_assert_eq!(replayed, live);
+        }
+    }
+}

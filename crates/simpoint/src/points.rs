@@ -1,0 +1,314 @@
+//! Choosing the number of phases and the simulation points.
+
+use crate::kmeans::{bic, kmeans, Clustering};
+use spm_bbv::{euclidean, project};
+
+/// How the simulation point (representative interval) of a cluster is
+/// chosen among the candidates nearest its centroid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RepresentativePolicy {
+    /// The median of the intervals tied for minimum centroid distance —
+    /// avoids systematically picking phase-entry intervals whose
+    /// transient (cold-cache) behaviour misrepresents the phase.
+    MedianNearest,
+    /// The *earliest* interval whose centroid distance is within
+    /// `(1 + slack)` of the minimum: Perelman et al.'s "early and
+    /// statistically valid" simulation points, which minimize the
+    /// fast-forwarding a simulator must do to reach each point.
+    Earliest {
+        /// Allowed relative distance slack over the nearest interval
+        /// (e.g. `0.2`).
+        slack: f64,
+    },
+}
+
+/// Configuration of a SimPoint run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPointConfig {
+    /// Maximum number of clusters to consider (`k_max`).
+    pub kmax: usize,
+    /// Random-projection dimensionality (the paper uses 15).
+    pub dims: usize,
+    /// RNG seed for projection and seeding.
+    pub seed: u64,
+    /// Pick the smallest `k` whose BIC reaches this fraction of the best
+    /// observed BIC range (SimPoint's default policy, 0.9).
+    pub bic_fraction: f64,
+    /// Simulation-point choice within a cluster.
+    pub policy: RepresentativePolicy,
+}
+
+impl SimPointConfig {
+    /// Creates a configuration with the standard 0.9 BIC fraction and
+    /// the median-nearest representative policy.
+    pub fn new(kmax: usize, dims: usize, seed: u64) -> Self {
+        Self { kmax, dims, seed, bic_fraction: 0.9, policy: RepresentativePolicy::MedianNearest }
+    }
+
+    /// Switches to early simulation points with the given distance
+    /// slack, builder-style.
+    #[must_use]
+    pub fn early(mut self, slack: f64) -> Self {
+        self.policy = RepresentativePolicy::Earliest { slack };
+        self
+    }
+}
+
+/// One phase (cluster) and its simulation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterInfo {
+    /// Index of the representative interval (the simulation point).
+    pub representative: usize,
+    /// Fraction of total execution weight in this cluster.
+    pub weight: f64,
+}
+
+/// Result of SimPoint phase classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPoints {
+    /// Chosen number of phases.
+    pub k: usize,
+    /// Cluster id per interval.
+    pub assignments: Vec<usize>,
+    /// Per-cluster simulation point and weight, by cluster id.
+    pub clusters: Vec<ClusterInfo>,
+}
+
+impl SimPoints {
+    /// Total execution-weight fraction covered by the clusters
+    /// (1.0 before filtering).
+    pub fn coverage(&self) -> f64 {
+        self.clusters.iter().map(|c| c.weight).sum()
+    }
+}
+
+/// The `k` values evaluated: exhaustive up to 16, then geometric up to
+/// `kmax` (SimPoint 3.0 similarly subsamples large `k` ranges).
+fn k_schedule(kmax: usize, n: usize) -> Vec<usize> {
+    let kmax = kmax.min(n).max(1);
+    let mut ks: Vec<usize> = (1..=kmax.min(16)).collect();
+    let mut k = 16usize;
+    while k < kmax {
+        k = (k * 3 / 2).min(kmax);
+        ks.push(k);
+    }
+    ks.dedup();
+    ks
+}
+
+/// Clusters the interval vectors and picks simulation points.
+///
+/// `vectors` are the per-interval BBVs (unprojected), `weights` the
+/// interval lengths in instructions. The vectors are randomly projected
+/// to `config.dims` dimensions, k-means runs for each candidate `k`, BIC
+/// selects the smallest sufficient `k`, and each cluster's simulation
+/// point is the interval closest to the centroid.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or lengths disagree with `weights`.
+pub fn pick_simpoints(
+    vectors: &[Vec<f64>],
+    weights: &[f64],
+    config: &SimPointConfig,
+) -> SimPoints {
+    assert!(!vectors.is_empty(), "need at least one interval");
+    assert_eq!(vectors.len(), weights.len());
+    let projected = project(vectors, config.dims, config.seed);
+
+    let mut scored: Vec<(usize, Clustering, f64)> = Vec::new();
+    for k in k_schedule(config.kmax, vectors.len()) {
+        let c = kmeans(&projected, weights, k, config.seed ^ (k as u64).wrapping_mul(0x9e37));
+        let score = bic(&c, &projected, weights);
+        scored.push((k, c, score));
+    }
+    let finite: Vec<f64> = scored.iter().map(|s| s.2).filter(|s| s.is_finite()).collect();
+    let max_bic = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min_bic = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let threshold = if finite.is_empty() || max_bic == min_bic {
+        f64::NEG_INFINITY
+    } else {
+        min_bic + config.bic_fraction * (max_bic - min_bic)
+    };
+    // `scored` is in increasing k; pick the smallest k meeting the
+    // threshold (with a -inf threshold, that is k = 1).
+    let clustering = scored
+        .into_iter()
+        .find(|(_, _, score)| *score >= threshold)
+        .map(|(_, c, _)| c)
+        .unwrap_or_else(|| kmeans(&projected, weights, 1, config.seed));
+
+    let total_w: f64 = weights.iter().sum();
+    let k = clustering.k();
+    let mut clusters = vec![ClusterInfo { representative: usize::MAX, weight: 0.0 }; k];
+    let mut best_dist = vec![f64::INFINITY; k];
+    for (i, p) in projected.iter().enumerate() {
+        let c = clustering.assignments[i];
+        clusters[c].weight += weights[i] / total_w.max(f64::MIN_POSITIVE);
+        let dist = euclidean(p, &clustering.centroids[c]);
+        if dist < best_dist[c] {
+            best_dist[c] = dist;
+            clusters[c].representative = i;
+        }
+    }
+    // Resolve the representative among near-minimum candidates per the
+    // configured policy. Ties (clusters of identical vectors are
+    // common) matter: always taking the first occurrence would
+    // systematically pick phase-*entry* intervals, whose transient
+    // microarchitectural behaviour (cold caches) misrepresents the
+    // phase.
+    for (c, info) in clusters.iter_mut().enumerate() {
+        if info.representative == usize::MAX {
+            continue;
+        }
+        let limit = match config.policy {
+            RepresentativePolicy::MedianNearest => best_dist[c] + 1e-12,
+            RepresentativePolicy::Earliest { slack } => {
+                best_dist[c] * (1.0 + slack.max(0.0)) + 1e-12
+            }
+        };
+        let candidates: Vec<usize> = projected
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| {
+                clustering.assignments[i] == c
+                    && euclidean(p, &clustering.centroids[c]) <= limit
+            })
+            .map(|(i, _)| i)
+            .collect();
+        info.representative = match config.policy {
+            RepresentativePolicy::MedianNearest => candidates[candidates.len() / 2],
+            RepresentativePolicy::Earliest { .. } => candidates[0],
+        };
+    }
+    // Drop clusters that received no points (possible when k was clamped).
+    let mut assignments = clustering.assignments;
+    let mut remap = vec![usize::MAX; k];
+    let mut kept = Vec::new();
+    for (c, info) in clusters.into_iter().enumerate() {
+        if info.representative != usize::MAX {
+            remap[c] = kept.len();
+            kept.push(info);
+        }
+    }
+    for a in &mut assignments {
+        *a = remap[*a];
+    }
+    SimPoints { k: kept.len(), assignments, clusters: kept }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_vectors() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut vectors = Vec::new();
+        for i in 0..30 {
+            let eps = (i % 5) as f64 * 0.01;
+            if i % 2 == 0 {
+                vectors.push(vec![1.0 - eps, eps, 0.0]);
+            } else {
+                vectors.push(vec![0.0, eps, 1.0 - eps]);
+            }
+        }
+        let weights = vec![1.0; vectors.len()];
+        (vectors, weights)
+    }
+
+    #[test]
+    fn finds_two_phases() {
+        let (vectors, weights) = two_blob_vectors();
+        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(8, 3, 1));
+        // The blobs have mild sub-structure, so BIC may split them
+        // further, but never mixes the two macro-phases.
+        assert!((2..=6).contains(&sp.k), "k = {}", sp.k);
+        for i in (0..30).step_by(2) {
+            for j in (1..30).step_by(2) {
+                assert_ne!(
+                    sp.assignments[i], sp.assignments[j],
+                    "intervals from different phases must not share a cluster"
+                );
+            }
+        }
+        assert!((sp.coverage() - 1.0).abs() < 1e-9);
+        // Representatives come from their own cluster.
+        for (c, info) in sp.clusters.iter().enumerate() {
+            assert_eq!(sp.assignments[info.representative], c);
+        }
+    }
+
+    #[test]
+    fn single_point_is_one_phase() {
+        let sp = pick_simpoints(&[vec![0.5, 0.5]], &[10.0], &SimPointConfig::new(5, 2, 3));
+        assert_eq!(sp.k, 1);
+        assert_eq!(sp.clusters[0].representative, 0);
+        assert!((sp.clusters[0].weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_drive_cluster_weight() {
+        let vectors = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let weights = vec![1.0, 1.0, 8.0];
+        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(4, 2, 5));
+        assert_eq!(sp.k, 2);
+        let heavy = sp.assignments[2];
+        assert!((sp.clusters[heavy].weight - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_schedule_shape() {
+        assert_eq!(k_schedule(4, 100), vec![1, 2, 3, 4]);
+        let ks = k_schedule(100, 1000);
+        assert_eq!(ks[..16], (1..=16).collect::<Vec<_>>()[..]);
+        assert_eq!(*ks.last().unwrap(), 100);
+        assert!(ks.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(k_schedule(50, 3), vec![1, 2, 3], "clamped to n");
+    }
+
+    #[test]
+    fn identical_vectors_collapse_to_one_phase() {
+        let vectors = vec![vec![0.3, 0.7]; 20];
+        let weights = vec![1.0; 20];
+        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(6, 2, 9));
+        assert_eq!(sp.k, 1, "no structure means one phase, got {}", sp.k);
+    }
+}
+
+#[cfg(test)]
+mod early_tests {
+    use super::*;
+
+    #[test]
+    fn earliest_policy_picks_first_qualifying_interval() {
+        // Two clusters; within each, intervals are identical, so the
+        // earliest policy must pick index 0 of each cluster's members
+        // while the median policy picks a middle one.
+        let mut vectors = Vec::new();
+        for i in 0..40 {
+            vectors.push(if i % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] });
+        }
+        let weights = vec![1.0; vectors.len()];
+        let median = pick_simpoints(&vectors, &weights, &SimPointConfig::new(4, 2, 3));
+        let early = pick_simpoints(&vectors, &weights, &SimPointConfig::new(4, 2, 3).early(0.2));
+        let earliest_sum: usize = early.clusters.iter().map(|c| c.representative).sum();
+        let median_sum: usize = median.clusters.iter().map(|c| c.representative).sum();
+        assert!(earliest_sum < median_sum, "early {earliest_sum} !< median {median_sum}");
+        // The two earliest representatives are the first members of the
+        // two phases: intervals 0 and 1.
+        let mut reps: Vec<usize> = early.clusters.iter().map(|c| c.representative).collect();
+        reps.sort_unstable();
+        assert_eq!(reps, vec![0, 1]);
+    }
+
+    #[test]
+    fn early_slack_never_changes_cluster_membership() {
+        let vectors: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 3) as f64 * 5.0, ((i * 7) % 5) as f64 * 0.01])
+            .collect();
+        let weights = vec![1.0; vectors.len()];
+        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(5, 2, 9).early(0.5));
+        for (c, info) in sp.clusters.iter().enumerate() {
+            assert_eq!(sp.assignments[info.representative], c);
+        }
+    }
+}

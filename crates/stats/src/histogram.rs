@@ -1,0 +1,175 @@
+//! Power-of-two histograms for heavy-tailed quantities (interval
+//! lengths, reuse distances).
+
+/// A histogram over `u64` samples with one bucket per power of two:
+/// bucket `i` holds samples in `[2^i, 2^(i+1))` (bucket 0 also holds 0).
+///
+/// # Examples
+///
+/// ```
+/// use spm_stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for x in [1u64, 2, 3, 1000, 1024, 100_000] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.bucket_count(1), 2); // 2 and 3
+/// assert!(h.median_bucket_lo() <= 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [0; 64], count: 0 }
+    }
+
+    fn bucket_of(x: u64) -> usize {
+        if x <= 1 {
+            0
+        } else {
+            63 - x.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: u64) {
+        self.buckets[Self::bucket_of(x)] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples in bucket `i` (range `[2^i, 2^(i+1))`).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Lower bound of the bucket containing the median sample (`0` when
+    /// empty).
+    pub fn median_bucket_lo(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen * 2 >= self.count {
+                return if i == 0 { 0 } else { 1 << i };
+            }
+        }
+        unreachable!("count is positive")
+    }
+
+    /// Iterates the non-empty buckets as `(lo, hi_exclusive, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let lo = if i == 0 { 0 } else { 1u64 << i };
+            let hi = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
+            (lo, hi, c)
+        })
+    }
+
+    /// Renders an ASCII bar chart, one row per non-empty bucket.
+    pub fn render(&self) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (lo, hi, c) in self.buckets() {
+            let bar = "#".repeat(((c * 40) / max).max(1) as usize);
+            out.push_str(&format!("{lo:>12}..{hi:<12} {c:>8} {bar}\n"));
+        }
+        out
+    }
+}
+
+impl Extend<u64> for LogHistogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(1023);
+        h.record(1024);
+        assert_eq!(h.bucket_count(0), 2); // 0 and 1
+        assert_eq!(h.bucket_count(1), 1); // 2
+        assert_eq!(h.bucket_count(9), 1); // 512..1024 holds 1023
+        assert_eq!(h.bucket_count(10), 1); // 1024
+    }
+
+    #[test]
+    fn median_bucket_tracks_mass() {
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(10_000);
+        }
+        h.record(1);
+        assert_eq!(h.median_bucket_lo(), 8192);
+        assert_eq!(LogHistogram::new().median_bucket_lo(), 0);
+    }
+
+    #[test]
+    fn render_shows_all_nonempty_buckets() {
+        let mut h = LogHistogram::new();
+        h.extend([5u64, 100, 100_000]);
+        let text = h.render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn u64_max_does_not_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_count(63), 1);
+        let (_, hi, _) = h.buckets().last().unwrap();
+        assert_eq!(hi, u64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn counts_are_conserved(xs in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let mut h = LogHistogram::new();
+            h.extend(xs.iter().copied());
+            prop_assert_eq!(h.count(), xs.len() as u64);
+            let bucket_total: u64 = h.buckets().map(|(_, _, c)| c).sum();
+            prop_assert_eq!(bucket_total, xs.len() as u64);
+        }
+
+        #[test]
+        fn samples_land_in_their_range(x in any::<u64>()) {
+            let mut h = LogHistogram::new();
+            h.record(x);
+            let (lo, hi, c) = h.buckets().next().unwrap();
+            prop_assert_eq!(c, 1);
+            prop_assert!(lo <= x);
+            prop_assert!(x < hi || hi == u64::MAX);
+        }
+    }
+}

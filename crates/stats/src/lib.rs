@@ -1,0 +1,184 @@
+//! Weighted and streaming statistics used throughout the phase-marker
+//! pipeline.
+//!
+//! The CGO'06 paper leans on three statistical notions:
+//!
+//! * per-edge **mean / standard deviation / maximum** of hierarchical
+//!   instruction counts (call-loop graph annotations),
+//! * the **coefficient of variation** (CoV = stddev / mean), the paper's
+//!   marker-quality and phase-homogeneity metric, and
+//! * **instruction-weighted** per-phase CoV of CPI, where each interval is
+//!   weighted by the number of instructions it represents.
+//!
+//! [`Running`] is a numerically stable (Welford) accumulator for the
+//! unweighted case; [`WeightedRunning`] generalizes it to weighted samples
+//! (West's algorithm). [`phase_cov`] implements the paper's overall-CoV
+//! metric over a phase classification.
+//!
+//! # Examples
+//!
+//! ```
+//! use spm_stats::Running;
+//!
+//! let mut acc = Running::new();
+//! for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+//!     acc.push(x);
+//! }
+//! assert_eq!(acc.mean(), 5.0);
+//! assert_eq!(acc.population_stddev(), 2.0);
+//! assert_eq!(acc.cov(), 0.4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod running;
+mod weighted;
+
+pub use histogram::LogHistogram;
+pub use running::Running;
+pub use weighted::WeightedRunning;
+
+/// A single interval's contribution to a phase-classification quality
+/// metric: which phase the interval belongs to, the measured metric value
+/// (e.g. CPI), and the interval's weight (instruction count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSample {
+    /// Phase id the interval was classified into.
+    pub phase: usize,
+    /// Metric value for the interval (CPI, miss rate, ...).
+    pub value: f64,
+    /// Interval weight; the paper weights by instructions executed.
+    pub weight: f64,
+}
+
+/// Computes the paper's **overall CoV** of a phase classification.
+///
+/// For every phase, the weighted mean and weighted (population) standard
+/// deviation of `value` are computed over the intervals in the phase, with
+/// each interval weighted by its instruction count; the per-phase CoV is
+/// `stddev / mean`. Per-phase CoVs are then averaged across phases, each
+/// phase weighted by its total instruction weight, which matches the
+/// paper's convention that "intervals that represent a larger percentage of
+/// the program's execution receive more weight in the CoV calculations".
+///
+/// Returns `0.0` for an empty classification. Phases with non-positive
+/// total weight or zero mean contribute a CoV of zero.
+///
+/// # Examples
+///
+/// ```
+/// use spm_stats::{phase_cov, PhaseSample};
+///
+/// // Two perfectly homogeneous phases => overall CoV 0.
+/// let samples = [
+///     PhaseSample { phase: 0, value: 1.0, weight: 10.0 },
+///     PhaseSample { phase: 0, value: 1.0, weight: 30.0 },
+///     PhaseSample { phase: 1, value: 2.5, weight: 20.0 },
+/// ];
+/// assert_eq!(phase_cov(&samples), 0.0);
+/// ```
+pub fn phase_cov(samples: &[PhaseSample]) -> f64 {
+    let num_phases = match samples.iter().map(|s| s.phase).max() {
+        Some(max) => max + 1,
+        None => return 0.0,
+    };
+    let mut per_phase: Vec<WeightedRunning> = vec![WeightedRunning::new(); num_phases];
+    for s in samples {
+        per_phase[s.phase].push(s.value, s.weight);
+    }
+    let mut overall = WeightedRunning::new();
+    for acc in &per_phase {
+        if acc.total_weight() > 0.0 {
+            overall.push(acc.cov(), acc.total_weight());
+        }
+    }
+    overall.mean()
+}
+
+/// Computes the CoV of a metric treating the entire execution as a single
+/// phase ("whole program" bars in the paper's Figure 9).
+///
+/// Each `(value, weight)` pair is one interval.
+pub fn whole_program_cov(intervals: &[(f64, f64)]) -> f64 {
+    let mut acc = WeightedRunning::new();
+    for &(value, weight) in intervals {
+        acc.push(value, weight);
+    }
+    acc.cov()
+}
+
+/// Weighted arithmetic mean of `(value, weight)` pairs; `0.0` when the
+/// total weight is not positive.
+pub fn weighted_mean(pairs: &[(f64, f64)]) -> f64 {
+    let mut acc = WeightedRunning::new();
+    for &(v, w) in pairs {
+        acc.push(v, w);
+    }
+    acc.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_cov_empty_is_zero() {
+        assert_eq!(phase_cov(&[]), 0.0);
+    }
+
+    #[test]
+    fn phase_cov_single_interval_per_phase_is_zero() {
+        let samples = [
+            PhaseSample { phase: 0, value: 1.7, weight: 5.0 },
+            PhaseSample { phase: 1, value: 0.4, weight: 9.0 },
+        ];
+        assert_eq!(phase_cov(&samples), 0.0);
+    }
+
+    #[test]
+    fn phase_cov_mixed_phases() {
+        // Phase 0: values 1 and 3, equal weights -> mean 2, stddev 1, CoV 0.5.
+        // Phase 1: constant -> CoV 0.
+        // Phase 0 carries 2/3 of the weight.
+        let samples = [
+            PhaseSample { phase: 0, value: 1.0, weight: 1.0 },
+            PhaseSample { phase: 0, value: 3.0, weight: 1.0 },
+            PhaseSample { phase: 1, value: 5.0, weight: 1.0 },
+        ];
+        let cov = phase_cov(&samples);
+        assert!((cov - 0.5 * (2.0 / 3.0)).abs() < 1e-12, "cov = {cov}");
+    }
+
+    #[test]
+    fn phase_cov_ignores_empty_phase_ids() {
+        // Phase 1 is never used; phases 0 and 2 are homogeneous.
+        let samples = [
+            PhaseSample { phase: 0, value: 2.0, weight: 1.0 },
+            PhaseSample { phase: 2, value: 4.0, weight: 1.0 },
+        ];
+        assert_eq!(phase_cov(&samples), 0.0);
+    }
+
+    #[test]
+    fn whole_program_cov_matches_manual() {
+        let intervals = [(1.0, 1.0), (3.0, 1.0)];
+        assert!((whole_program_cov(&intervals) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_basic() {
+        assert_eq!(weighted_mean(&[(1.0, 1.0), (4.0, 2.0)]), 3.0);
+        assert_eq!(weighted_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn n_intervals_n_phases_gives_zero_cov() {
+        // The degenerate case the paper warns about: one interval per phase.
+        let samples: Vec<PhaseSample> = (0..10)
+            .map(|i| PhaseSample { phase: i, value: i as f64 + 1.0, weight: 1.0 })
+            .collect();
+        assert_eq!(phase_cov(&samples), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Weighted streaming statistics (West's incremental algorithm).
+
+/// Streaming accumulator for weighted mean and weighted population
+/// variance.
+///
+/// Used for the paper's instruction-weighted metrics: when computing the
+/// per-phase CoV of CPI, "we weight each interval by the number of
+/// instructions in the interval".
+///
+/// # Examples
+///
+/// ```
+/// use spm_stats::WeightedRunning;
+///
+/// let mut acc = WeightedRunning::new();
+/// acc.push(1.0, 3.0); // value 1 with weight 3
+/// acc.push(5.0, 1.0);
+/// assert_eq!(acc.mean(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WeightedRunning {
+    total_weight: f64,
+    mean: f64,
+    m2: f64,
+    count: u64,
+}
+
+impl WeightedRunning {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample with the given weight. Samples with non-positive
+    /// weight are ignored.
+    pub fn push(&mut self, value: f64, weight: f64) {
+        if weight <= 0.0 {
+            return;
+        }
+        self.count += 1;
+        self.total_weight += weight;
+        let delta = value - self.mean;
+        self.mean += delta * weight / self.total_weight;
+        self.m2 += weight * delta * (value - self.mean);
+    }
+
+    /// Number of (positively weighted) samples pushed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the weights.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Weighted mean; `0.0` when the total weight is not positive.
+    pub fn mean(&self) -> f64 {
+        if self.total_weight <= 0.0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Weighted population variance (normalized by total weight).
+    pub fn population_variance(&self) -> f64 {
+        if self.total_weight <= 0.0 {
+            0.0
+        } else {
+            (self.m2 / self.total_weight).max(0.0)
+        }
+    }
+
+    /// Weighted population standard deviation.
+    pub fn population_stddev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Weighted coefficient of variation (stddev / mean); `0.0` when the
+    /// mean is zero.
+    pub fn cov(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.population_stddev() / mean.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let acc = WeightedRunning::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.population_variance(), 0.0);
+        assert_eq!(acc.cov(), 0.0);
+        assert_eq!(acc.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn non_positive_weights_are_ignored() {
+        let mut acc = WeightedRunning::new();
+        acc.push(100.0, 0.0);
+        acc.push(100.0, -5.0);
+        assert_eq!(acc.count(), 0);
+        acc.push(2.0, 1.0);
+        assert_eq!(acc.mean(), 2.0);
+    }
+
+    #[test]
+    fn integer_weight_equals_repetition() {
+        let mut weighted = WeightedRunning::new();
+        weighted.push(3.0, 4.0);
+        weighted.push(7.0, 2.0);
+
+        let mut repeated = WeightedRunning::new();
+        for _ in 0..4 {
+            repeated.push(3.0, 1.0);
+        }
+        for _ in 0..2 {
+            repeated.push(7.0, 1.0);
+        }
+        assert!((weighted.mean() - repeated.mean()).abs() < 1e-12);
+        assert!(
+            (weighted.population_variance() - repeated.population_variance()).abs() < 1e-12
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_weighted_stats(
+            pairs in proptest::collection::vec((-1e5f64..1e5, 0.001f64..1e4), 1..100)
+        ) {
+            let mut acc = WeightedRunning::new();
+            for &(v, w) in &pairs {
+                acc.push(v, w);
+            }
+            let total: f64 = pairs.iter().map(|p| p.1).sum();
+            let mean: f64 = pairs.iter().map(|(v, w)| v * w).sum::<f64>() / total;
+            let var: f64 =
+                pairs.iter().map(|(v, w)| w * (v - mean).powi(2)).sum::<f64>() / total;
+            prop_assert!((acc.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((acc.population_variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        }
+
+        #[test]
+        fn scaling_weights_is_invariant(
+            pairs in proptest::collection::vec((-1e5f64..1e5, 0.001f64..1e4), 1..50),
+            scale in 0.01f64..100.0,
+        ) {
+            let mut a = WeightedRunning::new();
+            let mut b = WeightedRunning::new();
+            for &(v, w) in &pairs {
+                a.push(v, w);
+                b.push(v, w * scale);
+            }
+            prop_assert!((a.mean() - b.mean()).abs() < 1e-6 * (1.0 + a.mean().abs()));
+            prop_assert!(
+                (a.population_variance() - b.population_variance()).abs()
+                    < 1e-4 * (1.0 + a.population_variance().abs())
+            );
+        }
+    }
+}

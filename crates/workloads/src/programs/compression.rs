@@ -1,0 +1,148 @@
+//! Compression-shaped workloads: gzip, bzip2, compress.
+
+use spm_ir::{Input, Program, ProgramBuilder, Trip};
+
+/// gzip/graphic — the paper's Figure 3 program: per input chunk, a
+/// **long high-miss deflate phase** (hash-chain chasing in a 256KB
+/// window) alternates with a **short low-miss flush phase** (streaming
+/// output). Trip counts carry mild data-dependent jitter, so phases are
+/// stable but not sterile.
+pub(crate) fn gzip() -> (Program, Input, Input) {
+    let mut b = ProgramBuilder::new("gzip");
+    let input = b.region_scaled("input", "insize", 1);
+    let window = b.region_bytes("window", 256 << 10);
+    let output = b.region_bytes("output", 128 << 10);
+    b.proc("main", |p| {
+        p.loop_(Trip::Param("chunks".into()), |chunk| {
+            chunk.call("deflate");
+            chunk.call("flush");
+        });
+    });
+    b.proc("deflate", |p| {
+        p.block(40).seq_read(input, 2).done();
+        p.loop_(Trip::Jitter { mean: 600, pct: 5 }, |body| {
+            body.block(60).chase_read(window, 6).seq_read(input, 2).done();
+        });
+    });
+    b.proc("flush", |p| {
+        p.loop_(Trip::Jitter { mean: 150, pct: 5 }, |body| {
+            body.block(50).base_cpi(0.9).seq_write(output, 4).done();
+        });
+    });
+    let program = b.build("main").expect("gzip builds");
+    let train = Input::new("train", 0x717a1).with("chunks", 30).with("insize", 1 << 18);
+    let reference = Input::new("ref", 0x717a2).with("chunks", 200).with("insize", 1 << 20);
+    (program, train, reference)
+}
+
+/// bzip2/graphic — the paper's Figures 5/6 program: execution sits in a
+/// few dominant code regions (block sort, move-to-front, Huffman) and
+/// transitions between them only a few times per input block.
+pub(crate) fn bzip2() -> (Program, Input, Input) {
+    let mut b = ProgramBuilder::new("bzip2");
+    let data = b.region_scaled("data", "blocksize", 1);
+    let freq = b.region_bytes("freq", 32 << 10);
+    b.proc("main", |p| {
+        p.loop_(Trip::Param("blocks".into()), |blk| {
+            blk.call("block_sort");
+            blk.call("mtf");
+            blk.call("huffman");
+        });
+    });
+    b.proc("block_sort", |p| {
+        p.block(30).done();
+        p.loop_(Trip::Jitter { mean: 6000, pct: 4 }, |body| {
+            body.block(70).rand_read(data, 3).done();
+        });
+    });
+    b.proc("mtf", |p| {
+        p.block(30).done();
+        p.loop_(Trip::Jitter { mean: 7000, pct: 4 }, |body| {
+            body.block(50).seq_read(data, 4).hot_read(freq, 1, 25).done();
+        });
+    });
+    b.proc("huffman", |p| {
+        p.block(30).done();
+        p.loop_(Trip::Jitter { mean: 8000, pct: 4 }, |body| {
+            body.block(60).base_cpi(0.8).hot_read(freq, 4, 20).done();
+        });
+    });
+    let program = b.build("main").expect("bzip2 builds");
+    let train = Input::new("train", 0x627a1).with("blocks", 2).with("blocksize", 512 << 10);
+    let reference = Input::new("ref", 0x627a2).with("blocks", 8).with("blocksize", 1 << 20);
+    (program, train, reference)
+}
+
+/// compress95 — LZW: a dictionary-building loop hammering an 80KB hash
+/// table (random probes) interleaved with streaming input, punctuated
+/// by periodic table resets; one of Shen et al.'s five regular
+/// programs (Figure 10).
+pub(crate) fn compress() -> (Program, Input, Input) {
+    let mut b = ProgramBuilder::new("compress");
+    let htab = b.region_bytes("htab", 80 << 10);
+    let input = b.region_scaled("input", "insize", 1);
+    b.proc("main", |p| {
+        p.loop_(Trip::Param("blocks".into()), |blk| {
+            blk.call("compress_block");
+            blk.call("reset_table");
+        });
+    });
+    b.proc("compress_block", |p| {
+        p.block(25).done();
+        p.loop_(Trip::Jitter { mean: 4000, pct: 3 }, |body| {
+            body.block(25).rand_read(htab, 2).seq_read(input, 1).done();
+        });
+    });
+    b.proc("reset_table", |p| {
+        p.loop_(Trip::Fixed(300), |body| {
+            body.block(30).base_cpi(0.85).seq_write(htab, 4).done();
+        });
+    });
+    let program = b.build("main").expect("compress builds");
+    let train = Input::new("train", 0x637a1).with("blocks", 12).with("insize", 1 << 18);
+    let reference = Input::new("ref", 0x637a2).with("blocks", 70).with("insize", 1 << 20);
+    (program, train, reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spm_sim::run;
+
+    #[test]
+    fn gzip_alternates_phases() {
+        let (program, _, reference) = gzip();
+        // Count deflate and flush invocations: equal, one per chunk.
+        let deflate = program.proc_by_name("deflate").unwrap().id;
+        let flush = program.proc_by_name("flush").unwrap().id;
+        let mut counts = (0u64, 0u64);
+        let mut obs = |_: u64, ev: &spm_sim::TraceEvent| {
+            if let spm_sim::TraceEvent::Call { proc } = ev {
+                if *proc == deflate {
+                    counts.0 += 1;
+                } else if *proc == flush {
+                    counts.1 += 1;
+                }
+            }
+        };
+        run(&program, &reference, &mut [&mut obs]).unwrap();
+        drop(obs);
+        assert_eq!(counts.0, 200);
+        assert_eq!(counts.1, 200);
+    }
+
+    #[test]
+    fn bzip2_is_block_structured() {
+        let (program, train, _) = bzip2();
+        let s = run(&program, &train, &mut []).unwrap();
+        // 2 blocks x ~(6000*70 + 7000*50 + 8000*60) ~= 2.5M.
+        assert!(s.instrs > 1_000_000 && s.instrs < 6_000_000, "{}", s.instrs);
+    }
+
+    #[test]
+    fn compress_ref_scale() {
+        let (program, _, reference) = compress();
+        let s = run(&program, &reference, &mut []).unwrap();
+        assert!(s.instrs > 4_000_000 && s.instrs < 30_000_000, "{}", s.instrs);
+    }
+}

@@ -1,0 +1,200 @@
+//! Irregular, procedure-heavy integer workloads: gcc, vortex, perlbmk.
+//!
+//! These are the programs the paper singles out: Shen et al.'s
+//! reuse-distance approach "found it difficult to find structure in
+//! more complex programs like gcc and vortex", while the call-loop
+//! marker algorithm still finds stable procedure-level boundaries.
+
+use spm_ir::{Input, Program, ProgramBuilder, Trip};
+
+/// gcc/166 — per-function compilation pipeline with wildly varying
+/// function sizes (uniform-random trip counts), recursive expression
+/// parsing, and distinct working sets per pass.
+pub(crate) fn gcc() -> (Program, Input, Input) {
+    let mut b = ProgramBuilder::new("gcc");
+    let ast = b.region_bytes("ast", 512 << 10);
+    let rtl = b.region_bytes("rtl", 256 << 10);
+    let symtab = b.region_bytes("symtab", 96 << 10);
+    b.proc("main", |p| {
+        p.loop_(Trip::Param("funcs".into()), |f| {
+            f.call("parse");
+            f.call("optimize");
+            f.if_prob(0.3, |t| t.call("regalloc_heavy"), |e| e.call("regalloc_light"));
+            f.call("emit");
+        });
+    });
+    b.proc("parse", |p| {
+        p.block(35).chase_read(symtab, 1).done();
+        p.loop_(Trip::Uniform { lo: 40, hi: 900 }, |body| {
+            body.block(40).chase_read(ast, 2).done();
+            body.if_prob(0.15, |t| t.call("parse_expr"), |_| {});
+        });
+    });
+    b.proc("parse_expr", |p| {
+        p.block(30).chase_read(ast, 1).done();
+        p.if_prob(0.4, |t| t.call("parse_expr"), |_| {});
+    });
+    b.proc("optimize", |p| {
+        p.loop_(Trip::Uniform { lo: 30, hi: 700 }, |body| {
+            body.block(55).rand_read(rtl, 3).done();
+        });
+    });
+    b.proc("regalloc_heavy", |p| {
+        p.loop_(Trip::Uniform { lo: 200, hi: 1200 }, |body| {
+            body.block(45).rand_read(rtl, 2).chase_read(symtab, 1).done();
+        });
+    });
+    b.proc("regalloc_light", |p| {
+        p.loop_(Trip::Uniform { lo: 20, hi: 150 }, |body| {
+            body.block(40).hot_read(symtab, 2, 30).done();
+        });
+    });
+    b.proc("emit", |p| {
+        p.loop_(Trip::Uniform { lo: 20, hi: 300 }, |body| {
+            body.block(45).seq_read(rtl, 4).done();
+        });
+    });
+    let program = b.build("main").expect("gcc builds");
+    let train = Input::new("train", 0x67631).with("funcs", 60);
+    let reference = Input::new("ref", 0x67632).with("funcs", 420);
+    (program, train, reference)
+}
+
+/// vortex/one — an object database: lookup/insert transactions with
+/// jittered sizes, punctuated by a perfectly periodic full-database
+/// validation sweep (the stable behaviour the markers latch onto).
+pub(crate) fn vortex() -> (Program, Input, Input) {
+    let mut b = ProgramBuilder::new("vortex");
+    let db = b.region_bytes("db", 1 << 21);
+    let index = b.region_bytes("index", 224 << 10);
+    b.proc("main", |p| {
+        p.loop_(Trip::Param("txns".into()), |t| {
+            t.if_periodic(
+                25,
+                0,
+                |v| v.call("validate"),
+                |w| {
+                    w.call("lookup");
+                    w.if_prob(0.6, |i| i.call("insert"), |d| d.call("delete"));
+                },
+            );
+        });
+    });
+    b.proc("lookup", |p| {
+        p.block(25).done();
+        p.loop_(Trip::Jitter { mean: 90, pct: 40 }, |body| {
+            body.block(35).chase_read(index, 2).done();
+        });
+    });
+    b.proc("insert", |p| {
+        p.loop_(Trip::Jitter { mean: 70, pct: 40 }, |body| {
+            body.block(40).chase_read(db, 2).seq_write(db, 1).done();
+        });
+    });
+    b.proc("delete", |p| {
+        p.loop_(Trip::Jitter { mean: 40, pct: 40 }, |body| {
+            body.block(35).chase_read(db, 1).done();
+        });
+    });
+    b.proc("validate", |p| {
+        p.block(30).done();
+        p.loop_(Trip::Fixed(2500), |body| {
+            body.block(50).chase_read(db, 4).done();
+        });
+    });
+    let program = b.build("main").expect("vortex builds");
+    let train = Input::new("train", 0x766f1).with("txns", 300);
+    let reference = Input::new("ref", 0x766f2).with("txns", 2200);
+    (program, train, reference)
+}
+
+/// perlbmk/diffmail — a bytecode-interpreter loop dispatching small
+/// handler blocks, with a periodic garbage-collection sweep over the
+/// heap every 40K operations.
+pub(crate) fn perlbmk() -> (Program, Input, Input) {
+    let mut b = ProgramBuilder::new("perlbmk");
+    let heap = b.region_bytes("heap", 768 << 10);
+    let stack = b.region_bytes("stack", 48 << 10);
+    let script = b.region_bytes("script", 96 << 10);
+    b.proc("main", |p| {
+        p.loop_(Trip::Param("ops".into()), |op| {
+            op.if_periodic(
+                40_000,
+                0,
+                |gc| gc.call("gc"),
+                |dispatch| {
+                    dispatch.block(8).seq_read(script, 1).done();
+                    dispatch.if_prob(
+                        0.55,
+                        |a| a.block(12).hot_read(stack, 2, 30).done(),
+                        |b| {
+                            b.if_prob(
+                                0.5,
+                                |s| s.block(14).chase_read(heap, 1).done(),
+                                |t| t.block(10).base_cpi(1.2).done(),
+                            );
+                        },
+                    );
+                },
+            );
+        });
+    });
+    b.proc("gc", |p| {
+        p.block(20).done();
+        p.loop_(Trip::Fixed(4000), |body| {
+            body.block(30).seq_read(heap, 4).done();
+        });
+    });
+    let program = b.build("main").expect("perlbmk builds");
+    let train = Input::new("train", 0x70651).with("ops", 50_000);
+    let reference = Input::new("ref", 0x70652).with("ops", 360_000);
+    (program, train, reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spm_sim::run;
+
+    #[test]
+    fn gcc_varies_per_function() {
+        // The per-function work must vary a lot across functions: run two
+        // different seeds and observe different totals.
+        let (program, train, _) = gcc();
+        let other = Input::new("train2", 999).with("funcs", 60);
+        let a = run(&program, &train, &mut []).unwrap();
+        let b = run(&program, &other, &mut []).unwrap();
+        assert_ne!(a.instrs, b.instrs);
+        assert!(a.instrs > 300_000);
+    }
+
+    #[test]
+    fn gcc_recursion_stays_bounded() {
+        let (program, _, reference) = gcc();
+        let s = run(&program, &reference, &mut []).unwrap();
+        assert_eq!(s.truncated_calls, 0, "p=0.4 recursion must stay below the depth limit");
+    }
+
+    #[test]
+    fn vortex_validation_is_periodic() {
+        let (program, _, reference) = vortex();
+        let validate = program.proc_by_name("validate").unwrap().id;
+        let mut count = 0u64;
+        let mut obs = |_: u64, ev: &spm_sim::TraceEvent| {
+            if matches!(ev, spm_sim::TraceEvent::Call { proc } if *proc == validate) {
+                count += 1;
+            }
+        };
+        run(&program, &reference, &mut [&mut obs]).unwrap();
+        drop(obs);
+        assert_eq!(count, 2200 / 25);
+    }
+
+    #[test]
+    fn perlbmk_gc_dominated_by_interpreter() {
+        let (program, train, _) = perlbmk();
+        let s = run(&program, &train, &mut []).unwrap();
+        // 50K ops x ~20 instrs plus 2 GC sweeps (1 at op 0, 1 at 40_000).
+        assert!(s.instrs > 800_000 && s.instrs < 4_000_000, "{}", s.instrs);
+    }
+}

@@ -1,0 +1,17 @@
+//! One constructor per benchmark, grouped by domain.
+//!
+//! Each function returns `(program, train input, ref input)`. Region
+//! sizes and trip counts are scaled so `ref` runs execute on the order
+//! of 10^7 instructions — about 10^3 times smaller than real SPEC `ref`
+//! runs, with every analysis threshold scaled accordingly (see
+//! DESIGN.md).
+
+mod compression;
+mod irregular;
+mod pointer;
+mod scientific;
+
+pub(crate) use compression::{bzip2, compress, gzip};
+pub(crate) use irregular::{gcc, perlbmk, vortex};
+pub(crate) use pointer::{mcf, mesh, vpr};
+pub(crate) use scientific::{applu, art, galgel, lucas, mgrid, swim, tomcatv};

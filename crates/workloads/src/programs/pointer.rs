@@ -1,0 +1,139 @@
+//! Pointer-chasing and graph workloads: mcf, mesh, vpr.
+
+use spm_ir::{Input, Program, ProgramBuilder, Trip};
+
+/// mcf/ref — network simplex: alternating potential refresh over the
+/// node array and arc pricing over a multi-megabyte arc array chased
+/// through pointers; memory-bound with a large working set.
+pub(crate) fn mcf() -> (Program, Input, Input) {
+    let mut b = ProgramBuilder::new("mcf");
+    let arcs = b.region_scaled("arcs", "arcbytes", 1);
+    let nodes = b.region_bytes("nodes", 448 << 10);
+    b.proc("main", |p| {
+        p.loop_(Trip::Param("iters".into()), |it| {
+            it.call("refresh_potential");
+            it.call("price_arcs");
+            it.if_periodic(8, 7, |t| t.call("flow_update"), |_| {});
+        });
+    });
+    b.proc("refresh_potential", |p| {
+        p.block(20).done();
+        p.loop_(Trip::Jitter { mean: 2500, pct: 6 }, |body| {
+            body.block(25).base_cpi(1.3).chase_read(nodes, 2).done();
+        });
+    });
+    b.proc("price_arcs", |p| {
+        p.block(20).done();
+        p.loop_(Trip::Jitter { mean: 4500, pct: 6 }, |body| {
+            body.block(30).base_cpi(1.2).chase_read(arcs, 3).done();
+        });
+    });
+    b.proc("flow_update", |p| {
+        p.loop_(Trip::Fixed(1500), |body| {
+            body.block(35).seq_read(arcs, 2).seq_write(nodes, 1).done();
+        });
+    });
+    let program = b.build("main").expect("mcf builds");
+    let train = Input::new("train", 0x6d631).with("iters", 12).with("arcbytes", 1 << 21);
+    let reference = Input::new("ref", 0x6d632).with("iters", 60).with("arcbytes", 3 << 21);
+    (program, train, reference)
+}
+
+/// mesh — unstructured-mesh smoothing: per step a pointer-chase sweep
+/// over a 160KB element array then a streaming metric evaluation over
+/// small coordinate data; one of Shen et al.'s regular five
+/// (Figure 10), with working sets straddling the reconfigurable cache
+/// sizes.
+pub(crate) fn mesh() -> (Program, Input, Input) {
+    let mut b = ProgramBuilder::new("mesh");
+    let elems = b.region_bytes("elems", 160 << 10);
+    let coords = b.region_bytes("coords", 16 << 10);
+    b.proc("main", |p| {
+        p.loop_(Trip::Param("steps".into()), |s| {
+            s.call("smooth");
+            s.call("metric");
+        });
+    });
+    b.proc("smooth", |p| {
+        p.block(25).done();
+        p.loop_(Trip::Fixed(2600), |body| {
+            body.block(40).chase_read(elems, 3).seq_read(coords, 1).done();
+        });
+    });
+    b.proc("metric", |p| {
+        p.block(25).done();
+        p.loop_(Trip::Fixed(1800), |body| {
+            body.block(35).base_cpi(0.85).hot_read(coords, 4, 50).done();
+        });
+    });
+    let program = b.build("main").expect("mesh builds");
+    let train = Input::new("train", 0x6d651).with("steps", 8);
+    let reference = Input::new("ref", 0x6d652).with("steps", 45);
+    (program, train, reference)
+}
+
+/// vpr/route — simulated-annealing placement: per temperature step, a
+/// deterministic cost recomputation sweep followed by a long jittered
+/// loop of random move evaluations with probabilistic accept/reject.
+/// The annealing loops live directly in `main` (like the paper's vpr,
+/// whose procedure-only classification collapses to one whole-program
+/// phase).
+pub(crate) fn vpr() -> (Program, Input, Input) {
+    let mut b = ProgramBuilder::new("vpr");
+    let grid = b.region_bytes("grid", 384 << 10);
+    let netlist = b.region_bytes("netlist", 192 << 10);
+    b.proc("main", |p| {
+        p.loop_(Trip::Param("temps".into()), |t| {
+            t.block(30).done();
+            t.loop_(Trip::Fixed(1200), |body| {
+                body.block(45).base_cpi(0.9).seq_read(netlist, 4).done();
+            });
+            t.loop_(Trip::Jitter { mean: 3500, pct: 8 }, |body| {
+                body.block(30).rand_read(grid, 2).done();
+                body.if_prob(
+                    0.44,
+                    |acc| acc.block(22).rand_write(grid, 1).done(),
+                    |rej| rej.block(6).done(),
+                );
+            });
+        });
+    });
+    let program = b.build("main").expect("vpr builds");
+    let train = Input::new("train", 0x76701).with("temps", 12);
+    let reference = Input::new("ref", 0x76702).with("temps", 62);
+    (program, train, reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spm_sim::run;
+
+    #[test]
+    fn mcf_is_memory_bound() {
+        let (program, train, _) = mcf();
+        let mut timing = spm_sim::TimingModel::default();
+        run(&program, &train, &mut [&mut timing]).unwrap();
+        assert!(timing.dl1_miss_rate() > 0.2, "miss rate {}", timing.dl1_miss_rate());
+        assert!(timing.cpi() > 1.5, "cpi {}", timing.cpi());
+    }
+
+    #[test]
+    fn mesh_phases_have_distinct_footprints() {
+        // The smooth phase (160KB chase) misses in a 64KB DL1; the metric
+        // phase (20KB hotspot) mostly hits, so whole-run miss rate sits
+        // strictly between the two.
+        let (program, train, _) = mesh();
+        let mut timing = spm_sim::TimingModel::default();
+        run(&program, &train, &mut [&mut timing]).unwrap();
+        let rate = timing.dl1_miss_rate();
+        assert!(rate > 0.05 && rate < 0.8, "miss rate {rate}");
+    }
+
+    #[test]
+    fn vpr_scale() {
+        let (program, _, reference) = vpr();
+        let s = run(&program, &reference, &mut []).unwrap();
+        assert!(s.instrs > 4_000_000 && s.instrs < 40_000_000, "{}", s.instrs);
+    }
+}

@@ -1,0 +1,96 @@
+//! Cross-binary simulation points (the paper's Section 6.2.1): select
+//! one marker set valid across two compilations of the same source,
+//! verify the marker traces are identical, and pick simulation points
+//! whose positions transfer between the binaries.
+//!
+//! ```text
+//! cargo run --release --example cross_binary_simpoints [workload]
+//! ```
+
+use spm::bbv::{Boundaries, IntervalBbvCollector};
+use spm::core::crossbin::{select_cross_binary, traces_match};
+use spm::core::{partition, CallLoopProfiler, MarkerRuntime, SelectConfig, PRELUDE_PHASE};
+use spm::ir::{compile, CompileConfig, Input, Program};
+use spm::sim::run;
+use spm::simpoint::{pick_simpoints, SimPointConfig};
+use spm::workloads::build;
+
+fn profile(program: &Program, input: &Input) -> spm::core::CallLoopGraph {
+    let mut profiler = CallLoopProfiler::new();
+    run(program, input, &mut [&mut profiler]).expect("runs");
+    profiler.into_graph()
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "swim".to_string());
+    let workload = build(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(1);
+    });
+
+    // Two compilations of the same source: unoptimized and peak.
+    let bin_a = compile(&workload.program, &CompileConfig::unoptimized());
+    let bin_b = compile(&workload.program, &CompileConfig::optimized());
+    let input = &workload.ref_input;
+
+    let cross = select_cross_binary(
+        &profile(&bin_a, input),
+        &bin_a,
+        &profile(&bin_b, input),
+        &bin_b,
+        &SelectConfig::new(10_000),
+    );
+    println!("{name}: {} cross-binary markers", cross.markers_a.len());
+
+    // Detect markers on both binaries.
+    let mut rt_a = MarkerRuntime::new(&cross.markers_a);
+    let total_a = run(&bin_a, input, &mut [&mut rt_a]).expect("A runs").instrs;
+    let mut rt_b = MarkerRuntime::new(&cross.markers_b);
+    let total_b = run(&bin_b, input, &mut [&mut rt_b]).expect("B runs").instrs;
+    println!(
+        "binary A ({}): {} instructions, {} firings",
+        bin_a.name(),
+        total_a,
+        rt_a.firings().len()
+    );
+    println!(
+        "binary B ({}): {} instructions, {} firings",
+        bin_b.name(),
+        total_b,
+        rt_b.firings().len()
+    );
+    assert!(
+        traces_match(&rt_a.firings(), &rt_b.firings()),
+        "the marker traces must be identical sequences"
+    );
+    println!("marker traces are identical across the two compilations");
+
+    // Pick simulation points on binary A's variable-length intervals...
+    let vlis_a = partition(&rt_a.firings(), total_a);
+    let cuts: Vec<(u64, usize)> = vlis_a.iter().skip(1).map(|v| (v.begin, v.phase)).collect();
+    let mut collector =
+        IntervalBbvCollector::new(&bin_a, Boundaries::Explicit { cuts, prelude_phase: PRELUDE_PHASE });
+    run(&bin_a, input, &mut [&mut collector]).expect("A runs");
+    let intervals = collector.into_intervals();
+    let vectors: Vec<Vec<f64>> = intervals.iter().map(|iv| iv.bbv.clone()).collect();
+    let weights: Vec<f64> = intervals.iter().map(|iv| iv.len() as f64).collect();
+    let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(10, 15, 7));
+
+    // ...and express each as "the interval after the N-th firing", which
+    // is valid verbatim on binary B because the traces are identical.
+    let vlis_b = partition(&rt_b.firings(), total_b);
+    println!("\n{} simulation points, transferable by firing index:", sp.clusters.len());
+    for cluster in &sp.clusters {
+        let idx = cluster.representative;
+        let (a, b) = (&vlis_a[idx], &vlis_b[idx]);
+        println!(
+            "  weight {:>5.1}%: firing #{idx}: A instrs [{}, {})  ->  B instrs [{}, {})",
+            cluster.weight * 100.0,
+            a.begin,
+            a.end,
+            b.begin,
+            b.end
+        );
+        assert_eq!(a.phase, b.phase, "phase ids must agree across binaries");
+    }
+}

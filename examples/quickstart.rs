@@ -1,0 +1,66 @@
+//! Quickstart: profile a program, select software phase markers, and
+//! partition a different input's execution into phases.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spm::core::{partition, select_markers, CallLoopProfiler, MarkerRuntime, SelectConfig};
+use spm::sim::run;
+use spm::workloads::build;
+
+fn main() {
+    let workload = build("gzip").expect("gzip is a known workload");
+
+    // 1. Profile the *train* input into a hierarchical call-loop graph.
+    let mut profiler = CallLoopProfiler::new();
+    run(&workload.program, &workload.train_input, &mut [&mut profiler])
+        .expect("train input runs");
+    let graph = profiler.into_graph();
+    println!(
+        "call-loop graph: {} nodes, {} edges",
+        graph.nodes().len(),
+        graph.edges().len()
+    );
+
+    // 2. Select markers with a minimum average interval of 10K
+    //    instructions (the paper's 10M, scaled).
+    let outcome = select_markers(&graph, &SelectConfig::new(10_000));
+    println!(
+        "selected {} markers from {} candidate edges (avg CoV {:.2}%):",
+        outcome.markers.len(),
+        outcome.candidate_edges,
+        outcome.avg_cov * 100.0
+    );
+    for (id, marker) in outcome.markers.iter() {
+        println!("  marker {id}: {marker}");
+    }
+
+    // 3. Run the *ref* input — a different, larger input — detecting the
+    //    markers with no further analysis.
+    let mut runtime = MarkerRuntime::new(&outcome.markers);
+    let summary = run(&workload.program, &workload.ref_input, &mut [&mut runtime])
+        .expect("ref input runs");
+
+    // 4. Partition execution into variable-length intervals.
+    let vlis = partition(&runtime.firings(), summary.instrs);
+    let phases = spm::core::marker::phase_count(&vlis);
+    println!(
+        "\nref execution: {} instructions, {} intervals, {} phases",
+        summary.instrs,
+        vlis.len(),
+        phases
+    );
+    for vli in vlis.iter().take(8) {
+        println!(
+            "  [{:>9}, {:>9})  phase {}  ({} instrs)",
+            vli.begin,
+            vli.end,
+            vli.phase,
+            vli.len()
+        );
+    }
+    if vlis.len() > 8 {
+        println!("  ... {} more intervals", vlis.len() - 8);
+    }
+}

@@ -1,0 +1,94 @@
+//! Authoring a workload in the text DSL and taking it through the
+//! whole pipeline: parse → estimate → profile → select → partition →
+//! predict.
+//!
+//! ```text
+//! cargo run --release --example workload_authoring
+//! ```
+
+use spm::core::predict::{MarkovPredictor, PhasePredictor};
+use spm::core::{partition, select_markers, CallLoopProfiler, MarkerRuntime, SelectConfig};
+use spm::ir::{estimate_work, parse_workload};
+use spm::sim::run;
+
+const SOURCE: &str = r#"
+program webserver
+
+region sessions bytes 196608      # 192KB session table
+region logbuf   bytes 16384      # 16KB log buffer
+
+input train seed 7  { requests 400 }
+input ref   seed 8  { requests 2500 }
+
+proc main {
+  loop param requests {
+    call handle_request
+    if periodic 50 0 {            # flush the log every 50 requests
+      call flush_log
+    } else { }
+  }
+}
+
+proc handle_request {
+  block 30 { read sessions chase 2 }          # session lookup
+  loop jitter 120 25 {                        # request body processing
+    block 45 cpi 0.9 { read sessions rand 1 ; write logbuf seq 1 }
+  }
+}
+
+proc flush_log {
+  block 20 { }
+  loop fixed 800 {
+    block 35 cpi 0.8 { read logbuf seq 4 }
+  }
+}
+"#;
+
+fn main() {
+    // 1. Parse the source.
+    let parsed = parse_workload(SOURCE).expect("the workload parses");
+    let train = parsed.input("train").expect("train input").clone();
+    let reference = parsed.input("ref").expect("ref input").clone();
+    let program = parsed.program;
+
+    // 2. Budget-check before running anything.
+    let est = estimate_work(&program, &reference);
+    println!(
+        "estimated ref work: {:.2}M instructions, {:.2}M accesses, {:.0} calls",
+        est.instrs / 1e6,
+        est.accesses / 1e6,
+        est.calls
+    );
+
+    // 3. Profile the train input and select markers.
+    let mut profiler = CallLoopProfiler::new();
+    run(&program, &train, &mut [&mut profiler]).expect("train runs");
+    let graph = profiler.into_graph();
+    let outcome = select_markers(&graph, &SelectConfig::new(5_000));
+    println!("selected {} markers:", outcome.markers.len());
+    for (id, marker) in outcome.markers.iter() {
+        println!("  marker {id}: {marker}");
+    }
+
+    // 4. Partition the ref input.
+    let mut runtime = MarkerRuntime::new(&outcome.markers);
+    let total = run(&program, &reference, &mut [&mut runtime]).expect("ref runs").instrs;
+    let vlis = partition(&runtime.firings(), total);
+    println!(
+        "ref execution: {total} instructions -> {} intervals, {} phases",
+        vlis.len(),
+        spm::core::marker::phase_count(&vlis)
+    );
+
+    // 5. Predict the phase sequence (the periodic log flush makes it
+    //    highly predictable with enough context).
+    let mut markov = MarkovPredictor::new(2);
+    for v in &vlis {
+        markov.observe(v.phase);
+    }
+    println!(
+        "markov(2) next-phase accuracy: {:.1}% over {} predictions",
+        markov.accuracy() * 100.0,
+        markov.predictions()
+    );
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the CGO'06 *Software Phase Markers* reproduction.
+//!
+//! Re-exports every subsystem crate under one name so examples and
+//! integration tests can `use spm::...`. See the workspace README for the
+//! architecture overview and DESIGN.md for the per-experiment index.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spm::workloads::suite;
+//!
+//! // Every synthetic SPEC-like workload comes with train and ref inputs.
+//! let programs = suite();
+//! assert!(programs.iter().any(|w| w.name == "gzip"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spm_bbv as bbv;
+pub use spm_cache as cache;
+pub use spm_core as core;
+pub use spm_ir as ir;
+pub use spm_reuse as reuse;
+pub use spm_sim as sim;
+pub use spm_simpoint as simpoint;
+pub use spm_stats as stats;
+pub use spm_workloads as workloads;
