@@ -1,0 +1,162 @@
+//! Offline development stub for the `criterion` crate.
+//!
+//! Runs each benchmark body a handful of times and reports wall-clock
+//! time to stderr, so `cargo bench` targets compile and smoke-run
+//! without the real statistics engine.
+
+use std::time::Instant;
+
+const STUB_ITERS: u32 = 3;
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; ignored by the stub.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declared throughput for a benchmark group; ignored by the stub.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Runs a benchmark body.
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Times `routine` for a few iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..STUB_ITERS {
+            black_box(routine());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..STUB_ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let start = Instant::now();
+    let mut b = Bencher { _private: () };
+    f(&mut b);
+    eprintln!(
+        "criterion-stub: {id}: {:?} for {STUB_ITERS} iterations",
+        start.elapsed()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration (ignored).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Overrides the sample count (ignored).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Overrides the measurement time (ignored).
+    pub fn measurement_time(self, _t: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _parent: self }
+    }
+
+    /// Finalizes reporting (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

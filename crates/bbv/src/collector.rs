@@ -167,13 +167,12 @@ impl TraceObserver for IntervalBbvCollector {
                 self.builder.note_block(block);
                 self.last_icount = icount;
             }
-            TraceEvent::Finish
-                if !self.finished => {
-                    self.finished = true;
-                    self.apply_boundaries(icount);
-                    let phase = self.phase;
-                    self.cut(icount.max(self.last_icount), phase);
-                }
+            TraceEvent::Finish if !self.finished => {
+                self.finished = true;
+                self.apply_boundaries(icount);
+                let phase = self.phase;
+                self.cut(icount.max(self.last_icount), phase);
+            }
             _ => {}
         }
     }
@@ -182,7 +181,7 @@ impl TraceObserver for IntervalBbvCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spm_ir::{Input, ProgramBuilder, Program, Trip};
+    use spm_ir::{Input, Program, ProgramBuilder, Trip};
     use spm_sim::run;
 
     fn loop_program(iters: u64, block: u32) -> Program {
@@ -251,7 +250,10 @@ mod tests {
         let cuts = vec![(300, 7), (600, 9)];
         let mut c = IntervalBbvCollector::new(
             &program,
-            Boundaries::Explicit { cuts, prelude_phase: 0 },
+            Boundaries::Explicit {
+                cuts,
+                prelude_phase: 0,
+            },
         );
         run(&program, &Input::new("x", 1), &mut [&mut c]).unwrap();
         let ivs = c.into_intervals();
@@ -266,7 +268,10 @@ mod tests {
         let program = loop_program(10, 10);
         let mut c = IntervalBbvCollector::new(
             &program,
-            Boundaries::Explicit { cuts: vec![(0, 3)], prelude_phase: 0 },
+            Boundaries::Explicit {
+                cuts: vec![(0, 3)],
+                prelude_phase: 0,
+            },
         );
         run(&program, &Input::new("x", 1), &mut [&mut c]).unwrap();
         let ivs = c.into_intervals();
@@ -279,12 +284,18 @@ mod tests {
         let program = loop_program(10, 10);
         let mut c = IntervalBbvCollector::new(
             &program,
-            Boundaries::Explicit { cuts: vec![(50, 1), (50, 2)], prelude_phase: 0 },
+            Boundaries::Explicit {
+                cuts: vec![(50, 1), (50, 2)],
+                prelude_phase: 0,
+            },
         );
         run(&program, &Input::new("x", 1), &mut [&mut c]).unwrap();
         let ivs = c.into_intervals();
         assert_eq!(ivs.len(), 2);
-        assert_eq!(ivs[1].phase, 1, "first marker at the boundary names the phase");
+        assert_eq!(
+            ivs[1].phase, 1,
+            "first marker at the boundary names the phase"
+        );
     }
 
     #[test]

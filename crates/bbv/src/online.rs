@@ -51,7 +51,12 @@ impl OnlineClassifier {
     /// Panics if `max_phases` is zero.
     pub fn new(threshold: f64, max_phases: usize) -> Self {
         assert!(max_phases > 0, "need at least one signature slot");
-        Self { threshold, max_phases, signatures: Vec::new(), alpha: 0.25 }
+        Self {
+            threshold,
+            max_phases,
+            signatures: Vec::new(),
+            alpha: 0.25,
+        }
     }
 
     /// Number of phases discovered so far.

@@ -25,8 +25,9 @@ pub fn project(vectors: &[Vec<f64>], dims: usize, seed: u64) -> Vec<Vec<f64>> {
     let input_dims = first.len();
     let mut rng = SmallRng::seed_from_u64(seed);
     // Row-major projection matrix: dims x input_dims.
-    let matrix: Vec<f64> =
-        (0..dims * input_dims).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+    let matrix: Vec<f64> = (0..dims * input_dims)
+        .map(|_| rng.gen_range(-1.0..=1.0))
+        .collect();
     vectors
         .iter()
         .map(|v| {
@@ -50,7 +51,11 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
 /// Euclidean (L2) distance between two equal-length vectors.
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -98,8 +103,8 @@ mod tests {
             // project(a) + project(b) == project(a + b) under same matrix.
             let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
             let p = project(&[a, b, sum], 3, 99);
-            for d in 0..3 {
-                prop_assert!((p[0][d] + p[1][d] - p[2][d]).abs() < 1e-9);
+            for ((x, y), z) in p[0].iter().zip(&p[1]).zip(&p[2]) {
+                prop_assert!((x + y - z).abs() < 1e-9);
             }
         }
 

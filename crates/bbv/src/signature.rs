@@ -121,9 +121,19 @@ impl CodeSignatureCollector {
         let vector = self
             .counts
             .iter()
-            .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+            .map(|&c| {
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                }
+            })
             .collect();
-        self.intervals.push(IntervalSignature { begin: self.begin, end: at, vector });
+        self.intervals.push(IntervalSignature {
+            begin: self.begin,
+            end: at,
+            vector,
+        });
         self.counts.fill(0);
         self.begin = at;
     }
@@ -145,15 +155,13 @@ impl TraceObserver for CodeSignatureCollector {
             }
             TraceEvent::Call { proc } => self.bump(proc.index()),
             TraceEvent::Return { proc } => self.bump(self.procs + proc.index()),
-            TraceEvent::LoopIter { loop_id }
-                if self.kind == SignatureKind::ProceduresAndLoops => {
-                    self.bump(2 * self.procs + loop_id.index());
-                }
-            TraceEvent::Finish
-                if !self.finished => {
-                    self.finished = true;
-                    self.cut(icount.max(self.last_icount));
-                }
+            TraceEvent::LoopIter { loop_id } if self.kind == SignatureKind::ProceduresAndLoops => {
+                self.bump(2 * self.procs + loop_id.index());
+            }
+            TraceEvent::Finish if !self.finished => {
+                self.finished = true;
+                self.cut(icount.max(self.last_icount));
+            }
             _ => {}
         }
     }
@@ -237,8 +245,7 @@ mod tests {
     fn dimensionality_matches_kind() {
         let program = loop_phased_program();
         let procs = CodeSignatureCollector::new(&program, 1000, SignatureKind::ProceduresOnly);
-        let both =
-            CodeSignatureCollector::new(&program, 1000, SignatureKind::ProceduresAndLoops);
+        let both = CodeSignatureCollector::new(&program, 1000, SignatureKind::ProceduresAndLoops);
         assert_eq!(procs.dims(), 4); // 2 procs x (call, return)
         assert_eq!(both.dims(), 4 + 3); // + 3 loops
     }

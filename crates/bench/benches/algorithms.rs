@@ -24,7 +24,7 @@ fn bench_callloop_profile(c: &mut Criterion) {
         b.iter(|| {
             let mut profiler = CallLoopProfiler::new();
             run(&w.program, &w.train_input, &mut [&mut profiler]).unwrap();
-            profiler.into_graph().edges().len()
+            profiler.into_graph().unwrap().edges().len()
         })
     });
     group.finish();
@@ -36,10 +36,14 @@ fn bench_marker_selection(c: &mut Criterion) {
     let w = build("gcc").expect("gcc");
     let mut profiler = CallLoopProfiler::new();
     run(&w.program, &w.ref_input, &mut [&mut profiler]).unwrap();
-    let graph = profiler.into_graph();
+    let graph = profiler.into_graph().unwrap();
     let mut group = c.benchmark_group("selection");
     group.bench_function("select_nolimit_gcc", |b| {
-        b.iter(|| select_markers(&graph, &SelectConfig::new(10_000)).markers.len())
+        b.iter(|| {
+            select_markers(&graph, &SelectConfig::new(10_000))
+                .markers
+                .len()
+        })
     });
     group.bench_function("select_limit_gcc", |b| {
         b.iter(|| {
@@ -96,7 +100,7 @@ fn bench_kmeans(c: &mut Criterion) {
     let weights = vec![1.0; points.len()];
     let mut group = c.benchmark_group("kmeans");
     group.bench_function("k10_2000x15", |b| {
-        b.iter(|| kmeans(&points, &weights, 10, 1).distortion)
+        b.iter(|| kmeans(&points, &weights, 10, 1).unwrap().distortion)
     });
     group.finish();
 }

@@ -22,7 +22,11 @@ fn fig03(c: &mut Criterion) {
 fn fig04(c: &mut Criterion) {
     c.bench_function("fig04_gzip_cross_isa", |b| {
         b.iter(|| {
-            let isa = cross_isa("gzip", &CompileConfig::baseline(), &CompileConfig::alt_isa());
+            let isa = cross_isa(
+                "gzip",
+                &CompileConfig::baseline(),
+                &CompileConfig::alt_isa(),
+            );
             assert!(isa.traces_identical);
             isa.num_markers
         })
@@ -56,7 +60,9 @@ fn fig10(c: &mut Criterion) {
 
 fn fig1112(c: &mut Criterion) {
     let w = build("art").expect("art");
-    c.bench_function("fig11_12_art_simpoint", |b| b.iter(|| simpoint_row(&w).entries.len()));
+    c.bench_function("fig11_12_art_simpoint", |b| {
+        b.iter(|| simpoint_row(&w).entries.len())
+    });
 }
 
 criterion_group!(

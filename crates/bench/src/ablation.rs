@@ -25,10 +25,15 @@ pub fn ablate_cov_floor() -> String {
         for name in ["gzip", "bzip2"] {
             let w = build(name).expect("known");
             let graph = profile(&w.program, &w.ref_input);
-            let config = SelectConfig { cov_floor: floor, ..SelectConfig::new(10_000) };
+            let config = SelectConfig {
+                cov_floor: floor,
+                ..SelectConfig::new(10_000)
+            };
             let markers = select_markers(&graph, &config).markers;
             let mut rt = MarkerRuntime::new(&markers);
-            let total = run(&w.program, &w.ref_input, &mut [&mut rt]).unwrap().instrs;
+            let total = run(&w.program, &w.ref_input, &mut [&mut rt])
+                .unwrap()
+                .instrs;
             let vlis = partition(&rt.firings(), total);
             let (tl, _) = timeline(&w.program, &w.ref_input);
             let samples: Vec<PhaseSample> = vlis
@@ -62,7 +67,9 @@ pub fn ablate_ilower() -> String {
     for ilower in values {
         let markers = select_markers(&graph, &SelectConfig::new(ilower)).markers;
         let mut rt = MarkerRuntime::new(&markers);
-        let total = run(&w.program, &w.ref_input, &mut [&mut rt]).unwrap().instrs;
+        let total = run(&w.program, &w.ref_input, &mut [&mut rt])
+            .unwrap()
+            .instrs;
         let vlis = partition(&rt.firings(), total);
         t.row(vec![
             ilower.to_string(),
@@ -137,7 +144,10 @@ mod tests {
         // including ideal markers like the deflate call.
         let w = build("gzip").unwrap();
         let graph = profile(&w.program, &w.ref_input);
-        let strict = SelectConfig { cov_floor: 0.0, ..SelectConfig::new(10_000) };
+        let strict = SelectConfig {
+            cov_floor: 0.0,
+            ..SelectConfig::new(10_000)
+        };
         let with_floor = SelectConfig::new(10_000);
         let n_strict = select_markers(&graph, &strict).markers.len();
         let n_floor = select_markers(&graph, &with_floor).markers.len();

@@ -2,11 +2,13 @@
 //! the shared per-workload computation.
 
 use crate::passes::profile;
-use crate::{ANALYSIS_SEED, BBV_FIXED, GRANULE, ILOWER, KMAX, LIMIT_MAX, LIMIT_MIN, PROJECTION_DIMS};
+use crate::{
+    ANALYSIS_SEED, BBV_FIXED, GRANULE, ILOWER, KMAX, LIMIT_MAX, LIMIT_MIN, PROJECTION_DIMS,
+};
 use spm_bbv::{Boundaries, IntervalBbvCollector};
 use spm_core::{partition, MarkerRuntime, SelectConfig, Vli};
-use spm_simpoint::{pick_simpoints, SimPointConfig};
 use spm_sim::{run, Timeline, TraceObserver};
+use spm_simpoint::{pick_simpoints, SimPointConfig};
 use spm_stats::{phase_cov, PhaseSample};
 use spm_workloads::Workload;
 
@@ -35,7 +37,11 @@ impl PhaseRun {
     fn from_vlis(intervals: Vec<Vli>) -> Self {
         let num_phases = spm_core::marker::phase_count(&intervals);
         let avg_len = spm_core::marker::avg_interval_len(&intervals);
-        Self { intervals, num_phases, avg_len }
+        Self {
+            intervals,
+            num_phases,
+            avg_len,
+        }
     }
 
     /// The paper's per-phase CoV of a metric, instruction-weighted.
@@ -133,11 +139,15 @@ pub fn behavior_data(workload: &Workload) -> BehaviorData {
     let mut timeline = Timeline::with_defaults(GRANULE);
     let mut bbv = IntervalBbvCollector::new(program, Boundaries::Fixed(BBV_FIXED));
     let total = {
-        let mut observers: Vec<&mut dyn TraceObserver> =
-            runtimes.iter_mut().map(|r| r as &mut dyn TraceObserver).collect();
+        let mut observers: Vec<&mut dyn TraceObserver> = runtimes
+            .iter_mut()
+            .map(|r| r as &mut dyn TraceObserver)
+            .collect();
         observers.push(&mut timeline);
         observers.push(&mut bbv);
-        run(program, &workload.ref_input, &mut observers).expect("ref runs").instrs
+        run(program, &workload.ref_input, &mut observers)
+            .expect("ref runs")
+            .instrs
     };
 
     // BBV / SimPoint classification of the fixed intervals.
@@ -148,21 +158,34 @@ pub fn behavior_data(workload: &Workload) -> BehaviorData {
         &vectors,
         &weights,
         &SimPointConfig::new(KMAX, PROJECTION_DIMS, ANALYSIS_SEED),
-    );
+    )
+    .expect("bench intervals are well-formed");
     let bbv_run = PhaseRun::from_vlis(
         fixed
             .iter()
             .zip(&sp.assignments)
-            .map(|(iv, &phase)| Vli { begin: iv.begin, end: iv.end, phase })
+            .map(|(iv, &phase)| Vli {
+                begin: iv.begin,
+                end: iv.end,
+                phase,
+            })
             .collect(),
     );
 
     let mut runs = vec![("BBV", bbv_run)];
     for (name, runtime) in APPROACHES[1..].iter().zip(runtimes) {
-        runs.push((name, PhaseRun::from_vlis(partition(&runtime.into_firings(), total))));
+        runs.push((
+            name,
+            PhaseRun::from_vlis(partition(&runtime.into_firings(), total)),
+        ));
     }
 
-    BehaviorData { name: workload.name, timeline, total, runs }
+    BehaviorData {
+        name: workload.name,
+        timeline,
+        total,
+        runs,
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +204,12 @@ mod tests {
         // Procedures-only marks fewer, larger intervals than procs+loops.
         let procs = by_name["procs-self"];
         let full = by_name["nolimit-self"];
-        assert!(procs.avg_len >= full.avg_len, "{} < {}", procs.avg_len, full.avg_len);
+        assert!(
+            procs.avg_len >= full.avg_len,
+            "{} < {}",
+            procs.avg_len,
+            full.avg_len
+        );
 
         // Every run tiles the execution.
         for (name, run) in &data.runs {

@@ -12,19 +12,28 @@ fn main() {
         println!();
     };
 
-    write("fig03", spm_bench::fig03::render(&spm_bench::fig03::time_series("gzip", 100_000)));
+    write(
+        "fig03",
+        spm_bench::fig03::render(&spm_bench::fig03::time_series("gzip", 100_000)),
+    );
     write("fig04", spm_bench::fig04::figure04());
     write("fig05_fig06", spm_bench::fig056::figures_05_06("bzip2"));
     let data = spm_bench::fig789::compute_suite();
     write("fig07", spm_bench::fig789::figure07(&data));
     write("fig08", spm_bench::fig789::figure08(&data));
     write("fig09", spm_bench::fig789::figure09(&data));
-    write("fig09_missrate", spm_bench::fig789::figure09_missrate(&data));
+    write(
+        "fig09_missrate",
+        spm_bench::fig789::figure09_missrate(&data),
+    );
     write("fig10", spm_bench::fig10::figure10());
     let rows = spm_bench::fig1112::compute_suite();
     write("fig11", spm_bench::fig1112::figure11(&rows));
     write("fig12", spm_bench::fig1112::figure12(&rows));
     write("ablations", spm_bench::ablation::all());
-    write("supp_classifiers", spm_bench::classifiers::classifier_table());
+    write(
+        "supp_classifiers",
+        spm_bench::classifiers::classifier_table(),
+    );
     write("robustness", spm_bench::robustness::robustness_table());
 }

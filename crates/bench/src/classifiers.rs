@@ -14,8 +14,8 @@ use crate::{ANALYSIS_SEED, BBV_FIXED, GRANULE, KMAX, PROJECTION_DIMS};
 use spm_bbv::{
     Boundaries, CodeSignatureCollector, IntervalBbvCollector, OnlineClassifier, SignatureKind,
 };
-use spm_simpoint::{pick_simpoints, SimPointConfig};
 use spm_sim::{run, Timeline, TraceObserver};
+use spm_simpoint::{pick_simpoints, SimPointConfig};
 use spm_stats::{phase_cov, PhaseSample};
 use spm_workloads::Workload;
 
@@ -36,11 +36,7 @@ pub struct ClassifierRow {
     pub phases: [usize; 4],
 }
 
-fn cov_of(
-    timeline: &Timeline,
-    intervals: &[(u64, u64)],
-    assignments: &[usize],
-) -> (f64, usize) {
+fn cov_of(timeline: &Timeline, intervals: &[(u64, u64)], assignments: &[usize]) -> (f64, usize) {
     let samples: Vec<PhaseSample> = intervals
         .iter()
         .zip(assignments)
@@ -60,8 +56,13 @@ fn kmeans_phases(vectors: &[Vec<f64>], weights: &[f64]) -> Vec<usize> {
     pick_simpoints(
         vectors,
         weights,
-        &SimPointConfig::new(KMAX, PROJECTION_DIMS.min(vectors[0].len().max(1)), ANALYSIS_SEED),
+        &SimPointConfig::new(
+            KMAX,
+            PROJECTION_DIMS.min(vectors[0].len().max(1)),
+            ANALYSIS_SEED,
+        ),
     )
+    .expect("bench intervals are well-formed")
     .assignments
 }
 
@@ -94,10 +95,16 @@ pub fn classifier_row(workload: &Workload) -> ClassifierRow {
     let (bbv_online, p1) = cov_of(&timeline, &ranges, &online_ids);
 
     // k-means on code signatures.
-    let sp_vectors: Vec<Vec<f64>> =
-        sig_procs.into_intervals().into_iter().map(|s| s.vector).collect();
-    let sl_vectors: Vec<Vec<f64>> =
-        sig_loops.into_intervals().into_iter().map(|s| s.vector).collect();
+    let sp_vectors: Vec<Vec<f64>> = sig_procs
+        .into_intervals()
+        .into_iter()
+        .map(|s| s.vector)
+        .collect();
+    let sl_vectors: Vec<Vec<f64>> = sig_loops
+        .into_intervals()
+        .into_iter()
+        .map(|s| s.vector)
+        .collect();
     let (sig_procs_cov, p2) = cov_of(&timeline, &ranges, &kmeans_phases(&sp_vectors, &weights));
     let (sig_loops_cov, p3) = cov_of(&timeline, &ranges, &kmeans_phases(&sl_vectors, &weights));
 
@@ -115,7 +122,13 @@ pub fn classifier_row(workload: &Workload) -> ClassifierRow {
 pub fn classifier_table() -> String {
     let mut t = Table::new(
         "Supplementary: CoV of CPI by classification structure (fixed 10K intervals)",
-        &["bench", "BBV+kmeans", "BBV+online", "sig-procs", "sig-procs+loops"],
+        &[
+            "bench",
+            "BBV+kmeans",
+            "BBV+online",
+            "sig-procs",
+            "sig-procs+loops",
+        ],
     );
     let mut sums = [0.0f64; 4];
     let suite = spm_workloads::behavior_suite();

@@ -2,7 +2,7 @@
 //! software phase marker positions.
 
 use crate::passes::{profile, timeline};
-use crate::{ILOWER, GRANULE};
+use crate::{GRANULE, ILOWER};
 use spm_core::{MarkerRuntime, SelectConfig};
 use spm_sim::run;
 use spm_workloads::build;
@@ -52,7 +52,12 @@ pub fn time_series(name: &str, sample_every: u64) -> TimeSeries {
         })
         .collect();
 
-    TimeSeries { samples, firings, num_markers: outcome.markers.len(), total }
+    TimeSeries {
+        samples,
+        firings,
+        num_markers: outcome.markers.len(),
+        total,
+    }
 }
 
 /// Renders the time series as TSV (icount, cpi, missrate) followed by
@@ -108,7 +113,9 @@ mod tests {
     fn render_is_parseable() {
         let ts = time_series("gzip", 500_000);
         let text = render(&ts);
-        let data_lines = text.lines().filter(|l| !l.starts_with('#') && !l.starts_with("icount"));
+        let data_lines = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with("icount"));
         for line in data_lines {
             assert!(line.split('\t').count() >= 2, "bad line: {line}");
         }

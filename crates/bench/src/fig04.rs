@@ -56,7 +56,9 @@ pub fn cross_isa(name: &str, config_a: &CompileConfig, config_b: &CompileConfig)
     let mut tl = Timeline::with_defaults(GRANULE);
     let total_b = {
         let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut rt_b, &mut tl];
-        run(&bin_b, &w.ref_input, &mut observers).expect("binary B runs").instrs
+        run(&bin_b, &w.ref_input, &mut observers)
+            .expect("binary B runs")
+            .instrs
     };
 
     let mut b_samples = Vec::new();
@@ -111,10 +113,13 @@ pub fn trace_check_all() -> Vec<(&'static str, usize, bool)> {
 
 /// Renders Figure 4 plus the Section 6.2.1 table.
 pub fn figure04() -> String {
-    let isa = cross_isa("gzip", &CompileConfig::baseline(), &CompileConfig::alt_isa());
-    let mut out = String::from(
-        "# Figure 4: gzip markers selected on the baseline ISA, mapped to alt-isa\n",
+    let isa = cross_isa(
+        "gzip",
+        &CompileConfig::baseline(),
+        &CompileConfig::alt_isa(),
     );
+    let mut out =
+        String::from("# Figure 4: gzip markers selected on the baseline ISA, mapped to alt-isa\n");
     out.push_str(&format!(
         "# {} markers; firings A={} B={}; traces identical: {}\n",
         isa.num_markers, isa.firings.0, isa.firings.1, isa.traces_identical
@@ -146,7 +151,11 @@ mod tests {
 
     #[test]
     fn gzip_cross_isa_traces_match() {
-        let isa = cross_isa("gzip", &CompileConfig::baseline(), &CompileConfig::alt_isa());
+        let isa = cross_isa(
+            "gzip",
+            &CompileConfig::baseline(),
+            &CompileConfig::alt_isa(),
+        );
         assert!(isa.num_markers > 0, "joint selection must find markers");
         assert!(isa.traces_identical, "A and B must fire identically");
         assert_eq!(isa.firings.0, isa.firings.1);

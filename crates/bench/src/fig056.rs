@@ -6,8 +6,8 @@ use crate::passes::profile;
 use crate::{ANALYSIS_SEED, BBV_FIXED, LIMIT_MAX, LIMIT_MIN};
 use spm_bbv::{euclidean, project, Boundaries, IntervalBbv, IntervalBbvCollector};
 use spm_core::{partition, MarkerRuntime, SelectConfig, PRELUDE_PHASE};
-use spm_simpoint::kmeans;
 use spm_sim::{run, TraceObserver};
+use spm_simpoint::kmeans;
 use spm_workloads::build;
 
 /// The projected point clouds and their tightness statistics.
@@ -28,7 +28,7 @@ pub struct Projection {
 /// clusters, quantifying what the paper shows visually.
 fn tightness(points: &[Vec<f64>], k: usize, seed: u64) -> f64 {
     let weights = vec![1.0; points.len()];
-    let clustering = kmeans(points, &weights, k, seed);
+    let clustering = kmeans(points, &weights, k, seed).expect("bench points are well-formed");
     let mean_dist: f64 = points
         .iter()
         .enumerate()
@@ -43,7 +43,10 @@ fn tightness(points: &[Vec<f64>], k: usize, seed: u64) -> f64 {
             *c += x / points.len() as f64;
         }
     }
-    let rms = (points.iter().map(|p| euclidean(p, &center).powi(2)).sum::<f64>()
+    let rms = (points
+        .iter()
+        .map(|p| euclidean(p, &center).powi(2))
+        .sum::<f64>()
         / points.len() as f64)
         .sqrt();
     if rms <= 0.0 {
@@ -63,20 +66,22 @@ pub fn projections(name: &str) -> Projection {
     // Limit markers so that the VLI count is comparable to the number of
     // fixed intervals (the paper keeps the two counts similar).
     let graph = profile(program, &w.ref_input);
-    let markers = spm_core::select_markers(
-        &graph,
-        &SelectConfig::with_limit(LIMIT_MIN, LIMIT_MAX),
-    )
-    .markers;
+    let markers =
+        spm_core::select_markers(&graph, &SelectConfig::with_limit(LIMIT_MIN, LIMIT_MAX)).markers;
     let mut runtime = MarkerRuntime::new(&markers);
-    let total = run(program, &w.ref_input, &mut [&mut runtime]).expect("runs").instrs;
+    let total = run(program, &w.ref_input, &mut [&mut runtime])
+        .expect("runs")
+        .instrs;
     let vlis = partition(&runtime.into_firings(), total);
     let cuts: Vec<(u64, usize)> = vlis.iter().skip(1).map(|v| (v.begin, v.phase)).collect();
 
     let mut fixed = IntervalBbvCollector::new(program, Boundaries::Fixed(BBV_FIXED));
     let mut vli = IntervalBbvCollector::new(
         program,
-        Boundaries::Explicit { cuts, prelude_phase: PRELUDE_PHASE },
+        Boundaries::Explicit {
+            cuts,
+            prelude_phase: PRELUDE_PHASE,
+        },
     );
     {
         let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut fixed, &mut vli];

@@ -7,8 +7,8 @@ use spm_bbv::{Boundaries, IntervalBbvCollector};
 use spm_cache::adaptive::{run_adaptive, AdaptiveOutcome, IntervalRecord, Tolerance};
 use spm_core::{partition, MarkerRuntime, SelectConfig, Vli};
 use spm_reuse::{LocalityAnalysis, LocalityConfig, ReuseMarkerRuntime, ReuseSignalCollector};
-use spm_simpoint::{pick_simpoints, SimPointConfig};
 use spm_sim::{run, TraceObserver};
+use spm_simpoint::{pick_simpoints, SimPointConfig};
 use spm_workloads::{build, Workload, CACHE_SUITE};
 
 /// Fixed interval size for the idealized BBV/SimPoint comparison. The
@@ -22,7 +22,10 @@ pub const FIG10_BBV_FIXED: u64 = 100_000;
 /// relative plus 5 percentage points of miss rate, absorbing the
 /// phase-transition refills that are magnified at reproduction scale
 /// (see [`Tolerance`]).
-pub const MISS_TOLERANCE: Tolerance = Tolerance { relative: 0.02, absolute_rate: 0.05 };
+pub const MISS_TOLERANCE: Tolerance = Tolerance {
+    relative: 0.02,
+    absolute_rate: 0.05,
+};
 
 /// Results of the reconfiguration experiment for one benchmark.
 #[derive(Debug)]
@@ -92,7 +95,9 @@ pub fn cache_row(workload: &Workload) -> CacheRow {
             &mut rt_reuse,
             &mut bbv,
         ];
-        run(program, &workload.ref_input, &mut observers).expect("ref runs").instrs
+        run(program, &workload.ref_input, &mut observers)
+            .expect("ref runs")
+            .instrs
     };
 
     // BBV (idealized SimPoint) classification.
@@ -103,11 +108,16 @@ pub fn cache_row(workload: &Workload) -> CacheRow {
         &vectors,
         &weights,
         &SimPointConfig::new(KMAX, PROJECTION_DIMS, ANALYSIS_SEED),
-    );
+    )
+    .expect("bench intervals are well-formed");
     let bbv_intervals: Vec<Vli> = fixed
         .iter()
         .zip(&sp.assignments)
-        .map(|(iv, &phase)| Vli { begin: iv.begin, end: iv.end, phase })
+        .map(|(iv, &phase)| Vli {
+            begin: iv.begin,
+            end: iv.end,
+            phase,
+        })
         .collect();
 
     let adaptive = |intervals: &[Vli]| -> AdaptiveOutcome {
@@ -171,7 +181,11 @@ pub fn figure10() -> String {
             format!("{:.1}", cells[0]),
             format!("{:.1}", cells[1]),
             format!("{:.1}", cells[2]),
-            if cells[3].is_nan() { "n/a".into() } else { format!("{:.1}", cells[3]) },
+            if cells[3].is_nan() {
+                "n/a".into()
+            } else {
+                format!("{:.1}", cells[3])
+            },
             format!("{:.1}", cells[4]),
             format!("{:.1}", cells[5]),
         ]);
@@ -228,7 +242,12 @@ mod tests {
         let w = build("swim").unwrap();
         let row = cache_row(&w);
         let diff = (row.spm_self.avg_size_kb - row.spm_cross.avg_size_kb).abs();
-        assert!(diff < 32.0, "self {} vs cross {}", row.spm_self.avg_size_kb, row.spm_cross.avg_size_kb);
+        assert!(
+            diff < 32.0,
+            "self {} vs cross {}",
+            row.spm_self.avg_size_kb,
+            row.spm_cross.avg_size_kb
+        );
     }
 
     #[test]

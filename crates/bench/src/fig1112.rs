@@ -7,17 +7,20 @@ use crate::passes::profile;
 use crate::{ANALYSIS_SEED, GRANULE, LIMIT_MAX, LIMIT_MIN, PROJECTION_DIMS};
 use spm_bbv::{Boundaries, IntervalBbv, IntervalBbvCollector};
 use spm_core::{partition, MarkerRuntime, SelectConfig, PRELUDE_PHASE};
+use spm_sim::{run, Timeline, TraceObserver};
 use spm_simpoint::{
     estimate, filter_top, pick_simpoints, relative_error, simulated_weight, SimPointConfig,
     SimPoints,
 };
-use spm_sim::{run, Timeline, TraceObserver};
 use spm_workloads::{behavior_suite, Workload};
 
 /// The three fixed interval sizes (paper: 1M / 10M / 100M, scaled) with
 /// their `k_max` (paper: 300 / 30 / 10, capped for tractability).
-pub const FIXED_CONFIGS: [(&str, u64, usize); 3] =
-    [("SP_1K", 1_000, 50), ("SP_10K", 10_000, 30), ("SP_100K", 100_000, 10)];
+pub const FIXED_CONFIGS: [(&str, u64, usize); 3] = [
+    ("SP_1K", 1_000, 50),
+    ("SP_10K", 10_000, 30),
+    ("SP_100K", 100_000, 10),
+];
 
 /// `k_max` for the VLI clustering.
 pub const VLI_KMAX: usize = 30;
@@ -54,11 +57,9 @@ pub fn simpoint_row(workload: &Workload) -> SimPointRow {
     // notes these markers are input-specific and only advocates them
     // for SimPoint.
     let graph_ref = profile(program, &workload.ref_input);
-    let markers = spm_core::select_markers(
-        &graph_ref,
-        &SelectConfig::with_limit(LIMIT_MIN, LIMIT_MAX),
-    )
-    .markers;
+    let markers =
+        spm_core::select_markers(&graph_ref, &SelectConfig::with_limit(LIMIT_MIN, LIMIT_MAX))
+            .markers;
     let mut runtime = MarkerRuntime::new(&markers);
     let total = run(program, &workload.ref_input, &mut [&mut runtime])
         .expect("ref runs")
@@ -74,12 +75,17 @@ pub fn simpoint_row(workload: &Workload) -> SimPointRow {
     let cuts: Vec<(u64, usize)> = vlis.iter().skip(1).map(|v| (v.begin, v.phase)).collect();
     let mut vli_collector = IntervalBbvCollector::new(
         program,
-        Boundaries::Explicit { cuts, prelude_phase: PRELUDE_PHASE },
+        Boundaries::Explicit {
+            cuts,
+            prelude_phase: PRELUDE_PHASE,
+        },
     );
     let mut timeline = Timeline::with_defaults(GRANULE);
     {
-        let mut observers: Vec<&mut dyn TraceObserver> =
-            fixed.iter_mut().map(|c| c as &mut dyn TraceObserver).collect();
+        let mut observers: Vec<&mut dyn TraceObserver> = fixed
+            .iter_mut()
+            .map(|c| c as &mut dyn TraceObserver)
+            .collect();
         observers.push(&mut vli_collector);
         observers.push(&mut timeline);
         run(program, &workload.ref_input, &mut observers).expect("ref runs");
@@ -95,7 +101,8 @@ pub fn simpoint_row(workload: &Workload) -> SimPointRow {
             &vectors,
             &weights,
             &SimPointConfig::new(*kmax, PROJECTION_DIMS, ANALYSIS_SEED),
-        );
+        )
+        .expect("bench intervals are well-formed");
         let (instrs, err) = evaluate(&intervals, &timeline, &sp, truth);
         entries.push((*name, instrs, err));
     }
@@ -107,16 +114,18 @@ pub fn simpoint_row(workload: &Workload) -> SimPointRow {
         &vectors,
         &weights,
         &SimPointConfig::new(VLI_KMAX, PROJECTION_DIMS, ANALYSIS_SEED),
-    );
-    for (name, fraction) in
-        [("VLI_95%", 0.95), ("VLI_99%", 0.99), ("VLI_100%", 1.0)]
-    {
+    )
+    .expect("bench intervals are well-formed");
+    for (name, fraction) in [("VLI_95%", 0.95), ("VLI_99%", 0.99), ("VLI_100%", 1.0)] {
         let sp = filter_top(&sp_full, fraction);
         let (instrs, err) = evaluate(&vli_intervals, &timeline, &sp, truth);
         entries.push((name, instrs, err));
     }
 
-    SimPointRow { name: workload.name, entries }
+    SimPointRow {
+        name: workload.name,
+        entries,
+    }
 }
 
 /// Computes rows for the whole behaviour suite.
@@ -133,7 +142,9 @@ pub fn figure11(rows: &[SimPointRow]) -> String {
 
 /// Figure 12: CPI relative error per configuration.
 pub fn figure12(rows: &[SimPointRow]) -> String {
-    render(rows, "Figure 12: CPI relative error", |e| format!("{:.2}%", e.2 * 100.0))
+    render(rows, "Figure 12: CPI relative error", |e| {
+        format!("{:.2}%", e.2 * 100.0)
+    })
 }
 
 fn render(

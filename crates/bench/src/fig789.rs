@@ -100,7 +100,10 @@ pub fn figure09(data: &[BehaviorData]) -> String {
 pub fn figure09_missrate(data: &[BehaviorData]) -> String {
     let mut header = vec!["bench"];
     header.extend(APPROACHES);
-    let mut t = Table::new("Figure 9 (supplementary): CoV of DL1 miss rate per phase", &header);
+    let mut t = Table::new(
+        "Figure 9 (supplementary): CoV of DL1 miss rate per phase",
+        &header,
+    );
     for d in data {
         let mut row = vec![d.name.to_string()];
         for (_, run) in d.runs.iter() {

@@ -18,8 +18,8 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
-pub mod classifiers;
 pub mod approaches;
+pub mod classifiers;
 pub mod fig03;
 pub mod fig04;
 pub mod fig056;

@@ -12,7 +12,7 @@ use spm_sim::{run, Timeline, TraceEvent, TraceObserver};
 pub fn profile(program: &Program, input: &Input) -> CallLoopGraph {
     let mut profiler = CallLoopProfiler::new();
     run(program, input, &mut [&mut profiler]).expect("workload runs");
-    profiler.into_graph()
+    profiler.into_graph().unwrap()
 }
 
 /// Runs with a metrics timeline; returns the timeline and the total
@@ -32,10 +32,18 @@ pub fn detect_all(
 ) -> (Vec<Vec<MarkerFiring>>, u64) {
     let mut runtimes: Vec<MarkerRuntime> =
         marker_sets.iter().map(|m| MarkerRuntime::new(m)).collect();
-    let mut observers: Vec<&mut dyn TraceObserver> =
-        runtimes.iter_mut().map(|r| r as &mut dyn TraceObserver).collect();
+    let mut observers: Vec<&mut dyn TraceObserver> = runtimes
+        .iter_mut()
+        .map(|r| r as &mut dyn TraceObserver)
+        .collect();
     let summary = run(program, input, &mut observers).expect("workload runs");
-    (runtimes.into_iter().map(MarkerRuntime::into_firings).collect(), summary.instrs)
+    (
+        runtimes
+            .into_iter()
+            .map(MarkerRuntime::into_firings)
+            .collect(),
+        summary.instrs,
+    )
 }
 
 /// Per-granule miss/access counts for every reconfigurable cache
@@ -119,11 +127,10 @@ impl TraceObserver for BankTimeline {
             TraceEvent::MemAccess { addr, write } => {
                 self.bank.access(addr, write);
             }
-            TraceEvent::Finish
-                if !self.finished => {
-                    self.finished = true;
-                    self.snapshot();
-                }
+            TraceEvent::Finish if !self.finished => {
+                self.finished = true;
+                self.snapshot();
+            }
             _ => {}
         }
     }
@@ -155,8 +162,7 @@ mod tests {
         let (program, input) = toy();
         let graph = profile(&program, &input);
         assert!(!graph.edges().is_empty());
-        let outcome =
-            spm_core::select_markers(&graph, &spm_core::SelectConfig::new(500));
+        let outcome = spm_core::select_markers(&graph, &spm_core::SelectConfig::new(500));
         let (firings, total) = detect_all(&program, &input, &[&outcome.markers]);
         assert_eq!(total, 100_000);
         assert!(!firings[0].is_empty());

@@ -44,7 +44,9 @@ pub fn seed_outcome(name: &str, seed: u64) -> SeedOutcome {
     let mut timeline = Timeline::with_defaults(GRANULE);
     let total = {
         let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut runtime, &mut timeline];
-        run(&w.program, &input, &mut observers).expect("runs").instrs
+        run(&w.program, &input, &mut observers)
+            .expect("runs")
+            .instrs
     };
     let vlis = partition(&runtime.firings(), total);
     let samples: Vec<PhaseSample> = vlis
@@ -55,8 +57,7 @@ pub fn seed_outcome(name: &str, seed: u64) -> SeedOutcome {
             weight: v.len() as f64,
         })
         .collect();
-    let whole: Vec<(f64, f64)> =
-        samples.iter().map(|s| (s.value, s.weight)).collect();
+    let whole: Vec<(f64, f64)> = samples.iter().map(|s| (s.value, s.weight)).collect();
     SeedOutcome {
         seed,
         markers: markers.len(),
@@ -76,8 +77,7 @@ pub fn robustness_table() -> String {
         &["bench", "marker CoV (mean±sd)", "whole CoV (mean±sd)", "min ratio"],
     );
     for name in ["gzip", "gcc", "mcf", "swim", "vpr"] {
-        let outcomes: Vec<SeedOutcome> =
-            SEEDS.iter().map(|&s| seed_outcome(name, s)).collect();
+        let outcomes: Vec<SeedOutcome> = SEEDS.iter().map(|&s| seed_outcome(name, s)).collect();
         let mut marker = Running::new();
         let mut whole = Running::new();
         let mut min_ratio = f64::INFINITY;
@@ -88,7 +88,11 @@ pub fn robustness_table() -> String {
         }
         t.row(vec![
             name.to_string(),
-            format!("{} ± {}", pct(marker.mean()), pct(marker.population_stddev())),
+            format!(
+                "{} ± {}",
+                pct(marker.mean()),
+                pct(marker.population_stddev())
+            ),
             format!("{} ± {}", pct(whole.mean()), pct(whole.population_stddev())),
             format!("{min_ratio:.1}x"),
         ]);

@@ -100,7 +100,10 @@ pub struct Tolerance {
 impl Tolerance {
     /// Strict tolerance: relative only.
     pub fn relative(relative: f64) -> Self {
-        Self { relative, absolute_rate: 0.0 }
+        Self {
+            relative,
+            absolute_rate: 0.0,
+        }
     }
 
     /// Maximum tolerated miss count given the minimum and the access
@@ -164,7 +167,12 @@ pub fn run_adaptive(
         choice: Option<usize>,
     }
     let mut phases = vec![
-        PhaseState { explored: 0, miss_sums: vec![0; n_cfg], access_sum: 0, choice: None };
+        PhaseState {
+            explored: 0,
+            miss_sums: vec![0; n_cfg],
+            access_sum: 0,
+            choice: None
+        };
         n_phases
     ];
 
@@ -185,8 +193,7 @@ pub fn run_adaptive(
                 state.access_sum += rec.accesses;
                 state.explored += 1;
                 if state.explored >= EXPLORE_INTERVALS {
-                    state.choice =
-                        Some(pick_config(&state.miss_sums, state.access_sum, tolerance));
+                    state.choice = Some(pick_config(&state.miss_sums, state.access_sum, tolerance));
                 }
                 largest
             }
@@ -241,7 +248,12 @@ mod tests {
     use crate::model::reconfigurable_configs;
 
     fn record(phase: usize, misses: Vec<u64>) -> IntervalRecord {
-        IntervalRecord { phase, instrs: 1000, accesses: 100, misses }
+        IntervalRecord {
+            phase,
+            instrs: 1000,
+            accesses: 100,
+            misses,
+        }
     }
 
     #[test]
@@ -249,7 +261,10 @@ mod tests {
         let strict = Tolerance::relative(0.0);
         assert_eq!(pick_config(&[100, 100, 100], 1000, strict), 0);
         assert_eq!(pick_config(&[101, 100, 100], 1000, strict), 1);
-        assert_eq!(pick_config(&[101, 100, 100], 1000, Tolerance::relative(0.02)), 0);
+        assert_eq!(
+            pick_config(&[101, 100, 100], 1000, Tolerance::relative(0.02)),
+            0
+        );
         assert_eq!(pick_config(&[300, 200, 100], 1000, strict), 2);
     }
 
@@ -257,7 +272,10 @@ mod tests {
     fn absolute_tolerance_admits_refill_noise() {
         // 30 extra misses on 1000 accesses: rejected by a strict rule,
         // admitted by a 5% absolute-rate slack.
-        let t = Tolerance { relative: 0.0, absolute_rate: 0.05 };
+        let t = Tolerance {
+            relative: 0.0,
+            absolute_rate: 0.05,
+        };
         assert_eq!(pick_config(&[30, 0], 1000, Tolerance::relative(0.0)), 1);
         assert_eq!(pick_config(&[30, 0], 1000, t), 0);
         // But genuinely worse configs are still rejected.
@@ -284,7 +302,11 @@ mod tests {
         let out = run_adaptive(&configs, &ivs, Tolerance::relative(0.0));
         // 2 intervals at 256KB + 8 at 32KB.
         let expect = (2.0 * 256.0 + 8.0 * 32.0) / 10.0;
-        assert!((out.avg_size_kb - expect).abs() < 1e-9, "{}", out.avg_size_kb);
+        assert!(
+            (out.avg_size_kb - expect).abs() < 1e-9,
+            "{}",
+            out.avg_size_kb
+        );
         assert_eq!(out.best_fixed_kb, 32.0);
     }
 

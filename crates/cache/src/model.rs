@@ -30,9 +30,16 @@ impl CacheConfig {
     /// field is zero.
     pub fn new(sets: u32, ways: u32, block_bytes: u32) -> Self {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(ways >= 1, "ways must be at least 1");
-        Self { sets, ways, block_bytes }
+        Self {
+            sets,
+            ways,
+            block_bytes,
+        }
     }
 
     /// Total capacity in bytes.
@@ -59,7 +66,9 @@ impl CacheConfig {
 /// The paper's reconfigurable data cache: 64-byte blocks, 512 sets,
 /// associativity 1 through 8 (32KB to 256KB), smallest first.
 pub fn reconfigurable_configs() -> Vec<CacheConfig> {
-    (1..=8).map(|ways| CacheConfig::new(512, ways, 64)).collect()
+    (1..=8)
+        .map(|ways| CacheConfig::new(512, ways, 64))
+        .collect()
 }
 
 /// A set-associative cache with true-LRU replacement.
@@ -82,7 +91,12 @@ impl Cache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
         let tags = vec![INVALID; (config.sets * config.ways) as usize];
-        Self { config, tags, accesses: 0, misses: 0 }
+        Self {
+            config,
+            tags,
+            accesses: 0,
+            misses: 0,
+        }
     }
 
     /// The cache's configuration.
@@ -169,7 +183,9 @@ pub struct CacheBank {
 impl CacheBank {
     /// Creates a bank simulating each configuration independently.
     pub fn new(configs: Vec<CacheConfig>) -> Self {
-        Self { caches: configs.into_iter().map(Cache::new).collect() }
+        Self {
+            caches: configs.into_iter().map(Cache::new).collect(),
+        }
     }
 
     /// Simulates one access in every configuration.

@@ -32,6 +32,8 @@ pub enum ArgError {
     },
     /// A required positional argument is missing.
     MissingPositional(&'static str),
+    /// A flag the CLI does not know.
+    UnknownFlag(String),
 }
 
 impl fmt::Display for ArgError {
@@ -43,6 +45,7 @@ impl fmt::Display for ArgError {
                 write!(f, "flag --{flag}: cannot parse `{value}`")
             }
             ArgError::MissingPositional(name) => write!(f, "missing argument: <{name}>"),
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag} (try `spm help`)"),
         }
     }
 }
@@ -52,6 +55,12 @@ impl std::error::Error for ArgError {}
 /// Flags that take no value.
 const BOOLEAN_FLAGS: &[&str] = &["procs-only", "dot", "help", "plot"];
 
+/// Flags that take a value. Anything outside both lists is rejected
+/// rather than silently swallowing the next token.
+const VALUE_FLAGS: &[&str] = &[
+    "out", "input", "ilower", "limit", "markers", "order", "step", "param",
+];
+
 /// Parses a token stream (without the program name).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, ArgError> {
     let mut parsed = ParsedArgs::default();
@@ -60,10 +69,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, ArgE
         if let Some(flag) = token.strip_prefix("--") {
             if BOOLEAN_FLAGS.contains(&flag) {
                 parsed.flags.insert(flag.to_string(), String::new());
-            } else {
-                let value =
-                    iter.next().ok_or_else(|| ArgError::MissingValue(flag.to_string()))?;
+            } else if VALUE_FLAGS.contains(&flag) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(flag.to_string()))?;
                 parsed.flags.insert(flag.to_string(), value);
+            } else {
+                return Err(ArgError::UnknownFlag(flag.to_string()));
             }
         } else if parsed.command.is_empty() {
             parsed.command = token;
@@ -80,7 +92,10 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, ArgE
 impl ParsedArgs {
     /// The first positional argument, or an error naming it.
     pub fn positional(&self, name: &'static str) -> Result<&str, ArgError> {
-        self.positional.first().map(String::as_str).ok_or(ArgError::MissingPositional(name))
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or(ArgError::MissingPositional(name))
     }
 
     /// Whether a boolean flag was given.
@@ -90,7 +105,10 @@ impl ParsedArgs {
 
     /// A string flag with a default.
     pub fn str_flag(&self, flag: &str, default: &str) -> String {
-        self.flags.get(flag).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(flag)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// An integer flag with a default.
@@ -139,15 +157,29 @@ mod tests {
             Err(ArgError::MissingValue("ilower".into()))
         );
         let p = parse_str("select gzip --ilower abc").unwrap();
-        assert!(matches!(p.u64_flag("ilower", 0), Err(ArgError::BadValue { .. })));
+        assert!(matches!(
+            p.u64_flag("ilower", 0),
+            Err(ArgError::BadValue { .. })
+        ));
         let p = parse_str("select").unwrap();
-        assert!(matches!(p.positional("workload"), Err(ArgError::MissingPositional(_))));
+        assert!(matches!(
+            p.positional("workload"),
+            Err(ArgError::MissingPositional(_))
+        ));
+        assert_eq!(
+            parse_str("select gzip --frobnicate 3"),
+            Err(ArgError::UnknownFlag("frobnicate".into()))
+        );
     }
 
     #[test]
     fn error_messages_render() {
         assert!(ArgError::MissingCommand.to_string().contains("spm help"));
-        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
-        assert!(ArgError::MissingPositional("workload").to_string().contains("<workload>"));
+        assert!(ArgError::MissingValue("x".into())
+            .to_string()
+            .contains("--x"));
+        assert!(ArgError::MissingPositional("workload")
+            .to_string()
+            .contains("<workload>"));
     }
 }

@@ -20,6 +20,18 @@
 //! prints one line per variable-length interval with CPI and DL1 miss
 //! rate; `predict` trains the Markov phase predictor on the partition
 //! and reports accuracy. Workloads are the built-in synthetic suite.
+//!
+//! # Exit codes
+//!
+//! Every failure class maps to a stable nonzero exit code so scripts
+//! can dispatch on it: `2` usage, and [`SpmError::exit_code`] for the
+//! pipeline stages (`3` I/O, `4` workload DSL parse, `5` graph/marker
+//! file parse, `6` execution, `7` profiler, `8` trace decode). A closed
+//! stdout pipe exits with the conventional SIGPIPE status `141`.
+//! Usage errors print the usage text to *stderr*, keeping stdout clean
+//! for pipelines. When marker partitioning degrades to fixed-length
+//! intervals, a machine-readable `warning: fallback=fixed-length
+//! reason=... interval=...` line goes to stderr.
 
 mod args;
 mod plot;
@@ -27,11 +39,38 @@ mod plot;
 use args::{parse, ArgError, ParsedArgs};
 use spm_core::predict::{DurationPredictor, MarkovPredictor, PhasePredictor};
 use spm_core::text::{graph_to_dot, parse_markers, write_graph, write_markers};
-use spm_core::{partition, select_markers, CallLoopProfiler, MarkerRuntime, SelectConfig};
-use spm_ir::{parse_workload, Input, Program};
+use spm_core::{
+    partition_with_fallback, select_markers, CallLoopProfiler, MarkerFiring, MarkerRuntime,
+    MarkerSet, SelectConfig, SpmError, Vli,
+};
+use spm_ir::{parse_workload, DslError, Input, Program};
 use spm_sim::{run, Timeline, TraceObserver};
 use spm_workloads::{build, ALL_NAMES};
 use std::process::ExitCode;
+
+/// What a subcommand can fail with: a usage mistake (exit 2, usage text
+/// on stderr) or a typed pipeline error (its own exit code).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Pipeline(SpmError),
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.to_string())
+    }
+}
+
+impl From<SpmError> for CliError {
+    fn from(e: SpmError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+/// Exit code for usage errors (bad flags, unknown subcommands, missing
+/// arguments). Pipeline errors use [`SpmError::exit_code`] (3..=8).
+const USAGE_EXIT: u8 = 2;
 
 fn main() -> ExitCode {
     // Piping into `head` closes stdout early; exit quietly with the
@@ -50,10 +89,7 @@ fn main() -> ExitCode {
 
     let parsed = match parse(std::env::args().skip(1)) {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return usage_failure(&e.to_string()),
     };
     let result = match parsed.command.as_str() {
         "list" => cmd_list(),
@@ -71,15 +107,26 @@ fn main() -> ExitCode {
             print!("{HELP}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand `{other}` (try `spm help`)")),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}` (try `spm help`)"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+        Err(CliError::Usage(message)) => usage_failure(&message),
+        Err(CliError::Pipeline(e)) => {
+            eprintln!("error[{}]: {e}", e.class());
+            ExitCode::from(e.exit_code())
         }
     }
+}
+
+/// Reports a usage error: message plus the usage text, all on stderr so
+/// stdout stays clean for pipelines.
+fn usage_failure(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprint!("{HELP}");
+    ExitCode::from(USAGE_EXIT)
 }
 
 const HELP: &str = "\
@@ -110,6 +157,10 @@ FLAGS:
   --step N            sample stride for timeseries (default 10000)
   --plot              render timeseries as terminal sparklines
   --param k=v[,k=v]   override input parameters
+
+EXIT CODES:
+  0 ok, 2 usage, 3 I/O, 4 workload parse, 5 graph/marker parse,
+  6 execution, 7 profiler (corrupt event stream), 8 trace decode
 ";
 
 /// A resolved analysis target: a built-in workload, or a workload file
@@ -119,26 +170,45 @@ struct Target {
     inputs: Vec<Input>,
 }
 
-fn workload(parsed: &ParsedArgs) -> Result<Target, String> {
-    let name = parsed.positional("workload").map_err(|e| e.to_string())?;
+fn workload(parsed: &ParsedArgs) -> Result<Target, CliError> {
+    let name = parsed.positional("workload")?;
     if std::path::Path::new(name).is_file() {
-        let src = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
-        let parsed_file = parse_workload(&src).map_err(|e| format!("{name}: {e}"))?;
+        let src = std::fs::read_to_string(name).map_err(|e| SpmError::Io {
+            path: name.to_string(),
+            message: e.to_string(),
+        })?;
+        let parsed_file = parse_workload(&src).map_err(|e| SpmError::Workload {
+            source: name.to_string(),
+            error: e,
+        })?;
         if parsed_file.inputs.is_empty() {
-            return Err(format!("{name}: the workload file declares no `input` blocks"));
+            return Err(SpmError::Workload {
+                source: name.to_string(),
+                error: DslError {
+                    line: 0,
+                    message: "the workload file declares no `input` blocks".into(),
+                },
+            }
+            .into());
         }
-        return Ok(Target { program: parsed_file.program, inputs: parsed_file.inputs });
+        return Ok(Target {
+            program: parsed_file.program,
+            inputs: parsed_file.inputs,
+        });
     }
     let w = build(name).ok_or_else(|| {
-        format!(
+        CliError::Usage(format!(
             "unknown workload `{name}` (and no such file); available: {}",
             ALL_NAMES.join(", ")
-        )
+        ))
     })?;
-    Ok(Target { program: w.program, inputs: vec![w.train_input, w.ref_input] })
+    Ok(Target {
+        program: w.program,
+        inputs: vec![w.train_input, w.ref_input],
+    })
 }
 
-fn input_of(w: &Target, parsed: &ParsedArgs, default: &str) -> Result<Input, String> {
+fn input_of(w: &Target, parsed: &ParsedArgs, default: &str) -> Result<Input, CliError> {
     let wanted = parsed.str_flag("input", default);
     // Fall back to the first declared input when the conventional name
     // is absent (single-input workload files).
@@ -146,20 +216,30 @@ fn input_of(w: &Target, parsed: &ParsedArgs, default: &str) -> Result<Input, Str
         .inputs
         .iter()
         .find(|i| i.name() == wanted)
-        .or_else(|| if parsed.flags.contains_key("input") { None } else { w.inputs.first() })
+        .or_else(|| {
+            if parsed.flags.contains_key("input") {
+                None
+            } else {
+                w.inputs.first()
+            }
+        })
         .ok_or_else(|| {
             let names: Vec<&str> = w.inputs.iter().map(|i| i.name()).collect();
-            format!("no input named `{wanted}`; declared inputs: {}", names.join(", "))
+            CliError::Usage(format!(
+                "no input named `{wanted}`; declared inputs: {}",
+                names.join(", ")
+            ))
         })?;
     // Apply `--param key=value,key=value` overrides.
     let mut input = base.clone();
     if let Some(spec) = parsed.flags.get("param") {
         for pair in spec.split(',') {
-            let (key, value) = pair
-                .split_once('=')
-                .ok_or_else(|| format!("--param expects key=value, got `{pair}`"))?;
-            let value: u64 =
-                value.parse().map_err(|_| format!("--param {key}: bad value `{value}`"))?;
+            let (key, value) = pair.split_once('=').ok_or_else(|| {
+                CliError::Usage(format!("--param expects key=value, got `{pair}`"))
+            })?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--param {key}: bad value `{value}`")))?;
             input = input.with(key, value);
         }
     }
@@ -178,39 +258,82 @@ fn select_config(parsed: &ParsedArgs) -> Result<SelectConfig, ArgError> {
     Ok(config)
 }
 
-fn profile_graph(w: &Target, input: &Input) -> Result<spm_core::CallLoopGraph, String> {
+fn profile_graph(w: &Target, input: &Input) -> Result<spm_core::CallLoopGraph, SpmError> {
     let mut profiler = CallLoopProfiler::new();
-    run(&w.program, input, &mut [&mut profiler]).map_err(|e| e.to_string())?;
-    Ok(profiler.into_graph())
+    run(&w.program, input, &mut [&mut profiler]).map_err(SpmError::Run)?;
+    profiler.into_graph().map_err(SpmError::Profile)
 }
 
-fn load_or_select_markers(
-    w: &Target,
-    parsed: &ParsedArgs,
-) -> Result<spm_core::MarkerSet, String> {
+/// Markers for the partitioning commands, plus whether selection saw
+/// only degenerate (non-finite) CoV — which forces the fixed-length
+/// fallback. Markers loaded from a file are trusted as-is.
+struct MarkerSource {
+    markers: MarkerSet,
+    degenerate_cov: bool,
+}
+
+fn load_or_select_markers(w: &Target, parsed: &ParsedArgs) -> Result<MarkerSource, CliError> {
     if let Some(path) = parsed.flags.get("markers") {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        return parse_markers(&text).map_err(|e| format!("{path}: {e}"));
+        let text = std::fs::read_to_string(path).map_err(|e| SpmError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        let markers = parse_markers(&text).map_err(|e| SpmError::Parse {
+            source: path.clone(),
+            error: e,
+        })?;
+        return Ok(MarkerSource {
+            markers,
+            degenerate_cov: false,
+        });
     }
     let train = w
         .inputs
         .iter()
         .find(|i| i.name() == "train")
         .or_else(|| w.inputs.first())
-        .ok_or("workload has no inputs")?;
+        .ok_or_else(|| CliError::Usage("workload has no inputs".into()))?;
     let graph = profile_graph(w, train)?;
-    let config = select_config(parsed).map_err(|e| e.to_string())?;
-    Ok(select_markers(&graph, &config).markers)
+    let config = select_config(parsed)?;
+    let outcome = select_markers(&graph, &config);
+    Ok(MarkerSource {
+        markers: outcome.markers,
+        degenerate_cov: outcome.degenerate_cov,
+    })
 }
 
-fn cmd_list() -> Result<(), String> {
+/// Partitions with graceful degradation, announcing any fixed-length
+/// fallback on stderr in a machine-readable form.
+fn partition_checked(
+    source: &MarkerSource,
+    firings: &[MarkerFiring],
+    total: u64,
+    ilower: u64,
+) -> Vec<Vli> {
+    let outcome = partition_with_fallback(
+        &source.markers,
+        firings,
+        total,
+        ilower,
+        source.degenerate_cov,
+    );
+    if let Some(fb) = &outcome.fallback {
+        eprintln!(
+            "warning: fallback=fixed-length reason={} interval={}",
+            fb.reason, fb.interval
+        );
+    }
+    outcome.vlis
+}
+
+fn cmd_list() -> Result<(), CliError> {
     println!(
         "{:<10} {:>14} {:>14} {:>14}",
         "workload", "train instrs", "ref instrs", "est ref"
     );
     for w in spm_workloads::suite() {
-        let t = run(&w.program, &w.train_input, &mut []).map_err(|e| e.to_string())?;
-        let r = run(&w.program, &w.ref_input, &mut []).map_err(|e| e.to_string())?;
+        let t = run(&w.program, &w.train_input, &mut []).map_err(SpmError::Run)?;
+        let r = run(&w.program, &w.ref_input, &mut []).map_err(SpmError::Run)?;
         let est = spm_ir::estimate_work(&w.program, &w.ref_input);
         println!(
             "{:<10} {:>14} {:>14} {:>14.0}",
@@ -220,7 +343,7 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(parsed: &ParsedArgs) -> Result<(), String> {
+fn cmd_profile(parsed: &ParsedArgs) -> Result<(), CliError> {
     let w = workload(parsed)?;
     let input = input_of(&w, parsed, "ref")?;
     let graph = profile_graph(&w, &input)?;
@@ -228,9 +351,18 @@ fn cmd_profile(parsed: &ParsedArgs) -> Result<(), String> {
         let markers = parsed
             .flags
             .get("markers")
-            .map(|path| -> Result<_, String> {
-                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-                parse_markers(&text).map_err(|e| format!("{path}: {e}"))
+            .map(|path| -> Result<_, CliError> {
+                let text = std::fs::read_to_string(path).map_err(|e| SpmError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                })?;
+                parse_markers(&text).map_err(|e| {
+                    SpmError::Parse {
+                        source: path.clone(),
+                        error: e,
+                    }
+                    .into()
+                })
             })
             .transpose()?;
         print!("{}", graph_to_dot(&graph, markers.as_ref()));
@@ -254,11 +386,11 @@ fn cmd_profile(parsed: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_select(parsed: &ParsedArgs) -> Result<(), String> {
+fn cmd_select(parsed: &ParsedArgs) -> Result<(), CliError> {
     let w = workload(parsed)?;
     let input = input_of(&w, parsed, "train")?;
     let graph = profile_graph(&w, &input)?;
-    let config = select_config(parsed).map_err(|e| e.to_string())?;
+    let config = select_config(parsed)?;
     let outcome = select_markers(&graph, &config);
     eprintln!(
         "# {} markers from {} candidates (avg CoV {:.2}%, threshold spread {:.2}%)",
@@ -267,21 +399,27 @@ fn cmd_select(parsed: &ParsedArgs) -> Result<(), String> {
         outcome.avg_cov * 100.0,
         outcome.std_cov * 100.0
     );
+    if outcome.degenerate_cov {
+        eprintln!("warning: degenerate-cov: no candidate edge has a finite CoV");
+    }
     print!("{}", write_markers(&outcome.markers));
     Ok(())
 }
 
-fn cmd_partition(parsed: &ParsedArgs) -> Result<(), String> {
+fn cmd_partition(parsed: &ParsedArgs) -> Result<(), CliError> {
     let w = workload(parsed)?;
-    let markers = load_or_select_markers(&w, parsed)?;
+    let source = load_or_select_markers(&w, parsed)?;
     let input = input_of(&w, parsed, "ref")?;
-    let mut runtime = MarkerRuntime::new(&markers);
+    let ilower = parsed.u64_flag("ilower", 10_000)?;
+    let mut runtime = MarkerRuntime::new(&source.markers);
     let mut timeline = Timeline::with_defaults(1_000);
     let total = {
         let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut runtime, &mut timeline];
-        run(&w.program, &input, &mut observers).map_err(|e| e.to_string())?.instrs
+        run(&w.program, &input, &mut observers)
+            .map_err(SpmError::Run)?
+            .instrs
     };
-    let vlis = partition(&runtime.firings(), total);
+    let vlis = partition_checked(&source, &runtime.firings(), total, ilower);
     println!("begin\tend\tphase\tcpi\tdl1_miss");
     for v in &vlis {
         println!(
@@ -301,7 +439,10 @@ fn cmd_partition(parsed: &ParsedArgs) -> Result<(), String> {
     );
     let mut lengths = spm_stats::LogHistogram::new();
     lengths.extend(vlis.iter().map(|v| v.len()));
-    eprint!("# interval length distribution:\n{}", indent(&lengths.render()));
+    eprint!(
+        "# interval length distribution:\n{}",
+        indent(&lengths.render())
+    );
     Ok(())
 }
 
@@ -309,17 +450,18 @@ fn indent(text: &str) -> String {
     text.lines().map(|l| format!("#   {l}\n")).collect()
 }
 
-fn cmd_predict(parsed: &ParsedArgs) -> Result<(), String> {
+fn cmd_predict(parsed: &ParsedArgs) -> Result<(), CliError> {
     let w = workload(parsed)?;
-    let markers = load_or_select_markers(&w, parsed)?;
+    let source = load_or_select_markers(&w, parsed)?;
     let input = input_of(&w, parsed, "ref")?;
-    let mut runtime = MarkerRuntime::new(&markers);
+    let ilower = parsed.u64_flag("ilower", 10_000)?;
+    let mut runtime = MarkerRuntime::new(&source.markers);
     let total = run(&w.program, &input, &mut [&mut runtime])
-        .map_err(|e| e.to_string())?
+        .map_err(SpmError::Run)?
         .instrs;
-    let vlis = partition(&runtime.firings(), total);
+    let vlis = partition_checked(&source, &runtime.firings(), total, ilower);
 
-    let order = parsed.u64_flag("order", 1).map_err(|e| e.to_string())? as usize;
+    let order = parsed.u64_flag("order", 1)? as usize;
     let mut markov = MarkovPredictor::new(order);
     let mut last = spm_core::predict::LastPhasePredictor::new();
     let mut durations = DurationPredictor::new();
@@ -339,24 +481,27 @@ fn cmd_predict(parsed: &ParsedArgs) -> Result<(), String> {
     phases.sort_unstable();
     phases.dedup();
     for phase in phases {
-        if let (Some(mean), Some(cov)) =
-            (durations.predict(phase), durations.confidence_cov(phase))
+        if let (Some(mean), Some(cov)) = (durations.predict(phase), durations.confidence_cov(phase))
         {
-            println!("  phase {phase}: expected {mean:.0} instrs (CoV {:.1}%)", cov * 100.0);
+            println!(
+                "  phase {phase}: expected {mean:.0} instrs (CoV {:.1}%)",
+                cov * 100.0
+            );
         }
     }
     Ok(())
 }
 
-fn cmd_structure(parsed: &ParsedArgs) -> Result<(), String> {
+fn cmd_structure(parsed: &ParsedArgs) -> Result<(), CliError> {
     let w = workload(parsed)?;
-    let markers = load_or_select_markers(&w, parsed)?;
+    let source = load_or_select_markers(&w, parsed)?;
     let input = input_of(&w, parsed, "ref")?;
-    let mut runtime = MarkerRuntime::new(&markers);
+    let ilower = parsed.u64_flag("ilower", 10_000)?;
+    let mut runtime = MarkerRuntime::new(&source.markers);
     let total = run(&w.program, &input, &mut [&mut runtime])
-        .map_err(|e| e.to_string())?
+        .map_err(SpmError::Run)?
         .instrs;
-    let vlis = partition(&runtime.firings(), total);
+    let vlis = partition_checked(&source, &runtime.firings(), total, ilower);
     let hierarchy = spm_reuse::phase_hierarchy(&vlis);
     println!(
         "workload: {} ({} intervals, compression {:.2})",
@@ -368,7 +513,11 @@ fn cmd_structure(parsed: &ParsedArgs) -> Result<(), String> {
         println!("  no repeating super-phase structure found");
         return Ok(());
     }
-    println!("  {} super-phases, max depth {}:", hierarchy.super_phases.len(), hierarchy.max_depth());
+    println!(
+        "  {} super-phases, max depth {}:",
+        hierarchy.super_phases.len(),
+        hierarchy.max_depth()
+    );
     for sp in hierarchy.super_phases.iter().take(10) {
         let phases: Vec<String> = sp.phases.iter().map(|p| p.to_string()).collect();
         println!(
@@ -381,20 +530,22 @@ fn cmd_structure(parsed: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_record(parsed: &ParsedArgs) -> Result<(), String> {
+fn cmd_record(parsed: &ParsedArgs) -> Result<(), CliError> {
     let w = workload(parsed)?;
     let input = input_of(&w, parsed, "ref")?;
     let out = parsed
         .flags
         .get("out")
-        .ok_or("record requires --out FILE")?
+        .ok_or_else(|| CliError::Usage("record requires --out FILE".into()))?
         .clone();
     let mut recorder = spm_sim::record::TraceRecorder::new();
-    let summary =
-        run(&w.program, &input, &mut [&mut recorder]).map_err(|e| e.to_string())?;
+    let summary = run(&w.program, &input, &mut [&mut recorder]).map_err(SpmError::Run)?;
     let events = recorder.events();
     let bytes = recorder.into_bytes();
-    std::fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    std::fs::write(&out, &bytes).map_err(|e| SpmError::Io {
+        path: out.clone(),
+        message: e.to_string(),
+    })?;
     eprintln!(
         "recorded {} events ({} instructions) into {out} ({} bytes)",
         events,
@@ -404,26 +555,51 @@ fn cmd_record(parsed: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_replay(parsed: &ParsedArgs) -> Result<(), String> {
-    let path = parsed.positional("tracefile").map_err(|e| e.to_string())?;
-    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+fn cmd_replay(parsed: &ParsedArgs) -> Result<(), CliError> {
+    let path = parsed.positional("tracefile")?;
+    let bytes = std::fs::read(path).map_err(|e| SpmError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
     let mut timing = spm_sim::TimingModel::default();
-    let events = spm_sim::record::replay(&bytes, &mut [&mut timing])
-        .map_err(|e| format!("{path}: {e}"))?;
+    let events = match spm_sim::record::replay(&bytes, &mut [&mut timing]) {
+        Ok(events) => events,
+        Err(error) => {
+            // Strict replay refused the trace; recover and report the
+            // longest valid prefix so a damaged file is still usable.
+            let mut prefix_timing = spm_sim::TimingModel::default();
+            let report = spm_sim::record::replay_prefix(&bytes, &mut [&mut prefix_timing]);
+            eprintln!(
+                "warning: recovered valid prefix: {} events, {} of {} bytes",
+                report.events,
+                report.valid_bytes,
+                bytes.len()
+            );
+            return Err(SpmError::Trace {
+                source: path.to_string(),
+                error,
+            }
+            .into());
+        }
+    };
     println!("trace: {path}");
     println!("  events:        {events}");
     println!("  instructions:  {}", timing.instrs());
     println!("  CPI:           {:.4}", timing.cpi());
     println!("  DL1 miss rate: {:.4}", timing.dl1_miss_rate());
-    println!("  mispredicts:   {} / {} branches", timing.mispredicts(), timing.branches());
+    println!(
+        "  mispredicts:   {} / {} branches",
+        timing.mispredicts(),
+        timing.branches()
+    );
     Ok(())
 }
 
-fn cmd_explain(parsed: &ParsedArgs) -> Result<(), String> {
+fn cmd_explain(parsed: &ParsedArgs) -> Result<(), CliError> {
     let w = workload(parsed)?;
     let input = input_of(&w, parsed, "train")?;
     let graph = profile_graph(&w, &input)?;
-    let config = select_config(parsed).map_err(|e| e.to_string())?;
+    let config = select_config(parsed)?;
     let outcome = select_markers(&graph, &config);
     println!(
         "{:<24} {:>10} {:>12} {:>12} {:>8}  decision",
@@ -431,13 +607,13 @@ fn cmd_explain(parsed: &ParsedArgs) -> Result<(), String> {
     );
     // Largest edges first: the ones that matter for marking.
     let mut edges: Vec<_> = graph.edges().iter().collect();
-    edges.sort_by(|a, b| b.avg().partial_cmp(&a.avg()).unwrap_or(std::cmp::Ordering::Equal));
+    edges.sort_by(|a, b| {
+        b.avg()
+            .partial_cmp(&a.avg())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     for edge in edges {
-        let name = format!(
-            "{}->{}",
-            graph.node(edge.from).key,
-            graph.node(edge.to).key
-        );
+        let name = format!("{}->{}", graph.node(edge.from).key, graph.node(edge.to).key);
         println!(
             "{:<24} {:>10} {:>12.0} {:>12.0} {:>7.2}%  {}",
             name,
@@ -457,17 +633,19 @@ fn cmd_explain(parsed: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_timeseries(parsed: &ParsedArgs) -> Result<(), String> {
+fn cmd_timeseries(parsed: &ParsedArgs) -> Result<(), CliError> {
     let w = workload(parsed)?;
     let input = input_of(&w, parsed, "ref")?;
-    let step = parsed.u64_flag("step", 10_000).map_err(|e| e.to_string())?.max(1);
-    let markers = load_or_select_markers(&w, parsed)?;
+    let step = parsed.u64_flag("step", 10_000)?.max(1);
+    let source = load_or_select_markers(&w, parsed)?;
 
-    let mut runtime = MarkerRuntime::new(&markers);
+    let mut runtime = MarkerRuntime::new(&source.markers);
     let mut timeline = Timeline::with_defaults(1_000);
     let total = {
         let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut runtime, &mut timeline];
-        run(&w.program, &input, &mut observers).map_err(|e| e.to_string())?.instrs
+        run(&w.program, &input, &mut observers)
+            .map_err(SpmError::Run)?
+            .instrs
     };
 
     let firings = runtime.firings();
@@ -494,7 +672,10 @@ fn cmd_timeseries(parsed: &ParsedArgs) -> Result<(), String> {
         let width = 100.min(samples.len().max(10));
         let cpi: Vec<f64> = samples.iter().map(|s| s.1).collect();
         let miss: Vec<f64> = samples.iter().map(|s| s.2).collect();
-        print!("{}", plot::chart(&[("cpi", &cpi[..]), ("dl1_miss", &miss[..])], width));
+        print!(
+            "{}",
+            plot::chart(&[("cpi", &cpi[..]), ("dl1_miss", &miss[..])], width)
+        );
         let marker_positions: Vec<usize> = per_sample_marker
             .iter()
             .enumerate()
@@ -517,7 +698,7 @@ fn cmd_timeseries(parsed: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_export(parsed: &ParsedArgs) -> Result<(), String> {
+fn cmd_export(parsed: &ParsedArgs) -> Result<(), CliError> {
     let w = workload(parsed)?;
     print!("{}", spm_ir::write_workload(&w.program, &w.inputs));
     Ok(())

@@ -13,7 +13,9 @@ fn resample(values: &[f64], width: usize) -> Vec<f64> {
     (0..width)
         .map(|i| {
             let lo = i * values.len() / width;
-            let hi = (((i + 1) * values.len()) / width).max(lo + 1).min(values.len());
+            let hi = (((i + 1) * values.len()) / width)
+                .max(lo + 1)
+                .min(values.len());
             values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
         })
         .collect()
@@ -34,7 +36,9 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
     }
     let (lo, hi) = resampled
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
     let span = (hi - lo).max(1e-12);
     resampled
         .iter()
@@ -57,7 +61,9 @@ pub fn tick_row(positions: &[usize], n: usize, width: usize) -> String {
             cols[p * width / n] = true;
         }
     }
-    cols.iter().map(|&hit| if hit { '|' } else { ' ' }).collect()
+    cols.iter()
+        .map(|&hit| if hit { '|' } else { ' ' })
+        .collect()
 }
 
 /// A labelled multi-series terminal chart: one sparkline row per
@@ -68,7 +74,9 @@ pub fn chart(series: &[(&str, &[f64])], width: usize) -> String {
     for (label, values) in series {
         let (lo, hi) = values
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                (lo.min(x), hi.max(x))
+            });
         out.push_str(&format!(
             "{label:>label_width$} {} [{lo:.3}..{hi:.3}]\n",
             sparkline(values, width)

@@ -29,7 +29,15 @@ fn tmp(name: &str) -> PathBuf {
 fn help_lists_subcommands() {
     let out = spm(&["help"]);
     assert!(out.status.success());
-    for sub in ["profile", "select", "partition", "predict", "structure", "record", "replay"] {
+    for sub in [
+        "profile",
+        "select",
+        "partition",
+        "predict",
+        "structure",
+        "record",
+        "replay",
+    ] {
         assert!(stdout(&out).contains(sub), "help missing {sub}");
     }
 }
@@ -45,7 +53,10 @@ fn unknown_subcommand_fails_with_message() {
 fn unknown_workload_lists_alternatives() {
     let out = spm(&["select", "quake"]);
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("gzip"), "should list available workloads");
+    assert!(
+        stderr(&out).contains("gzip"),
+        "should list available workloads"
+    );
 }
 
 #[test]
@@ -82,7 +93,14 @@ fn profile_dot_is_graphviz() {
 #[test]
 fn record_then_replay_round_trips() {
     let trace = tmp("trace.bin");
-    let out = spm(&["record", "art", "--input", "train", "--out", trace.to_str().unwrap()]);
+    let out = spm(&[
+        "record",
+        "art",
+        "--input",
+        "train",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let out = spm(&["replay", trace.to_str().unwrap()]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -146,7 +164,11 @@ proc b { loop fixed 500 { block 30 cpi 0.8 { read data rand 1 } } }
 
     let out = spm(&["predict", path]);
     assert!(out.status.success(), "{}", stderr(&out));
-    assert!(stdout(&out).contains("markov(1) accuracy:   100.0%"), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("markov(1) accuracy:   100.0%"),
+        "{}",
+        stdout(&out)
+    );
 
     std::fs::remove_file(file).ok();
 }
@@ -195,7 +217,10 @@ fn timeseries_tsv_has_marker_column() {
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.starts_with("icount\tcpi\tdl1_miss\tmarker"));
-    assert!(text.lines().skip(1).any(|l| l.split('\t').nth(3).is_some_and(|m| !m.is_empty())));
+    assert!(text
+        .lines()
+        .skip(1)
+        .any(|l| l.split('\t').nth(3).is_some_and(|m| !m.is_empty())));
 }
 
 #[test]
@@ -204,7 +229,12 @@ fn param_overrides_change_execution_length() {
     assert!(short.status.success(), "{}", stderr(&short));
     let full = spm(&["partition", "gzip"]);
     let rows = |o: &Output| stdout(o).lines().count();
-    assert!(rows(&short) < rows(&full) / 4, "{} vs {}", rows(&short), rows(&full));
+    assert!(
+        rows(&short) < rows(&full) / 4,
+        "{} vs {}",
+        rows(&short),
+        rows(&full)
+    );
 
     let bad = spm(&["partition", "gzip", "--param", "chunks"]);
     assert!(!bad.status.success());
@@ -250,4 +280,91 @@ fn list_survives_closed_stdout() {
     let out = child.wait_with_output().expect("finishes");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn exit_codes_dispatch_by_failure_class() {
+    // 2 = usage: unknown subcommand, with the usage text on stderr and
+    // nothing on stdout (pipelines stay clean).
+    let out = spm(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("USAGE"), "{}", stderr(&out));
+    assert!(stdout(&out).is_empty(), "usage must not go to stdout");
+
+    // 2 = usage: unknown flag (not silently swallowed as a value flag).
+    let out = spm(&["select", "gzip", "--frobnicate", "3"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("frobnicate"), "{}", stderr(&out));
+    assert!(stdout(&out).is_empty());
+
+    // 2 = usage: unknown workload name.
+    let out = spm(&["select", "quake"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    // 3 = I/O: missing file.
+    let out = spm(&["replay", "/no/such/trace.bin"]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("error[io]"), "{}", stderr(&out));
+
+    // 4 = workload DSL parse failure.
+    let file = tmp("exitcode-broken.spm");
+    std::fs::write(&file, "program x\nproc main {\n  explode 1\n}\n").unwrap();
+    let out = spm(&["select", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("error[workload-parse]"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_file(&file).ok();
+
+    // 5 = marker file parse failure.
+    let file = tmp("exitcode-bad-markers.txt");
+    std::fs::write(&file, "not a marker file\n").unwrap();
+    let out = spm(&["partition", "gzip", "--markers", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(5), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("error[file-parse]"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_file(&file).ok();
+
+    // 8 = trace decode failure.
+    let file = tmp("exitcode-junk.bin");
+    std::fs::write(&file, b"spmtrc99definitely not a trace").unwrap();
+    let out = spm(&["replay", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(8), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("error[trace-decode]"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn replay_reports_valid_prefix_of_truncated_trace() {
+    let trace = tmp("prefix-trace.bin");
+    let out = spm(&[
+        "record",
+        "art",
+        "--input",
+        "train",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Chop bytes off the tail: the header's declared payload length no
+    // longer matches, so strict replay must fail with the trace-decode
+    // exit code while still reporting how much of the file is valid.
+    let bytes = std::fs::read(&trace).unwrap();
+    std::fs::write(&trace, &bytes[..bytes.len() - 7]).unwrap();
+    let out = spm(&["replay", trace.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(8), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("recovered valid prefix"), "{err}");
+    assert!(err.contains("error[trace-decode]"), "{err}");
+    std::fs::remove_file(&trace).ok();
 }

@@ -111,10 +111,11 @@ pub fn recursive_cycles(graph: &CallLoopGraph) -> Vec<Vec<NodeKey>> {
         stack.push(start);
         on_stack[start] = true;
 
-        while let Some(&(v, cursor)) = frames.last() {
+        while let Some(&mut (v, ref mut cursor_slot)) = frames.last_mut() {
+            let cursor = *cursor_slot;
             let outs = graph.out_edges(NodeId(v as u32));
             if cursor < outs.len() {
-                frames.last_mut().expect("frame exists").1 += 1;
+                *cursor_slot += 1;
                 let w = graph.edge(outs[cursor]).to.index();
                 if index[w] == usize::MAX {
                     index[w] = next_index;
@@ -133,8 +134,9 @@ pub fn recursive_cycles(graph: &CallLoopGraph) -> Vec<Vec<NodeKey>> {
                 }
                 if lowlink[v] == index[v] {
                     let mut component = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack");
+                    // `v` is on the Tarjan stack (invariant of the
+                    // algorithm), so the pop loop always terminates.
+                    while let Some(w) = stack.pop() {
                         on_stack[w] = false;
                         component.push(w);
                         if w == v {
@@ -165,13 +167,13 @@ pub fn recursive_cycles(graph: &CallLoopGraph) -> Vec<Vec<NodeKey>> {
 mod tests {
     use super::*;
     use crate::profile::CallLoopProfiler;
-    use spm_ir::{Input, ProgramBuilder, Program, Trip};
+    use spm_ir::{Input, Program, ProgramBuilder, Trip};
     use spm_sim::run;
 
     fn profile(program: &Program) -> CallLoopGraph {
         let mut profiler = CallLoopProfiler::new();
         run(program, &Input::new("t", 1), &mut [&mut profiler]).unwrap();
-        profiler.into_graph()
+        profiler.into_graph().unwrap()
     }
 
     #[test]

@@ -140,14 +140,21 @@ pub fn select_cross_binary(
     let mut markers_a = MarkerSet::new();
     let mut markers_b = MarkerSet::new();
     for (_, marker) in outcome.markers.iter() {
-        // Mapping cannot fail: every selected edge survived the
-        // intersection, so its constructs exist in B.
-        let mapped = map_marker(marker, prog_a, &maps_b)
-            .expect("intersected marker must map to binary B");
-        markers_a.insert(marker);
-        markers_b.insert(mapped);
+        // Every selected edge survived the intersection, so its
+        // constructs exist in B and mapping succeeds; a marker that
+        // nevertheless fails to map (corrupted inputs) is dropped from
+        // both sides rather than crashing, preserving the invariant
+        // that `markers_a` and `markers_b` are parallel.
+        if let Some(mapped) = map_marker(marker, prog_a, &maps_b) {
+            markers_a.insert(marker);
+            markers_b.insert(mapped);
+        }
     }
-    CrossBinaryMarkers { markers_a, markers_b, outcome }
+    CrossBinaryMarkers {
+        markers_a,
+        markers_b,
+        outcome,
+    }
 }
 
 /// Whether two firing sequences denote the same marker trace: the same
@@ -189,7 +196,7 @@ mod tests {
     fn profile(program: &Program, input: &Input) -> CallLoopGraph {
         let mut prof = CallLoopProfiler::new();
         run(program, input, &mut [&mut prof]).unwrap();
-        prof.into_graph()
+        prof.into_graph().unwrap()
     }
 
     #[test]
@@ -209,7 +216,10 @@ mod tests {
             &bin_b,
             &SelectConfig::new(2_000),
         );
-        assert!(!cross.markers_a.is_empty(), "intersection must yield markers");
+        assert!(
+            !cross.markers_a.is_empty(),
+            "intersection must yield markers"
+        );
         assert_eq!(cross.markers_a.len(), cross.markers_b.len());
 
         let mut rt_a = MarkerRuntime::new(&cross.markers_a);
@@ -235,13 +245,7 @@ mod tests {
 
         let graph_a = profile(&bin_a, &input);
         let graph_b = profile(&bin_b, &input);
-        let cross = select_cross_binary(
-            &graph_a,
-            &bin_a,
-            &graph_b,
-            &bin_b,
-            &SelectConfig::new(1),
-        );
+        let cross = select_cross_binary(&graph_a, &bin_a, &graph_b, &bin_b, &SelectConfig::new(1));
         let tiny = bin_a.proc_by_name("tiny").unwrap().id;
         for (_, m) in cross.markers_a.iter() {
             if let Marker::Edge { to, .. } = m {
@@ -260,22 +264,49 @@ mod tests {
         let bin = compile(&src, &CompileConfig::baseline());
         let maps = SourceMaps::new(&bin);
         let work = bin.proc_by_name("work").unwrap().id;
-        let m = Marker::Edge { from: NodeKey::Root, to: NodeKey::ProcHead(work) };
+        let m = Marker::Edge {
+            from: NodeKey::Root,
+            to: NodeKey::ProcHead(work),
+        };
         assert_eq!(map_marker(m, &bin, &maps), Some(m));
-        let g = Marker::LoopGroup { loop_id: LoopId(0), group: 7 };
+        let g = Marker::LoopGroup {
+            loop_id: LoopId(0),
+            group: 7,
+        };
         assert_eq!(map_marker(g, &bin, &maps), Some(g));
     }
 
     #[test]
     fn traces_match_rejects_mismatch() {
-        let a = vec![MarkerFiring { icount: 1, marker: 0 }, MarkerFiring { icount: 9, marker: 1 }];
+        let a = vec![
+            MarkerFiring {
+                icount: 1,
+                marker: 0,
+            },
+            MarkerFiring {
+                icount: 9,
+                marker: 1,
+            },
+        ];
         let b_same = vec![
-            MarkerFiring { icount: 4, marker: 0 },
-            MarkerFiring { icount: 20, marker: 1 },
+            MarkerFiring {
+                icount: 4,
+                marker: 0,
+            },
+            MarkerFiring {
+                icount: 20,
+                marker: 1,
+            },
         ];
         let b_diff = vec![
-            MarkerFiring { icount: 4, marker: 1 },
-            MarkerFiring { icount: 20, marker: 1 },
+            MarkerFiring {
+                icount: 4,
+                marker: 1,
+            },
+            MarkerFiring {
+                icount: 20,
+                marker: 1,
+            },
         ];
         assert!(traces_match(&a, &b_same), "icounts may differ");
         assert!(!traces_match(&a, &b_diff));

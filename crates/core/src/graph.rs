@@ -83,12 +83,8 @@ impl NodeKey {
             NodeKey::Root => None,
             NodeKey::ProcHead(p) => Some((SourceRole::ProcHead, program.proc(*p).source)),
             NodeKey::ProcBody(p) => Some((SourceRole::ProcBody, program.proc(*p).source)),
-            NodeKey::LoopHead(l) => {
-                Some((SourceRole::LoopHead, program.loop_sources()[l.index()]))
-            }
-            NodeKey::LoopBody(l) => {
-                Some((SourceRole::LoopBody, program.loop_sources()[l.index()]))
-            }
+            NodeKey::LoopHead(l) => Some((SourceRole::LoopHead, program.loop_sources()[l.index()])),
+            NodeKey::LoopBody(l) => Some((SourceRole::LoopBody, program.loop_sources()[l.index()])),
         }
     }
 }
@@ -218,7 +214,9 @@ impl CallLoopGraph {
 
     /// The edge between two nodes, if it was ever traversed.
     pub fn edge_between(&self, from: NodeId, to: NodeId) -> Option<&Edge> {
-        self.edge_index.get(&(from, to)).map(|&e| &self.edges[e.index()])
+        self.edge_index
+            .get(&(from, to))
+            .map(|&e| &self.edges[e.index()])
     }
 
     /// Outgoing edges of a node.
@@ -264,7 +262,12 @@ impl CallLoopGraph {
             Some(&e) => e,
             None => {
                 let id = EdgeId(self.edges.len() as u32);
-                self.edges.push(Edge { id, from, to, stats: Running::new() });
+                self.edges.push(Edge {
+                    id,
+                    from,
+                    to,
+                    stats: Running::new(),
+                });
                 self.edge_index.insert((from, to), id);
                 self.out_edges[from.index()].push(id);
                 self.in_edges[to.index()].push(id);
@@ -279,6 +282,9 @@ impl CallLoopGraph {
     /// on the current path, so it terminates on cyclic (recursive)
     /// graphs.
     pub fn estimate_max_depth(&self) -> Vec<u32> {
+        if self.nodes.is_empty() {
+            return Vec::new();
+        }
         let mut depth = vec![0u32; self.nodes.len()];
         let mut on_path = vec![false; self.nodes.len()];
         // Explicit stack of (node, next-out-edge-cursor) frames to avoid

@@ -48,10 +48,11 @@
 //! let program = b.build("main").unwrap();
 //! let input = Input::new("ref", 1);
 //!
-//! // 1. Profile.
+//! // 1. Profile. `into_graph` is fallible: a corrupted event stream
+//! //    (truncated trace, dropped returns) yields a typed error.
 //! let mut profiler = CallLoopProfiler::new();
 //! run(&program, &input, &mut [&mut profiler]).unwrap();
-//! let graph = profiler.into_graph();
+//! let graph = profiler.into_graph().unwrap();
 //!
 //! // 2. Select markers with a 5000-instruction minimum interval.
 //! let outcome = spm_core::select_markers(&graph, &SelectConfig::new(5_000));
@@ -68,9 +69,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
 pub mod crossbin;
+pub mod error;
 pub mod graph;
 pub mod marker;
 pub mod predict;
@@ -79,7 +83,11 @@ pub mod select;
 pub mod text;
 
 pub use analysis::{recursive_cycles, summarize, GraphSummary};
+pub use error::{FrameLabel, ProfileError, SpmError};
 pub use graph::{CallLoopGraph, Edge, EdgeId, Node, NodeId, NodeKey};
-pub use marker::{partition, Marker, MarkerFiring, MarkerRuntime, MarkerSet, Vli, PRELUDE_PHASE};
+pub use marker::{
+    fixed_length_intervals, partition, partition_with_fallback, FallbackReason, FliFallback,
+    Marker, MarkerFiring, MarkerRuntime, MarkerSet, PartitionOutcome, Vli, PRELUDE_PHASE,
+};
 pub use profile::CallLoopProfiler;
 pub use select::{select_markers, EdgeDecision, SelectConfig, SelectionOutcome};

@@ -135,7 +135,11 @@ pub struct MarkerFiring {
 #[derive(Debug, Clone)]
 enum ContextFrame {
     Proc(spm_ir::ProcId),
-    Loop { id: LoopId, in_iteration: bool, iters: u64 },
+    Loop {
+        id: LoopId,
+        in_iteration: bool,
+        iters: u64,
+    },
 }
 
 /// Trace observer that detects marker executions during a run.
@@ -155,7 +159,11 @@ pub struct MarkerRuntime<'m> {
 impl<'m> MarkerRuntime<'m> {
     /// Creates a runtime detecting the given marker set.
     pub fn new(markers: &'m MarkerSet) -> Self {
-        Self { markers, stack: Vec::new(), firings: Vec::new() }
+        Self {
+            markers,
+            stack: Vec::new(),
+            firings: Vec::new(),
+        }
     }
 
     /// The firings observed so far, in execution order.
@@ -172,8 +180,16 @@ impl<'m> MarkerRuntime<'m> {
         match self.stack.last() {
             None => NodeKey::Root,
             Some(ContextFrame::Proc(p)) => NodeKey::ProcBody(*p),
-            Some(ContextFrame::Loop { id, in_iteration: true, .. }) => NodeKey::LoopBody(*id),
-            Some(ContextFrame::Loop { id, in_iteration: false, .. }) => NodeKey::LoopHead(*id),
+            Some(ContextFrame::Loop {
+                id,
+                in_iteration: true,
+                ..
+            }) => NodeKey::LoopBody(*id),
+            Some(ContextFrame::Loop {
+                id,
+                in_iteration: false,
+                ..
+            }) => NodeKey::LoopHead(*id),
         }
     }
 
@@ -199,8 +215,11 @@ impl TraceObserver for MarkerRuntime<'_> {
             TraceEvent::LoopEnter { loop_id } => {
                 let ctx = self.context();
                 self.check_edge(icount, ctx, NodeKey::LoopHead(loop_id));
-                self.stack
-                    .push(ContextFrame::Loop { id: loop_id, in_iteration: false, iters: 0 });
+                self.stack.push(ContextFrame::Loop {
+                    id: loop_id,
+                    in_iteration: false,
+                    iters: 0,
+                });
             }
             TraceEvent::LoopIter { loop_id } => {
                 self.check_edge(
@@ -209,8 +228,11 @@ impl TraceObserver for MarkerRuntime<'_> {
                     NodeKey::LoopBody(loop_id),
                 );
                 let group = self.markers.group_marker(loop_id);
-                if let Some(ContextFrame::Loop { id, in_iteration, iters }) =
-                    self.stack.last_mut()
+                if let Some(ContextFrame::Loop {
+                    id,
+                    in_iteration,
+                    iters,
+                }) = self.stack.last_mut()
                 {
                     debug_assert_eq!(*id, loop_id, "loop context corrupted");
                     if let Some((g, marker)) = group {
@@ -292,7 +314,11 @@ pub fn partition(firings: &[MarkerFiring], total_instrs: u64) -> Vec<Vli> {
         let at = firing.icount.min(total_instrs);
         debug_assert!(at >= begin, "firings must be in execution order");
         if at > begin {
-            vlis.push(Vli { begin, end: at, phase });
+            vlis.push(Vli {
+                begin,
+                end: at,
+                phase,
+            });
             begin = at;
             phase = firing.marker + 1;
             boundary_named = true;
@@ -302,9 +328,120 @@ pub fn partition(firings: &[MarkerFiring], total_instrs: u64) -> Vec<Vli> {
         }
     }
     if begin < total_instrs {
-        vlis.push(Vli { begin, end: total_instrs, phase });
+        vlis.push(Vli {
+            begin,
+            end: total_instrs,
+            phase,
+        });
     }
     vlis
+}
+
+/// Why [`partition_with_fallback`] abandoned variable-length intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Selection produced no markers at all (e.g. `ilower` larger than
+    /// every edge's average, or an empty graph).
+    NoMarkers,
+    /// Markers exist but none fired during this run (the profiled input
+    /// exercised code the measured input never reached).
+    NoFirings,
+    /// Selection flagged its CoV statistics as degenerate
+    /// ([`SelectionOutcome::degenerate_cov`](crate::SelectionOutcome)):
+    /// the marker set is untrustworthy.
+    DegenerateCov,
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FallbackReason::NoMarkers => "no-markers",
+            FallbackReason::NoFirings => "no-firings",
+            FallbackReason::DegenerateCov => "degenerate-cov",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Record of a fixed-length-interval fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FliFallback {
+    /// Why VLI partitioning was abandoned.
+    pub reason: FallbackReason,
+    /// The fixed interval length used, in instructions.
+    pub interval: u64,
+}
+
+/// Result of [`partition_with_fallback`]: the intervals, plus a record
+/// of the fallback if one was taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionOutcome {
+    /// The intervals tiling the execution.
+    pub vlis: Vec<Vli>,
+    /// `Some` when the intervals are fixed-length rather than
+    /// marker-delimited.
+    pub fallback: Option<FliFallback>,
+}
+
+/// Tiles `total_instrs` instructions with fixed-length intervals of
+/// `interval` instructions (the last one partial). Every interval gets
+/// [`PRELUDE_PHASE`]: fixed-length intervals carry no phase information.
+///
+/// `interval == 0` is treated as 1 so the tiling always terminates.
+pub fn fixed_length_intervals(total_instrs: u64, interval: u64) -> Vec<Vli> {
+    let interval = interval.max(1);
+    let mut vlis = Vec::new();
+    let mut begin = 0u64;
+    while begin < total_instrs {
+        let end = begin.saturating_add(interval).min(total_instrs);
+        vlis.push(Vli {
+            begin,
+            end,
+            phase: PRELUDE_PHASE,
+        });
+        begin = end;
+    }
+    vlis
+}
+
+/// [`partition`], hardened: degrades to fixed-length intervals at
+/// `ilower` when the marker pipeline produced nothing usable, instead
+/// of returning one giant unclassified interval.
+///
+/// The fallback triggers when (in priority order) selection flagged its
+/// CoV statistics as degenerate (`degenerate_cov`), the marker set is
+/// empty, or no marker fired during a non-empty execution. The returned
+/// [`PartitionOutcome::fallback`] says which, so drivers can emit a
+/// machine-readable warning.
+pub fn partition_with_fallback(
+    markers: &MarkerSet,
+    firings: &[MarkerFiring],
+    total_instrs: u64,
+    ilower: u64,
+    degenerate_cov: bool,
+) -> PartitionOutcome {
+    let reason = if degenerate_cov {
+        Some(FallbackReason::DegenerateCov)
+    } else if markers.is_empty() {
+        Some(FallbackReason::NoMarkers)
+    } else if firings.is_empty() && total_instrs > 0 {
+        Some(FallbackReason::NoFirings)
+    } else {
+        None
+    };
+    match reason {
+        Some(reason) => PartitionOutcome {
+            vlis: fixed_length_intervals(total_instrs, ilower),
+            fallback: Some(FliFallback {
+                reason,
+                interval: ilower.max(1),
+            }),
+        },
+        None => PartitionOutcome {
+            vlis: partition(firings, total_instrs),
+            fallback: None,
+        },
+    }
 }
 
 /// Number of distinct phase ids among the intervals.
@@ -332,11 +469,20 @@ mod tests {
     #[test]
     fn marker_set_dedups() {
         let mut set = MarkerSet::new();
-        let a = set.insert(Marker::Edge { from: NodeKey::Root, to: NodeKey::ProcHead(ProcId(0)) });
-        let b = set.insert(Marker::Edge { from: NodeKey::Root, to: NodeKey::ProcHead(ProcId(0)) });
+        let a = set.insert(Marker::Edge {
+            from: NodeKey::Root,
+            to: NodeKey::ProcHead(ProcId(0)),
+        });
+        let b = set.insert(Marker::Edge {
+            from: NodeKey::Root,
+            to: NodeKey::ProcHead(ProcId(0)),
+        });
         assert_eq!(a, b);
         assert_eq!(set.len(), 1);
-        let c = set.insert(Marker::LoopGroup { loop_id: LoopId(0), group: 4 });
+        let c = set.insert(Marker::LoopGroup {
+            loop_id: LoopId(0),
+            group: 4,
+        });
         assert_eq!(c, 1);
         assert_eq!(set.group_marker(LoopId(0)), Some((4, 1)));
     }
@@ -344,7 +490,14 @@ mod tests {
     #[test]
     fn partition_empty_firings_single_interval() {
         let vlis = partition(&[], 1000);
-        assert_eq!(vlis, vec![Vli { begin: 0, end: 1000, phase: PRELUDE_PHASE }]);
+        assert_eq!(
+            vlis,
+            vec![Vli {
+                begin: 0,
+                end: 1000,
+                phase: PRELUDE_PHASE
+            }]
+        );
         assert_eq!(phase_count(&vlis), 1);
         assert_eq!(avg_interval_len(&vlis), 1000.0);
     }
@@ -352,18 +505,43 @@ mod tests {
     #[test]
     fn partition_basic() {
         let firings = vec![
-            MarkerFiring { icount: 10, marker: 3 },
-            MarkerFiring { icount: 30, marker: 3 },
-            MarkerFiring { icount: 70, marker: 5 },
+            MarkerFiring {
+                icount: 10,
+                marker: 3,
+            },
+            MarkerFiring {
+                icount: 30,
+                marker: 3,
+            },
+            MarkerFiring {
+                icount: 70,
+                marker: 5,
+            },
         ];
         let vlis = partition(&firings, 100);
         assert_eq!(
             vlis,
             vec![
-                Vli { begin: 0, end: 10, phase: PRELUDE_PHASE },
-                Vli { begin: 10, end: 30, phase: 4 },
-                Vli { begin: 30, end: 70, phase: 4 },
-                Vli { begin: 70, end: 100, phase: 6 },
+                Vli {
+                    begin: 0,
+                    end: 10,
+                    phase: PRELUDE_PHASE
+                },
+                Vli {
+                    begin: 10,
+                    end: 30,
+                    phase: 4
+                },
+                Vli {
+                    begin: 30,
+                    end: 70,
+                    phase: 4
+                },
+                Vli {
+                    begin: 70,
+                    end: 100,
+                    phase: 6
+                },
             ]
         );
         assert_eq!(phase_count(&vlis), 3);
@@ -371,14 +549,27 @@ mod tests {
 
     #[test]
     fn partition_firing_at_zero_names_first_phase() {
-        let firings = vec![MarkerFiring { icount: 0, marker: 1 }];
+        let firings = vec![MarkerFiring {
+            icount: 0,
+            marker: 1,
+        }];
         let vlis = partition(&firings, 50);
-        assert_eq!(vlis, vec![Vli { begin: 0, end: 50, phase: 2 }]);
+        assert_eq!(
+            vlis,
+            vec![Vli {
+                begin: 0,
+                end: 50,
+                phase: 2
+            }]
+        );
     }
 
     #[test]
     fn partition_firing_at_end_is_dropped() {
-        let firings = vec![MarkerFiring { icount: 100, marker: 0 }];
+        let firings = vec![MarkerFiring {
+            icount: 100,
+            marker: 0,
+        }];
         let vlis = partition(&firings, 100);
         assert_eq!(vlis.len(), 1);
         assert_eq!(vlis[0].end, 100);
@@ -386,8 +577,12 @@ mod tests {
 
     #[test]
     fn partition_covers_execution_exactly() {
-        let firings: Vec<MarkerFiring> =
-            (1..20).map(|i| MarkerFiring { icount: i * 37 % 500, marker: i as usize % 3 }).collect();
+        let firings: Vec<MarkerFiring> = (1..20)
+            .map(|i| MarkerFiring {
+                icount: i * 37 % 500,
+                marker: i as usize % 3,
+            })
+            .collect();
         let mut sorted = firings.clone();
         sorted.sort_by_key(|f| f.icount);
         let vlis = partition(&sorted, 500);
@@ -395,7 +590,110 @@ mod tests {
         assert_eq!(vlis.last().unwrap().end, 500);
         for pair in vlis.windows(2) {
             assert_eq!(pair[0].end, pair[1].begin, "intervals must tile");
-            assert!(pair[0].len() > 0);
+            assert!(!pair[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn fixed_length_intervals_tile_exactly() {
+        let vlis = fixed_length_intervals(2_500, 1_000);
+        assert_eq!(
+            vlis,
+            vec![
+                Vli {
+                    begin: 0,
+                    end: 1000,
+                    phase: PRELUDE_PHASE
+                },
+                Vli {
+                    begin: 1000,
+                    end: 2000,
+                    phase: PRELUDE_PHASE
+                },
+                Vli {
+                    begin: 2000,
+                    end: 2500,
+                    phase: PRELUDE_PHASE
+                },
+            ]
+        );
+        assert!(fixed_length_intervals(0, 1_000).is_empty());
+        // Zero interval must not loop forever.
+        assert_eq!(fixed_length_intervals(3, 0).len(), 3);
+    }
+
+    #[test]
+    fn fallback_on_empty_marker_set() {
+        let markers = MarkerSet::new();
+        let out = partition_with_fallback(&markers, &[], 5_000, 2_000, false);
+        assert_eq!(
+            out.fallback,
+            Some(FliFallback {
+                reason: FallbackReason::NoMarkers,
+                interval: 2_000
+            })
+        );
+        assert_eq!(out.vlis.len(), 3);
+        assert_eq!(out.vlis.last().unwrap().end, 5_000);
+    }
+
+    #[test]
+    fn fallback_on_no_firings() {
+        let mut markers = MarkerSet::new();
+        markers.insert(Marker::Edge {
+            from: NodeKey::Root,
+            to: NodeKey::ProcHead(ProcId(0)),
+        });
+        let out = partition_with_fallback(&markers, &[], 5_000, 2_000, false);
+        assert_eq!(out.fallback.unwrap().reason, FallbackReason::NoFirings);
+        // But an empty execution is not a fallback: there is nothing to
+        // partition either way.
+        let out = partition_with_fallback(&markers, &[], 0, 2_000, false);
+        assert_eq!(out.fallback, None);
+        assert!(out.vlis.is_empty());
+    }
+
+    #[test]
+    fn fallback_on_degenerate_cov_overrides_firings() {
+        let mut markers = MarkerSet::new();
+        markers.insert(Marker::Edge {
+            from: NodeKey::Root,
+            to: NodeKey::ProcHead(ProcId(0)),
+        });
+        let firings = vec![MarkerFiring {
+            icount: 100,
+            marker: 0,
+        }];
+        let out = partition_with_fallback(&markers, &firings, 1_000, 300, true);
+        assert_eq!(out.fallback.unwrap().reason, FallbackReason::DegenerateCov);
+        assert!(out.vlis.iter().all(|v| v.phase == PRELUDE_PHASE));
+    }
+
+    #[test]
+    fn no_fallback_when_markers_fire() {
+        let mut markers = MarkerSet::new();
+        markers.insert(Marker::Edge {
+            from: NodeKey::Root,
+            to: NodeKey::ProcHead(ProcId(0)),
+        });
+        let firings = vec![MarkerFiring {
+            icount: 100,
+            marker: 0,
+        }];
+        let out = partition_with_fallback(&markers, &firings, 1_000, 300, false);
+        assert_eq!(out.fallback, None);
+        assert_eq!(out.vlis, partition(&firings, 1_000));
+    }
+
+    #[test]
+    fn fallback_reasons_render() {
+        for r in [
+            FallbackReason::NoMarkers,
+            FallbackReason::NoFirings,
+            FallbackReason::DegenerateCov,
+        ] {
+            assert!(!r.to_string().is_empty());
+            assert!(!r.to_string().contains(' '), "machine-readable token");
         }
     }
 
@@ -406,6 +704,13 @@ mod tests {
             to: NodeKey::ProcHead(ProcId(2)),
         };
         assert_eq!(m.to_string(), "L1.body->p2.head");
-        assert_eq!(Marker::LoopGroup { loop_id: LoopId(3), group: 8 }.to_string(), "L3x8");
+        assert_eq!(
+            Marker::LoopGroup {
+                loop_id: LoopId(3),
+                group: 8
+            }
+            .to_string(),
+            "L3x8"
+        );
     }
 }

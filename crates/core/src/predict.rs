@@ -203,7 +203,10 @@ impl DurationPredictor {
 
     /// Records a completed interval.
     pub fn observe(&mut self, phase: usize, len_instrs: u64) {
-        self.per_phase.entry(phase).or_default().push(len_instrs as f64);
+        self.per_phase
+            .entry(phase)
+            .or_default()
+            .push(len_instrs as f64);
     }
 
     /// Bulk-trains from a VLI partition.
@@ -216,13 +219,19 @@ impl DurationPredictor {
     /// Predicted duration (mean observed length) of the phase, or
     /// `None` if never seen.
     pub fn predict(&self, phase: usize) -> Option<f64> {
-        self.per_phase.get(&phase).filter(|r| r.count() > 0).map(Running::mean)
+        self.per_phase
+            .get(&phase)
+            .filter(|r| r.count() > 0)
+            .map(Running::mean)
     }
 
     /// CoV of the phase's observed durations (how trustworthy
     /// [`predict`](Self::predict) is); `None` if never seen.
     pub fn confidence_cov(&self, phase: usize) -> Option<f64> {
-        self.per_phase.get(&phase).filter(|r| r.count() > 0).map(Running::cov)
+        self.per_phase
+            .get(&phase)
+            .filter(|r| r.count() > 0)
+            .map(Running::cov)
     }
 }
 
@@ -245,7 +254,11 @@ mod tests {
         phases
             .iter()
             .map(|&phase| {
-                let v = Vli { begin, end: begin + 100, phase };
+                let v = Vli {
+                    begin,
+                    end: begin + 100,
+                    phase,
+                };
                 begin += 100;
                 v
             })
@@ -258,7 +271,11 @@ mod tests {
         for i in 0..100 {
             p.observe(i % 2);
         }
-        assert!(p.accuracy() < 0.05, "alternating defeats last-phase: {}", p.accuracy());
+        assert!(
+            p.accuracy() < 0.05,
+            "alternating defeats last-phase: {}",
+            p.accuracy()
+        );
         assert_eq!(p.predictions(), 99);
     }
 

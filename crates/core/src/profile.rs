@@ -1,6 +1,7 @@
 //! Building the call-loop graph from an execution trace (the paper's
 //! ATOM profiling run).
 
+use crate::error::{FrameLabel, ProfileError};
 use crate::graph::{CallLoopGraph, NodeId, NodeKey};
 use spm_sim::{TraceEvent, TraceObserver};
 
@@ -10,6 +11,17 @@ enum FrameKind {
     ProcBody,
     LoopHead,
     LoopBody,
+}
+
+impl FrameKind {
+    fn label(self) -> FrameLabel {
+        match self {
+            FrameKind::ProcHead => FrameLabel::ProcHead,
+            FrameKind::ProcBody => FrameLabel::ProcBody,
+            FrameKind::LoopHead => FrameLabel::LoopHead,
+            FrameKind::LoopBody => FrameLabel::LoopBody,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -36,31 +48,60 @@ struct Frame {
 ///   iteration or at `LoopExit`.
 ///
 /// See the crate-level example for usage.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CallLoopProfiler {
     graph: CallLoopGraph,
     stack: Vec<Frame>,
+    /// Events seen so far (for error context).
+    events: u64,
+    /// First corruption observed. The [`TraceObserver`] interface has
+    /// no error channel, so a corrupted event stream poisons the
+    /// profiler: subsequent events are still consumed safely, and the
+    /// error surfaces from [`into_graph`](Self::into_graph).
+    fault: Option<ProfileError>,
+}
+
+impl Default for CallLoopProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CallLoopProfiler {
-    /// Creates a profiler with an empty graph.
+    /// Creates a profiler with an empty graph (root node only).
     pub fn new() -> Self {
-        Self { graph: CallLoopGraph::new(), stack: Vec::new() }
+        Self {
+            graph: CallLoopGraph::new(),
+            stack: Vec::new(),
+            events: 0,
+            fault: None,
+        }
     }
 
     /// Finishes profiling and returns the graph.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the trace ended with unbalanced call/loop events (which
-    /// a complete engine run never produces).
-    pub fn into_graph(self) -> CallLoopGraph {
-        assert!(
-            self.stack.is_empty(),
-            "unbalanced trace: {} frame(s) still open",
-            self.stack.len()
-        );
-        self.graph
+    /// Returns a [`ProfileError`] if the event stream was corrupted —
+    /// a close event that did not match the innermost open frame
+    /// (first corruption wins), or frames left open at the end of the
+    /// trace. A complete engine run never produces either.
+    pub fn into_graph(self) -> Result<CallLoopGraph, ProfileError> {
+        if let Some(fault) = self.fault {
+            return Err(fault);
+        }
+        if !self.stack.is_empty() {
+            return Err(ProfileError::UnbalancedStack {
+                depth: self.stack.len(),
+                at_event: self.events.saturating_sub(1),
+            });
+        }
+        Ok(self.graph)
+    }
+
+    /// The first corruption observed, if any (available mid-run).
+    pub fn fault(&self) -> Option<ProfileError> {
+        self.fault
     }
 
     /// The graph built so far (useful mid-run in tests).
@@ -73,19 +114,50 @@ impl CallLoopProfiler {
     }
 
     fn push(&mut self, kind: FrameKind, from: NodeId, to: NodeId, start: u64) {
-        self.stack.push(Frame { kind, from, to, start });
+        self.stack.push(Frame {
+            kind,
+            from,
+            to,
+            start,
+        });
     }
 
+    /// Closes the innermost frame, which must be of `kind`; on
+    /// mismatch records the corruption (keeping the frame intact so
+    /// later events keep some context) and returns without recording a
+    /// traversal.
     fn pop(&mut self, kind: FrameKind, icount: u64) {
-        let frame = self.stack.pop().expect("pop on empty shadow stack");
-        debug_assert_eq!(frame.kind, kind, "shadow stack corrupted");
-        self.graph
-            .record_traversal(frame.from, frame.to, icount - frame.start);
+        match self.stack.last() {
+            Some(frame) if frame.kind == kind => {
+                let frame = *frame;
+                self.stack.pop();
+                self.graph.record_traversal(
+                    frame.from,
+                    frame.to,
+                    icount.saturating_sub(frame.start),
+                );
+            }
+            found => {
+                let found = found.map(|f| f.kind.label());
+                self.poison(ProfileError::MismatchedFrame {
+                    closing: kind.label(),
+                    found,
+                    at_event: self.events.saturating_sub(1),
+                });
+            }
+        }
+    }
+
+    fn poison(&mut self, error: ProfileError) {
+        if self.fault.is_none() {
+            self.fault = Some(error);
+        }
     }
 }
 
 impl TraceObserver for CallLoopProfiler {
     fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+        self.events += 1;
         match *event {
             TraceEvent::Call { proc } => {
                 let ctx = self.context();
@@ -133,13 +205,13 @@ impl TraceObserver for CallLoopProfiler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spm_ir::{Input, LoopId, ProcId, ProgramBuilder, Program, Trip};
+    use spm_ir::{Input, LoopId, ProcId, Program, ProgramBuilder, Trip};
     use spm_sim::run;
 
     fn profile(program: &Program, input: &Input) -> CallLoopGraph {
         let mut profiler = CallLoopProfiler::new();
         run(program, input, &mut [&mut profiler]).unwrap();
-        profiler.into_graph()
+        profiler.into_graph().unwrap()
     }
 
     /// The paper's Figure 1/2 structure: foo with a loop calling X or Y,
@@ -151,11 +223,7 @@ mod tests {
         });
         b.proc("foo", |p| {
             p.loop_(Trip::Fixed(50), |body| {
-                body.if_prob(
-                    0.7,
-                    |t| t.call("x"),
-                    |e| e.call("y"),
-                );
+                body.if_prob(0.7, |t| t.call("x"), |e| e.call("y"));
             });
             p.call("x");
         });
@@ -279,9 +347,7 @@ mod tests {
         assert!(rec_edge.count() >= 1);
         // head -> body aggregates every activation (outer + recursive).
         let hb = graph.edge_between(head, body).unwrap();
-        let root_edge = graph
-            .edge_between(graph.root(), head)
-            .unwrap();
+        let root_edge = graph.edge_between(graph.root(), head).unwrap();
         assert_eq!(hb.count(), root_edge.count() + rec_edge.count());
         // The outermost activation contains the recursive ones.
         assert!(root_edge.avg() > rec_edge.avg());
@@ -313,12 +379,7 @@ mod tests {
         b.proc("main", |p| {
             p.loop_(Trip::Fixed(10), |outer| {
                 outer.loop_(Trip::Fixed(20), |inner| {
-                    inner.if_periodic(
-                        2,
-                        0,
-                        |t| t.block(1000).done(),
-                        |e| e.block(10).done(),
-                    );
+                    inner.if_periodic(2, 0, |t| t.block(1000).done(), |e| e.block(10).done());
                 });
             });
         });
@@ -329,17 +390,82 @@ mod tests {
         let outer_body = graph.node_by_key(NodeKey::LoopBody(LoopId(0))).unwrap();
 
         let iter = graph.edge_between(inner_head, inner_body).unwrap();
-        assert!(iter.cov() > 0.5, "alternating work must show high CoV, got {}", iter.cov());
+        assert!(
+            iter.cov() > 0.5,
+            "alternating work must show high CoV, got {}",
+            iter.cov()
+        );
 
         let entry = graph.edge_between(outer_body, inner_head).unwrap();
         assert_eq!(entry.cov(), 0.0, "entry-to-exit totals are identical");
     }
 
     #[test]
-    #[should_panic(expected = "unbalanced trace")]
-    fn unbalanced_trace_panics() {
+    fn unbalanced_trace_is_a_typed_error() {
         let mut profiler = CallLoopProfiler::new();
         profiler.on_event(0, &TraceEvent::Call { proc: ProcId(0) });
-        let _ = profiler.into_graph();
+        // A call opens two frames (head + body), both left open.
+        assert_eq!(
+            profiler.into_graph().unwrap_err(),
+            ProfileError::UnbalancedStack {
+                depth: 2,
+                at_event: 0
+            }
+        );
+    }
+
+    #[test]
+    fn spurious_return_is_a_typed_error() {
+        let mut profiler = CallLoopProfiler::new();
+        profiler.on_event(0, &TraceEvent::Return { proc: ProcId(0) });
+        let err = profiler.into_graph().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProfileError::MismatchedFrame {
+                    found: None,
+                    at_event: 0,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_close_is_a_typed_error_not_a_panic() {
+        // A Return arriving while a loop iteration is the innermost
+        // frame: the stream is corrupted (dropped LoopExit).
+        let mut profiler = CallLoopProfiler::new();
+        profiler.on_event(0, &TraceEvent::Call { proc: ProcId(0) });
+        profiler.on_event(5, &TraceEvent::LoopEnter { loop_id: LoopId(0) });
+        profiler.on_event(5, &TraceEvent::LoopIter { loop_id: LoopId(0) });
+        profiler.on_event(9, &TraceEvent::Return { proc: ProcId(0) });
+        let err = profiler.into_graph().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProfileError::MismatchedFrame {
+                    closing: crate::error::FrameLabel::ProcBody,
+                    found: Some(crate::error::FrameLabel::LoopBody),
+                    at_event: 3,
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn first_corruption_wins_and_poisons() {
+        let mut profiler = CallLoopProfiler::new();
+        profiler.on_event(0, &TraceEvent::Return { proc: ProcId(0) });
+        let first = profiler.fault().unwrap();
+        profiler.on_event(1, &TraceEvent::LoopExit { loop_id: LoopId(9) });
+        assert_eq!(
+            profiler.fault(),
+            Some(first),
+            "later faults do not overwrite"
+        );
+        assert_eq!(profiler.into_graph().unwrap_err(), first);
     }
 }

@@ -53,13 +53,21 @@ pub struct SelectConfig {
 impl SelectConfig {
     /// The default (no-limit) algorithm with the given `ilower`.
     pub fn new(ilower: u64) -> Self {
-        Self { ilower, max_limit: None, procedures_only: false, cov_floor: 0.05 }
+        Self {
+            ilower,
+            max_limit: None,
+            procedures_only: false,
+            cov_floor: 0.05,
+        }
     }
 
     /// The limit variant with minimum `ilower` and maximum `max_limit`
     /// (the paper uses 10M and 200M instructions for SimPoint).
     pub fn with_limit(ilower: u64, max_limit: u64) -> Self {
-        Self { max_limit: Some(max_limit), ..Self::new(ilower) }
+        Self {
+            max_limit: Some(max_limit),
+            ..Self::new(ilower)
+        }
     }
 
     /// Restricts marking to procedure edges, builder-style.
@@ -110,7 +118,12 @@ impl std::fmt::Display for EdgeDecision {
             }
             EdgeDecision::TooSmall => write!(f, "rejected: below ilower"),
             EdgeDecision::TooVariable { cov, threshold } => {
-                write!(f, "rejected: CoV {:.1}% > {:.1}%", cov * 100.0, threshold * 100.0)
+                write!(
+                    f,
+                    "rejected: CoV {:.1}% > {:.1}%",
+                    cov * 100.0,
+                    threshold * 100.0
+                )
             }
             EdgeDecision::OverLimit => write!(f, "rejected: exceeds max-limit"),
             EdgeDecision::Ineligible => write!(f, "ineligible (procedures-only)"),
@@ -129,6 +142,14 @@ pub struct SelectionOutcome {
     pub avg_cov: f64,
     /// Standard deviation of the candidates' CoV (the threshold spread).
     pub std_cov: f64,
+    /// Whether the CoV threshold is meaningless: candidates survived
+    /// pass 1 but none had a finite CoV (possible only for graphs
+    /// loaded from hand-edited or corrupted files — profiling always
+    /// produces finite statistics). Downstream consumers should treat
+    /// the marker set as unusable and fall back to fixed-length
+    /// intervals (see
+    /// [`partition_with_fallback`](crate::marker::partition_with_fallback)).
+    pub degenerate_cov: bool,
     /// Per-edge decision, indexed like
     /// [`CallLoopGraph::edges`](crate::CallLoopGraph::edges).
     pub decisions: Vec<EdgeDecision>,
@@ -175,13 +196,24 @@ pub fn select_markers(graph: &CallLoopGraph, config: &SelectConfig) -> Selection
         }
     }
 
-    // CoV threshold statistics over the candidates.
+    // CoV threshold statistics over the candidates. Graphs loaded from
+    // files can carry non-finite statistics (NaN/inf CoV or average);
+    // one such edge must not poison the whole threshold, so only
+    // finite CoVs contribute, and non-finite edges are rejected in
+    // pass 2 (NaN fails every `<=` comparison).
     let mut cov_stats = Running::new();
     let mut max_avg: f64 = config.ilower as f64;
+    let mut finite_covs = 0usize;
     for edge in &candidates {
-        cov_stats.push(edge.cov());
-        max_avg = max_avg.max(edge.avg());
+        if edge.cov().is_finite() {
+            cov_stats.push(edge.cov());
+            finite_covs += 1;
+        }
+        if edge.avg().is_finite() {
+            max_avg = max_avg.max(edge.avg());
+        }
     }
+    let degenerate_cov = !candidates.is_empty() && finite_covs == 0;
     let avg_cov = cov_stats.mean();
     let std_cov = cov_stats.population_stddev();
     let threshold = |edge: &Edge| -> f64 {
@@ -235,8 +267,7 @@ pub fn select_markers(graph: &CallLoopGraph, config: &SelectConfig) -> Selection
                         } else if let Some(group) =
                             try_merge_iterations(graph, out, config.ilower, limit, &mut markers)
                         {
-                            decisions[out_id.index()] =
-                                EdgeDecision::MergedIterations { group };
+                            decisions[out_id.index()] = EdgeDecision::MergedIterations { group };
                         } else if out.avg() >= config.ilower as f64 / 10.0 {
                             // The paper accepts "a large number of small
                             // intervals" here, but a marker per loop
@@ -261,8 +292,10 @@ pub fn select_markers(graph: &CallLoopGraph, config: &SelectConfig) -> Selection
                         *decision = EdgeDecision::MergedIterations { group };
                     }
                 } else if edge.avg() >= config.ilower as f64 {
-                    *decision =
-                        EdgeDecision::TooVariable { cov: edge.cov(), threshold: threshold(edge) };
+                    *decision = EdgeDecision::TooVariable {
+                        cov: edge.cov(),
+                        threshold: threshold(edge),
+                    };
                 }
             } else if edge.avg() < config.ilower as f64 {
                 *decision = EdgeDecision::TooSmall;
@@ -270,13 +303,22 @@ pub fn select_markers(graph: &CallLoopGraph, config: &SelectConfig) -> Selection
                 mark(&mut markers, &mut marked, edge);
                 *decision = EdgeDecision::Marked;
             } else {
-                *decision =
-                    EdgeDecision::TooVariable { cov: edge.cov(), threshold: threshold(edge) };
+                *decision = EdgeDecision::TooVariable {
+                    cov: edge.cov(),
+                    threshold: threshold(edge),
+                };
             }
         }
     }
 
-    SelectionOutcome { markers, candidate_edges: candidates.len(), avg_cov, std_cov, decisions }
+    SelectionOutcome {
+        markers,
+        candidate_edges: candidates.len(),
+        avg_cov,
+        std_cov,
+        degenerate_cov,
+        decisions,
+    }
 }
 
 /// Edge filtering shared by both passes: the procedures-only variant
@@ -352,13 +394,13 @@ mod tests {
     use super::*;
     use crate::marker::Marker;
     use crate::profile::CallLoopProfiler;
-    use spm_ir::{Input, LoopId, ProgramBuilder, Program, Trip};
+    use spm_ir::{Input, LoopId, Program, ProgramBuilder, Trip};
     use spm_sim::run;
 
     fn profile(program: &Program) -> CallLoopGraph {
         let mut profiler = CallLoopProfiler::new();
         run(program, &Input::new("t", 7), &mut [&mut profiler]).unwrap();
-        profiler.into_graph()
+        profiler.into_graph().unwrap()
     }
 
     /// Two stable phases: a compute loop and a memory loop, alternating,
@@ -396,9 +438,7 @@ mod tests {
         let b = program.proc_by_name("phase_b").unwrap().id;
         let has_proc_marker = |p| {
             outcome.markers.iter().any(|(_, m)| match m {
-                Marker::Edge { to, .. } => {
-                    to == NodeKey::ProcHead(p) || to == NodeKey::ProcBody(p)
-                }
+                Marker::Edge { to, .. } => to == NodeKey::ProcHead(p) || to == NodeKey::ProcBody(p),
                 _ => false,
             })
         };
@@ -449,9 +489,7 @@ mod tests {
         let wild = program.proc_by_name("wild").unwrap().id;
         let marked = |p| {
             outcome.markers.iter().any(|(_, m)| match m {
-                Marker::Edge { to, .. } => {
-                    to == NodeKey::ProcHead(p) || to == NodeKey::ProcBody(p)
-                }
+                Marker::Edge { to, .. } => to == NodeKey::ProcHead(p) || to == NodeKey::ProcBody(p),
                 _ => false,
             })
         };
@@ -581,7 +619,10 @@ mod tests {
         let wild_head = graph.node_by_key(NodeKey::ProcHead(wild)).unwrap();
         let wild_edge = graph.in_edges(wild_head)[0];
         assert!(
-            matches!(outcome.decisions[wild_edge.index()], EdgeDecision::TooVariable { .. }),
+            matches!(
+                outcome.decisions[wild_edge.index()],
+                EdgeDecision::TooVariable { .. }
+            ),
             "got {:?}",
             outcome.decisions[wild_edge.index()]
         );
@@ -605,5 +646,56 @@ mod tests {
         assert!(outcome.markers.is_empty());
         assert_eq!(outcome.candidate_edges, 0);
         assert_eq!(outcome.avg_cov, 0.0);
+        assert!(!outcome.degenerate_cov, "no candidates is not degeneracy");
+    }
+
+    /// An edge with finite mean but non-finite CoV (infinite variance),
+    /// as a hand-edited or corrupted graph file can produce. (A NaN
+    /// `m2` would be sanitized to zero variance by `Running`'s
+    /// `.max(0.0)` guard; infinity survives it.)
+    fn non_finite_cov_stats(avg: f64) -> Running {
+        Running::from_parts(10, avg, f64::INFINITY, avg, avg)
+    }
+
+    #[test]
+    fn non_finite_cov_edge_does_not_poison_selection() {
+        use spm_ir::ProcId;
+        let mut graph = CallLoopGraph::new();
+        let root = graph.root();
+        let good = graph.intern(NodeKey::ProcHead(ProcId(0)));
+        for _ in 0..100 {
+            graph.record_traversal(root, good, 50_000);
+        }
+        let bad = graph.intern(NodeKey::ProcHead(ProcId(1)));
+        graph.merge_edge_stats(root, bad, &non_finite_cov_stats(60_000.0));
+
+        let outcome = select_markers(&graph, &SelectConfig::new(10_000));
+        assert!(!outcome.degenerate_cov);
+        assert!(
+            outcome.avg_cov.is_finite(),
+            "non-finite edge excluded from threshold"
+        );
+        // The healthy edge is still marked; the bad edge is not.
+        assert!(outcome
+            .markers
+            .edge_marker(NodeKey::Root, NodeKey::ProcHead(ProcId(0)))
+            .is_some());
+        assert!(outcome
+            .markers
+            .edge_marker(NodeKey::Root, NodeKey::ProcHead(ProcId(1)))
+            .is_none());
+    }
+
+    #[test]
+    fn all_non_finite_candidates_flag_degenerate_cov() {
+        use spm_ir::ProcId;
+        let mut graph = CallLoopGraph::new();
+        let root = graph.root();
+        let a = graph.intern(NodeKey::ProcHead(ProcId(0)));
+        graph.merge_edge_stats(root, a, &non_finite_cov_stats(50_000.0));
+
+        let outcome = select_markers(&graph, &SelectConfig::new(10_000));
+        assert!(outcome.degenerate_cov, "every candidate CoV is non-finite");
+        assert!(outcome.markers.is_empty());
     }
 }

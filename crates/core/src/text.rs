@@ -45,7 +45,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a node key as printed by its `Display` impl.
@@ -112,14 +115,16 @@ pub fn parse_graph(text: &str) -> Result<CallLoopGraph, ParseError> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 8 || fields[0] != "edge" {
-            return Err(err(line_no, format!("expected `edge <from> <to> <c> <mean> <m2> <min> <max>`, got `{line}`")));
+            return Err(err(
+                line_no,
+                format!("expected `edge <from> <to> <c> <mean> <m2> <min> <max>`, got `{line}`"),
+            ));
         }
         let from = parse_node_key(fields[1])
             .ok_or_else(|| err(line_no, format!("bad node key `{}`", fields[1])))?;
         let to = parse_node_key(fields[2])
             .ok_or_else(|| err(line_no, format!("bad node key `{}`", fields[2])))?;
-        let count: u64 =
-            fields[3].parse().map_err(|_| err(line_no, "bad count"))?;
+        let count: u64 = fields[3].parse().map_err(|_| err(line_no, "bad count"))?;
         let nums: Vec<f64> = fields[4..8]
             .iter()
             .map(|f| f.parse::<f64>())
@@ -187,10 +192,12 @@ pub fn parse_markers(text: &str) -> Result<MarkerSet, ParseError> {
                 markers.insert(Marker::Edge { from, to });
             }
             ["group", loop_id, n] => {
-                let loop_id: u32 =
-                    loop_id.parse().map_err(|_| err(line_no, "bad loop id"))?;
+                let loop_id: u32 = loop_id.parse().map_err(|_| err(line_no, "bad loop id"))?;
                 let group: u64 = n.parse().map_err(|_| err(line_no, "bad group size"))?;
-                markers.insert(Marker::LoopGroup { loop_id: LoopId(loop_id), group });
+                markers.insert(Marker::LoopGroup {
+                    loop_id: LoopId(loop_id),
+                    group,
+                });
             }
             _ => return Err(err(line_no, format!("unrecognized marker line `{line}`"))),
         }
@@ -202,17 +209,21 @@ pub fn parse_markers(text: &str) -> Result<MarkerSet, ParseError> {
 /// paper's Figure 2 annotations (`C`, `A`, CoV). Optionally highlights
 /// marker edges in bold red.
 pub fn graph_to_dot(graph: &CallLoopGraph, markers: Option<&MarkerSet>) -> String {
-    let mut out = String::from("digraph callloop {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph callloop {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     for node in graph.nodes() {
         out.push_str(&format!("  \"{}\";\n", node.key));
     }
     for edge in graph.edges() {
         let from = graph.node(edge.from).key;
         let to = graph.node(edge.to).key;
-        let marked = markers
-            .and_then(|m| m.edge_marker(from, to))
-            .is_some();
-        let style = if marked { ", color=red, penwidth=2.0" } else { "" };
+        let marked = markers.and_then(|m| m.edge_marker(from, to)).is_some();
+        let style = if marked {
+            ", color=red, penwidth=2.0"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "  \"{from}\" -> \"{to}\" [label=\"C={} A={:.0} CoV={:.1}%\"{style}];\n",
             edge.count(),
@@ -247,7 +258,7 @@ mod tests {
         let program = b.build("main").unwrap();
         let mut profiler = CallLoopProfiler::new();
         run(&program, &Input::new("x", 5), &mut [&mut profiler]).unwrap();
-        profiler.into_graph()
+        profiler.into_graph().unwrap()
     }
 
     #[test]
@@ -293,8 +304,7 @@ mod tests {
         let a = select_markers(&graph, &config);
         let b = select_markers(&parsed, &config);
         let set = |o: &crate::select::SelectionOutcome| {
-            let mut v: Vec<String> =
-                o.markers.iter().map(|(_, m)| m.to_string()).collect();
+            let mut v: Vec<String> = o.markers.iter().map(|(_, m)| m.to_string()).collect();
             v.sort();
             v
         };
@@ -304,8 +314,14 @@ mod tests {
     #[test]
     fn markers_round_trip_with_ids() {
         let mut markers = MarkerSet::new();
-        markers.insert(Marker::Edge { from: NodeKey::Root, to: NodeKey::ProcHead(ProcId(1)) });
-        markers.insert(Marker::LoopGroup { loop_id: LoopId(3), group: 40 });
+        markers.insert(Marker::Edge {
+            from: NodeKey::Root,
+            to: NodeKey::ProcHead(ProcId(1)),
+        });
+        markers.insert(Marker::LoopGroup {
+            loop_id: LoopId(3),
+            group: 40,
+        });
         markers.insert(Marker::Edge {
             from: NodeKey::LoopBody(LoopId(2)),
             to: NodeKey::ProcHead(ProcId(9)),

@@ -84,13 +84,23 @@ impl ProgramBuilder {
         param: impl Into<String>,
         bytes_per: u64,
     ) -> RegionId {
-        self.region(name, SizeSpec::ParamScaled { param: param.into(), bytes_per })
+        self.region(
+            name,
+            SizeSpec::ParamScaled {
+                param: param.into(),
+                bytes_per,
+            },
+        )
     }
 
     /// Declares a data region with an explicit [`SizeSpec`].
     pub fn region(&mut self, name: impl Into<String>, size: SizeSpec) -> RegionId {
         let id = RegionId::from(self.regions.len());
-        self.regions.push(Region { id, name: name.into(), size });
+        self.regions.push(Region {
+            id,
+            name: name.into(),
+            size,
+        });
         id
     }
 
@@ -108,11 +118,18 @@ impl ProgramBuilder {
             "procedure `{name}` defined more than once"
         );
         let source = self.fresh_source();
-        let mut body = BodyBuilder { builder: self, stmts: Vec::new() };
+        let mut body = BodyBuilder {
+            builder: self,
+            stmts: Vec::new(),
+        };
         f(&mut body);
         let stmts = body.stmts;
-        self.procs[id.index()] =
-            Some(Procedure { id, name: name.to_string(), body: stmts, source });
+        self.procs[id.index()] = Some(Procedure {
+            id,
+            name: name.to_string(),
+            body: stmts,
+            source,
+        });
     }
 
     /// Finalizes the program with the given entry procedure: resolves all
@@ -174,17 +191,31 @@ impl<'a> BodyBuilder<'a> {
         let source = self.builder.fresh_source();
         BlockBuilder {
             body: self,
-            block: Block { id: BlockId(0), instrs, base_cpi: 1.0, mem: Vec::new(), source },
+            block: Block {
+                id: BlockId(0),
+                instrs,
+                base_cpi: 1.0,
+                mem: Vec::new(),
+                source,
+            },
         }
     }
 
     /// Adds a loop with the given trip-count generator.
     pub fn loop_(&mut self, trip: Trip, f: impl FnOnce(&mut BodyBuilder<'_>)) {
         let source = self.builder.fresh_source();
-        let mut inner = BodyBuilder { builder: self.builder, stmts: Vec::new() };
+        let mut inner = BodyBuilder {
+            builder: self.builder,
+            stmts: Vec::new(),
+        };
         f(&mut inner);
         let body = inner.stmts;
-        self.stmts.push(Stmt::Loop(Loop { id: LoopId(0), trip, body, source }));
+        self.stmts.push(Stmt::Loop(Loop {
+            id: LoopId(0),
+            trip,
+            body,
+            source,
+        }));
     }
 
     /// Adds a call to the named procedure (which may be defined later).
@@ -202,13 +233,25 @@ impl<'a> BodyBuilder<'a> {
         else_f: impl FnOnce(&mut BodyBuilder<'_>),
     ) {
         let source = self.builder.fresh_source();
-        let mut then_b = BodyBuilder { builder: self.builder, stmts: Vec::new() };
+        let mut then_b = BodyBuilder {
+            builder: self.builder,
+            stmts: Vec::new(),
+        };
         then_f(&mut then_b);
         let then_body = then_b.stmts;
-        let mut else_b = BodyBuilder { builder: self.builder, stmts: Vec::new() };
+        let mut else_b = BodyBuilder {
+            builder: self.builder,
+            stmts: Vec::new(),
+        };
         else_f(&mut else_b);
         let else_body = else_b.stmts;
-        self.stmts.push(Stmt::If(IfStmt { id: BranchId(0), cond, then_body, else_body, source }));
+        self.stmts.push(Stmt::If(IfStmt {
+            id: BranchId(0),
+            cond,
+            then_body,
+            else_body,
+            source,
+        }));
     }
 
     /// Adds a conditional taken with probability `p`.
@@ -249,15 +292,31 @@ impl BlockBuilder<'_, '_> {
     }
 
     /// Adds an arbitrary memory reference.
-    pub fn mem(mut self, region: RegionId, pattern: AccessPattern, count: u32, write: bool) -> Self {
-        self.block.mem.push(MemRef { region, pattern, count, write });
+    pub fn mem(
+        mut self,
+        region: RegionId,
+        pattern: AccessPattern,
+        count: u32,
+        write: bool,
+    ) -> Self {
+        self.block.mem.push(MemRef {
+            region,
+            pattern,
+            count,
+            write,
+        });
         self
     }
 
     /// Adds `count` sequential (unit-stride) reads of `region` per
     /// execution.
     pub fn seq_read(self, region: RegionId, count: u32) -> Self {
-        self.mem(region, AccessPattern::Sequential { stride: 8 }, count, false)
+        self.mem(
+            region,
+            AccessPattern::Sequential { stride: 8 },
+            count,
+            false,
+        )
     }
 
     /// Adds `count` sequential (unit-stride) writes of `region` per
@@ -331,7 +390,10 @@ mod tests {
     fn undefined_entry_is_an_error() {
         let mut b = ProgramBuilder::new("t");
         b.proc("main", |p| p.block(1).done());
-        assert_eq!(b.build("nope"), Err(BuildError::UndefinedEntry("nope".to_string())));
+        assert_eq!(
+            b.build("nope"),
+            Err(BuildError::UndefinedEntry("nope".to_string()))
+        );
     }
 
     #[test]
@@ -339,7 +401,10 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.proc("main", |p| p.call("helper"));
         // `helper` is referenced but never defined; using it as entry fails.
-        assert_eq!(b.build("helper"), Err(BuildError::UndefinedEntry("helper".to_string())));
+        assert_eq!(
+            b.build("helper"),
+            Err(BuildError::UndefinedEntry("helper".to_string()))
+        );
     }
 
     #[test]

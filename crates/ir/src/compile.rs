@@ -60,24 +60,48 @@ pub struct CompileConfig {
 impl CompileConfig {
     /// Identity lowering: the "native Alpha" baseline binary.
     pub fn baseline() -> Self {
-        Self { name: "baseline", cost_scale: 1.0, cpi_scale: 1.0, unroll: 1, inline_max_blocks: 0 }
+        Self {
+            name: "baseline",
+            cost_scale: 1.0,
+            cpi_scale: 1.0,
+            unroll: 1,
+            inline_max_blocks: 0,
+        }
     }
 
     /// A different ISA: more instructions per source statement, slightly
     /// lower base CPI (the paper's Alpha-to-x86 mapping experiment).
     pub fn alt_isa() -> Self {
-        Self { name: "alt-isa", cost_scale: 1.4, cpi_scale: 0.85, unroll: 1, inline_max_blocks: 0 }
+        Self {
+            name: "alt-isa",
+            cost_scale: 1.4,
+            cpi_scale: 0.85,
+            unroll: 1,
+            inline_max_blocks: 0,
+        }
     }
 
     /// Unoptimized build: bloated blocks, no unrolling or inlining.
     pub fn unoptimized() -> Self {
-        Self { name: "O0", cost_scale: 1.6, cpi_scale: 1.1, unroll: 1, inline_max_blocks: 0 }
+        Self {
+            name: "O0",
+            cost_scale: 1.6,
+            cpi_scale: 1.1,
+            unroll: 1,
+            inline_max_blocks: 0,
+        }
     }
 
     /// Peak-optimized build: tighter code, 4x unrolling, small-procedure
     /// inlining.
     pub fn optimized() -> Self {
-        Self { name: "peak", cost_scale: 0.8, cpi_scale: 0.95, unroll: 4, inline_max_blocks: 3 }
+        Self {
+            name: "peak",
+            cost_scale: 0.8,
+            cpi_scale: 0.95,
+            unroll: 4,
+            inline_max_blocks: 3,
+        }
     }
 }
 
@@ -93,8 +117,11 @@ impl Default for CompileConfig {
 /// construct; dense block/loop/branch ids are reassigned.
 pub fn compile(source: &Program, config: &CompileConfig) -> Program {
     let mut program = source.clone();
-    let inlinable: Vec<Option<Vec<Stmt>>> =
-        program.procs.iter().map(|p| inlinable_body(p, config.inline_max_blocks)).collect();
+    let inlinable: Vec<Option<Vec<Stmt>>> = program
+        .procs
+        .iter()
+        .map(|p| inlinable_body(p, config.inline_max_blocks))
+        .collect();
     for proc in &mut program.procs {
         transform_stmts(&mut proc.body, config, &inlinable);
     }
@@ -242,7 +269,10 @@ mod tests {
             .filter(|&&s| s == tiny_block_source)
             .count();
         // Inlined at two call sites + original definition body.
-        assert!(count >= 3, "expected >=3 copies of tiny's block source, got {count}");
+        assert!(
+            count >= 3,
+            "expected >=3 copies of tiny's block source, got {count}"
+        );
     }
 
     #[test]
@@ -254,7 +284,13 @@ mod tests {
             });
         });
         let src = b.build("main").unwrap();
-        let out = compile(&src, &CompileConfig { unroll: 4, ..CompileConfig::baseline() });
+        let out = compile(
+            &src,
+            &CompileConfig {
+                unroll: 4,
+                ..CompileConfig::baseline()
+            },
+        );
         let main = out.proc_by_name("main").unwrap();
         match &main.body[0] {
             Stmt::Loop(l) => {
@@ -283,7 +319,11 @@ mod tests {
         let src = b.build("main").unwrap();
         let out = compile(
             &src,
-            &CompileConfig { unroll: 4, inline_max_blocks: 0, ..CompileConfig::baseline() },
+            &CompileConfig {
+                unroll: 4,
+                inline_max_blocks: 0,
+                ..CompileConfig::baseline()
+            },
         );
         let main = out.proc_by_name("main").unwrap();
         for stmt in &main.body {
@@ -304,7 +344,13 @@ mod tests {
             });
         });
         let src = b.build("main").unwrap();
-        let out = compile(&src, &CompileConfig { unroll: 4, ..CompileConfig::baseline() });
+        let out = compile(
+            &src,
+            &CompileConfig {
+                unroll: 4,
+                ..CompileConfig::baseline()
+            },
+        );
         let work = |prog: &Program| -> f64 {
             let main = prog.proc_by_name("main").unwrap();
             match &main.body[0] {

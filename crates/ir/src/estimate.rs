@@ -54,7 +54,11 @@ const RECURSION_DEPTH: usize = 32;
 /// ```
 pub fn estimate_work(program: &Program, input: &Input) -> WorkEstimate {
     let mut est = Estimator { program, input };
-    let mut acc = WorkEstimate { instrs: 0.0, accesses: 0.0, calls: 0.0 };
+    let mut acc = WorkEstimate {
+        instrs: 0.0,
+        accesses: 0.0,
+        calls: 0.0,
+    };
     est.proc_work(program.entry(), 0, 1.0, &mut acc);
     acc
 }
@@ -149,12 +153,7 @@ mod tests {
         let r = b.region_bytes("d", 1024);
         b.proc("main", |p| {
             p.loop_(Trip::Fixed(40), |body| {
-                body.if_periodic(
-                    4,
-                    0,
-                    |t| t.block(10).seq_read(r, 3).done(),
-                    |_| {},
-                );
+                body.if_periodic(4, 0, |t| t.block(10).seq_read(r, 3).done(), |_| {});
             });
         });
         let program = b.build("main").unwrap();

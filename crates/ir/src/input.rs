@@ -32,7 +32,11 @@ impl Input {
     /// Creates an input with the given name and RNG seed and no
     /// parameters.
     pub fn new(name: impl Into<String>, seed: u64) -> Self {
-        Self { name: name.into(), seed, params: BTreeMap::new() }
+        Self {
+            name: name.into(),
+            seed,
+            params: BTreeMap::new(),
+        }
     }
 
     /// Adds (or replaces) a parameter, builder-style.

@@ -78,7 +78,10 @@ impl std::error::Error for DslError {}
 
 impl From<BuildError> for DslError {
     fn from(e: BuildError) -> Self {
-        DslError { line: 0, message: e.to_string() }
+        DslError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -179,14 +182,16 @@ struct Parser {
 
 impl Parser {
     fn line(&self) -> usize {
-        self.toks.get(self.pos).map_or_else(
-            || self.toks.last().map_or(0, |t| t.0),
-            |t| t.0,
-        )
+        self.toks
+            .get(self.pos)
+            .map_or_else(|| self.toks.last().map_or(0, |t| t.0), |t| t.0)
     }
 
     fn err(&self, message: impl Into<String>) -> DslError {
-        DslError { line: self.line(), message: message.into() }
+        DslError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -217,7 +222,10 @@ impl Parser {
         let line = self.line();
         match self.next()? {
             Tok::Ident(s) if s == kw => Ok(()),
-            other => Err(DslError { line, message: format!("expected `{kw}`, got {other}") }),
+            other => Err(DslError {
+                line,
+                message: format!("expected `{kw}`, got {other}"),
+            }),
         }
     }
 
@@ -225,7 +233,10 @@ impl Parser {
         let line = self.line();
         match self.next()? {
             Tok::Number(n) => Ok(n),
-            other => Err(DslError { line, message: format!("expected {what}, got {other}") }),
+            other => Err(DslError {
+                line,
+                message: format!("expected {what}, got {other}"),
+            }),
         }
     }
 
@@ -233,7 +244,10 @@ impl Parser {
         let line = self.line();
         let n = self.expect_number(what)?;
         if n < 0.0 || n.fract() != 0.0 {
-            return Err(DslError { line, message: format!("{what} must be a non-negative integer") });
+            return Err(DslError {
+                line,
+                message: format!("{what} must be a non-negative integer"),
+            });
         }
         Ok(n as u64)
     }
@@ -244,7 +258,10 @@ impl Parser {
         if got == tok {
             Ok(())
         } else {
-            Err(DslError { line, message: format!("expected {tok}, got {got}") })
+            Err(DslError {
+                line,
+                message: format!("expected {tok}, got {got}"),
+            })
         }
     }
 
@@ -260,7 +277,10 @@ impl Parser {
 /// Returns a [`DslError`] naming the line of the first problem,
 /// including semantic ones (undefined regions or procedures).
 pub fn parse_workload(src: &str) -> Result<ParsedWorkload, DslError> {
-    let mut p = Parser { toks: lex(src)?, pos: 0 };
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+    };
     p.expect_keyword("program")?;
     let name = p.expect_ident("program name")?;
     let mut builder = ProgramBuilder::new(name);
@@ -312,7 +332,10 @@ pub fn parse_workload(src: &str) -> Result<ParsedWorkload, DslError> {
         }
     }
     if !defined_any_proc {
-        return Err(DslError { line: 0, message: "no procedures defined".into() });
+        return Err(DslError {
+            line: 0,
+            message: "no procedures defined".into(),
+        });
     }
     let program = builder.build("main").map_err(DslError::from)?;
     Ok(ParsedWorkload { program, inputs })
@@ -321,10 +344,21 @@ pub fn parse_workload(src: &str) -> Result<ParsedWorkload, DslError> {
 /// Parser-side statement AST, emitted into the builder afterwards.
 #[derive(Debug, Clone)]
 enum Ast {
-    Block { instrs: u32, cpi: f64, mem: Vec<(crate::RegionId, AccessPattern, u32, bool)> },
-    Loop { trip: Trip, body: Vec<Ast> },
+    Block {
+        instrs: u32,
+        cpi: f64,
+        mem: Vec<(crate::RegionId, AccessPattern, u32, bool)>,
+    },
+    Loop {
+        trip: Trip,
+        body: Vec<Ast>,
+    },
     Call(String),
-    If { cond: Cond, then_body: Vec<Ast>, else_body: Vec<Ast> },
+    If {
+        cond: Cond,
+        then_body: Vec<Ast>,
+        else_body: Vec<Ast>,
+    },
 }
 
 fn emit(body: &mut BodyBuilder<'_>, stmts: &[Ast]) {
@@ -341,17 +375,18 @@ fn emit(body: &mut BodyBuilder<'_>, stmts: &[Ast]) {
                 body.loop_(trip.clone(), |b| emit(b, inner));
             }
             Ast::Call(name) => body.call(name),
-            Ast::If { cond, then_body, else_body } => {
+            Ast::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 body.if_(cond.clone(), |t| emit(t, then_body), |e| emit(e, else_body));
             }
         }
     }
 }
 
-fn parse_body(
-    p: &mut Parser,
-    regions: &[(String, crate::RegionId)],
-) -> Result<Vec<Ast>, DslError> {
+fn parse_body(p: &mut Parser, regions: &[(String, crate::RegionId)]) -> Result<Vec<Ast>, DslError> {
     p.expect_tok(Tok::LBrace)?;
     let mut stmts = Vec::new();
     loop {
@@ -402,7 +437,11 @@ fn parse_stmt(
                     }
                 }
             }
-            Ok(Ast::Block { instrs: instrs as u32, cpi, mem })
+            Ok(Ast::Block {
+                instrs: instrs as u32,
+                cpi,
+                mem,
+            })
         }
         "loop" => {
             p.next()?;
@@ -420,7 +459,11 @@ fn parse_stmt(
             let then_body = parse_body(p, regions)?;
             p.expect_keyword("else")?;
             let else_body = parse_body(p, regions)?;
-            Ok(Ast::If { cond, then_body, else_body })
+            Ok(Ast::If {
+                cond,
+                then_body,
+                else_body,
+            })
         }
         other => Err(p.err(format!("unknown statement `{other}`"))),
     }
@@ -446,7 +489,10 @@ fn parse_trip(p: &mut Parser) -> Result<Trip, DslError> {
             if pct > 100 {
                 return Err(p.err("jitter percent must be <= 100"));
             }
-            Ok(Trip::Jitter { mean, pct: pct as u8 })
+            Ok(Trip::Jitter {
+                mean,
+                pct: pct as u8,
+            })
         }
         other => Err(p.err(format!("unknown trip kind `{other}`"))),
     }
@@ -489,7 +535,9 @@ fn parse_memref(
         "seq" => AccessPattern::Sequential { stride: 8 },
         "stride" => {
             let stride = p.expect_u64("stride bytes")?;
-            AccessPattern::Sequential { stride: stride as u32 }
+            AccessPattern::Sequential {
+                stride: stride as u32,
+            }
         }
         "rand" => AccessPattern::Random,
         "chase" => AccessPattern::PointerChase,
@@ -505,7 +553,6 @@ fn parse_memref(
     let count = p.expect_u64("access count")?;
     Ok((region, pattern, count as u32, write))
 }
-
 
 // -------------------------------------------------------------- printer
 
@@ -540,7 +587,15 @@ pub fn write_workload(program: &Program, inputs: &[Input]) -> String {
     // The DSL's program/identifier grammar is alphanumeric; squash
     // anything else (compiled names like "gzip:peak").
     let sanitize = |name: &str| -> String {
-        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect()
+        name.chars()
+            .map(|c| {
+                if c.is_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect()
     };
     let _ = writeln!(out, "program {}", sanitize(program.name()));
     out.push('\n');
@@ -559,8 +614,7 @@ pub fn write_workload(program: &Program, inputs: &[Input]) -> String {
         }
     }
     for input in inputs {
-        let params: Vec<String> =
-            input.params().map(|(k, v)| format!("{k} {v}")).collect();
+        let params: Vec<String> = input.params().map(|(k, v)| format!("{k} {v}")).collect();
         let _ = writeln!(
             out,
             "input {} seed {} {{ {} }}",
@@ -709,7 +763,11 @@ mod tests {
         });
         b.proc("work", |p| {
             p.loop_(Trip::Jitter { mean: 500, pct: 5 }, |l| {
-                l.block(60).base_cpi(0.8).seq_read(data, 2).chase_read(heap, 1).done();
+                l.block(60)
+                    .base_cpi(0.8)
+                    .seq_read(data, 2)
+                    .chase_read(heap, 1)
+                    .done();
             });
             p.block(10).hot_read(data, 3, 25).done();
         });
@@ -751,7 +809,10 @@ mod tests {
     fn rejects_invalid_values() {
         for (src, needle) in [
             ("program x\nproc main { block 0 }\n", "block size"),
-            ("program x\nproc main { loop jitter 5 200 { } }\n", "percent"),
+            (
+                "program x\nproc main { loop jitter 5 200 { } }\n",
+                "percent",
+            ),
             ("program x\nproc main { block 5 cpi oops }\n", "cpi"),
             (
                 "program x\nregion d bytes 64\nproc main { block 5 { read d hot 0 1 } }\n",
@@ -778,7 +839,10 @@ mod tests {
         });
         assert_eq!(reparsed.program.block_sizes(), parsed.program.block_sizes());
         assert_eq!(reparsed.program.loop_count(), parsed.program.loop_count());
-        assert_eq!(reparsed.program.branch_count(), parsed.program.branch_count());
+        assert_eq!(
+            reparsed.program.branch_count(),
+            parsed.program.branch_count()
+        );
         assert_eq!(reparsed.inputs, parsed.inputs);
     }
 
@@ -797,11 +861,20 @@ mod tests {
                 .hot_read(r, 5, 30)
                 .done();
             p.loop_(Trip::Uniform { lo: 2, hi: 9 }, |l| l.call("f"));
-            p.loop_(Trip::ParamScaled { param: "sz".into(), div: 16 }, |l| {
-                l.block(1).done();
-            });
+            p.loop_(
+                Trip::ParamScaled {
+                    param: "sz".into(),
+                    div: 16,
+                },
+                |l| {
+                    l.block(1).done();
+                },
+            );
             p.if_(
-                Cond::ParamAtLeast { param: "sz".into(), threshold: 5 },
+                Cond::ParamAtLeast {
+                    param: "sz".into(),
+                    threshold: 5,
+                },
                 |t| t.block(2).done(),
                 |e| {
                     e.if_periodic(7, 2, |t| t.block(3).done(), |_| {});

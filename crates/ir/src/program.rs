@@ -453,7 +453,14 @@ mod tests {
         assert_eq!(Trip::Fixed(7).expected(&input), 7.0);
         assert_eq!(Trip::Param("n".into()).expected(&input), 40.0);
         assert_eq!(Trip::Param("missing".into()).expected(&input), 0.0);
-        assert_eq!(Trip::ParamScaled { param: "n".into(), div: 4 }.expected(&input), 10.0);
+        assert_eq!(
+            Trip::ParamScaled {
+                param: "n".into(),
+                div: 4
+            }
+            .expected(&input),
+            10.0
+        );
         assert_eq!(Trip::Uniform { lo: 10, hi: 20 }.expected(&input), 15.0);
         assert_eq!(Trip::Jitter { mean: 9, pct: 50 }.expected(&input), 9.0);
     }
@@ -463,12 +470,20 @@ mod tests {
         let input = Input::new("t", 0).with("n", 100);
         assert_eq!(SizeSpec::Bytes(1024).resolve(&input), 1024);
         assert_eq!(
-            SizeSpec::ParamScaled { param: "n".into(), bytes_per: 8 }.resolve(&input),
+            SizeSpec::ParamScaled {
+                param: "n".into(),
+                bytes_per: 8
+            }
+            .resolve(&input),
             800
         );
         assert_eq!(SizeSpec::Bytes(1).resolve(&input), 64);
         assert_eq!(
-            SizeSpec::ParamScaled { param: "missing".into(), bytes_per: 8 }.resolve(&input),
+            SizeSpec::ParamScaled {
+                param: "missing".into(),
+                bytes_per: 8
+            }
+            .resolve(&input),
             64
         );
     }

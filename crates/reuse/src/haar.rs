@@ -217,7 +217,9 @@ mod tests {
     fn noisy_signal_without_steps_is_quiet() {
         // Small alternating noise: every diff equals the mean diff, so
         // nothing exceeds mean + k*std.
-        let signal: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 1.1 }).collect();
+        let signal: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 1.1 })
+            .collect();
         assert!(detect_boundaries(&signal).is_empty());
     }
 

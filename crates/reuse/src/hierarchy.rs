@@ -61,7 +61,11 @@ impl PhaseHierarchy {
 
     /// The deepest nesting level (0 for a flat sequence).
     pub fn max_depth(&self) -> usize {
-        self.super_phases.iter().map(|sp| sp.depth).max().unwrap_or(0)
+        self.super_phases
+            .iter()
+            .map(|sp| sp.depth)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -86,14 +90,21 @@ pub fn phase_hierarchy(vlis: &[Vli]) -> PhaseHierarchy {
     }
     let mut super_phases: Vec<SuperPhase> = (1..grammar.rules.len())
         .map(|r| SuperPhase {
-            phases: expand_rule(&grammar, r).iter().map(|&p| p as usize).collect(),
+            phases: expand_rule(&grammar, r)
+                .iter()
+                .map(|&p| p as usize)
+                .collect(),
             uses: uses[r],
             depth: rule_depth(&grammar, r),
         })
         .collect();
     super_phases.sort_by_key(|sp| std::cmp::Reverse(sp.phases.len()));
 
-    PhaseHierarchy { grammar, super_phases, compression_ratio }
+    PhaseHierarchy {
+        grammar,
+        super_phases,
+        compression_ratio,
+    }
 }
 
 fn expand_rule(grammar: &Grammar, rule: usize) -> Vec<u32> {
@@ -154,9 +165,16 @@ mod tests {
         let h = phase_hierarchy(&vlis_from(&phases));
         assert!(h.is_hierarchical());
         assert!(h.compression_ratio < 0.5, "{}", h.compression_ratio);
-        let top = h.super_phases.iter().max_by_key(|sp| sp.phases.len()).unwrap();
+        let top = h
+            .super_phases
+            .iter()
+            .max_by_key(|sp| sp.phases.len())
+            .unwrap();
         // The largest super-phase expands to a repetition of [1, 2].
-        assert_eq!(top.phases.chunks(2).filter(|c| c == &[1, 2]).count(), top.phases.len() / 2);
+        assert_eq!(
+            top.phases.chunks(2).filter(|c| c == &[1, 2]).count(),
+            top.phases.len() / 2
+        );
     }
 
     #[test]

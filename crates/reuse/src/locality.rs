@@ -86,7 +86,8 @@ impl ReuseSignalCollector {
 
     fn close_window(&mut self) {
         if self.in_window > 0 {
-            self.windows.push((self.window_start, self.acc / self.in_window as f64));
+            self.windows
+                .push((self.window_start, self.acc / self.in_window as f64));
         }
         self.acc = 0.0;
         self.in_window = 0;
@@ -151,22 +152,33 @@ impl LocalityAnalysis {
     pub fn analyze(collector: &ReuseSignalCollector, config: &LocalityConfig) -> Self {
         let signal: Vec<f64> = collector.windows.iter().map(|w| w.1).collect();
         let boundary_windows = detect_boundaries(&signal);
-        let boundaries: Vec<u64> =
-            boundary_windows.iter().map(|&w| collector.windows[w].0).collect();
+        let boundaries: Vec<u64> = boundary_windows
+            .iter()
+            .map(|&w| collector.windows[w].0)
+            .collect();
 
         // Regularity: quantize the signal level of each boundary-to-
         // boundary segment and compress the symbol sequence with
         // Sequitur, as Shen et al. compress the filtered trace.
         let regularity = segment_regularity(&signal, &boundary_windows, config.quant_levels);
-        let found_structure =
-            !boundaries.is_empty() && regularity <= config.max_regularity_ratio;
+        let found_structure = !boundaries.is_empty() && regularity <= config.max_regularity_ratio;
         if !found_structure {
-            return Self { boundaries, markers: Vec::new(), regularity, found_structure };
+            return Self {
+                boundaries,
+                markers: Vec::new(),
+                regularity,
+                found_structure,
+            };
         }
 
         let markers = select_marker_blocks(collector, &boundaries, config);
         let found_structure = !markers.is_empty();
-        Self { boundaries, markers, regularity, found_structure }
+        Self {
+            boundaries,
+            markers,
+            regularity,
+            found_structure,
+        }
     }
 }
 
@@ -182,7 +194,10 @@ fn segment_regularity(signal: &[f64], boundary_windows: &[usize], levels: usize)
     }
     let mut segments: Vec<(f64, usize)> = Vec::new();
     let mut start = 0usize;
-    for &b in boundary_windows.iter().chain(std::iter::once(&signal.len())) {
+    for &b in boundary_windows
+        .iter()
+        .chain(std::iter::once(&signal.len()))
+    {
         if b > start {
             let mean: f64 = signal[start..b].iter().sum::<f64>() / (b - start) as f64;
             segments.push((mean, b - start));
@@ -191,7 +206,9 @@ fn segment_regularity(signal: &[f64], boundary_windows: &[usize], levels: usize)
     }
     let (lo, hi) = segments
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
     let span = (hi - lo).max(1e-9);
     let levels = levels.max(2) as f64;
     let mut lens: Vec<usize> = segments.iter().map(|&(_, l)| l).collect();
@@ -235,10 +252,15 @@ fn select_marker_blocks(
     // cap the tolerance at a quarter of the median segment length. But
     // a boundary's position is only known to signal-window granularity,
     // so allow at least two windows of slack.
-    let mut window_spans: Vec<u64> =
-        collector.windows.windows(2).map(|w| w[1].0 - w[0].0).collect();
+    let mut window_spans: Vec<u64> = collector
+        .windows
+        .windows(2)
+        .map(|w| w[1].0 - w[0].0)
+        .collect();
     window_spans.sort_unstable();
-    let window_slack = window_spans.get(window_spans.len() / 2).map_or(0, |&m| 2 * m);
+    let window_slack = window_spans
+        .get(window_spans.len() / 2)
+        .map_or(0, |&m| 2 * m);
     let mut seg_lens: Vec<u64> = boundaries.windows(2).map(|w| w[1] - w[0]).collect();
     seg_lens.sort_unstable();
     let tol = match seg_lens.get(seg_lens.len() / 2) {
@@ -341,7 +363,10 @@ impl TraceObserver for ReuseMarkerRuntime {
     fn on_event(&mut self, icount: u64, event: &TraceEvent) {
         if let TraceEvent::BlockExec { block, instrs, .. } = *event {
             if let Some(&marker) = self.index.get(&block) {
-                self.firings.push(MarkerFiring { icount: icount - u64::from(instrs), marker });
+                self.firings.push(MarkerFiring {
+                    icount: icount - u64::from(instrs),
+                    marker,
+                });
             }
         }
     }
@@ -351,7 +376,7 @@ impl TraceObserver for ReuseMarkerRuntime {
 mod tests {
     use super::*;
     use spm_core::partition;
-    use spm_ir::{Input, ProgramBuilder, Program, Trip};
+    use spm_ir::{Input, Program, ProgramBuilder, Trip};
     use spm_sim::run;
 
     /// Alternating small/large working sets with a distinct block at the
@@ -428,7 +453,10 @@ mod tests {
         let program = regular_program();
         let c = collect(&program);
         let analysis = LocalityAnalysis::analyze(&c, &LocalityConfig::default());
-        assert!(analysis.found_structure, "regular program must show structure");
+        assert!(
+            analysis.found_structure,
+            "regular program must show structure"
+        );
         assert!(!analysis.boundaries.is_empty());
         assert!(!analysis.markers.is_empty());
         assert!(
@@ -446,7 +474,11 @@ mod tests {
         let mut rt = ReuseMarkerRuntime::new(&analysis.markers);
         let summary = run(&program, &Input::new("t", 3), &mut [&mut rt]).unwrap();
         let vlis = partition(rt.firings(), summary.instrs);
-        assert!(vlis.len() >= 12, "one interval per phase change, got {}", vlis.len());
+        assert!(
+            vlis.len() >= 12,
+            "one interval per phase change, got {}",
+            vlis.len()
+        );
         // Roughly two phases alternate (plus the prelude).
         let phases: std::collections::HashSet<usize> = vlis.iter().map(|v| v.phase).collect();
         assert!(phases.len() <= analysis.markers.len() + 1);
@@ -477,4 +509,3 @@ mod tests {
         assert!(analysis.boundaries.is_empty());
     }
 }
-

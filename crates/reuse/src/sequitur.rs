@@ -147,7 +147,12 @@ impl Sequitur {
 
     fn new_rule(&mut self) -> u32 {
         let rule = self.guards.len() as u32;
-        let g = self.alloc(Slot { key: None, rule, prev: NIL, next: NIL });
+        let g = self.alloc(Slot {
+            key: None,
+            rule,
+            prev: NIL,
+            next: NIL,
+        });
         self.slots[g].prev = g;
         self.slots[g].next = g;
         self.guards.push(g);
@@ -167,7 +172,12 @@ impl Sequitur {
 
     fn insert_after(&mut self, pos: usize, key: Key) -> usize {
         let next = self.slots[pos].next;
-        let s = self.alloc(Slot { key: Some(key), rule: 0, prev: pos, next });
+        let s = self.alloc(Slot {
+            key: Some(key),
+            rule: 0,
+            prev: pos,
+            next,
+        });
         self.slots[pos].next = s;
         self.slots[next].prev = s;
         if let Key::Rule(r) = key {
@@ -249,7 +259,9 @@ impl Sequitur {
         // Is `t` exactly the body of some rule? Then reuse that rule.
         let t_prev = self.slots[t].prev;
         let t_next2 = self.slots[self.slots[t].next].next;
-        if self.slots[t_prev].key.is_none() && self.slots[t_next2].key.is_none() && t_prev == t_next2
+        if self.slots[t_prev].key.is_none()
+            && self.slots[t_next2].key.is_none()
+            && t_prev == t_next2
         {
             let rule = self.slots[t_prev].rule;
             self.substitute(s, rule);
@@ -281,7 +293,11 @@ impl Sequitur {
         let m = self.insert_after(q, Key::Rule(rule));
         // Classic Sequitur: check (q, m); only if that did not rewrite,
         // check (m, next).
-        let rewrote = if self.slots[q].key.is_some() { self.check(q) } else { false };
+        let rewrote = if self.slots[q].key.is_some() {
+            self.check(q)
+        } else {
+            false
+        };
         if !rewrote {
             self.check(m);
         }

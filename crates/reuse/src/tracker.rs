@@ -80,7 +80,10 @@ impl ReuseTracker {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn new(line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Self {
             line_shift: line_bytes.trailing_zeros(),
             last_access: HashMap::new(),

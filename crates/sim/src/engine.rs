@@ -128,7 +128,10 @@ impl<'p> Engine<'p> {
         for (i, region) in program.regions().iter().enumerate() {
             let bytes = region.size.resolve(input);
             if bytes > REGION_SPACING {
-                return Err(RunError::RegionTooLarge { name: region.name.clone(), bytes });
+                return Err(RunError::RegionTooLarge {
+                    name: region.name.clone(),
+                    bytes,
+                });
             }
             region_base.push((i as u64 + 1) * REGION_SPACING);
             region_size.push(bytes);
@@ -220,7 +223,13 @@ impl<'p> Engine<'p> {
                 }
                 Stmt::If(i) => {
                     let taken = self.eval_cond(&i.cond, i.id.index());
-                    self.emit(observers, TraceEvent::Branch { branch: i.id, taken });
+                    self.emit(
+                        observers,
+                        TraceEvent::Branch {
+                            branch: i.id,
+                            taken,
+                        },
+                    );
                     let body = if taken { &i.then_body } else { &i.else_body };
                     self.exec_stmts(body, observers, depth);
                 }
@@ -245,7 +254,13 @@ impl<'p> Engine<'p> {
             for _ in 0..mem.count {
                 let addr = self.next_addr(mem.region.index(), mem.pattern, cursor_idx);
                 self.summary.mem_accesses += 1;
-                self.emit(observers, TraceEvent::MemAccess { addr, write: mem.write });
+                self.emit(
+                    observers,
+                    TraceEvent::MemAccess {
+                        addr,
+                        write: mem.write,
+                    },
+                );
             }
         }
     }
@@ -296,11 +311,15 @@ impl<'p> Engine<'p> {
                 }
             }
             Trip::Jitter { mean, pct } => {
-                let d = mean * u64::from(*pct) / 100;
+                // Widened then saturating: a mean near u64::MAX
+                // (hand-edited workload file) must clamp, not overflow.
+                let wide = u128::from(*mean) * u128::from(*pct) / 100;
+                let d = u64::try_from(wide).unwrap_or(u64::MAX);
                 if d == 0 {
                     *mean
                 } else {
-                    self.rng.gen_range(mean.saturating_sub(d)..=mean + d)
+                    self.rng
+                        .gen_range(mean.saturating_sub(d)..=mean.saturating_add(d))
                 }
             }
         }
@@ -447,9 +466,15 @@ mod tests {
     fn param_scaled_trips_divide() {
         let mut b = ProgramBuilder::new("t");
         b.proc("main", |p| {
-            p.loop_(Trip::ParamScaled { param: "n".into(), div: 4 }, |body| {
-                body.block(10).done();
-            });
+            p.loop_(
+                Trip::ParamScaled {
+                    param: "n".into(),
+                    div: 4,
+                },
+                |body| {
+                    body.block(10).done();
+                },
+            );
         });
         let program = b.build("main").unwrap();
         let s = run(&program, &Input::new("x", 1).with("n", 100), &mut []).unwrap();
@@ -457,9 +482,15 @@ mod tests {
         // Divisor zero is clamped to 1.
         let mut b = ProgramBuilder::new("t");
         b.proc("main", |p| {
-            p.loop_(Trip::ParamScaled { param: "n".into(), div: 0 }, |body| {
-                body.block(1).done();
-            });
+            p.loop_(
+                Trip::ParamScaled {
+                    param: "n".into(),
+                    div: 0,
+                },
+                |body| {
+                    body.block(1).done();
+                },
+            );
         });
         let program = b.build("main").unwrap();
         let s = run(&program, &Input::new("x", 1).with("n", 7), &mut []).unwrap();
@@ -479,16 +510,17 @@ mod tests {
         let program = b.build("main").unwrap();
         let mut iters_per_entry = Vec::new();
         let mut current = 0u64;
-        let mut obs = |_: u64, ev: &TraceEvent| match ev {
-            TraceEvent::LoopIter { loop_id } if loop_id.0 == 1 => current += 1,
-            TraceEvent::LoopExit { loop_id } if loop_id.0 == 1 => {
-                iters_per_entry.push(current);
-                current = 0;
-            }
-            _ => {}
-        };
-        run(&program, &Input::new("x", 77), &mut [&mut obs]).unwrap();
-        drop(obs);
+        {
+            let mut obs = |_: u64, ev: &TraceEvent| match ev {
+                TraceEvent::LoopIter { loop_id } if loop_id.0 == 1 => current += 1,
+                TraceEvent::LoopExit { loop_id } if loop_id.0 == 1 => {
+                    iters_per_entry.push(current);
+                    current = 0;
+                }
+                _ => {}
+            };
+            run(&program, &Input::new("x", 77), &mut [&mut obs]).unwrap();
+        }
         assert_eq!(iters_per_entry.len(), 200);
         assert!(iters_per_entry.iter().all(|&n| (90..=110).contains(&n)));
         // The jitter actually varies.
@@ -538,21 +570,30 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         let r = b.region_bytes("d", 4096);
         b.proc("main", |p| {
-            p.block(1).seq_read(r, 10).rand_read(r, 10).chase_read(r, 10).hot_read(r, 10, 10).done();
+            p.block(1)
+                .seq_read(r, 10)
+                .rand_read(r, 10)
+                .chase_read(r, 10)
+                .hot_read(r, 10, 10)
+                .done();
         });
         let program = b.build("main").unwrap();
         let mut addrs = Vec::new();
-        let mut collect = |_: u64, ev: &TraceEvent| {
-            if let TraceEvent::MemAccess { addr, .. } = ev {
-                addrs.push(*addr);
-            }
-        };
-        run(&program, &Input::new("x", 5), &mut [&mut collect]).unwrap();
-        drop(collect);
+        {
+            let mut collect = |_: u64, ev: &TraceEvent| {
+                if let TraceEvent::MemAccess { addr, .. } = ev {
+                    addrs.push(*addr);
+                }
+            };
+            run(&program, &Input::new("x", 5), &mut [&mut collect]).unwrap();
+        }
         assert_eq!(addrs.len(), 40);
         let base = REGION_SPACING;
         for addr in addrs {
-            assert!(addr >= base && addr < base + 4096, "addr {addr:#x} outside region");
+            assert!(
+                addr >= base && addr < base + 4096,
+                "addr {addr:#x} outside region"
+            );
             assert_eq!(addr % 8, 0, "addresses are 8-byte aligned");
         }
     }
@@ -570,19 +611,20 @@ mod tests {
         let mut first = Vec::new();
         let mut second = Vec::new();
         let mut current_block = 0u32;
-        let mut collect = |_: u64, ev: &TraceEvent| match ev {
-            TraceEvent::BlockExec { block, .. } => current_block = block.0,
-            TraceEvent::MemAccess { addr, .. } => {
-                if current_block == 0 {
-                    first.push(*addr);
-                } else {
-                    second.push(*addr);
+        {
+            let mut collect = |_: u64, ev: &TraceEvent| match ev {
+                TraceEvent::BlockExec { block, .. } => current_block = block.0,
+                TraceEvent::MemAccess { addr, .. } => {
+                    if current_block == 0 {
+                        first.push(*addr);
+                    } else {
+                        second.push(*addr);
+                    }
                 }
-            }
-            _ => {}
-        };
-        run(&program, &Input::new("x", 5), &mut [&mut collect]).unwrap();
-        drop(collect);
+                _ => {}
+            };
+            run(&program, &Input::new("x", 5), &mut [&mut collect]).unwrap();
+        }
         let max1 = *first.iter().max().unwrap();
         let min2 = *second.iter().min().unwrap();
         assert!(max1 < min2, "regions must not interleave");

@@ -43,14 +43,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod engine;
 mod events;
+pub mod fault;
 pub mod record;
 mod timeline;
 mod timing;
 
 pub use engine::{run, RunError, RunSummary, MAX_CALL_DEPTH};
 pub use events::{TraceEvent, TraceObserver};
+pub use fault::{FaultKind, FaultObserver, TraceCorruptor};
 pub use timeline::{Timeline, TimelineSample};
 pub use timing::{TimingConfig, TimingModel};

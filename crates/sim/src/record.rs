@@ -8,6 +8,28 @@
 //! [`TraceObserver`]s from it — producing byte-for-byte the same
 //! observations the live run did.
 //!
+//! # File format
+//!
+//! Traces written by this version start with a 32-byte header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "spmtrc02" (6-byte prefix + 2-digit version)
+//! 8       8     event count, u64 little-endian
+//! 16      8     payload length in bytes, u64 little-endian
+//! 24      8     FNV-1a-64 checksum of the payload, u64 little-endian
+//! 32      —     payload: the encoded event stream
+//! ```
+//!
+//! [`replay`] verifies the length and checksum *before* delivering any
+//! event, so a corrupted file yields a typed [`DecodeError`] naming the
+//! failure (and, for malformed events, the byte offset) instead of
+//! feeding garbage to observers. Headerless `spmtrc01` traces from the
+//! previous format are still accepted, without integrity checks.
+//! [`replay_prefix`] is the recovery path: it delivers the longest
+//! decodable prefix of a damaged trace and reports where decoding
+//! stopped.
+//!
 //! # Examples
 //!
 //! ```
@@ -68,10 +90,12 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
-        let &byte = bytes.get(*pos).ok_or(DecodeError::Truncated)?;
+        let &byte = bytes
+            .get(*pos)
+            .ok_or(DecodeError::Truncated { offset: *pos })?;
         *pos += 1;
         if shift >= 64 {
-            return Err(DecodeError::Overflow);
+            return Err(DecodeError::Overflow { offset: *pos - 1 });
         }
         value |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -81,33 +105,118 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
     }
 }
 
-/// Errors while decoding a recorded trace.
+/// Errors while decoding a recorded trace. Offsets are byte positions
+/// from the start of the file, so reports localize the corruption.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
-    /// The byte stream ended inside an event.
-    Truncated,
-    /// A varint exceeded 64 bits.
-    Overflow,
+    /// The byte stream ended inside an event (or inside the header).
+    Truncated {
+        /// Byte offset where the stream ended.
+        offset: usize,
+    },
+    /// A varint exceeded 64 bits, or an accumulated instruction count
+    /// overflowed.
+    Overflow {
+        /// Byte offset of the offending encoding.
+        offset: usize,
+    },
     /// An unknown event tag was found.
-    BadTag(u8),
-    /// The trace did not begin with the expected magic bytes.
+    BadTag {
+        /// The tag byte.
+        tag: u8,
+        /// Byte offset of the tag.
+        offset: usize,
+    },
+    /// The trace did not begin with the `spmtrc` magic bytes.
     BadMagic,
+    /// The magic matched but the version digits are unknown.
+    UnsupportedVersion {
+        /// The two version bytes found after the magic prefix.
+        version: [u8; 2],
+    },
+    /// The header's payload length does not match the bytes present
+    /// (a truncated or padded file).
+    LengthMismatch {
+        /// Payload length the header declares.
+        declared: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// The payload checksum does not match the header (bit corruption).
+    ChecksumMismatch {
+        /// Checksum the header declares.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+    /// The payload decoded cleanly but to a different number of events
+    /// than the header declares.
+    EventCountMismatch {
+        /// Event count the header declares.
+        declared: u64,
+        /// Events actually decoded.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DecodeError::Truncated => write!(f, "trace truncated mid-event"),
-            DecodeError::Overflow => write!(f, "varint overflows 64 bits"),
-            DecodeError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            DecodeError::Truncated { offset } => {
+                write!(f, "trace truncated mid-event at byte {offset}")
+            }
+            DecodeError::Overflow { offset } => {
+                write!(f, "varint overflows 64 bits at byte {offset}")
+            }
+            DecodeError::BadTag { tag, offset } => {
+                write!(f, "unknown event tag {tag} at byte {offset}")
+            }
             DecodeError::BadMagic => write!(f, "not an spm trace (bad magic)"),
+            DecodeError::UnsupportedVersion { version } => write!(
+                f,
+                "unsupported trace version `{}{}` (this build reads 01 and 02)",
+                version[0] as char, version[1] as char
+            ),
+            DecodeError::LengthMismatch { declared, actual } => write!(
+                f,
+                "payload length mismatch: header declares {declared} bytes, found {actual}"
+            ),
+            DecodeError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "payload checksum mismatch: header declares {expected:#018x}, computed {actual:#018x}"
+            ),
+            DecodeError::EventCountMismatch { declared, actual } => write!(
+                f,
+                "event count mismatch: header declares {declared} events, decoded {actual}"
+            ),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
-const MAGIC: &[u8; 8] = b"spmtrc01";
+const MAGIC_PREFIX: &[u8; 6] = b"spmtrc";
+const MAGIC_V1: &[u8; 8] = b"spmtrc01";
+const MAGIC_V2: &[u8; 8] = b"spmtrc02";
+
+/// Byte length of the current (v2) trace header.
+pub const HEADER_LEN: usize = 32;
+
+/// FNV-1a 64-bit hash, the payload checksum of the v2 format.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(raw)
+}
 
 /// Observer encoding the event stream into a compact byte trace.
 #[derive(Debug, Clone)]
@@ -126,7 +235,14 @@ impl Default for TraceRecorder {
 impl TraceRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
-        Self { bytes: MAGIC.to_vec(), last_icount: 0, events: 0 }
+        let mut bytes = Vec::with_capacity(HEADER_LEN + 1024);
+        bytes.extend_from_slice(MAGIC_V2);
+        bytes.resize(HEADER_LEN, 0); // event count, length, checksum
+        Self {
+            bytes,
+            last_icount: 0,
+            events: 0,
+        }
     }
 
     /// Number of events recorded so far.
@@ -134,13 +250,19 @@ impl TraceRecorder {
         self.events
     }
 
-    /// Size of the encoded trace so far, in bytes.
+    /// Size of the encoded trace so far, in bytes (header included).
     pub fn byte_len(&self) -> usize {
         self.bytes.len()
     }
 
-    /// Finishes recording and returns the encoded trace.
-    pub fn into_bytes(self) -> Vec<u8> {
+    /// Finishes recording and returns the encoded trace, with the
+    /// header's event count, payload length, and checksum filled in.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        let payload_len = (self.bytes.len() - HEADER_LEN) as u64;
+        let checksum = fnv1a64(&self.bytes[HEADER_LEN..]);
+        self.bytes[8..16].copy_from_slice(&self.events.to_le_bytes());
+        self.bytes[16..24].copy_from_slice(&payload_len.to_le_bytes());
+        self.bytes[24..32].copy_from_slice(&checksum.to_le_bytes());
         self.bytes
     }
 }
@@ -148,11 +270,15 @@ impl TraceRecorder {
 impl TraceObserver for TraceRecorder {
     fn on_event(&mut self, icount: u64, event: &TraceEvent) {
         self.events += 1;
-        let delta = icount - self.last_icount;
+        let delta = icount.saturating_sub(self.last_icount);
         self.last_icount = icount;
         let out = &mut self.bytes;
         match *event {
-            TraceEvent::BlockExec { block, instrs, base_cpi } => {
+            TraceEvent::BlockExec {
+                block,
+                instrs,
+                base_cpi,
+            } => {
                 out.push(tag::BLOCK);
                 push_varint(out, delta);
                 push_varint(out, u64::from(block.0));
@@ -165,7 +291,11 @@ impl TraceObserver for TraceRecorder {
                 push_varint(out, addr);
             }
             TraceEvent::Branch { branch, taken } => {
-                out.push(if taken { tag::BRANCH_TAKEN } else { tag::BRANCH_NOT });
+                out.push(if taken {
+                    tag::BRANCH_TAKEN
+                } else {
+                    tag::BRANCH_NOT
+                });
                 push_varint(out, delta);
                 push_varint(out, u64::from(branch.0));
             }
@@ -203,66 +333,269 @@ impl TraceObserver for TraceRecorder {
 }
 
 fn read_id(bytes: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
+    let at = *pos;
     let v = read_varint(bytes, pos)?;
-    u32::try_from(v).map_err(|_| DecodeError::Overflow)
+    u32::try_from(v).map_err(|_| DecodeError::Overflow { offset: at })
+}
+
+/// Parsed header: which version, and where the payload starts.
+struct Header {
+    payload_start: usize,
+    /// Event count and checksum the v2 header declares (`None` for v1).
+    declared: Option<(u64, u64, u64)>, // (events, payload_len, checksum)
+}
+
+fn parse_header(bytes: &[u8]) -> Result<Header, DecodeError> {
+    if bytes.len() < 8 || &bytes[..6] != MAGIC_PREFIX {
+        return Err(DecodeError::BadMagic);
+    }
+    if &bytes[..8] == MAGIC_V1 {
+        return Ok(Header {
+            payload_start: 8,
+            declared: None,
+        });
+    }
+    if &bytes[..8] != MAGIC_V2 {
+        return Err(DecodeError::UnsupportedVersion {
+            version: [bytes[6], bytes[7]],
+        });
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            offset: bytes.len(),
+        });
+    }
+    let events = read_u64_le(bytes, 8);
+    let payload_len = read_u64_le(bytes, 16);
+    let checksum = read_u64_le(bytes, 24);
+    Ok(Header {
+        payload_start: HEADER_LEN,
+        declared: Some((events, payload_len, checksum)),
+    })
+}
+
+/// Decodes one event at `*pos`, advancing it past the event.
+fn decode_one(bytes: &[u8], pos: &mut usize) -> Result<(u64, TraceEvent), DecodeError> {
+    let tag_at = *pos;
+    let &tag_byte = bytes
+        .get(tag_at)
+        .ok_or(DecodeError::Truncated { offset: tag_at })?;
+    *pos += 1;
+    let delta = read_varint(bytes, pos)?;
+    let event = match tag_byte {
+        tag::BLOCK => {
+            let block = BlockId(read_id(bytes, pos)?);
+            let instrs = read_id(bytes, pos)?;
+            let slice = bytes.get(*pos..*pos + 8).ok_or(DecodeError::Truncated {
+                offset: bytes.len(),
+            })?;
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(slice);
+            *pos += 8;
+            TraceEvent::BlockExec {
+                block,
+                instrs,
+                base_cpi: f64::from_le_bytes(raw),
+            }
+        }
+        tag::MEM_READ => TraceEvent::MemAccess {
+            addr: read_varint(bytes, pos)?,
+            write: false,
+        },
+        tag::MEM_WRITE => TraceEvent::MemAccess {
+            addr: read_varint(bytes, pos)?,
+            write: true,
+        },
+        tag::BRANCH_TAKEN => TraceEvent::Branch {
+            branch: BranchId(read_id(bytes, pos)?),
+            taken: true,
+        },
+        tag::BRANCH_NOT => TraceEvent::Branch {
+            branch: BranchId(read_id(bytes, pos)?),
+            taken: false,
+        },
+        tag::CALL => TraceEvent::Call {
+            proc: ProcId(read_id(bytes, pos)?),
+        },
+        tag::RETURN => TraceEvent::Return {
+            proc: ProcId(read_id(bytes, pos)?),
+        },
+        tag::LOOP_ENTER => TraceEvent::LoopEnter {
+            loop_id: LoopId(read_id(bytes, pos)?),
+        },
+        tag::LOOP_ITER => TraceEvent::LoopIter {
+            loop_id: LoopId(read_id(bytes, pos)?),
+        },
+        tag::LOOP_EXIT => TraceEvent::LoopExit {
+            loop_id: LoopId(read_id(bytes, pos)?),
+        },
+        tag::FINISH => TraceEvent::Finish,
+        other => {
+            return Err(DecodeError::BadTag {
+                tag: other,
+                offset: tag_at,
+            })
+        }
+    };
+    Ok((delta, event))
 }
 
 /// Replays a recorded trace into the observers, returning the number of
 /// events delivered.
 ///
+/// For v2 traces the header's payload length and checksum are verified
+/// **before any event is delivered**, so observers never see events
+/// from a corrupted file. Headerless v1 traces are decoded without
+/// integrity checks.
+///
 /// # Errors
 ///
-/// Returns a [`DecodeError`] on malformed input; events before the
-/// error have already been delivered.
-pub fn replay(
+/// Returns a [`DecodeError`] on malformed input. For v1 traces (which
+/// have no up-front checksum), events before the error have already
+/// been delivered; use [`replay_prefix`] to make that recovery
+/// deliberate.
+pub fn replay(bytes: &[u8], observers: &mut [&mut dyn TraceObserver]) -> Result<u64, DecodeError> {
+    let header = parse_header(bytes)?;
+    let payload = &bytes[header.payload_start..];
+    if let Some((declared_events, payload_len, checksum)) = header.declared {
+        if payload_len != payload.len() as u64 {
+            return Err(DecodeError::LengthMismatch {
+                declared: payload_len,
+                actual: payload.len() as u64,
+            });
+        }
+        let actual = fnv1a64(payload);
+        if actual != checksum {
+            return Err(DecodeError::ChecksumMismatch {
+                expected: checksum,
+                actual,
+            });
+        }
+        let events = replay_payload(bytes, header.payload_start, observers)?;
+        if events != declared_events {
+            return Err(DecodeError::EventCountMismatch {
+                declared: declared_events,
+                actual: events,
+            });
+        }
+        Ok(events)
+    } else {
+        replay_payload(bytes, header.payload_start, observers)
+    }
+}
+
+fn replay_payload(
     bytes: &[u8],
+    start: usize,
     observers: &mut [&mut dyn TraceObserver],
 ) -> Result<u64, DecodeError> {
-    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
-    let mut pos = MAGIC.len();
+    let mut pos = start;
     let mut icount = 0u64;
     let mut events = 0u64;
     while pos < bytes.len() {
-        let tag_byte = bytes[pos];
-        pos += 1;
-        let delta = read_varint(bytes, &mut pos)?;
-        icount += delta;
-        let event = match tag_byte {
-            tag::BLOCK => {
-                let block = BlockId(read_id(bytes, &mut pos)?);
-                let instrs = read_id(bytes, &mut pos)?;
-                let raw = bytes
-                    .get(pos..pos + 8)
-                    .ok_or(DecodeError::Truncated)?
-                    .try_into()
-                    .expect("8 bytes");
-                pos += 8;
-                TraceEvent::BlockExec { block, instrs, base_cpi: f64::from_le_bytes(raw) }
-            }
-            tag::MEM_READ => TraceEvent::MemAccess { addr: read_varint(bytes, &mut pos)?, write: false },
-            tag::MEM_WRITE => TraceEvent::MemAccess { addr: read_varint(bytes, &mut pos)?, write: true },
-            tag::BRANCH_TAKEN => {
-                TraceEvent::Branch { branch: BranchId(read_id(bytes, &mut pos)?), taken: true }
-            }
-            tag::BRANCH_NOT => {
-                TraceEvent::Branch { branch: BranchId(read_id(bytes, &mut pos)?), taken: false }
-            }
-            tag::CALL => TraceEvent::Call { proc: ProcId(read_id(bytes, &mut pos)?) },
-            tag::RETURN => TraceEvent::Return { proc: ProcId(read_id(bytes, &mut pos)?) },
-            tag::LOOP_ENTER => TraceEvent::LoopEnter { loop_id: LoopId(read_id(bytes, &mut pos)?) },
-            tag::LOOP_ITER => TraceEvent::LoopIter { loop_id: LoopId(read_id(bytes, &mut pos)?) },
-            tag::LOOP_EXIT => TraceEvent::LoopExit { loop_id: LoopId(read_id(bytes, &mut pos)?) },
-            tag::FINISH => TraceEvent::Finish,
-            other => return Err(DecodeError::BadTag(other)),
-        };
+        let at = pos;
+        let (delta, event) = decode_one(bytes, &mut pos)?;
+        icount = icount
+            .checked_add(delta)
+            .ok_or(DecodeError::Overflow { offset: at })?;
         for obs in observers.iter_mut() {
             obs.on_event(icount, &event);
         }
         events += 1;
     }
     Ok(events)
+}
+
+/// Result of a best-effort [`replay_prefix`] over a possibly-damaged
+/// trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Events successfully decoded and delivered.
+    pub events: u64,
+    /// Bytes of the file covered by those events (header included):
+    /// the offset where decoding stopped.
+    pub valid_bytes: usize,
+    /// Why the trace is damaged, `None` when it decoded completely.
+    /// Integrity failures that do not stop decoding (checksum or
+    /// declared-count mismatches) are reported here after the full
+    /// prefix has been delivered.
+    pub error: Option<DecodeError>,
+}
+
+/// Decodes the longest valid prefix of a trace, delivering its events,
+/// and reports where and why decoding stopped.
+///
+/// This is the recovery path for damaged traces: unlike [`replay`] it
+/// does not refuse a file whose checksum fails — it delivers every
+/// event it can decode and surfaces the integrity failure in
+/// [`ReplayReport::error`]. A file whose header is unreadable (wrong
+/// magic or version) yields zero events.
+pub fn replay_prefix(bytes: &[u8], observers: &mut [&mut dyn TraceObserver]) -> ReplayReport {
+    let header = match parse_header(bytes) {
+        Ok(h) => h,
+        Err(e) => {
+            return ReplayReport {
+                events: 0,
+                valid_bytes: 0,
+                error: Some(e),
+            }
+        }
+    };
+    let mut pos = header.payload_start;
+    let mut icount = 0u64;
+    let mut events = 0u64;
+    let mut error = None;
+    while pos < bytes.len() {
+        let at = pos;
+        match decode_one(bytes, &mut pos) {
+            Ok((delta, event)) => match icount.checked_add(delta) {
+                Some(next) => {
+                    icount = next;
+                    for obs in observers.iter_mut() {
+                        obs.on_event(icount, &event);
+                    }
+                    events += 1;
+                }
+                None => {
+                    pos = at;
+                    error = Some(DecodeError::Overflow { offset: at });
+                    break;
+                }
+            },
+            Err(e) => {
+                pos = at;
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    if error.is_none() {
+        if let Some((declared_events, payload_len, checksum)) = header.declared {
+            let payload = &bytes[header.payload_start..];
+            let actual = fnv1a64(payload);
+            if payload_len != payload.len() as u64 {
+                error = Some(DecodeError::LengthMismatch {
+                    declared: payload_len,
+                    actual: payload.len() as u64,
+                });
+            } else if actual != checksum {
+                error = Some(DecodeError::ChecksumMismatch {
+                    expected: checksum,
+                    actual,
+                });
+            } else if events != declared_events {
+                error = Some(DecodeError::EventCountMismatch {
+                    declared: declared_events,
+                    actual: events,
+                });
+            }
+        }
+    }
+    ReplayReport {
+        events,
+        valid_bytes: pos,
+        error,
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +626,17 @@ mod tests {
         });
         b.proc("f", |p| p.block(7).done());
         b.build("main").unwrap()
+    }
+
+    fn sample_trace(seed: u64) -> Vec<u8> {
+        let mut recorder = TraceRecorder::new();
+        run(
+            &sample_program(),
+            &Input::new("x", seed),
+            &mut [&mut recorder],
+        )
+        .unwrap();
+        recorder.into_bytes()
     }
 
     #[test]
@@ -344,27 +688,130 @@ mod tests {
     }
 
     #[test]
-    fn decode_errors() {
+    fn decode_errors_carry_offsets() {
         assert_eq!(replay(b"nope", &mut []), Err(DecodeError::BadMagic));
-        let mut bad = MAGIC.to_vec();
-        bad.push(99); // unknown tag
+        assert_eq!(
+            replay(b"spmtrc99", &mut []),
+            Err(DecodeError::UnsupportedVersion { version: *b"99" })
+        );
+        // Raw-payload errors via the headerless v1 format.
+        let mut bad = MAGIC_V1.to_vec();
+        bad.push(99); // unknown tag at offset 8
         bad.push(0); // delta
-        assert_eq!(replay(&bad, &mut []), Err(DecodeError::BadTag(99)));
-        let mut trunc = MAGIC.to_vec();
+        assert_eq!(
+            replay(&bad, &mut []),
+            Err(DecodeError::BadTag { tag: 99, offset: 8 })
+        );
+        let mut trunc = MAGIC_V1.to_vec();
         trunc.push(tag::BLOCK);
         trunc.push(0);
-        assert_eq!(replay(&trunc, &mut []), Err(DecodeError::Truncated));
+        assert_eq!(
+            replay(&trunc, &mut []),
+            Err(DecodeError::Truncated { offset: 10 })
+        );
         // Varint overflow: 11 continuation bytes.
-        let mut over = MAGIC.to_vec();
+        let mut over = MAGIC_V1.to_vec();
         over.push(tag::FINISH);
         over.extend([0xff; 10]);
         over.push(0x01);
-        assert_eq!(replay(&over, &mut []), Err(DecodeError::Overflow));
+        assert_eq!(
+            replay(&over, &mut []),
+            Err(DecodeError::Overflow { offset: 19 })
+        );
     }
 
     #[test]
-    fn empty_trace_replays_zero_events() {
-        assert_eq!(replay(MAGIC, &mut []), Ok(0));
+    fn empty_traces_replay_zero_events() {
+        // Both the legacy headerless form and an empty v2 recording.
+        assert_eq!(replay(MAGIC_V1, &mut []), Ok(0));
+        assert_eq!(replay(&TraceRecorder::new().into_bytes(), &mut []), Ok(0));
+    }
+
+    #[test]
+    fn v1_traces_are_still_accepted() {
+        let trace = sample_trace(9);
+        let mut legacy = MAGIC_V1.to_vec();
+        legacy.extend_from_slice(&trace[HEADER_LEN..]); // same payload encoding
+        let mut a = Collector::default();
+        let mut b = Collector::default();
+        let n2 = replay(&trace, &mut [&mut a]).unwrap();
+        let n1 = replay(&legacy, &mut [&mut b]).unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bit_flip_is_a_checksum_mismatch() {
+        let mut trace = sample_trace(4);
+        let mid = HEADER_LEN + (trace.len() - HEADER_LEN) / 2;
+        trace[mid] ^= 0x40;
+        let mut sink = Collector::default();
+        let err = replay(&trace, &mut [&mut sink]).unwrap_err();
+        assert!(
+            matches!(err, DecodeError::ChecksumMismatch { .. }),
+            "got {err:?}"
+        );
+        assert!(
+            sink.0.is_empty(),
+            "no events may leak past a failed checksum"
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_length_mismatch() {
+        let trace = sample_trace(4);
+        let cut = &trace[..trace.len() - 7];
+        let err = replay(cut, &mut []).unwrap_err();
+        assert!(
+            matches!(err, DecodeError::LengthMismatch { .. }),
+            "got {err:?}"
+        );
+        // Truncation inside the header is reported as truncation.
+        let err = replay(&trace[..HEADER_LEN - 4], &mut []).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::Truncated {
+                offset: HEADER_LEN - 4
+            }
+        );
+    }
+
+    #[test]
+    fn replay_prefix_recovers_valid_prefix_of_truncated_trace() {
+        let trace = sample_trace(12);
+        let mut full = Collector::default();
+        let total = replay(&trace, &mut [&mut full]).unwrap();
+
+        let cut = trace.len() - (trace.len() - HEADER_LEN) / 3;
+        let mut partial = Collector::default();
+        let report = replay_prefix(&trace[..cut], &mut [&mut partial]);
+        assert!(report.events > 0, "a long prefix must survive");
+        assert!(report.events < total);
+        assert!(report.valid_bytes <= cut);
+        assert!(report.error.is_some(), "truncation must be reported");
+        // The delivered prefix matches the true event stream.
+        assert_eq!(partial.0[..], full.0[..report.events as usize]);
+    }
+
+    #[test]
+    fn replay_prefix_on_intact_trace_reports_no_error() {
+        let trace = sample_trace(5);
+        let mut sink = Collector::default();
+        let report = replay_prefix(&trace, &mut [&mut sink]);
+        assert_eq!(report.error, None);
+        assert_eq!(report.valid_bytes, trace.len());
+        assert_eq!(report.events, sink.0.len() as u64);
+    }
+
+    #[test]
+    fn replay_prefix_reports_bit_flips_after_delivering() {
+        let mut trace = sample_trace(6);
+        let last = trace.len() - 1;
+        trace[last] ^= 0x01;
+        let report = replay_prefix(&trace, &mut []);
+        // The flip may or may not break event framing; either way the
+        // damage is reported.
+        assert!(report.error.is_some(), "got {report:?}");
     }
 
     proptest! {
@@ -395,6 +842,20 @@ mod tests {
             let mut replayed = Collector::default();
             replay(&recorder.into_bytes(), &mut [&mut replayed]).unwrap();
             prop_assert_eq!(replayed, live);
+        }
+
+        #[test]
+        fn truncating_anywhere_never_panics(seed in 0u64..30, cut_frac in 0.0f64..1.0) {
+            let trace = sample_trace(seed);
+            let cut = HEADER_LEN.min(trace.len())
+                + ((trace.len().saturating_sub(HEADER_LEN)) as f64 * cut_frac) as usize;
+            let cut = cut.min(trace.len());
+            let mut sink = Collector::default();
+            // Strict replay: typed error or clean success, never a panic.
+            let _ = replay(&trace[..cut], &mut [&mut sink]);
+            // Prefix replay: always a report.
+            let report = replay_prefix(&trace[..cut], &mut [&mut Collector::default()]);
+            prop_assert!(report.valid_bytes <= cut);
         }
     }
 }

@@ -125,7 +125,11 @@ impl Timeline {
             }
         };
         let span = hi.instrs.saturating_sub(lo.instrs);
-        let frac = if span == 0 { 0.0 } else { (x - lo.instrs) as f64 / span as f64 };
+        let frac = if span == 0 {
+            0.0
+        } else {
+            (x - lo.instrs) as f64 / span as f64
+        };
         let lerp = |a: f64, b: f64| a + frac * (b - a);
         Cum {
             cycles: lerp(lo.cycles, hi.cycles),
@@ -162,15 +166,19 @@ impl Timeline {
 
     /// DL1 misses over the instruction range.
     pub fn misses(&self, range: Range<u64>) -> f64 {
-        let (c0, c1) =
-            (self.cumulative(range.start), self.cumulative(range.end.max(range.start)));
+        let (c0, c1) = (
+            self.cumulative(range.start),
+            self.cumulative(range.end.max(range.start)),
+        );
         c1.misses - c0.misses
     }
 
     /// DL1 accesses over the instruction range.
     pub fn accesses(&self, range: Range<u64>) -> f64 {
-        let (c0, c1) =
-            (self.cumulative(range.start), self.cumulative(range.end.max(range.start)));
+        let (c0, c1) = (
+            self.cumulative(range.start),
+            self.cumulative(range.end.max(range.start)),
+        );
         c1.accesses - c0.accesses
     }
 
@@ -242,8 +250,7 @@ mod tests {
         });
         let program = b.build("main").unwrap();
         let mut timeline = Timeline::with_defaults(500);
-        let summary =
-            crate::run(&program, &Input::new("x", 11), &mut [&mut timeline]).unwrap();
+        let summary = crate::run(&program, &Input::new("x", 11), &mut [&mut timeline]).unwrap();
         (timeline, summary.instrs)
     }
 
@@ -253,7 +260,10 @@ mod tests {
         assert_eq!(total, 100_000);
         let a_cpi = timeline.cpi(0..50_000);
         let b_cpi = timeline.cpi(50_000..100_000);
-        assert!(a_cpi < b_cpi, "memory phase must be slower: {a_cpi} vs {b_cpi}");
+        assert!(
+            a_cpi < b_cpi,
+            "memory phase must be slower: {a_cpi} vs {b_cpi}"
+        );
         let a_miss = timeline.miss_rate(0..50_000);
         let b_miss = timeline.miss_rate(50_000..100_000);
         assert!(b_miss > a_miss + 0.1, "miss rates: {a_miss} vs {b_miss}");

@@ -236,32 +236,38 @@ impl Default for TimingModel {
 impl TraceObserver for TimingModel {
     fn on_event(&mut self, _icount: u64, event: &TraceEvent) {
         match *event {
-            TraceEvent::BlockExec { block, instrs, base_cpi } => {
+            TraceEvent::BlockExec {
+                block,
+                instrs,
+                base_cpi,
+            } => {
                 self.instrs += instrs as u64;
                 self.cycles += instrs as f64 * base_cpi;
-                if self.il1.is_some() {
+                if let Some(il1_config) = self.config.il1 {
                     let base = self.block_addr(block.index(), instrs);
                     let bytes = u64::from(instrs) * BYTES_PER_INSTR;
-                    let line = u64::from(self.config.il1.expect("il1 on").block_bytes);
-                    let il1 = self.il1.as_mut().expect("il1 on");
-                    let mut addr = base;
-                    while addr < base + bytes {
-                        if !il1.access(addr, false) {
-                            self.cycles += self.config.il1_miss_penalty;
+                    // A zero line size (corrupted config) must not hang
+                    // the walk below.
+                    let line = u64::from(il1_config.block_bytes).max(1);
+                    if let Some(il1) = self.il1.as_mut() {
+                        let mut addr = base;
+                        while addr < base + bytes {
+                            if !il1.access(addr, false) {
+                                self.cycles += self.config.il1_miss_penalty;
+                            }
+                            addr += line;
                         }
-                        addr += line;
                     }
                 }
             }
-            TraceEvent::MemAccess { addr, write }
-                if !self.dl1.access(addr, write) => {
-                    self.cycles += self.config.miss_penalty;
-                    if let Some(l2) = self.l2.as_mut() {
-                        if !l2.access(addr, write) {
-                            self.cycles += self.config.l2_miss_penalty;
-                        }
+            TraceEvent::MemAccess { addr, write } if !self.dl1.access(addr, write) => {
+                self.cycles += self.config.miss_penalty;
+                if let Some(l2) = self.l2.as_mut() {
+                    if !l2.access(addr, write) {
+                        self.cycles += self.config.l2_miss_penalty;
                     }
                 }
+            }
             TraceEvent::Branch { branch, taken } => {
                 self.branches += 1;
                 if !self.predict_and_update(branch.index(), taken) {
@@ -283,11 +289,14 @@ mod tests {
     fn pure_compute_cpi_equals_base_cpi() {
         let mut t = TimingModel::default();
         for _ in 0..10 {
-            t.on_event(0, &TraceEvent::BlockExec {
-                block: spm_ir::BlockId(0),
-                instrs: 100,
-                base_cpi: 1.5,
-            });
+            t.on_event(
+                0,
+                &TraceEvent::BlockExec {
+                    block: spm_ir::BlockId(0),
+                    instrs: 100,
+                    base_cpi: 1.5,
+                },
+            );
         }
         assert_eq!(t.instrs(), 1000);
         assert!((t.cpi() - 1.5).abs() < 1e-12);
@@ -296,14 +305,29 @@ mod tests {
     #[test]
     fn misses_add_penalty() {
         let mut t = TimingModel::default();
-        t.on_event(0, &TraceEvent::BlockExec {
-            block: spm_ir::BlockId(0),
-            instrs: 100,
-            base_cpi: 1.0,
-        });
+        t.on_event(
+            0,
+            &TraceEvent::BlockExec {
+                block: spm_ir::BlockId(0),
+                instrs: 100,
+                base_cpi: 1.0,
+            },
+        );
         // Two accesses to distinct far-apart lines: both miss.
-        t.on_event(0, &TraceEvent::MemAccess { addr: 0, write: false });
-        t.on_event(0, &TraceEvent::MemAccess { addr: 1 << 24, write: false });
+        t.on_event(
+            0,
+            &TraceEvent::MemAccess {
+                addr: 0,
+                write: false,
+            },
+        );
+        t.on_event(
+            0,
+            &TraceEvent::MemAccess {
+                addr: 1 << 24,
+                write: false,
+            },
+        );
         assert_eq!(t.dl1_misses(), 2);
         assert!((t.cycles() - (100.0 + 40.0)).abs() < 1e-12);
     }
@@ -313,7 +337,13 @@ mod tests {
         let mut t = TimingModel::default();
         let br = BranchId(0);
         for _ in 0..100 {
-            t.on_event(0, &TraceEvent::Branch { branch: br, taken: true });
+            t.on_event(
+                0,
+                &TraceEvent::Branch {
+                    branch: br,
+                    taken: true,
+                },
+            );
         }
         // First one or two may mispredict while the counter saturates.
         assert!(t.mispredicts() <= 2, "mispredicts = {}", t.mispredicts());
@@ -325,7 +355,13 @@ mod tests {
         let mut t = TimingModel::default();
         let br = BranchId(3);
         for i in 0..100 {
-            t.on_event(0, &TraceEvent::Branch { branch: br, taken: i % 2 == 0 });
+            t.on_event(
+                0,
+                &TraceEvent::Branch {
+                    branch: br,
+                    taken: i % 2 == 0,
+                },
+            );
         }
         assert!(t.mispredicts() >= 40, "alternating should mispredict often");
     }
@@ -336,11 +372,14 @@ mod tests {
         // One 100-instruction block executed repeatedly: misses only on
         // the first pass (100 * 4 bytes = 7 lines).
         for _ in 0..50 {
-            t.on_event(0, &TraceEvent::BlockExec {
-                block: spm_ir::BlockId(0),
-                instrs: 100,
-                base_cpi: 1.0,
-            });
+            t.on_event(
+                0,
+                &TraceEvent::BlockExec {
+                    block: spm_ir::BlockId(0),
+                    instrs: 100,
+                    base_cpi: 1.0,
+                },
+            );
         }
         assert_eq!(t.il1_misses(), 7, "only cold fetch misses");
         assert!(t.il1_miss_rate() < 0.03);
@@ -356,11 +395,14 @@ mod tests {
         let blocks = 1200u32; // 1200 blocks x 64 instrs x 4B = 300KB
         for _ in 0..3 {
             for b in 0..blocks {
-                t.on_event(0, &TraceEvent::BlockExec {
-                    block: spm_ir::BlockId(b),
-                    instrs: 64,
-                    base_cpi: 1.0,
-                });
+                t.on_event(
+                    0,
+                    &TraceEvent::BlockExec {
+                        block: spm_ir::BlockId(b),
+                        instrs: 64,
+                        base_cpi: 1.0,
+                    },
+                );
             }
         }
         assert!(t.il1_miss_rate() > 0.9, "rate {}", t.il1_miss_rate());
@@ -375,7 +417,13 @@ mod tests {
             let mut t = TimingModel::new(config);
             for _ in 0..4 {
                 for &a in &addrs {
-                    t.on_event(0, &TraceEvent::MemAccess { addr: a, write: false });
+                    t.on_event(
+                        0,
+                        &TraceEvent::MemAccess {
+                            addr: a,
+                            write: false,
+                        },
+                    );
                 }
             }
             t
@@ -392,13 +440,22 @@ mod tests {
         );
         // Cost ordering: without an L2 every DL1 miss is cheap-flat; with
         // an L2, only cold misses pay the big penalty.
-        assert!(with.cycles() > without.cycles(), "L2 config charges memory misses more");
+        assert!(
+            with.cycles() > without.cycles(),
+            "L2 config charges memory misses more"
+        );
     }
 
     #[test]
     fn l2_disabled_by_default() {
         let mut t = TimingModel::default();
-        t.on_event(0, &TraceEvent::MemAccess { addr: 0, write: false });
+        t.on_event(
+            0,
+            &TraceEvent::MemAccess {
+                addr: 0,
+                write: false,
+            },
+        );
         assert_eq!(t.l2_misses(), 0);
         assert_eq!(t.l2_miss_rate(), 0.0);
     }
@@ -406,14 +463,20 @@ mod tests {
     #[test]
     fn il1_disabled_by_default() {
         let mut t = TimingModel::default();
-        t.on_event(0, &TraceEvent::BlockExec {
-            block: spm_ir::BlockId(0),
-            instrs: 100,
-            base_cpi: 1.0,
-        });
+        t.on_event(
+            0,
+            &TraceEvent::BlockExec {
+                block: spm_ir::BlockId(0),
+                instrs: 100,
+                base_cpi: 1.0,
+            },
+        );
         assert_eq!(t.il1_misses(), 0);
         assert_eq!(t.il1_miss_rate(), 0.0);
-        assert!((t.cycles() - 100.0).abs() < 1e-12, "no fetch penalty when off");
+        assert!(
+            (t.cycles() - 100.0).abs() < 1e-12,
+            "no fetch penalty when off"
+        );
     }
 
     #[test]

@@ -63,14 +63,22 @@ pub fn filter_top(simpoints: &SimPoints, fraction: f64) -> SimPoints {
         kept.push(simpoints.clusters[c]);
         covered += simpoints.clusters[c].weight;
     }
-    SimPoints { k: kept.len(), assignments: simpoints.assignments.clone(), clusters: kept }
+    SimPoints {
+        k: kept.len(),
+        assignments: simpoints.assignments.clone(),
+        clusters: kept,
+    }
 }
 
 /// Total execution weight that must be simulated: the sum of the
 /// representatives' interval lengths (in the same unit as `weights`,
 /// i.e. instructions).
 pub fn simulated_weight(weights: &[f64], simpoints: &SimPoints) -> f64 {
-    simpoints.clusters.iter().map(|c| weights[c.representative]).sum()
+    simpoints
+        .clusters
+        .iter()
+        .map(|c| weights[c.representative])
+        .sum()
 }
 
 /// Per-cluster weighted CoV of a metric: how homogeneous each phase is
@@ -116,9 +124,18 @@ mod tests {
             k: 3,
             assignments: vec![0, 0, 1, 2, 2, 2],
             clusters: vec![
-                ClusterInfo { representative: 0, weight: 0.3 },
-                ClusterInfo { representative: 2, weight: 0.1 },
-                ClusterInfo { representative: 4, weight: 0.6 },
+                ClusterInfo {
+                    representative: 0,
+                    weight: 0.3,
+                },
+                ClusterInfo {
+                    representative: 2,
+                    weight: 0.1,
+                },
+                ClusterInfo {
+                    representative: 4,
+                    weight: 0.6,
+                },
             ],
         }
     }
@@ -140,9 +157,18 @@ mod tests {
             k: 3,
             assignments: vec![0, 0, 1, 2, 2, 2],
             clusters: vec![
-                ClusterInfo { representative: 0, weight: 0.3 },
-                ClusterInfo { representative: 2, weight: 0.1 },
-                ClusterInfo { representative: 3, weight: 0.6 },
+                ClusterInfo {
+                    representative: 0,
+                    weight: 0.3,
+                },
+                ClusterInfo {
+                    representative: 2,
+                    weight: 0.1,
+                },
+                ClusterInfo {
+                    representative: 3,
+                    weight: 0.6,
+                },
             ],
         };
         let truth = true_weighted_mean(&values, &weights);

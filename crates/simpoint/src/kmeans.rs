@@ -35,6 +35,55 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
+/// Errors from [`kmeans`]: input shapes a clustering cannot be defined
+/// on. (Degenerate *values* — non-finite coordinates or weights — are
+/// sanitized, not errors; see [`kmeans`].)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KmeansError {
+    /// No points to cluster (an empty BBV set).
+    NoPoints,
+    /// `points` and `weights` lengths disagree.
+    WeightCountMismatch {
+        /// Number of points.
+        points: usize,
+        /// Number of weights.
+        weights: usize,
+    },
+    /// `k` was zero.
+    ZeroK,
+    /// A point's dimensionality differs from the first point's.
+    DimensionMismatch {
+        /// Index of the offending point.
+        index: usize,
+        /// Dimensionality of the first point.
+        expected: usize,
+        /// Dimensionality found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for KmeansError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KmeansError::NoPoints => write!(f, "kmeans needs at least one point"),
+            KmeansError::WeightCountMismatch { points, weights } => {
+                write!(f, "{points} points but {weights} weights")
+            }
+            KmeansError::ZeroK => write!(f, "k must be at least 1"),
+            KmeansError::DimensionMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "point {index} has {found} dimensions, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KmeansError {}
+
 /// Weighted Lloyd's algorithm with k-means++ initialization.
 ///
 /// `points` are the (projected) interval vectors; `weights` are the
@@ -42,16 +91,73 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 /// pass uniform weights for classic SimPoint 2.0). Runs until the
 /// assignment is stable or 100 iterations. Deterministic in `seed`.
 ///
-/// # Panics
+/// Degenerate inputs are tolerated rather than fatal: `k` is clamped to
+/// the number of points, any dimension containing a non-finite
+/// coordinate in *any* point is zeroed across all points (it carries no
+/// usable distance information), and non-finite or negative weights are
+/// treated as zero.
 ///
-/// Panics if `points` is empty, lengths differ, or `k` is zero.
-pub fn kmeans(points: &[Vec<f64>], weights: &[f64], k: usize, seed: u64) -> Clustering {
-    assert!(!points.is_empty(), "kmeans needs at least one point");
-    assert_eq!(points.len(), weights.len(), "one weight per point");
-    assert!(k >= 1, "k must be at least 1");
+/// # Errors
+///
+/// Returns a [`KmeansError`] when `points` is empty, the `weights`
+/// length disagrees, the points are ragged, or `k` is zero.
+pub fn kmeans(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    seed: u64,
+) -> Result<Clustering, KmeansError> {
+    if points.is_empty() {
+        return Err(KmeansError::NoPoints);
+    }
+    if points.len() != weights.len() {
+        return Err(KmeansError::WeightCountMismatch {
+            points: points.len(),
+            weights: weights.len(),
+        });
+    }
+    if k == 0 {
+        return Err(KmeansError::ZeroK);
+    }
+    let d = points[0].len();
+    for (i, p) in points.iter().enumerate() {
+        if p.len() != d {
+            return Err(KmeansError::DimensionMismatch {
+                index: i,
+                expected: d,
+                found: p.len(),
+            });
+        }
+    }
+    let k = k.min(points.len());
+    let bad_dim: Vec<bool> = (0..d)
+        .map(|j| points.iter().any(|p| !p[j].is_finite()))
+        .collect();
+    let bad_weight = weights.iter().any(|w| !w.is_finite() || *w < 0.0);
+    if bad_weight || bad_dim.iter().any(|&b| b) {
+        let pts: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .enumerate()
+                    .map(|(j, &x)| if bad_dim[j] { 0.0 } else { x })
+                    .collect()
+            })
+            .collect();
+        let ws: Vec<f64> = weights
+            .iter()
+            .map(|&w| if w.is_finite() && w >= 0.0 { w } else { 0.0 })
+            .collect();
+        Ok(kmeans_unchecked(&pts, &ws, k, seed))
+    } else {
+        Ok(kmeans_unchecked(points, weights, k, seed))
+    }
+}
+
+/// The algorithm proper; inputs already validated and sanitized.
+fn kmeans_unchecked(points: &[Vec<f64>], weights: &[f64], k: usize, seed: u64) -> Clustering {
     let n = points.len();
     let d = points[0].len();
-    let k = k.min(n);
     let mut rng = SmallRng::seed_from_u64(seed);
 
     // k-means++ seeding (weighted by point weight * squared distance).
@@ -69,8 +175,9 @@ pub fn kmeans(points: &[Vec<f64>], weights: &[f64], k: usize, seed: u64) -> Clus
             weighted_sample(&mut rng, &scores)
         };
         centroids.push(points[next].clone());
+        let newest = centroids.len() - 1;
         for (i, p) in points.iter().enumerate() {
-            d2[i] = d2[i].min(sq_dist(p, centroids.last().unwrap()));
+            d2[i] = d2[i].min(sq_dist(p, &centroids[newest]));
         }
     }
 
@@ -135,7 +242,11 @@ pub fn kmeans(points: &[Vec<f64>], weights: &[f64], k: usize, seed: u64) -> Clus
         .enumerate()
         .map(|(i, p)| weights[i] * sq_dist(p, &centroids[assignments[i]]))
         .sum();
-    Clustering { assignments, centroids, distortion }
+    Clustering {
+        assignments,
+        centroids,
+        distortion,
+    }
 }
 
 /// Samples an index proportionally to the given non-negative scores.
@@ -183,8 +294,7 @@ pub fn bic(clustering: &Clustering, points: &[Vec<f64>], weights: &[f64]) -> f64
     }
     // Variance estimate from the (weight-scaled) distortion.
     let sigma2 = (clustering.distortion / total_w * n / (d * (n - k))).max(1e-12);
-    let mut log_l = -(n * d / 2.0) * (2.0 * std::f64::consts::PI * sigma2).ln()
-        - d * (n - k) / 2.0;
+    let mut log_l = -(n * d / 2.0) * (2.0 * std::f64::consts::PI * sigma2).ln() - d * (n - k) / 2.0;
     for &ni in &n_i {
         if ni > 0.0 {
             log_l += ni * (ni / n).ln();
@@ -218,7 +328,7 @@ mod tests {
     fn separates_clear_blobs() {
         let points = blobs(20, &[(0.0, 0.0), (10.0, 10.0)], 0.5, 1);
         let weights = vec![1.0; points.len()];
-        let c = kmeans(&points, &weights, 2, 7);
+        let c = kmeans(&points, &weights, 2, 7).unwrap();
         // All of blob 1 in one cluster, all of blob 2 in the other.
         let first = c.assignments[0];
         assert!(c.assignments[..20].iter().all(|&a| a == first));
@@ -230,7 +340,7 @@ mod tests {
     fn k_one_centroid_is_weighted_mean() {
         let points = vec![vec![0.0], vec![10.0]];
         let weights = vec![3.0, 1.0];
-        let c = kmeans(&points, &weights, 1, 0);
+        let c = kmeans(&points, &weights, 1, 0).unwrap();
         assert!((c.centroids[0][0] - 2.5).abs() < 1e-9);
     }
 
@@ -238,7 +348,7 @@ mod tests {
     fn k_clamped_to_n() {
         let points = vec![vec![0.0], vec![1.0]];
         let weights = vec![1.0, 1.0];
-        let c = kmeans(&points, &weights, 10, 0);
+        let c = kmeans(&points, &weights, 10, 0).unwrap();
         assert!(c.k() <= 2);
         assert!(c.distortion < 1e-9);
     }
@@ -247,8 +357,8 @@ mod tests {
     fn deterministic_in_seed() {
         let points = blobs(15, &[(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)], 1.0, 3);
         let weights = vec![1.0; points.len()];
-        let a = kmeans(&points, &weights, 3, 11);
-        let b = kmeans(&points, &weights, 3, 11);
+        let a = kmeans(&points, &weights, 3, 11).unwrap();
+        let b = kmeans(&points, &weights, 3, 11).unwrap();
         assert_eq!(a, b);
     }
 
@@ -256,7 +366,7 @@ mod tests {
     fn heavy_weight_pulls_centroid() {
         let points = vec![vec![0.0], vec![1.0], vec![100.0]];
         let weights = vec![1.0, 1.0, 1000.0];
-        let c = kmeans(&points, &weights, 1, 2);
+        let c = kmeans(&points, &weights, 1, 2).unwrap();
         assert!(c.centroids[0][0] > 90.0, "heavy point dominates the mean");
     }
 
@@ -266,7 +376,7 @@ mod tests {
         let weights = vec![1.0; points.len()];
         let scores: Vec<f64> = (1..=6)
             .map(|k| {
-                let c = kmeans(&points, &weights, k, 13);
+                let c = kmeans(&points, &weights, k, 13).unwrap();
                 bic(&c, &points, &weights)
             })
             .collect();
@@ -277,16 +387,84 @@ mod tests {
             .unwrap()
             .0
             + 1;
-        assert!((3..=4).contains(&best_k), "BIC best k = {best_k}, scores {scores:?}");
+        assert!(
+            (3..=4).contains(&best_k),
+            "BIC best k = {best_k}, scores {scores:?}"
+        );
         // And k=3 must beat k=1 decisively.
         assert!(scores[2] > scores[0]);
+    }
+
+    #[test]
+    fn shape_errors_are_typed() {
+        assert_eq!(kmeans(&[], &[], 2, 0), Err(KmeansError::NoPoints));
+        assert_eq!(
+            kmeans(&[vec![0.0]], &[1.0, 2.0], 1, 0),
+            Err(KmeansError::WeightCountMismatch {
+                points: 1,
+                weights: 2
+            })
+        );
+        assert_eq!(kmeans(&[vec![0.0]], &[1.0], 0, 0), Err(KmeansError::ZeroK));
+        assert_eq!(
+            kmeans(&[vec![0.0, 1.0], vec![0.0]], &[1.0, 1.0], 1, 0),
+            Err(KmeansError::DimensionMismatch {
+                index: 1,
+                expected: 2,
+                found: 1
+            })
+        );
+        for e in [
+            KmeansError::NoPoints,
+            KmeansError::WeightCountMismatch {
+                points: 1,
+                weights: 2,
+            },
+            KmeansError::ZeroK,
+            KmeansError::DimensionMismatch {
+                index: 1,
+                expected: 2,
+                found: 1,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn nan_dimension_is_ignored_not_fatal() {
+        // Dim 1 carries NaN for one point: it must be zeroed for all,
+        // and clustering driven by dim 0 alone.
+        let points = vec![
+            vec![0.0, f64::NAN],
+            vec![0.1, 5.0],
+            vec![10.0, -3.0],
+            vec![10.1, 2.0],
+        ];
+        let weights = vec![1.0; 4];
+        let c = kmeans(&points, &weights, 2, 3).unwrap();
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[2], c.assignments[3]);
+        assert_ne!(c.assignments[0], c.assignments[2]);
+        assert!(c.centroids.iter().flatten().all(|x| x.is_finite()));
+        assert!(c.distortion.is_finite());
+    }
+
+    #[test]
+    fn non_finite_weights_are_treated_as_zero() {
+        let points = vec![vec![0.0], vec![1.0], vec![100.0]];
+        let weights = vec![1.0, 1.0, f64::NAN];
+        let c = kmeans(&points, &weights, 1, 2).unwrap();
+        // The NaN-weighted outlier must not drag the centroid.
+        assert!(c.centroids[0][0] < 50.0, "centroid {}", c.centroids[0][0]);
+        assert!(c.distortion.is_finite());
     }
 
     #[test]
     fn cluster_weights_sum_to_total() {
         let points = blobs(10, &[(0.0, 0.0), (9.0, 9.0)], 0.4, 8);
         let weights: Vec<f64> = (0..points.len()).map(|i| 1.0 + i as f64).collect();
-        let c = kmeans(&points, &weights, 2, 4);
+        let c = kmeans(&points, &weights, 2, 4).unwrap();
         let cw = c.cluster_weights(&weights);
         let total: f64 = weights.iter().sum();
         assert!((cw.iter().sum::<f64>() - total).abs() < 1e-9);
@@ -301,8 +479,8 @@ mod tests {
             let weights = vec![1.0; points.len()];
             // Not strictly guaranteed for single runs of Lloyd, but with
             // k-means++ on these blobs larger k should never be much worse.
-            let d2 = kmeans(&points, &weights, 2, seed).distortion;
-            let d6 = kmeans(&points, &weights, 6, seed).distortion;
+            let d2 = kmeans(&points, &weights, 2, seed).unwrap().distortion;
+            let d6 = kmeans(&points, &weights, 6, seed).unwrap().distortion;
             prop_assert!(d6 <= d2 * 1.5 + 1e-9, "d2={d2}, d6={d6}");
         }
 
@@ -310,7 +488,7 @@ mod tests {
         fn assignments_pick_nearest_centroid(seed in 0u64..200) {
             let points = blobs(8, &[(0.0, 0.0), (10.0, 10.0)], 1.0, seed);
             let weights = vec![1.0; points.len()];
-            let c = kmeans(&points, &weights, 2, seed);
+            let c = kmeans(&points, &weights, 2, seed).unwrap();
             for (i, p) in points.iter().enumerate() {
                 let assigned = sq_dist(p, &c.centroids[c.assignments[i]]);
                 for centroid in &c.centroids {

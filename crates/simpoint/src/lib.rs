@@ -30,7 +30,7 @@
 //!     vec![0.1, 0.9],
 //! ];
 //! let weights = vec![1.0; 4];
-//! let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(3, 2, 42));
+//! let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(3, 2, 42)).unwrap();
 //! assert_eq!(sp.k, 2);
 //! assert_eq!(sp.assignments[0], sp.assignments[1]);
 //! assert_ne!(sp.assignments[0], sp.assignments[2]);
@@ -47,5 +47,5 @@ pub use estimate::{
     cluster_covs, error_bound, estimate, filter_top, relative_error, simulated_weight,
     true_weighted_mean,
 };
-pub use kmeans::{bic, kmeans, Clustering};
+pub use kmeans::{bic, kmeans, Clustering, KmeansError};
 pub use points::{pick_simpoints, ClusterInfo, RepresentativePolicy, SimPointConfig, SimPoints};

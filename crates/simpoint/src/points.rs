@@ -1,6 +1,6 @@
 //! Choosing the number of phases and the simulation points.
 
-use crate::kmeans::{bic, kmeans, Clustering};
+use crate::kmeans::{bic, kmeans, Clustering, KmeansError};
 use spm_bbv::{euclidean, project};
 
 /// How the simulation point (representative interval) of a cluster is
@@ -42,7 +42,13 @@ impl SimPointConfig {
     /// Creates a configuration with the standard 0.9 BIC fraction and
     /// the median-nearest representative policy.
     pub fn new(kmax: usize, dims: usize, seed: u64) -> Self {
-        Self { kmax, dims, seed, bic_fraction: 0.9, policy: RepresentativePolicy::MedianNearest }
+        Self {
+            kmax,
+            dims,
+            seed,
+            bic_fraction: 0.9,
+            policy: RepresentativePolicy::MedianNearest,
+        }
     }
 
     /// Switches to early simulation points with the given distance
@@ -104,25 +110,36 @@ fn k_schedule(kmax: usize, n: usize) -> Vec<usize> {
 /// selects the smallest sufficient `k`, and each cluster's simulation
 /// point is the interval closest to the centroid.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `vectors` is empty or lengths disagree with `weights`.
+/// Returns a [`KmeansError`] when `vectors` is empty, lengths disagree
+/// with `weights`, or the vectors are ragged.
 pub fn pick_simpoints(
     vectors: &[Vec<f64>],
     weights: &[f64],
     config: &SimPointConfig,
-) -> SimPoints {
-    assert!(!vectors.is_empty(), "need at least one interval");
-    assert_eq!(vectors.len(), weights.len());
+) -> Result<SimPoints, KmeansError> {
+    if vectors.is_empty() {
+        return Err(KmeansError::NoPoints);
+    }
     let projected = project(vectors, config.dims, config.seed);
 
     let mut scored: Vec<(usize, Clustering, f64)> = Vec::new();
     for k in k_schedule(config.kmax, vectors.len()) {
-        let c = kmeans(&projected, weights, k, config.seed ^ (k as u64).wrapping_mul(0x9e37));
+        let c = kmeans(
+            &projected,
+            weights,
+            k,
+            config.seed ^ (k as u64).wrapping_mul(0x9e37),
+        )?;
         let score = bic(&c, &projected, weights);
         scored.push((k, c, score));
     }
-    let finite: Vec<f64> = scored.iter().map(|s| s.2).filter(|s| s.is_finite()).collect();
+    let finite: Vec<f64> = scored
+        .iter()
+        .map(|s| s.2)
+        .filter(|s| s.is_finite())
+        .collect();
     let max_bic = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min_bic = finite.iter().cloned().fold(f64::INFINITY, f64::min);
     let threshold = if finite.is_empty() || max_bic == min_bic {
@@ -132,15 +149,20 @@ pub fn pick_simpoints(
     };
     // `scored` is in increasing k; pick the smallest k meeting the
     // threshold (with a -inf threshold, that is k = 1).
-    let clustering = scored
-        .into_iter()
-        .find(|(_, _, score)| *score >= threshold)
-        .map(|(_, c, _)| c)
-        .unwrap_or_else(|| kmeans(&projected, weights, 1, config.seed));
+    let clustering = match scored.into_iter().find(|(_, _, score)| *score >= threshold) {
+        Some((_, c, _)) => c,
+        None => kmeans(&projected, weights, 1, config.seed)?,
+    };
 
     let total_w: f64 = weights.iter().sum();
     let k = clustering.k();
-    let mut clusters = vec![ClusterInfo { representative: usize::MAX, weight: 0.0 }; k];
+    let mut clusters = vec![
+        ClusterInfo {
+            representative: usize::MAX,
+            weight: 0.0
+        };
+        k
+    ];
     let mut best_dist = vec![f64::INFINITY; k];
     for (i, p) in projected.iter().enumerate() {
         let c = clustering.assignments[i];
@@ -171,8 +193,7 @@ pub fn pick_simpoints(
             .iter()
             .enumerate()
             .filter(|&(i, p)| {
-                clustering.assignments[i] == c
-                    && euclidean(p, &clustering.centroids[c]) <= limit
+                clustering.assignments[i] == c && euclidean(p, &clustering.centroids[c]) <= limit
             })
             .map(|(i, _)| i)
             .collect();
@@ -194,7 +215,11 @@ pub fn pick_simpoints(
     for a in &mut assignments {
         *a = remap[*a];
     }
-    SimPoints { k: kept.len(), assignments, clusters: kept }
+    Ok(SimPoints {
+        k: kept.len(),
+        assignments,
+        clusters: kept,
+    })
 }
 
 #[cfg(test)]
@@ -218,7 +243,7 @@ mod tests {
     #[test]
     fn finds_two_phases() {
         let (vectors, weights) = two_blob_vectors();
-        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(8, 3, 1));
+        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(8, 3, 1)).unwrap();
         // The blobs have mild sub-structure, so BIC may split them
         // further, but never mixes the two macro-phases.
         assert!((2..=6).contains(&sp.k), "k = {}", sp.k);
@@ -239,7 +264,7 @@ mod tests {
 
     #[test]
     fn single_point_is_one_phase() {
-        let sp = pick_simpoints(&[vec![0.5, 0.5]], &[10.0], &SimPointConfig::new(5, 2, 3));
+        let sp = pick_simpoints(&[vec![0.5, 0.5]], &[10.0], &SimPointConfig::new(5, 2, 3)).unwrap();
         assert_eq!(sp.k, 1);
         assert_eq!(sp.clusters[0].representative, 0);
         assert!((sp.clusters[0].weight - 1.0).abs() < 1e-9);
@@ -249,7 +274,7 @@ mod tests {
     fn weights_drive_cluster_weight() {
         let vectors = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
         let weights = vec![1.0, 1.0, 8.0];
-        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(4, 2, 5));
+        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(4, 2, 5)).unwrap();
         assert_eq!(sp.k, 2);
         let heavy = sp.assignments[2];
         assert!((sp.clusters[heavy].weight - 0.8).abs() < 1e-9);
@@ -269,7 +294,7 @@ mod tests {
     fn identical_vectors_collapse_to_one_phase() {
         let vectors = vec![vec![0.3, 0.7]; 20];
         let weights = vec![1.0; 20];
-        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(6, 2, 9));
+        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(6, 2, 9)).unwrap();
         assert_eq!(sp.k, 1, "no structure means one phase, got {}", sp.k);
     }
 }
@@ -285,14 +310,22 @@ mod early_tests {
         // while the median policy picks a middle one.
         let mut vectors = Vec::new();
         for i in 0..40 {
-            vectors.push(if i % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] });
+            vectors.push(if i % 2 == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            });
         }
         let weights = vec![1.0; vectors.len()];
-        let median = pick_simpoints(&vectors, &weights, &SimPointConfig::new(4, 2, 3));
-        let early = pick_simpoints(&vectors, &weights, &SimPointConfig::new(4, 2, 3).early(0.2));
+        let median = pick_simpoints(&vectors, &weights, &SimPointConfig::new(4, 2, 3)).unwrap();
+        let early =
+            pick_simpoints(&vectors, &weights, &SimPointConfig::new(4, 2, 3).early(0.2)).unwrap();
         let earliest_sum: usize = early.clusters.iter().map(|c| c.representative).sum();
         let median_sum: usize = median.clusters.iter().map(|c| c.representative).sum();
-        assert!(earliest_sum < median_sum, "early {earliest_sum} !< median {median_sum}");
+        assert!(
+            earliest_sum < median_sum,
+            "early {earliest_sum} !< median {median_sum}"
+        );
         // The two earliest representatives are the first members of the
         // two phases: intervals 0 and 1.
         let mut reps: Vec<usize> = early.clusters.iter().map(|c| c.representative).collect();
@@ -306,7 +339,8 @@ mod early_tests {
             .map(|i| vec![(i % 3) as f64 * 5.0, ((i * 7) % 5) as f64 * 0.01])
             .collect();
         let weights = vec![1.0; vectors.len()];
-        let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(5, 2, 9).early(0.5));
+        let sp =
+            pick_simpoints(&vectors, &weights, &SimPointConfig::new(5, 2, 9).early(0.5)).unwrap();
         for (c, info) in sp.clusters.iter().enumerate() {
             assert_eq!(sp.assignments[info.representative], c);
         }

@@ -32,7 +32,10 @@ impl Default for LogHistogram {
 impl LogHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self { buckets: [0; 64], count: 0 }
+        Self {
+            buckets: [0; 64],
+            count: 0,
+        }
     }
 
     fn bucket_of(x: u64) -> usize {
@@ -77,11 +80,15 @@ impl LogHistogram {
 
     /// Iterates the non-empty buckets as `(lo, hi_exclusive, count)`.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
-        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
-            let lo = if i == 0 { 0 } else { 1u64 << i };
-            let hi = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
-            (lo, hi, c)
-        })
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                let hi = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
+                (lo, hi, c)
+            })
     }
 
     /// Renders an ASCII bar chart, one row per non-empty bucket.

@@ -131,8 +131,16 @@ mod tests {
     #[test]
     fn phase_cov_single_interval_per_phase_is_zero() {
         let samples = [
-            PhaseSample { phase: 0, value: 1.7, weight: 5.0 },
-            PhaseSample { phase: 1, value: 0.4, weight: 9.0 },
+            PhaseSample {
+                phase: 0,
+                value: 1.7,
+                weight: 5.0,
+            },
+            PhaseSample {
+                phase: 1,
+                value: 0.4,
+                weight: 9.0,
+            },
         ];
         assert_eq!(phase_cov(&samples), 0.0);
     }
@@ -143,9 +151,21 @@ mod tests {
         // Phase 1: constant -> CoV 0.
         // Phase 0 carries 2/3 of the weight.
         let samples = [
-            PhaseSample { phase: 0, value: 1.0, weight: 1.0 },
-            PhaseSample { phase: 0, value: 3.0, weight: 1.0 },
-            PhaseSample { phase: 1, value: 5.0, weight: 1.0 },
+            PhaseSample {
+                phase: 0,
+                value: 1.0,
+                weight: 1.0,
+            },
+            PhaseSample {
+                phase: 0,
+                value: 3.0,
+                weight: 1.0,
+            },
+            PhaseSample {
+                phase: 1,
+                value: 5.0,
+                weight: 1.0,
+            },
         ];
         let cov = phase_cov(&samples);
         assert!((cov - 0.5 * (2.0 / 3.0)).abs() < 1e-12, "cov = {cov}");
@@ -155,8 +175,16 @@ mod tests {
     fn phase_cov_ignores_empty_phase_ids() {
         // Phase 1 is never used; phases 0 and 2 are homogeneous.
         let samples = [
-            PhaseSample { phase: 0, value: 2.0, weight: 1.0 },
-            PhaseSample { phase: 2, value: 4.0, weight: 1.0 },
+            PhaseSample {
+                phase: 0,
+                value: 2.0,
+                weight: 1.0,
+            },
+            PhaseSample {
+                phase: 2,
+                value: 4.0,
+                weight: 1.0,
+            },
         ];
         assert_eq!(phase_cov(&samples), 0.0);
     }
@@ -177,7 +205,11 @@ mod tests {
     fn n_intervals_n_phases_gives_zero_cov() {
         // The degenerate case the paper warns about: one interval per phase.
         let samples: Vec<PhaseSample> = (0..10)
-            .map(|i| PhaseSample { phase: i, value: i as f64 + 1.0, weight: 1.0 })
+            .map(|i| PhaseSample {
+                phase: i,
+                value: i as f64 + 1.0,
+                weight: 1.0,
+            })
             .collect();
         assert_eq!(phase_cov(&samples), 0.0);
     }

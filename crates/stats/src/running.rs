@@ -32,7 +32,13 @@ pub struct Running {
 impl Running {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample.
@@ -61,7 +67,13 @@ impl Running {
         if count == 0 {
             Self::new()
         } else {
-            Self { count, mean, m2, min, max }
+            Self {
+                count,
+                mean,
+                m2,
+                min,
+                max,
+            }
         }
     }
 

@@ -127,9 +127,7 @@ mod tests {
             repeated.push(7.0, 1.0);
         }
         assert!((weighted.mean() - repeated.mean()).abs() < 1e-12);
-        assert!(
-            (weighted.population_variance() - repeated.population_variance()).abs() < 1e-12
-        );
+        assert!((weighted.population_variance() - repeated.population_variance()).abs() < 1e-12);
     }
 
     proptest! {

@@ -81,28 +81,42 @@ pub fn build(name: &str) -> Option<Workload> {
         _ => return None,
     };
     let name = ALL_NAMES.iter().find(|&&n| n == name)?;
-    Some(Workload { name, program, train_input, ref_input })
+    Some(Workload {
+        name,
+        program,
+        train_input,
+        ref_input,
+    })
 }
 
 /// All 16 workload names.
 pub const ALL_NAMES: [&str; 16] = [
-    "applu", "art", "bzip2", "compress", "galgel", "gcc", "gzip", "lucas", "mcf", "mesh",
-    "mgrid", "perlbmk", "swim", "tomcatv", "vortex", "vpr",
+    "applu", "art", "bzip2", "compress", "galgel", "gcc", "gzip", "lucas", "mcf", "mesh", "mgrid",
+    "perlbmk", "swim", "tomcatv", "vortex", "vpr",
 ];
 
 /// Builds every workload.
 pub fn suite() -> Vec<Workload> {
-    ALL_NAMES.iter().map(|n| build(n).expect("known name")).collect()
+    ALL_NAMES
+        .iter()
+        .map(|n| build(n).expect("known name"))
+        .collect()
 }
 
 /// Builds the behaviour suite (Figures 7–9, 11, 12).
 pub fn behavior_suite() -> Vec<Workload> {
-    BEHAVIOR_SUITE.iter().map(|n| build(n).expect("known name")).collect()
+    BEHAVIOR_SUITE
+        .iter()
+        .map(|n| build(n).expect("known name"))
+        .collect()
 }
 
 /// Builds the cache-reconfiguration suite (Figure 10).
 pub fn cache_suite() -> Vec<Workload> {
-    CACHE_SUITE.iter().map(|n| build(n).expect("known name")).collect()
+    CACHE_SUITE
+        .iter()
+        .map(|n| build(n).expect("known name"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -126,9 +140,8 @@ mod tests {
     fn every_workload_runs_on_both_inputs() {
         for w in suite() {
             for input in [&w.train_input, &w.ref_input] {
-                let summary = run(&w.program, input, &mut []).unwrap_or_else(|e| {
-                    panic!("{} failed on {}: {e}", w.name, input.name())
-                });
+                let summary = run(&w.program, input, &mut [])
+                    .unwrap_or_else(|e| panic!("{} failed on {}: {e}", w.name, input.name()));
                 assert!(
                     summary.instrs > 100_000,
                     "{} on {} too small: {} instrs",
@@ -143,7 +156,11 @@ mod tests {
                     input.name(),
                     summary.instrs
                 );
-                assert!(summary.mem_accesses > 0, "{} issues no memory accesses", w.name);
+                assert!(
+                    summary.mem_accesses > 0,
+                    "{} issues no memory accesses",
+                    w.name
+                );
             }
         }
     }

@@ -21,7 +21,10 @@ pub(crate) fn gzip() -> (Program, Input, Input) {
     b.proc("deflate", |p| {
         p.block(40).seq_read(input, 2).done();
         p.loop_(Trip::Jitter { mean: 600, pct: 5 }, |body| {
-            body.block(60).chase_read(window, 6).seq_read(input, 2).done();
+            body.block(60)
+                .chase_read(window, 6)
+                .seq_read(input, 2)
+                .done();
         });
     });
     b.proc("flush", |p| {
@@ -30,8 +33,12 @@ pub(crate) fn gzip() -> (Program, Input, Input) {
         });
     });
     let program = b.build("main").expect("gzip builds");
-    let train = Input::new("train", 0x717a1).with("chunks", 30).with("insize", 1 << 18);
-    let reference = Input::new("ref", 0x717a2).with("chunks", 200).with("insize", 1 << 20);
+    let train = Input::new("train", 0x717a1)
+        .with("chunks", 30)
+        .with("insize", 1 << 18);
+    let reference = Input::new("ref", 0x717a2)
+        .with("chunks", 200)
+        .with("insize", 1 << 20);
     (program, train, reference)
 }
 
@@ -58,7 +65,10 @@ pub(crate) fn bzip2() -> (Program, Input, Input) {
     b.proc("mtf", |p| {
         p.block(30).done();
         p.loop_(Trip::Jitter { mean: 7000, pct: 4 }, |body| {
-            body.block(50).seq_read(data, 4).hot_read(freq, 1, 25).done();
+            body.block(50)
+                .seq_read(data, 4)
+                .hot_read(freq, 1, 25)
+                .done();
         });
     });
     b.proc("huffman", |p| {
@@ -68,8 +78,12 @@ pub(crate) fn bzip2() -> (Program, Input, Input) {
         });
     });
     let program = b.build("main").expect("bzip2 builds");
-    let train = Input::new("train", 0x627a1).with("blocks", 2).with("blocksize", 512 << 10);
-    let reference = Input::new("ref", 0x627a2).with("blocks", 8).with("blocksize", 1 << 20);
+    let train = Input::new("train", 0x627a1)
+        .with("blocks", 2)
+        .with("blocksize", 512 << 10);
+    let reference = Input::new("ref", 0x627a2)
+        .with("blocks", 8)
+        .with("blocksize", 1 << 20);
     (program, train, reference)
 }
 
@@ -99,8 +113,12 @@ pub(crate) fn compress() -> (Program, Input, Input) {
         });
     });
     let program = b.build("main").expect("compress builds");
-    let train = Input::new("train", 0x637a1).with("blocks", 12).with("insize", 1 << 18);
-    let reference = Input::new("ref", 0x637a2).with("blocks", 70).with("insize", 1 << 20);
+    let train = Input::new("train", 0x637a1)
+        .with("blocks", 12)
+        .with("insize", 1 << 18);
+    let reference = Input::new("ref", 0x637a2)
+        .with("blocks", 70)
+        .with("insize", 1 << 20);
     (program, train, reference)
 }
 
@@ -116,17 +134,18 @@ mod tests {
         let deflate = program.proc_by_name("deflate").unwrap().id;
         let flush = program.proc_by_name("flush").unwrap().id;
         let mut counts = (0u64, 0u64);
-        let mut obs = |_: u64, ev: &spm_sim::TraceEvent| {
-            if let spm_sim::TraceEvent::Call { proc } = ev {
-                if *proc == deflate {
-                    counts.0 += 1;
-                } else if *proc == flush {
-                    counts.1 += 1;
+        {
+            let mut obs = |_: u64, ev: &spm_sim::TraceEvent| {
+                if let spm_sim::TraceEvent::Call { proc } = ev {
+                    if *proc == deflate {
+                        counts.0 += 1;
+                    } else if *proc == flush {
+                        counts.1 += 1;
+                    }
                 }
-            }
-        };
-        run(&program, &reference, &mut [&mut obs]).unwrap();
-        drop(obs);
+            };
+            run(&program, &reference, &mut [&mut obs]).unwrap();
+        }
         assert_eq!(counts.0, 200);
         assert_eq!(counts.1, 200);
     }
@@ -143,6 +162,10 @@ mod tests {
     fn compress_ref_scale() {
         let (program, _, reference) = compress();
         let s = run(&program, &reference, &mut []).unwrap();
-        assert!(s.instrs > 4_000_000 && s.instrs < 30_000_000, "{}", s.instrs);
+        assert!(
+            s.instrs > 4_000_000 && s.instrs < 30_000_000,
+            "{}",
+            s.instrs
+        );
     }
 }

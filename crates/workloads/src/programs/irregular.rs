@@ -19,7 +19,11 @@ pub(crate) fn gcc() -> (Program, Input, Input) {
         p.loop_(Trip::Param("funcs".into()), |f| {
             f.call("parse");
             f.call("optimize");
-            f.if_prob(0.3, |t| t.call("regalloc_heavy"), |e| e.call("regalloc_light"));
+            f.if_prob(
+                0.3,
+                |t| t.call("regalloc_heavy"),
+                |e| e.call("regalloc_light"),
+            );
             f.call("emit");
         });
     });
@@ -41,7 +45,10 @@ pub(crate) fn gcc() -> (Program, Input, Input) {
     });
     b.proc("regalloc_heavy", |p| {
         p.loop_(Trip::Uniform { lo: 200, hi: 1200 }, |body| {
-            body.block(45).rand_read(rtl, 2).chase_read(symtab, 1).done();
+            body.block(45)
+                .rand_read(rtl, 2)
+                .chase_read(symtab, 1)
+                .done();
         });
     });
     b.proc("regalloc_light", |p| {
@@ -172,7 +179,10 @@ mod tests {
     fn gcc_recursion_stays_bounded() {
         let (program, _, reference) = gcc();
         let s = run(&program, &reference, &mut []).unwrap();
-        assert_eq!(s.truncated_calls, 0, "p=0.4 recursion must stay below the depth limit");
+        assert_eq!(
+            s.truncated_calls, 0,
+            "p=0.4 recursion must stay below the depth limit"
+        );
     }
 
     #[test]
@@ -180,13 +190,14 @@ mod tests {
         let (program, _, reference) = vortex();
         let validate = program.proc_by_name("validate").unwrap().id;
         let mut count = 0u64;
-        let mut obs = |_: u64, ev: &spm_sim::TraceEvent| {
-            if matches!(ev, spm_sim::TraceEvent::Call { proc } if *proc == validate) {
-                count += 1;
-            }
-        };
-        run(&program, &reference, &mut [&mut obs]).unwrap();
-        drop(obs);
+        {
+            let mut obs = |_: u64, ev: &spm_sim::TraceEvent| {
+                if matches!(ev, spm_sim::TraceEvent::Call { proc } if *proc == validate) {
+                    count += 1;
+                }
+            };
+            run(&program, &reference, &mut [&mut obs]).unwrap();
+        }
         assert_eq!(count, 2200 / 25);
     }
 

@@ -34,8 +34,12 @@ pub(crate) fn mcf() -> (Program, Input, Input) {
         });
     });
     let program = b.build("main").expect("mcf builds");
-    let train = Input::new("train", 0x6d631).with("iters", 12).with("arcbytes", 1 << 21);
-    let reference = Input::new("ref", 0x6d632).with("iters", 60).with("arcbytes", 3 << 21);
+    let train = Input::new("train", 0x6d631)
+        .with("iters", 12)
+        .with("arcbytes", 1 << 21);
+    let reference = Input::new("ref", 0x6d632)
+        .with("iters", 60)
+        .with("arcbytes", 3 << 21);
     (program, train, reference)
 }
 
@@ -57,7 +61,10 @@ pub(crate) fn mesh() -> (Program, Input, Input) {
     b.proc("smooth", |p| {
         p.block(25).done();
         p.loop_(Trip::Fixed(2600), |body| {
-            body.block(40).chase_read(elems, 3).seq_read(coords, 1).done();
+            body.block(40)
+                .chase_read(elems, 3)
+                .seq_read(coords, 1)
+                .done();
         });
     });
     b.proc("metric", |p| {
@@ -114,7 +121,11 @@ mod tests {
         let (program, train, _) = mcf();
         let mut timing = spm_sim::TimingModel::default();
         run(&program, &train, &mut [&mut timing]).unwrap();
-        assert!(timing.dl1_miss_rate() > 0.2, "miss rate {}", timing.dl1_miss_rate());
+        assert!(
+            timing.dl1_miss_rate() > 0.2,
+            "miss rate {}",
+            timing.dl1_miss_rate()
+        );
         assert!(timing.cpi() > 1.5, "cpi {}", timing.cpi());
     }
 
@@ -134,6 +145,10 @@ mod tests {
     fn vpr_scale() {
         let (program, _, reference) = vpr();
         let s = run(&program, &reference, &mut []).unwrap();
-        assert!(s.instrs > 4_000_000 && s.instrs < 40_000_000, "{}", s.instrs);
+        assert!(
+            s.instrs > 4_000_000 && s.instrs < 40_000_000,
+            "{}",
+            s.instrs
+        );
     }
 }

@@ -40,7 +40,10 @@ pub(crate) fn applu() -> (Program, Input, Input) {
     b.proc("buts", |p| {
         p.block(20).done();
         p.loop_(Trip::Fixed(2200), |body| {
-            body.block(60).base_cpi(0.75).stride_read(grid, 4, 192).done();
+            body.block(60)
+                .base_cpi(0.75)
+                .stride_read(grid, 4, 192)
+                .done();
         });
     });
     let program = b.build("main").expect("applu builds");
@@ -62,11 +65,19 @@ pub(crate) fn art() -> (Program, Input, Input) {
         p.loop_(Trip::Param("epochs".into()), |e| {
             e.block(25).done();
             e.loop_(Trip::Fixed(3200), |body| {
-                body.block(55).base_cpi(0.75).seq_read(weights, 4).seq_read(image, 1).done();
+                body.block(55)
+                    .base_cpi(0.75)
+                    .seq_read(weights, 4)
+                    .seq_read(image, 1)
+                    .done();
             });
             e.block(25).done();
             e.loop_(Trip::Fixed(2000), |body| {
-                body.block(45).base_cpi(0.85).seq_read(weights, 3).rand_read(image, 1).done();
+                body.block(45)
+                    .base_cpi(0.85)
+                    .seq_read(weights, 3)
+                    .rand_read(image, 1)
+                    .done();
             });
         });
     });
@@ -92,7 +103,11 @@ pub(crate) fn galgel() -> (Program, Input, Input) {
         p.block(15).done();
         p.loop_(Trip::Fixed(160), |row| {
             row.loop_(Trip::Fixed(40), |body| {
-                body.block(80).base_cpi(0.7).seq_read(mat, 6).hot_read(vec_, 1, 40).done();
+                body.block(80)
+                    .base_cpi(0.7)
+                    .seq_read(mat, 6)
+                    .hot_read(vec_, 1, 40)
+                    .done();
             });
         });
     });
@@ -129,7 +144,10 @@ pub(crate) fn lucas() -> (Program, Input, Input) {
     b.proc("fft_pass2", |p| {
         p.block(20).done();
         p.loop_(Trip::Fixed(2600), |body| {
-            body.block(55).base_cpi(0.75).stride_read(data, 4, 4096).done();
+            body.block(55)
+                .base_cpi(0.75)
+                .stride_read(data, 4, 4096)
+                .done();
         });
     });
     b.proc("carry", |p| {
@@ -204,19 +222,31 @@ pub(crate) fn swim() -> (Program, Input, Input) {
     b.proc("calc1", |p| {
         p.block(20).done();
         p.loop_(Trip::Fixed(1500), |body| {
-            body.block(55).base_cpi(0.75).seq_read(u, 3).seq_read(v, 3).done();
+            body.block(55)
+                .base_cpi(0.75)
+                .seq_read(u, 3)
+                .seq_read(v, 3)
+                .done();
         });
     });
     b.proc("calc2", |p| {
         p.block(20).done();
         p.loop_(Trip::Fixed(1500), |body| {
-            body.block(55).base_cpi(0.75).stride_read(v, 3, 192).stride_read(pr, 3, 192).done();
+            body.block(55)
+                .base_cpi(0.75)
+                .stride_read(v, 3, 192)
+                .stride_read(pr, 3, 192)
+                .done();
         });
     });
     b.proc("calc3", |p| {
         p.block(20).done();
         p.loop_(Trip::Fixed(1500), |body| {
-            body.block(55).base_cpi(0.75).hot_read(u, 3, 40).hot_read(pr, 3, 40).done();
+            body.block(55)
+                .base_cpi(0.75)
+                .hot_read(u, 3, 40)
+                .hot_read(pr, 3, 40)
+                .done();
         });
     });
     let program = b.build("main").expect("swim builds");
@@ -254,7 +284,10 @@ pub(crate) fn tomcatv() -> (Program, Input, Input) {
     });
     b.proc("residual", |p| {
         p.loop_(Trip::Fixed(800), |body| {
-            body.block(40).base_cpi(0.85).stride_read(meshxy, 3, 256).done();
+            body.block(40)
+                .base_cpi(0.85)
+                .stride_read(meshxy, 3, 256)
+                .done();
         });
     });
     let program = b.build("main").expect("tomcatv builds");
@@ -297,13 +330,14 @@ mod tests {
     fn mgrid_has_five_smooth_calls_per_cycle() {
         let (program, train, _) = mgrid();
         let mut calls = 0u64;
-        let mut obs = |_: u64, ev: &spm_sim::TraceEvent| {
-            if matches!(ev, spm_sim::TraceEvent::Call { .. }) {
-                calls += 1;
-            }
-        };
-        run(&program, &train, &mut [&mut obs]).unwrap();
-        drop(obs);
+        {
+            let mut obs = |_: u64, ev: &spm_sim::TraceEvent| {
+                if matches!(ev, spm_sim::TraceEvent::Call { .. }) {
+                    calls += 1;
+                }
+            };
+            run(&program, &train, &mut [&mut obs]).unwrap();
+        }
         assert_eq!(calls, 4 * 5);
     }
 
@@ -311,7 +345,11 @@ mod tests {
     fn art_scale() {
         let (program, _, reference) = art();
         let s = run(&program, &reference, &mut []).unwrap();
-        assert!(s.instrs > 4_000_000 && s.instrs < 30_000_000, "{}", s.instrs);
+        assert!(
+            s.instrs > 4_000_000 && s.instrs < 30_000_000,
+            "{}",
+            s.instrs
+        );
     }
 
     #[test]

@@ -30,7 +30,8 @@ impl TraceObserver for Recorder<'_> {
         let before = self.runtime.firings().len();
         self.runtime.on_event(icount, event);
         if self.runtime.firings().len() != before || matches!(event, TraceEvent::Finish) {
-            self.snaps.push((icount, self.bank.accesses(), self.bank.misses()));
+            self.snaps
+                .push((icount, self.bank.accesses(), self.bank.misses()));
         }
         match *event {
             TraceEvent::MemAccess { addr, write } => self.bank.access(addr, write),
@@ -41,7 +42,9 @@ impl TraceObserver for Recorder<'_> {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mesh".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mesh".to_string());
     let workload = build(&name).unwrap_or_else(|| {
         eprintln!("unknown workload `{name}`");
         std::process::exit(1);
@@ -50,8 +53,14 @@ fn main() {
     // Select markers on the train input (cross-input reuse, as the
     // paper advocates for reconfiguration).
     let mut profiler = CallLoopProfiler::new();
-    run(&workload.program, &workload.train_input, &mut [&mut profiler]).expect("runs");
-    let markers = select_markers(&profiler.into_graph(), &SelectConfig::new(10_000)).markers;
+    run(
+        &workload.program,
+        &workload.train_input,
+        &mut [&mut profiler],
+    )
+    .expect("runs");
+    let markers =
+        select_markers(&profiler.into_graph().unwrap(), &SelectConfig::new(10_000)).markers;
 
     let configs = reconfigurable_configs();
     let mut recorder = Recorder {
@@ -86,13 +95,26 @@ fn main() {
     let outcome = run_adaptive(
         &configs,
         &records,
-        Tolerance { relative: 0.02, absolute_rate: 0.05 },
+        Tolerance {
+            relative: 0.02,
+            absolute_rate: 0.05,
+        },
     );
-    println!("workload: {name} ({} intervals, {} markers)", records.len(), markers.len());
+    println!(
+        "workload: {name} ({} intervals, {} markers)",
+        records.len(),
+        markers.len()
+    );
     println!("  average adaptive cache:  {:.1} KB", outcome.avg_size_kb);
     println!("  best fixed cache:        {:.1} KB", outcome.best_fixed_kb);
-    println!("  adaptive miss rate:      {:.3}%", outcome.miss_rate() * 100.0);
-    println!("  best fixed miss rate:    {:.3}%", outcome.best_fixed_miss_rate() * 100.0);
+    println!(
+        "  adaptive miss rate:      {:.3}%",
+        outcome.miss_rate() * 100.0
+    );
+    println!(
+        "  best fixed miss rate:    {:.3}%",
+        outcome.best_fixed_miss_rate() * 100.0
+    );
     for (phase, choice) in outcome.phase_choices.iter().enumerate() {
         if let Some(c) = choice {
             println!("  phase {phase}: {} KB", configs[*c].size_kb());

@@ -18,11 +18,13 @@ use spm::workloads::build;
 fn profile(program: &Program, input: &Input) -> spm::core::CallLoopGraph {
     let mut profiler = CallLoopProfiler::new();
     run(program, input, &mut [&mut profiler]).expect("runs");
-    profiler.into_graph()
+    profiler.into_graph().unwrap()
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "swim".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "swim".to_string());
     let workload = build(&name).unwrap_or_else(|| {
         eprintln!("unknown workload `{name}`");
         std::process::exit(1);
@@ -68,18 +70,26 @@ fn main() {
     // Pick simulation points on binary A's variable-length intervals...
     let vlis_a = partition(&rt_a.firings(), total_a);
     let cuts: Vec<(u64, usize)> = vlis_a.iter().skip(1).map(|v| (v.begin, v.phase)).collect();
-    let mut collector =
-        IntervalBbvCollector::new(&bin_a, Boundaries::Explicit { cuts, prelude_phase: PRELUDE_PHASE });
+    let mut collector = IntervalBbvCollector::new(
+        &bin_a,
+        Boundaries::Explicit {
+            cuts,
+            prelude_phase: PRELUDE_PHASE,
+        },
+    );
     run(&bin_a, input, &mut [&mut collector]).expect("A runs");
     let intervals = collector.into_intervals();
     let vectors: Vec<Vec<f64>> = intervals.iter().map(|iv| iv.bbv.clone()).collect();
     let weights: Vec<f64> = intervals.iter().map(|iv| iv.len() as f64).collect();
-    let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(10, 15, 7));
+    let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(10, 15, 7)).unwrap();
 
     // ...and express each as "the interval after the N-th firing", which
     // is valid verbatim on binary B because the traces are identical.
     let vlis_b = partition(&rt_b.firings(), total_b);
-    println!("\n{} simulation points, transferable by firing index:", sp.clusters.len());
+    println!(
+        "\n{} simulation points, transferable by firing index:",
+        sp.clusters.len()
+    );
     for cluster in &sp.clusters {
         let idx = cluster.representative;
         let (a, b) = (&vlis_a[idx], &vlis_b[idx]);

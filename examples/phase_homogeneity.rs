@@ -12,23 +12,31 @@ use spm::stats::{phase_cov, PhaseSample};
 use spm::workloads::build;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mgrid".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mgrid".to_string());
     let workload = build(&name).unwrap_or_else(|| {
-        eprintln!("unknown workload `{name}`; try one of {:?}", spm::workloads::ALL_NAMES);
+        eprintln!(
+            "unknown workload `{name}`; try one of {:?}",
+            spm::workloads::ALL_NAMES
+        );
         std::process::exit(1);
     });
 
     // Profile and select markers on the ref input.
     let mut profiler = CallLoopProfiler::new();
     run(&workload.program, &workload.ref_input, &mut [&mut profiler]).expect("runs");
-    let markers = select_markers(&profiler.into_graph(), &SelectConfig::new(10_000)).markers;
+    let markers =
+        select_markers(&profiler.into_graph().unwrap(), &SelectConfig::new(10_000)).markers;
 
     // One pass: detect markers and record the metric timeline.
     let mut runtime = MarkerRuntime::new(&markers);
     let mut timeline = Timeline::with_defaults(1_000);
     let total = {
         let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut runtime, &mut timeline];
-        run(&workload.program, &workload.ref_input, &mut observers).expect("runs").instrs
+        run(&workload.program, &workload.ref_input, &mut observers)
+            .expect("runs")
+            .instrs
     };
     let vlis = partition(&runtime.firings(), total);
 
@@ -56,7 +64,11 @@ fn main() {
     println!("workload: {name}");
     println!("  overall CPI:            {:.3}", timeline.overall_cpi());
     println!("  markers selected:       {}", markers.len());
-    println!("  intervals / phases:     {} / {}", vlis.len(), spm::core::marker::phase_count(&vlis));
+    println!(
+        "  intervals / phases:     {} / {}",
+        vlis.len(),
+        spm::core::marker::phase_count(&vlis)
+    );
     println!("  CoV of CPI per phase:   {:.2}%", per_phase * 100.0);
     println!("  whole-program CoV:      {:.2}%", whole_cov * 100.0);
     println!(

@@ -14,9 +14,13 @@ fn main() {
 
     // 1. Profile the *train* input into a hierarchical call-loop graph.
     let mut profiler = CallLoopProfiler::new();
-    run(&workload.program, &workload.train_input, &mut [&mut profiler])
-        .expect("train input runs");
-    let graph = profiler.into_graph();
+    run(
+        &workload.program,
+        &workload.train_input,
+        &mut [&mut profiler],
+    )
+    .expect("train input runs");
+    let graph = profiler.into_graph().unwrap();
     println!(
         "call-loop graph: {} nodes, {} edges",
         graph.nodes().len(),
@@ -39,8 +43,8 @@ fn main() {
     // 3. Run the *ref* input — a different, larger input — detecting the
     //    markers with no further analysis.
     let mut runtime = MarkerRuntime::new(&outcome.markers);
-    let summary = run(&workload.program, &workload.ref_input, &mut [&mut runtime])
-        .expect("ref input runs");
+    let summary =
+        run(&workload.program, &workload.ref_input, &mut [&mut runtime]).expect("ref input runs");
 
     // 4. Partition execution into variable-length intervals.
     let vlis = partition(&runtime.firings(), summary.instrs);

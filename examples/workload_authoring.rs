@@ -63,7 +63,7 @@ fn main() {
     // 3. Profile the train input and select markers.
     let mut profiler = CallLoopProfiler::new();
     run(&program, &train, &mut [&mut profiler]).expect("train runs");
-    let graph = profiler.into_graph();
+    let graph = profiler.into_graph().unwrap();
     let outcome = select_markers(&graph, &SelectConfig::new(5_000));
     println!("selected {} markers:", outcome.markers.len());
     for (id, marker) in outcome.markers.iter() {
@@ -72,7 +72,9 @@ fn main() {
 
     // 4. Partition the ref input.
     let mut runtime = MarkerRuntime::new(&outcome.markers);
-    let total = run(&program, &reference, &mut [&mut runtime]).expect("ref runs").instrs;
+    let total = run(&program, &reference, &mut [&mut runtime])
+        .expect("ref runs")
+        .instrs;
     let vlis = partition(&runtime.firings(), total);
     println!(
         "ref execution: {total} instructions -> {} intervals, {} phases",

@@ -1,0 +1,194 @@
+//! The fault-injection matrix: every workload in the suite, under every
+//! injected corruption, must come out the other end as a *typed* error
+//! or a documented fixed-length-interval fallback — never a panic.
+//!
+//! Two corruption levels are exercised, mirroring where damage happens
+//! in practice:
+//!
+//! * **event-stream faults** ([`FaultObserver`]): dropped `Return`s,
+//!   dropped `LoopExit`s, duplicated `LoopIter` back-edges — the
+//!   profiler must either still produce a graph or report a
+//!   [`ProfileError`](spm::core::ProfileError);
+//! * **byte-level faults** ([`TraceCorruptor`]): truncated and
+//!   bit-flipped record files — strict replay must report a
+//!   [`DecodeError`](spm::sim::record::DecodeError), and
+//!   [`replay_prefix`] must recover a valid prefix.
+
+use spm::core::{
+    partition_with_fallback, select_markers, CallLoopProfiler, FallbackReason, SelectConfig,
+};
+use spm::sim::record::{replay, replay_prefix, TraceRecorder, HEADER_LEN};
+use spm::sim::{run, FaultKind, FaultObserver, TraceCorruptor, TraceObserver};
+use spm::workloads::suite;
+
+/// Seeds tried per (workload, fault) cell. Small, but combined with 16
+/// workloads and 3+2 fault kinds this covers hundreds of distinct
+/// corruption placements deterministically.
+const SEEDS: [u64; 2] = [1, 2];
+
+fn event_faults() -> Vec<FaultKind> {
+    vec![
+        FaultKind::DropReturns { one_in: 50 },
+        FaultKind::DropLoopExits { one_in: 50 },
+        FaultKind::DuplicateLoopIters { one_in: 50 },
+    ]
+}
+
+/// Runs `w` under `fault` and pushes the perturbed stream through the
+/// whole analysis pipeline: profile -> select -> partition. Returns
+/// whether the profiler rejected the stream (vs. absorbing the fault).
+fn pipeline_survives(w: &spm::workloads::Workload, fault: FaultKind, seed: u64) -> bool {
+    let mut profiler = CallLoopProfiler::new();
+    let mut faulty = FaultObserver::new(&mut profiler, fault, seed);
+    run(&w.program, &w.train_input, &mut [&mut faulty])
+        .expect("the engine itself is not under test");
+
+    match profiler.into_graph() {
+        Err(_) => true, // typed ProfileError: acceptable outcome
+        Ok(graph) => {
+            // The graph may be oddly shaped (duplicated iterations skew
+            // averages) but every downstream stage must stay total.
+            let outcome = select_markers(&graph, &SelectConfig::new(10_000));
+            let partition = partition_with_fallback(
+                &outcome.markers,
+                &[],
+                1_000_000,
+                10_000,
+                outcome.degenerate_cov,
+            );
+            // With no firings the partition must degrade, not panic,
+            // and must still tile the full range.
+            let fb = partition.fallback.expect("no firings forces a fallback");
+            assert!(matches!(
+                fb.reason,
+                FallbackReason::NoMarkers
+                    | FallbackReason::NoFirings
+                    | FallbackReason::DegenerateCov
+            ));
+            assert_eq!(partition.vlis.last().map(|v| v.end), Some(1_000_000));
+            false
+        }
+    }
+}
+
+#[test]
+fn event_faults_yield_typed_errors_or_fallback_across_the_suite() {
+    let mut rejected = 0u32;
+    let mut absorbed = 0u32;
+    for w in suite() {
+        for fault in event_faults() {
+            for seed in SEEDS {
+                if pipeline_survives(&w, fault, seed) {
+                    rejected += 1;
+                } else {
+                    absorbed += 1;
+                }
+            }
+        }
+    }
+    // The matrix must actually exercise both outcomes somewhere: faults
+    // that always get absorbed would mean the injector is a no-op, and
+    // faults that always reject would mean selection never ran.
+    assert!(
+        rejected > 0,
+        "no fault was ever detected ({absorbed} absorbed)"
+    );
+}
+
+#[test]
+fn dropped_returns_are_reported_with_event_context() {
+    // One workload in detail: the typed error must carry localization.
+    let w = spm::workloads::build("gzip").expect("known workload");
+    let mut profiler = CallLoopProfiler::new();
+    let mut faulty = FaultObserver::new(&mut profiler, FaultKind::DropReturns { one_in: 1 }, 7);
+    run(&w.program, &w.train_input, &mut [&mut faulty]).expect("engine runs");
+    assert!(faulty.injected() > 0);
+    let err = profiler
+        .into_graph()
+        .expect_err("dropping every return must be caught");
+    let text = err.to_string();
+    assert!(
+        text.contains("event"),
+        "error should localize the fault: {text}"
+    );
+}
+
+fn record_workload(w: &spm::workloads::Workload) -> Vec<u8> {
+    let mut rec = TraceRecorder::new();
+    run(&w.program, &w.train_input, &mut [&mut rec]).expect("engine runs");
+    rec.into_bytes()
+}
+
+/// Counts events delivered, to prove prefix recovery actually replays.
+#[derive(Default)]
+struct Count(u64);
+
+impl TraceObserver for Count {
+    fn on_event(&mut self, _icount: u64, _event: &spm::sim::TraceEvent) {
+        self.0 += 1;
+    }
+}
+
+#[test]
+fn corrupted_record_files_are_detected_across_the_suite() {
+    for w in suite() {
+        let trace = record_workload(&w);
+        for seed in SEEDS {
+            let corruptor = TraceCorruptor::new(seed);
+
+            // Truncation: strict replay reports a typed error; prefix
+            // recovery yields a decodable prefix no longer than the cut.
+            let cut = corruptor.truncate(&trace, HEADER_LEN);
+            let err = replay(&cut, &mut []).expect_err("truncated traces must not replay cleanly");
+            assert!(!err.to_string().is_empty());
+            let mut sink = Count::default();
+            let report = replay_prefix(&cut, &mut [&mut sink]);
+            assert!(report.error.is_some(), "{}: truncation hidden", w.name);
+            assert!(report.valid_bytes <= cut.len());
+            assert_eq!(report.events, sink.0);
+
+            // Bit flips: the checksum must catch payload damage before
+            // any event reaches an observer under strict replay.
+            let flipped = corruptor.bit_flip(&trace, HEADER_LEN, 2);
+            let mut strict_sink = Count::default();
+            let err = replay(&flipped, &mut [&mut strict_sink])
+                .expect_err("bit-flipped traces must not replay cleanly");
+            assert!(!err.to_string().is_empty());
+            assert_eq!(
+                strict_sink.0, 0,
+                "{}: events leaked before checksum",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn prefix_recovery_matches_the_uncorrupted_stream() {
+    // The recovered prefix must be byte-for-byte the same replay the
+    // intact trace would produce, just shorter.
+    #[derive(Default)]
+    struct Icounts(Vec<u64>);
+    impl TraceObserver for Icounts {
+        fn on_event(&mut self, icount: u64, _event: &spm::sim::TraceEvent) {
+            self.0.push(icount);
+        }
+    }
+
+    let w = spm::workloads::build("mgrid").expect("known workload");
+    let trace = record_workload(&w);
+    let mut full = Icounts::default();
+    replay(&trace, &mut [&mut full]).expect("intact trace replays");
+
+    let cut = TraceCorruptor::new(3).truncate(&trace, HEADER_LEN);
+    let mut prefix = Icounts::default();
+    let report = replay_prefix(&cut, &mut [&mut prefix]);
+    assert!(report.error.is_some());
+    let n = prefix.0.len();
+    assert!(n <= full.0.len());
+    assert_eq!(
+        prefix.0[..],
+        full.0[..n],
+        "prefix diverged from the intact stream"
+    );
+}

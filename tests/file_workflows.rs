@@ -17,7 +17,7 @@ fn profile_to_disk_select_offline_detect_online() {
     // Session 1: profile and persist the graph.
     let mut profiler = CallLoopProfiler::new();
     run(&w.program, &w.train_input, &mut [&mut profiler]).unwrap();
-    let graph_text = write_graph(&profiler.into_graph());
+    let graph_text = write_graph(&profiler.into_graph().unwrap());
 
     // Session 2: load the graph, experiment with two configurations,
     // persist the chosen markers.
@@ -30,7 +30,9 @@ fn profile_to_disk_select_offline_detect_online() {
     // Session 3: load the markers and detect on the ref input.
     let markers = parse_markers(&marker_text).expect("persisted markers parse");
     let mut runtime = MarkerRuntime::new(&markers);
-    let total = run(&w.program, &w.ref_input, &mut [&mut runtime]).unwrap().instrs;
+    let total = run(&w.program, &w.ref_input, &mut [&mut runtime])
+        .unwrap()
+        .instrs;
     let vlis = partition(&runtime.firings(), total);
     assert!(vlis.len() > 10, "markers must fire after two round-trips");
 
@@ -51,18 +53,17 @@ fn analyses_from_recorded_trace_match_live() {
     let mut profiler = CallLoopProfiler::new();
     let mut recorder = TraceRecorder::new();
     {
-        let mut obs: Vec<&mut dyn spm::sim::TraceObserver> =
-            vec![&mut profiler, &mut recorder];
+        let mut obs: Vec<&mut dyn spm::sim::TraceObserver> = vec![&mut profiler, &mut recorder];
         run(&w.program, &w.ref_input, &mut obs).unwrap();
     }
-    let live_graph = profiler.into_graph();
+    let live_graph = profiler.into_graph().unwrap();
     let trace = recorder.into_bytes();
 
     // Offline: select markers from a replayed profile, then detect them
     // in a second replay.
     let mut replayed_profiler = CallLoopProfiler::new();
     replay(&trace, &mut [&mut replayed_profiler]).unwrap();
-    let offline_graph = replayed_profiler.into_graph();
+    let offline_graph = replayed_profiler.into_graph().unwrap();
     let live_sel = select_markers(&live_graph, &SelectConfig::new(10_000));
     let offline_sel = select_markers(&offline_graph, &SelectConfig::new(10_000));
     assert_eq!(live_sel.markers.len(), offline_sel.markers.len());
@@ -84,7 +85,7 @@ fn dot_export_mentions_every_selected_marker_edge() {
     let w = build("gzip").unwrap();
     let mut profiler = CallLoopProfiler::new();
     run(&w.program, &w.train_input, &mut [&mut profiler]).unwrap();
-    let graph = profiler.into_graph();
+    let graph = profiler.into_graph().unwrap();
     let outcome = select_markers(&graph, &SelectConfig::new(10_000));
     let dot = graph_to_dot(&graph, Some(&outcome.markers));
     let highlighted = dot.lines().filter(|l| l.contains("color=red")).count();

@@ -3,32 +3,53 @@
 //! access pattern) must uphold the engine/profiler/recorder invariants.
 
 use proptest::prelude::*;
-use spm::core::{select_markers, CallLoopProfiler, SelectConfig};
-use spm::ir::{Input, Program, ProgramBuilder, Trip};
-use spm::sim::record::{replay, TraceRecorder};
-use spm::sim::{run, TraceEvent, TraceObserver};
+use spm::core::{partition_with_fallback, select_markers, CallLoopProfiler, SelectConfig};
+use spm::ir::{parse_workload, write_workload, Input, Program, ProgramBuilder, Trip};
+use spm::sim::record::{replay, replay_prefix, TraceRecorder};
+use spm::sim::{run, TraceCorruptor, TraceEvent, TraceObserver};
 
 /// A generatable statement tree (kept separate from the IR so proptest
 /// can shrink it).
 #[derive(Debug, Clone)]
 enum Spec {
-    Block { instrs: u32, pattern: u8, count: u8 },
-    Loop { trip: u8, n: u16, body: Vec<Spec> },
+    Block {
+        instrs: u32,
+        pattern: u8,
+        count: u8,
+    },
+    Loop {
+        trip: u8,
+        n: u16,
+        body: Vec<Spec>,
+    },
     /// Call to procedure `main_index + 1 + target` (always forward, so
     /// generated programs cannot recurse unboundedly).
-    Call { target: u8 },
-    If { prob: u8, then_body: Vec<Spec>, else_body: Vec<Spec> },
+    Call {
+        target: u8,
+    },
+    If {
+        prob: u8,
+        then_body: Vec<Spec>,
+        else_body: Vec<Spec>,
+    },
 }
 
 fn spec_strategy(depth: u32) -> impl Strategy<Value = Spec> {
     let leaf = prop_oneof![
-        (1u32..80, 0u8..4, 0u8..4)
-            .prop_map(|(instrs, pattern, count)| Spec::Block { instrs, pattern, count }),
+        (1u32..80, 0u8..4, 0u8..4).prop_map(|(instrs, pattern, count)| Spec::Block {
+            instrs,
+            pattern,
+            count
+        }),
         (0u8..3).prop_map(|target| Spec::Call { target }),
     ];
     leaf.prop_recursive(depth, 24, 4, |inner| {
         prop_oneof![
-            (0u8..4, 0u16..7, proptest::collection::vec(inner.clone(), 1..4))
+            (
+                0u8..4,
+                0u16..7,
+                proptest::collection::vec(inner.clone(), 1..4)
+            )
                 .prop_map(|(trip, n, body)| Spec::Loop { trip, n, body }),
             (
                 0u8..=100,
@@ -49,11 +70,20 @@ fn program_strategy() -> impl Strategy<Value = Vec<Vec<Spec>>> {
     proptest::collection::vec(proptest::collection::vec(spec_strategy(3), 1..5), 1..4)
 }
 
-fn emit(body: &mut spm::ir::BodyBuilder<'_>, spec: &[Spec], proc_idx: usize, nprocs: usize,
-        region: spm::ir::RegionId) {
+fn emit(
+    body: &mut spm::ir::BodyBuilder<'_>,
+    spec: &[Spec],
+    proc_idx: usize,
+    nprocs: usize,
+    region: spm::ir::RegionId,
+) {
     for stmt in spec {
         match stmt {
-            Spec::Block { instrs, pattern, count } => {
+            Spec::Block {
+                instrs,
+                pattern,
+                count,
+            } => {
                 let blk = body.block(*instrs);
                 let blk = match pattern % 4 {
                     0 => blk.seq_read(region, u32::from(*count)),
@@ -63,11 +93,21 @@ fn emit(body: &mut spm::ir::BodyBuilder<'_>, spec: &[Spec], proc_idx: usize, npr
                 };
                 blk.done();
             }
-            Spec::Loop { trip, n, body: inner } => {
+            Spec::Loop {
+                trip,
+                n,
+                body: inner,
+            } => {
                 let trip = match trip % 4 {
                     0 => Trip::Fixed(u64::from(*n)),
-                    1 => Trip::Uniform { lo: 0, hi: u64::from(*n) },
-                    2 => Trip::Jitter { mean: u64::from(*n).max(1), pct: 20 },
+                    1 => Trip::Uniform {
+                        lo: 0,
+                        hi: u64::from(*n),
+                    },
+                    2 => Trip::Jitter {
+                        mean: u64::from(*n).max(1),
+                        pct: 20,
+                    },
                     _ => Trip::Param("n".into()),
                 };
                 body.loop_(trip, |b| emit(b, inner, proc_idx, nprocs, region));
@@ -79,7 +119,11 @@ fn emit(body: &mut spm::ir::BodyBuilder<'_>, spec: &[Spec], proc_idx: usize, npr
                     body.call(&format!("p{callee}"));
                 }
             }
-            Spec::If { prob, then_body, else_body } => {
+            Spec::If {
+                prob,
+                then_body,
+                else_body,
+            } => {
                 body.if_prob(
                     f64::from(*prob) / 100.0,
                     |t| emit(t, then_body, proc_idx, nprocs, region),
@@ -95,7 +139,11 @@ fn build(specs: &[Vec<Spec>]) -> Program {
     let region = b.region_bytes("mem", 1 << 16);
     let nprocs = specs.len();
     for (i, spec) in specs.iter().enumerate() {
-        let name = if i == 0 { "main".to_string() } else { format!("p{i}") };
+        let name = if i == 0 {
+            "main".to_string()
+        } else {
+            format!("p{i}")
+        };
         b.proc(&name, |body| emit(body, spec, i, nprocs, region));
     }
     // Guarantee every procedure is "defined" even if never called.
@@ -172,11 +220,11 @@ proptest! {
             let mut obs: Vec<&mut dyn TraceObserver> = vec![&mut profiler, &mut recorder];
             run(&program, &input, &mut obs).unwrap();
         }
-        let live = profiler.into_graph();
+        let live = profiler.into_graph().unwrap();
 
         let mut replayed_profiler = CallLoopProfiler::new();
         replay(&recorder.into_bytes(), &mut [&mut replayed_profiler]).unwrap();
-        let replayed = replayed_profiler.into_graph();
+        let replayed = replayed_profiler.into_graph().unwrap();
 
         prop_assert_eq!(live.edges().len(), replayed.edges().len());
         for edge in live.edges() {
@@ -194,5 +242,74 @@ proptest! {
         prop_assert_eq!(outcome.decisions.len(), live.edges().len());
         let limited = select_markers(&live, &SelectConfig::with_limit(100, 10_000));
         prop_assert!(limited.markers.len() <= live.edges().len() + program.loop_count());
+    }
+
+    #[test]
+    fn corrupted_record_files_yield_typed_errors(
+        specs in program_strategy(),
+        seed in 0u64..1000,
+        corrupt_seed in 0u64..10_000,
+        flips in 1usize..8,
+    ) {
+        let program = build(&specs);
+        let input = Input::new("fuzz", seed).with("n", 3);
+        let mut recorder = TraceRecorder::new();
+        run(&program, &input, &mut [&mut recorder]).unwrap();
+        let trace = recorder.into_bytes();
+
+        // Damage anywhere, header included: decoding stays total —
+        // every outcome is Ok or a typed, renderable DecodeError.
+        let c = TraceCorruptor::new(corrupt_seed);
+        for damaged in [c.truncate(&trace, 0), c.bit_flip(&trace, 0, flips)] {
+            if let Err(e) = replay(&damaged, &mut []) {
+                prop_assert!(!e.to_string().is_empty());
+            }
+            let report = replay_prefix(&damaged, &mut []);
+            prop_assert!(report.valid_bytes <= damaged.len());
+            if let Some(e) = report.error {
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_workload_sources_never_panic(
+        specs in program_strategy(),
+        muts in proptest::collection::vec((0usize..8192, 0u8..=255u8), 1..8),
+        seed in 0u64..100,
+    ) {
+        // Round-trip a generated program through the text DSL, damage
+        // the source, and push whatever still parses through the whole
+        // pipeline: parse -> run -> profile -> select -> partition.
+        // Typed errors and fixed-length fallbacks are fine; panics are
+        // not.
+        let program = build(&specs);
+        let input = Input::new("fuzz", seed).with("n", 2);
+        let mut src = write_workload(&program, &[input]).into_bytes();
+        for (at, byte) in muts {
+            let i = at % src.len();
+            src[i] = byte;
+        }
+        if let Ok(text) = String::from_utf8(src) {
+            if let Ok(parsed) = parse_workload(&text) {
+                for input in parsed.inputs {
+                    let mut profiler = CallLoopProfiler::new();
+                    if run(&parsed.program, &input, &mut [&mut profiler]).is_err() {
+                        continue;
+                    }
+                    if let Ok(graph) = profiler.into_graph() {
+                        let outcome = select_markers(&graph, &SelectConfig::new(1_000));
+                        let vlis = partition_with_fallback(
+                            &outcome.markers,
+                            &[],
+                            10_000,
+                            1_000,
+                            outcome.degenerate_cov,
+                        );
+                        prop_assert!(vlis.fallback.is_some());
+                    }
+                }
+            }
+        }
     }
 }

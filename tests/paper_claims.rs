@@ -11,7 +11,7 @@ use spm::workloads::build;
 fn profile(program: &Program, input: &Input) -> spm::core::CallLoopGraph {
     let mut profiler = CallLoopProfiler::new();
     run(program, input, &mut [&mut profiler]).expect("runs");
-    profiler.into_graph()
+    profiler.into_graph().unwrap()
 }
 
 fn locality(program: &Program, input: &Input) -> LocalityAnalysis {
@@ -33,13 +33,20 @@ fn spm_succeeds_where_reuse_distance_fails() {
             "{name}: the reuse baseline should fail (got {:?})",
             reuse.markers
         );
-        let markers =
-            select_markers(&profile(&w.program, &w.ref_input), &SelectConfig::new(10_000))
-                .markers;
+        let markers = select_markers(
+            &profile(&w.program, &w.ref_input),
+            &SelectConfig::new(10_000),
+        )
+        .markers;
         assert!(!markers.is_empty(), "{name}: SPM must still find markers");
         let mut rt = MarkerRuntime::new(&markers);
-        let total = run(&w.program, &w.ref_input, &mut [&mut rt]).unwrap().instrs;
-        assert!(rt.firings().len() > 3, "{name}: markers must fire repeatedly");
+        let total = run(&w.program, &w.ref_input, &mut [&mut rt])
+            .unwrap()
+            .instrs;
+        assert!(
+            rt.firings().len() > 3,
+            "{name}: markers must fire repeatedly"
+        );
         let _ = total;
     }
 }
@@ -64,9 +71,11 @@ fn reuse_distance_handles_regular_programs() {
 #[test]
 fn per_phase_cov_beats_whole_program_everywhere() {
     for w in spm::workloads::behavior_suite() {
-        let markers =
-            select_markers(&profile(&w.program, &w.ref_input), &SelectConfig::new(10_000))
-                .markers;
+        let markers = select_markers(
+            &profile(&w.program, &w.ref_input),
+            &SelectConfig::new(10_000),
+        )
+        .markers;
         let mut rt = MarkerRuntime::new(&markers);
         let mut tl = Timeline::with_defaults(1_000);
         let total = {
@@ -112,7 +121,10 @@ fn cross_compilation_traces_are_identical() {
             &bin_b,
             &SelectConfig::new(10_000),
         );
-        assert!(!cross.markers_a.is_empty(), "{name}: joint selection found nothing");
+        assert!(
+            !cross.markers_a.is_empty(),
+            "{name}: joint selection found nothing"
+        );
         let mut rt_a = MarkerRuntime::new(&cross.markers_a);
         run(&bin_a, &w.ref_input, &mut [&mut rt_a]).unwrap();
         let mut rt_b = MarkerRuntime::new(&cross.markers_b);
@@ -133,15 +145,21 @@ fn cross_compilation_traces_are_identical() {
 fn cross_train_equals_self_train_on_regular_programs() {
     for name in ["swim", "mgrid", "applu"] {
         let w = build(name).unwrap();
-        let self_markers =
-            select_markers(&profile(&w.program, &w.ref_input), &SelectConfig::new(10_000))
-                .markers;
-        let cross_markers =
-            select_markers(&profile(&w.program, &w.train_input), &SelectConfig::new(10_000))
-                .markers;
+        let self_markers = select_markers(
+            &profile(&w.program, &w.ref_input),
+            &SelectConfig::new(10_000),
+        )
+        .markers;
+        let cross_markers = select_markers(
+            &profile(&w.program, &w.train_input),
+            &SelectConfig::new(10_000),
+        )
+        .markers;
         let count = |markers: &spm::core::MarkerSet| {
             let mut rt = MarkerRuntime::new(markers);
-            let total = run(&w.program, &w.ref_input, &mut [&mut rt]).unwrap().instrs;
+            let total = run(&w.program, &w.ref_input, &mut [&mut rt])
+                .unwrap()
+                .instrs;
             partition(&rt.firings(), total).len()
         };
         let (self_n, cross_n) = (count(&self_markers), count(&cross_markers));

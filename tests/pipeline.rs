@@ -2,9 +2,7 @@
 //! partition → evaluate pipeline, exercised through the umbrella crate.
 
 use spm::bbv::{Boundaries, IntervalBbvCollector};
-use spm::core::{
-    partition, select_markers, CallLoopProfiler, MarkerRuntime, SelectConfig,
-};
+use spm::core::{partition, select_markers, CallLoopProfiler, MarkerRuntime, SelectConfig};
 use spm::ir::{Input, Program};
 use spm::sim::{run, Timeline, TraceObserver};
 use spm::simpoint::{estimate, pick_simpoints, relative_error, SimPointConfig};
@@ -13,7 +11,7 @@ use spm::workloads::build;
 fn profile(program: &Program, input: &Input) -> spm::core::CallLoopGraph {
     let mut profiler = CallLoopProfiler::new();
     run(program, input, &mut [&mut profiler]).expect("workload runs");
-    profiler.into_graph()
+    profiler.into_graph().unwrap()
 }
 
 #[test]
@@ -23,7 +21,9 @@ fn whole_pipeline_is_deterministic() {
         let graph = profile(&w.program, &w.train_input);
         let markers = select_markers(&graph, &SelectConfig::new(10_000)).markers;
         let mut runtime = MarkerRuntime::new(&markers);
-        let total = run(&w.program, &w.ref_input, &mut [&mut runtime]).unwrap().instrs;
+        let total = run(&w.program, &w.ref_input, &mut [&mut runtime])
+            .unwrap()
+            .instrs;
         (markers.len(), runtime.into_firings(), total)
     };
     let (m1, f1, t1) = run_once();
@@ -77,16 +77,20 @@ fn vli_simpoints_estimate_cpi() {
     // handful of simulation points reproduces whole-program CPI.
     let w = build("mgrid").unwrap();
     let graph = profile(&w.program, &w.ref_input);
-    let markers =
-        select_markers(&graph, &SelectConfig::with_limit(10_000, 200_000)).markers;
+    let markers = select_markers(&graph, &SelectConfig::with_limit(10_000, 200_000)).markers;
     let mut runtime = MarkerRuntime::new(&markers);
-    let total = run(&w.program, &w.ref_input, &mut [&mut runtime]).unwrap().instrs;
+    let total = run(&w.program, &w.ref_input, &mut [&mut runtime])
+        .unwrap()
+        .instrs;
     let vlis = partition(&runtime.firings(), total);
     let cuts: Vec<(u64, usize)> = vlis.iter().skip(1).map(|v| (v.begin, v.phase)).collect();
 
     let mut collector = IntervalBbvCollector::new(
         &w.program,
-        Boundaries::Explicit { cuts, prelude_phase: spm::core::PRELUDE_PHASE },
+        Boundaries::Explicit {
+            cuts,
+            prelude_phase: spm::core::PRELUDE_PHASE,
+        },
     );
     let mut timeline = Timeline::with_defaults(1_000);
     {
@@ -98,15 +102,20 @@ fn vli_simpoints_estimate_cpi() {
 
     let vectors: Vec<Vec<f64>> = intervals.iter().map(|iv| iv.bbv.clone()).collect();
     let weights: Vec<f64> = intervals.iter().map(|iv| iv.len() as f64).collect();
-    let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(15, 15, 99));
-    let cpis: Vec<f64> =
-        intervals.iter().map(|iv| timeline.cpi(iv.begin..iv.end)).collect();
+    let sp = pick_simpoints(&vectors, &weights, &SimPointConfig::new(15, 15, 99)).unwrap();
+    let cpis: Vec<f64> = intervals
+        .iter()
+        .map(|iv| timeline.cpi(iv.begin..iv.end))
+        .collect();
     let err = relative_error(estimate(&cpis, &sp), timeline.overall_cpi());
     assert!(err < 0.05, "CPI error {err} too high for a regular program");
     // Simulating only the representatives is far cheaper than full
     // simulation.
     let simulated: f64 = sp.clusters.iter().map(|c| weights[c.representative]).sum();
-    assert!(simulated < 0.2 * total as f64, "simulated {simulated} of {total}");
+    assert!(
+        simulated < 0.2 * total as f64,
+        "simulated {simulated} of {total}"
+    );
 }
 
 #[test]
@@ -148,7 +157,9 @@ fn every_workload_yields_markers() {
             outcome.candidate_edges
         );
         let mut runtime = MarkerRuntime::new(&outcome.markers);
-        let total = run(&w.program, &w.ref_input, &mut [&mut runtime]).unwrap().instrs;
+        let total = run(&w.program, &w.ref_input, &mut [&mut runtime])
+            .unwrap()
+            .instrs;
         let vlis = partition(&runtime.firings(), total);
         assert!(vlis.len() >= 2, "{}: markers never fired", w.name);
     }
@@ -160,7 +171,7 @@ fn dsl_export_preserves_behaviour_for_every_workload() {
     // the exported DSL reparses into a program whose execution summary
     // matches the original on the train input exactly.
     for w in spm::workloads::suite() {
-        let text = spm::ir::write_workload(&w.program, &[w.train_input.clone()]);
+        let text = spm::ir::write_workload(&w.program, std::slice::from_ref(&w.train_input));
         let reparsed = spm::ir::parse_workload(&text)
             .unwrap_or_else(|e| panic!("{}: exported DSL must parse: {e}", w.name));
         assert_eq!(
@@ -171,6 +182,10 @@ fn dsl_export_preserves_behaviour_for_every_workload() {
         );
         let original = run(&w.program, &w.train_input, &mut []).unwrap();
         let round_tripped = run(&reparsed.program, &w.train_input, &mut []).unwrap();
-        assert_eq!(original, round_tripped, "{}: behaviour must survive export", w.name);
+        assert_eq!(
+            original, round_tripped,
+            "{}: behaviour must survive export",
+            w.name
+        );
     }
 }

@@ -31,7 +31,11 @@ impl TraceObserver for NestingChecker {
                 self.stack.push(("proc", proc.0));
             }
             TraceEvent::Return { proc } => {
-                assert_eq!(self.stack.pop(), Some(("proc", proc.0)), "unbalanced return");
+                assert_eq!(
+                    self.stack.pop(),
+                    Some(("proc", proc.0)),
+                    "unbalanced return"
+                );
             }
             TraceEvent::LoopEnter { loop_id } => {
                 self.stack.push(("loop", loop_id.0));
@@ -46,7 +50,11 @@ impl TraceObserver for NestingChecker {
                 *self.in_iteration.last_mut().expect("loop open") = true;
             }
             TraceEvent::LoopExit { loop_id } => {
-                assert_eq!(self.stack.pop(), Some(("loop", loop_id.0)), "unbalanced exit");
+                assert_eq!(
+                    self.stack.pop(),
+                    Some(("loop", loop_id.0)),
+                    "unbalanced exit"
+                );
                 self.in_iteration.pop();
             }
             TraceEvent::BlockExec { block, instrs, .. } => {
@@ -88,10 +96,18 @@ fn bbv_collector_accounts_every_instruction() {
         let summary = run(&w.program, &w.train_input, &mut [&mut collector]).unwrap();
         let intervals = collector.into_intervals();
         let covered: u64 = intervals.iter().map(|iv| iv.len()).sum();
-        assert_eq!(covered, summary.instrs, "{}: intervals must tile execution", w.name);
+        assert_eq!(
+            covered, summary.instrs,
+            "{}: intervals must tile execution",
+            w.name
+        );
         for iv in &intervals {
             let sum: f64 = iv.bbv.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "{}: BBV must be normalized", w.name);
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{}: BBV must be normalized",
+                w.name
+            );
         }
     }
 }
@@ -106,23 +122,31 @@ fn collector_with_explicit_cuts_matches_partition() {
         let mut profiler = CallLoopProfiler::new();
         run(&w.program, &w.ref_input, &mut [&mut profiler]).unwrap();
         let markers =
-            select_markers(&profiler.into_graph(), &SelectConfig::new(10_000)).markers;
+            select_markers(&profiler.into_graph().unwrap(), &SelectConfig::new(10_000)).markers;
         let mut runtime = MarkerRuntime::new(&markers);
-        let total = run(&w.program, &w.ref_input, &mut [&mut runtime]).unwrap().instrs;
+        let total = run(&w.program, &w.ref_input, &mut [&mut runtime])
+            .unwrap()
+            .instrs;
         let vlis = partition(&runtime.firings(), total);
 
-        let cuts: Vec<(u64, usize)> =
-            vlis.iter().skip(1).map(|v| (v.begin, v.phase)).collect();
+        let cuts: Vec<(u64, usize)> = vlis.iter().skip(1).map(|v| (v.begin, v.phase)).collect();
         let mut collector = IntervalBbvCollector::new(
             &w.program,
-            Boundaries::Explicit { cuts, prelude_phase: vlis[0].phase },
+            Boundaries::Explicit {
+                cuts,
+                prelude_phase: vlis[0].phase,
+            },
         );
         run(&w.program, &w.ref_input, &mut [&mut collector]).unwrap();
         let intervals = collector.into_intervals();
 
         assert_eq!(intervals.len(), vlis.len(), "{name}");
         for (iv, vli) in intervals.iter().zip(&vlis) {
-            assert_eq!((iv.begin, iv.end, iv.phase), (vli.begin, vli.end, vli.phase), "{name}");
+            assert_eq!(
+                (iv.begin, iv.end, iv.phase),
+                (vli.begin, vli.end, vli.phase),
+                "{name}"
+            );
         }
     }
 }
@@ -134,21 +158,29 @@ fn online_classifier_agrees_with_marker_phases_on_regular_program() {
     let w = spm::workloads::build("art").unwrap();
     let mut profiler = CallLoopProfiler::new();
     run(&w.program, &w.ref_input, &mut [&mut profiler]).unwrap();
-    let markers = select_markers(&profiler.into_graph(), &SelectConfig::new(10_000)).markers;
+    let markers =
+        select_markers(&profiler.into_graph().unwrap(), &SelectConfig::new(10_000)).markers;
     let mut runtime = MarkerRuntime::new(&markers);
-    let total = run(&w.program, &w.ref_input, &mut [&mut runtime]).unwrap().instrs;
+    let total = run(&w.program, &w.ref_input, &mut [&mut runtime])
+        .unwrap()
+        .instrs;
     let vlis = partition(&runtime.firings(), total);
     let cuts: Vec<(u64, usize)> = vlis.iter().skip(1).map(|v| (v.begin, v.phase)).collect();
     let mut collector = IntervalBbvCollector::new(
         &w.program,
-        Boundaries::Explicit { cuts, prelude_phase: vlis[0].phase },
+        Boundaries::Explicit {
+            cuts,
+            prelude_phase: vlis[0].phase,
+        },
     );
     run(&w.program, &w.ref_input, &mut [&mut collector]).unwrap();
     let intervals = collector.into_intervals();
 
     let mut online = OnlineClassifier::new(0.5, 32);
-    let online_ids: Vec<usize> =
-        intervals.iter().map(|iv| online.classify(&iv.bbv)).collect();
+    let online_ids: Vec<usize> = intervals
+        .iter()
+        .map(|iv| online.classify(&iv.bbv))
+        .collect();
 
     // Same marker phase -> same online phase (ignoring tiny intervals,
     // whose vectors are dominated by a single block).
