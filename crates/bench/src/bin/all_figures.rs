@@ -1,9 +1,21 @@
 //! Regenerates every figure, writing one file per figure under
-//! `results/` (used to populate EXPERIMENTS.md).
+//! `results/` (used to populate EXPERIMENTS.md), plus
+//! `results/BENCH_timings.json` with per-figure wall-clock spans
+//! captured through spm-obs.
 
 use std::fs;
+use std::sync::Arc;
+
+/// Runs one figure computation under a `bench/<name>` span.
+fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let _span = spm_obs::span(name);
+    f()
+}
 
 fn main() {
+    let sink = Arc::new(spm_obs::MemorySink::new());
+    spm_obs::install(sink.clone());
+
     fs::create_dir_all("results").expect("create results dir");
     let write = |name: &str, text: String| {
         fs::write(format!("results/{name}.txt"), &text).expect("write result");
@@ -14,26 +26,74 @@ fn main() {
 
     write(
         "fig03",
-        spm_bench::fig03::render(&spm_bench::fig03::time_series("gzip", 100_000)),
+        timed("bench/fig03", || {
+            spm_bench::fig03::render(&spm_bench::fig03::time_series("gzip", 100_000))
+        }),
     );
-    write("fig04", spm_bench::fig04::figure04());
-    write("fig05_fig06", spm_bench::fig056::figures_05_06("bzip2"));
-    let data = spm_bench::fig789::compute_suite();
-    write("fig07", spm_bench::fig789::figure07(&data));
-    write("fig08", spm_bench::fig789::figure08(&data));
-    write("fig09", spm_bench::fig789::figure09(&data));
+    write("fig04", timed("bench/fig04", spm_bench::fig04::figure04));
+    write(
+        "fig05_fig06",
+        timed("bench/fig05_fig06", || {
+            spm_bench::fig056::figures_05_06("bzip2")
+        }),
+    );
+    let data = timed("bench/fig789_compute", spm_bench::fig789::compute_suite);
+    write(
+        "fig07",
+        timed("bench/fig07", || spm_bench::fig789::figure07(&data)),
+    );
+    write(
+        "fig08",
+        timed("bench/fig08", || spm_bench::fig789::figure08(&data)),
+    );
+    write(
+        "fig09",
+        timed("bench/fig09", || spm_bench::fig789::figure09(&data)),
+    );
     write(
         "fig09_missrate",
-        spm_bench::fig789::figure09_missrate(&data),
+        timed("bench/fig09_missrate", || {
+            spm_bench::fig789::figure09_missrate(&data)
+        }),
     );
-    write("fig10", spm_bench::fig10::figure10());
-    let rows = spm_bench::fig1112::compute_suite();
-    write("fig11", spm_bench::fig1112::figure11(&rows));
-    write("fig12", spm_bench::fig1112::figure12(&rows));
-    write("ablations", spm_bench::ablation::all());
+    write("fig10", timed("bench/fig10", spm_bench::fig10::figure10));
+    let rows = timed("bench/fig1112_compute", spm_bench::fig1112::compute_suite);
+    write(
+        "fig11",
+        timed("bench/fig11", || spm_bench::fig1112::figure11(&rows)),
+    );
+    write(
+        "fig12",
+        timed("bench/fig12", || spm_bench::fig1112::figure12(&rows)),
+    );
+    write(
+        "ablations",
+        timed("bench/ablations", spm_bench::ablation::all),
+    );
     write(
         "supp_classifiers",
-        spm_bench::classifiers::classifier_table(),
+        timed(
+            "bench/supp_classifiers",
+            spm_bench::classifiers::classifier_table,
+        ),
     );
-    write("robustness", spm_bench::robustness::robustness_table());
+    write(
+        "robustness",
+        timed("bench/robustness", spm_bench::robustness::robustness_table),
+    );
+
+    spm_obs::uninstall();
+    // Per-figure wall-clock artifact: the top-level bench/<figure>
+    // spans only (nested pipeline spans would swamp the file), one
+    // JSON object per figure in run order.
+    let spans: Vec<String> = sink
+        .events()
+        .iter()
+        .filter(|e| e.name.starts_with("bench/") && e.name.matches('/').count() == 1)
+        .map(spm_obs::jsonl::encode)
+        .collect();
+    let json = format!("[\n{}\n]\n", spans.join(",\n"));
+    fs::write("results/BENCH_timings.json", json).expect("write timings");
+    println!("=== timings ===");
+    println!("wrote results/BENCH_timings.json ({} spans)", spans.len());
 }

@@ -53,12 +53,12 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["procs-only", "dot", "help", "plot"];
+const BOOLEAN_FLAGS: &[&str] = &["procs-only", "dot", "help", "plot", "verbose"];
 
 /// Flags that take a value. Anything outside both lists is rejected
 /// rather than silently swallowing the next token.
 const VALUE_FLAGS: &[&str] = &[
-    "out", "input", "ilower", "limit", "markers", "order", "step", "param",
+    "out", "input", "ilower", "limit", "markers", "order", "step", "param", "metrics", "spans",
 ];
 
 /// Parses a token stream (without the program name).
@@ -66,6 +66,10 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, ArgE
     let mut parsed = ParsedArgs::default();
     let mut iter = args.into_iter().peekable();
     while let Some(token) = iter.next() {
+        if token == "-v" {
+            parsed.flags.insert("verbose".to_string(), String::new());
+            continue;
+        }
         if let Some(flag) = token.strip_prefix("--") {
             if BOOLEAN_FLAGS.contains(&flag) {
                 parsed.flags.insert(flag.to_string(), String::new());
@@ -170,6 +174,16 @@ mod tests {
             parse_str("select gzip --frobnicate 3"),
             Err(ArgError::UnknownFlag("frobnicate".into()))
         );
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let p = parse_str("select gzip --metrics m.jsonl --spans s.jsonl -v").unwrap();
+        assert_eq!(p.flags.get("metrics").unwrap(), "m.jsonl");
+        assert_eq!(p.flags.get("spans").unwrap(), "s.jsonl");
+        assert!(p.has("verbose"));
+        let p = parse_str("select gzip --verbose").unwrap();
+        assert!(p.has("verbose"));
     }
 
     #[test]

@@ -32,6 +32,15 @@
 //! for pipelines. When marker partitioning degrades to fixed-length
 //! intervals, a machine-readable `warning: fallback=fixed-length
 //! reason=... interval=...` line goes to stderr.
+//!
+//! # Observability
+//!
+//! Every subcommand accepts `--metrics FILE` (all pipeline events as
+//! JSONL, schema documented in `spm-obs`), `--spans FILE` (span events
+//! only), and `-v`/`--verbose` (per-stage timing summary on stderr
+//! after the command finishes). Degradation warnings are routed through
+//! the same structured stream as `warning` events, deduplicated per
+//! run.
 
 mod args;
 mod plot;
@@ -91,26 +100,41 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(e) => return usage_failure(&e.to_string()),
     };
-    let result = match parsed.command.as_str() {
-        "list" => cmd_list(),
-        "profile" => cmd_profile(&parsed),
-        "select" => cmd_select(&parsed),
-        "partition" => cmd_partition(&parsed),
-        "predict" => cmd_predict(&parsed),
-        "structure" => cmd_structure(&parsed),
-        "explain" => cmd_explain(&parsed),
-        "export" => cmd_export(&parsed),
-        "timeseries" => cmd_timeseries(&parsed),
-        "record" => cmd_record(&parsed),
-        "replay" => cmd_replay(&parsed),
-        "help" | "--help" => {
-            print!("{HELP}");
-            Ok(())
+    let verbose_sink = match setup_obs(&parsed) {
+        Ok(sink) => sink,
+        Err(CliError::Usage(message)) => return usage_failure(&message),
+        Err(CliError::Pipeline(e)) => {
+            eprintln!("error[{}]: {e}", e.class());
+            return ExitCode::from(e.exit_code());
         }
-        other => Err(CliError::Usage(format!(
-            "unknown subcommand `{other}` (try `spm help`)"
-        ))),
     };
+    let result = {
+        let _span = spm_obs::span(&format!("cli/{}", parsed.command));
+        match parsed.command.as_str() {
+            "list" => cmd_list(),
+            "profile" => cmd_profile(&parsed),
+            "select" => cmd_select(&parsed),
+            "partition" => cmd_partition(&parsed),
+            "predict" => cmd_predict(&parsed),
+            "structure" => cmd_structure(&parsed),
+            "explain" => cmd_explain(&parsed),
+            "export" => cmd_export(&parsed),
+            "timeseries" => cmd_timeseries(&parsed),
+            "record" => cmd_record(&parsed),
+            "replay" => cmd_replay(&parsed),
+            "help" | "--help" => {
+                print!("{HELP}");
+                Ok(())
+            }
+            other => Err(CliError::Usage(format!(
+                "unknown subcommand `{other}` (try `spm help`)"
+            ))),
+        }
+    };
+    spm_obs::flush();
+    if let Some(sink) = verbose_sink {
+        eprint!("{}", spm_obs::summary::render(&sink.events()));
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(CliError::Usage(message)) => usage_failure(&message),
@@ -119,6 +143,46 @@ fn main() -> ExitCode {
             ExitCode::from(e.exit_code())
         }
     }
+}
+
+/// Installs the event recorder requested by `--metrics`, `--spans`, and
+/// `-v`/`--verbose`. Returns the in-memory sink backing the verbose
+/// summary, when one was requested. With none of the three flags the
+/// recorder stays uninstalled and instrumentation is zero-cost.
+fn setup_obs(parsed: &ParsedArgs) -> Result<Option<std::sync::Arc<spm_obs::MemorySink>>, CliError> {
+    let mut sinks: Vec<std::sync::Arc<dyn spm_obs::Recorder>> = Vec::new();
+    let open = |path: &str, spans_only: bool| -> Result<spm_obs::JsonlSink, CliError> {
+        let path = std::path::Path::new(path);
+        let make = if spans_only {
+            spm_obs::JsonlSink::create_spans_only
+        } else {
+            spm_obs::JsonlSink::create
+        };
+        make(path).map_err(|e| {
+            CliError::Pipeline(SpmError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })
+        })
+    };
+    if let Some(path) = parsed.flags.get("metrics") {
+        sinks.push(std::sync::Arc::new(open(path, false)?));
+    }
+    if let Some(path) = parsed.flags.get("spans") {
+        sinks.push(std::sync::Arc::new(open(path, true)?));
+    }
+    let mut verbose_sink = None;
+    if parsed.has("verbose") {
+        let sink = std::sync::Arc::new(spm_obs::MemorySink::new());
+        sinks.push(sink.clone());
+        verbose_sink = Some(sink);
+    }
+    match sinks.len() {
+        0 => {}
+        1 => spm_obs::install(sinks.remove(0)),
+        _ => spm_obs::install(std::sync::Arc::new(spm_obs::Fanout::new(sinks))),
+    }
+    Ok(verbose_sink)
 }
 
 /// Reports a usage error: message plus the usage text, all on stderr so
@@ -157,6 +221,12 @@ FLAGS:
   --step N            sample stride for timeseries (default 10000)
   --plot              render timeseries as terminal sparklines
   --param k=v[,k=v]   override input parameters
+
+OBSERVABILITY (any subcommand):
+  --metrics FILE      write all pipeline events (spans, counters, gauges,
+                      histograms, warnings) to FILE as JSON Lines
+  --spans FILE        write span (timing) events only to FILE
+  -v, --verbose       print a per-stage timing summary to stderr
 
 EXIT CODES:
   0 ok, 2 usage, 3 I/O, 4 workload parse, 5 graph/marker parse,
@@ -318,10 +388,21 @@ fn partition_checked(
         source.degenerate_cov,
     );
     if let Some(fb) = &outcome.fallback {
-        eprintln!(
-            "warning: fallback=fixed-length reason={} interval={}",
-            fb.reason, fb.interval
+        // The structured event carries the same facts as the stderr
+        // line; its dedupe return keeps both channels in sync.
+        let fresh = spm_obs::warning(
+            "fallback/fixed-length",
+            &[
+                ("reason", fb.reason.to_string().into()),
+                ("interval", fb.interval.into()),
+            ],
         );
+        if fresh {
+            eprintln!(
+                "warning: fallback=fixed-length reason={} interval={}",
+                fb.reason, fb.interval
+            );
+        }
     }
     outcome.vlis
 }
@@ -399,7 +480,7 @@ fn cmd_select(parsed: &ParsedArgs) -> Result<(), CliError> {
         outcome.avg_cov * 100.0,
         outcome.std_cov * 100.0
     );
-    if outcome.degenerate_cov {
+    if outcome.degenerate_cov && spm_obs::warning("select/degenerate-cov", &[]) {
         eprintln!("warning: degenerate-cov: no candidate edge has a finite CoV");
     }
     print!("{}", write_markers(&outcome.markers));

@@ -429,7 +429,7 @@ pub fn partition_with_fallback(
     } else {
         None
     };
-    match reason {
+    let outcome = match reason {
         Some(reason) => PartitionOutcome {
             vlis: fixed_length_intervals(total_instrs, ilower),
             fallback: Some(FliFallback {
@@ -441,7 +441,17 @@ pub fn partition_with_fallback(
             vlis: partition(firings, total_instrs),
             fallback: None,
         },
+    };
+    if spm_obs::enabled() {
+        let mut lengths = spm_stats::LogHistogram::new();
+        for vli in &outcome.vlis {
+            lengths.record(vli.len());
+        }
+        spm_obs::histogram("partition/vli_lengths", &lengths);
+        spm_obs::counter("partition/intervals", outcome.vlis.len() as u64);
+        spm_obs::counter("partition/phases", phase_count(&outcome.vlis) as u64);
     }
+    outcome
 }
 
 /// Number of distinct phase ids among the intervals.

@@ -96,6 +96,20 @@ impl CallLoopProfiler {
                 at_event: self.events.saturating_sub(1),
             });
         }
+        if spm_obs::enabled() {
+            let graph = &self.graph;
+            spm_obs::counter("graph/nodes", graph.nodes().len() as u64);
+            spm_obs::counter_with(
+                "graph/edges",
+                graph.edges().len() as u64,
+                &[("profile_events", self.events.into())],
+            );
+            let mut out_degree = spm_stats::LogHistogram::new();
+            for node in graph.nodes() {
+                out_degree.record(graph.out_edges(node.id).len() as u64);
+            }
+            spm_obs::histogram("graph/out_degree", &out_degree);
+        }
         Ok(self.graph)
     }
 

@@ -180,10 +180,12 @@ pub struct SelectionOutcome {
 /// assert_eq!(outcome.markers.len(), 1);
 /// ```
 pub fn select_markers(graph: &CallLoopGraph, config: &SelectConfig) -> SelectionOutcome {
+    let mut span = spm_obs::span("core/select");
     let order = graph.selection_order();
 
     // Pass 1: prune by average hierarchical instruction count.
     let mut candidates: Vec<&Edge> = Vec::new();
+    let mut pruned = 0u64;
     for &node in &order {
         for &edge_id in graph.in_edges(node) {
             let edge = graph.edge(edge_id);
@@ -192,6 +194,8 @@ pub fn select_markers(graph: &CallLoopGraph, config: &SelectConfig) -> Selection
             }
             if edge.avg() >= config.ilower as f64 {
                 candidates.push(edge);
+            } else {
+                pruned += 1;
             }
         }
     }
@@ -308,6 +312,47 @@ pub fn select_markers(graph: &CallLoopGraph, config: &SelectConfig) -> Selection
                     threshold: threshold(edge),
                 };
             }
+        }
+    }
+
+    if span.is_live() {
+        spm_obs::counter_with(
+            "select/pass1_pruned_edges",
+            pruned,
+            &[("ilower", config.ilower.into())],
+        );
+        spm_obs::counter("select/candidates", candidates.len() as u64);
+        // The base threshold actually applied at A = ilower; the ramp's
+        // inputs ride along so consumers can reconstruct the full line.
+        spm_obs::gauge_with(
+            "select/cov_threshold",
+            avg_cov.max(config.cov_floor),
+            &[
+                ("avg_cov", avg_cov.into()),
+                ("std_cov", std_cov.into()),
+                ("max_avg", max_avg.into()),
+                ("cov_floor", config.cov_floor.into()),
+            ],
+        );
+        if config.max_limit.is_some() {
+            let cuts = decisions
+                .iter()
+                .filter(|d| matches!(d, EdgeDecision::MarkedViaCut))
+                .count();
+            let merges = decisions
+                .iter()
+                .filter(|d| matches!(d, EdgeDecision::MergedIterations { .. }))
+                .count();
+            spm_obs::counter("select/limit_cuts", cuts as u64);
+            spm_obs::counter("select/limit_merges", merges as u64);
+        }
+        spm_obs::counter("select/markers", markers.len() as u64);
+        span.field("ilower", config.ilower);
+        span.field("edges", graph.edges().len());
+        span.field("candidates", candidates.len());
+        span.field("markers", markers.len());
+        if degenerate_cov {
+            span.field("degenerate_cov", true);
         }
     }
 

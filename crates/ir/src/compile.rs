@@ -116,6 +116,7 @@ impl Default for CompileConfig {
 /// [`SourceId`](crate::SourceId)s are preserved on every surviving
 /// construct; dense block/loop/branch ids are reassigned.
 pub fn compile(source: &Program, config: &CompileConfig) -> Program {
+    let mut span = spm_obs::span("ir/compile");
     let mut program = source.clone();
     let inlinable: Vec<Option<Vec<Stmt>>> = program
         .procs
@@ -127,6 +128,11 @@ pub fn compile(source: &Program, config: &CompileConfig) -> Program {
     }
     program.name = format!("{}:{}", source.name, config.name);
     program.renumber();
+    if span.is_live() {
+        span.field("config", config.name);
+        span.field("source_blocks", source.block_count());
+        span.field("out_blocks", program.block_count());
+    }
     program
 }
 

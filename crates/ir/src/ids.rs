@@ -30,6 +30,10 @@ macro_rules! dense_id {
 
         impl From<usize> for $name {
             fn from(i: usize) -> Self {
+                // Ids are dense indices assigned during numbering; a
+                // program with 2^32 entities cannot be built, so
+                // overflow here is a caller bug worth halting on.
+                #[allow(clippy::expect_used)]
                 $name(u32::try_from(i).expect("id overflow"))
             }
         }

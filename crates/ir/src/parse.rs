@@ -277,6 +277,7 @@ impl Parser {
 /// Returns a [`DslError`] naming the line of the first problem,
 /// including semantic ones (undefined regions or procedures).
 pub fn parse_workload(src: &str) -> Result<ParsedWorkload, DslError> {
+    let mut span = spm_obs::span("ir/parse");
     let mut p = Parser {
         toks: lex(src)?,
         pos: 0,
@@ -338,6 +339,13 @@ pub fn parse_workload(src: &str) -> Result<ParsedWorkload, DslError> {
         });
     }
     let program = builder.build("main").map_err(DslError::from)?;
+    if span.is_live() {
+        span.field("bytes", src.len());
+        span.field("procs", program.procs().len());
+        span.field("blocks", program.block_count());
+        span.field("loops", program.loop_count());
+        span.field("inputs", inputs.len());
+    }
     Ok(ParsedWorkload { program, inputs })
 }
 

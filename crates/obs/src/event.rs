@@ -1,0 +1,220 @@
+//! The event model: everything the pipeline can report, as plain data.
+//!
+//! Events are flat on purpose — a name, a kind-specific payload, and a
+//! list of key/value fields — so that every sink (JSONL file, in-memory
+//! buffer, human-readable summary) renders the same information and the
+//! schema stays trivially versionable.
+
+use spm_stats::LogHistogram;
+
+/// Version stamped into every serialized event (the `"v"` key of the
+/// JSONL encoding). Bump when the encoding changes shape; consumers must
+/// reject versions they do not know.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A field value. Numbers keep their native width; non-finite floats
+/// serialize as JSON `null` (JSON has no NaN/inf literals).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sizes, ids).
+    U64(u64),
+    /// Floating point (rates, ratios, thresholds).
+    F64(f64),
+    /// Text (reasons, names).
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Kind-specific payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A completed timed span; `dur_us` is wall-clock microseconds from
+    /// creation to drop.
+    Span {
+        /// Duration in microseconds.
+        dur_us: u64,
+    },
+    /// A monotonically meaningful count observed at one instant.
+    Counter {
+        /// The count.
+        value: u64,
+    },
+    /// A point-in-time measurement.
+    Gauge {
+        /// The measurement.
+        value: f64,
+    },
+    /// A power-of-two histogram snapshot: `(lo, hi_exclusive, count)`
+    /// per non-empty bucket, plus the total sample count.
+    Histogram {
+        /// Total samples.
+        count: u64,
+        /// Non-empty buckets.
+        buckets: Vec<(u64, u64, u64)>,
+    },
+    /// A structured warning (degradations, fallbacks). Deduplicated per
+    /// process: repeated emissions of an identical warning are dropped.
+    Warning,
+}
+
+impl EventKind {
+    /// The stable kind tag used by the JSONL encoding.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::Span { .. } => "span",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Gauge { .. } => "gauge",
+            EventKind::Histogram { .. } => "hist",
+            EventKind::Warning => "warning",
+        }
+    }
+}
+
+/// One observability event: a hierarchical name (span path segments
+/// joined by `/`), a kind-specific payload, and free-form fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Hierarchical name, e.g. `cli/select` or `core/select`.
+    pub name: String,
+    /// Payload.
+    pub kind: EventKind,
+    /// Additional key/value context.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, kind: EventKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder-style field attachment.
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Snapshots a [`LogHistogram`] into an event payload.
+pub fn histogram_kind(hist: &LogHistogram) -> EventKind {
+    EventKind::Histogram {
+        count: hist.count(),
+        buckets: hist.buckets().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3u64), Value::U64(3));
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(1.5f64), Value::F64(1.5));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::U64(7).to_string(), "7");
+    }
+
+    #[test]
+    fn event_builder_and_lookup() {
+        let e = Event::new("a/b", EventKind::Counter { value: 2 })
+            .with("k", 9u64)
+            .with("s", "why");
+        assert_eq!(e.field("k"), Some(&Value::U64(9)));
+        assert_eq!(e.field("s"), Some(&Value::Str("why".into())));
+        assert_eq!(e.field("missing"), None);
+        assert_eq!(e.kind.tag(), "counter");
+    }
+
+    #[test]
+    fn histogram_snapshot_preserves_buckets() {
+        let mut h = LogHistogram::new();
+        h.extend([1u64, 2, 3, 1000]);
+        let EventKind::Histogram { count, buckets } = histogram_kind(&h) else {
+            panic!("wrong kind");
+        };
+        assert_eq!(count, 4);
+        assert_eq!(buckets.iter().map(|b| b.2).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn kind_tags_are_stable() {
+        assert_eq!(EventKind::Span { dur_us: 1 }.tag(), "span");
+        assert_eq!(EventKind::Gauge { value: 0.0 }.tag(), "gauge");
+        assert_eq!(
+            EventKind::Histogram {
+                count: 0,
+                buckets: vec![]
+            }
+            .tag(),
+            "hist"
+        );
+        assert_eq!(EventKind::Warning.tag(), "warning");
+    }
+}

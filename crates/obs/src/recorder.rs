@@ -1,0 +1,247 @@
+//! The [`Recorder`] trait, the process-global recorder slot, and basic
+//! sinks (in-memory buffer, fanout).
+//!
+//! The global slot follows the `log`-crate pattern: library code calls
+//! free functions ([`crate::counter`], [`crate::span`], …) that check a
+//! relaxed atomic flag first, so an uninstrumented process pays one
+//! predictable branch per call site and nothing else.
+
+use crate::event::Event;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A sink for observability events. Implementations must be cheap and
+/// non-blocking in spirit: pipeline threads call [`Recorder::record`]
+/// inline.
+pub trait Recorder: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output (called once at process exit by the
+    /// driver; a no-op for unbuffered sinks).
+    fn flush(&self) {}
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+/// FNV-1a hashes of warnings already emitted (process-wide dedupe).
+static SEEN_WARNINGS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// Installs `recorder` as the process-global sink and enables the
+/// instrumentation fast path. Replaces (and flushes) any previous
+/// recorder, and resets warning deduplication.
+pub fn install(recorder: Arc<dyn Recorder>) {
+    let previous = {
+        let mut slot = write_slot();
+        let previous = slot.take();
+        *slot = Some(recorder);
+        previous
+    };
+    if let Some(prev) = previous {
+        prev.flush();
+    }
+    if let Ok(mut seen) = SEEN_WARNINGS.lock() {
+        seen.clear();
+    }
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes and flushes the global recorder, disabling instrumentation.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    let previous = write_slot().take();
+    if let Some(prev) = previous {
+        prev.flush();
+    }
+}
+
+/// Whether a recorder is installed. Library code may use this to skip
+/// preparing expensive event payloads.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Flushes the installed recorder, if any.
+pub fn flush() {
+    if let Some(r) = current() {
+        r.flush();
+    }
+}
+
+/// Sends one event to the installed recorder; a no-op when disabled.
+pub fn record(event: &Event) {
+    if !enabled() {
+        return;
+    }
+    if let Some(r) = current() {
+        r.record(event);
+    }
+}
+
+/// Records a warning event, deduplicating by `(name, fields)` within
+/// the process: returns `true` when this is the first occurrence (and
+/// the event was forwarded), `false` when an identical warning was
+/// already emitted. Deduplication applies even with no recorder
+/// installed, so callers can gate their own fallback output (e.g. a
+/// stderr line) on the return value.
+pub fn warning_event(event: &Event) -> bool {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(event.name.as_bytes());
+    for (k, v) in &event.fields {
+        eat(b"\x1f");
+        eat(k.as_bytes());
+        eat(b"\x1e");
+        eat(v.to_string().as_bytes());
+    }
+    {
+        let Ok(mut seen) = SEEN_WARNINGS.lock() else {
+            return false;
+        };
+        if seen.contains(&hash) {
+            return false;
+        }
+        seen.push(hash);
+    }
+    record(event);
+    true
+}
+
+fn current() -> Option<Arc<dyn Recorder>> {
+    RECORDER
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+fn write_slot() -> std::sync::RwLockWriteGuard<'static, Option<Arc<dyn Recorder>>> {
+    RECORDER
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An in-memory sink: buffers every event for later inspection. Used by
+/// tests and by the `-v` stage summary.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Recorder for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(event.clone());
+    }
+}
+
+/// Broadcasts every event to several sinks in order.
+pub struct Fanout {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl Fanout {
+    /// Creates a fanout over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Recorder for Fanout {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    // The global recorder slot is process-wide; tests touching it run
+    // under this lock so `cargo test`'s parallelism cannot interleave
+    // install/uninstall sequences.
+    pub(crate) static GLOBAL_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn counter(name: &str, value: u64) -> Event {
+        Event::new(name, EventKind::Counter { value })
+    }
+
+    #[test]
+    fn disabled_by_default_and_after_uninstall() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        uninstall();
+        assert!(!enabled());
+        record(&counter("x", 1)); // must not panic
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        assert!(enabled());
+        record(&counter("x", 2));
+        uninstall();
+        assert!(!enabled());
+        record(&counter("x", 3));
+        assert_eq!(sink.events().len(), 1);
+    }
+
+    #[test]
+    fn warnings_dedupe_by_name_and_fields() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        let w = Event::new("fallback", EventKind::Warning).with("reason", "no-markers");
+        assert!(warning_event(&w));
+        assert!(!warning_event(&w), "identical warning must dedupe");
+        let other = Event::new("fallback", EventKind::Warning).with("reason", "no-firings");
+        assert!(warning_event(&other), "different fields are distinct");
+        assert_eq!(sink.events().len(), 2);
+        // Reinstall resets the dedupe set.
+        install(sink.clone());
+        assert!(warning_event(&w));
+        uninstall();
+    }
+
+    #[test]
+    fn fanout_broadcasts_and_flushes() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let fan = Fanout::new(vec![a.clone(), b.clone()]);
+        fan.record(&counter("n", 5));
+        fan.flush();
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Hierarchical timed spans.
+//!
+//! A [`Span`] is an RAII guard: created at the start of a stage, it
+//! records a [`EventKind::Span`] event with the wall-clock duration when
+//! dropped. Spans nest per thread — a span opened while another is live
+//! gets the outer span's path as a prefix (`cli/select` →
+//! `cli/select/sim/run` when `sim/run` opens inside it), which is what
+//! makes one flat event stream reconstructable as a stage tree.
+//!
+//! When no recorder is installed ([`crate::enabled`] is false) a span
+//! neither reads the clock nor touches the thread-local stack: the
+//! entire cost is one atomic load.
+
+use crate::event::{Event, EventKind, Value};
+use crate::recorder::{enabled, record};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Stack of live span paths on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An in-flight timed span; see the module docs. Inert (all methods
+/// no-ops) when created while instrumentation is disabled.
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    path: String,
+    fields: Vec<(String, Value)>,
+}
+
+/// Opens a span named `name` (path segments joined by `/` nest under
+/// any live span on this thread).
+pub fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span {
+            start: None,
+            path: String::new(),
+            fields: Vec::new(),
+        };
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    Span {
+        start: Some(Instant::now()),
+        path,
+        fields: Vec::new(),
+    }
+}
+
+impl Span {
+    /// Attaches a field reported with the closing event.
+    pub fn field(&mut self, key: &str, value: impl Into<Value>) {
+        if self.start.is_some() {
+            self.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Wall-clock time since the span opened (zero when inert).
+    pub fn elapsed(&self) -> Duration {
+        self.start.map(|s| s.elapsed()).unwrap_or_default()
+    }
+
+    /// Whether the span is live (instrumentation was enabled at open).
+    pub fn is_live(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// The full hierarchical path (empty when inert).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop up to and including this span's entry; defensive
+            // against leaked guards crossing threads.
+            if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+                stack.truncate(pos);
+            }
+        });
+        let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        record(&Event {
+            name: std::mem::take(&mut self.path),
+            kind: EventKind::Span { dur_us },
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::tests::GLOBAL_TEST_LOCK;
+    use crate::recorder::{install, uninstall, MemorySink};
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        {
+            let mut outer = span("cli/select");
+            outer.field("workload", "gzip");
+            {
+                let inner = span("sim/run");
+                assert_eq!(inner.path(), "cli/select/sim/run");
+            }
+            {
+                let _second = span("core/select");
+            }
+        }
+        uninstall();
+        let events = sink.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["cli/select/sim/run", "cli/select/core/select", "cli/select"]
+        );
+        for e in &events {
+            assert!(matches!(e.kind, EventKind::Span { .. }));
+        }
+        assert_eq!(
+            events[2].field("workload"),
+            Some(&Value::Str("gzip".into()))
+        );
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        uninstall();
+        let mut s = span("anything");
+        assert!(!s.is_live());
+        s.field("k", 1u64); // must not allocate into a dead span path
+        assert_eq!(s.elapsed(), Duration::ZERO);
+        assert_eq!(s.path(), "");
+    }
+
+    #[test]
+    fn stack_recovers_after_drop() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        {
+            let _a = span("a");
+        }
+        {
+            let b = span("b");
+            assert_eq!(b.path(), "b", "stack must be empty after `a` closed");
+        }
+        uninstall();
+    }
+}

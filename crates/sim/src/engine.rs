@@ -98,9 +98,19 @@ pub fn run(
     input: &Input,
     observers: &mut [&mut dyn TraceObserver],
 ) -> Result<RunSummary, RunError> {
+    let mut span = spm_obs::span("sim/run");
     let mut engine = Engine::new(program, input)?;
     engine.exec_proc(program.proc(program.entry()), observers, 0);
     engine.emit(observers, TraceEvent::Finish);
+    if span.is_live() {
+        span.field("program", program.name());
+        span.field("instrs", engine.summary.instrs);
+        span.field("events", engine.events);
+        let secs = span.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            spm_obs::gauge("sim/events_per_sec", engine.events as f64 / secs);
+        }
+    }
     Ok(engine.summary)
 }
 
@@ -118,6 +128,8 @@ struct Engine<'p> {
     cursor_base: Vec<u32>,
     /// Execution counters for periodic branches.
     branch_execs: Vec<u64>,
+    /// Trace events emitted so far (observability only).
+    events: u64,
     summary: RunSummary,
 }
 
@@ -172,11 +184,13 @@ impl<'p> Engine<'p> {
             cursors: vec![0; total as usize],
             cursor_base,
             branch_execs: vec![0; program.branch_count()],
+            events: 0,
             summary: RunSummary::default(),
         })
     }
 
-    fn emit(&self, observers: &mut [&mut dyn TraceObserver], event: TraceEvent) {
+    fn emit(&mut self, observers: &mut [&mut dyn TraceObserver], event: TraceEvent) {
+        self.events += 1;
         for obs in observers.iter_mut() {
             obs.on_event(self.icount, &event);
         }

@@ -455,9 +455,10 @@ fn decode_one(bytes: &[u8], pos: &mut usize) -> Result<(u64, TraceEvent), Decode
 /// been delivered; use [`replay_prefix`] to make that recovery
 /// deliberate.
 pub fn replay(bytes: &[u8], observers: &mut [&mut dyn TraceObserver]) -> Result<u64, DecodeError> {
+    let mut span = spm_obs::span("sim/replay");
     let header = parse_header(bytes)?;
     let payload = &bytes[header.payload_start..];
-    if let Some((declared_events, payload_len, checksum)) = header.declared {
+    let events = if let Some((declared_events, payload_len, checksum)) = header.declared {
         if payload_len != payload.len() as u64 {
             return Err(DecodeError::LengthMismatch {
                 declared: payload_len,
@@ -478,10 +479,19 @@ pub fn replay(bytes: &[u8], observers: &mut [&mut dyn TraceObserver]) -> Result<
                 actual: events,
             });
         }
-        Ok(events)
+        events
     } else {
-        replay_payload(bytes, header.payload_start, observers)
+        replay_payload(bytes, header.payload_start, observers)?
+    };
+    if span.is_live() {
+        span.field("bytes", bytes.len());
+        span.field("events", events);
+        let secs = span.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            spm_obs::gauge("sim/replay_events_per_sec", events as f64 / secs);
+        }
     }
+    Ok(events)
 }
 
 fn replay_payload(

@@ -13,6 +13,10 @@ pub struct Clustering {
     pub centroids: Vec<Vec<f64>>,
     /// Weighted sum of squared distances to assigned centroids.
     pub distortion: f64,
+    /// Lloyd iterations executed (assignment + update rounds).
+    pub iterations: u64,
+    /// Whether the assignment stabilized before the iteration cap.
+    pub converged: bool,
 }
 
 impl Clustering {
@@ -148,10 +152,29 @@ pub fn kmeans(
             .iter()
             .map(|&w| if w.is_finite() && w >= 0.0 { w } else { 0.0 })
             .collect();
-        Ok(kmeans_unchecked(&pts, &ws, k, seed))
+        Ok(report(kmeans_unchecked(&pts, &ws, k, seed), points.len()))
     } else {
-        Ok(kmeans_unchecked(points, weights, k, seed))
+        Ok(report(
+            kmeans_unchecked(points, weights, k, seed),
+            points.len(),
+        ))
     }
+}
+
+/// Emits the per-run convergence counter when a recorder is installed.
+fn report(clustering: Clustering, n: usize) -> Clustering {
+    if spm_obs::enabled() {
+        spm_obs::counter_with(
+            "simpoint/kmeans_iters",
+            clustering.iterations,
+            &[
+                ("k", (clustering.k() as u64).into()),
+                ("n", (n as u64).into()),
+                ("converged", clustering.converged.into()),
+            ],
+        );
+    }
+    clustering
 }
 
 /// The algorithm proper; inputs already validated and sanitized.
@@ -182,7 +205,10 @@ fn kmeans_unchecked(points: &[Vec<f64>], weights: &[f64], k: usize, seed: u64) -
     }
 
     let mut assignments = vec![0usize; n];
+    let mut iterations = 0u64;
+    let mut converged = false;
     for _iter in 0..100 {
+        iterations = _iter as u64 + 1;
         // Assignment step.
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
@@ -201,6 +227,7 @@ fn kmeans_unchecked(points: &[Vec<f64>], weights: &[f64], k: usize, seed: u64) -
             }
         }
         if !changed && _iter > 0 {
+            converged = true;
             break;
         }
         // Update step (weighted means).
@@ -246,6 +273,8 @@ fn kmeans_unchecked(points: &[Vec<f64>], weights: &[f64], k: usize, seed: u64) -
         assignments,
         centroids,
         distortion,
+        iterations,
+        converged,
     }
 }
 

@@ -119,6 +119,7 @@ pub fn pick_simpoints(
     weights: &[f64],
     config: &SimPointConfig,
 ) -> Result<SimPoints, KmeansError> {
+    let mut span = spm_obs::span("simpoint/pick");
     if vectors.is_empty() {
         return Err(KmeansError::NoPoints);
     }
@@ -214,6 +215,12 @@ pub fn pick_simpoints(
     }
     for a in &mut assignments {
         *a = remap[*a];
+    }
+    if span.is_live() {
+        span.field("intervals", vectors.len());
+        span.field("dims", config.dims);
+        span.field("kmax", config.kmax);
+        span.field("k", kept.len());
     }
     Ok(SimPoints {
         k: kept.len(),
