@@ -15,7 +15,7 @@ use spm_workloads::build;
 
 fn fig03(c: &mut Criterion) {
     c.bench_function("fig03_gzip_timeseries", |b| {
-        b.iter(|| time_series("gzip", 100_000).firings.len())
+        b.iter(|| time_series("gzip", 100_000).unwrap().firings.len())
     });
 }
 
@@ -26,7 +26,8 @@ fn fig04(c: &mut Criterion) {
                 "gzip",
                 &CompileConfig::baseline(),
                 &CompileConfig::alt_isa(),
-            );
+            )
+            .unwrap();
             assert!(isa.traces_identical);
             isa.num_markers
         })
@@ -36,7 +37,7 @@ fn fig04(c: &mut Criterion) {
 fn fig0506(c: &mut Criterion) {
     c.bench_function("fig05_06_bzip2_projection", |b| {
         b.iter(|| {
-            let p = projections("bzip2");
+            let p = projections("bzip2").unwrap();
             assert!(p.vli_tightness <= p.fixed_tightness);
             p.fixed_points.len()
         })
@@ -47,21 +48,21 @@ fn fig070809(c: &mut Criterion) {
     // One representative program instead of the full 11-program suite.
     let w = build("mgrid").expect("mgrid");
     c.bench_function("fig07_08_09_mgrid_behavior", |b| {
-        b.iter(|| behavior_data(&w).runs.len())
+        b.iter(|| behavior_data(&w).unwrap().runs.len())
     });
 }
 
 fn fig10(c: &mut Criterion) {
     let w = build("swim").expect("swim");
     c.bench_function("fig10_swim_cache_reconfig", |b| {
-        b.iter(|| cache_row(&w).spm_self.avg_size_kb)
+        b.iter(|| cache_row(&w).unwrap().spm_self.avg_size_kb)
     });
 }
 
 fn fig1112(c: &mut Criterion) {
     let w = build("art").expect("art");
     c.bench_function("fig11_12_art_simpoint", |b| {
-        b.iter(|| simpoint_row(&w).entries.len())
+        b.iter(|| simpoint_row(&w).unwrap().entries.len())
     });
 }
 

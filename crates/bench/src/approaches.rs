@@ -6,7 +6,7 @@ use crate::{
     ANALYSIS_SEED, BBV_FIXED, GRANULE, ILOWER, KMAX, LIMIT_MAX, LIMIT_MIN, PROJECTION_DIMS,
 };
 use spm_bbv::{Boundaries, IntervalBbvCollector};
-use spm_core::{partition, MarkerRuntime, SelectConfig, Vli};
+use spm_core::{partition, MarkerRuntime, SelectConfig, SpmError, Vli};
 use spm_sim::{run, Timeline, TraceObserver};
 use spm_simpoint::{pick_simpoints, SimPointConfig};
 use spm_stats::{phase_cov, PhaseSample};
@@ -118,10 +118,15 @@ impl BehaviorData {
 /// and ref, select the five marker configurations, detect all marker
 /// sets plus the fixed-length BBVs and the metric timeline in one `ref`
 /// pass, and classify.
-pub fn behavior_data(workload: &Workload) -> BehaviorData {
+///
+/// # Errors
+///
+/// Propagates engine/profiler failures; clustering failures map to
+/// [`SpmError::Analysis`].
+pub fn behavior_data(workload: &Workload) -> Result<BehaviorData, SpmError> {
     let program = &workload.program;
-    let graph_train = profile(program, &workload.train_input);
-    let graph_ref = profile(program, &workload.ref_input);
+    let graph_train = profile(program, &workload.train_input)?;
+    let graph_ref = profile(program, &workload.ref_input)?;
 
     let procs = SelectConfig::new(ILOWER).procedures_only();
     let nolimit = SelectConfig::new(ILOWER);
@@ -145,9 +150,7 @@ pub fn behavior_data(workload: &Workload) -> BehaviorData {
             .collect();
         observers.push(&mut timeline);
         observers.push(&mut bbv);
-        run(program, &workload.ref_input, &mut observers)
-            .expect("ref runs")
-            .instrs
+        run(program, &workload.ref_input, &mut observers)?.instrs
     };
 
     // BBV / SimPoint classification of the fixed intervals.
@@ -159,7 +162,7 @@ pub fn behavior_data(workload: &Workload) -> BehaviorData {
         &weights,
         &SimPointConfig::new(KMAX, PROJECTION_DIMS, ANALYSIS_SEED),
     )
-    .expect("bench intervals are well-formed");
+    .map_err(|e| crate::analysis_error("fig789/simpoint", e))?;
     let bbv_run = PhaseRun::from_vlis(
         fixed
             .iter()
@@ -180,12 +183,12 @@ pub fn behavior_data(workload: &Workload) -> BehaviorData {
         ));
     }
 
-    BehaviorData {
+    Ok(BehaviorData {
         name: workload.name,
         timeline,
         total,
         runs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -196,7 +199,7 @@ mod tests {
     #[test]
     fn gzip_behavior_pipeline() {
         let w = build("gzip").unwrap();
-        let data = behavior_data(&w);
+        let data = behavior_data(&w).unwrap();
         assert_eq!(data.runs.len(), 6);
         let by_name: std::collections::HashMap<&str, &PhaseRun> =
             data.runs.iter().map(|(n, r)| (*n, r)).collect();

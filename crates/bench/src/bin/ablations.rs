@@ -2,5 +2,5 @@
 //! choices (DESIGN.md section 7).
 
 fn main() {
-    print!("{}", spm_bench::ablation::all());
+    print!("{}", spm_bench::exit_on_error(spm_bench::ablation::all()));
 }

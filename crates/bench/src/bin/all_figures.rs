@@ -2,6 +2,14 @@
 //! `results/` (used to populate EXPERIMENTS.md), plus
 //! `results/BENCH_timings.json` with per-figure wall-clock spans
 //! captured through spm-obs.
+//!
+//! Flags:
+//!
+//! - `--jobs N` — worker count for the per-workload fan-out inside each
+//!   figure (default: host parallelism).
+//! - `--compare-serial` — run the whole suite twice, at `--jobs 1` and
+//!   then at `--jobs N`, assert every figure's text is byte-identical,
+//!   and record both runs in the timings artifact.
 
 use std::fs;
 use std::sync::Arc;
@@ -12,88 +20,230 @@ fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
     f()
 }
 
-fn main() {
-    let sink = Arc::new(spm_obs::MemorySink::new());
-    spm_obs::install(sink.clone());
-
-    fs::create_dir_all("results").expect("create results dir");
-    let write = |name: &str, text: String| {
-        fs::write(format!("results/{name}.txt"), &text).expect("write result");
-        println!("=== {name} ===");
-        print!("{text}");
-        println!();
-    };
-
-    write(
+/// Computes every figure in the fixed suite order, each under its own
+/// `bench/<name>` span. Figures run sequentially; the worker pool serves
+/// the per-workload fan-out inside each figure.
+fn compute_figures() -> Vec<(&'static str, String)> {
+    use spm_bench::exit_on_error as ok;
+    let mut out = Vec::new();
+    out.push((
         "fig03",
         timed("bench/fig03", || {
-            spm_bench::fig03::render(&spm_bench::fig03::time_series("gzip", 100_000))
+            spm_bench::fig03::render(&ok(spm_bench::fig03::time_series("gzip", 100_000)))
         }),
-    );
-    write("fig04", timed("bench/fig04", spm_bench::fig04::figure04));
-    write(
+    ));
+    out.push((
+        "fig04",
+        timed("bench/fig04", || ok(spm_bench::fig04::figure04())),
+    ));
+    out.push((
         "fig05_fig06",
         timed("bench/fig05_fig06", || {
-            spm_bench::fig056::figures_05_06("bzip2")
+            ok(spm_bench::fig056::figures_05_06("bzip2"))
         }),
-    );
-    let data = timed("bench/fig789_compute", spm_bench::fig789::compute_suite);
-    write(
+    ));
+    let data = timed("bench/fig789_compute", || {
+        ok(spm_bench::fig789::compute_suite())
+    });
+    out.push((
         "fig07",
         timed("bench/fig07", || spm_bench::fig789::figure07(&data)),
-    );
-    write(
+    ));
+    out.push((
         "fig08",
         timed("bench/fig08", || spm_bench::fig789::figure08(&data)),
-    );
-    write(
+    ));
+    out.push((
         "fig09",
         timed("bench/fig09", || spm_bench::fig789::figure09(&data)),
-    );
-    write(
+    ));
+    out.push((
         "fig09_missrate",
         timed("bench/fig09_missrate", || {
             spm_bench::fig789::figure09_missrate(&data)
         }),
-    );
-    write("fig10", timed("bench/fig10", spm_bench::fig10::figure10));
-    let rows = timed("bench/fig1112_compute", spm_bench::fig1112::compute_suite);
-    write(
+    ));
+    out.push((
+        "fig10",
+        timed("bench/fig10", || ok(spm_bench::fig10::figure10())),
+    ));
+    let rows = timed("bench/fig1112_compute", || {
+        ok(spm_bench::fig1112::compute_suite())
+    });
+    out.push((
         "fig11",
         timed("bench/fig11", || spm_bench::fig1112::figure11(&rows)),
-    );
-    write(
+    ));
+    out.push((
         "fig12",
         timed("bench/fig12", || spm_bench::fig1112::figure12(&rows)),
-    );
-    write(
+    ));
+    out.push((
         "ablations",
-        timed("bench/ablations", spm_bench::ablation::all),
-    );
-    write(
+        timed("bench/ablations", || ok(spm_bench::ablation::all())),
+    ));
+    out.push((
         "supp_classifiers",
-        timed(
-            "bench/supp_classifiers",
-            spm_bench::classifiers::classifier_table,
-        ),
-    );
-    write(
+        timed("bench/supp_classifiers", || {
+            ok(spm_bench::classifiers::classifier_table())
+        }),
+    ));
+    out.push((
         "robustness",
-        timed("bench/robustness", spm_bench::robustness::robustness_table),
-    );
+        timed("bench/robustness", || {
+            ok(spm_bench::robustness::robustness_table())
+        }),
+    ));
+    out
+}
 
+/// One suite run's wall-clock record for the timings artifact.
+struct RunTiming {
+    jobs: usize,
+    total_us: u64,
+    figures: Vec<(String, u64)>,
+}
+
+/// Runs the whole suite once at the given worker count, capturing the
+/// top-level `bench/<figure>` spans (nested pipeline spans would swamp
+/// the artifact; worker-thread spans carry no `bench/` prefix).
+fn run_once(jobs: usize) -> (Vec<(&'static str, String)>, RunTiming) {
+    spm_par::set_default_jobs(jobs);
+    let sink = Arc::new(spm_obs::MemorySink::new());
+    spm_obs::install(sink.clone());
+    let figures = compute_figures();
     spm_obs::uninstall();
-    // Per-figure wall-clock artifact: the top-level bench/<figure>
-    // spans only (nested pipeline spans would swamp the file), one
-    // JSON object per figure in run order.
-    let spans: Vec<String> = sink
-        .events()
-        .iter()
-        .filter(|e| e.name.starts_with("bench/") && e.name.matches('/').count() == 1)
-        .map(spm_obs::jsonl::encode)
-        .collect();
-    let json = format!("[\n{}\n]\n", spans.join(",\n"));
-    fs::write("results/BENCH_timings.json", json).expect("write timings");
+
+    let mut total_us = 0;
+    let mut spans = Vec::new();
+    for event in sink.events() {
+        if let spm_obs::EventKind::Span { dur_us } = event.kind {
+            if event.name.starts_with("bench/") && event.name.matches('/').count() == 1 {
+                total_us += dur_us;
+                spans.push((event.name["bench/".len()..].to_string(), dur_us));
+            }
+        }
+    }
+    (
+        figures,
+        RunTiming {
+            jobs,
+            total_us,
+            figures: spans,
+        },
+    )
+}
+
+/// Renders the `spm-bench/timings/v2` artifact: host parallelism plus
+/// one record per suite run (serial and parallel when both were taken).
+fn timings_json(host_parallelism: usize, runs: &[RunTiming]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"spm-bench/timings/v2\",\n");
+    out.push_str(&format!(
+        "  \"host_parallelism\": {host_parallelism},\n  \"runs\": [\n"
+    ));
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"jobs\": {}, \"total_us\": {}, \"figures\": [\n",
+            run.jobs, run.total_us
+        ));
+        for (j, (name, dur_us)) in run.figures.iter().enumerate() {
+            let comma = if j + 1 == run.figures.len() { "" } else { "," };
+            out.push_str(&format!(
+                "      {{\"name\": \"{name}\", \"dur_us\": {dur_us}}}{comma}\n"
+            ));
+        }
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        out.push_str(&format!("    ]}}{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error[usage]: {message}");
+    eprintln!("usage: all_figures [--jobs N] [--compare-serial]");
+    std::process::exit(2)
+}
+
+fn io_exit(what: &str, error: &std::io::Error) -> ! {
+    eprintln!("error[io]: {what}: {error}");
+    std::process::exit(3)
+}
+
+fn main() {
+    let mut jobs = spm_par::available_parallelism();
+    let mut compare_serial = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => usage("--jobs needs a positive integer"),
+                };
+            }
+            "--compare-serial" => compare_serial = true,
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let mut runs = Vec::new();
+    let (figures, timing) = if compare_serial {
+        let (serial_figures, serial_timing) = run_once(1);
+        let (par_figures, par_timing) = run_once(jobs);
+        for ((name, serial), (_, parallel)) in serial_figures.iter().zip(&par_figures) {
+            if serial != parallel {
+                eprintln!(
+                    "error[analysis]: figure `{name}` differs between --jobs 1 and --jobs {jobs}"
+                );
+                std::process::exit(9);
+            }
+        }
+        println!(
+            "compare-serial: all {} figures byte-identical at --jobs 1 vs --jobs {jobs}",
+            par_figures.len()
+        );
+        runs.push(serial_timing);
+        (par_figures, par_timing)
+    } else {
+        run_once(jobs)
+    };
+    runs.push(timing);
+
+    if let Err(e) = fs::create_dir_all("results") {
+        io_exit("create results dir", &e);
+    }
+    for (name, text) in &figures {
+        if let Err(e) = fs::write(format!("results/{name}.txt"), text) {
+            io_exit(&format!("write results/{name}.txt"), &e);
+        }
+        println!("=== {name} ===");
+        print!("{text}");
+        println!();
+    }
+
+    let json = timings_json(spm_par::available_parallelism(), &runs);
+    if let Err(e) = fs::write("results/BENCH_timings.json", json) {
+        io_exit("write results/BENCH_timings.json", &e);
+    }
     println!("=== timings ===");
-    println!("wrote results/BENCH_timings.json ({} spans)", spans.len());
+    for run in &runs {
+        println!(
+            "jobs={}: {:.1}s over {} figures",
+            run.jobs,
+            run.total_us as f64 / 1e6,
+            run.figures.len()
+        );
+    }
+    if let [serial, parallel] = &runs[..] {
+        println!(
+            "speedup at --jobs {}: {:.2}x",
+            parallel.jobs,
+            serial.total_us as f64 / parallel.total_us.max(1) as f64
+        );
+    }
+    println!("wrote results/BENCH_timings.json");
 }

@@ -2,6 +2,6 @@
 //! gzip/graphic with software phase marker positions.
 
 fn main() {
-    let series = spm_bench::fig03::time_series("gzip", 100_000);
+    let series = spm_bench::exit_on_error(spm_bench::fig03::time_series("gzip", 100_000));
     print!("{}", spm_bench::fig03::render(&series));
 }

@@ -2,5 +2,5 @@
 //! Section 6.2.1 cross-compilation trace check.
 
 fn main() {
-    print!("{}", spm_bench::fig04::figure04());
+    print!("{}", spm_bench::exit_on_error(spm_bench::fig04::figure04()));
 }

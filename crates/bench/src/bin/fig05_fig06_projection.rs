@@ -2,5 +2,8 @@
 //! fixed-length vs marker-defined variable-length intervals.
 
 fn main() {
-    print!("{}", spm_bench::fig056::figures_05_06("bzip2"));
+    print!(
+        "{}",
+        spm_bench::exit_on_error(spm_bench::fig056::figures_05_06("bzip2"))
+    );
 }

@@ -1,6 +1,6 @@
 //! Regenerates Figure 8: number of phases detected per approach.
 
 fn main() {
-    let data = spm_bench::fig789::compute_suite();
+    let data = spm_bench::exit_on_error(spm_bench::fig789::compute_suite());
     print!("{}", spm_bench::fig789::figure08(&data));
 }

@@ -1,6 +1,6 @@
 //! Regenerates Figure 9: per-phase CoV of CPI per approach.
 
 fn main() {
-    let data = spm_bench::fig789::compute_suite();
+    let data = spm_bench::exit_on_error(spm_bench::fig789::compute_suite());
     print!("{}", spm_bench::fig789::figure09(&data));
 }

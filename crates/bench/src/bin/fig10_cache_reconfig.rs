@@ -1,5 +1,5 @@
 //! Regenerates Figure 10: adaptive data-cache reconfiguration.
 
 fn main() {
-    print!("{}", spm_bench::fig10::figure10());
+    print!("{}", spm_bench::exit_on_error(spm_bench::fig10::figure10()));
 }

@@ -2,7 +2,7 @@
 //! error, fixed-length vs marker-driven variable-length intervals.
 
 fn main() {
-    let rows = spm_bench::fig1112::compute_suite();
+    let rows = spm_bench::exit_on_error(spm_bench::fig1112::compute_suite());
     print!("{}", spm_bench::fig1112::figure11(&rows));
     println!();
     print!("{}", spm_bench::fig1112::figure12(&rows));

@@ -2,5 +2,8 @@
 //! input seeds).
 
 fn main() {
-    print!("{}", spm_bench::robustness::robustness_table());
+    print!(
+        "{}",
+        spm_bench::exit_on_error(spm_bench::robustness::robustness_table())
+    );
 }

@@ -3,5 +3,8 @@
 //! and loops vs BBVs).
 
 fn main() {
-    print!("{}", spm_bench::classifiers::classifier_table());
+    print!(
+        "{}",
+        spm_bench::exit_on_error(spm_bench::classifiers::classifier_table())
+    );
 }

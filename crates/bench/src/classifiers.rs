@@ -14,6 +14,7 @@ use crate::{ANALYSIS_SEED, BBV_FIXED, GRANULE, KMAX, PROJECTION_DIMS};
 use spm_bbv::{
     Boundaries, CodeSignatureCollector, IntervalBbvCollector, OnlineClassifier, SignatureKind,
 };
+use spm_core::SpmError;
 use spm_sim::{run, Timeline, TraceObserver};
 use spm_simpoint::{pick_simpoints, SimPointConfig};
 use spm_stats::{phase_cov, PhaseSample};
@@ -52,8 +53,8 @@ fn cov_of(timeline: &Timeline, intervals: &[(u64, u64)], assignments: &[usize]) 
     (phase_cov(&samples), ids.len())
 }
 
-fn kmeans_phases(vectors: &[Vec<f64>], weights: &[f64]) -> Vec<usize> {
-    pick_simpoints(
+fn kmeans_phases(vectors: &[Vec<f64>], weights: &[f64]) -> Result<Vec<usize>, SpmError> {
+    Ok(pick_simpoints(
         vectors,
         weights,
         &SimPointConfig::new(
@@ -62,12 +63,17 @@ fn kmeans_phases(vectors: &[Vec<f64>], weights: &[f64]) -> Vec<usize> {
             ANALYSIS_SEED,
         ),
     )
-    .expect("bench intervals are well-formed")
-    .assignments
+    .map_err(|e| crate::analysis_error("classifiers/simpoint", e))?
+    .assignments)
 }
 
 /// Runs the comparison for one workload.
-pub fn classifier_row(workload: &Workload) -> ClassifierRow {
+///
+/// # Errors
+///
+/// Propagates engine failures; clustering failures map to
+/// [`SpmError::Analysis`].
+pub fn classifier_row(workload: &Workload) -> Result<ClassifierRow, SpmError> {
     let program = &workload.program;
     let mut bbv = IntervalBbvCollector::new(program, Boundaries::Fixed(BBV_FIXED));
     let mut sig_procs =
@@ -78,7 +84,7 @@ pub fn classifier_row(workload: &Workload) -> ClassifierRow {
     {
         let mut observers: Vec<&mut dyn TraceObserver> =
             vec![&mut bbv, &mut sig_procs, &mut sig_loops, &mut timeline];
-        run(program, &workload.ref_input, &mut observers).expect("ref runs");
+        run(program, &workload.ref_input, &mut observers)?;
     }
     let bbv = bbv.into_intervals();
     let ranges: Vec<(u64, u64)> = bbv.iter().map(|iv| (iv.begin, iv.end)).collect();
@@ -86,7 +92,7 @@ pub fn classifier_row(workload: &Workload) -> ClassifierRow {
     let bbv_vectors: Vec<Vec<f64>> = bbv.iter().map(|iv| iv.bbv.clone()).collect();
 
     // Offline k-means on BBVs.
-    let km = kmeans_phases(&bbv_vectors, &weights);
+    let km = kmeans_phases(&bbv_vectors, &weights)?;
     let (bbv_kmeans, p0) = cov_of(&timeline, &ranges, &km);
 
     // Online signature table on BBVs.
@@ -105,21 +111,26 @@ pub fn classifier_row(workload: &Workload) -> ClassifierRow {
         .into_iter()
         .map(|s| s.vector)
         .collect();
-    let (sig_procs_cov, p2) = cov_of(&timeline, &ranges, &kmeans_phases(&sp_vectors, &weights));
-    let (sig_loops_cov, p3) = cov_of(&timeline, &ranges, &kmeans_phases(&sl_vectors, &weights));
+    let (sig_procs_cov, p2) = cov_of(&timeline, &ranges, &kmeans_phases(&sp_vectors, &weights)?);
+    let (sig_loops_cov, p3) = cov_of(&timeline, &ranges, &kmeans_phases(&sl_vectors, &weights)?);
 
-    ClassifierRow {
+    Ok(ClassifierRow {
         name: workload.name,
         bbv_kmeans,
         bbv_online,
         sig_procs: sig_procs_cov,
         sig_loops: sig_loops_cov,
         phases: [p0, p1, p2, p3],
-    }
+    })
 }
 
-/// Renders the comparison over the behaviour suite.
-pub fn classifier_table() -> String {
+/// Renders the comparison over the behaviour suite. Workloads fan out
+/// across the worker pool; rows stay in suite order.
+///
+/// # Errors
+///
+/// Propagates the first failing workload's error (by suite order).
+pub fn classifier_table() -> Result<String, SpmError> {
     let mut t = Table::new(
         "Supplementary: CoV of CPI by classification structure (fixed 10K intervals)",
         &[
@@ -132,8 +143,8 @@ pub fn classifier_table() -> String {
     );
     let mut sums = [0.0f64; 4];
     let suite = spm_workloads::behavior_suite();
-    for w in &suite {
-        let row = classifier_row(w);
+    let rows = spm_par::try_par_map(&suite, classifier_row)?;
+    for row in rows {
         sums[0] += row.bbv_kmeans;
         sums[1] += row.bbv_online;
         sums[2] += row.sig_procs;
@@ -154,7 +165,7 @@ pub fn classifier_table() -> String {
         pct(sums[2] / n),
         pct(sums[3] / n),
     ]);
-    t.render()
+    Ok(t.render())
 }
 
 #[cfg(test)]
@@ -168,7 +179,7 @@ mod tests {
         // signatures are blind to them (every interval looks identical),
         // while loop signatures separate the phases.
         let w = build("art").unwrap();
-        let row = classifier_row(&w);
+        let row = classifier_row(&w).unwrap();
         assert!(
             row.sig_loops < row.sig_procs,
             "loops must help: {} !< {}",
@@ -182,7 +193,7 @@ mod tests {
     #[test]
     fn online_classifier_is_competitive_with_kmeans() {
         let w = build("mgrid").unwrap();
-        let row = classifier_row(&w);
+        let row = classifier_row(&w).unwrap();
         // The hardware-style classifier trails the offline oracle but
         // stays in the same regime (the paper's [26] finding).
         assert!(row.bbv_online < row.bbv_kmeans * 4.0 + 0.02, "{row:?}");

@@ -2,10 +2,10 @@
 //! software phase marker positions.
 
 use crate::passes::{profile, timeline};
+use crate::workload;
 use crate::{GRANULE, ILOWER};
-use spm_core::{MarkerRuntime, SelectConfig};
+use spm_core::{MarkerRuntime, SelectConfig, SpmError};
 use spm_sim::run;
-use spm_workloads::build;
 
 /// The data behind Figure 3.
 #[derive(Debug)]
@@ -22,14 +22,18 @@ pub struct TimeSeries {
 
 /// Computes the Figure 3 time series for a workload (the paper uses
 /// gzip/graphic), sampling every `sample_every` instructions.
-pub fn time_series(name: &str, sample_every: u64) -> TimeSeries {
-    let w = build(name).expect("known workload");
-    let graph = profile(&w.program, &w.ref_input);
+///
+/// # Errors
+///
+/// Propagates workload-build, engine, and profiler failures.
+pub fn time_series(name: &str, sample_every: u64) -> Result<TimeSeries, SpmError> {
+    let w = workload(name)?;
+    let graph = profile(&w.program, &w.ref_input)?;
     let outcome = spm_core::select_markers(&graph, &SelectConfig::new(ILOWER));
 
     let mut runtime = MarkerRuntime::new(&outcome.markers);
-    let summary = run(&w.program, &w.ref_input, &mut [&mut runtime]).expect("gzip runs");
-    let (tl, total) = timeline(&w.program, &w.ref_input);
+    let summary = run(&w.program, &w.ref_input, &mut [&mut runtime])?;
+    let (tl, total) = timeline(&w.program, &w.ref_input)?;
     assert_eq!(summary.instrs, total);
 
     let step = sample_every.max(GRANULE);
@@ -52,12 +56,12 @@ pub fn time_series(name: &str, sample_every: u64) -> TimeSeries {
         })
         .collect();
 
-    TimeSeries {
+    Ok(TimeSeries {
         samples,
         firings,
         num_markers: outcome.markers.len(),
         total,
-    }
+    })
 }
 
 /// Renders the time series as TSV (icount, cpi, missrate) followed by
@@ -92,7 +96,7 @@ mod tests {
     fn gzip_series_shows_two_behaviors() {
         // Sample at phase granularity (phases are ~7K-40K instructions
         // at our 10^3-reduced scale).
-        let ts = time_series("gzip", 10_000);
+        let ts = time_series("gzip", 10_000).unwrap();
         assert!(ts.num_markers >= 1);
         assert!(!ts.firings.is_empty());
         // The deflate phase is high-miss, the flush phase low-miss: the
@@ -111,7 +115,7 @@ mod tests {
 
     #[test]
     fn render_is_parseable() {
-        let ts = time_series("gzip", 500_000);
+        let ts = time_series("gzip", 500_000).unwrap();
         let text = render(&ts);
         let data_lines = text
             .lines()

@@ -7,12 +7,13 @@
 //! marker traces** on unoptimized and peak-optimized builds.
 
 use crate::passes::profile;
+use crate::workload;
 use crate::{GRANULE, ILOWER};
 use spm_core::crossbin::{select_cross_binary, traces_match};
-use spm_core::{MarkerRuntime, SelectConfig};
+use spm_core::{MarkerRuntime, SelectConfig, SpmError};
 use spm_ir::{compile, CompileConfig};
 use spm_sim::{run, Timeline, TraceObserver};
-use spm_workloads::{build, suite};
+use spm_workloads::suite;
 
 /// Result of the cross-ISA experiment for one workload.
 #[derive(Debug)]
@@ -34,13 +35,21 @@ pub struct CrossIsa {
 /// with `config_a`), map them through source locations to binary B
 /// (`config_b`), and measure binary B's miss-rate series with the
 /// mapped markers.
-pub fn cross_isa(name: &str, config_a: &CompileConfig, config_b: &CompileConfig) -> CrossIsa {
-    let w = build(name).expect("known workload");
+///
+/// # Errors
+///
+/// Propagates workload-build, engine, and profiler failures.
+pub fn cross_isa(
+    name: &str,
+    config_a: &CompileConfig,
+    config_b: &CompileConfig,
+) -> Result<CrossIsa, SpmError> {
+    let w = workload(name)?;
     let bin_a = compile(&w.program, config_a);
     let bin_b = compile(&w.program, config_b);
 
-    let graph_a = profile(&bin_a, &w.ref_input);
-    let graph_b = profile(&bin_b, &w.ref_input);
+    let graph_a = profile(&bin_a, &w.ref_input)?;
+    let graph_b = profile(&bin_b, &w.ref_input)?;
     let cross = select_cross_binary(
         &graph_a,
         &bin_a,
@@ -50,15 +59,13 @@ pub fn cross_isa(name: &str, config_a: &CompileConfig, config_b: &CompileConfig)
     );
 
     let mut rt_a = MarkerRuntime::new(&cross.markers_a);
-    run(&bin_a, &w.ref_input, &mut [&mut rt_a]).expect("binary A runs");
+    run(&bin_a, &w.ref_input, &mut [&mut rt_a])?;
 
     let mut rt_b = MarkerRuntime::new(&cross.markers_b);
     let mut tl = Timeline::with_defaults(GRANULE);
     let total_b = {
         let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut rt_b, &mut tl];
-        run(&bin_b, &w.ref_input, &mut observers)
-            .expect("binary B runs")
-            .instrs
+        run(&bin_b, &w.ref_input, &mut observers)?.instrs
     };
 
     let mut b_samples = Vec::new();
@@ -72,52 +79,58 @@ pub fn cross_isa(name: &str, config_a: &CompileConfig, config_b: &CompileConfig)
 
     let fa = rt_a.into_firings();
     let fb = rt_b.into_firings();
-    CrossIsa {
+    Ok(CrossIsa {
         num_markers: cross.markers_a.len(),
         traces_identical: traces_match(&fa, &fb),
         b_firings: fb.iter().map(|f| f.icount).collect(),
         firings: (fa.len(), fb.len()),
         b_samples,
-    }
+    })
 }
 
 /// Section 6.2.1: the cross-compilation trace check over every
-/// workload, between unoptimized and peak-optimized builds.
-pub fn trace_check_all() -> Vec<(&'static str, usize, bool)> {
-    suite()
-        .iter()
-        .map(|w| {
-            let bin_a = compile(&w.program, &CompileConfig::unoptimized());
-            let bin_b = compile(&w.program, &CompileConfig::optimized());
-            let graph_a = profile(&bin_a, &w.ref_input);
-            let graph_b = profile(&bin_b, &w.ref_input);
-            let cross = select_cross_binary(
-                &graph_a,
-                &bin_a,
-                &graph_b,
-                &bin_b,
-                &SelectConfig::new(ILOWER),
-            );
-            let mut rt_a = MarkerRuntime::new(&cross.markers_a);
-            run(&bin_a, &w.ref_input, &mut [&mut rt_a]).expect("A runs");
-            let mut rt_b = MarkerRuntime::new(&cross.markers_b);
-            run(&bin_b, &w.ref_input, &mut [&mut rt_b]).expect("B runs");
-            (
-                w.name,
-                cross.markers_a.len(),
-                traces_match(&rt_a.firings(), &rt_b.firings()),
-            )
-        })
-        .collect()
+/// workload, between unoptimized and peak-optimized builds. Workloads
+/// fan out across the worker pool; rows stay in suite order.
+///
+/// # Errors
+///
+/// Propagates the first failing workload's error (by suite order).
+pub fn trace_check_all() -> Result<Vec<(&'static str, usize, bool)>, SpmError> {
+    spm_par::try_par_map(&suite(), |w| {
+        let bin_a = compile(&w.program, &CompileConfig::unoptimized());
+        let bin_b = compile(&w.program, &CompileConfig::optimized());
+        let graph_a = profile(&bin_a, &w.ref_input)?;
+        let graph_b = profile(&bin_b, &w.ref_input)?;
+        let cross = select_cross_binary(
+            &graph_a,
+            &bin_a,
+            &graph_b,
+            &bin_b,
+            &SelectConfig::new(ILOWER),
+        );
+        let mut rt_a = MarkerRuntime::new(&cross.markers_a);
+        run(&bin_a, &w.ref_input, &mut [&mut rt_a])?;
+        let mut rt_b = MarkerRuntime::new(&cross.markers_b);
+        run(&bin_b, &w.ref_input, &mut [&mut rt_b])?;
+        Ok((
+            w.name,
+            cross.markers_a.len(),
+            traces_match(&rt_a.firings(), &rt_b.firings()),
+        ))
+    })
 }
 
 /// Renders Figure 4 plus the Section 6.2.1 table.
-pub fn figure04() -> String {
+///
+/// # Errors
+///
+/// Propagates any workload's pipeline failure.
+pub fn figure04() -> Result<String, SpmError> {
     let isa = cross_isa(
         "gzip",
         &CompileConfig::baseline(),
         &CompileConfig::alt_isa(),
-    );
+    )?;
     let mut out =
         String::from("# Figure 4: gzip markers selected on the baseline ISA, mapped to alt-isa\n");
     out.push_str(&format!(
@@ -137,12 +150,12 @@ pub fn figure04() -> String {
         "Section 6.2.1: cross-compilation (O0 vs peak) marker-trace identity",
         &["bench", "markers", "traces identical"],
     );
-    for (name, markers, ok) in trace_check_all() {
+    for (name, markers, ok) in trace_check_all()? {
         t.row(vec![name.to_string(), markers.to_string(), ok.to_string()]);
     }
     out.push('\n');
     out.push_str(&t.render());
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -155,7 +168,8 @@ mod tests {
             "gzip",
             &CompileConfig::baseline(),
             &CompileConfig::alt_isa(),
-        );
+        )
+        .unwrap();
         assert!(isa.num_markers > 0, "joint selection must find markers");
         assert!(isa.traces_identical, "A and B must fire identically");
         assert_eq!(isa.firings.0, isa.firings.1);
@@ -168,11 +182,11 @@ mod tests {
 
     #[test]
     fn swim_o0_vs_peak_traces_match() {
-        let w = build("swim").unwrap();
+        let w = spm_workloads::build("swim").unwrap();
         let bin_a = compile(&w.program, &CompileConfig::unoptimized());
         let bin_b = compile(&w.program, &CompileConfig::optimized());
-        let graph_a = profile(&bin_a, &w.ref_input);
-        let graph_b = profile(&bin_b, &w.ref_input);
+        let graph_a = profile(&bin_a, &w.ref_input).unwrap();
+        let graph_b = profile(&bin_b, &w.ref_input).unwrap();
         let cross = select_cross_binary(
             &graph_a,
             &bin_a,

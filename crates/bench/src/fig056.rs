@@ -3,12 +3,12 @@
 //! variable-length intervals (tightly clustered).
 
 use crate::passes::profile;
+use crate::workload;
 use crate::{ANALYSIS_SEED, BBV_FIXED, LIMIT_MAX, LIMIT_MIN};
 use spm_bbv::{euclidean, project, Boundaries, IntervalBbv, IntervalBbvCollector};
-use spm_core::{partition, MarkerRuntime, SelectConfig, PRELUDE_PHASE};
+use spm_core::{partition, MarkerRuntime, SelectConfig, SpmError, PRELUDE_PHASE};
 use spm_sim::{run, TraceObserver};
 use spm_simpoint::kmeans;
-use spm_workloads::build;
 
 /// The projected point clouds and their tightness statistics.
 #[derive(Debug)]
@@ -26,9 +26,10 @@ pub struct Projection {
 
 /// Normalized mean distance to assigned centroids: lower = tighter
 /// clusters, quantifying what the paper shows visually.
-fn tightness(points: &[Vec<f64>], k: usize, seed: u64) -> f64 {
+fn tightness(points: &[Vec<f64>], k: usize, seed: u64) -> Result<f64, SpmError> {
     let weights = vec![1.0; points.len()];
-    let clustering = kmeans(points, &weights, k, seed).expect("bench points are well-formed");
+    let clustering =
+        kmeans(points, &weights, k, seed).map_err(|e| crate::analysis_error("fig056/kmeans", e))?;
     let mean_dist: f64 = points
         .iter()
         .enumerate()
@@ -49,29 +50,28 @@ fn tightness(points: &[Vec<f64>], k: usize, seed: u64) -> f64 {
         .sum::<f64>()
         / points.len() as f64)
         .sqrt();
-    if rms <= 0.0 {
-        0.0
-    } else {
-        mean_dist / rms
-    }
+    Ok(if rms <= 0.0 { 0.0 } else { mean_dist / rms })
 }
 
 /// Computes the Figures 5/6 data for a workload (the paper uses
 /// bzip2/graphic). Both interval sets are projected with the **same**
 /// projection matrix, as in the paper.
-pub fn projections(name: &str) -> Projection {
-    let w = build(name).expect("known workload");
+///
+/// # Errors
+///
+/// Propagates workload-build, engine, profiler, and clustering
+/// failures.
+pub fn projections(name: &str) -> Result<Projection, SpmError> {
+    let w = workload(name)?;
     let program = &w.program;
 
     // Limit markers so that the VLI count is comparable to the number of
     // fixed intervals (the paper keeps the two counts similar).
-    let graph = profile(program, &w.ref_input);
+    let graph = profile(program, &w.ref_input)?;
     let markers =
         spm_core::select_markers(&graph, &SelectConfig::with_limit(LIMIT_MIN, LIMIT_MAX)).markers;
     let mut runtime = MarkerRuntime::new(&markers);
-    let total = run(program, &w.ref_input, &mut [&mut runtime])
-        .expect("runs")
-        .instrs;
+    let total = run(program, &w.ref_input, &mut [&mut runtime])?.instrs;
     let vlis = partition(&runtime.into_firings(), total);
     let cuts: Vec<(u64, usize)> = vlis.iter().skip(1).map(|v| (v.begin, v.phase)).collect();
 
@@ -85,7 +85,7 @@ pub fn projections(name: &str) -> Projection {
     );
     {
         let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut fixed, &mut vli];
-        run(program, &w.ref_input, &mut observers).expect("runs");
+        run(program, &w.ref_input, &mut observers)?;
     }
     let fixed = fixed.into_intervals();
     let vli = vli.into_intervals();
@@ -100,17 +100,21 @@ pub fn projections(name: &str) -> Projection {
     let (fixed_points, vli_points) = projected.split_at(fixed.len());
 
     let k = 5;
-    Projection {
-        fixed_tightness: tightness(fixed_points, k, ANALYSIS_SEED),
-        vli_tightness: tightness(vli_points, k, ANALYSIS_SEED),
+    Ok(Projection {
+        fixed_tightness: tightness(fixed_points, k, ANALYSIS_SEED)?,
+        vli_tightness: tightness(vli_points, k, ANALYSIS_SEED)?,
         fixed_points: fixed_points.to_vec(),
         vli_points: vli_points.to_vec(),
-    }
+    })
 }
 
 /// Renders the two point clouds and the tightness summary.
-pub fn figures_05_06(name: &str) -> String {
-    let p = projections(name);
+///
+/// # Errors
+///
+/// Propagates the pipeline failures of [`projections`].
+pub fn figures_05_06(name: &str) -> Result<String, SpmError> {
+    let p = projections(name)?;
     let mut out = format!(
         "# Figures 5/6: 3-D BBV projection of {name}\n# fixed intervals: {} points, tightness {:.3}\n# VLI intervals: {} points, tightness {:.3}\n",
         p.fixed_points.len(),
@@ -126,7 +130,7 @@ pub fn figures_05_06(name: &str) -> String {
     for pt in &p.vli_points {
         out.push_str(&format!("{:.4}\t{:.4}\t{:.4}\n", pt[0], pt[1], pt[2]));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -135,7 +139,7 @@ mod tests {
 
     #[test]
     fn vli_projection_is_tighter() {
-        let p = projections("bzip2");
+        let p = projections("bzip2").unwrap();
         assert!(p.fixed_points.len() > 20);
         assert!(p.vli_points.len() > 5);
         assert!(

@@ -5,11 +5,11 @@ use crate::passes::{profile, BankTimeline};
 use crate::{ANALYSIS_SEED, GRANULE, ILOWER, KMAX, PROJECTION_DIMS};
 use spm_bbv::{Boundaries, IntervalBbvCollector};
 use spm_cache::adaptive::{run_adaptive, AdaptiveOutcome, IntervalRecord, Tolerance};
-use spm_core::{partition, MarkerRuntime, SelectConfig, Vli};
+use spm_core::{partition, MarkerRuntime, SelectConfig, SpmError, Vli};
 use spm_reuse::{LocalityAnalysis, LocalityConfig, ReuseMarkerRuntime, ReuseSignalCollector};
 use spm_sim::{run, TraceObserver};
 use spm_simpoint::{pick_simpoints, SimPointConfig};
-use spm_workloads::{build, Workload, CACHE_SUITE};
+use spm_workloads::{Workload, CACHE_SUITE};
 
 /// Fixed interval size for the idealized BBV/SimPoint comparison. The
 /// paper's fixed intervals (10M instructions) were comparable to or
@@ -61,13 +61,18 @@ fn records(bank: &BankTimeline, intervals: &[Vli]) -> Vec<IntervalRecord> {
 }
 
 /// Runs the Figure 10 experiment for one workload.
-pub fn cache_row(workload: &Workload) -> CacheRow {
+///
+/// # Errors
+///
+/// Propagates engine/profiler failures; clustering failures map to
+/// [`SpmError::Analysis`].
+pub fn cache_row(workload: &Workload) -> Result<CacheRow, SpmError> {
     let program = &workload.program;
     let configs = spm_cache::reconfigurable_configs();
 
     // Marker selections.
-    let graph_train = profile(program, &workload.train_input);
-    let graph_ref = profile(program, &workload.ref_input);
+    let graph_train = profile(program, &workload.train_input)?;
+    let graph_ref = profile(program, &workload.ref_input)?;
     let nolimit = SelectConfig::new(ILOWER);
     let spm_self_set = spm_core::select_markers(&graph_ref, &nolimit).markers;
     let spm_cross_set = spm_core::select_markers(&graph_train, &nolimit).markers;
@@ -76,7 +81,7 @@ pub fn cache_row(workload: &Workload) -> CacheRow {
 
     // Reuse-distance baseline, trained on the train input.
     let mut collector = ReuseSignalCollector::new(512);
-    run(program, &workload.train_input, &mut [&mut collector]).expect("train runs");
+    run(program, &workload.train_input, &mut [&mut collector])?;
     let locality = LocalityAnalysis::analyze(&collector, &LocalityConfig::default());
 
     // One ref pass: cache bank + all marker runtimes + fixed BBVs.
@@ -95,9 +100,7 @@ pub fn cache_row(workload: &Workload) -> CacheRow {
             &mut rt_reuse,
             &mut bbv,
         ];
-        run(program, &workload.ref_input, &mut observers)
-            .expect("ref runs")
-            .instrs
+        run(program, &workload.ref_input, &mut observers)?.instrs
     };
 
     // BBV (idealized SimPoint) classification.
@@ -109,7 +112,7 @@ pub fn cache_row(workload: &Workload) -> CacheRow {
         &weights,
         &SimPointConfig::new(KMAX, PROJECTION_DIMS, ANALYSIS_SEED),
     )
-    .expect("bench intervals are well-formed");
+    .map_err(|e| crate::analysis_error("fig10/simpoint", e))?;
     let bbv_intervals: Vec<Vli> = fixed
         .iter()
         .zip(&sp.assignments)
@@ -124,7 +127,7 @@ pub fn cache_row(workload: &Workload) -> CacheRow {
         run_adaptive(&configs, &records(&bank, intervals), MISS_TOLERANCE)
     };
 
-    CacheRow {
+    Ok(CacheRow {
         name: workload.name,
         bbv: adaptive(&bbv_intervals),
         spm_self: adaptive(&partition(&rt_self.into_firings(), total)),
@@ -135,12 +138,17 @@ pub fn cache_row(workload: &Workload) -> CacheRow {
             Some(adaptive(&partition(&rt_reuse.into_firings(), total)))
         },
         spm_cross: adaptive(&partition(&rt_cross.into_firings(), total)),
-    }
+    })
 }
 
 /// Runs the experiment over the Figure 10 suite plus the gcc/vortex
-/// sidebar and renders the table.
-pub fn figure10() -> String {
+/// sidebar and renders the table. Workloads fan out across the worker
+/// pool; rows stay in suite order.
+///
+/// # Errors
+///
+/// Propagates the first failing workload's error (by suite order).
+pub fn figure10() -> Result<String, SpmError> {
     let mut t = crate::table::Table::new(
         "Figure 10: average cache size (KB), no allowed miss-rate increase",
         &[
@@ -157,9 +165,8 @@ pub fn figure10() -> String {
     names.extend(["gcc", "vortex"]); // the paper's sidebar programs
     let mut sums = [0.0f64; 6];
     let mut reuse_count = 0usize;
-    for name in &names {
-        let w = build(name).expect("known workload");
-        let row = cache_row(&w);
+    let rows = spm_par::try_par_map(&names, |name| cache_row(&crate::workload(name)?))?;
+    for row in rows {
         let cells = [
             row.bbv.avg_size_kb,
             row.spm_self.avg_size_kb,
@@ -204,7 +211,7 @@ pub fn figure10() -> String {
         format!("{:.1}", sums[4] / n),
         format!("{:.1}", sums[5] / n),
     ]);
-    t.render()
+    Ok(t.render())
 }
 
 #[cfg(test)]
@@ -213,8 +220,8 @@ mod tests {
 
     #[test]
     fn mesh_reconfiguration_beats_best_fixed() {
-        let w = build("mesh").unwrap();
-        let row = cache_row(&w);
+        let w = spm_workloads::build("mesh").unwrap();
+        let row = cache_row(&w).unwrap();
         // SPM adaptive average size must undercut the best fixed size
         // (the point of Figure 10), without a large miss increase.
         assert!(
@@ -239,8 +246,8 @@ mod tests {
         // The paper: "selecting markers from the train input is as
         // effective as selecting markers from the ref input" on these
         // regular programs.
-        let w = build("swim").unwrap();
-        let row = cache_row(&w);
+        let w = spm_workloads::build("swim").unwrap();
+        let row = cache_row(&w).unwrap();
         let diff = (row.spm_self.avg_size_kb - row.spm_cross.avg_size_kb).abs();
         assert!(
             diff < 32.0,
@@ -252,8 +259,8 @@ mod tests {
 
     #[test]
     fn gcc_defeats_reuse_but_not_spm() {
-        let w = build("gcc").unwrap();
-        let row = cache_row(&w);
+        let w = spm_workloads::build("gcc").unwrap();
+        let row = cache_row(&w).unwrap();
         assert!(row.reuse.is_none(), "reuse baseline should fail on gcc");
         // SPM still produces a classification (any average size is fine,
         // it must simply exist and respect the miss constraint loosely).

@@ -6,7 +6,7 @@ use crate::approaches::Metric;
 use crate::passes::profile;
 use crate::{ANALYSIS_SEED, GRANULE, LIMIT_MAX, LIMIT_MIN, PROJECTION_DIMS};
 use spm_bbv::{Boundaries, IntervalBbv, IntervalBbvCollector};
-use spm_core::{partition, MarkerRuntime, SelectConfig, PRELUDE_PHASE};
+use spm_core::{partition, MarkerRuntime, SelectConfig, SpmError, PRELUDE_PHASE};
 use spm_sim::{run, Timeline, TraceObserver};
 use spm_simpoint::{
     estimate, filter_top, pick_simpoints, relative_error, simulated_weight, SimPointConfig,
@@ -50,20 +50,23 @@ fn evaluate(
 }
 
 /// Runs the SimPoint experiment for one workload.
-pub fn simpoint_row(workload: &Workload) -> SimPointRow {
+///
+/// # Errors
+///
+/// Propagates engine/profiler failures; clustering failures map to
+/// [`SpmError::Analysis`].
+pub fn simpoint_row(workload: &Workload) -> Result<SimPointRow, SpmError> {
     let program = &workload.program;
 
     // Limit-variant markers for the VLIs, selected on ref: the paper
     // notes these markers are input-specific and only advocates them
     // for SimPoint.
-    let graph_ref = profile(program, &workload.ref_input);
+    let graph_ref = profile(program, &workload.ref_input)?;
     let markers =
         spm_core::select_markers(&graph_ref, &SelectConfig::with_limit(LIMIT_MIN, LIMIT_MAX))
             .markers;
     let mut runtime = MarkerRuntime::new(&markers);
-    let total = run(program, &workload.ref_input, &mut [&mut runtime])
-        .expect("ref runs")
-        .instrs;
+    let total = run(program, &workload.ref_input, &mut [&mut runtime])?.instrs;
     let vlis = partition(&runtime.into_firings(), total);
 
     // Second ref pass: three fixed collectors + the VLI collector + the
@@ -88,7 +91,7 @@ pub fn simpoint_row(workload: &Workload) -> SimPointRow {
             .collect();
         observers.push(&mut vli_collector);
         observers.push(&mut timeline);
-        run(program, &workload.ref_input, &mut observers).expect("ref runs");
+        run(program, &workload.ref_input, &mut observers)?;
     }
     let truth = timeline.overall_cpi();
 
@@ -102,7 +105,7 @@ pub fn simpoint_row(workload: &Workload) -> SimPointRow {
             &weights,
             &SimPointConfig::new(*kmax, PROJECTION_DIMS, ANALYSIS_SEED),
         )
-        .expect("bench intervals are well-formed");
+        .map_err(|e| crate::analysis_error("fig1112/simpoint-fixed", e))?;
         let (instrs, err) = evaluate(&intervals, &timeline, &sp, truth);
         entries.push((*name, instrs, err));
     }
@@ -115,22 +118,27 @@ pub fn simpoint_row(workload: &Workload) -> SimPointRow {
         &weights,
         &SimPointConfig::new(VLI_KMAX, PROJECTION_DIMS, ANALYSIS_SEED),
     )
-    .expect("bench intervals are well-formed");
+    .map_err(|e| crate::analysis_error("fig1112/simpoint-vli", e))?;
     for (name, fraction) in [("VLI_95%", 0.95), ("VLI_99%", 0.99), ("VLI_100%", 1.0)] {
         let sp = filter_top(&sp_full, fraction);
         let (instrs, err) = evaluate(&vli_intervals, &timeline, &sp, truth);
         entries.push((name, instrs, err));
     }
 
-    SimPointRow {
+    Ok(SimPointRow {
         name: workload.name,
         entries,
-    }
+    })
 }
 
-/// Computes rows for the whole behaviour suite.
-pub fn compute_suite() -> Vec<SimPointRow> {
-    behavior_suite().iter().map(simpoint_row).collect()
+/// Computes rows for the whole behaviour suite. Workloads fan out
+/// across the worker pool; rows stay in suite order.
+///
+/// # Errors
+///
+/// Propagates the first failing workload's error (by suite order).
+pub fn compute_suite() -> Result<Vec<SimPointRow>, SpmError> {
+    spm_par::try_par_map(&behavior_suite(), simpoint_row)
 }
 
 /// Figure 11: simulated instructions per configuration.
@@ -171,7 +179,7 @@ mod tests {
     #[test]
     fn simpoint_row_shapes() {
         let w = build("art").unwrap();
-        let row = simpoint_row(&w);
+        let row = simpoint_row(&w).unwrap();
         assert_eq!(row.entries.len(), 6);
         let by: std::collections::HashMap<&str, (f64, f64)> =
             row.entries.iter().map(|&(n, i, e)| (n, (i, e))).collect();

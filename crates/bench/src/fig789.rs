@@ -4,12 +4,18 @@
 use crate::approaches::{behavior_data, BehaviorData, Metric, APPROACHES};
 use crate::table::{f3, pct, Table};
 use crate::BBV_FIXED;
+use spm_core::SpmError;
 use spm_workloads::behavior_suite;
 
 /// Computed behaviour data for the whole suite (shared by the three
-/// figures — compute once, render thrice).
-pub fn compute_suite() -> Vec<BehaviorData> {
-    behavior_suite().iter().map(behavior_data).collect()
+/// figures — compute once, render thrice). Workloads fan out across
+/// the worker pool; results stay in suite order.
+///
+/// # Errors
+///
+/// Propagates the first failing workload's error (by suite order).
+pub fn compute_suite() -> Result<Vec<BehaviorData>, SpmError> {
+    spm_par::try_par_map(&behavior_suite(), behavior_data)
 }
 
 /// Figure 7: average instructions per interval (in millions of
@@ -126,7 +132,7 @@ mod tests {
     fn shapes_hold_on_representatives() {
         for name in ["swim", "gcc"] {
             let w = build(name).unwrap();
-            let d = behavior_data(&w);
+            let d = behavior_data(&w).unwrap();
             let by: std::collections::HashMap<&str, _> =
                 d.runs.iter().map(|(n, r)| (*n, r)).collect();
             // Markers exist for every approach on both programs (the
@@ -143,7 +149,7 @@ mod tests {
     #[test]
     fn tables_render_for_one_program() {
         let w = build("mgrid").unwrap();
-        let data = vec![behavior_data(&w)];
+        let data = vec![behavior_data(&w).unwrap()];
         for table in [figure07(&data), figure08(&data), figure09(&data)] {
             assert!(table.contains("mgrid"));
             assert!(table.lines().count() >= 4);

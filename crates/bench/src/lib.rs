@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ablation;
 pub mod approaches;
@@ -47,3 +49,42 @@ pub const PROJECTION_DIMS: usize = 15;
 pub const KMAX: usize = 10;
 /// Seed for all randomized analysis components.
 pub const ANALYSIS_SEED: u64 = 0x5051_2006;
+
+use spm_core::SpmError;
+
+/// Builds a workload by name, routing an unknown name through the
+/// [`SpmError`] taxonomy instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`SpmError::Workload`] for a name outside the suite.
+pub fn workload(name: &str) -> Result<spm_workloads::Workload, SpmError> {
+    spm_workloads::build(name).ok_or_else(|| SpmError::Workload {
+        source: name.to_string(),
+        error: spm_ir::DslError {
+            line: 0,
+            message: format!("unknown workload `{name}`"),
+        },
+    })
+}
+
+/// Maps a clustering failure into the [`SpmError`] taxonomy (exit
+/// code 9, class `analysis`).
+pub fn analysis_error(stage: &str, error: impl std::fmt::Display) -> SpmError {
+    SpmError::Analysis {
+        stage: stage.to_string(),
+        message: error.to_string(),
+    }
+}
+
+/// Unwraps a bench pipeline result or terminates the process with the
+/// error's taxonomy exit code — the shared tail of every figure binary.
+pub fn exit_on_error<T>(result: Result<T, SpmError>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(error) => {
+            eprintln!("error[{}]: {error}", error.class());
+            std::process::exit(i32::from(error.exit_code()))
+        }
+    }
+}

@@ -4,46 +4,59 @@
 
 use crate::GRANULE;
 use spm_cache::{reconfigurable_configs, CacheBank};
-use spm_core::{CallLoopGraph, CallLoopProfiler, MarkerFiring, MarkerRuntime, MarkerSet};
+use spm_core::{CallLoopGraph, CallLoopProfiler, MarkerFiring, MarkerRuntime, MarkerSet, SpmError};
 use spm_ir::{Input, Program};
 use spm_sim::{run, Timeline, TraceEvent, TraceObserver};
 
 /// Profiles one execution into a call-loop graph.
-pub fn profile(program: &Program, input: &Input) -> CallLoopGraph {
+///
+/// # Errors
+///
+/// Propagates engine ([`SpmError::Run`]) and profiler
+/// ([`SpmError::Profile`]) failures.
+pub fn profile(program: &Program, input: &Input) -> Result<CallLoopGraph, SpmError> {
     let mut profiler = CallLoopProfiler::new();
-    run(program, input, &mut [&mut profiler]).expect("workload runs");
-    profiler.into_graph().unwrap()
+    run(program, input, &mut [&mut profiler])?;
+    Ok(profiler.into_graph()?)
 }
 
 /// Runs with a metrics timeline; returns the timeline and the total
 /// instruction count.
-pub fn timeline(program: &Program, input: &Input) -> (Timeline, u64) {
+///
+/// # Errors
+///
+/// Propagates engine failures as [`SpmError::Run`].
+pub fn timeline(program: &Program, input: &Input) -> Result<(Timeline, u64), SpmError> {
     let mut t = Timeline::with_defaults(GRANULE);
-    let summary = run(program, input, &mut [&mut t]).expect("workload runs");
-    (t, summary.instrs)
+    let summary = run(program, input, &mut [&mut t])?;
+    Ok((t, summary.instrs))
 }
 
 /// Detects marker firings for several marker sets in a single pass;
 /// returns one firing list per set plus the total instruction count.
+///
+/// # Errors
+///
+/// Propagates engine failures as [`SpmError::Run`].
 pub fn detect_all(
     program: &Program,
     input: &Input,
     marker_sets: &[&MarkerSet],
-) -> (Vec<Vec<MarkerFiring>>, u64) {
+) -> Result<(Vec<Vec<MarkerFiring>>, u64), SpmError> {
     let mut runtimes: Vec<MarkerRuntime> =
         marker_sets.iter().map(|m| MarkerRuntime::new(m)).collect();
     let mut observers: Vec<&mut dyn TraceObserver> = runtimes
         .iter_mut()
         .map(|r| r as &mut dyn TraceObserver)
         .collect();
-    let summary = run(program, input, &mut observers).expect("workload runs");
-    (
+    let summary = run(program, input, &mut observers)?;
+    Ok((
         runtimes
             .into_iter()
             .map(MarkerRuntime::into_firings)
             .collect(),
         summary.instrs,
-    )
+    ))
 }
 
 /// Per-granule miss/access counts for every reconfigurable cache
@@ -160,10 +173,10 @@ mod tests {
     #[test]
     fn profile_and_detect_roundtrip() {
         let (program, input) = toy();
-        let graph = profile(&program, &input);
+        let graph = profile(&program, &input).unwrap();
         assert!(!graph.edges().is_empty());
         let outcome = spm_core::select_markers(&graph, &spm_core::SelectConfig::new(500));
-        let (firings, total) = detect_all(&program, &input, &[&outcome.markers]);
+        let (firings, total) = detect_all(&program, &input, &[&outcome.markers]).unwrap();
         assert_eq!(total, 100_000);
         assert!(!firings[0].is_empty());
     }

@@ -10,11 +10,10 @@
 use crate::passes::profile;
 use crate::table::{pct, Table};
 use crate::{GRANULE, ILOWER};
-use spm_core::{partition, select_markers, MarkerRuntime, SelectConfig};
+use spm_core::{partition, select_markers, MarkerRuntime, SelectConfig, SpmError};
 use spm_ir::Input;
 use spm_sim::{run, Timeline, TraceObserver};
 use spm_stats::{phase_cov, PhaseSample, Running};
-use spm_workloads::build;
 
 /// Per-seed outcome of the Figure 9 computation for one workload.
 #[derive(Debug, Clone, Copy)]
@@ -30,23 +29,25 @@ pub struct SeedOutcome {
 }
 
 /// Runs one workload under an alternative ref seed.
-pub fn seed_outcome(name: &str, seed: u64) -> SeedOutcome {
-    let w = build(name).expect("known workload");
+///
+/// # Errors
+///
+/// Propagates workload-build, engine, and profiler failures.
+pub fn seed_outcome(name: &str, seed: u64) -> Result<SeedOutcome, SpmError> {
+    let w = crate::workload(name)?;
     // Same parameters, different seed.
     let mut input = Input::new("ref", seed);
     for (key, value) in w.ref_input.params() {
         input = input.with(key, value);
     }
 
-    let graph = profile(&w.program, &input);
+    let graph = profile(&w.program, &input)?;
     let markers = select_markers(&graph, &SelectConfig::new(ILOWER)).markers;
     let mut runtime = MarkerRuntime::new(&markers);
     let mut timeline = Timeline::with_defaults(GRANULE);
     let total = {
         let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut runtime, &mut timeline];
-        run(&w.program, &input, &mut observers)
-            .expect("runs")
-            .instrs
+        run(&w.program, &input, &mut observers)?.instrs
     };
     let vlis = partition(&runtime.firings(), total);
     let samples: Vec<PhaseSample> = vlis
@@ -58,12 +59,12 @@ pub fn seed_outcome(name: &str, seed: u64) -> SeedOutcome {
         })
         .collect();
     let whole: Vec<(f64, f64)> = samples.iter().map(|s| (s.value, s.weight)).collect();
-    SeedOutcome {
+    Ok(SeedOutcome {
         seed,
         markers: markers.len(),
         marker_cov: phase_cov(&samples),
         whole_cov: spm_stats::whole_program_cov(&whole),
-    }
+    })
 }
 
 /// The seeds used by the robustness sweep (the suite's own seeds are
@@ -71,17 +72,29 @@ pub fn seed_outcome(name: &str, seed: u64) -> SeedOutcome {
 pub const SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
 
 /// Renders the robustness table for a few representative workloads.
-pub fn robustness_table() -> String {
+/// Every `(workload, seed)` pair fans out across the worker pool; rows
+/// stay in workload order.
+///
+/// # Errors
+///
+/// Propagates the first failing pair's error (by workload-major order).
+pub fn robustness_table() -> Result<String, SpmError> {
     let mut t = Table::new(
         "Robustness: Fig. 9 shape across 5 unseen input seeds (CoV of CPI over the same VLIs, classified vs unclassified)",
         &["bench", "marker CoV (mean±sd)", "whole CoV (mean±sd)", "min ratio"],
     );
-    for name in ["gzip", "gcc", "mcf", "swim", "vpr"] {
-        let outcomes: Vec<SeedOutcome> = SEEDS.iter().map(|&s| seed_outcome(name, s)).collect();
+    let names = ["gzip", "gcc", "mcf", "swim", "vpr"];
+    let pairs: Vec<(&str, u64)> = names
+        .iter()
+        .flat_map(|&name| SEEDS.iter().map(move |&seed| (name, seed)))
+        .collect();
+    let all = spm_par::try_par_map(&pairs, |&(name, seed)| seed_outcome(name, seed))?;
+    for (i, name) in names.iter().enumerate() {
+        let outcomes = &all[i * SEEDS.len()..(i + 1) * SEEDS.len()];
         let mut marker = Running::new();
         let mut whole = Running::new();
         let mut min_ratio = f64::INFINITY;
-        for o in &outcomes {
+        for o in outcomes {
             marker.push(o.marker_cov);
             whole.push(o.whole_cov);
             min_ratio = min_ratio.min(o.whole_cov / o.marker_cov.max(1e-9));
@@ -97,7 +110,7 @@ pub fn robustness_table() -> String {
             format!("{min_ratio:.1}x"),
         ]);
     }
-    t.render()
+    Ok(t.render())
 }
 
 #[cfg(test)]
@@ -110,7 +123,7 @@ mod tests {
         // never tuned on: markers exist and beat whole-program CoV.
         for name in ["gzip", "gcc"] {
             for &seed in &SEEDS[..2] {
-                let o = seed_outcome(name, seed);
+                let o = seed_outcome(name, seed).unwrap();
                 assert!(o.markers > 0, "{name}/{seed}: no markers");
                 assert!(
                     o.marker_cov < o.whole_cov,

@@ -59,6 +59,7 @@ const BOOLEAN_FLAGS: &[&str] = &["procs-only", "dot", "help", "plot", "verbose"]
 /// rather than silently swallowing the next token.
 const VALUE_FLAGS: &[&str] = &[
     "out", "input", "ilower", "limit", "markers", "order", "step", "param", "metrics", "spans",
+    "jobs", "interval", "kmax",
 ];
 
 /// Parses a token stream (without the program name).
@@ -174,6 +175,16 @@ mod tests {
             parse_str("select gzip --frobnicate 3"),
             Err(ArgError::UnknownFlag("frobnicate".into()))
         );
+    }
+
+    #[test]
+    fn jobs_and_simpoint_flags_parse() {
+        let p = parse_str("select gzip swim art --jobs 4").unwrap();
+        assert_eq!(p.positional, vec!["gzip", "swim", "art"]);
+        assert_eq!(p.u64_flag("jobs", 0).unwrap(), 4);
+        let p = parse_str("simpoint art --interval 5000 --kmax 20").unwrap();
+        assert_eq!(p.u64_flag("interval", 10_000).unwrap(), 5000);
+        assert_eq!(p.u64_flag("kmax", 10).unwrap(), 20);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! ```text
 //! spm list
 //! spm profile <workload> [--input train|ref] [--dot] [--markers FILE]
-//! spm select  <workload> [--input train|ref] [--ilower N] [--limit N] [--procs-only]
-//! spm partition <workload> [--markers FILE] [--input train|ref] [--ilower N]
+//! spm select  <workload>... [--input train|ref] [--ilower N] [--limit N] [--procs-only]
+//! spm partition <workload>... [--markers FILE] [--input train|ref] [--ilower N]
+//! spm simpoint <workload>... [--input train|ref] [--interval N] [--kmax K]
 //! spm predict <workload> [--order K] [--ilower N]
 //! spm structure <workload> [--ilower N]
 //! spm explain <workload> [--input train|ref] [--ilower N] [--limit N]
@@ -18,20 +19,33 @@
 //! `--dot`); `select` prints a marker file; `partition` re-runs the
 //! program with markers (from `--markers` or selected on the spot) and
 //! prints one line per variable-length interval with CPI and DL1 miss
-//! rate; `predict` trains the Markov phase predictor on the partition
-//! and reports accuracy. Workloads are the built-in synthetic suite.
+//! rate; `simpoint` classifies fixed-length intervals with BBV
+//! clustering and prints the chosen simulation points; `predict` trains
+//! the Markov phase predictor on the partition and reports accuracy.
+//! Workloads are the built-in synthetic suite.
+//!
+//! # Parallelism
+//!
+//! `select`, `partition`, and `simpoint` accept several workloads and
+//! fan them out across a worker pool (`--jobs N`, default: host
+//! parallelism). Output order and bytes are independent of the worker
+//! count: per-workload stdout/stderr are buffered and emitted in
+//! argument order, prefixed with `# workload: NAME` when more than one
+//! workload was given. Span events from workers carry a `thread` field
+//! with the worker id.
 //!
 //! # Exit codes
 //!
 //! Every failure class maps to a stable nonzero exit code so scripts
 //! can dispatch on it: `2` usage, and [`SpmError::exit_code`] for the
 //! pipeline stages (`3` I/O, `4` workload DSL parse, `5` graph/marker
-//! file parse, `6` execution, `7` profiler, `8` trace decode). A closed
-//! stdout pipe exits with the conventional SIGPIPE status `141`.
+//! file parse, `6` execution, `7` profiler, `8` trace decode,
+//! `9` analysis/clustering). A closed stdout pipe exits with the
+//! conventional SIGPIPE status `141`.
 //! Usage errors print the usage text to *stderr*, keeping stdout clean
 //! for pipelines. When marker partitioning degrades to fixed-length
 //! intervals, a machine-readable `warning: fallback=fixed-length
-//! reason=... interval=...` line goes to stderr.
+//! reason=... interval=... workload=...` line goes to stderr.
 //!
 //! # Observability
 //!
@@ -40,7 +54,11 @@
 //! only), and `-v`/`--verbose` (per-stage timing summary on stderr
 //! after the command finishes). Degradation warnings are routed through
 //! the same structured stream as `warning` events, deduplicated per
-//! run.
+//! run and keyed by workload in batch runs.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod args;
 mod plot;
@@ -100,6 +118,16 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(e) => return usage_failure(&e.to_string()),
     };
+    if let Some(value) = parsed.flags.get("jobs") {
+        match value.parse::<usize>() {
+            Ok(jobs) if jobs >= 1 => spm_par::set_default_jobs(jobs),
+            _ => {
+                return usage_failure(&format!(
+                    "flag --jobs: cannot parse `{value}` (need an integer >= 1)"
+                ))
+            }
+        }
+    }
     let verbose_sink = match setup_obs(&parsed) {
         Ok(sink) => sink,
         Err(CliError::Usage(message)) => return usage_failure(&message),
@@ -115,6 +143,7 @@ fn main() -> ExitCode {
             "profile" => cmd_profile(&parsed),
             "select" => cmd_select(&parsed),
             "partition" => cmd_partition(&parsed),
+            "simpoint" => cmd_simpoint(&parsed),
             "predict" => cmd_predict(&parsed),
             "structure" => cmd_structure(&parsed),
             "explain" => cmd_explain(&parsed),
@@ -199,8 +228,9 @@ spm - software phase markers (CGO'06 reproduction)
 USAGE:
   spm list
   spm profile <workload> [--input train|ref] [--dot]
-  spm select  <workload> [--input train|ref] [--ilower N] [--limit N] [--procs-only]
-  spm partition <workload> [--markers FILE] [--input train|ref] [--ilower N]
+  spm select  <workload>... [--input train|ref] [--ilower N] [--limit N] [--procs-only]
+  spm partition <workload>... [--markers FILE] [--input train|ref] [--ilower N]
+  spm simpoint <workload>... [--input train|ref] [--interval N] [--kmax K]
   spm predict <workload> [--order K] [--ilower N]
   spm structure <workload> [--ilower N]
   spm explain <workload> [--input train|ref] [--ilower N] [--limit N]
@@ -221,6 +251,11 @@ FLAGS:
   --step N            sample stride for timeseries (default 10000)
   --plot              render timeseries as terminal sparklines
   --param k=v[,k=v]   override input parameters
+  --interval N        fixed BBV interval size for simpoint (default 10000)
+  --kmax K            maximum clusters for simpoint (default 10)
+  --jobs N            worker threads for batch select/partition/simpoint
+                      runs (default: host parallelism); output bytes are
+                      identical at any worker count
 
 OBSERVABILITY (any subcommand):
   --metrics FILE      write all pipeline events (spans, counters, gauges,
@@ -230,7 +265,8 @@ OBSERVABILITY (any subcommand):
 
 EXIT CODES:
   0 ok, 2 usage, 3 I/O, 4 workload parse, 5 graph/marker parse,
-  6 execution, 7 profiler (corrupt event stream), 8 trace decode
+  6 execution, 7 profiler (corrupt event stream), 8 trace decode,
+  9 analysis (clustering)
 ";
 
 /// A resolved analysis target: a built-in workload, or a workload file
@@ -241,7 +277,10 @@ struct Target {
 }
 
 fn workload(parsed: &ParsedArgs) -> Result<Target, CliError> {
-    let name = parsed.positional("workload")?;
+    target(parsed.positional("workload")?)
+}
+
+fn target(name: &str) -> Result<Target, CliError> {
     if std::path::Path::new(name).is_file() {
         let src = std::fs::read_to_string(name).map_err(|e| SpmError::Io {
             path: name.to_string(),
@@ -373,12 +412,16 @@ fn load_or_select_markers(w: &Target, parsed: &ParsedArgs) -> Result<MarkerSourc
 }
 
 /// Partitions with graceful degradation, announcing any fixed-length
-/// fallback on stderr in a machine-readable form.
+/// fallback in a machine-readable form appended to `err`. The
+/// `workload` field keys the dedupe per workload, so a batch run warns
+/// once per degraded workload regardless of the worker count.
 fn partition_checked(
     source: &MarkerSource,
     firings: &[MarkerFiring],
     total: u64,
     ilower: u64,
+    workload_name: &str,
+    err: &mut String,
 ) -> Vec<Vli> {
     let outcome = partition_with_fallback(
         &source.markers,
@@ -395,16 +438,47 @@ fn partition_checked(
             &[
                 ("reason", fb.reason.to_string().into()),
                 ("interval", fb.interval.into()),
+                ("workload", workload_name.to_string().into()),
             ],
         );
         if fresh {
-            eprintln!(
-                "warning: fallback=fixed-length reason={} interval={}",
-                fb.reason, fb.interval
-            );
+            err.push_str(&format!(
+                "warning: fallback=fixed-length reason={} interval={} workload={}\n",
+                fb.reason, fb.interval, workload_name
+            ));
         }
     }
     outcome.vlis
+}
+
+/// Buffered stdout/stderr of one batch unit, printed in argument order.
+struct CommandOutput {
+    out: String,
+    err: String,
+}
+
+/// Runs a per-workload command over every positional argument, fanning
+/// out across the worker pool (`--jobs`). Buffered outputs are emitted
+/// in argument order — bytes are identical at any worker count — with a
+/// `# workload: NAME` header when more than one workload was given.
+fn run_batch(
+    parsed: &ParsedArgs,
+    one: impl Fn(&ParsedArgs, &str) -> Result<CommandOutput, CliError> + Sync,
+) -> Result<(), CliError> {
+    if parsed.positional.is_empty() {
+        return Err(ArgError::MissingPositional("workload").into());
+    }
+    let names = parsed.positional.clone();
+    let outputs = spm_par::try_par_map(&names, |name| one(parsed, name))?;
+    let many = names.len() > 1;
+    for (name, output) in names.iter().zip(outputs) {
+        if many {
+            println!("# workload: {name}");
+        }
+        print!("{}", output.out);
+        eprint!("{}", output.err);
+    }
+    Ok(())
 }
 
 fn cmd_list() -> Result<(), CliError> {
@@ -468,27 +542,42 @@ fn cmd_profile(parsed: &ParsedArgs) -> Result<(), CliError> {
 }
 
 fn cmd_select(parsed: &ParsedArgs) -> Result<(), CliError> {
-    let w = workload(parsed)?;
+    run_batch(parsed, select_one)
+}
+
+fn select_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliError> {
+    let w = target(name)?;
     let input = input_of(&w, parsed, "train")?;
     let graph = profile_graph(&w, &input)?;
     let config = select_config(parsed)?;
     let outcome = select_markers(&graph, &config);
-    eprintln!(
-        "# {} markers from {} candidates (avg CoV {:.2}%, threshold spread {:.2}%)",
+    let mut err = format!(
+        "# {} markers from {} candidates (avg CoV {:.2}%, threshold spread {:.2}%)\n",
         outcome.markers.len(),
         outcome.candidate_edges,
         outcome.avg_cov * 100.0,
         outcome.std_cov * 100.0
     );
-    if outcome.degenerate_cov && spm_obs::warning("select/degenerate-cov", &[]) {
-        eprintln!("warning: degenerate-cov: no candidate edge has a finite CoV");
+    if outcome.degenerate_cov
+        && spm_obs::warning(
+            "select/degenerate-cov",
+            &[("workload", name.to_string().into())],
+        )
+    {
+        err.push_str("warning: degenerate-cov: no candidate edge has a finite CoV\n");
     }
-    print!("{}", write_markers(&outcome.markers));
-    Ok(())
+    Ok(CommandOutput {
+        out: write_markers(&outcome.markers),
+        err,
+    })
 }
 
 fn cmd_partition(parsed: &ParsedArgs) -> Result<(), CliError> {
-    let w = workload(parsed)?;
+    run_batch(parsed, partition_one)
+}
+
+fn partition_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliError> {
+    let w = target(name)?;
     let source = load_or_select_markers(&w, parsed)?;
     let input = input_of(&w, parsed, "ref")?;
     let ilower = parsed.u64_flag("ilower", 10_000)?;
@@ -500,31 +589,79 @@ fn cmd_partition(parsed: &ParsedArgs) -> Result<(), CliError> {
             .map_err(SpmError::Run)?
             .instrs
     };
-    let vlis = partition_checked(&source, &runtime.firings(), total, ilower);
-    println!("begin\tend\tphase\tcpi\tdl1_miss");
+    let mut err = String::new();
+    let vlis = partition_checked(&source, &runtime.firings(), total, ilower, name, &mut err);
+    let mut out = String::from("begin\tend\tphase\tcpi\tdl1_miss\n");
     for v in &vlis {
-        println!(
-            "{}\t{}\t{}\t{:.4}\t{:.4}",
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{:.4}\t{:.4}\n",
             v.begin,
             v.end,
             v.phase,
             timeline.cpi(v.begin..v.end),
             timeline.miss_rate(v.begin..v.end)
-        );
+        ));
     }
-    eprintln!(
-        "# {} intervals, {} phases, avg length {:.0} instrs",
+    err.push_str(&format!(
+        "# {} intervals, {} phases, avg length {:.0} instrs\n",
         vlis.len(),
         spm_core::marker::phase_count(&vlis),
         spm_core::marker::avg_interval_len(&vlis)
-    );
+    ));
     let mut lengths = spm_stats::LogHistogram::new();
     lengths.extend(vlis.iter().map(|v| v.len()));
-    eprint!(
+    err.push_str(&format!(
         "# interval length distribution:\n{}",
         indent(&lengths.render())
+    ));
+    Ok(CommandOutput { out, err })
+}
+
+/// Seed for the CLI's BBV clustering (the bench suite's analysis seed,
+/// so `spm simpoint` agrees with the committed figures).
+const SIMPOINT_SEED: u64 = 0x5051_2006;
+
+fn cmd_simpoint(parsed: &ParsedArgs) -> Result<(), CliError> {
+    run_batch(parsed, simpoint_one)
+}
+
+fn simpoint_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliError> {
+    let w = target(name)?;
+    let input = input_of(&w, parsed, "ref")?;
+    let interval = parsed.u64_flag("interval", 10_000)?.max(1);
+    let kmax = (parsed.u64_flag("kmax", 10)?.max(1)) as usize;
+    let mut collector =
+        spm_bbv::IntervalBbvCollector::new(&w.program, spm_bbv::Boundaries::Fixed(interval));
+    run(&w.program, &input, &mut [&mut collector]).map_err(SpmError::Run)?;
+    let intervals = collector.into_intervals();
+    let vectors: Vec<Vec<f64>> = intervals.iter().map(|iv| iv.bbv.clone()).collect();
+    let weights: Vec<f64> = intervals.iter().map(|iv| iv.len() as f64).collect();
+    let dims = 15.min(vectors.first().map_or(1, Vec::len).max(1));
+    let sp = spm_simpoint::pick_simpoints(
+        &vectors,
+        &weights,
+        &spm_simpoint::SimPointConfig::new(kmax, dims, SIMPOINT_SEED),
+    )
+    .map_err(|e| SpmError::Analysis {
+        stage: "cli/simpoint".to_string(),
+        message: e.to_string(),
+    })?;
+    let mut out = String::from("cluster\trepresentative\tbegin\tend\tweight\n");
+    for (cluster, info) in sp.clusters.iter().enumerate() {
+        let iv = &intervals[info.representative];
+        out.push_str(&format!(
+            "{cluster}\t{}\t{}\t{}\t{:.4}\n",
+            info.representative, iv.begin, iv.end, info.weight
+        ));
+    }
+    let err = format!(
+        "# {} intervals of {} instrs -> k={} phases (coverage {:.2})\n",
+        intervals.len(),
+        interval,
+        sp.k,
+        sp.coverage()
     );
-    Ok(())
+    Ok(CommandOutput { out, err })
 }
 
 fn indent(text: &str) -> String {
@@ -532,6 +669,7 @@ fn indent(text: &str) -> String {
 }
 
 fn cmd_predict(parsed: &ParsedArgs) -> Result<(), CliError> {
+    let name = parsed.positional("workload")?.to_string();
     let w = workload(parsed)?;
     let source = load_or_select_markers(&w, parsed)?;
     let input = input_of(&w, parsed, "ref")?;
@@ -540,7 +678,9 @@ fn cmd_predict(parsed: &ParsedArgs) -> Result<(), CliError> {
     let total = run(&w.program, &input, &mut [&mut runtime])
         .map_err(SpmError::Run)?
         .instrs;
-    let vlis = partition_checked(&source, &runtime.firings(), total, ilower);
+    let mut warn = String::new();
+    let vlis = partition_checked(&source, &runtime.firings(), total, ilower, &name, &mut warn);
+    eprint!("{warn}");
 
     let order = parsed.u64_flag("order", 1)? as usize;
     let mut markov = MarkovPredictor::new(order);
@@ -574,6 +714,7 @@ fn cmd_predict(parsed: &ParsedArgs) -> Result<(), CliError> {
 }
 
 fn cmd_structure(parsed: &ParsedArgs) -> Result<(), CliError> {
+    let name = parsed.positional("workload")?.to_string();
     let w = workload(parsed)?;
     let source = load_or_select_markers(&w, parsed)?;
     let input = input_of(&w, parsed, "ref")?;
@@ -582,7 +723,9 @@ fn cmd_structure(parsed: &ParsedArgs) -> Result<(), CliError> {
     let total = run(&w.program, &input, &mut [&mut runtime])
         .map_err(SpmError::Run)?
         .instrs;
-    let vlis = partition_checked(&source, &runtime.firings(), total, ilower);
+    let mut warn = String::new();
+    let vlis = partition_checked(&source, &runtime.firings(), total, ilower, &name, &mut warn);
+    eprint!("{warn}");
     let hierarchy = spm_reuse::phase_hierarchy(&vlis);
     println!(
         "workload: {} ({} intervals, compression {:.2})",

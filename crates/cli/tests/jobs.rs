@@ -1,0 +1,122 @@
+//! Determinism suite for the parallel fan-out layer: batch `select`,
+//! `partition`, and `simpoint` runs over the committed workload files
+//! must produce byte-identical stdout AND stderr at `--jobs 1` and
+//! `--jobs 4`, and the structured metrics stream must stay schema-valid
+//! under concurrent workers.
+
+use spm_obs::jsonl::validate_line;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn spm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spm"))
+        .args(args)
+        .output()
+        .expect("spm binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("spm-jobs-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// Every `.spm` file shipped in `workloads/`, sorted for a stable
+/// argument order.
+fn workload_files() -> Vec<String> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../workloads");
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .expect("workloads/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "spm"))
+        .map(|p| p.to_str().expect("utf-8 path").to_string())
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 4,
+        "expected at least 4 workload files, found {}",
+        files.len()
+    );
+    files
+}
+
+/// Runs one batch subcommand at the given worker count, asserting
+/// success and returning `(stdout, stderr)`.
+fn batch(cmd: &str, extra: &[&str], jobs: &str) -> (String, String) {
+    let files = workload_files();
+    let mut args = vec![cmd];
+    args.extend(files.iter().map(String::as_str));
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&["--jobs", jobs]);
+    let out = spm(&args);
+    assert!(
+        out.status.success(),
+        "spm {cmd} --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn select_output_is_identical_at_jobs_1_and_4() {
+    let serial = batch("select", &[], "1");
+    let parallel = batch("select", &[], "4");
+    assert_eq!(serial, parallel, "select output depends on worker count");
+    // Each workload gets its own header in argument order.
+    let headers: Vec<&str> = serial
+        .0
+        .lines()
+        .filter(|l| l.starts_with("# workload: "))
+        .collect();
+    assert_eq!(headers.len(), workload_files().len());
+}
+
+#[test]
+fn partition_output_is_identical_at_jobs_1_and_4() {
+    let serial = batch("partition", &["--ilower", "5000"], "1");
+    let parallel = batch("partition", &["--ilower", "5000"], "4");
+    assert_eq!(serial, parallel, "partition output depends on worker count");
+}
+
+#[test]
+fn simpoint_output_is_identical_at_jobs_1_and_4() {
+    let serial = batch("simpoint", &["--interval", "5000", "--kmax", "8"], "1");
+    let parallel = batch("simpoint", &["--interval", "5000", "--kmax", "8"], "4");
+    assert_eq!(serial, parallel, "simpoint output depends on worker count");
+}
+
+#[test]
+fn metrics_stream_is_schema_valid_under_workers() {
+    let path = tmp("metrics");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let files = workload_files();
+    let mut args = vec!["simpoint"];
+    args.extend(files.iter().map(String::as_str));
+    args.extend_from_slice(&["--metrics", path_str, "--jobs", "4"]);
+    let out = spm(&args);
+    assert!(
+        out.status.success(),
+        "simpoint --metrics failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let _ = std::fs::remove_file(&path);
+    assert!(!text.is_empty(), "metrics file empty");
+    let mut worker_spans = 0usize;
+    for line in text.lines() {
+        let event =
+            validate_line(line).unwrap_or_else(|e| panic!("invalid event line `{line}`: {e}"));
+        if let Some(fields) = event.get("fields") {
+            if fields.get("thread").is_some() {
+                worker_spans += 1;
+            }
+        }
+    }
+    assert!(
+        worker_spans > 0,
+        "expected worker-labeled spans in the metrics stream:\n{text}"
+    );
+}

@@ -137,6 +137,14 @@ pub enum SpmError {
         /// The decode failure, with byte offset where applicable.
         error: DecodeError,
     },
+    /// A downstream analysis stage (clustering, figure computation)
+    /// failed on otherwise well-formed inputs.
+    Analysis {
+        /// The stage that failed (e.g. `simpoint/kmeans`).
+        stage: String,
+        /// The stage's own error message.
+        message: String,
+    },
 }
 
 impl SpmError {
@@ -150,6 +158,7 @@ impl SpmError {
     /// * 6 — execution (engine) failures
     /// * 7 — profiler failures (corrupted event stream)
     /// * 8 — trace decode failures (corrupted record file)
+    /// * 9 — analysis failures (clustering, figure computation)
     pub fn exit_code(&self) -> u8 {
         match self {
             SpmError::Io { .. } => 3,
@@ -158,6 +167,7 @@ impl SpmError {
             SpmError::Run(_) => 6,
             SpmError::Profile(_) => 7,
             SpmError::Trace { .. } => 8,
+            SpmError::Analysis { .. } => 9,
         }
     }
 
@@ -170,6 +180,7 @@ impl SpmError {
             SpmError::Run(_) => "run",
             SpmError::Profile(_) => "profile",
             SpmError::Trace { .. } => "trace-decode",
+            SpmError::Analysis { .. } => "analysis",
         }
     }
 }
@@ -183,6 +194,7 @@ impl fmt::Display for SpmError {
             SpmError::Run(e) => e.fmt(f),
             SpmError::Profile(e) => e.fmt(f),
             SpmError::Trace { source, error } => write!(f, "{source}: {error}"),
+            SpmError::Analysis { stage, message } => write!(f, "{stage}: {message}"),
         }
     }
 }
@@ -237,6 +249,10 @@ mod tests {
             SpmError::Trace {
                 source: "t".into(),
                 error: DecodeError::BadMagic,
+            },
+            SpmError::Analysis {
+                stage: "simpoint/kmeans".into(),
+                message: "m".into(),
             },
         ];
         let mut codes: Vec<u8> = samples.iter().map(SpmError::exit_code).collect();

@@ -50,7 +50,7 @@ pub use jsonl::JsonlSink;
 pub use recorder::{
     enabled, flush, install, record, uninstall, warning_event, Fanout, MemorySink, Recorder,
 };
-pub use span::{span, Span};
+pub use span::{clear_thread_label, set_thread_label, span, thread_label, Span};
 
 use spm_stats::LogHistogram;
 

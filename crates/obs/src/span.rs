@@ -19,6 +19,30 @@ use std::time::{Duration, Instant};
 thread_local! {
     /// Stack of live span paths on this thread (innermost last).
     static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+
+    /// Label attached as a `thread` field to spans closed on this
+    /// thread; `None` (the default) adds nothing, so single-threaded
+    /// output is unchanged.
+    static THREAD_LABEL: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Registers a label (e.g. a worker id like `w3`) for the current
+/// thread. Every span that closes on this thread afterwards carries a
+/// `thread: label` field, keeping concurrent `--metrics` streams
+/// attributable. Threads without a label emit exactly the events they
+/// did before this API existed — serial output stays byte-identical.
+pub fn set_thread_label(label: &str) {
+    THREAD_LABEL.with(|l| *l.borrow_mut() = Some(label.to_string()));
+}
+
+/// Clears the current thread's label (see [`set_thread_label`]).
+pub fn clear_thread_label() {
+    THREAD_LABEL.with(|l| *l.borrow_mut() = None);
+}
+
+/// The current thread's label, if one was registered.
+pub fn thread_label() -> Option<String> {
+    THREAD_LABEL.with(|l| l.borrow().clone())
 }
 
 /// An in-flight timed span; see the module docs. Inert (all methods
@@ -92,10 +116,14 @@ impl Drop for Span {
             }
         });
         let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut fields = std::mem::take(&mut self.fields);
+        if let Some(label) = thread_label() {
+            fields.push(("thread".to_string(), Value::Str(label)));
+        }
         record(&Event {
             name: std::mem::take(&mut self.path),
             kind: EventKind::Span { dur_us },
-            fields: std::mem::take(&mut self.fields),
+            fields,
         });
     }
 }
@@ -152,6 +180,32 @@ mod tests {
         s.field("k", 1u64); // must not allocate into a dead span path
         assert_eq!(s.elapsed(), Duration::ZERO);
         assert_eq!(s.path(), "");
+    }
+
+    #[test]
+    fn thread_label_attaches_only_when_set() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        {
+            let _unlabeled = span("plain");
+        }
+        set_thread_label("w7");
+        {
+            let _labeled = span("labeled");
+        }
+        clear_thread_label();
+        {
+            let _after = span("cleared");
+        }
+        uninstall();
+        let events = sink.events();
+        assert_eq!(events[0].field("thread"), None);
+        assert_eq!(events[1].field("thread"), Some(&Value::Str("w7".into())));
+        assert_eq!(events[2].field("thread"), None);
+        assert_eq!(thread_label(), None);
     }
 
     #[test]

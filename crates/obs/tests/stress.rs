@@ -1,0 +1,125 @@
+//! Multi-thread stress tests for the recorder: the JSONL sink must not
+//! lose or interleave-corrupt lines under concurrent writers, and
+//! warning dedupe must admit exactly one occurrence per key per run.
+
+use spm_obs::{install, jsonl, uninstall, Event, EventKind, JsonlSink, MemorySink, Value};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// The recorder slot and warning-dedupe table are process-global; every
+/// test here installs/uninstalls, so serialize them.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+const THREADS: usize = 8;
+const EVENTS_PER_THREAD: usize = 500;
+
+#[test]
+fn jsonl_sink_survives_concurrent_writers() {
+    let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = std::env::temp_dir().join(format!("spm-obs-stress-{}.jsonl", std::process::id()));
+    let sink = Arc::new(JsonlSink::create(&path).expect("create sink"));
+    install(sink);
+
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                spm_obs::set_thread_label(&format!("w{t}"));
+                barrier.wait();
+                for i in 0..EVENTS_PER_THREAD {
+                    match i % 3 {
+                        0 => spm_obs::counter_with(
+                            "stress/counter",
+                            i as u64,
+                            &[("t", Value::U64(t as u64))],
+                        ),
+                        1 => spm_obs::gauge("stress/gauge", i as f64 / 7.0),
+                        _ => {
+                            let mut span = spm_obs::span("stress/span");
+                            span.field("i", i as u64);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    spm_obs::flush();
+    uninstall();
+
+    let text = std::fs::read_to_string(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        THREADS * EVENTS_PER_THREAD,
+        "no event may be lost"
+    );
+    let mut labeled_spans = 0usize;
+    for line in &lines {
+        let doc = jsonl::validate_line(line)
+            .unwrap_or_else(|err| panic!("corrupt line under concurrency: {err}: {line}"));
+        if doc.get("kind").and_then(jsonl::Json::as_str) == Some("span") {
+            let fields = doc.get("fields").expect("fields object");
+            let label = fields
+                .get("thread")
+                .and_then(jsonl::Json::as_str)
+                .expect("span closed on a labeled thread carries its label");
+            assert!(label.starts_with('w'), "label {label:?}");
+            labeled_spans += 1;
+        }
+    }
+    let spans_per_thread = (0..EVENTS_PER_THREAD).filter(|i| i % 3 == 2).count();
+    assert_eq!(labeled_spans, THREADS * spans_per_thread);
+}
+
+#[test]
+fn warning_dedupe_is_exactly_once_across_threads() {
+    let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let sink = Arc::new(MemorySink::new());
+    install(sink.clone());
+
+    let barrier = Barrier::new(THREADS);
+    let fresh: Vec<bool> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    spm_obs::warning("stress/fallback", &[("reason", Value::Str("races".into()))])
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    uninstall();
+
+    assert_eq!(
+        fresh.iter().filter(|&&f| f).count(),
+        1,
+        "exactly one thread must see the warning as fresh: {fresh:?}"
+    );
+    let warnings: Vec<Event> = sink
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e.kind, EventKind::Warning))
+        .collect();
+    assert_eq!(warnings.len(), 1, "exactly one warning event recorded");
+
+    // Distinct fields are distinct keys — per-workload warnings in a
+    // parallel batch each get through once.
+    install(sink.clone());
+    for name in ["gzip", "art"] {
+        assert!(spm_obs::warning(
+            "stress/fallback",
+            &[("workload", Value::Str(name.into()))]
+        ));
+        assert!(!spm_obs::warning(
+            "stress/fallback",
+            &[("workload", Value::Str(name.into()))]
+        ));
+    }
+    uninstall();
+}

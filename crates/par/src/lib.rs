@@ -1,0 +1,315 @@
+//! `spm-par` — a zero-dependency scoped worker pool for embarrassingly
+//! parallel fan-out over independent work items.
+//!
+//! The single primitive is [`par_map`]: apply a function to every item
+//! of a slice on `jobs` scoped worker threads and return the results
+//! **in input order**. Because every pipeline stage that uses it is a
+//! pure function of its item (workload, k value, figure), parallel
+//! output is byte-identical to serial output; the only thing that
+//! changes is wall-clock time.
+//!
+//! # Determinism contract
+//!
+//! * **Ordering** — results are returned in input order regardless of
+//!   completion order; `par_map(items, f)` equals
+//!   `items.iter().map(f).collect()` for any deterministic `f`.
+//! * **Panics** — a panic in any worker is re-raised on the caller with
+//!   the original payload once all workers have drained (no item is
+//!   half-applied silently).
+//! * **Nesting** — a `par_map` issued from inside a worker runs inline
+//!   (serially, on that worker). Parallelism is taken at the outermost
+//!   fan-out only, so nested pipelines (bench → workload →
+//!   `pick_simpoints` → k-means fits) cannot multiply thread counts.
+//!
+//! # Worker identity and observability
+//!
+//! Worker threads are named `spm-par-N` and register the label `wN`
+//! with `spm-obs`, so spans closed on a worker carry a
+//! `thread: "wN"` field and `--metrics` streams stay attributable
+//! under concurrency. [`worker_id`] exposes the same id to library
+//! code.
+//!
+//! The process-wide default worker count ([`default_jobs`]) starts at
+//! the host's available parallelism and is overridden by the CLI and
+//! bench `--jobs N` flags via [`set_default_jobs`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+thread_local! {
+    /// Worker id when the current thread belongs to a pool.
+    static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Process-wide default worker count; 0 = not set (use the host's
+/// available parallelism).
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// The host's available parallelism (at least 1).
+pub fn available_parallelism() -> usize {
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The default worker count used by [`par_map`]: the last value passed
+/// to [`set_default_jobs`], or the host's available parallelism.
+pub fn default_jobs() -> usize {
+    match DEFAULT_JOBS.load(Ordering::Relaxed) {
+        0 => available_parallelism(),
+        n => n,
+    }
+}
+
+/// Sets the process-wide default worker count (the `--jobs N` flag).
+/// `0` resets to the host's available parallelism.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The current worker's id (`0..jobs`), or `None` on a thread that is
+/// not a pool worker.
+pub fn worker_id() -> Option<usize> {
+    WORKER.with(Cell::get)
+}
+
+/// Maps `f` over `items` on [`default_jobs`] workers, preserving input
+/// order. See the module docs for the determinism contract.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_jobs(items, default_jobs(), f)
+}
+
+/// [`par_map`] with an explicit worker count. `jobs <= 1`, a nested
+/// call from inside a worker, and single-item inputs all run inline.
+pub fn par_map_jobs<T, U, F>(items: &[T], jobs: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 || worker_id().is_some() {
+        return items.iter().map(f).collect();
+    }
+
+    // Shared cursor: workers pull the next unclaimed index, so uneven
+    // item costs balance without any up-front chunking.
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    let mut collected: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    let panic = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for w in 0..jobs {
+            let builder = thread::Builder::new().name(format!("spm-par-{w}"));
+            let handle = builder.spawn_scoped(scope, move || {
+                WORKER.with(|id| id.set(Some(w)));
+                spm_obs::set_thread_label(&format!("w{w}"));
+                let mut out: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        return out;
+                    }
+                    out.push((i, f(&items[i])));
+                }
+            });
+            match handle {
+                Ok(h) => handles.push(h),
+                // Spawn failure (resource exhaustion): the items this
+                // worker would have claimed are picked up by the
+                // workers that did start; with zero started workers we
+                // fall through to the inline path below.
+                Err(_) => break,
+            }
+        }
+        if handles.is_empty() {
+            return None;
+        }
+        // Join every worker before propagating any panic, so no worker
+        // still borrows `items`/`f` when the payload is re-raised.
+        let mut first_panic = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => collected.extend(part),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        Some(first_panic)
+    });
+    match panic {
+        Some(Some(payload)) => std::panic::resume_unwind(payload),
+        Some(None) => {}
+        // No worker could be spawned at all: degrade to serial.
+        None => return items.iter().map(f).collect(),
+    }
+
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(collected.len(), items.len());
+    collected.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Maps a fallible `f` over `items` in parallel and returns the first
+/// error (by input order) or all successes, preserving input order.
+///
+/// Every item is still evaluated — workers do not stop early on error —
+/// which keeps the work performed identical between serial and parallel
+/// runs.
+///
+/// # Errors
+///
+/// Returns the error of the earliest (lowest-index) failing item.
+pub fn try_par_map<T, U, E, F>(items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for result in par_map(items, f) {
+        out.push(result?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    /// `set_default_jobs` is process-global; tests that touch it hold
+    /// this lock so `cargo test`'s own parallelism cannot interleave.
+    static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        // Uneven costs: make later items finish first.
+        let doubled = par_map_jobs(&items, 4, |&x| {
+            if x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 2
+        });
+        let serial: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, serial);
+    }
+
+    #[test]
+    fn matches_serial_for_every_jobs_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xabcd).collect();
+        for jobs in [1, 2, 3, 4, 7, 100, 1000] {
+            let par = par_map_jobs(&items, jobs, |&x| x.wrapping_mul(x) ^ 0xabcd);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map_jobs(&empty, 4, |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map_jobs(&[41], 4, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn propagates_panics_with_payload() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_jobs(&items, 4, |&x| {
+                assert!(x != 17, "boom on 17");
+                x
+            })
+        });
+        let payload = result.expect_err("must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(message.contains("boom on 17"), "payload: {message}");
+    }
+
+    #[test]
+    fn nested_calls_run_inline_on_workers() {
+        let items: Vec<u32> = (0..8).collect();
+        let nested_ran_inline = par_map_jobs(&items, 4, |_| {
+            assert!(worker_id().is_some());
+            // The inner fan-out must not spawn its own pool: its items
+            // all observe the *outer* worker's id.
+            let outer = worker_id();
+            par_map_jobs(&[1u32, 2, 3], 4, |_| worker_id() == outer)
+                .into_iter()
+                .all(|same| same)
+        });
+        assert!(nested_ran_inline.into_iter().all(|ok| ok));
+        assert_eq!(worker_id(), None, "caller thread is not a worker");
+    }
+
+    #[test]
+    fn every_item_visited_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let out = par_map_jobs(&items, 8, |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn default_jobs_override_round_trips() {
+        let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(available_parallelism() >= 1);
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert_eq!(default_jobs(), available_parallelism());
+    }
+
+    #[test]
+    fn try_par_map_returns_earliest_error() {
+        let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_default_jobs(4);
+        let items: Vec<u32> = (0..64).collect();
+        let result: Result<Vec<u32>, u32> =
+            try_par_map(&items, |&x| if x % 10 == 7 { Err(x) } else { Ok(x) });
+        assert_eq!(result, Err(7), "earliest failing index wins");
+        let ok: Result<Vec<u32>, u32> = try_par_map(&items, |&x| Ok(x * 3));
+        assert_eq!(ok.unwrap()[10], 30);
+        set_default_jobs(0);
+    }
+
+    #[test]
+    fn workers_report_ids_and_labels() {
+        let items: Vec<u32> = (0..64).collect();
+        let ids = par_map_jobs(&items, 4, |_| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            worker_id()
+        });
+        for id in &ids {
+            let id = id.expect("inside a worker");
+            assert!(id < 4, "worker id {id} out of range");
+        }
+        // With 64 sleepy items on 4 workers, more than one worker must
+        // have participated.
+        let distinct: std::collections::BTreeSet<_> = ids.iter().collect();
+        assert!(distinct.len() > 1, "only {distinct:?} workers ran");
+    }
+}

@@ -88,6 +88,13 @@ impl SimPoints {
     }
 }
 
+/// The k-means seed for one `k` fit. Every k=1 fit — in-schedule or the
+/// all-BIC-NaN fallback — goes through this, so the two paths can never
+/// disagree (they once did: the fallback used the bare `config.seed`).
+fn fit_seed(seed: u64, k: usize) -> u64 {
+    seed ^ (k as u64).wrapping_mul(0x9e37)
+}
+
 /// The `k` values evaluated: exhaustive up to 16, then geometric up to
 /// `kmax` (SimPoint 3.0 similarly subsamples large `k` ranges).
 fn k_schedule(kmax: usize, n: usize) -> Vec<usize> {
@@ -125,17 +132,16 @@ pub fn pick_simpoints(
     }
     let projected = project(vectors, config.dims, config.seed);
 
-    let mut scored: Vec<(usize, Clustering, f64)> = Vec::new();
-    for k in k_schedule(config.kmax, vectors.len()) {
-        let c = kmeans(
-            &projected,
-            weights,
-            k,
-            config.seed ^ (k as u64).wrapping_mul(0x9e37),
-        )?;
+    // Each k's fit is an independent deterministic function of
+    // (projected, weights, k, seed), so the schedule fans out across
+    // workers; `try_par_map` preserves schedule order and returns the
+    // lowest-k error, matching the serial loop exactly.
+    let schedule = k_schedule(config.kmax, vectors.len());
+    let scored: Vec<(usize, Clustering, f64)> = spm_par::try_par_map(&schedule, |&k| {
+        let c = kmeans(&projected, weights, k, fit_seed(config.seed, k))?;
         let score = bic(&c, &projected, weights);
-        scored.push((k, c, score));
-    }
+        Ok((k, c, score))
+    })?;
     let finite: Vec<f64> = scored
         .iter()
         .map(|s| s.2)
@@ -152,7 +158,7 @@ pub fn pick_simpoints(
     // threshold (with a -inf threshold, that is k = 1).
     let clustering = match scored.into_iter().find(|(_, _, score)| *score >= threshold) {
         Some((_, c, _)) => c,
-        None => kmeans(&projected, weights, 1, config.seed)?,
+        None => kmeans(&projected, weights, 1, fit_seed(config.seed, 1))?,
     };
 
     let total_w: f64 = weights.iter().sum();
@@ -295,6 +301,28 @@ mod tests {
         assert_eq!(*ks.last().unwrap(), 100);
         assert!(ks.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(k_schedule(50, 3), vec![1, 2, 3], "clamped to n");
+    }
+
+    #[test]
+    fn parallel_fits_match_serial() {
+        let (vectors, weights) = two_blob_vectors();
+        let config = SimPointConfig::new(8, 3, 1);
+        let serial = {
+            spm_par::set_default_jobs(1);
+            pick_simpoints(&vectors, &weights, &config).unwrap()
+        };
+        spm_par::set_default_jobs(4);
+        let parallel = pick_simpoints(&vectors, &weights, &config).unwrap();
+        spm_par::set_default_jobs(0);
+        assert_eq!(serial, parallel, "fan-out must not change the result");
+    }
+
+    #[test]
+    fn k1_seed_is_shared_between_schedule_and_fallback() {
+        // Both k=1 paths (in-schedule fit and the all-NaN-BIC fallback)
+        // must derive the same seed; guard the derivation itself.
+        assert_eq!(fit_seed(7, 1), 7 ^ 0x9e37);
+        assert_ne!(fit_seed(7, 1), 7, "fallback must not use the bare seed");
     }
 
     #[test]
