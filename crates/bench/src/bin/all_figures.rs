@@ -1,15 +1,21 @@
 //! Regenerates every figure, writing one file per figure under
-//! `results/` (used to populate EXPERIMENTS.md), plus
-//! `results/BENCH_timings.json` with per-figure wall-clock spans
-//! captured through spm-obs.
+//! `results/` (used to populate EXPERIMENTS.md), plus two artifacts:
+//! `results/BENCH_timings.json` (`spm-bench/timings/v2`, raw per-figure
+//! wall-clock spans captured through spm-obs) and
+//! `results/BENCH_report.json` (`spm-bench/report/v3`, the committed
+//! trajectory point: per-figure median/min/total across `--repeat`
+//! runs plus suite-wide simulation throughput — validated by
+//! `spm_report::bench::validate_bench_report`).
 //!
 //! Flags:
 //!
 //! - `--jobs N` — worker count for the per-workload fan-out inside each
 //!   figure (default: host parallelism).
-//! - `--compare-serial` — run the whole suite twice, at `--jobs 1` and
-//!   then at `--jobs N`, assert every figure's text is byte-identical,
-//!   and record both runs in the timings artifact.
+//! - `--repeat N` — timed repetitions of the suite at `--jobs N`
+//!   (default 1); the v3 report takes per-figure medians across them.
+//! - `--compare-serial` — additionally run the whole suite at
+//!   `--jobs 1` first, assert every figure's text is byte-identical to
+//!   the parallel run, and record both runs in the timings artifact.
 
 use std::fs;
 use std::sync::Arc;
@@ -106,8 +112,9 @@ struct RunTiming {
 
 /// Runs the whole suite once at the given worker count, capturing the
 /// top-level `bench/<figure>` spans (nested pipeline spans would swamp
-/// the artifact; worker-thread spans carry no `bench/` prefix).
-fn run_once(jobs: usize) -> (Vec<(&'static str, String)>, RunTiming) {
+/// the artifact; worker-thread spans carry no `bench/` prefix) plus
+/// every simulation-throughput gauge for the v3 report.
+fn run_once(jobs: usize) -> (Vec<(&'static str, String)>, RunTiming, Vec<f64>) {
     spm_par::set_default_jobs(jobs);
     let sink = Arc::new(spm_obs::MemorySink::new());
     spm_obs::install(sink.clone());
@@ -116,12 +123,21 @@ fn run_once(jobs: usize) -> (Vec<(&'static str, String)>, RunTiming) {
 
     let mut total_us = 0;
     let mut spans = Vec::new();
+    let mut events_per_sec = Vec::new();
     for event in sink.events() {
-        if let spm_obs::EventKind::Span { dur_us } = event.kind {
-            if event.name.starts_with("bench/") && event.name.matches('/').count() == 1 {
+        match event.kind {
+            spm_obs::EventKind::Span { dur_us }
+                if event.name.starts_with("bench/") && event.name.matches('/').count() == 1 =>
+            {
                 total_us += dur_us;
                 spans.push((event.name["bench/".len()..].to_string(), dur_us));
             }
+            spm_obs::EventKind::Gauge { value }
+                if event.name == "sim/events_per_sec" && value.is_finite() =>
+            {
+                events_per_sec.push(value);
+            }
+            _ => {}
         }
     }
     (
@@ -131,6 +147,7 @@ fn run_once(jobs: usize) -> (Vec<(&'static str, String)>, RunTiming) {
             total_us,
             figures: spans,
         },
+        events_per_sec,
     )
 }
 
@@ -159,9 +176,85 @@ fn timings_json(host_parallelism: usize, runs: &[RunTiming]) -> String {
     out
 }
 
+/// Per-figure aggregate across the `--repeat` suite runs.
+struct FigureStat {
+    name: String,
+    median_us: u64,
+    min_us: u64,
+    total_us: u64,
+}
+
+/// Lower-middle median of a sorted sample set.
+fn median_u64(sorted: &[u64]) -> u64 {
+    sorted[(sorted.len() - 1) / 2]
+}
+
+/// Aggregates the repeats' per-figure durations, keeping the figure
+/// order of the first run (the suite order is fixed, so every repeat
+/// observes the same names).
+fn figure_stats(samples: &[RunTiming]) -> Vec<FigureStat> {
+    let Some(first) = samples.first() else {
+        return Vec::new();
+    };
+    first
+        .figures
+        .iter()
+        .map(|(name, _)| {
+            let mut durs: Vec<u64> = samples
+                .iter()
+                .flat_map(|run| &run.figures)
+                .filter(|(n, _)| n == name)
+                .map(|(_, dur_us)| *dur_us)
+                .collect();
+            durs.sort_unstable();
+            FigureStat {
+                name: name.clone(),
+                median_us: median_u64(&durs),
+                min_us: durs[0],
+                total_us: durs.iter().sum(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the `spm-bench/report/v3` artifact (the schema
+/// `spm_report::bench::validate_bench_report` checks).
+fn report_json(
+    host_parallelism: usize,
+    jobs: usize,
+    repeats: usize,
+    stats: &[FigureStat],
+    events_per_sec: &mut [f64],
+) -> String {
+    events_per_sec.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let eps_median = if events_per_sec.is_empty() {
+        0.0
+    } else {
+        events_per_sec[(events_per_sec.len() - 1) / 2]
+    };
+    let mut out = format!(
+        "{{\n  \"schema\": \"{}\",\n  \"host_parallelism\": {host_parallelism},\n  \
+\"jobs\": {jobs},\n  \"repeats\": {repeats},\n  \
+\"events_per_sec\": {{\"median\": {:.0}, \"n\": {}}},\n  \"figures\": [\n",
+        spm_report::bench::BENCH_REPORT_SCHEMA,
+        eps_median,
+        events_per_sec.len()
+    );
+    for (i, s) in stats.iter().enumerate() {
+        let comma = if i + 1 == stats.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"repeats\": {repeats}, \"median_us\": {}, \
+\"min_us\": {}, \"total_us\": {}}}{comma}\n",
+            s.name, s.median_us, s.min_us, s.total_us
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn usage(message: &str) -> ! {
     eprintln!("error[usage]: {message}");
-    eprintln!("usage: all_figures [--jobs N] [--compare-serial]");
+    eprintln!("usage: all_figures [--jobs N] [--repeat N] [--compare-serial]");
     std::process::exit(2)
 }
 
@@ -172,6 +265,7 @@ fn io_exit(what: &str, error: &std::io::Error) -> ! {
 
 fn main() {
     let mut jobs = spm_par::available_parallelism();
+    let mut repeat = 1usize;
     let mut compare_serial = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -184,6 +278,13 @@ fn main() {
                     _ => usage("--jobs needs a positive integer"),
                 };
             }
+            "--repeat" => {
+                i += 1;
+                repeat = match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => usage("--repeat needs a positive integer"),
+                };
+            }
             "--compare-serial" => compare_serial = true,
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -191,27 +292,41 @@ fn main() {
     }
 
     let mut runs = Vec::new();
-    let (figures, timing) = if compare_serial {
-        let (serial_figures, serial_timing) = run_once(1);
-        let (par_figures, par_timing) = run_once(jobs);
-        for ((name, serial), (_, parallel)) in serial_figures.iter().zip(&par_figures) {
-            if serial != parallel {
-                eprintln!(
-                    "error[analysis]: figure `{name}` differs between --jobs 1 and --jobs {jobs}"
-                );
-                std::process::exit(9);
-            }
-        }
-        println!(
-            "compare-serial: all {} figures byte-identical at --jobs 1 vs --jobs {jobs}",
-            par_figures.len()
-        );
-        runs.push(serial_timing);
-        (par_figures, par_timing)
+    let serial_figures = if compare_serial {
+        let (figures, timing, _) = run_once(1);
+        runs.push(timing);
+        Some(figures)
     } else {
-        run_once(jobs)
+        None
     };
-    runs.push(timing);
+    // The v3 report aggregates over the `--repeat` runs at `--jobs N`;
+    // the serial comparison run (if any) stays out of its medians.
+    let repeats_start = runs.len();
+    let mut figures = Vec::new();
+    let mut events_per_sec = Vec::new();
+    for rep in 0..repeat {
+        let (figs, timing, mut eps) = run_once(jobs);
+        runs.push(timing);
+        events_per_sec.append(&mut eps);
+        if rep > 0 {
+            continue;
+        }
+        if let Some(serial) = &serial_figures {
+            for ((name, serial_text), (_, parallel_text)) in serial.iter().zip(&figs) {
+                if serial_text != parallel_text {
+                    eprintln!(
+                        "error[analysis]: figure `{name}` differs between --jobs 1 and --jobs {jobs}"
+                    );
+                    std::process::exit(9);
+                }
+            }
+            println!(
+                "compare-serial: all {} figures byte-identical at --jobs 1 vs --jobs {jobs}",
+                figs.len()
+            );
+        }
+        figures = figs;
+    }
 
     if let Err(e) = fs::create_dir_all("results") {
         io_exit("create results dir", &e);
@@ -229,6 +344,21 @@ fn main() {
     if let Err(e) = fs::write("results/BENCH_timings.json", json) {
         io_exit("write results/BENCH_timings.json", &e);
     }
+    let stats = figure_stats(&runs[repeats_start..]);
+    let report = report_json(
+        spm_par::available_parallelism(),
+        jobs,
+        repeat,
+        &stats,
+        &mut events_per_sec,
+    );
+    if let Err(message) = spm_report::bench::validate_bench_report(&report) {
+        eprintln!("error[analysis]: generated bench report fails its own schema: {message}");
+        std::process::exit(9);
+    }
+    if let Err(e) = fs::write("results/BENCH_report.json", &report) {
+        io_exit("write results/BENCH_report.json", &e);
+    }
     println!("=== timings ===");
     for run in &runs {
         println!(
@@ -238,7 +368,7 @@ fn main() {
             run.figures.len()
         );
     }
-    if let [serial, parallel] = &runs[..] {
+    if let (true, [serial, parallel, ..]) = (compare_serial, &runs[..]) {
         println!(
             "speedup at --jobs {}: {:.2}x",
             parallel.jobs,
@@ -246,4 +376,9 @@ fn main() {
         );
     }
     println!("wrote results/BENCH_timings.json");
+    println!(
+        "wrote results/BENCH_report.json ({} figures, {repeat} repeat(s), {} throughput samples)",
+        stats.len(),
+        events_per_sec.len()
+    );
 }

@@ -58,8 +58,24 @@ const BOOLEAN_FLAGS: &[&str] = &["procs-only", "dot", "help", "plot", "verbose"]
 /// Flags that take a value. Anything outside both lists is rejected
 /// rather than silently swallowing the next token.
 const VALUE_FLAGS: &[&str] = &[
-    "out", "input", "ilower", "limit", "markers", "order", "step", "param", "metrics", "spans",
-    "jobs", "interval", "kmax",
+    "out",
+    "input",
+    "ilower",
+    "limit",
+    "markers",
+    "order",
+    "step",
+    "param",
+    "metrics",
+    "spans",
+    "jobs",
+    "interval",
+    "kmax",
+    "baseline",
+    "candidate",
+    "html",
+    "threshold",
+    "min-us",
 ];
 
 /// Parses a token stream (without the program name).
@@ -126,6 +142,20 @@ impl ParsedArgs {
             }),
         }
     }
+
+    /// A non-negative finite float flag with a default (thresholds).
+    pub fn f64_flag(&self, flag: &str, default: f64) -> Result<f64, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => match v.parse::<f64>() {
+                Ok(x) if x.is_finite() && x >= 0.0 => Ok(x),
+                _ => Err(ArgError::BadValue {
+                    flag: flag.to_string(),
+                    value: v.clone(),
+                }),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +215,29 @@ mod tests {
         let p = parse_str("simpoint art --interval 5000 --kmax 20").unwrap();
         assert_eq!(p.u64_flag("interval", 10_000).unwrap(), 5000);
         assert_eq!(p.u64_flag("kmax", 10).unwrap(), 20);
+    }
+
+    #[test]
+    fn report_flags_parse() {
+        let p = parse_str(
+            "report --baseline a.jsonl --candidate b.jsonl --threshold 12.5 --min-us 500",
+        )
+        .unwrap();
+        assert_eq!(p.flags.get("baseline").unwrap(), "a.jsonl");
+        assert_eq!(p.flags.get("candidate").unwrap(), "b.jsonl");
+        assert_eq!(p.f64_flag("threshold", 25.0).unwrap(), 12.5);
+        assert_eq!(p.u64_flag("min-us", 1000).unwrap(), 500);
+        let p = parse_str("report run.jsonl --html out.html").unwrap();
+        assert_eq!(p.positional, vec!["run.jsonl"]);
+        assert_eq!(p.flags.get("html").unwrap(), "out.html");
+        assert_eq!(p.f64_flag("threshold", 25.0).unwrap(), 25.0);
+        let p = parse_str("report a --threshold nope").unwrap();
+        assert!(matches!(
+            p.f64_flag("threshold", 25.0),
+            Err(ArgError::BadValue { .. })
+        ));
+        let p = parse_str("report a --threshold -3").unwrap();
+        assert!(p.f64_flag("threshold", 25.0).is_err(), "negative rejected");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! spm timeseries <workload> [--input train|ref] [--step N] [--plot]
 //! spm record <workload> [--input train|ref] --out FILE
 //! spm replay <tracefile>
+//! spm report <metrics.jsonl>... [--html FILE]
+//! spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT] [--min-us N] [--html FILE]
 //! spm help
 //! ```
 //!
@@ -40,8 +42,8 @@
 //! can dispatch on it: `2` usage, and [`SpmError::exit_code`] for the
 //! pipeline stages (`3` I/O, `4` workload DSL parse, `5` graph/marker
 //! file parse, `6` execution, `7` profiler, `8` trace decode,
-//! `9` analysis/clustering). A closed stdout pipe exits with the
-//! conventional SIGPIPE status `141`.
+//! `9` analysis/clustering, `10` gated performance regression). A
+//! closed stdout pipe exits with the conventional SIGPIPE status `141`.
 //! Usage errors print the usage text to *stderr*, keeping stdout clean
 //! for pipelines. When marker partitioning degrades to fixed-length
 //! intervals, a machine-readable `warning: fallback=fixed-length
@@ -55,6 +57,12 @@
 //! after the command finishes). Degradation warnings are routed through
 //! the same structured stream as `warning` events, deduplicated per
 //! run and keyed by workload in batch runs.
+//!
+//! `spm report` closes the loop: it reads the `--metrics`/`--spans`
+//! JSONL files back (schema-validated) and renders a hierarchical
+//! flame view, a phase-quality dashboard, an optional self-contained
+//! HTML report, and — with `--baseline`/`--candidate` — a noise-aware
+//! cross-run regression verdict that exits `10` on failure.
 
 #![forbid(unsafe_code)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
@@ -151,6 +159,7 @@ fn main() -> ExitCode {
             "timeseries" => cmd_timeseries(&parsed),
             "record" => cmd_record(&parsed),
             "replay" => cmd_replay(&parsed),
+            "report" => cmd_report(&parsed),
             "help" | "--help" => {
                 print!("{HELP}");
                 Ok(())
@@ -238,6 +247,9 @@ USAGE:
   spm timeseries <workload> [--input train|ref] [--step N] [--plot]
   spm record <workload> [--input train|ref] --out FILE
   spm replay <tracefile>
+  spm report <metrics.jsonl>... [--html FILE]
+  spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT]
+             [--min-us N] [--html FILE]
 
 FLAGS:
   --out FILE          where `record` writes the trace
@@ -257,6 +269,16 @@ FLAGS:
                       runs (default: host parallelism); output bytes are
                       identical at any worker count
 
+REPORT FLAGS:
+  --baseline FILE     baseline metrics/spans stream for the diff mode
+  --candidate FILE    candidate stream compared against --baseline
+  --threshold PCT     allowed relative slowdown per stage in percent
+                      (default 25): a stage regresses when its median
+                      exceeds the baseline median by more than PCT%
+  --min-us N          noise floor in microseconds (default 1000): stages
+                      whose medians sit below it are never gated
+  --html FILE         also write a self-contained HTML report
+
 OBSERVABILITY (any subcommand):
   --metrics FILE      write all pipeline events (spans, counters, gauges,
                       histograms, warnings) to FILE as JSON Lines
@@ -266,7 +288,7 @@ OBSERVABILITY (any subcommand):
 EXIT CODES:
   0 ok, 2 usage, 3 I/O, 4 workload parse, 5 graph/marker parse,
   6 execution, 7 profiler (corrupt event stream), 8 trace decode,
-  9 analysis (clustering)
+  9 analysis (clustering), 10 performance regression (report gate)
 ";
 
 /// A resolved analysis target: a built-in workload, or a workload file
@@ -920,6 +942,75 @@ fn cmd_timeseries(parsed: &ParsedArgs) -> Result<(), CliError> {
         println!("{at}\t{cpi:.4}\t{miss:.4}\t{marker}");
     }
     Ok(())
+}
+
+/// Writes the HTML report, routing failures through the I/O taxonomy.
+fn write_html(path: &str, html: &str) -> Result<(), CliError> {
+    std::fs::write(path, html).map_err(|e| {
+        CliError::Pipeline(SpmError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })
+    })?;
+    eprintln!("# wrote {path}");
+    Ok(())
+}
+
+/// `spm report`: analyze metrics/spans streams written by `--metrics`
+/// or `--spans`. Plain mode renders a phase-quality dashboard plus a
+/// flame view per file; `--baseline`/`--candidate` mode renders a
+/// noise-aware cross-run comparison and exits 10 when a stage regressed
+/// beyond the threshold.
+fn cmd_report(parsed: &ParsedArgs) -> Result<(), CliError> {
+    let cfg = spm_report::DiffConfig {
+        threshold: parsed.f64_flag("threshold", 25.0)? / 100.0,
+        min_us: parsed.u64_flag("min-us", 1_000)?,
+    };
+    match (parsed.flags.get("baseline"), parsed.flags.get("candidate")) {
+        (Some(base_path), Some(cand_path)) => {
+            if !parsed.positional.is_empty() {
+                return Err(CliError::Usage(
+                    "report takes either positional files or --baseline/--candidate, not both"
+                        .into(),
+                ));
+            }
+            let base = spm_report::load_file(base_path)?;
+            let cand = spm_report::load_file(cand_path)?;
+            let diffs = spm_report::diff_runs(&base, &cand, &cfg);
+            print!("{}", spm_report::diff::render(&base, &cand, &diffs, &cfg));
+            if let Some(path) = parsed.flags.get("html") {
+                write_html(
+                    path,
+                    &spm_report::html::render_diff(&base, &cand, &diffs, &cfg),
+                )?;
+            }
+            spm_report::gate(&diffs, &cfg)?;
+            Ok(())
+        }
+        (None, None) => {
+            if parsed.positional.is_empty() {
+                return Err(ArgError::MissingPositional("metrics.jsonl").into());
+            }
+            let mut runs = Vec::new();
+            for path in &parsed.positional {
+                runs.push(spm_report::load_file(path)?);
+            }
+            for run in &runs {
+                print!("{}", spm_report::dashboard::render(run));
+                print!(
+                    "{}",
+                    spm_report::flame::render(&spm_report::flame::build(run))
+                );
+            }
+            if let Some(path) = parsed.flags.get("html") {
+                write_html(path, &spm_report::html::render_runs(&runs))?;
+            }
+            Ok(())
+        }
+        _ => Err(CliError::Usage(
+            "--baseline and --candidate must be given together".into(),
+        )),
+    }
 }
 
 fn cmd_export(parsed: &ParsedArgs) -> Result<(), CliError> {

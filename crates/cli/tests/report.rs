@@ -1,0 +1,333 @@
+//! End-to-end tests for `spm report`: the dashboard/flame render over
+//! the committed workload suite's real metrics streams, the
+//! noise-aware diff gate (injected 3x slowdown must fail with exit 10,
+//! 1% jitter must pass), and the self-contained HTML artifact.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn spm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spm"))
+        .args(args)
+        .output()
+        .expect("spm binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("spm-report-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// Every `.spm` file shipped in `workloads/` (the committed suite).
+fn workload_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../workloads");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("workloads/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "spm"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 4, "committed workload suite shrank");
+    files
+}
+
+/// Runs `spm select <workload> --metrics FILE` into `path` (the run's
+/// label in the report is the file's stem).
+fn metrics_into(file: &std::path::Path, path: &std::path::Path) {
+    let out = spm(&[
+        "select",
+        file.to_str().expect("utf-8 path"),
+        "--metrics",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(out.status.success(), "select failed: {}", stderr(&out));
+}
+
+/// Runs `spm select <workload> --metrics FILE` and returns the stream's
+/// path (caller removes it).
+fn metrics_for(file: &std::path::Path, tag: &str) -> PathBuf {
+    let path = tmp(tag);
+    metrics_into(file, &path);
+    path
+}
+
+/// A synthetic spans stream: one line per `(name, dur_us)`.
+fn write_stream(tag: &str, spans: &[(&str, u64)]) -> PathBuf {
+    let path = tmp(tag);
+    let text: String = spans
+        .iter()
+        .map(|(name, dur)| {
+            format!(
+                "{{\"v\":1,\"kind\":\"span\",\"name\":\"{name}\",\"dur_us\":{dur},\"fields\":{{}}}}\n"
+            )
+        })
+        .collect();
+    std::fs::write(&path, text).expect("stream written");
+    path
+}
+
+/// The stage pipeline `spm select` instruments; baseline durations are
+/// realistic (the sim dominates).
+const STAGES: &[(&str, u64)] = &[
+    ("cli/select", 60_000),
+    ("cli/select/sim/run", 40_000),
+    ("cli/select/core/select", 9_000),
+    ("ir/parse", 500),
+];
+
+fn scaled(factor_num: u64, factor_den: u64, slow_stage: Option<&str>) -> Vec<(&'static str, u64)> {
+    STAGES
+        .iter()
+        .map(|&(name, dur)| {
+            if slow_stage.is_none_or(|s| s == name) {
+                (name, dur * factor_num / factor_den)
+            } else {
+                (name, dur)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn report_renders_dashboard_and_flame_for_every_committed_workload() {
+    // Streams are named after their workload: the file stem is the
+    // run label the report prints.
+    let dir = tmp("golden-dir");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut args = vec!["report".to_string()];
+    for file in workload_files() {
+        let stem = file
+            .file_stem()
+            .expect("stem")
+            .to_string_lossy()
+            .into_owned();
+        let path = dir.join(format!("{stem}.jsonl"));
+        metrics_into(&file, &path);
+        args.push(path.to_str().expect("utf-8").to_string());
+    }
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let out = spm(&arg_refs);
+    let text = stdout(&out);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(out.status.success(), "report failed: {}", stderr(&out));
+    for file in workload_files() {
+        let stem = file
+            .file_stem()
+            .expect("stem")
+            .to_string_lossy()
+            .into_owned();
+        assert!(
+            text.contains(&format!("== {stem} ==")),
+            "missing run header for {stem}:\n{text}"
+        );
+    }
+    // The golden sections every select stream must produce.
+    for needle in [
+        "marker(s) from",
+        "candidate(s)",
+        "cov threshold:",
+        "avg_cov=",
+        "flame:",
+        "stage(s)",
+        "cli/select",
+        "core/select",
+        "sim/run",
+        "#",
+    ] {
+        let count = text.matches(needle).count();
+        assert!(count >= 1, "missing `{needle}` in report:\n{text}");
+    }
+    // Per-run sections appear once per workload.
+    assert_eq!(
+        text.matches("flame:").count(),
+        workload_files().len(),
+        "one flame view per stream:\n{text}"
+    );
+}
+
+#[test]
+fn injected_3x_slowdown_fails_the_gate_with_exit_10() {
+    let base = write_stream("slow-base", &scaled(1, 1, None));
+    let cand = write_stream("slow-cand", &scaled(3, 1, Some("cli/select/sim/run")));
+    let out = spm(&[
+        "report",
+        "--baseline",
+        base.to_str().expect("utf-8"),
+        "--candidate",
+        cand.to_str().expect("utf-8"),
+    ]);
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&cand);
+    assert_eq!(out.status.code(), Some(10), "stdout: {}", stdout(&out));
+    let err = stderr(&out);
+    assert!(err.contains("error[regression]"), "{err}");
+    assert!(err.contains("cli/select/sim/run"), "{err}");
+    let text = stdout(&out);
+    assert!(text.contains("REGRESSED"), "{text}");
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(text.contains("3.00x"), "{text}");
+}
+
+#[test]
+fn one_percent_jitter_passes_the_gate() {
+    let base = write_stream("jitter-base", &scaled(1, 1, None));
+    let cand = write_stream("jitter-cand", &scaled(101, 100, None));
+    let out = spm(&[
+        "report",
+        "--baseline",
+        base.to_str().expect("utf-8"),
+        "--candidate",
+        cand.to_str().expect("utf-8"),
+    ]);
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&cand);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("verdict: PASS"), "{text}");
+    assert!(!text.contains("REGRESSED"), "{text}");
+}
+
+#[test]
+fn micro_stage_blowup_stays_below_the_floor() {
+    // `ir/parse` at 500us jumping 10x is scheduler noise, not a
+    // regression: both medians sit under the 1ms floor.
+    let base = write_stream("floor-base", &scaled(1, 1, None));
+    let mut spans = scaled(1, 1, None);
+    for span in &mut spans {
+        if span.0 == "ir/parse" {
+            span.1 = 900;
+        }
+    }
+    let cand = write_stream("floor-cand", &spans);
+    let out = spm(&[
+        "report",
+        "--baseline",
+        base.to_str().expect("utf-8"),
+        "--candidate",
+        cand.to_str().expect("utf-8"),
+    ]);
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&cand);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("below-floor"), "{}", stdout(&out));
+}
+
+#[test]
+fn threshold_flag_loosens_the_gate() {
+    // A 2x slowdown passes at --threshold 300 (the CI setting).
+    let base = write_stream("loose-base", &scaled(1, 1, None));
+    let cand = write_stream("loose-cand", &scaled(2, 1, None));
+    let out = spm(&[
+        "report",
+        "--baseline",
+        base.to_str().expect("utf-8"),
+        "--candidate",
+        cand.to_str().expect("utf-8"),
+        "--threshold",
+        "300",
+    ]);
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&cand);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("verdict: PASS"), "{}", stdout(&out));
+}
+
+#[test]
+fn html_report_is_wellformed_and_self_contained() {
+    let file = workload_files().remove(0);
+    let metrics = metrics_for(&file, "html");
+    let html_path = tmp("out.html");
+    let out = spm(&[
+        "report",
+        metrics.to_str().expect("utf-8"),
+        "--html",
+        html_path.to_str().expect("utf-8"),
+    ]);
+    let _ = std::fs::remove_file(&metrics);
+    assert!(out.status.success(), "report failed: {}", stderr(&out));
+    let html = std::fs::read_to_string(&html_path).expect("html written");
+    let _ = std::fs::remove_file(&html_path);
+    assert!(html.starts_with("<!DOCTYPE html>"), "{html}");
+    assert!(html.contains("<style>"), "inline styles required");
+    assert!(html.ends_with("</html>\n"), "document closed");
+    // Self-contained: no external assets of any kind.
+    for needle in ["http://", "https://", "<script", "<link", "@import", "src="] {
+        assert!(!html.contains(needle), "external asset marker `{needle}`");
+    }
+    // Well-formed enough: every opened tag we emit is closed.
+    for (open, close) in [
+        ("<html", "</html>"),
+        ("<head>", "</head>"),
+        ("<body>", "</body>"),
+        ("<pre>", "</pre>"),
+    ] {
+        assert_eq!(
+            html.matches(open).count(),
+            html.matches(close).count(),
+            "unbalanced {open}"
+        );
+    }
+    assert_eq!(html.matches("<div").count(), html.matches("</div>").count());
+    // The flame view made it in.
+    assert!(html.contains("cli/select"), "{html}");
+}
+
+#[test]
+fn diff_html_is_written_even_when_the_gate_fails() {
+    // CI uploads the report artifact on failure; the HTML must exist
+    // before the gate exits nonzero.
+    let base = write_stream("htmlfail-base", &scaled(1, 1, None));
+    let cand = write_stream("htmlfail-cand", &scaled(3, 1, None));
+    let html_path = tmp("fail.html");
+    let out = spm(&[
+        "report",
+        "--baseline",
+        base.to_str().expect("utf-8"),
+        "--candidate",
+        cand.to_str().expect("utf-8"),
+        "--html",
+        html_path.to_str().expect("utf-8"),
+    ]);
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&cand);
+    assert_eq!(out.status.code(), Some(10));
+    let html = std::fs::read_to_string(&html_path).expect("html written despite gate failure");
+    let _ = std::fs::remove_file(&html_path);
+    assert!(html.contains("REGRESSED"), "{html}");
+}
+
+#[test]
+fn report_usage_errors_exit_2() {
+    let out = spm(&["report"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = spm(&["report", "--baseline", "only.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--baseline and --candidate"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn invalid_stream_is_a_parse_error_with_line_number() {
+    let path = tmp("bad.jsonl");
+    std::fs::write(
+        &path,
+        "{\"v\":1,\"kind\":\"counter\",\"name\":\"a\",\"value\":1,\"fields\":{}}\nnot json\n",
+    )
+    .expect("written");
+    let out = spm(&["report", path.to_str().expect("utf-8")]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(5), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("line 2"), "{}", stderr(&out));
+}

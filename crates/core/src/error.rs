@@ -145,6 +145,15 @@ pub enum SpmError {
         /// The stage's own error message.
         message: String,
     },
+    /// A gated performance comparison (`spm report --baseline
+    /// --candidate`) found a stage slower than the noise-aware
+    /// threshold allows.
+    Regression {
+        /// The worst regressed stage (full span path).
+        stage: String,
+        /// Human-readable verdict summary (ratios, medians, count).
+        message: String,
+    },
 }
 
 impl SpmError {
@@ -159,6 +168,7 @@ impl SpmError {
     /// * 7 — profiler failures (corrupted event stream)
     /// * 8 — trace decode failures (corrupted record file)
     /// * 9 — analysis failures (clustering, figure computation)
+    /// * 10 — performance regressions (gated `spm report` comparisons)
     pub fn exit_code(&self) -> u8 {
         match self {
             SpmError::Io { .. } => 3,
@@ -168,6 +178,7 @@ impl SpmError {
             SpmError::Profile(_) => 7,
             SpmError::Trace { .. } => 8,
             SpmError::Analysis { .. } => 9,
+            SpmError::Regression { .. } => 10,
         }
     }
 
@@ -181,6 +192,7 @@ impl SpmError {
             SpmError::Profile(_) => "profile",
             SpmError::Trace { .. } => "trace-decode",
             SpmError::Analysis { .. } => "analysis",
+            SpmError::Regression { .. } => "regression",
         }
     }
 }
@@ -195,6 +207,7 @@ impl fmt::Display for SpmError {
             SpmError::Profile(e) => e.fmt(f),
             SpmError::Trace { source, error } => write!(f, "{source}: {error}"),
             SpmError::Analysis { stage, message } => write!(f, "{stage}: {message}"),
+            SpmError::Regression { stage, message } => write!(f, "{stage}: {message}"),
         }
     }
 }
@@ -253,6 +266,10 @@ mod tests {
             SpmError::Analysis {
                 stage: "simpoint/kmeans".into(),
                 message: "m".into(),
+            },
+            SpmError::Regression {
+                stage: "cli/select/sim/run".into(),
+                message: "3.0x over baseline".into(),
             },
         ];
         let mut codes: Vec<u8> = samples.iter().map(SpmError::exit_code).collect();

@@ -450,6 +450,27 @@ pub fn partition_with_fallback(
         spm_obs::histogram("partition/vli_lengths", &lengths);
         spm_obs::counter("partition/intervals", outcome.vlis.len() as u64);
         spm_obs::counter("partition/phases", phase_count(&outcome.vlis) as u64);
+        // Per-phase homogeneity of interval lengths (the paper's
+        // quality lens, consumed by `spm report`): one gauge per phase.
+        // Lengths are positive so the mean cannot vanish, but guard
+        // non-finite anyway — the JSONL schema rejects NaN/Inf.
+        let mut phases: Vec<usize> = outcome.vlis.iter().map(|v| v.phase).collect();
+        phases.sort_unstable();
+        phases.dedup();
+        for phase in phases {
+            let mut stats = spm_stats::Running::new();
+            for vli in outcome.vlis.iter().filter(|v| v.phase == phase) {
+                stats.push(vli.len() as f64);
+            }
+            let cov = if stats.count() < 2 { 0.0 } else { stats.cov() };
+            if cov.is_finite() {
+                spm_obs::gauge_with(
+                    "partition/phase_len_cov",
+                    cov,
+                    &[("phase", phase.into()), ("intervals", stats.count().into())],
+                );
+            }
+        }
     }
     outcome
 }

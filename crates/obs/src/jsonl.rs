@@ -12,8 +12,12 @@
 //!
 //! Kind-specific keys: `dur_us` (span), `value` (counter, gauge),
 //! `count` + `buckets` (hist, with `buckets` an array of
-//! `[lo, hi_exclusive, count]` triples). Non-finite floats encode as
-//! `null`. The contract is documented in DESIGN.md §9.
+//! `[lo, hi_exclusive, count]` triples). JSON has no NaN/Inf literals,
+//! so the encoder writes non-finite floats as `null` — and
+//! [`validate_line`] *rejects* such lines: a NaN metric is a bug in the
+//! emitter (an unguarded division, an empty statistic), not a value a
+//! consumer can aggregate, so emitters must guard non-finite values at
+//! the source. The contract is documented in DESIGN.md §9.
 
 use crate::event::{Event, EventKind, Value, SCHEMA_VERSION};
 use crate::recorder::Recorder;
@@ -398,6 +402,12 @@ impl Parser<'_> {
 /// Validates one JSONL line against the event schema: parses it, checks
 /// the version stamp, the kind tag, and the kind-specific keys. Returns
 /// the parsed object for further inspection.
+///
+/// Non-finite numbers are rejected everywhere one is expected: a
+/// `null` (the encoding of NaN/Inf) or an overflowed literal (`1e999`
+/// parses to Inf) in a `value`, `dur_us`, bucket triple, or field
+/// value fails validation, because a non-finite metric cannot be
+/// aggregated and always indicates an unguarded emitter.
 pub fn validate_line(line: &str) -> Result<Json, String> {
     let doc = parse(line)?;
     let v = doc
@@ -418,25 +428,37 @@ pub fn validate_line(line: &str) -> Result<Json, String> {
     if name.is_empty() {
         return Err("empty `name`".into());
     }
-    if !matches!(doc.get("fields"), Some(Json::Obj(_))) {
+    let Some(Json::Obj(fields)) = doc.get("fields") else {
         return Err("missing `fields` object".into());
+    };
+    for (key, value) in fields {
+        match value {
+            Json::Null => {
+                return Err(format!("field `{key}` is null (non-finite float?)"));
+            }
+            Json::Num(n) if !n.is_finite() => {
+                return Err(format!("field `{key}` is non-finite"));
+            }
+            _ => {}
+        }
     }
+    let finite = |key: &'static str| -> Result<f64, String> {
+        match doc.get(key) {
+            Some(Json::Num(n)) if n.is_finite() => Ok(*n),
+            Some(Json::Null) => Err(format!("{kind} `{key}` is null (non-finite float?)")),
+            Some(Json::Num(_)) => Err(format!("{kind} `{key}` is non-finite")),
+            _ => Err(format!("{kind} without numeric `{key}`")),
+        }
+    };
     match kind {
         "span" => {
-            doc.get("dur_us")
-                .and_then(Json::as_num)
-                .ok_or("span without `dur_us`")?;
+            finite("dur_us")?;
         }
         "counter" | "gauge" => {
-            match doc.get("value") {
-                Some(Json::Num(_)) | Some(Json::Null) => {}
-                _ => return Err(format!("{kind} without numeric `value`")),
-            };
+            finite("value")?;
         }
         "hist" => {
-            doc.get("count")
-                .and_then(Json::as_num)
-                .ok_or("hist without `count`")?;
+            finite("count")?;
             let Some(Json::Arr(buckets)) = doc.get("buckets") else {
                 return Err("hist without `buckets`".into());
             };
@@ -444,8 +466,12 @@ pub fn validate_line(line: &str) -> Result<Json, String> {
                 let Json::Arr(triple) = b else {
                     return Err("bucket is not an array".into());
                 };
-                if triple.len() != 3 || triple.iter().any(|x| x.as_num().is_none()) {
-                    return Err("bucket is not a [lo,hi,count] triple".into());
+                if triple.len() != 3
+                    || triple
+                        .iter()
+                        .any(|x| !x.as_num().is_some_and(f64::is_finite))
+                {
+                    return Err("bucket is not a finite [lo,hi,count] triple".into());
                 }
             }
         }
@@ -505,11 +531,53 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_gauges_encode_as_null() {
-        let e = Event::new("g", EventKind::Gauge { value: f64::NAN });
-        let line = encode(&e);
-        assert!(line.contains("\"value\":null"), "{line}");
-        validate_line(&line).unwrap();
+    fn non_finite_values_encode_as_null_and_fail_validation() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let e = Event::new("g", EventKind::Gauge { value: bad });
+            let line = encode(&e);
+            assert!(line.contains("\"value\":null"), "{line}");
+            let err = validate_line(&line).unwrap_err();
+            assert!(err.contains("null"), "{err}");
+        }
+        // Same for a non-finite float riding in a field.
+        let e = Event::new("g", EventKind::Gauge { value: 0.5 }).with("avg_cov", f64::NAN);
+        let err = validate_line(&encode(&e)).unwrap_err();
+        assert!(err.contains("avg_cov"), "{err}");
+        // Overflowed literals parse to Inf and must also be rejected.
+        let err = validate_line(
+            "{\"v\":1,\"kind\":\"gauge\",\"name\":\"x\",\"value\":1e999,\"fields\":{}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn nan_cov_through_the_recorder_is_rejected() {
+        // Regression test for unguarded emitters: a degenerate CoV
+        // (0/0 division) recorded as a gauge must come out of the sink
+        // as a line the validator refuses, not as a silently-null
+        // metric a consumer would average over.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("spm-obs-test-nan-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        let zero = spm_stats::Running::new();
+        let nan_cov = zero.population_stddev() / zero.mean(); // 0/0 = NaN
+        assert!(nan_cov.is_nan());
+        sink.record(
+            &Event::new("select/cov_threshold", EventKind::Gauge { value: nan_cov })
+                .with("avg_cov", nan_cov),
+        );
+        sink.record(&Event::new(
+            "select/cov_threshold",
+            EventKind::Gauge { value: 0.05 },
+        ));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let verdicts: Vec<Result<Json, String>> = text.lines().map(validate_line).collect();
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts[0].is_err(), "NaN CoV line must fail validation");
+        assert!(verdicts[1].is_ok(), "finite CoV line must pass");
     }
 
     #[test]

@@ -27,7 +27,11 @@
 //! with `spm-obs`, so spans closed on a worker carry a
 //! `thread: "wN"` field and `--metrics` streams stay attributable
 //! under concurrency. [`worker_id`] exposes the same id to library
-//! code.
+//! code. A nested `par_map` runs inline on its enclosing worker, so
+//! spans it emits carry the *enclosing* worker's label — correct
+//! attribution, since that is the thread that actually executes them
+//! (`nested_inline_spans_carry_enclosing_worker_label` pins this
+//! down).
 //!
 //! The process-wide default worker count ([`default_jobs`]) starts at
 //! the host's available parallelism and is overridden by the CLI and
@@ -294,6 +298,54 @@ mod tests {
         let ok: Result<Vec<u32>, u32> = try_par_map(&items, |&x| Ok(x * 3));
         assert_eq!(ok.unwrap()[10], 30);
         set_default_jobs(0);
+    }
+
+    #[test]
+    fn nested_inline_spans_carry_enclosing_worker_label() {
+        // Report attribution depends on this: a span opened inside a
+        // *nested* par_map (which runs inline on the enclosing worker)
+        // must be labeled with that worker's `wN`, never with a label
+        // of its own or none at all. The recorder is process-global, so
+        // serialize against the other label-sensitive test.
+        let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = std::sync::Arc::new(spm_obs::MemorySink::new());
+        spm_obs::install(sink.clone());
+        let items: Vec<u32> = (0..16).collect();
+        let consistent = par_map_jobs(&items, 4, |&x| {
+            let outer = worker_id();
+            // The nested fan-out runs inline: every nested item sees
+            // the enclosing worker's id and its `wN` obs label.
+            par_map_jobs(&[x, x + 1], 4, |_| {
+                let mut span = spm_obs::span("nested/stage");
+                span.field("item", x as u64);
+                worker_id() == outer && spm_obs::thread_label() == outer.map(|w| format!("w{w}"))
+            })
+            .into_iter()
+            .all(|ok| ok)
+        });
+        spm_obs::uninstall();
+        assert!(consistent.into_iter().all(|ok| ok));
+        assert_eq!(
+            spm_obs::thread_label(),
+            None,
+            "caller thread must stay unlabeled"
+        );
+        let spans: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "nested/stage")
+            .collect();
+        assert_eq!(spans.len(), 32, "two nested spans per outer item");
+        for span in &spans {
+            let Some(spm_obs::Value::Str(label)) = span.field("thread") else {
+                panic!("nested inline span lost its worker label: {span:?}");
+            };
+            let id: usize = label
+                .strip_prefix('w')
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("malformed label {label}"));
+            assert!(id < 4, "label {label} names a worker outside the pool");
+        }
     }
 
     #[test]

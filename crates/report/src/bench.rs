@@ -1,0 +1,189 @@
+//! Validation of the committed bench artifact
+//! (`results/BENCH_report.json`, schema `spm-bench/report/v3`).
+//!
+//! The v3 report is the trajectory point the repo commits per PR: for
+//! each figure of the suite the repeat count and the median/min/total
+//! wall-clock across repeats, plus the suite-wide simulation
+//! throughput. Like the JSONL stream schema, the validator here is the
+//! *executable* schema: CI runs it against the committed file, and the
+//! writer (`all_figures`) is tested against it, so producer and
+//! consumer cannot drift apart silently.
+
+use spm_obs::jsonl::{parse, Json};
+
+/// Schema identifier of the bench report artifact.
+pub const BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v3";
+
+fn finite_num(doc: &Json, key: &str) -> Result<f64, String> {
+    match doc.get(key) {
+        Some(Json::Num(n)) if n.is_finite() => Ok(*n),
+        Some(Json::Num(_)) => Err(format!("`{key}` is not finite")),
+        Some(_) => Err(format!("`{key}` is not a number")),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
+fn positive_int(doc: &Json, key: &str) -> Result<u64, String> {
+    let n = finite_num(doc, key)?;
+    if n >= 1.0 && n.fract() == 0.0 {
+        Ok(n as u64)
+    } else {
+        Err(format!("`{key}` must be a positive integer, got {n}"))
+    }
+}
+
+/// Validates a `spm-bench/report/v3` document.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation: wrong schema
+/// tag, missing or mistyped keys, non-finite numbers, empty figure
+/// list, or per-figure stats that contradict each other
+/// (`min > median` or `median > total`).
+pub fn validate_bench_report(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(BENCH_REPORT_SCHEMA) => {}
+        Some(other) => {
+            return Err(format!(
+                "schema is `{other}`, expected `{BENCH_REPORT_SCHEMA}`"
+            ))
+        }
+        None => return Err("missing `schema`".into()),
+    }
+    positive_int(&doc, "host_parallelism")?;
+    positive_int(&doc, "jobs")?;
+    let repeats = positive_int(&doc, "repeats")?;
+
+    let Some(Json::Obj(_)) = doc.get("events_per_sec") else {
+        return Err("missing `events_per_sec` object".into());
+    };
+    let eps = doc
+        .get("events_per_sec")
+        .ok_or("missing `events_per_sec`")?;
+    let median = finite_num(eps, "median")?;
+    if median < 0.0 {
+        return Err("`events_per_sec.median` is negative".into());
+    }
+    let n = finite_num(eps, "n")?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err("`events_per_sec.n` must be a non-negative integer".into());
+    }
+
+    let Some(Json::Arr(figures)) = doc.get("figures") else {
+        return Err("missing `figures` array".into());
+    };
+    if figures.is_empty() {
+        return Err("`figures` is empty".into());
+    }
+    for (i, fig) in figures.iter().enumerate() {
+        let at = |message: String| format!("figures[{i}]: {message}");
+        let name = fig
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing `name`".into()))?;
+        if name.is_empty() {
+            return Err(at("`name` is empty".into()));
+        }
+        let reps = positive_int(fig, "repeats").map_err(&at)?;
+        if reps != repeats {
+            return Err(at(format!(
+                "`repeats` is {reps}, suite-level says {repeats}"
+            )));
+        }
+        let median_us = finite_num(fig, "median_us").map_err(&at)?;
+        let min_us = finite_num(fig, "min_us").map_err(&at)?;
+        let total_us = finite_num(fig, "total_us").map_err(&at)?;
+        if min_us < 0.0 {
+            return Err(at(format!("`min_us` is negative ({min_us})")));
+        }
+        if min_us > median_us {
+            return Err(at(format!("min_us {min_us} > median_us {median_us}")));
+        }
+        if median_us > total_us {
+            return Err(at(format!("median_us {median_us} > total_us {total_us}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        format!(
+            r#"{{
+  "schema": "{BENCH_REPORT_SCHEMA}",
+  "host_parallelism": 4,
+  "jobs": 4,
+  "repeats": 2,
+  "events_per_sec": {{"median": 150000000, "n": 12}},
+  "figures": [
+    {{"name": "fig03", "repeats": 2, "median_us": 60000, "min_us": 55000, "total_us": 125000}},
+    {{"name": "fig04", "repeats": 2, "median_us": 1500000, "min_us": 1400000, "total_us": 2900000}}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn valid_report_passes() {
+        validate_bench_report(&sample()).unwrap();
+    }
+
+    #[test]
+    fn wrong_schema_tag_fails() {
+        let text = sample().replace("report/v3", "timings/v2");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("timings/v2"), "{err}");
+    }
+
+    #[test]
+    fn missing_keys_fail_with_location() {
+        let text = sample().replace("\"min_us\": 55000, ", "");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("figures[0]"), "{err}");
+        assert!(err.contains("min_us"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_stats_fail() {
+        let text = sample().replace("\"min_us\": 55000", "\"min_us\": 65000");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("min_us 65000 > median_us 60000"), "{err}");
+    }
+
+    #[test]
+    fn repeat_count_mismatch_fails() {
+        let text = sample().replace(
+            "\"name\": \"fig04\", \"repeats\": 2",
+            "\"name\": \"fig04\", \"repeats\": 3",
+        );
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("suite-level says 2"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_numbers_fail() {
+        let text = sample().replace("\"median_us\": 60000", "\"median_us\": 1e999");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("not finite"), "{err}");
+    }
+
+    #[test]
+    fn empty_figures_fail() {
+        let mut text = sample();
+        let start = text.find("[\n").unwrap();
+        let end = text.rfind(']').unwrap();
+        text.replace_range(start..=end, "[]");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(validate_bench_report("not json").is_err());
+        assert!(validate_bench_report("[]").is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Phase-quality dashboard: the CGO'06 pipeline's health metrics
+//! summarized per run.
+//!
+//! Where the flame view answers "where did the time go", the dashboard
+//! answers "how good are the phases the pipeline picked":
+//!
+//! * the CoV-threshold inputs (`avg_cov`/`std_cov`/`cov_floor`) that
+//!   drive marker selection,
+//! * marker/candidate counts and the limit variant's cut/merge
+//!   counters,
+//! * partition shape (interval and phase counts),
+//! * per-phase CoV of interval lengths (`partition/phase_len_cov`) —
+//!   the paper's homogeneity lens: low CoV means the marker produces
+//!   same-length variable-length intervals, i.e. a stable phase,
+//! * the VLI-length histogram rendered with the repo's ASCII `#` bars,
+//! * throughput gauges and any structured warnings (e.g. fixed-length
+//!   fallback).
+//!
+//! Everything is derived from the ingested stream alone; a run that
+//! never emitted a section simply omits it.
+
+use crate::flame::fmt_duration;
+use crate::ingest::{Payload, Run};
+
+fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some(values[(values.len() - 1) / 2])
+}
+
+fn push_line(out: &mut String, line: &str) {
+    out.push_str(line);
+    out.push('\n');
+}
+
+/// Renders the dashboard for one run.
+pub fn render(run: &Run) -> String {
+    let mut out = format!("== {} ==\n", run.label);
+
+    // Headline: total instrumented wall-clock and event volume.
+    let span_total: u64 = run.spans().map(|(_, d)| d).sum();
+    push_line(
+        &mut out,
+        &format!(
+            "events: {}   instrumented time: {}",
+            run.events.len(),
+            fmt_duration(span_total)
+        ),
+    );
+
+    // Throughput gauges (median across occurrences).
+    for name in ["sim/events_per_sec", "sim/replay_events_per_sec"] {
+        let mut values = run.gauges(name);
+        if let Some(m) = median(&mut values) {
+            push_line(
+                &mut out,
+                &format!("{name}: median {m:.0} (n={})", values.len()),
+            );
+        }
+    }
+
+    // Selection: marker counts and the CoV-threshold inputs.
+    let sum = |name: &str| -> Option<u64> {
+        let v = run.counters(name);
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum())
+        }
+    };
+    if let (Some(markers), Some(candidates)) = (sum("select/markers"), sum("select/candidates")) {
+        push_line(
+            &mut out,
+            &format!("selection: {markers} marker(s) from {candidates} candidate(s)"),
+        );
+    }
+    if let Some(threshold) =
+        run.events.iter().rev().find(|e| {
+            e.name == "select/cov_threshold" && matches!(e.payload, Payload::Gauge { .. })
+        })
+    {
+        let Payload::Gauge { value } = threshold.payload else {
+            unreachable!("filtered to gauges");
+        };
+        let part = |key: &str| {
+            threshold
+                .field_num(key)
+                .map(|v| format!(" {key}={v:.4}"))
+                .unwrap_or_default()
+        };
+        push_line(
+            &mut out,
+            &format!(
+                "cov threshold: {value:.4}{}{}{}",
+                part("avg_cov"),
+                part("std_cov"),
+                part("cov_floor")
+            ),
+        );
+    }
+    match (sum("select/limit_cuts"), sum("select/limit_merges")) {
+        (None, None) => {}
+        (cuts, merges) => push_line(
+            &mut out,
+            &format!(
+                "limit variant: {} cut(s), {} merge(s)",
+                cuts.unwrap_or(0),
+                merges.unwrap_or(0)
+            ),
+        ),
+    }
+
+    // Partition shape and per-phase homogeneity.
+    if let (Some(intervals), Some(phases)) = (sum("partition/intervals"), sum("partition/phases")) {
+        push_line(
+            &mut out,
+            &format!("partition: {intervals} interval(s) across {phases} phase(s)"),
+        );
+    }
+    let phase_covs: Vec<(u64, u64, f64)> = run
+        .events
+        .iter()
+        .filter(|e| e.name == "partition/phase_len_cov")
+        .filter_map(|e| match e.payload {
+            Payload::Gauge { value } => Some((
+                e.field_num("phase").unwrap_or(-1.0) as u64,
+                e.field_num("intervals").unwrap_or(0.0) as u64,
+                value,
+            )),
+            _ => None,
+        })
+        .collect();
+    if !phase_covs.is_empty() {
+        push_line(&mut out, "per-phase interval-length CoV:");
+        for (phase, intervals, cov) in &phase_covs {
+            let bar = "#".repeat(((cov * 20.0).round() as usize).clamp(1, 40));
+            push_line(
+                &mut out,
+                &format!("  phase {phase:>3}  cov {cov:.3}  ({intervals} intervals)  {bar}"),
+            );
+        }
+        let mut covs: Vec<f64> = phase_covs.iter().map(|p| p.2).collect();
+        if let Some(m) = median(&mut covs) {
+            push_line(
+                &mut out,
+                &format!("  median phase CoV: {m:.3} over {} phase(s)", covs.len()),
+            );
+        }
+    }
+
+    // VLI-length histogram (last snapshot wins: it is cumulative).
+    if let Some(hist) =
+        run.events.iter().rev().find(|e| {
+            e.name == "partition/vli_lengths" && matches!(e.payload, Payload::Hist { .. })
+        })
+    {
+        let Payload::Hist { count, ref buckets } = hist.payload else {
+            unreachable!("filtered to hists");
+        };
+        push_line(
+            &mut out,
+            &format!("VLI length histogram ({count} intervals):"),
+        );
+        let widest = buckets.iter().map(|b| b.2).max().unwrap_or(1).max(1);
+        for (lo, hi, n) in buckets {
+            let bar = "#".repeat(((n * 32) / widest).max(1) as usize);
+            push_line(&mut out, &format!("  [{lo:>10}, {hi:>10})  {n:>6}  {bar}"));
+        }
+    }
+
+    // Structured warnings, verbatim.
+    let warnings: Vec<&crate::ingest::ReportEvent> = run
+        .events
+        .iter()
+        .filter(|e| matches!(e.payload, Payload::Warning))
+        .collect();
+    if !warnings.is_empty() {
+        push_line(&mut out, &format!("warnings ({}):", warnings.len()));
+        for w in warnings {
+            let fields: Vec<String> = w.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            push_line(&mut out, &format!("  {} {}", w.name, fields.join(" ")));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::load_str;
+    use spm_obs::jsonl::encode;
+    use spm_obs::{histogram_kind, Event, EventKind};
+
+    fn run_from(events: &[Event]) -> Run {
+        let text: String = events.iter().map(|e| format!("{}\n", encode(e))).collect();
+        load_str("gzip", &text).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_stream_renders_every_section() {
+        let mut hist = spm_stats::LogHistogram::new();
+        hist.extend([40_000_000u64, 41_000_000, 200_000_000]);
+        let run = run_from(&[
+            Event::new("cli/select", EventKind::Span { dur_us: 9_000 }),
+            Event::new("sim/events_per_sec", EventKind::Gauge { value: 2.0e8 }),
+            Event::new("select/candidates", EventKind::Counter { value: 40 }),
+            Event::new("select/markers", EventKind::Counter { value: 3 }),
+            Event::new("select/cov_threshold", EventKind::Gauge { value: 0.07 })
+                .with("avg_cov", 0.05)
+                .with("std_cov", 0.02)
+                .with("cov_floor", 0.01),
+            Event::new("select/limit_cuts", EventKind::Counter { value: 2 }),
+            Event::new("select/limit_merges", EventKind::Counter { value: 1 }),
+            Event::new("partition/intervals", EventKind::Counter { value: 12 }),
+            Event::new("partition/phases", EventKind::Counter { value: 3 }),
+            Event::new("partition/phase_len_cov", EventKind::Gauge { value: 0.12 })
+                .with("phase", 0u64)
+                .with("intervals", 7u64),
+            Event::new("partition/phase_len_cov", EventKind::Gauge { value: 0.55 })
+                .with("phase", 1u64)
+                .with("intervals", 5u64),
+            Event::new("partition/vli_lengths", histogram_kind(&hist)),
+            Event::new("fallback/fixed-length", EventKind::Warning).with("reason", "no-markers"),
+        ]);
+        let text = render(&run);
+        assert!(text.contains("== gzip =="), "{text}");
+        assert!(text.contains("3 marker(s) from 40 candidate(s)"), "{text}");
+        assert!(
+            text.contains("cov threshold: 0.0700 avg_cov=0.0500 std_cov=0.0200 cov_floor=0.0100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("limit variant: 2 cut(s), 1 merge(s)"),
+            "{text}"
+        );
+        assert!(text.contains("12 interval(s) across 3 phase(s)"), "{text}");
+        assert!(
+            text.contains("phase   0  cov 0.120  (7 intervals)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("phase   1  cov 0.550  (5 intervals)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("median phase CoV: 0.120 over 2 phase(s)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("VLI length histogram (3 intervals):"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sim/events_per_sec: median 200000000 (n=1)"),
+            "{text}"
+        );
+        assert!(text.contains("warnings (1):"), "{text}");
+        assert!(
+            text.contains("fallback/fixed-length reason=no-markers"),
+            "{text}"
+        );
+        assert!(text.contains('#'), "{text}");
+    }
+
+    #[test]
+    fn sparse_stream_omits_missing_sections() {
+        let run = run_from(&[Event::new("cli/run", EventKind::Span { dur_us: 10 })]);
+        let text = render(&run);
+        assert!(text.contains("events: 1"), "{text}");
+        assert!(!text.contains("selection:"), "{text}");
+        assert!(!text.contains("VLI length histogram"), "{text}");
+        assert!(!text.contains("warnings"), "{text}");
+        assert!(!text.contains("limit variant"), "{text}");
+    }
+}

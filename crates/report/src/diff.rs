@@ -1,0 +1,410 @@
+//! Noise-aware cross-run comparison of span timings.
+//!
+//! Wall-clock measurements on shared machines are noisy, so naive
+//! "candidate slower than baseline" checks flap. This module gates on
+//! three defenses:
+//!
+//! * **Median-of-N** — span durations are grouped by full path and the
+//!   per-stage *median* is compared, not the mean or a single sample.
+//!   Run the workload several times into one stream and outliers drop
+//!   out.
+//! * **Relative threshold** — a stage regresses only when the candidate
+//!   median exceeds the baseline median by more than
+//!   [`DiffConfig::threshold`] (default 25%).
+//! * **Absolute floor** — stages whose medians sit below
+//!   [`DiffConfig::min_us`] (default 1 ms) are reported but never
+//!   gated: at microsecond scale the scheduler owns the ratio, not the
+//!   code.
+//!
+//! [`gate`] turns the worst regressed stage into
+//! [`SpmError::Regression`] (exit code 10) for CI.
+
+use crate::ingest::Run;
+use spm_core::SpmError;
+use std::collections::BTreeMap;
+
+/// Tuning knobs for the regression gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Maximum allowed relative slowdown before a stage regresses:
+    /// `0.25` gates when the candidate median exceeds the baseline
+    /// median by more than 25%.
+    pub threshold: f64,
+    /// Stages whose baseline *and* candidate medians are below this
+    /// many microseconds are never gated.
+    pub min_us: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            threshold: 0.25,
+            min_us: 1_000,
+        }
+    }
+}
+
+/// Aggregated timing of one stage within one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// Number of samples (span occurrences).
+    pub n: u64,
+    /// Median duration in microseconds (lower-middle for even `n`).
+    pub median_us: u64,
+    /// Fastest sample, microseconds.
+    pub min_us: u64,
+    /// Summed duration, microseconds.
+    pub total_us: u64,
+}
+
+/// The comparison outcome for one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Candidate median exceeds the baseline median by more than the
+    /// threshold, and the stage is above the floor. Gates.
+    Regressed,
+    /// Candidate median is faster than the baseline median by more
+    /// than the threshold. Informational.
+    Improved,
+    /// Within the noise band.
+    Unchanged,
+    /// Both medians sit below [`DiffConfig::min_us`]; never gated.
+    BelowFloor,
+    /// The stage only appears in the baseline stream.
+    BaselineOnly,
+    /// The stage only appears in the candidate stream.
+    CandidateOnly,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Improved => "improved",
+            Verdict::Unchanged => "ok",
+            Verdict::BelowFloor => "below-floor",
+            Verdict::BaselineOnly => "baseline-only",
+            Verdict::CandidateOnly => "candidate-only",
+        }
+    }
+}
+
+/// One stage's cross-run comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDiff {
+    /// Full span path.
+    pub path: String,
+    /// Baseline-side stats, when the stage appears there.
+    pub baseline: Option<StageStats>,
+    /// Candidate-side stats, when the stage appears there.
+    pub candidate: Option<StageStats>,
+    /// `candidate_median / baseline_median` when both sides exist and
+    /// the baseline median is nonzero.
+    pub ratio: Option<f64>,
+    /// The comparison outcome.
+    pub verdict: Verdict,
+}
+
+fn stats_of(durs: &mut [u64]) -> StageStats {
+    durs.sort_unstable();
+    StageStats {
+        n: durs.len() as u64,
+        median_us: durs[(durs.len() - 1) / 2],
+        min_us: durs[0],
+        total_us: durs.iter().sum(),
+    }
+}
+
+fn collect(run: &Run) -> BTreeMap<&str, StageStats> {
+    let mut by_path: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for (path, dur_us) in run.spans() {
+        by_path.entry(path).or_default().push(dur_us);
+    }
+    by_path
+        .into_iter()
+        .map(|(path, mut durs)| (path, stats_of(&mut durs)))
+        .collect()
+}
+
+/// Compares two runs stage-by-stage. Results are sorted worst-first:
+/// regressions by descending ratio, then everything else by descending
+/// candidate total.
+pub fn diff_runs(baseline: &Run, candidate: &Run, cfg: &DiffConfig) -> Vec<StageDiff> {
+    let base = collect(baseline);
+    let cand = collect(candidate);
+    let mut paths: Vec<&str> = base.keys().chain(cand.keys()).copied().collect();
+    paths.sort_unstable();
+    paths.dedup();
+
+    let mut diffs: Vec<StageDiff> = paths
+        .into_iter()
+        .map(|path| {
+            let b = base.get(path).copied();
+            let c = cand.get(path).copied();
+            let ratio = match (b, c) {
+                (Some(b), Some(c)) if b.median_us > 0 => {
+                    Some(c.median_us as f64 / b.median_us as f64)
+                }
+                _ => None,
+            };
+            let verdict = match (b, c) {
+                (Some(_), None) => Verdict::BaselineOnly,
+                (None, Some(_)) => Verdict::CandidateOnly,
+                (None, None) => Verdict::BelowFloor,
+                (Some(b), Some(c)) => {
+                    if b.median_us < cfg.min_us && c.median_us < cfg.min_us {
+                        Verdict::BelowFloor
+                    } else if c.median_us as f64 > b.median_us as f64 * (1.0 + cfg.threshold) {
+                        Verdict::Regressed
+                    } else if (c.median_us as f64) < b.median_us as f64 / (1.0 + cfg.threshold) {
+                        Verdict::Improved
+                    } else {
+                        Verdict::Unchanged
+                    }
+                }
+            };
+            StageDiff {
+                path: path.to_string(),
+                baseline: b,
+                candidate: c,
+                ratio,
+                verdict,
+            }
+        })
+        .collect();
+
+    diffs.sort_by(|a, b| {
+        let reg = |d: &StageDiff| d.verdict == Verdict::Regressed;
+        reg(b)
+            .cmp(&reg(a))
+            .then_with(|| {
+                let r = |d: &StageDiff| d.ratio.unwrap_or(0.0);
+                r(b).partial_cmp(&r(a)).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| {
+                let t = |d: &StageDiff| d.candidate.map(|c| c.total_us).unwrap_or(0);
+                t(b).cmp(&t(a))
+            })
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    diffs
+}
+
+/// Fails with [`SpmError::Regression`] when any stage regressed,
+/// naming the worst one (highest ratio) and counting the rest.
+///
+/// # Errors
+///
+/// [`SpmError::Regression`] (exit code 10, class `regression`).
+pub fn gate(diffs: &[StageDiff], cfg: &DiffConfig) -> Result<(), SpmError> {
+    let regressed: Vec<&StageDiff> = diffs
+        .iter()
+        .filter(|d| d.verdict == Verdict::Regressed)
+        .collect();
+    let Some(worst) = regressed.first() else {
+        return Ok(());
+    };
+    let (b, c) = match (worst.baseline, worst.candidate) {
+        (Some(b), Some(c)) => (b, c),
+        _ => return Ok(()), // Regressed implies both sides; defensive.
+    };
+    Err(SpmError::Regression {
+        stage: worst.path.clone(),
+        message: format!(
+            "median {} -> {} ({:.2}x > {:.2}x allowed); {} stage(s) regressed",
+            crate::flame::fmt_duration(b.median_us),
+            crate::flame::fmt_duration(c.median_us),
+            worst.ratio.unwrap_or(f64::INFINITY),
+            1.0 + cfg.threshold,
+            regressed.len(),
+        ),
+    })
+}
+
+fn fmt_side(s: Option<StageStats>) -> String {
+    match s {
+        Some(s) => format!("{:>9} x{}", crate::flame::fmt_duration(s.median_us), s.n),
+        None => format!("{:>9} --", "-"),
+    }
+}
+
+/// Renders the comparison as a terminal table, worst-first.
+pub fn render(baseline: &Run, candidate: &Run, diffs: &[StageDiff], cfg: &DiffConfig) -> String {
+    let regressed = diffs
+        .iter()
+        .filter(|d| d.verdict == Verdict::Regressed)
+        .count();
+    let mut out = format!(
+        "diff: baseline={} candidate={} threshold={:.0}% floor={}\n",
+        baseline.label,
+        candidate.label,
+        cfg.threshold * 100.0,
+        crate::flame::fmt_duration(cfg.min_us),
+    );
+    let width = diffs
+        .iter()
+        .map(|d| d.path.len())
+        .max()
+        .unwrap_or(0)
+        .max("stage".len());
+    out.push_str(&format!(
+        "  {:<width$}  {:>12}  {:>12}  {:>6}  verdict\n",
+        "stage", "baseline", "candidate", "ratio"
+    ));
+    for d in diffs {
+        let ratio = match d.ratio {
+            Some(r) => format!("{r:.2}x"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "  {:<width$}  {}  {}  {ratio:>6}  {}\n",
+            d.path,
+            fmt_side(d.baseline),
+            fmt_side(d.candidate),
+            d.verdict.label(),
+        ));
+    }
+    out.push_str(&format!(
+        "verdict: {}\n",
+        if regressed == 0 {
+            "PASS".to_string()
+        } else {
+            format!("FAIL ({regressed} regressed)")
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::load_str;
+
+    fn run_with(label: &str, spans: &[(&str, u64)]) -> Run {
+        let text: String = spans
+            .iter()
+            .map(|(name, dur)| {
+                format!(
+                    "{{\"v\":1,\"kind\":\"span\",\"name\":\"{name}\",\"dur_us\":{dur},\"fields\":{{}}}}\n"
+                )
+            })
+            .collect();
+        load_str(label, &text).unwrap()
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_regresses_and_gates() {
+        let base = run_with(
+            "b",
+            &[
+                ("sim/run", 10_000),
+                ("sim/run", 11_000),
+                ("sim/run", 10_500),
+            ],
+        );
+        let cand = run_with(
+            "c",
+            &[
+                ("sim/run", 30_000),
+                ("sim/run", 31_000),
+                ("sim/run", 33_000),
+            ],
+        );
+        let cfg = DiffConfig::default();
+        let diffs = diff_runs(&base, &cand, &cfg);
+        assert_eq!(diffs[0].verdict, Verdict::Regressed);
+        let err = gate(&diffs, &cfg).unwrap_err();
+        let SpmError::Regression {
+            ref stage,
+            ref message,
+        } = err
+        else {
+            panic!("wrong class: {err}");
+        };
+        assert_eq!(stage, "sim/run");
+        assert!(message.contains("1 stage(s) regressed"), "{message}");
+        assert_eq!(err.exit_code(), 10);
+    }
+
+    #[test]
+    fn small_jitter_is_unchanged() {
+        let base = run_with("b", &[("sim/run", 100_000)]);
+        let cand = run_with("c", &[("sim/run", 101_000)]); // +1%
+        let cfg = DiffConfig::default();
+        let diffs = diff_runs(&base, &cand, &cfg);
+        assert_eq!(diffs[0].verdict, Verdict::Unchanged);
+        assert!(gate(&diffs, &cfg).is_ok());
+    }
+
+    #[test]
+    fn median_absorbs_one_outlier() {
+        // One slow sample out of three must not gate.
+        let base = run_with("b", &[("s", 10_000), ("s", 10_000), ("s", 10_000)]);
+        let cand = run_with("c", &[("s", 10_100), ("s", 90_000), ("s", 9_900)]);
+        let diffs = diff_runs(&base, &cand, &DiffConfig::default());
+        assert_eq!(diffs[0].verdict, Verdict::Unchanged, "{diffs:?}");
+    }
+
+    #[test]
+    fn micro_spans_stay_below_floor() {
+        let base = run_with("b", &[("tiny", 40)]);
+        let cand = run_with("c", &[("tiny", 400)]); // 10x but 400us < 1ms
+        let cfg = DiffConfig::default();
+        let diffs = diff_runs(&base, &cand, &cfg);
+        assert_eq!(diffs[0].verdict, Verdict::BelowFloor);
+        assert!(gate(&diffs, &cfg).is_ok());
+    }
+
+    #[test]
+    fn speedup_is_improved_not_gated() {
+        let base = run_with("b", &[("s", 50_000)]);
+        let cand = run_with("c", &[("s", 20_000)]);
+        let cfg = DiffConfig::default();
+        let diffs = diff_runs(&base, &cand, &cfg);
+        assert_eq!(diffs[0].verdict, Verdict::Improved);
+        assert!(gate(&diffs, &cfg).is_ok());
+    }
+
+    #[test]
+    fn one_sided_stages_are_reported_not_gated() {
+        let base = run_with("b", &[("old", 50_000)]);
+        let cand = run_with("c", &[("new", 50_000)]);
+        let cfg = DiffConfig::default();
+        let diffs = diff_runs(&base, &cand, &cfg);
+        let verdicts: Vec<Verdict> = diffs.iter().map(|d| d.verdict).collect();
+        assert!(verdicts.contains(&Verdict::BaselineOnly));
+        assert!(verdicts.contains(&Verdict::CandidateOnly));
+        assert!(gate(&diffs, &cfg).is_ok());
+    }
+
+    #[test]
+    fn worst_regression_sorts_first_and_names_the_gate() {
+        let base = run_with("b", &[("mild", 10_000), ("bad", 10_000)]);
+        let cand = run_with("c", &[("mild", 14_000), ("bad", 40_000)]);
+        let cfg = DiffConfig::default();
+        let diffs = diff_runs(&base, &cand, &cfg);
+        assert_eq!(diffs[0].path, "bad");
+        let SpmError::Regression { stage, message } = gate(&diffs, &cfg).unwrap_err() else {
+            panic!("wrong class");
+        };
+        assert_eq!(stage, "bad");
+        assert!(message.contains("2 stage(s) regressed"), "{message}");
+    }
+
+    #[test]
+    fn render_summarizes_pass_and_fail() {
+        let base = run_with("b", &[("s", 10_000)]);
+        let cand = run_with("c", &[("s", 10_100)]);
+        let cfg = DiffConfig::default();
+        let diffs = diff_runs(&base, &cand, &cfg);
+        let text = render(&base, &cand, &diffs, &cfg);
+        assert!(text.contains("verdict: PASS"), "{text}");
+        assert!(text.contains("threshold=25%"), "{text}");
+
+        let cand = run_with("c", &[("s", 40_000)]);
+        let diffs = diff_runs(&base, &cand, &cfg);
+        let text = render(&base, &cand, &diffs, &cfg);
+        assert!(text.contains("FAIL (1 regressed)"), "{text}");
+        assert!(text.contains("REGRESSED"), "{text}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Self-contained HTML rendering of the report.
+//!
+//! The output is a single file with one inline `<style>` block and no
+//! external assets — no scripts, fonts, or CDN links — so it can be
+//! archived as a CI artifact and opened anywhere, including offline.
+//! The flame view becomes nested `<div>` rows whose widths are
+//! percentages of the widest root; the dashboard and diff table are
+//! embedded verbatim inside `<pre>` blocks (they are already designed
+//! for fixed-width rendering).
+
+use crate::diff::{DiffConfig, StageDiff};
+use crate::flame::{self, FlameNode};
+use crate::ingest::Run;
+
+/// Escapes text for safe inclusion in HTML element content and
+/// attribute values.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+const STYLE: &str = "\
+body { font-family: monospace; background: #1c1c28; color: #e8e8f0; margin: 2em; }\n\
+h1, h2 { color: #8ab4f8; font-weight: normal; }\n\
+pre { background: #252534; padding: 1em; border-radius: 4px; overflow-x: auto; }\n\
+.frame { margin: 1px 0; }\n\
+.bar { display: inline-block; background: #b4543c; color: #fff; padding: 1px 4px; \
+border-radius: 2px; white-space: nowrap; overflow: hidden; min-width: 2px; \
+box-sizing: border-box; }\n\
+.depth { margin-left: 1.2em; }\n\
+.meta { color: #9a9ab0; }\n";
+
+fn render_node(node: &FlameNode, grand: u64, out: &mut String) {
+    let pct = node.total_us as f64 * 100.0 / grand as f64;
+    out.push_str(&format!(
+        "<div class=\"frame\"><span class=\"bar\" style=\"width:{:.2}%\" \
+title=\"{} total {} self {} x{}\">{}</span> \
+<span class=\"meta\">{} self {} x{}</span></div>\n",
+        pct.max(0.5),
+        escape(&node.path),
+        flame::fmt_duration(node.total_us),
+        flame::fmt_duration(node.self_us),
+        node.count,
+        escape(&node.name),
+        flame::fmt_duration(node.total_us),
+        flame::fmt_duration(node.self_us),
+        node.count,
+    ));
+    if !node.children.is_empty() {
+        out.push_str("<div class=\"depth\">\n");
+        for child in &node.children {
+            render_node(child, grand, out);
+        }
+        out.push_str("</div>\n");
+    }
+}
+
+fn flame_section(run: &Run, out: &mut String) {
+    let roots = flame::build(run);
+    let grand: u64 = roots.iter().map(|r| r.total_us).sum();
+    out.push_str(&format!("<h2>flame: {}</h2>\n", escape(&run.label)));
+    if roots.is_empty() {
+        out.push_str("<p class=\"meta\">no spans in stream</p>\n");
+        return;
+    }
+    for root in &roots {
+        render_node(root, grand.max(1), out);
+    }
+}
+
+fn page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+<title>{}</title>\n<style>\n{STYLE}</style>\n</head>\n<body>\n\
+<h1>{}</h1>\n{body}</body>\n</html>\n",
+        escape(title),
+        escape(title),
+    )
+}
+
+/// Renders the single-run report (flame + dashboard) for each run.
+pub fn render_runs(runs: &[Run]) -> String {
+    let mut body = String::new();
+    for run in runs {
+        flame_section(run, &mut body);
+        body.push_str(&format!(
+            "<pre>{}</pre>\n",
+            escape(&crate::dashboard::render(run))
+        ));
+    }
+    page("spm report", &body)
+}
+
+/// Renders the cross-run comparison report: both flame views plus the
+/// diff table.
+pub fn render_diff(
+    baseline: &Run,
+    candidate: &Run,
+    diffs: &[StageDiff],
+    cfg: &DiffConfig,
+) -> String {
+    let mut body = String::new();
+    body.push_str("<h2>comparison</h2>\n");
+    body.push_str(&format!(
+        "<pre>{}</pre>\n",
+        escape(&crate::diff::render(baseline, candidate, diffs, cfg))
+    ));
+    flame_section(baseline, &mut body);
+    flame_section(candidate, &mut body);
+    page("spm report: baseline vs candidate", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff_runs;
+    use crate::ingest::load_str;
+
+    fn run_with(label: &str, spans: &[(&str, u64)]) -> Run {
+        let text: String = spans
+            .iter()
+            .map(|(name, dur)| {
+                format!(
+                    "{{\"v\":1,\"kind\":\"span\",\"name\":\"{name}\",\"dur_us\":{dur},\"fields\":{{}}}}\n"
+                )
+            })
+            .collect();
+        load_str(label, &text).unwrap()
+    }
+
+    #[test]
+    fn escapes_html_metacharacters() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&#39;");
+    }
+
+    #[test]
+    fn run_page_is_self_contained() {
+        let run = run_with("gzip", &[("cli/select", 1000), ("cli/select/sim/run", 600)]);
+        let html = render_runs(&[run]);
+        assert!(html.starts_with("<!DOCTYPE html>"), "{html}");
+        assert!(html.contains("<style>"), "{html}");
+        assert!(html.contains("cli/select"), "{html}");
+        // No external assets of any kind.
+        for needle in ["http://", "https://", "<script", "<link", "@import", "src="] {
+            assert!(!html.contains(needle), "found `{needle}` in:\n{html}");
+        }
+        // Balanced structure.
+        assert_eq!(html.matches("<div").count(), html.matches("</div>").count());
+        assert!(html.ends_with("</html>\n"), "{html}");
+    }
+
+    #[test]
+    fn span_names_are_escaped() {
+        let run = run_with("t", &[("a<b>", 100)]);
+        let html = render_runs(&[run]);
+        assert!(html.contains("a&lt;b&gt;"), "{html}");
+        assert!(!html.contains("<b>"), "{html}");
+    }
+
+    #[test]
+    fn diff_page_embeds_verdicts_and_both_flames() {
+        let base = run_with("base", &[("sim/run", 10_000)]);
+        let cand = run_with("cand", &[("sim/run", 40_000)]);
+        let cfg = DiffConfig::default();
+        let diffs = diff_runs(&base, &cand, &cfg);
+        let html = render_diff(&base, &cand, &diffs, &cfg);
+        assert!(html.contains("REGRESSED"), "{html}");
+        assert!(html.contains("flame: base"), "{html}");
+        assert!(html.contains("flame: cand"), "{html}");
+    }
+}

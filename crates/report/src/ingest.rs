@@ -1,0 +1,340 @@
+//! Loading spans/metrics JSONL streams into an analyzable form.
+//!
+//! Every line passes through [`spm_obs::jsonl::validate_line`] — the
+//! executable schema — before conversion, so ingestion rejects exactly
+//! what the emitting side considers invalid (unknown versions, missing
+//! keys, non-finite metrics). Failures map into the shared
+//! [`SpmError`] taxonomy with the 1-based line number.
+
+use spm_core::text::ParseError;
+use spm_core::SpmError;
+use spm_obs::jsonl::{validate_line, Json};
+use std::path::Path;
+
+/// A field value attached to an event (the schema's `fields` object).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Any JSON number (the schema guarantees it is finite).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+impl std::fmt::Display for Field {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Field::Num(n) => write!(f, "{n}"),
+            Field::Str(s) => write!(f, "{s}"),
+            Field::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Kind-specific payload of an ingested event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A completed timed span (microseconds).
+    Span {
+        /// Wall-clock duration in microseconds.
+        dur_us: u64,
+    },
+    /// A count observed at one instant.
+    Counter {
+        /// The count.
+        value: f64,
+    },
+    /// A point-in-time measurement.
+    Gauge {
+        /// The measurement.
+        value: f64,
+    },
+    /// A histogram snapshot.
+    Hist {
+        /// Total samples.
+        count: u64,
+        /// `(lo, hi_exclusive, count)` per non-empty bucket.
+        buckets: Vec<(u64, u64, u64)>,
+    },
+    /// A structured warning.
+    Warning,
+}
+
+/// One ingested event: name, payload, and fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportEvent {
+    /// Hierarchical event name (span path for spans).
+    pub name: String,
+    /// Kind-specific payload.
+    pub payload: Payload,
+    /// Free-form key/value context, in stream order.
+    pub fields: Vec<(String, Field)>,
+}
+
+impl ReportEvent {
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Field> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A field as a string, if present and a string.
+    pub fn field_str(&self, key: &str) -> Option<&str> {
+        match self.field(key) {
+            Some(Field::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A field as a number, if present and numeric.
+    pub fn field_num(&self, key: &str) -> Option<f64> {
+        match self.field(key) {
+            Some(Field::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// One ingested stream: a display label plus its events in order.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Display label (the file stem for file-loaded runs).
+    pub label: String,
+    /// All events, in stream order.
+    pub events: Vec<ReportEvent>,
+}
+
+impl Run {
+    /// Iterates `(path, dur_us)` over the span events.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.events.iter().filter_map(|e| match e.payload {
+            Payload::Span { dur_us } => Some((e.name.as_str(), dur_us)),
+            _ => None,
+        })
+    }
+
+    /// All values of the named gauge, in stream order.
+    pub fn gauges(&self, name: &str) -> Vec<f64> {
+        self.events
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match e.payload {
+                Payload::Gauge { value } => Some(value),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All values of the named counter, in stream order.
+    pub fn counters(&self, name: &str) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match e.payload {
+                Payload::Counter { value } => Some(value as u64),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Loads a spans/metrics JSONL file.
+///
+/// # Errors
+///
+/// [`SpmError::Io`] when the file cannot be read, [`SpmError::Parse`]
+/// (with the 1-based line number) when a line fails schema validation.
+pub fn load_file(path: &str) -> Result<Run, SpmError> {
+    let text = std::fs::read_to_string(path).map_err(|e| SpmError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    let label = Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    load_str_source(&label, path, &text)
+}
+
+/// Loads a stream from memory (tests, in-process pipelines).
+///
+/// # Errors
+///
+/// [`SpmError::Parse`] when a line fails schema validation; `label`
+/// doubles as the error's source.
+pub fn load_str(label: &str, text: &str) -> Result<Run, SpmError> {
+    load_str_source(label, label, text)
+}
+
+fn load_str_source(label: &str, source: &str, text: &str) -> Result<Run, SpmError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = validate_line(line).map_err(|message| SpmError::Parse {
+            source: source.to_string(),
+            error: ParseError {
+                line: i + 1,
+                message,
+            },
+        })?;
+        events.push(convert(&doc).map_err(|message| SpmError::Parse {
+            source: source.to_string(),
+            error: ParseError {
+                line: i + 1,
+                message,
+            },
+        })?);
+    }
+    Ok(Run {
+        label: label.to_string(),
+        events,
+    })
+}
+
+/// Converts one schema-validated document. The validator has already
+/// checked presence and finiteness, so missing keys here mean the
+/// validator and this converter disagree — surfaced as errors, never
+/// panics.
+fn convert(doc: &Json) -> Result<ReportEvent, String> {
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing kind")?;
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing name")?
+        .to_string();
+    let num = |key: &str| -> Result<f64, String> {
+        doc.get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing `{key}`"))
+    };
+    let payload = match kind {
+        "span" => Payload::Span {
+            dur_us: num("dur_us")? as u64,
+        },
+        "counter" => Payload::Counter {
+            value: num("value")?,
+        },
+        "gauge" => Payload::Gauge {
+            value: num("value")?,
+        },
+        "hist" => {
+            let count = num("count")? as u64;
+            let Some(Json::Arr(raw)) = doc.get("buckets") else {
+                return Err("missing `buckets`".into());
+            };
+            let mut buckets = Vec::with_capacity(raw.len());
+            for b in raw {
+                let Json::Arr(triple) = b else {
+                    return Err("bucket is not an array".into());
+                };
+                let mut it = triple.iter().filter_map(Json::as_num);
+                match (it.next(), it.next(), it.next()) {
+                    (Some(lo), Some(hi), Some(c)) => buckets.push((lo as u64, hi as u64, c as u64)),
+                    _ => return Err("bucket is not a numeric triple".into()),
+                }
+            }
+            Payload::Hist { count, buckets }
+        }
+        "warning" => Payload::Warning,
+        other => return Err(format!("unknown kind `{other}`")),
+    };
+    let mut fields = Vec::new();
+    if let Some(Json::Obj(members)) = doc.get("fields") {
+        for (key, value) in members {
+            let field = match value {
+                Json::Num(n) => Field::Num(*n),
+                Json::Str(s) => Field::Str(s.clone()),
+                Json::Bool(b) => Field::Bool(*b),
+                other => return Err(format!("field `{key}` has unsupported type {other:?}")),
+            };
+            fields.push((key.clone(), field));
+        }
+    }
+    Ok(ReportEvent {
+        name,
+        payload,
+        fields,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spm_obs::jsonl::encode;
+    use spm_obs::{histogram_kind, Event, EventKind};
+
+    fn stream(events: &[Event]) -> String {
+        let mut out = String::new();
+        for e in events {
+            out.push_str(&encode(e));
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        let mut hist = spm_stats::LogHistogram::new();
+        hist.extend([3u64, 900, 900]);
+        let text = stream(&[
+            Event::new("cli/select", EventKind::Span { dur_us: 1234 }).with("workload", "gzip"),
+            Event::new("select/markers", EventKind::Counter { value: 11 }),
+            Event::new("select/cov_threshold", EventKind::Gauge { value: 0.07 })
+                .with("avg_cov", 0.05),
+            Event::new("partition/vli_lengths", histogram_kind(&hist)),
+            Event::new("fallback/fixed-length", EventKind::Warning).with("reason", "no-markers"),
+        ]);
+        let run = load_str("test", &text).unwrap();
+        assert_eq!(run.events.len(), 5);
+        assert_eq!(
+            run.events[0].payload,
+            Payload::Span { dur_us: 1234 },
+            "{:?}",
+            run.events[0]
+        );
+        assert_eq!(run.events[0].field_str("workload"), Some("gzip"));
+        assert_eq!(run.counters("select/markers"), vec![11]);
+        assert_eq!(run.gauges("select/cov_threshold"), vec![0.07]);
+        let Payload::Hist { count, ref buckets } = run.events[3].payload else {
+            panic!("not a hist");
+        };
+        assert_eq!(count, 3);
+        assert_eq!(buckets.iter().map(|b| b.2).sum::<u64>(), 3);
+        assert_eq!(run.events[4].payload, Payload::Warning);
+        assert_eq!(run.spans().count(), 1);
+    }
+
+    #[test]
+    fn bad_lines_carry_line_numbers() {
+        let text = format!(
+            "{}\nnot json\n",
+            encode(&Event::new("a", EventKind::Counter { value: 1 }))
+        );
+        let err = load_str("stream", &text).unwrap_err();
+        let SpmError::Parse { source, error } = err else {
+            panic!("wrong class: {err}");
+        };
+        assert_eq!(source, "stream");
+        assert_eq!(error.line, 2);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!(
+            "\n{}\n\n",
+            encode(&Event::new("a", EventKind::Counter { value: 1 }))
+        );
+        assert_eq!(load_str("s", &text).unwrap().events.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_file("/nonexistent/nowhere.jsonl").unwrap_err();
+        assert!(matches!(err, SpmError::Io { .. }));
+    }
+}

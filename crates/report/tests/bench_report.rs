@@ -1,0 +1,42 @@
+//! The committed bench trajectory point must validate against the
+//! executable v3 schema — the same check CI runs, so a hand-edited or
+//! stale artifact fails before it merges.
+
+use spm_report::bench::{validate_bench_report, BENCH_REPORT_SCHEMA};
+use std::path::PathBuf;
+
+fn committed_report() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_report.json");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed artifact {}: {e}", path.display()))
+}
+
+#[test]
+fn committed_bench_report_validates() {
+    let text = committed_report();
+    validate_bench_report(&text).expect("results/BENCH_report.json matches the v3 schema");
+    assert!(text.contains(BENCH_REPORT_SCHEMA));
+}
+
+#[test]
+fn committed_bench_report_covers_the_full_suite() {
+    // The figure list is the fixed suite; a shrinking artifact means a
+    // figure silently dropped out of the timed run.
+    let text = committed_report();
+    for figure in [
+        "fig03",
+        "fig04",
+        "fig05_fig06",
+        "fig789_compute",
+        "fig10",
+        "fig1112_compute",
+        "ablations",
+        "supp_classifiers",
+        "robustness",
+    ] {
+        assert!(
+            text.contains(&format!("\"name\": \"{figure}\"")),
+            "missing {figure}"
+        );
+    }
+}
