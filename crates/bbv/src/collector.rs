@@ -87,12 +87,26 @@ pub struct IntervalBbvCollector {
 impl IntervalBbvCollector {
     /// Creates a collector for the program's block-size table.
     pub fn new(program: &spm_ir::Program, boundaries: Boundaries) -> Self {
+        Self::with_builder(BbvBuilder::new(program.block_sizes()), boundaries)
+    }
+
+    /// Creates a collector for a trace replayed without its program:
+    /// block sizes are learned from the events themselves. `dims` is
+    /// the static block-id space if known (e.g. an `spmstk01` footer's
+    /// `block_dims`, when nonzero); blocks beyond it grow the vectors,
+    /// and [`into_intervals`](Self::into_intervals) pads earlier
+    /// intervals to the final width.
+    pub fn for_trace(dims: usize, boundaries: Boundaries) -> Self {
+        Self::with_builder(BbvBuilder::for_trace(dims), boundaries)
+    }
+
+    fn with_builder(builder: BbvBuilder, boundaries: Boundaries) -> Self {
         let phase = match &boundaries {
             Boundaries::Fixed(_) => 0,
             Boundaries::Explicit { prelude_phase, .. } => *prelude_phase,
         };
         Self {
-            builder: BbvBuilder::new(program.block_sizes()),
+            builder,
             boundaries,
             next_cut: 0,
             begin: 0,
@@ -108,8 +122,14 @@ impl IntervalBbvCollector {
         &self.intervals
     }
 
-    /// Consumes the collector, returning all intervals.
-    pub fn into_intervals(self) -> Vec<IntervalBbv> {
+    /// Consumes the collector, returning all intervals, each padded to
+    /// the final dimension count (a no-op unless a trace-mode run grew
+    /// the block-id space mid-trace).
+    pub fn into_intervals(mut self) -> Vec<IntervalBbv> {
+        let dims = self.builder.dims();
+        for iv in &mut self.intervals {
+            iv.bbv.resize(dims, 0.0);
+        }
         self.intervals
     }
 
@@ -164,7 +184,10 @@ impl TraceObserver for IntervalBbvCollector {
             TraceEvent::BlockExec { block, instrs, .. } => {
                 let block_start = icount - u64::from(instrs);
                 self.apply_boundaries(block_start);
-                self.builder.note_block(block);
+                // Sized form: identical to `note_block` when the
+                // builder was sized from the program, and learns the
+                // size in trace-only mode.
+                self.builder.note_block_sized(block, instrs);
                 self.last_icount = icount;
             }
             TraceEvent::Finish if !self.finished => {
@@ -296,6 +319,40 @@ mod tests {
             ivs[1].phase, 1,
             "first marker at the boundary names the phase"
         );
+    }
+
+    #[test]
+    fn trace_mode_matches_program_mode() {
+        let program = loop_program(100, 10);
+        let input = Input::new("x", 1);
+        let mut with_program = IntervalBbvCollector::new(&program, Boundaries::Fixed(300));
+        let mut trace_only =
+            IntervalBbvCollector::for_trace(program.block_sizes().len(), Boundaries::Fixed(300));
+        run(&program, &input, &mut [&mut with_program, &mut trace_only]).unwrap();
+        assert_eq!(with_program.into_intervals(), trace_only.into_intervals());
+    }
+
+    #[test]
+    fn trace_mode_with_unknown_dims_pads_to_final_width() {
+        // Two blocks executed in different intervals; dims start at 0
+        // and grow as blocks appear, so the first interval's vector is
+        // produced narrow and padded by into_intervals.
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(50), |body| {
+                body.block(10).done();
+            });
+            p.loop_(Trip::Fixed(50), |body| {
+                body.block(10).done();
+            });
+        });
+        let program = b.build("main").unwrap();
+        let mut c = IntervalBbvCollector::for_trace(0, Boundaries::Fixed(500));
+        run(&program, &Input::new("x", 1), &mut [&mut c]).unwrap();
+        let ivs = c.into_intervals();
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].bbv, vec![1.0, 0.0]);
+        assert_eq!(ivs[1].bbv, vec![0.0, 1.0]);
     }
 
     #[test]

@@ -30,6 +30,22 @@ impl BbvBuilder {
         }
     }
 
+    /// Creates a builder for a trace replayed without its program —
+    /// block sizes are learned from the `instrs` carried by each
+    /// `BlockExec` event (see [`note_block_sized`]). `dims` is the
+    /// static block-id space if known (e.g. an `spmstk01` footer's
+    /// `block_dims`); blocks beyond it grow the vector.
+    ///
+    /// [`note_block_sized`]: Self::note_block_sized
+    pub fn for_trace(dims: usize) -> Self {
+        Self {
+            sizes: vec![0; dims],
+            counts: vec![0; dims],
+            touched: Vec::new(),
+            instrs: 0,
+        }
+    }
+
     /// Number of dimensions (static blocks).
     pub fn dims(&self) -> usize {
         self.sizes.len()
@@ -52,6 +68,25 @@ impl BbvBuilder {
         }
         self.counts[idx] += 1;
         self.instrs += u64::from(self.sizes[idx]);
+    }
+
+    /// Records one execution of `block` whose instruction size arrives
+    /// with the event, as when replaying a trace without its program.
+    /// Out-of-range blocks grow the dimension space instead of
+    /// panicking (callers comparing vectors should pad earlier ones to
+    /// the final [`dims`](Self::dims)).
+    pub fn note_block_sized(&mut self, block: BlockId, instrs: u32) {
+        let idx = block.index();
+        if idx >= self.sizes.len() {
+            self.sizes.resize(idx + 1, 0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sizes[idx] = instrs;
+        if self.counts[idx] == 0 {
+            self.touched.push(block.0);
+        }
+        self.counts[idx] += 1;
+        self.instrs += u64::from(instrs);
     }
 
     /// Finishes the current interval: returns the instruction-weighted

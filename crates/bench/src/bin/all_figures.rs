@@ -2,9 +2,10 @@
 //! `results/` (used to populate EXPERIMENTS.md), plus two artifacts:
 //! `results/BENCH_timings.json` (`spm-bench/timings/v2`, raw per-figure
 //! wall-clock spans captured through spm-obs) and
-//! `results/BENCH_report.json` (`spm-bench/report/v3`, the committed
+//! `results/BENCH_report.json` (`spm-bench/report/v4`, the committed
 //! trajectory point: per-figure median/min/total across `--repeat`
-//! runs plus suite-wide simulation throughput — validated by
+//! runs, suite-wide simulation throughput, and per-decoder ingest
+//! throughput from the `spmstk01` store figure — validated by
 //! `spm_report::bench::validate_bench_report`).
 //!
 //! Flags:
@@ -100,6 +101,10 @@ fn compute_figures() -> Vec<(&'static str, String)> {
             ok(spm_bench::robustness::robustness_table())
         }),
     ));
+    out.push((
+        "ingest",
+        timed("bench/ingest", || ok(spm_bench::ingest::figure())),
+    ));
     out
 }
 
@@ -113,8 +118,17 @@ struct RunTiming {
 /// Runs the whole suite once at the given worker count, capturing the
 /// top-level `bench/<figure>` spans (nested pipeline spans would swamp
 /// the artifact; worker-thread spans carry no `bench/` prefix) plus
-/// every simulation-throughput gauge for the v3 report.
-fn run_once(jobs: usize) -> (Vec<(&'static str, String)>, RunTiming, Vec<f64>) {
+/// every simulation-throughput gauge and the per-decoder
+/// `ingest/<decoder>_events_per_sec` gauges for the v4 report.
+#[allow(clippy::type_complexity)]
+fn run_once(
+    jobs: usize,
+) -> (
+    Vec<(&'static str, String)>,
+    RunTiming,
+    Vec<f64>,
+    Vec<(String, f64)>,
+) {
     spm_par::set_default_jobs(jobs);
     let sink = Arc::new(spm_obs::MemorySink::new());
     spm_obs::install(sink.clone());
@@ -124,6 +138,7 @@ fn run_once(jobs: usize) -> (Vec<(&'static str, String)>, RunTiming, Vec<f64>) {
     let mut total_us = 0;
     let mut spans = Vec::new();
     let mut events_per_sec = Vec::new();
+    let mut ingest = Vec::new();
     for event in sink.events() {
         match event.kind {
             spm_obs::EventKind::Span { dur_us }
@@ -137,6 +152,15 @@ fn run_once(jobs: usize) -> (Vec<(&'static str, String)>, RunTiming, Vec<f64>) {
             {
                 events_per_sec.push(value);
             }
+            spm_obs::EventKind::Gauge { value }
+                if event.name.starts_with("ingest/")
+                    && event.name.ends_with("_events_per_sec")
+                    && value.is_finite() =>
+            {
+                let decoder =
+                    &event.name["ingest/".len()..event.name.len() - "_events_per_sec".len()];
+                ingest.push((decoder.to_string(), value));
+            }
             _ => {}
         }
     }
@@ -148,6 +172,7 @@ fn run_once(jobs: usize) -> (Vec<(&'static str, String)>, RunTiming, Vec<f64>) {
             figures: spans,
         },
         events_per_sec,
+        ingest,
     )
 }
 
@@ -217,7 +242,45 @@ fn figure_stats(samples: &[RunTiming]) -> Vec<FigureStat> {
         .collect()
 }
 
-/// Renders the `spm-bench/report/v3` artifact (the schema
+/// Lower-middle median of an unsorted throughput sample set.
+fn median_f64(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[(samples.len() - 1) / 2]
+}
+
+/// Renders the `ingest` section of the v4 report: per-decoder median
+/// throughput across every sample the repeats produced, in the fixed
+/// decoder order of the figure.
+fn ingest_json(samples: &[(String, f64)]) -> String {
+    let mut out = format!(
+        "  \"ingest\": {{\"workload\": \"{}\", \"decoders\": [\n",
+        spm_bench::ingest::INGEST_WORKLOAD
+    );
+    for (i, decoder) in spm_bench::ingest::DECODERS.iter().enumerate() {
+        let mut values: Vec<f64> = samples
+            .iter()
+            .filter(|(name, _)| name == decoder)
+            .map(|(_, v)| *v)
+            .collect();
+        let n = values.len();
+        let comma = if i + 1 == spm_bench::ingest::DECODERS.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{decoder}\", \"median_events_per_sec\": {:.0}, \"n\": {n}}}{comma}\n",
+            median_f64(&mut values)
+        ));
+    }
+    out.push_str("  ]},\n");
+    out
+}
+
+/// Renders the `spm-bench/report/v4` artifact (the schema
 /// `spm_report::bench::validate_bench_report` checks).
 fn report_json(
     host_parallelism: usize,
@@ -225,6 +288,7 @@ fn report_json(
     repeats: usize,
     stats: &[FigureStat],
     events_per_sec: &mut [f64],
+    ingest: &[(String, f64)],
 ) -> String {
     events_per_sec.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let eps_median = if events_per_sec.is_empty() {
@@ -235,11 +299,13 @@ fn report_json(
     let mut out = format!(
         "{{\n  \"schema\": \"{}\",\n  \"host_parallelism\": {host_parallelism},\n  \
 \"jobs\": {jobs},\n  \"repeats\": {repeats},\n  \
-\"events_per_sec\": {{\"median\": {:.0}, \"n\": {}}},\n  \"figures\": [\n",
+\"events_per_sec\": {{\"median\": {:.0}, \"n\": {}}},\n",
         spm_report::bench::BENCH_REPORT_SCHEMA,
         eps_median,
         events_per_sec.len()
     );
+    out.push_str(&ingest_json(ingest));
+    out.push_str("  \"figures\": [\n");
     for (i, s) in stats.iter().enumerate() {
         let comma = if i + 1 == stats.len() { "" } else { "," };
         out.push_str(&format!(
@@ -293,21 +359,23 @@ fn main() {
 
     let mut runs = Vec::new();
     let serial_figures = if compare_serial {
-        let (figures, timing, _) = run_once(1);
+        let (figures, timing, _, _) = run_once(1);
         runs.push(timing);
         Some(figures)
     } else {
         None
     };
-    // The v3 report aggregates over the `--repeat` runs at `--jobs N`;
+    // The v4 report aggregates over the `--repeat` runs at `--jobs N`;
     // the serial comparison run (if any) stays out of its medians.
     let repeats_start = runs.len();
     let mut figures = Vec::new();
     let mut events_per_sec = Vec::new();
+    let mut ingest_samples = Vec::new();
     for rep in 0..repeat {
-        let (figs, timing, mut eps) = run_once(jobs);
+        let (figs, timing, mut eps, mut ingest) = run_once(jobs);
         runs.push(timing);
         events_per_sec.append(&mut eps);
+        ingest_samples.append(&mut ingest);
         if rep > 0 {
             continue;
         }
@@ -351,6 +419,7 @@ fn main() {
         repeat,
         &stats,
         &mut events_per_sec,
+        &ingest_samples,
     );
     if let Err(message) = spm_report::bench::validate_bench_report(&report) {
         eprintln!("error[analysis]: generated bench report fails its own schema: {message}");

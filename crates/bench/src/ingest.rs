@@ -1,0 +1,193 @@
+//! Ingest-throughput figure: one recorded event stream decoded three
+//! ways — flat `spmtrc02` replay, sequential `spmstk01` store replay,
+//! and parallel store replay.
+//!
+//! The rendered text contains only deterministic facts (event counts,
+//! byte sizes, block count, container overhead) so CI can byte-compare
+//! it as a golden; wall-clock throughput is machine-dependent and is
+//! emitted as `ingest/<decoder>_events_per_sec` gauges instead, which
+//! `all_figures` folds into the `ingest` section of
+//! `results/BENCH_report.json`.
+
+use crate::{analysis_error, workload};
+use spm_core::SpmError;
+use spm_sim::record::{replay, TraceRecorder};
+use spm_sim::{run, TraceEvent, TraceObserver};
+use spm_store::{StoreReader, StoreWriter};
+use std::io::Cursor;
+use std::time::Instant;
+
+/// Workload whose `ref` input feeds the ingest measurement.
+pub const INGEST_WORKLOAD: &str = "gzip";
+
+/// The measured decode paths, in report order.
+pub const DECODERS: [&str; 3] = ["flat", "store", "store-par"];
+
+/// Counts delivered events without retaining them.
+struct Count(u64);
+
+impl TraceObserver for Count {
+    fn on_event(&mut self, _icount: u64, _event: &TraceEvent) {
+        self.0 += 1;
+    }
+}
+
+/// The deterministic facts behind the ingest figure.
+#[derive(Debug)]
+pub struct IngestData {
+    /// Events in the recorded stream.
+    pub events: u64,
+    /// Instructions simulated to produce it.
+    pub instructions: u64,
+    /// Flat `spmtrc02` trace size in bytes.
+    pub flat_bytes: u64,
+    /// `spmstk01` container size in bytes.
+    pub store_bytes: u64,
+    /// Blocks in the container.
+    pub blocks: u64,
+    /// Events redelivered by each decoder, in [`DECODERS`] order; all
+    /// must equal `events`.
+    pub decoded: [u64; 3],
+}
+
+/// Times one decode path under an `ingest/<name>` span, reporting its
+/// throughput as an `ingest/<name>_events_per_sec` gauge.
+fn timed_decode(
+    name: &str,
+    events: u64,
+    f: impl FnOnce() -> Result<u64, SpmError>,
+) -> Result<u64, SpmError> {
+    let span = spm_obs::span(&format!("ingest/{name}"));
+    let start = Instant::now();
+    let decoded = f()?;
+    let secs = start.elapsed().as_secs_f64();
+    drop(span);
+    if secs > 0.0 {
+        spm_obs::gauge(
+            &format!("ingest/{name}_events_per_sec"),
+            events as f64 / secs,
+        );
+    }
+    Ok(decoded)
+}
+
+/// Records the workload once into both containers, then measures every
+/// decode path over the same stream.
+///
+/// # Errors
+///
+/// Propagates workload-build and engine failures; decode failures over
+/// the freshly written containers surface as [`SpmError::Analysis`].
+pub fn compute() -> Result<IngestData, SpmError> {
+    let w = workload(INGEST_WORKLOAD)?;
+    let mut recorder = TraceRecorder::new();
+    let mut store_buf = Vec::new();
+    let mut writer = StoreWriter::new(&mut store_buf);
+    writer.set_block_dims(w.program.block_sizes().len() as u32);
+    let summary = run(&w.program, &w.ref_input, &mut [&mut recorder, &mut writer])?;
+    let packed = writer
+        .finish()
+        .map_err(|e| analysis_error("ingest/pack", e))?;
+    let flat = recorder.into_bytes();
+
+    let flat_decoded = timed_decode("flat", packed.events, || {
+        let mut count = Count(0);
+        replay(&flat, &mut [&mut count]).map_err(|e| analysis_error("ingest/flat", e))?;
+        Ok(count.0)
+    })?;
+
+    let mut reader = StoreReader::new(Cursor::new(store_buf.clone()))
+        .map_err(|e| analysis_error("ingest/store", e))?;
+    let store_decoded = timed_decode("store", packed.events, || {
+        let mut count = Count(0);
+        let report = reader
+            .replay(&mut [&mut count])
+            .map_err(|e| analysis_error("ingest/store", e))?;
+        debug_assert!(report.is_clean());
+        Ok(count.0)
+    })?;
+
+    let mut reader = StoreReader::new(Cursor::new(store_buf))
+        .map_err(|e| analysis_error("ingest/store-par", e))?;
+    let par_decoded = timed_decode("store-par", packed.events, || {
+        let mut count = Count(0);
+        let report = reader
+            .par_replay(&mut [&mut count])
+            .map_err(|e| analysis_error("ingest/store-par", e))?;
+        debug_assert!(report.is_clean());
+        Ok(count.0)
+    })?;
+
+    Ok(IngestData {
+        events: packed.events,
+        instructions: summary.instrs,
+        flat_bytes: flat.len() as u64,
+        store_bytes: packed.file_bytes,
+        blocks: packed.blocks,
+        decoded: [flat_decoded, store_decoded, par_decoded],
+    })
+}
+
+/// Renders the figure. Every line is deterministic across machines.
+pub fn render(d: &IngestData) -> String {
+    let overhead = d.store_bytes as f64 / d.flat_bytes.max(1) as f64;
+    let mut out =
+        format!("# Ingest: flat spmtrc02 vs spmstk01 store decode ({INGEST_WORKLOAD}/ref)\n");
+    out.push_str(&format!("events\t{}\n", d.events));
+    out.push_str(&format!("instructions\t{}\n", d.instructions));
+    out.push_str(&format!("flat_bytes\t{}\n", d.flat_bytes));
+    out.push_str(&format!(
+        "store_bytes\t{}\tcontainer_overhead\t{overhead:.4}\n",
+        d.store_bytes
+    ));
+    out.push_str(&format!("blocks\t{}\n", d.blocks));
+    for (name, decoded) in DECODERS.iter().zip(&d.decoded) {
+        out.push_str(&format!("decoded[{name}]\t{decoded}\n"));
+    }
+    out.push_str(
+        "# throughput is machine-dependent: see the `ingest` section of \
+results/BENCH_report.json\n",
+    );
+    out
+}
+
+/// Computes and renders the figure in one step (the `all_figures`
+/// entry point).
+///
+/// # Errors
+///
+/// See [`compute`].
+pub fn figure() -> Result<String, SpmError> {
+    Ok(render(&compute()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_decoder_recovers_the_full_stream() {
+        let d = compute().unwrap();
+        assert!(d.events > 0);
+        assert!(d.blocks >= 1);
+        for (name, decoded) in DECODERS.iter().zip(&d.decoded) {
+            assert_eq!(*decoded, d.events, "decoder {name} lost events");
+        }
+        // The container pays per-block framing plus a footer index but
+        // no more: well under 20% over the flat encoding.
+        assert!(d.store_bytes > 0);
+        let overhead = d.store_bytes as f64 / d.flat_bytes as f64;
+        assert!(overhead < 1.2, "container overhead {overhead:.3} too high");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_parseable() {
+        let a = render(&compute().unwrap());
+        let b = render(&compute().unwrap());
+        assert_eq!(a, b, "figure text must be byte-stable for CI goldens");
+        for line in a.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.split('\t').count() >= 2, "bad line: {line}");
+        }
+        assert!(!a.contains("events_per_sec\t"), "no wall-clock in goldens");
+    }
+}

@@ -28,6 +28,7 @@ pub mod fig056;
 pub mod fig10;
 pub mod fig1112;
 pub mod fig789;
+pub mod ingest;
 pub mod passes;
 pub mod robustness;
 pub mod table;

@@ -59,6 +59,8 @@ const BOOLEAN_FLAGS: &[&str] = &["procs-only", "dot", "help", "plot", "verbose"]
 /// rather than silently swallowing the next token.
 const VALUE_FLAGS: &[&str] = &[
     "out",
+    "store",
+    "block-size",
     "input",
     "ilower",
     "limit",
@@ -215,6 +217,15 @@ mod tests {
         let p = parse_str("simpoint art --interval 5000 --kmax 20").unwrap();
         assert_eq!(p.u64_flag("interval", 10_000).unwrap(), 5000);
         assert_eq!(p.u64_flag("kmax", 10).unwrap(), 20);
+    }
+
+    #[test]
+    fn store_flags_parse() {
+        let p = parse_str("pack art --out art.spmstk --block-size 4096").unwrap();
+        assert_eq!(p.flags.get("out").unwrap(), "art.spmstk");
+        assert_eq!(p.u64_flag("block-size", 0).unwrap(), 4096);
+        let p = parse_str("select --store art.spmstk").unwrap();
+        assert_eq!(p.flags.get("store").unwrap(), "art.spmstk");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! spm timeseries <workload> [--input train|ref] [--step N] [--plot]
 //! spm record <workload> [--input train|ref] --out FILE
 //! spm replay <tracefile>
+//! spm pack <workload|tracefile> --out FILE.spmstk [--block-size N] [--input train|ref]
+//! spm info <file.spmstk>
 //! spm report <metrics.jsonl>... [--html FILE]
 //! spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT] [--min-us N] [--html FILE]
 //! spm help
@@ -25,6 +27,17 @@
 //! clustering and prints the chosen simulation points; `predict` trains
 //! the Markov phase predictor on the partition and reports accuracy.
 //! Workloads are the built-in synthetic suite.
+//!
+//! # Trace stores
+//!
+//! `pack` converts a workload run (or an existing flat `spmtrc` trace)
+//! into a block-based `spmstk01` container; `info` prints its index
+//! summary. `select`, `partition`, and `simpoint` accept a store
+//! anywhere a workload is accepted — via `--store FILE` or simply by
+//! passing a `.spmstk` file (detected by extension or magic) — and run
+//! the same analyses off the container with bounded memory, decoding
+//! blocks in parallel. A corrupted block degrades to a structured
+//! `store/skipped-block` warning instead of failing the run.
 //!
 //! # Parallelism
 //!
@@ -79,7 +92,8 @@ use spm_core::{
     MarkerSet, SelectConfig, SpmError, Vli,
 };
 use spm_ir::{parse_workload, DslError, Input, Program};
-use spm_sim::{run, Timeline, TraceObserver};
+use spm_sim::{run, Timeline, TraceEvent, TraceObserver};
+use spm_store::{StoreError, StoreReader, StoreWriter};
 use spm_workloads::{build, ALL_NAMES};
 use std::process::ExitCode;
 
@@ -159,6 +173,8 @@ fn main() -> ExitCode {
             "timeseries" => cmd_timeseries(&parsed),
             "record" => cmd_record(&parsed),
             "replay" => cmd_replay(&parsed),
+            "pack" => cmd_pack(&parsed),
+            "info" => cmd_info(&parsed),
             "report" => cmd_report(&parsed),
             "help" | "--help" => {
                 print!("{HELP}");
@@ -247,12 +263,19 @@ USAGE:
   spm timeseries <workload> [--input train|ref] [--step N] [--plot]
   spm record <workload> [--input train|ref] --out FILE
   spm replay <tracefile>
+  spm pack <workload|tracefile> --out FILE.spmstk [--block-size N] [--input train|ref]
+  spm info <file.spmstk>
   spm report <metrics.jsonl>... [--html FILE]
   spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT]
              [--min-us N] [--html FILE]
 
 FLAGS:
-  --out FILE          where `record` writes the trace
+  --out FILE          where `record` writes the trace (and `pack` the store)
+  --store FILE        run select/partition/simpoint off an spmstk01 store
+                      instead of executing the workload; .spmstk files
+                      given positionally are detected automatically
+  --block-size N      `pack`: pre-compression block budget in bytes
+                      (default 262144)
   --input train|ref   which input to run (default: ref; select defaults to train)
   --ilower N          minimum average interval size in instructions (default 10000)
   --limit N           enable the max-interval-size (SimPoint) variant
@@ -479,6 +502,102 @@ struct CommandOutput {
     err: String,
 }
 
+/// Whether `name` is an `spmstk01` store file: by extension, or by
+/// sniffing the magic when the file exists.
+fn is_store_file(name: &str) -> bool {
+    let path = std::path::Path::new(name);
+    if !path.is_file() {
+        return false;
+    }
+    if path.extension().is_some_and(|e| e == "spmstk") {
+        return true;
+    }
+    let mut magic = [0u8; 6];
+    std::fs::File::open(path)
+        .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut magic))
+        .map(|()| &magic == spm_store::format::MAGIC_PREFIX)
+        .unwrap_or(false)
+}
+
+/// Maps a store failure into the pipeline taxonomy: I/O keeps exit 3,
+/// structural corruption joins the trace-decode class (exit 8).
+fn store_error(path: &str, e: StoreError) -> CliError {
+    match e {
+        StoreError::Io { message } => SpmError::Io {
+            path: path.to_string(),
+            message,
+        },
+        StoreError::Corrupt { error, .. } => SpmError::Trace {
+            source: path.to_string(),
+            error,
+        },
+    }
+    .into()
+}
+
+fn open_store(path: &str) -> Result<StoreReader<std::io::BufReader<std::fs::File>>, CliError> {
+    let reader = StoreReader::open(std::path::Path::new(path)).map_err(|e| store_error(path, e))?;
+    if reader.info().recovered_index {
+        spm_obs::warning(
+            "store/recovered-index-used",
+            &[("store", path.to_string().into())],
+        );
+    }
+    Ok(reader)
+}
+
+/// Replays a store into the observers with parallel block decode
+/// (inline when nested in a batch worker), degrading corrupt blocks to
+/// a single deduped warning line appended to `err`.
+fn store_replay(
+    reader: &mut StoreReader<std::io::BufReader<std::fs::File>>,
+    observers: &mut [&mut dyn TraceObserver],
+    name: &str,
+    err: &mut String,
+) -> Result<spm_store::StoreReplayReport, CliError> {
+    let report = reader
+        .par_replay(observers)
+        .map_err(|e| store_error(name, e))?;
+    if !report.is_clean() {
+        // Per-block facts already went out as `store/skipped-block`
+        // events; this summary keys the stderr line and is deduped per
+        // store, so batch workers warn once regardless of jobs.
+        let fresh = spm_obs::warning(
+            "store/degraded",
+            &[
+                ("store", name.to_string().into()),
+                ("skipped_blocks", (report.skipped.len() as u64).into()),
+                ("skipped_events", report.skipped_events().into()),
+            ],
+        );
+        if fresh {
+            err.push_str(&format!(
+                "warning: store=degraded skipped_blocks={} skipped_events={} store={}\n",
+                report.skipped.len(),
+                report.skipped_events(),
+                name
+            ));
+        }
+    }
+    Ok(report)
+}
+
+/// Profiles the call-loop graph from a store replay. Lenient mode: a
+/// replay that skipped blocks has lost opens/closes, which must degrade
+/// (counted, warned) rather than poison the graph.
+fn store_graph(
+    reader: &mut StoreReader<std::io::BufReader<std::fs::File>>,
+    name: &str,
+    err: &mut String,
+) -> Result<spm_core::CallLoopGraph, CliError> {
+    let mut profiler = CallLoopProfiler::lenient();
+    {
+        let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut profiler];
+        store_replay(reader, &mut observers, name, err)?;
+    }
+    Ok(profiler.into_graph().map_err(SpmError::Profile)?)
+}
+
 /// Runs a per-workload command over every positional argument, fanning
 /// out across the worker pool (`--jobs`). Buffered outputs are emitted
 /// in argument order — bytes are identical at any worker count — with a
@@ -563,23 +682,38 @@ fn cmd_profile(parsed: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Moves a `--store FILE` value into the positional list, so the batch
+/// machinery (and per-name store detection) handles it uniformly.
+fn with_store_positional(parsed: &ParsedArgs) -> ParsedArgs {
+    let mut p = parsed.clone();
+    if let Some(path) = p.flags.remove("store") {
+        p.positional.push(path);
+    }
+    p
+}
+
 fn cmd_select(parsed: &ParsedArgs) -> Result<(), CliError> {
-    run_batch(parsed, select_one)
+    run_batch(&with_store_positional(parsed), select_one)
 }
 
 fn select_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliError> {
-    let w = target(name)?;
-    let input = input_of(&w, parsed, "train")?;
-    let graph = profile_graph(&w, &input)?;
+    let mut err = String::new();
+    let graph = if is_store_file(name) {
+        store_graph(&mut open_store(name)?, name, &mut err)?
+    } else {
+        let w = target(name)?;
+        let input = input_of(&w, parsed, "train")?;
+        profile_graph(&w, &input)?
+    };
     let config = select_config(parsed)?;
     let outcome = select_markers(&graph, &config);
-    let mut err = format!(
+    err.push_str(&format!(
         "# {} markers from {} candidates (avg CoV {:.2}%, threshold spread {:.2}%)\n",
         outcome.markers.len(),
         outcome.candidate_edges,
         outcome.avg_cov * 100.0,
         outcome.std_cov * 100.0
-    );
+    ));
     if outcome.degenerate_cov
         && spm_obs::warning(
             "select/degenerate-cov",
@@ -595,10 +729,13 @@ fn select_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliError
 }
 
 fn cmd_partition(parsed: &ParsedArgs) -> Result<(), CliError> {
-    run_batch(parsed, partition_one)
+    run_batch(&with_store_positional(parsed), partition_one)
 }
 
 fn partition_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliError> {
+    if is_store_file(name) {
+        return partition_one_store(parsed, name);
+    }
     let w = target(name)?;
     let source = load_or_select_markers(&w, parsed)?;
     let input = input_of(&w, parsed, "ref")?;
@@ -613,8 +750,53 @@ fn partition_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliEr
     };
     let mut err = String::new();
     let vlis = partition_checked(&source, &runtime.firings(), total, ilower, name, &mut err);
+    Ok(render_partition(&vlis, &timeline, err))
+}
+
+/// `partition` off a store: markers come from `--markers FILE`, or are
+/// selected from the stored trace itself (the store holds one run, so
+/// it doubles as the profile). A second replay partitions it.
+fn partition_one_store(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliError> {
+    let mut reader = open_store(name)?;
+    let mut err = String::new();
+    let source = if let Some(path) = parsed.flags.get("markers") {
+        let text = std::fs::read_to_string(path).map_err(|e| SpmError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        let markers = parse_markers(&text).map_err(|e| SpmError::Parse {
+            source: path.clone(),
+            error: e,
+        })?;
+        MarkerSource {
+            markers,
+            degenerate_cov: false,
+        }
+    } else {
+        let graph = store_graph(&mut reader, name, &mut err)?;
+        let outcome = select_markers(&graph, &select_config(parsed)?);
+        MarkerSource {
+            markers: outcome.markers,
+            degenerate_cov: outcome.degenerate_cov,
+        }
+    };
+    let ilower = parsed.u64_flag("ilower", 10_000)?;
+    let mut runtime = MarkerRuntime::new(&source.markers);
+    let mut timeline = Timeline::with_defaults(1_000);
+    {
+        let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut runtime, &mut timeline];
+        store_replay(&mut reader, &mut observers, name, &mut err)?;
+    }
+    let total = reader.info().total_icount;
+    let vlis = partition_checked(&source, &runtime.firings(), total, ilower, name, &mut err);
+    Ok(render_partition(&vlis, &timeline, err))
+}
+
+/// Shared tail of the flat and store partition paths, so both render
+/// byte-identical tables.
+fn render_partition(vlis: &[Vli], timeline: &Timeline, mut err: String) -> CommandOutput {
     let mut out = String::from("begin\tend\tphase\tcpi\tdl1_miss\n");
-    for v in &vlis {
+    for v in vlis {
         out.push_str(&format!(
             "{}\t{}\t{}\t{:.4}\t{:.4}\n",
             v.begin,
@@ -627,8 +809,8 @@ fn partition_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliEr
     err.push_str(&format!(
         "# {} intervals, {} phases, avg length {:.0} instrs\n",
         vlis.len(),
-        spm_core::marker::phase_count(&vlis),
-        spm_core::marker::avg_interval_len(&vlis)
+        spm_core::marker::phase_count(vlis),
+        spm_core::marker::avg_interval_len(vlis)
     ));
     let mut lengths = spm_stats::LogHistogram::new();
     lengths.extend(vlis.iter().map(|v| v.len()));
@@ -636,7 +818,7 @@ fn partition_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliEr
         "# interval length distribution:\n{}",
         indent(&lengths.render())
     ));
-    Ok(CommandOutput { out, err })
+    CommandOutput { out, err }
 }
 
 /// Seed for the CLI's BBV clustering (the bench suite's analysis seed,
@@ -644,18 +826,33 @@ fn partition_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliEr
 const SIMPOINT_SEED: u64 = 0x5051_2006;
 
 fn cmd_simpoint(parsed: &ParsedArgs) -> Result<(), CliError> {
-    run_batch(parsed, simpoint_one)
+    run_batch(&with_store_positional(parsed), simpoint_one)
 }
 
 fn simpoint_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliError> {
-    let w = target(name)?;
-    let input = input_of(&w, parsed, "ref")?;
     let interval = parsed.u64_flag("interval", 10_000)?.max(1);
     let kmax = (parsed.u64_flag("kmax", 10)?.max(1)) as usize;
-    let mut collector =
-        spm_bbv::IntervalBbvCollector::new(&w.program, spm_bbv::Boundaries::Fixed(interval));
-    run(&w.program, &input, &mut [&mut collector]).map_err(SpmError::Run)?;
-    let intervals = collector.into_intervals();
+    let mut err = String::new();
+    let intervals = if is_store_file(name) {
+        let mut reader = open_store(name)?;
+        // Trace-only mode: BBV width comes from the footer's recorded
+        // block-id space (growing if the footer predates the program).
+        let dims = reader.info().block_dims as usize;
+        let mut collector =
+            spm_bbv::IntervalBbvCollector::for_trace(dims, spm_bbv::Boundaries::Fixed(interval));
+        {
+            let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut collector];
+            store_replay(&mut reader, &mut observers, name, &mut err)?;
+        }
+        collector.into_intervals()
+    } else {
+        let w = target(name)?;
+        let input = input_of(&w, parsed, "ref")?;
+        let mut collector =
+            spm_bbv::IntervalBbvCollector::new(&w.program, spm_bbv::Boundaries::Fixed(interval));
+        run(&w.program, &input, &mut [&mut collector]).map_err(SpmError::Run)?;
+        collector.into_intervals()
+    };
     let vectors: Vec<Vec<f64>> = intervals.iter().map(|iv| iv.bbv.clone()).collect();
     let weights: Vec<f64> = intervals.iter().map(|iv| iv.len() as f64).collect();
     let dims = 15.min(vectors.first().map_or(1, Vec::len).max(1));
@@ -676,13 +873,13 @@ fn simpoint_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliErr
             info.representative, iv.begin, iv.end, info.weight
         ));
     }
-    let err = format!(
+    err.push_str(&format!(
         "# {} intervals of {} instrs -> k={} phases (coverage {:.2})\n",
         intervals.len(),
         interval,
         sp.k,
         sp.coverage()
-    );
+    ));
     Ok(CommandOutput { out, err })
 }
 
@@ -801,12 +998,23 @@ fn cmd_record(parsed: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Mirrors the library's structured `trace/unverified-v1` warning onto
+/// stderr for headerless legacy traces. Calling it here first means the
+/// CLI's stderr line and the recorded event stay a single occurrence:
+/// the library's own later call dedupes against this one.
+fn warn_unverified_v1(bytes: &[u8]) {
+    if bytes.starts_with(b"spmtrc01") && spm_obs::warning("trace/unverified-v1", &[]) {
+        eprintln!("warning: legacy spmtrc01 trace has no checksum; integrity not verified");
+    }
+}
+
 fn cmd_replay(parsed: &ParsedArgs) -> Result<(), CliError> {
     let path = parsed.positional("tracefile")?;
     let bytes = std::fs::read(path).map_err(|e| SpmError::Io {
         path: path.to_string(),
         message: e.to_string(),
     })?;
+    warn_unverified_v1(&bytes);
     let mut timing = spm_sim::TimingModel::default();
     let events = match spm_sim::record::replay(&bytes, &mut [&mut timing]) {
         Ok(events) => events,
@@ -821,6 +1029,11 @@ fn cmd_replay(parsed: &ParsedArgs) -> Result<(), CliError> {
                 report.valid_bytes,
                 bytes.len()
             );
+            if let (Some(offset), Some(record)) = (report.error_offset, report.error_record) {
+                eprintln!(
+                    "warning: first undecodable record: index {record} at byte offset {offset}"
+                );
+            }
             return Err(SpmError::Trace {
                 source: path.to_string(),
                 error,
@@ -838,6 +1051,90 @@ fn cmd_replay(parsed: &ParsedArgs) -> Result<(), CliError> {
         timing.mispredicts(),
         timing.branches()
     );
+    Ok(())
+}
+
+/// Tracks the static block-id space seen in a trace, sizing the store
+/// footer's `block_dims` when packing from a flat trace (no program).
+#[derive(Default)]
+struct BlockDims(u32);
+
+impl TraceObserver for BlockDims {
+    fn on_event(&mut self, _icount: u64, event: &TraceEvent) {
+        if let TraceEvent::BlockExec { block, .. } = event {
+            self.0 = self.0.max(block.0 + 1);
+        }
+    }
+}
+
+fn cmd_pack(parsed: &ParsedArgs) -> Result<(), CliError> {
+    let name = parsed.positional("workload|tracefile")?;
+    let out = parsed
+        .flags
+        .get("out")
+        .ok_or_else(|| CliError::Usage("pack requires --out FILE".into()))?
+        .clone();
+    let budget =
+        parsed.u64_flag("block-size", spm_store::format::DEFAULT_BLOCK_BUDGET as u64)? as usize;
+    let sink = std::fs::File::create(&out).map_err(|e| SpmError::Io {
+        path: out.clone(),
+        message: e.to_string(),
+    })?;
+    let mut writer = StoreWriter::with_block_budget(std::io::BufWriter::new(sink), budget);
+
+    // A flat trace file repacks directly; anything else is a workload
+    // (built-in or DSL file) executed through the writer.
+    let is_flat_trace = std::path::Path::new(name).is_file()
+        && std::fs::File::open(name)
+            .and_then(|mut f| {
+                let mut magic = [0u8; 6];
+                std::io::Read::read_exact(&mut f, &mut magic)?;
+                Ok(&magic == b"spmtrc")
+            })
+            .unwrap_or(false);
+    if is_flat_trace {
+        let bytes = std::fs::read(name).map_err(|e| SpmError::Io {
+            path: name.to_string(),
+            message: e.to_string(),
+        })?;
+        warn_unverified_v1(&bytes);
+        let mut dims = BlockDims::default();
+        let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut writer, &mut dims];
+        spm_sim::record::replay(&bytes, &mut observers).map_err(|error| SpmError::Trace {
+            source: name.to_string(),
+            error,
+        })?;
+        writer.set_block_dims(dims.0);
+    } else {
+        let w = target(name)?;
+        let input = input_of(&w, parsed, "ref")?;
+        writer.set_block_dims(w.program.block_sizes().len() as u32);
+        run(&w.program, &input, &mut [&mut writer]).map_err(SpmError::Run)?;
+    }
+    let summary = writer.finish().map_err(|e| store_error(&out, e))?;
+    eprintln!(
+        "packed {} events ({} instructions) into {out}: {} blocks, {} bytes",
+        summary.events, summary.total_icount, summary.blocks, summary.file_bytes
+    );
+    Ok(())
+}
+
+fn cmd_info(parsed: &ParsedArgs) -> Result<(), CliError> {
+    let path = parsed.positional("storefile")?;
+    let reader = open_store(path)?;
+    let info = *reader.info();
+    println!("store: {path}");
+    println!("  format:        spmstk01");
+    println!("  blocks:        {}", info.blocks);
+    println!("  events:        {}", info.events);
+    println!("  instructions:  {}", info.total_icount);
+    println!("  block budget:  {} bytes", info.block_budget);
+    println!("  block dims:    {}", info.block_dims);
+    println!("  payload:       {} bytes", info.payload_bytes);
+    println!("  file:          {} bytes", info.file_bytes);
+    if info.recovered_index {
+        eprintln!("warning: footer unreadable; index rebuilt from block frames");
+    }
     Ok(())
 }
 

@@ -1,0 +1,279 @@
+//! End-to-end tests of the `spmstk01` store through the binary:
+//! `pack`, `info`, store auto-detection on the analysis commands,
+//! byte-identity with the flat paths, and corruption degradation.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn spm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spm"))
+        .args(args)
+        .output()
+        .expect("spm binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("spm-store-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// The committed workload corpus the CI gate also runs over.
+const WORKLOAD_FILES: &[&str] = &[
+    "workloads/art.spm",
+    "workloads/example.spm",
+    "workloads/gzip.spm",
+    "workloads/streamjoin.spm",
+];
+
+fn workload_path(rel: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push(rel);
+    assert!(p.is_file(), "missing committed workload {rel}");
+    p.to_str().expect("utf8 path").to_string()
+}
+
+/// Packs `workload` (with the given input) and returns the store path.
+fn pack(workload: &str, input: &str, name: &str) -> PathBuf {
+    let store = tmp(name);
+    let out = spm(&[
+        "pack",
+        workload,
+        "--input",
+        input,
+        "--out",
+        store.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "pack failed: {}", stderr(&out));
+    store
+}
+
+#[test]
+fn pack_and_info_over_committed_workloads() {
+    for (i, rel) in WORKLOAD_FILES.iter().enumerate() {
+        let wl = workload_path(rel);
+        let store = pack(&wl, "train", &format!("golden-{i}.spmstk"));
+        let err = stderr(&spm(&[
+            "pack",
+            &wl,
+            "--input",
+            "train",
+            "--out",
+            store.to_str().expect("utf8"),
+        ]));
+        assert!(err.starts_with("packed "), "{rel}: {err}");
+        assert!(err.contains("blocks"), "{rel}: {err}");
+
+        let out = spm(&["info", store.to_str().expect("utf8")]);
+        assert!(out.status.success(), "{rel}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("format:        spmstk01"), "{rel}: {text}");
+        for field in ["blocks:", "events:", "instructions:", "block dims:"] {
+            assert!(text.contains(field), "{rel}: info missing {field}");
+        }
+        // info is deterministic: two packs of the same run describe
+        // the same container byte-for-byte.
+        let again = spm(&["info", store.to_str().expect("utf8")]);
+        assert_eq!(stdout(&again), text, "{rel}: info not deterministic");
+        std::fs::remove_file(&store).ok();
+    }
+}
+
+#[test]
+fn select_from_store_is_byte_identical_to_flat() {
+    for (i, rel) in WORKLOAD_FILES.iter().enumerate() {
+        let wl = workload_path(rel);
+        let store = pack(&wl, "train", &format!("sel-{i}.spmstk"));
+        let flat = spm(&["select", &wl]);
+        assert!(flat.status.success(), "{rel}: {}", stderr(&flat));
+        for jobs in ["1", "4"] {
+            let stored = spm(&[
+                "select",
+                "--store",
+                store.to_str().expect("utf8"),
+                "--jobs",
+                jobs,
+            ]);
+            assert!(stored.status.success(), "{rel}: {}", stderr(&stored));
+            assert_eq!(
+                stdout(&stored),
+                stdout(&flat),
+                "{rel}: store select differs at --jobs {jobs}"
+            );
+            assert_eq!(
+                stderr(&stored),
+                stderr(&flat),
+                "{rel}: store select stderr differs at --jobs {jobs}"
+            );
+        }
+        std::fs::remove_file(&store).ok();
+    }
+}
+
+#[test]
+fn simpoint_from_store_matches_flat() {
+    let wl = workload_path("workloads/example.spm");
+    let store = pack(&wl, "ref", "simpoint.spmstk");
+    let flat = spm(&["simpoint", &wl]);
+    assert!(flat.status.success(), "{}", stderr(&flat));
+    let stored = spm(&["simpoint", store.to_str().expect("utf8")]);
+    assert!(stored.status.success(), "{}", stderr(&stored));
+    assert_eq!(stdout(&stored), stdout(&flat));
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn partition_from_store_produces_intervals() {
+    let wl = workload_path("workloads/gzip.spm");
+    let store = pack(&wl, "ref", "partition.spmstk");
+    let out = spm(&["partition", store.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].starts_with("begin\tend\tphase"), "{text}");
+    assert!(lines.len() > 1, "no intervals: {text}");
+    for line in &lines[1..] {
+        assert_eq!(line.split('\t').count(), 5, "bad row: {line}");
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn corrupt_block_degrades_to_warning_and_exit_zero() {
+    let wl = workload_path("workloads/art.spm");
+    let store = pack(&wl, "train", "corrupt.spmstk");
+    let mut bytes = std::fs::read(&store).expect("read store");
+    // Flip a byte inside the first block's payload (past the 16-byte
+    // header and 40-byte frame).
+    bytes[16 + 40 + 64] ^= 0x55;
+    std::fs::write(&store, &bytes).expect("write corrupted store");
+
+    let out = spm(&["select", "--store", store.to_str().expect("utf8")]);
+    assert!(
+        out.status.success(),
+        "corrupt block must degrade, not fail: {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("store=degraded") && err.contains("skipped_blocks=1"),
+        "missing degradation warning: {err}"
+    );
+    assert!(
+        stdout(&out).starts_with("markers v1"),
+        "still produces markers"
+    );
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn store_files_are_rejected_as_flat_traces_with_typed_error() {
+    let wl = workload_path("workloads/example.spm");
+    let store = pack(&wl, "train", "notflat.spmstk");
+    let out = spm(&["replay", store.to_str().expect("utf8")]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(8), "trace-decode exit code");
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn pack_repacks_flat_traces_and_warns_on_v1() {
+    let trace = tmp("flat.spmtrc");
+    let out = spm(&["record", "mgrid", "--out", trace.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Repack the flat trace into a store; analyses then agree.
+    let store = tmp("repacked.spmstk");
+    let out = spm(&[
+        "pack",
+        trace.to_str().expect("utf8"),
+        "--out",
+        store.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let info = spm(&["info", store.to_str().expect("utf8")]);
+    assert!(info.status.success());
+    assert!(
+        stdout(&info).contains("format:        spmstk01"),
+        "{}",
+        stdout(&info)
+    );
+
+    // A headerless v1 trace still packs, with the unverified warning.
+    let bytes = std::fs::read(&trace).expect("read trace");
+    let mut v1 = b"spmtrc01".to_vec();
+    v1.extend_from_slice(&bytes[32..]); // strip the v2 header
+    let v1_path = tmp("flat-v1.spmtrc");
+    std::fs::write(&v1_path, &v1).expect("write v1 trace");
+    let out = spm(&[
+        "pack",
+        v1_path.to_str().expect("utf8"),
+        "--out",
+        store.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("no checksum; integrity not verified"),
+        "v1 warning missing: {}",
+        stderr(&out)
+    );
+
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&v1_path).ok();
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn replay_of_v1_trace_warns_once_on_stderr() {
+    let trace = tmp("replay-v1.spmtrc");
+    let out = spm(&["record", "mgrid", "--out", trace.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let bytes = std::fs::read(&trace).expect("read trace");
+    let mut v1 = b"spmtrc01".to_vec();
+    v1.extend_from_slice(&bytes[32..]);
+    std::fs::write(&trace, &v1).expect("write v1 trace");
+
+    let out = spm(&["replay", trace.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert_eq!(
+        err.matches("integrity not verified").count(),
+        1,
+        "v1 warning must appear exactly once: {err}"
+    );
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn replay_reports_offset_of_first_undecodable_record() {
+    let trace = tmp("truncated.spmtrc");
+    let out = spm(&["record", "mgrid", "--out", trace.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let bytes = std::fs::read(&trace).expect("read trace");
+    // Chop mid-payload: strict replay fails, prefix recovery reports
+    // where decoding stopped.
+    std::fs::write(&trace, &bytes[..bytes.len() - 7]).expect("truncate");
+
+    let out = spm(&["replay", trace.to_str().expect("utf8")]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("recovered valid prefix"),
+        "prefix warning missing: {err}"
+    );
+    assert!(
+        err.contains("first undecodable record: index ") && err.contains("at byte offset "),
+        "offset warning missing: {err}"
+    );
+    std::fs::remove_file(&trace).ok();
+}

@@ -59,6 +59,12 @@ pub struct CallLoopProfiler {
     /// profiler: subsequent events are still consumed safely, and the
     /// error surfaces from [`into_graph`](Self::into_graph).
     fault: Option<ProfileError>,
+    /// In lenient mode, structural damage is tolerated (counted in
+    /// `tolerated`) instead of poisoning the profiler.
+    lenient: bool,
+    /// Mismatched closes dropped and frames left dangling (lenient
+    /// mode only).
+    tolerated: u64,
 }
 
 impl Default for CallLoopProfiler {
@@ -75,7 +81,28 @@ impl CallLoopProfiler {
             stack: Vec::new(),
             events: 0,
             fault: None,
+            lenient: false,
+            tolerated: 0,
         }
+    }
+
+    /// Creates a profiler that tolerates a structurally damaged event
+    /// stream — e.g. one replayed from a store with skipped blocks,
+    /// where close events may arrive without their opens (and vice
+    /// versa). Mismatched closes are dropped and frames left open at
+    /// the end are discarded, both counted in
+    /// [`tolerated`](Self::tolerated) instead of poisoning the graph.
+    pub fn lenient() -> Self {
+        Self {
+            lenient: true,
+            ..Self::new()
+        }
+    }
+
+    /// Structural mismatches tolerated so far (always 0 in strict
+    /// mode, which poisons instead).
+    pub fn tolerated(&self) -> u64 {
+        self.tolerated
     }
 
     /// Finishes profiling and returns the graph.
@@ -86,15 +113,24 @@ impl CallLoopProfiler {
     /// a close event that did not match the innermost open frame
     /// (first corruption wins), or frames left open at the end of the
     /// trace. A complete engine run never produces either.
-    pub fn into_graph(self) -> Result<CallLoopGraph, ProfileError> {
+    pub fn into_graph(mut self) -> Result<CallLoopGraph, ProfileError> {
         if let Some(fault) = self.fault {
             return Err(fault);
         }
         if !self.stack.is_empty() {
-            return Err(ProfileError::UnbalancedStack {
-                depth: self.stack.len(),
-                at_event: self.events.saturating_sub(1),
-            });
+            if !self.lenient {
+                return Err(ProfileError::UnbalancedStack {
+                    depth: self.stack.len(),
+                    at_event: self.events.saturating_sub(1),
+                });
+            }
+            // Lenient: frames still open at end-of-trace (their closes
+            // were lost) are discarded without recording traversals.
+            self.tolerated += self.stack.len() as u64;
+            self.stack.clear();
+        }
+        if self.tolerated > 0 && spm_obs::enabled() {
+            spm_obs::counter("graph/tolerated_events", self.tolerated);
         }
         if spm_obs::enabled() {
             let graph = &self.graph;
@@ -152,6 +188,12 @@ impl CallLoopProfiler {
                 );
             }
             found => {
+                if self.lenient {
+                    // The matching open was lost (skipped block):
+                    // drop the close, keep the stack as-is.
+                    self.tolerated += 1;
+                    return;
+                }
                 let found = found.map(|f| f.kind.label());
                 self.poison(ProfileError::MismatchedFrame {
                     closing: kind.label(),
@@ -467,6 +509,42 @@ mod tests {
             ),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn lenient_mode_tolerates_lost_opens_and_closes() {
+        // Simulates a replay that lost a block: the Return for an
+        // unseen Call arrives first (lost open), and a Call's Return is
+        // never seen (lost close).
+        let mut profiler = CallLoopProfiler::lenient();
+        profiler.on_event(3, &TraceEvent::Return { proc: ProcId(7) });
+        profiler.on_event(4, &TraceEvent::Call { proc: ProcId(0) });
+        profiler.on_event(9, &TraceEvent::Return { proc: ProcId(0) });
+        profiler.on_event(10, &TraceEvent::Call { proc: ProcId(1) });
+        assert!(profiler.fault().is_none(), "lenient mode never poisons");
+        // Dropped: body+head closes for the spurious Return (counted
+        // once), plus the two frames ProcId(1) left open.
+        let graph = profiler.into_graph().unwrap();
+        // The completed call recorded its traversals.
+        let head = graph.node_by_key(NodeKey::ProcHead(ProcId(0))).unwrap();
+        let e = graph.edge_between(graph.root(), head).unwrap();
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.avg(), 5.0);
+    }
+
+    #[test]
+    fn lenient_mode_matches_strict_on_clean_traces() {
+        let program = figure1_program();
+        let input = Input::new("t", 42);
+        let mut strict = CallLoopProfiler::new();
+        let mut lenient = CallLoopProfiler::lenient();
+        run(&program, &input, &mut [&mut strict]).unwrap();
+        run(&program, &input, &mut [&mut lenient]).unwrap();
+        assert_eq!(lenient.tolerated(), 0);
+        let strict = strict.into_graph().unwrap();
+        let lenient = lenient.into_graph().unwrap();
+        assert_eq!(strict.nodes().len(), lenient.nodes().len());
+        assert_eq!(strict.edges().len(), lenient.edges().len());
     }
 
     #[test]

@@ -1,18 +1,20 @@
 //! Validation of the committed bench artifact
-//! (`results/BENCH_report.json`, schema `spm-bench/report/v3`).
+//! (`results/BENCH_report.json`, schema `spm-bench/report/v4`).
 //!
-//! The v3 report is the trajectory point the repo commits per PR: for
+//! The v4 report is the trajectory point the repo commits per PR: for
 //! each figure of the suite the repeat count and the median/min/total
-//! wall-clock across repeats, plus the suite-wide simulation
-//! throughput. Like the JSONL stream schema, the validator here is the
-//! *executable* schema: CI runs it against the committed file, and the
-//! writer (`all_figures`) is tested against it, so producer and
-//! consumer cannot drift apart silently.
+//! wall-clock across repeats, the suite-wide simulation throughput,
+//! and (new in v4) the per-decoder ingest throughput of the `spmstk01`
+//! store figure (flat vs store vs parallel store decode). Like the
+//! JSONL stream schema, the validator here is the *executable* schema:
+//! CI runs it against the committed file, and the writer
+//! (`all_figures`) is tested against it, so producer and consumer
+//! cannot drift apart silently.
 
 use spm_obs::jsonl::{parse, Json};
 
 /// Schema identifier of the bench report artifact.
-pub const BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v3";
+pub const BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v4";
 
 fn finite_num(doc: &Json, key: &str) -> Result<f64, String> {
     match doc.get(key) {
@@ -32,14 +34,14 @@ fn positive_int(doc: &Json, key: &str) -> Result<u64, String> {
     }
 }
 
-/// Validates a `spm-bench/report/v3` document.
+/// Validates a `spm-bench/report/v4` document.
 ///
 /// # Errors
 ///
 /// A human-readable description of the first violation: wrong schema
-/// tag, missing or mistyped keys, non-finite numbers, empty figure
-/// list, or per-figure stats that contradict each other
-/// (`min > median` or `median > total`).
+/// tag, missing or mistyped keys, non-finite numbers, empty figure or
+/// ingest-decoder lists, or per-figure stats that contradict each
+/// other (`min > median` or `median > total`).
 pub fn validate_bench_report(text: &str) -> Result<(), String> {
     let doc = parse(text)?;
     match doc.get("schema").and_then(Json::as_str) {
@@ -68,6 +70,42 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
     let n = finite_num(eps, "n")?;
     if n < 0.0 || n.fract() != 0.0 {
         return Err("`events_per_sec.n` must be a non-negative integer".into());
+    }
+
+    let ingest = match doc.get("ingest") {
+        Some(obj @ Json::Obj(_)) => obj,
+        Some(_) => return Err("`ingest` is not an object".into()),
+        None => return Err("missing `ingest` object".into()),
+    };
+    match ingest.get("workload").and_then(Json::as_str) {
+        Some(w) if !w.is_empty() => {}
+        _ => return Err("`ingest.workload` must be a non-empty string".into()),
+    }
+    let Some(Json::Arr(decoders)) = ingest.get("decoders") else {
+        return Err("missing `ingest.decoders` array".into());
+    };
+    if decoders.is_empty() {
+        return Err("`ingest.decoders` is empty".into());
+    }
+    for (i, dec) in decoders.iter().enumerate() {
+        let at = |message: String| format!("ingest.decoders[{i}]: {message}");
+        let name = dec
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing `name`".into()))?;
+        if name.is_empty() {
+            return Err(at("`name` is empty".into()));
+        }
+        let median = finite_num(dec, "median_events_per_sec").map_err(&at)?;
+        if median < 0.0 {
+            return Err(at(format!(
+                "`median_events_per_sec` is negative ({median})"
+            )));
+        }
+        let n = finite_num(dec, "n").map_err(&at)?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(at("`n` must be a non-negative integer".into()));
+        }
     }
 
     let Some(Json::Arr(figures)) = doc.get("figures") else {
@@ -119,6 +157,11 @@ mod tests {
   "jobs": 4,
   "repeats": 2,
   "events_per_sec": {{"median": 150000000, "n": 12}},
+  "ingest": {{"workload": "gzip", "decoders": [
+    {{"name": "flat", "median_events_per_sec": 90000000, "n": 2}},
+    {{"name": "store", "median_events_per_sec": 85000000, "n": 2}},
+    {{"name": "store-par", "median_events_per_sec": 160000000, "n": 2}}
+  ]}},
   "figures": [
     {{"name": "fig03", "repeats": 2, "median_us": 60000, "min_us": 55000, "total_us": 125000}},
     {{"name": "fig04", "repeats": 2, "median_us": 1500000, "min_us": 1400000, "total_us": 2900000}}
@@ -134,7 +177,7 @@ mod tests {
 
     #[test]
     fn wrong_schema_tag_fails() {
-        let text = sample().replace("report/v3", "timings/v2");
+        let text = sample().replace("report/v4", "timings/v2");
         let err = validate_bench_report(&text).unwrap_err();
         assert!(err.contains("timings/v2"), "{err}");
     }
@@ -174,11 +217,37 @@ mod tests {
     #[test]
     fn empty_figures_fail() {
         let mut text = sample();
-        let start = text.find("[\n").unwrap();
+        let start = text.find("\"figures\": [").unwrap() + "\"figures\": ".len();
         let end = text.rfind(']').unwrap();
         text.replace_range(start..=end, "[]");
         let err = validate_bench_report(&text).unwrap_err();
         assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn missing_ingest_section_fails() {
+        let start = sample().find("  \"ingest\"").unwrap();
+        let mut text = sample();
+        let end = text.find("  \"figures\"").unwrap();
+        text.replace_range(start..end, "");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("ingest"), "{err}");
+    }
+
+    #[test]
+    fn bad_ingest_decoders_fail() {
+        let text = sample().replace(
+            "\"median_events_per_sec\": 85000000",
+            "\"median_events_per_sec\": -1",
+        );
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("ingest.decoders[1]"), "{err}");
+        assert!(err.contains("negative"), "{err}");
+
+        let text = sample().replace("\"name\": \"store-par\", ", "");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("ingest.decoders[2]"), "{err}");
+        assert!(err.contains("name"), "{err}");
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! stream that loads here is exactly a stream the emitting side
 //! considers valid — including the rejection of non-finite metrics.
 //!
-//! [`bench`] additionally validates the `spm-bench/report/v3` artifact
+//! [`bench`] additionally validates the `spm-bench/report/v4` artifact
 //! (`results/BENCH_report.json`) that `all_figures` writes.
 //!
 //! # Example

@@ -74,7 +74,9 @@ mod tag {
     pub const FINISH: u8 = 11;
 }
 
-fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+/// Appends a LEB128 varint to `out` (the integer encoding of the trace
+/// payload format, exposed for the `spm-store` block container).
+pub fn push_varint(out: &mut Vec<u8>, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
@@ -86,7 +88,9 @@ fn push_varint(out: &mut Vec<u8>, mut value: u64) {
     }
 }
 
-fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+/// Reads a LEB128 varint at `*pos`, advancing it; inverse of
+/// [`push_varint`].
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
@@ -267,68 +271,78 @@ impl TraceRecorder {
     }
 }
 
+/// Appends one event (tag byte + varint-encoded payload, instruction
+/// count delta-encoded as `delta`) to `out`.
+///
+/// This is *the* payload encoding shared by the flat `spmtrc02` trace
+/// format and the `spm-store` block container: both call this, so a
+/// block payload is byte-identical to the corresponding slice of a flat
+/// trace payload. Inverse of [`decode_event`].
+pub fn encode_event(out: &mut Vec<u8>, delta: u64, event: &TraceEvent) {
+    match *event {
+        TraceEvent::BlockExec {
+            block,
+            instrs,
+            base_cpi,
+        } => {
+            out.push(tag::BLOCK);
+            push_varint(out, delta);
+            push_varint(out, u64::from(block.0));
+            push_varint(out, u64::from(instrs));
+            out.extend_from_slice(&base_cpi.to_le_bytes());
+        }
+        TraceEvent::MemAccess { addr, write } => {
+            out.push(if write { tag::MEM_WRITE } else { tag::MEM_READ });
+            push_varint(out, delta);
+            push_varint(out, addr);
+        }
+        TraceEvent::Branch { branch, taken } => {
+            out.push(if taken {
+                tag::BRANCH_TAKEN
+            } else {
+                tag::BRANCH_NOT
+            });
+            push_varint(out, delta);
+            push_varint(out, u64::from(branch.0));
+        }
+        TraceEvent::Call { proc } => {
+            out.push(tag::CALL);
+            push_varint(out, delta);
+            push_varint(out, u64::from(proc.0));
+        }
+        TraceEvent::Return { proc } => {
+            out.push(tag::RETURN);
+            push_varint(out, delta);
+            push_varint(out, u64::from(proc.0));
+        }
+        TraceEvent::LoopEnter { loop_id } => {
+            out.push(tag::LOOP_ENTER);
+            push_varint(out, delta);
+            push_varint(out, u64::from(loop_id.0));
+        }
+        TraceEvent::LoopIter { loop_id } => {
+            out.push(tag::LOOP_ITER);
+            push_varint(out, delta);
+            push_varint(out, u64::from(loop_id.0));
+        }
+        TraceEvent::LoopExit { loop_id } => {
+            out.push(tag::LOOP_EXIT);
+            push_varint(out, delta);
+            push_varint(out, u64::from(loop_id.0));
+        }
+        TraceEvent::Finish => {
+            out.push(tag::FINISH);
+            push_varint(out, delta);
+        }
+    }
+}
+
 impl TraceObserver for TraceRecorder {
     fn on_event(&mut self, icount: u64, event: &TraceEvent) {
         self.events += 1;
         let delta = icount.saturating_sub(self.last_icount);
         self.last_icount = icount;
-        let out = &mut self.bytes;
-        match *event {
-            TraceEvent::BlockExec {
-                block,
-                instrs,
-                base_cpi,
-            } => {
-                out.push(tag::BLOCK);
-                push_varint(out, delta);
-                push_varint(out, u64::from(block.0));
-                push_varint(out, u64::from(instrs));
-                out.extend_from_slice(&base_cpi.to_le_bytes());
-            }
-            TraceEvent::MemAccess { addr, write } => {
-                out.push(if write { tag::MEM_WRITE } else { tag::MEM_READ });
-                push_varint(out, delta);
-                push_varint(out, addr);
-            }
-            TraceEvent::Branch { branch, taken } => {
-                out.push(if taken {
-                    tag::BRANCH_TAKEN
-                } else {
-                    tag::BRANCH_NOT
-                });
-                push_varint(out, delta);
-                push_varint(out, u64::from(branch.0));
-            }
-            TraceEvent::Call { proc } => {
-                out.push(tag::CALL);
-                push_varint(out, delta);
-                push_varint(out, u64::from(proc.0));
-            }
-            TraceEvent::Return { proc } => {
-                out.push(tag::RETURN);
-                push_varint(out, delta);
-                push_varint(out, u64::from(proc.0));
-            }
-            TraceEvent::LoopEnter { loop_id } => {
-                out.push(tag::LOOP_ENTER);
-                push_varint(out, delta);
-                push_varint(out, u64::from(loop_id.0));
-            }
-            TraceEvent::LoopIter { loop_id } => {
-                out.push(tag::LOOP_ITER);
-                push_varint(out, delta);
-                push_varint(out, u64::from(loop_id.0));
-            }
-            TraceEvent::LoopExit { loop_id } => {
-                out.push(tag::LOOP_EXIT);
-                push_varint(out, delta);
-                push_varint(out, u64::from(loop_id.0));
-            }
-            TraceEvent::Finish => {
-                out.push(tag::FINISH);
-                push_varint(out, delta);
-            }
-        }
+        encode_event(&mut self.bytes, delta, event);
     }
 }
 
@@ -374,8 +388,9 @@ fn parse_header(bytes: &[u8]) -> Result<Header, DecodeError> {
     })
 }
 
-/// Decodes one event at `*pos`, advancing it past the event.
-fn decode_one(bytes: &[u8], pos: &mut usize) -> Result<(u64, TraceEvent), DecodeError> {
+/// Decodes one event at `*pos`, advancing `*pos` past it. Returns the
+/// instruction-count delta and the event; inverse of [`encode_event`].
+pub fn decode_event(bytes: &[u8], pos: &mut usize) -> Result<(u64, TraceEvent), DecodeError> {
     let tag_at = *pos;
     let &tag_byte = bytes
         .get(tag_at)
@@ -457,6 +472,11 @@ fn decode_one(bytes: &[u8], pos: &mut usize) -> Result<(u64, TraceEvent), Decode
 pub fn replay(bytes: &[u8], observers: &mut [&mut dyn TraceObserver]) -> Result<u64, DecodeError> {
     let mut span = spm_obs::span("sim/replay");
     let header = parse_header(bytes)?;
+    if header.declared.is_none() {
+        // Legacy v1 traces carry no checksum: say so once, through the
+        // structured stream, instead of silently trusting the bytes.
+        spm_obs::warning("trace/unverified-v1", &[]);
+    }
     let payload = &bytes[header.payload_start..];
     let events = if let Some((declared_events, payload_len, checksum)) = header.declared {
         if payload_len != payload.len() as u64 {
@@ -504,7 +524,7 @@ fn replay_payload(
     let mut events = 0u64;
     while pos < bytes.len() {
         let at = pos;
-        let (delta, event) = decode_one(bytes, &mut pos)?;
+        let (delta, event) = decode_event(bytes, &mut pos)?;
         icount = icount
             .checked_add(delta)
             .ok_or(DecodeError::Overflow { offset: at })?;
@@ -530,6 +550,14 @@ pub struct ReplayReport {
     /// declared-count mismatches) are reported here after the full
     /// prefix has been delivered.
     pub error: Option<DecodeError>,
+    /// Byte offset of the first undecodable record, when decoding
+    /// stopped mid-stream (`None` for whole-file integrity failures
+    /// that did not stop decoding, and for intact traces). Callers can
+    /// name *where* the trace went bad, not just that it did.
+    pub error_offset: Option<usize>,
+    /// 0-based index of the first undecodable record, when decoding
+    /// stopped mid-stream (the count of records that did decode).
+    pub error_record: Option<u64>,
 }
 
 /// Decodes the longest valid prefix of a trace, delivering its events,
@@ -548,16 +576,21 @@ pub fn replay_prefix(bytes: &[u8], observers: &mut [&mut dyn TraceObserver]) -> 
                 events: 0,
                 valid_bytes: 0,
                 error: Some(e),
+                error_offset: None,
+                error_record: None,
             }
         }
     };
+    if header.declared.is_none() {
+        spm_obs::warning("trace/unverified-v1", &[]);
+    }
     let mut pos = header.payload_start;
     let mut icount = 0u64;
     let mut events = 0u64;
     let mut error = None;
     while pos < bytes.len() {
         let at = pos;
-        match decode_one(bytes, &mut pos) {
+        match decode_event(bytes, &mut pos) {
             Ok((delta, event)) => match icount.checked_add(delta) {
                 Some(next) => {
                     icount = next;
@@ -579,6 +612,12 @@ pub fn replay_prefix(bytes: &[u8], observers: &mut [&mut dyn TraceObserver]) -> 
             }
         }
     }
+    // When the loop broke, `pos` is the offset of (and `events` the
+    // index of) the first undecodable record.
+    let (error_offset, error_record) = match error {
+        Some(_) => (Some(pos), Some(events)),
+        None => (None, None),
+    };
     if error.is_none() {
         if let Some((declared_events, payload_len, checksum)) = header.declared {
             let payload = &bytes[header.payload_start..];
@@ -605,6 +644,8 @@ pub fn replay_prefix(bytes: &[u8], observers: &mut [&mut dyn TraceObserver]) -> 
         events,
         valid_bytes: pos,
         error,
+        error_offset,
+        error_record,
     }
 }
 
@@ -799,6 +840,10 @@ mod tests {
         assert!(report.events < total);
         assert!(report.valid_bytes <= cut);
         assert!(report.error.is_some(), "truncation must be reported");
+        // The first undecodable record is localized: its byte offset is
+        // where decoding stopped, its index is the delivered count.
+        assert_eq!(report.error_offset, Some(report.valid_bytes));
+        assert_eq!(report.error_record, Some(report.events));
         // The delivered prefix matches the true event stream.
         assert_eq!(partial.0[..], full.0[..report.events as usize]);
     }
@@ -811,6 +856,8 @@ mod tests {
         assert_eq!(report.error, None);
         assert_eq!(report.valid_bytes, trace.len());
         assert_eq!(report.events, sink.0.len() as u64);
+        assert_eq!(report.error_offset, None);
+        assert_eq!(report.error_record, None);
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! The `spmstk01` on-disk layout: constants, checksums, and the
+//! fixed-width framing records (block frame header, index entry,
+//! footer). DESIGN.md §11 is the prose specification of this module.
+//!
+//! ```text
+//! file   := header block* index footer
+//!
+//! header (16 bytes):
+//!   0   8  magic "spmstk01"
+//!   8   4  block budget in bytes, u32 LE (writer's pre-compression
+//!          target; informational)
+//!   12  4  reserved, u32 LE (0)
+//!
+//! block (40-byte frame header + payload):
+//!   0   4  payload length in bytes, u32 LE
+//!   4   4  event count, u32 LE
+//!   8   8  first event sequence number, u64 LE (0-based)
+//!   16  8  start instruction watermark, u64 LE (icount before the
+//!          block's first event; the first delta is relative to it)
+//!   24  8  end instruction watermark, u64 LE (icount after the last)
+//!   32  8  FNV-1a-64 checksum of the payload, u64 LE
+//!   40  —  payload: events encoded exactly as the flat `spmtrc02`
+//!          payload (tag byte + LEB128 varints, icount delta-encoded),
+//!          with the delta base reset to the start watermark
+//!
+//! index (40 bytes per block):
+//!   0   8  file offset of the block frame, u64 LE
+//!   8   8  first event sequence number, u64 LE
+//!   16  8  start instruction watermark, u64 LE
+//!   24  8  end instruction watermark, u64 LE
+//!   32  4  event count, u32 LE
+//!   36  4  payload length, u32 LE
+//!
+//! footer (56 bytes, fixed position at end of file):
+//!   0   8  file offset of the index, u64 LE
+//!   8   8  block count, u64 LE
+//!   16  8  total event count, u64 LE
+//!   24  8  total instruction watermark, u64 LE
+//!   32  8  FNV-1a-64 checksum of the index bytes, u64 LE
+//!   40  4  static block-id space of the traced program, u32 LE
+//!          (0 = unknown; sizes BBVs for trace-only simpoint runs)
+//!   44  4  reserved, u32 LE (0)
+//!   48  8  magic "spmstk01" again (tail magic: cheap truncation check)
+//! ```
+//!
+//! Every multi-byte integer is little-endian. Because blocks reset the
+//! delta base and carry their own start watermark and sequence number,
+//! any block decodes independently of every other — the property the
+//! parallel decoder and the skip-bad-blocks recovery path both rely on.
+
+use spm_sim::record::DecodeError;
+
+/// Magic bytes opening (and closing) an `spmstk01` container.
+pub const MAGIC: &[u8; 8] = b"spmstk01";
+
+/// Magic prefix shared by all store versions.
+pub const MAGIC_PREFIX: &[u8; 6] = b"spmstk";
+
+/// Byte length of the file header.
+pub const HEADER_LEN: usize = 16;
+
+/// Byte length of a block frame header.
+pub const FRAME_LEN: usize = 40;
+
+/// Byte length of one index entry.
+pub const INDEX_ENTRY_LEN: usize = 40;
+
+/// Byte length of the footer.
+pub const FOOTER_LEN: usize = 56;
+
+/// Default pre-compression block budget (~256 KiB of encoded payload).
+pub const DEFAULT_BLOCK_BUDGET: usize = 256 * 1024;
+
+/// FNV-1a 64-bit hash: the checksum of block payloads and of the index
+/// (the same function the flat `spmtrc02` header uses).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+pub(crate) fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(raw)
+}
+
+pub(crate) fn read_u32_le(bytes: &[u8], at: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(raw)
+}
+
+/// Per-block metadata: one index entry (equivalently, one block frame
+/// header minus the checksum plus the file offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// File offset of the block's frame header.
+    pub offset: u64,
+    /// Sequence number (0-based) of the block's first event.
+    pub first_seq: u64,
+    /// Instruction count before the block's first event.
+    pub start_icount: u64,
+    /// Instruction count after the block's last event.
+    pub end_icount: u64,
+    /// Events in the block.
+    pub events: u32,
+    /// Encoded payload bytes.
+    pub payload_len: u32,
+}
+
+impl BlockMeta {
+    /// Sequence number one past the block's last event.
+    pub fn end_seq(self) -> u64 {
+        self.first_seq + u64::from(self.events)
+    }
+
+    /// Serializes the index-entry form.
+    pub fn encode_index_entry(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.first_seq.to_le_bytes());
+        out.extend_from_slice(&self.start_icount.to_le_bytes());
+        out.extend_from_slice(&self.end_icount.to_le_bytes());
+        out.extend_from_slice(&self.events.to_le_bytes());
+        out.extend_from_slice(&self.payload_len.to_le_bytes());
+    }
+
+    /// Parses one index entry; `bytes` must hold at least
+    /// [`INDEX_ENTRY_LEN`] bytes at `at`.
+    pub fn decode_index_entry(bytes: &[u8], at: usize) -> Self {
+        Self {
+            offset: read_u64_le(bytes, at),
+            first_seq: read_u64_le(bytes, at + 8),
+            start_icount: read_u64_le(bytes, at + 16),
+            end_icount: read_u64_le(bytes, at + 24),
+            events: read_u32_le(bytes, at + 32),
+            payload_len: read_u32_le(bytes, at + 36),
+        }
+    }
+
+    /// Serializes the block frame-header form (which carries the
+    /// payload checksum instead of the file offset).
+    pub fn encode_frame(self, checksum: u64, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.payload_len.to_le_bytes());
+        out.extend_from_slice(&self.events.to_le_bytes());
+        out.extend_from_slice(&self.first_seq.to_le_bytes());
+        out.extend_from_slice(&self.start_icount.to_le_bytes());
+        out.extend_from_slice(&self.end_icount.to_le_bytes());
+        out.extend_from_slice(&checksum.to_le_bytes());
+    }
+
+    /// Parses a block frame header at `at` (which becomes the meta's
+    /// offset), returning the meta and the declared payload checksum.
+    pub fn decode_frame(bytes: &[u8; FRAME_LEN], offset: u64) -> (Self, u64) {
+        let meta = Self {
+            offset,
+            payload_len: read_u32_le(bytes, 0),
+            events: read_u32_le(bytes, 4),
+            first_seq: read_u64_le(bytes, 8),
+            start_icount: read_u64_le(bytes, 16),
+            end_icount: read_u64_le(bytes, 24),
+        };
+        (meta, read_u64_le(bytes, 32))
+    }
+}
+
+/// The parsed footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footer {
+    /// File offset of the index.
+    pub index_offset: u64,
+    /// Number of blocks.
+    pub block_count: u64,
+    /// Total events across all blocks.
+    pub total_events: u64,
+    /// Instruction count after the last event.
+    pub total_icount: u64,
+    /// FNV-1a-64 checksum of the index bytes.
+    pub index_checksum: u64,
+    /// Static block-id space of the traced program (0 = unknown).
+    pub block_dims: u32,
+}
+
+impl Footer {
+    /// Serializes the footer (including the tail magic).
+    pub fn encode(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.index_offset.to_le_bytes());
+        out.extend_from_slice(&self.block_count.to_le_bytes());
+        out.extend_from_slice(&self.total_events.to_le_bytes());
+        out.extend_from_slice(&self.total_icount.to_le_bytes());
+        out.extend_from_slice(&self.index_checksum.to_le_bytes());
+        out.extend_from_slice(&self.block_dims.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(MAGIC);
+    }
+
+    /// Parses a footer, verifying the tail magic.
+    pub fn decode(bytes: &[u8; FOOTER_LEN]) -> Result<Self, DecodeError> {
+        if &bytes[48..56] != MAGIC {
+            return Err(DecodeError::Truncated { offset: 48 });
+        }
+        Ok(Self {
+            index_offset: read_u64_le(bytes, 0),
+            block_count: read_u64_le(bytes, 8),
+            total_events: read_u64_le(bytes, 16),
+            total_icount: read_u64_le(bytes, 24),
+            index_checksum: read_u64_le(bytes, 32),
+            block_dims: read_u32_le(bytes, 40),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_meta_round_trips_through_both_framings() {
+        let meta = BlockMeta {
+            offset: 16,
+            first_seq: 1_000_000,
+            start_icount: 42_424_242,
+            end_icount: 43_000_001,
+            events: 65_535,
+            payload_len: 262_144,
+        };
+        let mut entry = Vec::new();
+        meta.encode_index_entry(&mut entry);
+        assert_eq!(entry.len(), INDEX_ENTRY_LEN);
+        assert_eq!(BlockMeta::decode_index_entry(&entry, 0), meta);
+
+        let mut frame = Vec::new();
+        meta.encode_frame(0xdead_beef, &mut frame);
+        assert_eq!(frame.len(), FRAME_LEN);
+        let mut raw = [0u8; FRAME_LEN];
+        raw.copy_from_slice(&frame);
+        assert_eq!(BlockMeta::decode_frame(&raw, 16), (meta, 0xdead_beef));
+    }
+
+    #[test]
+    fn footer_round_trips_and_rejects_bad_tail_magic() {
+        let footer = Footer {
+            index_offset: 123,
+            block_count: 4,
+            total_events: 99,
+            total_icount: 1 << 40,
+            index_checksum: 7,
+            block_dims: 31,
+        };
+        let mut bytes = Vec::new();
+        footer.encode(&mut bytes);
+        assert_eq!(bytes.len(), FOOTER_LEN);
+        let mut raw = [0u8; FOOTER_LEN];
+        raw.copy_from_slice(&bytes);
+        assert_eq!(Footer::decode(&raw), Ok(footer));
+
+        raw[55] ^= 0xff;
+        assert!(Footer::decode(&raw).is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,549 @@
+//! Random access and replay: [`StoreReader`] opens an `spmstk01`
+//! container, verifies its index, and replays events to observers —
+//! sequentially or with parallel block decode — never holding more than
+//! a bounded window of blocks (plus the index) in memory.
+
+use crate::format::{
+    fnv1a64, BlockMeta, Footer, FOOTER_LEN, FRAME_LEN, HEADER_LEN, INDEX_ENTRY_LEN, MAGIC,
+    MAGIC_PREFIX,
+};
+use crate::StoreError;
+use spm_sim::record::{decode_event, DecodeError};
+use spm_sim::{TraceEvent, TraceObserver};
+use std::io::{Read, Seek, SeekFrom};
+
+/// Container-level facts from the header and footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// Blocks in the container.
+    pub blocks: u64,
+    /// Total events.
+    pub events: u64,
+    /// Instruction count after the last event.
+    pub total_icount: u64,
+    /// Writer's block budget in bytes.
+    pub block_budget: u32,
+    /// Static block-id space of the traced program (0 = unknown).
+    pub block_dims: u32,
+    /// Encoded payload bytes across all blocks.
+    pub payload_bytes: u64,
+    /// Container size in bytes.
+    pub file_bytes: u64,
+    /// Whether the index was rebuilt by walking block frames because
+    /// the footer or index was unreadable (a truncated file).
+    pub recovered_index: bool,
+}
+
+/// One skipped block in a [`StoreReplayReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkippedBlock {
+    /// Index of the block in the container (0-based).
+    pub block: u64,
+    /// Events lost with it (from the verified index).
+    pub events: u64,
+    /// Why the block was undecodable.
+    pub error: DecodeError,
+}
+
+/// `ReplayReport`-style summary of a (possibly degraded) store replay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreReplayReport {
+    /// Events decoded and delivered.
+    pub events: u64,
+    /// Blocks decoded and delivered.
+    pub blocks: u64,
+    /// Blocks skipped because their checksum or decode failed
+    /// (delivery continued at the next block).
+    pub skipped: Vec<SkippedBlock>,
+}
+
+impl StoreReplayReport {
+    /// Whether every block was delivered.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+
+    /// Events lost in skipped blocks.
+    pub fn skipped_events(&self) -> u64 {
+        self.skipped.iter().map(|s| s.events).sum()
+    }
+}
+
+/// Reads an `spmstk01` container with bounded memory: the index is
+/// resident; payloads are read one block (sequential replay) or one
+/// decode batch (parallel replay) at a time.
+#[derive(Debug)]
+pub struct StoreReader<R: Read + Seek> {
+    source: R,
+    index: Vec<BlockMeta>,
+    info: StoreInfo,
+}
+
+impl StoreReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a container file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the file cannot be read, or
+    /// [`StoreError::Corrupt`] if it is not a readable `spmstk01`
+    /// container (see [`StoreReader::new`] for the recovery the reader
+    /// attempts first).
+    pub fn open(path: &std::path::Path) -> Result<Self, StoreError> {
+        let file = std::fs::File::open(path).map_err(|e| StoreError::Io {
+            message: e.to_string(),
+        })?;
+        Self::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: Read + Seek> StoreReader<R> {
+    /// Opens a container from any seekable byte source, reading the
+    /// header, footer, and index (verified against its checksum).
+    ///
+    /// A truncated or footer-corrupted file is not fatal: the reader
+    /// falls back to walking block frames from the top and rebuilds the
+    /// index from every frame that chains consistently, so the
+    /// decodable prefix stays reachable ([`StoreInfo::recovered_index`]
+    /// reports this).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on read failures; [`StoreError::Corrupt`] if
+    /// the head magic is wrong (not a store at all) or the version is
+    /// unsupported.
+    pub fn new(mut source: R) -> Result<Self, StoreError> {
+        let io_err = |e: std::io::Error| StoreError::Io {
+            message: e.to_string(),
+        };
+        let file_bytes = source.seek(SeekFrom::End(0)).map_err(io_err)?;
+        source.seek(SeekFrom::Start(0)).map_err(io_err)?;
+        let mut header = [0u8; HEADER_LEN];
+        if file_bytes < HEADER_LEN as u64 {
+            return Err(StoreError::Corrupt {
+                block: None,
+                error: DecodeError::Truncated {
+                    offset: file_bytes as usize,
+                },
+            });
+        }
+        source.read_exact(&mut header).map_err(io_err)?;
+        if &header[..6] != MAGIC_PREFIX {
+            return Err(StoreError::Corrupt {
+                block: None,
+                error: DecodeError::BadMagic,
+            });
+        }
+        if &header[..8] != MAGIC {
+            return Err(StoreError::Corrupt {
+                block: None,
+                error: DecodeError::UnsupportedVersion {
+                    version: [header[6], header[7]],
+                },
+            });
+        }
+        let block_budget = crate::format::read_u32_le(&header, 8);
+
+        match Self::read_footer_index(&mut source, file_bytes) {
+            Ok((footer, index)) => {
+                let payload_bytes = index.iter().map(|m| u64::from(m.payload_len)).sum();
+                Ok(Self {
+                    source,
+                    index,
+                    info: StoreInfo {
+                        blocks: footer.block_count,
+                        events: footer.total_events,
+                        total_icount: footer.total_icount,
+                        block_budget,
+                        block_dims: footer.block_dims,
+                        payload_bytes,
+                        file_bytes,
+                        recovered_index: false,
+                    },
+                })
+            }
+            Err(error) => {
+                // Footer/index unreadable: rebuild what we can by
+                // walking frames, and say so through the structured
+                // stream (once per process and failure shape).
+                spm_obs::warning(
+                    "store/recovered-index",
+                    &[("reason", error.to_string().into())],
+                );
+                let index = Self::walk_frames(&mut source, file_bytes)?;
+                let payload_bytes = index.iter().map(|m| u64::from(m.payload_len)).sum();
+                let events = index.last().map_or(0, |m| m.end_seq());
+                let total_icount = index.last().map_or(0, |m| m.end_icount);
+                let blocks = index.len() as u64;
+                Ok(Self {
+                    source,
+                    index,
+                    info: StoreInfo {
+                        blocks,
+                        events,
+                        total_icount,
+                        block_budget,
+                        block_dims: 0,
+                        payload_bytes,
+                        file_bytes,
+                        recovered_index: true,
+                    },
+                })
+            }
+        }
+    }
+
+    /// Reads and verifies the footer and index.
+    fn read_footer_index(
+        source: &mut R,
+        file_bytes: u64,
+    ) -> Result<(Footer, Vec<BlockMeta>), StoreError> {
+        let io_err = |e: std::io::Error| StoreError::Io {
+            message: e.to_string(),
+        };
+        let corrupt = |error: DecodeError| StoreError::Corrupt { block: None, error };
+        if file_bytes < (HEADER_LEN + FOOTER_LEN) as u64 {
+            return Err(corrupt(DecodeError::Truncated {
+                offset: file_bytes as usize,
+            }));
+        }
+        source
+            .seek(SeekFrom::Start(file_bytes - FOOTER_LEN as u64))
+            .map_err(io_err)?;
+        let mut raw = [0u8; FOOTER_LEN];
+        source.read_exact(&mut raw).map_err(io_err)?;
+        let footer = Footer::decode(&raw).map_err(corrupt)?;
+        let index_len = footer
+            .block_count
+            .checked_mul(INDEX_ENTRY_LEN as u64)
+            .filter(|len| {
+                footer.index_offset >= HEADER_LEN as u64
+                    && footer.index_offset + len + FOOTER_LEN as u64 == file_bytes
+            })
+            .ok_or_else(|| {
+                corrupt(DecodeError::LengthMismatch {
+                    declared: footer.block_count,
+                    actual: file_bytes,
+                })
+            })?;
+        source
+            .seek(SeekFrom::Start(footer.index_offset))
+            .map_err(io_err)?;
+        let mut index_bytes = vec![0u8; index_len as usize];
+        source.read_exact(&mut index_bytes).map_err(io_err)?;
+        let actual = fnv1a64(&index_bytes);
+        if actual != footer.index_checksum {
+            return Err(corrupt(DecodeError::ChecksumMismatch {
+                expected: footer.index_checksum,
+                actual,
+            }));
+        }
+        let index = (0..footer.block_count as usize)
+            .map(|i| BlockMeta::decode_index_entry(&index_bytes, i * INDEX_ENTRY_LEN))
+            .collect();
+        Ok((footer, index))
+    }
+
+    /// Fallback for files without a readable footer: walk block frames
+    /// from the top, keeping every frame that chains consistently
+    /// (monotonic sequence numbers and watermarks), and stop at the
+    /// first frame that does not.
+    fn walk_frames(source: &mut R, file_bytes: u64) -> Result<Vec<BlockMeta>, StoreError> {
+        let io_err = |e: std::io::Error| StoreError::Io {
+            message: e.to_string(),
+        };
+        let mut index = Vec::new();
+        let mut offset = HEADER_LEN as u64;
+        let mut next_seq = 0u64;
+        let mut next_icount = 0u64;
+        while offset + FRAME_LEN as u64 <= file_bytes {
+            source.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+            let mut raw = [0u8; FRAME_LEN];
+            source.read_exact(&mut raw).map_err(io_err)?;
+            let (meta, _checksum) = BlockMeta::decode_frame(&raw, offset);
+            let end = offset + FRAME_LEN as u64 + u64::from(meta.payload_len);
+            let chains = meta.first_seq == next_seq
+                && meta.start_icount == next_icount
+                && meta.end_icount >= meta.start_icount
+                && meta.events > 0
+                && end <= file_bytes;
+            if !chains {
+                break;
+            }
+            next_seq = meta.end_seq();
+            next_icount = meta.end_icount;
+            index.push(meta);
+            offset = end;
+        }
+        Ok(index)
+    }
+
+    /// Container-level facts.
+    pub fn info(&self) -> &StoreInfo {
+        &self.info
+    }
+
+    /// The verified (or rebuilt) block index.
+    pub fn index(&self) -> &[BlockMeta] {
+        &self.index
+    }
+
+    /// The block containing event sequence number `seq`, by binary
+    /// search — the O(log B) seek of the footer index.
+    pub fn block_for_seq(&self, seq: u64) -> Option<usize> {
+        if seq >= self.index.last()?.end_seq() {
+            return None;
+        }
+        Some(self.index.partition_point(|m| m.end_seq() <= seq))
+    }
+
+    /// The first block whose events reach past dynamic instruction
+    /// offset `icount`, by binary search.
+    pub fn block_for_icount(&self, icount: u64) -> Option<usize> {
+        if icount >= self.index.last()?.end_icount {
+            return None;
+        }
+        Some(self.index.partition_point(|m| m.end_icount <= icount))
+    }
+
+    /// Reads one block's payload (without decoding), verifying its
+    /// frame header against the index and its payload checksum.
+    fn read_block(&mut self, block: usize) -> Result<Vec<u8>, DecodeError> {
+        let meta = self.index[block];
+        let io_trunc = |_| DecodeError::Truncated {
+            offset: meta.offset as usize,
+        };
+        self.source
+            .seek(SeekFrom::Start(meta.offset))
+            .map_err(io_trunc)?;
+        let mut raw = [0u8; FRAME_LEN];
+        self.source.read_exact(&mut raw).map_err(io_trunc)?;
+        let (frame_meta, declared) = BlockMeta::decode_frame(&raw, meta.offset);
+        if frame_meta != meta {
+            // The frame header disagrees with the verified index: the
+            // frame bytes are damaged.
+            return Err(DecodeError::LengthMismatch {
+                declared: u64::from(frame_meta.payload_len),
+                actual: u64::from(meta.payload_len),
+            });
+        }
+        let mut payload = vec![0u8; meta.payload_len as usize];
+        self.source.read_exact(&mut payload).map_err(io_trunc)?;
+        let actual = fnv1a64(&payload);
+        if actual != declared {
+            return Err(DecodeError::ChecksumMismatch {
+                expected: declared,
+                actual,
+            });
+        }
+        Ok(payload)
+    }
+
+    /// Replays every event to the observers in order, one block at a
+    /// time (peak trace memory: one block payload plus its decoded
+    /// events). Undecodable blocks are skipped with a structured
+    /// `store/skipped-block` warning; delivery resumes at the next
+    /// block, whose metadata restores the sequence and instruction
+    /// watermarks.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] only; corruption degrades to skips, reported
+    /// in the [`StoreReplayReport`].
+    pub fn replay(
+        &mut self,
+        observers: &mut [&mut dyn TraceObserver],
+    ) -> Result<StoreReplayReport, StoreError> {
+        self.replay_blocks(0, 0, observers)
+    }
+
+    /// Replays all events with sequence number `>= seq`: seeks to the
+    /// containing block (O(log B)), then streams to the end. Sequence
+    /// numbers past the end deliver nothing.
+    pub fn replay_from_seq(
+        &mut self,
+        seq: u64,
+        observers: &mut [&mut dyn TraceObserver],
+    ) -> Result<StoreReplayReport, StoreError> {
+        match self.block_for_seq(seq) {
+            Some(block) => self.replay_blocks(block, seq, observers),
+            None => Ok(StoreReplayReport::default()),
+        }
+    }
+
+    /// Replays every event from the first block whose events reach past
+    /// dynamic instruction offset `icount` (block-granular: the block's
+    /// earlier events are delivered too, so observers see consistent
+    /// per-block state).
+    pub fn replay_from_icount(
+        &mut self,
+        icount: u64,
+        observers: &mut [&mut dyn TraceObserver],
+    ) -> Result<StoreReplayReport, StoreError> {
+        match self.block_for_icount(icount) {
+            Some(block) => self.replay_blocks(block, 0, observers),
+            None => Ok(StoreReplayReport::default()),
+        }
+    }
+
+    fn replay_blocks(
+        &mut self,
+        first_block: usize,
+        min_seq: u64,
+        observers: &mut [&mut dyn TraceObserver],
+    ) -> Result<StoreReplayReport, StoreError> {
+        let mut span = spm_obs::span("store/replay");
+        let mut report = StoreReplayReport::default();
+        for block in first_block..self.index.len() {
+            let meta = self.index[block];
+            let payload = match self.read_block(block) {
+                Ok(payload) => payload,
+                Err(error) => {
+                    skip_block(&mut report, block as u64, meta, error);
+                    continue;
+                }
+            };
+            match deliver_block(&payload, meta, min_seq, observers) {
+                Ok(events) => {
+                    report.events += events;
+                    report.blocks += 1;
+                }
+                Err(error) => skip_block(&mut report, block as u64, meta, error),
+            }
+        }
+        finish_replay_span(&mut span, &report);
+        Ok(report)
+    }
+
+    /// Like [`replay`](Self::replay), but fans block decoding out over
+    /// the `spm-par` worker pool in bounded batches while delivering
+    /// events to the observers strictly in order. Peak trace memory is
+    /// O(batch × block size); output is byte-identical to the
+    /// sequential path at any worker count.
+    pub fn par_replay(
+        &mut self,
+        observers: &mut [&mut dyn TraceObserver],
+    ) -> Result<StoreReplayReport, StoreError> {
+        let mut span = spm_obs::span("store/par_replay");
+        let jobs = spm_par::default_jobs().max(1);
+        let batch = jobs * 2;
+        let mut report = StoreReplayReport::default();
+        let mut block = 0usize;
+        while block < self.index.len() {
+            let upper = (block + batch).min(self.index.len());
+            // Serial I/O: read the batch's payloads (checksum-verified).
+            let mut payloads: Vec<(u64, BlockMeta, Result<Vec<u8>, DecodeError>)> = Vec::new();
+            for b in block..upper {
+                let meta = self.index[b];
+                payloads.push((b as u64, meta, self.read_block(b)));
+            }
+            // Parallel decode: each block decodes independently thanks
+            // to its per-block delta base and sequence watermark.
+            let decoded = spm_par::par_map(&payloads, |(_, meta, payload)| match payload {
+                Ok(payload) => decode_block(payload, *meta),
+                Err(error) => Err(*error),
+            });
+            // In-order delivery.
+            for ((b, meta, _), events) in payloads.iter().zip(decoded) {
+                match events {
+                    Ok(events) => {
+                        for (icount, event) in &events {
+                            for obs in observers.iter_mut() {
+                                obs.on_event(*icount, event);
+                            }
+                        }
+                        report.events += events.len() as u64;
+                        report.blocks += 1;
+                    }
+                    Err(error) => skip_block(&mut report, *b, *meta, error),
+                }
+            }
+            block = upper;
+        }
+        finish_replay_span(&mut span, &report);
+        Ok(report)
+    }
+}
+
+/// Decodes one verified payload into its event list, checking the
+/// block's declared event count and end watermark.
+fn decode_block(payload: &[u8], meta: BlockMeta) -> Result<Vec<(u64, TraceEvent)>, DecodeError> {
+    let _span = spm_obs::span("store/decode_block");
+    let mut events = Vec::with_capacity(meta.events as usize);
+    let mut pos = 0usize;
+    let mut icount = meta.start_icount;
+    while pos < payload.len() {
+        let at = pos;
+        let (delta, event) = decode_event(payload, &mut pos)?;
+        icount = icount
+            .checked_add(delta)
+            .ok_or(DecodeError::Overflow { offset: at })?;
+        events.push((icount, event));
+    }
+    if events.len() as u64 != u64::from(meta.events) {
+        return Err(DecodeError::EventCountMismatch {
+            declared: u64::from(meta.events),
+            actual: events.len() as u64,
+        });
+    }
+    if icount != meta.end_icount {
+        return Err(DecodeError::EventCountMismatch {
+            declared: meta.end_icount,
+            actual: icount,
+        });
+    }
+    Ok(events)
+}
+
+/// Decodes a verified payload and delivers it, skipping events with
+/// sequence number below `min_seq` (for seek-to-sequence replays).
+fn deliver_block(
+    payload: &[u8],
+    meta: BlockMeta,
+    min_seq: u64,
+    observers: &mut [&mut dyn TraceObserver],
+) -> Result<u64, DecodeError> {
+    let events = decode_block(payload, meta)?;
+    let mut delivered = 0u64;
+    for (i, (icount, event)) in events.iter().enumerate() {
+        if meta.first_seq + i as u64 >= min_seq {
+            for obs in observers.iter_mut() {
+                obs.on_event(*icount, event);
+            }
+            delivered += 1;
+        }
+    }
+    Ok(delivered)
+}
+
+/// Records a skipped block in the report and the structured stream.
+fn skip_block(report: &mut StoreReplayReport, block: u64, meta: BlockMeta, error: DecodeError) {
+    spm_obs::warning(
+        "store/skipped-block",
+        &[
+            ("block", block.into()),
+            ("events", u64::from(meta.events).into()),
+            ("reason", error.to_string().into()),
+        ],
+    );
+    report.skipped.push(SkippedBlock {
+        block,
+        events: u64::from(meta.events),
+        error,
+    });
+}
+
+fn finish_replay_span(span: &mut spm_obs::Span, report: &StoreReplayReport) {
+    if span.is_live() {
+        span.field("blocks", report.blocks);
+        span.field("events", report.events);
+        span.field("skipped_blocks", report.skipped.len() as u64);
+        let secs = span.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            spm_obs::gauge("store/replay_events_per_sec", report.events as f64 / secs);
+        }
+    }
+    if !report.skipped.is_empty() {
+        spm_obs::counter("store/skipped_blocks", report.skipped.len() as u64);
+        spm_obs::counter("store/skipped_events", report.skipped_events());
+    }
+}

@@ -1,0 +1,231 @@
+//! Streaming ingest: [`StoreWriter`] encodes an event stream into
+//! `spmstk01` blocks as it arrives, holding only the current block (plus
+//! the growing index) in memory.
+
+use crate::format::{fnv1a64, BlockMeta, Footer, DEFAULT_BLOCK_BUDGET, HEADER_LEN, MAGIC};
+use crate::StoreError;
+use spm_sim::record::encode_event;
+use spm_sim::{TraceEvent, TraceObserver};
+use std::io::Write;
+
+/// What [`StoreWriter::finish`] reports about the finished container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Blocks written.
+    pub blocks: u64,
+    /// Events written.
+    pub events: u64,
+    /// Instruction count after the last event.
+    pub total_icount: u64,
+    /// Encoded payload bytes (excluding framing, index, footer).
+    pub payload_bytes: u64,
+    /// Total container size in bytes.
+    pub file_bytes: u64,
+}
+
+/// A [`TraceObserver`] that streams the event stream into an
+/// `spmstk01` container with bounded memory.
+///
+/// Events are encoded into the current block buffer; once the buffer
+/// reaches the block budget it is framed, checksummed, and written to
+/// the sink. [`finish`](Self::finish) flushes the final partial block
+/// and appends the index and footer. The observer interface has no
+/// error channel, so a sink failure poisons the writer ([`fault`]
+/// returns it mid-run) and surfaces from `finish` — mirroring
+/// `CallLoopProfiler`'s contract.
+///
+/// [`fault`]: Self::fault
+#[derive(Debug)]
+pub struct StoreWriter<W: Write> {
+    sink: W,
+    budget: usize,
+    /// Encoded payload of the block being filled.
+    block: Vec<u8>,
+    block_events: u32,
+    /// Sequence number of the current block's first event.
+    first_seq: u64,
+    /// Instruction watermark before the current block's first event.
+    start_icount: u64,
+    /// Instruction watermark after the last event seen.
+    last_icount: u64,
+    /// Total events seen.
+    seq: u64,
+    /// Bytes written to the sink so far (= offset of the next write).
+    written: u64,
+    index: Vec<BlockMeta>,
+    block_dims: u32,
+    header_written: bool,
+    fault: Option<String>,
+}
+
+impl<W: Write> StoreWriter<W> {
+    /// Creates a writer with the default ~256 KiB block budget. The
+    /// header is written lazily on the first event (or at `finish`), so
+    /// construction cannot fail.
+    pub fn new(sink: W) -> Self {
+        Self::with_block_budget(sink, DEFAULT_BLOCK_BUDGET)
+    }
+
+    /// Creates a writer with an explicit pre-compression block budget
+    /// in bytes (clamped to at least 64: a block always holds at least
+    /// one event, and pathological budgets would write one frame per
+    /// event).
+    pub fn with_block_budget(sink: W, budget: usize) -> Self {
+        Self {
+            sink,
+            budget: budget.max(64),
+            block: Vec::with_capacity(budget.clamp(64, DEFAULT_BLOCK_BUDGET) + 64),
+            block_events: 0,
+            first_seq: 0,
+            start_icount: 0,
+            last_icount: 0,
+            seq: 0,
+            written: 0,
+            index: Vec::new(),
+            block_dims: 0,
+            header_written: false,
+            fault: None,
+        }
+    }
+
+    /// Declares the static block-id space of the traced program
+    /// (`Program::block_sizes().len()`), recorded in the footer so BBV
+    /// analyses can size vectors without the program. 0 means unknown.
+    pub fn set_block_dims(&mut self, dims: u32) {
+        self.block_dims = dims;
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.seq
+    }
+
+    /// Blocks flushed so far (excluding the one being filled).
+    pub fn blocks(&self) -> u64 {
+        self.index.len() as u64
+    }
+
+    /// The first sink error, if the writer is poisoned (available
+    /// mid-run; [`finish`](Self::finish) returns it too).
+    pub fn fault(&self) -> Option<&str> {
+        self.fault.as_deref()
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) {
+        if self.fault.is_some() {
+            return;
+        }
+        match self.sink.write_all(bytes) {
+            Ok(()) => self.written += bytes.len() as u64,
+            Err(e) => self.fault = Some(e.to_string()),
+        }
+    }
+
+    fn ensure_header(&mut self) {
+        if self.header_written {
+            return;
+        }
+        self.header_written = true;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&(self.budget as u32).to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        self.write_all(&header);
+    }
+
+    /// Frames and writes the current block, if it holds any events.
+    fn flush_block(&mut self) {
+        if self.block_events == 0 {
+            return;
+        }
+        let mut span = spm_obs::span("store/encode_block");
+        self.ensure_header();
+        let meta = BlockMeta {
+            offset: self.written,
+            first_seq: self.first_seq,
+            start_icount: self.start_icount,
+            end_icount: self.last_icount,
+            events: self.block_events,
+            payload_len: self.block.len() as u32,
+        };
+        let mut frame = Vec::with_capacity(crate::format::FRAME_LEN);
+        meta.encode_frame(fnv1a64(&self.block), &mut frame);
+        self.write_all(&frame);
+        let payload = std::mem::take(&mut self.block);
+        self.write_all(&payload);
+        self.block = payload;
+        if span.is_live() {
+            span.field("bytes", self.block.len() as u64);
+            span.field("events", u64::from(self.block_events));
+        }
+        self.block.clear();
+        self.index.push(meta);
+        self.block_events = 0;
+        self.first_seq = self.seq;
+        self.start_icount = self.last_icount;
+    }
+
+    /// Flushes the final block, writes the index and footer, and
+    /// returns the container summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if any write failed, now or earlier
+    /// during recording (first failure wins).
+    pub fn finish(mut self) -> Result<StoreSummary, StoreError> {
+        self.flush_block();
+        self.ensure_header();
+        let index_offset = self.written;
+        let mut index_bytes = Vec::with_capacity(self.index.len() * crate::format::INDEX_ENTRY_LEN);
+        for meta in &self.index {
+            meta.encode_index_entry(&mut index_bytes);
+        }
+        self.write_all(&index_bytes);
+        let footer = Footer {
+            index_offset,
+            block_count: self.index.len() as u64,
+            total_events: self.seq,
+            total_icount: self.last_icount,
+            index_checksum: fnv1a64(&index_bytes),
+            block_dims: self.block_dims,
+        };
+        let mut footer_bytes = Vec::with_capacity(crate::format::FOOTER_LEN);
+        footer.encode(&mut footer_bytes);
+        self.write_all(&footer_bytes);
+        if let Err(e) = self.sink.flush() {
+            if self.fault.is_none() {
+                self.fault = Some(e.to_string());
+            }
+        }
+        if let Some(message) = self.fault {
+            return Err(StoreError::Io { message });
+        }
+        let payload_bytes = self.index.iter().map(|m| u64::from(m.payload_len)).sum();
+        if spm_obs::enabled() {
+            spm_obs::counter("store/blocks", self.index.len() as u64);
+            spm_obs::counter("store/bytes", self.written);
+            spm_obs::counter("store/events", self.seq);
+        }
+        Ok(StoreSummary {
+            blocks: self.index.len() as u64,
+            events: self.seq,
+            total_icount: self.last_icount,
+            payload_bytes,
+            file_bytes: self.written,
+        })
+    }
+}
+
+impl<W: Write> TraceObserver for StoreWriter<W> {
+    fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+        let delta = icount.saturating_sub(self.last_icount);
+        self.last_icount = self.last_icount.max(icount);
+        encode_event(&mut self.block, delta, event);
+        self.block_events += 1;
+        self.seq += 1;
+        // Flush on budget; u32 framing also caps events per block.
+        if self.block.len() >= self.budget || self.block_events == u32::MAX {
+            self.flush_block();
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Round-trip, seek, parallel-decode, and corruption-recovery tests
+//! for the `spmstk01` container, against real simulator event streams.
+
+use proptest::prelude::*;
+use spm_ir::{Input, Program, ProgramBuilder, Trip};
+use spm_sim::{run, TraceEvent, TraceObserver};
+use spm_store::format::{FOOTER_LEN, FRAME_LEN};
+use spm_store::{StoreReader, StoreWriter};
+use std::io::Cursor;
+
+/// Records every delivered event, for byte-for-byte comparisons.
+#[derive(Default)]
+struct Collect(Vec<(u64, TraceEvent)>);
+
+impl TraceObserver for Collect {
+    fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+        self.0.push((icount, *event));
+    }
+}
+
+/// A program with calls, nested loops, and branches — every structural
+/// event kind the encoder handles.
+fn program() -> Program {
+    let mut b = ProgramBuilder::new("roundtrip");
+    b.proc("main", |p| {
+        p.loop_(Trip::Fixed(60), |outer| {
+            outer.if_prob(0.5, |t| t.call("work"), |e| e.call("rest"));
+        });
+        p.call("work");
+    });
+    b.proc("work", |p| {
+        p.block(13).done();
+        p.loop_(Trip::Fixed(5), |inner| {
+            inner.block(7).done();
+        });
+        p.call("leaf");
+    });
+    b.proc("rest", |p| {
+        p.block(29).done();
+    });
+    b.proc("leaf", |p| {
+        p.block(3).done();
+    });
+    b.build("main").expect("valid program")
+}
+
+/// Runs the program, packing into a store with the given block budget
+/// and collecting the flat event list on the side.
+fn pack(budget: usize, seed: u64) -> (Vec<u8>, Vec<(u64, TraceEvent)>) {
+    let prog = program();
+    let mut flat = Collect::default();
+    let mut bytes = Vec::new();
+    let mut writer = StoreWriter::with_block_budget(&mut bytes, budget);
+    run(&prog, &Input::new("t", seed), &mut [&mut flat, &mut writer]).expect("sim run");
+    let summary = writer.finish().expect("finish");
+    assert_eq!(summary.events, flat.0.len() as u64);
+    (bytes, flat.0)
+}
+
+fn open(bytes: Vec<u8>) -> StoreReader<Cursor<Vec<u8>>> {
+    StoreReader::new(Cursor::new(bytes)).expect("open store")
+}
+
+#[test]
+fn replay_matches_direct_observation() {
+    let (bytes, flat) = pack(256, 42);
+    let mut reader = open(bytes);
+    assert!(reader.info().blocks > 3, "budget must force many blocks");
+    assert_eq!(reader.info().events, flat.len() as u64);
+    let mut got = Collect::default();
+    let report = reader.replay(&mut [&mut got]).expect("replay");
+    assert!(report.is_clean());
+    assert_eq!(report.events, flat.len() as u64);
+    assert_eq!(got.0, flat);
+}
+
+#[test]
+fn par_replay_matches_sequential_replay() {
+    let (bytes, flat) = pack(256, 7);
+    let mut seq = Collect::default();
+    let mut par = Collect::default();
+    open(bytes.clone()).replay(&mut [&mut seq]).expect("replay");
+    let report = open(bytes).par_replay(&mut [&mut par]).expect("par_replay");
+    assert!(report.is_clean());
+    assert_eq!(par.0, seq.0);
+    assert_eq!(par.0, flat);
+}
+
+#[test]
+fn info_reflects_the_stream() {
+    let (bytes, flat) = pack(512, 3);
+    let reader = open(bytes.clone());
+    let info = *reader.info();
+    assert_eq!(info.events, flat.len() as u64);
+    assert_eq!(info.total_icount, flat.last().expect("events").0);
+    assert_eq!(info.file_bytes, bytes.len() as u64);
+    assert_eq!(info.block_budget, 512);
+    assert!(!info.recovered_index);
+}
+
+#[test]
+fn truncated_footer_recovers_block_prefix() {
+    let (bytes, flat) = pack(256, 11);
+    let reader = open(bytes.clone());
+    let kept_blocks = 3.min(reader.index().len());
+    let cut = reader.index()[kept_blocks - 1];
+    let kept_events = cut.end_seq();
+    drop(reader);
+    // Cut the file just past block `kept_blocks - 1`: no index, no
+    // footer, later blocks gone.
+    let cut_at = (cut.offset + FRAME_LEN as u64 + u64::from(cut.payload_len)) as usize;
+    let mut truncated = bytes;
+    truncated.truncate(cut_at);
+
+    let mut reader = StoreReader::new(Cursor::new(truncated)).expect("recovering open");
+    assert!(reader.info().recovered_index);
+    assert_eq!(reader.info().events, kept_events);
+    let mut got = Collect::default();
+    let report = reader.replay(&mut [&mut got]).expect("replay");
+    assert!(report.is_clean());
+    assert_eq!(got.0, flat[..kept_events as usize]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Corrupting one random payload byte loses exactly that block's
+    /// events; every other block still replays, in order.
+    #[test]
+    fn corrupt_block_loses_only_that_block(
+        seed in 0u64..1000,
+        pick in 0usize..1_000_000,
+    ) {
+        let (mut bytes, flat) = pack(512, seed);
+        let reader = open(bytes.clone());
+        let index: Vec<_> = reader.index().to_vec();
+        drop(reader);
+        prop_assume!(index.len() >= 2);
+        let victim = pick % index.len();
+        let meta = index[victim];
+        let payload_at = meta.offset as usize + FRAME_LEN;
+        let byte = pick % meta.payload_len as usize;
+        bytes[payload_at + byte] ^= 0x55;
+
+        let mut got = Collect::default();
+        let report = open(bytes).replay(&mut [&mut got]).expect("replay");
+        prop_assert_eq!(report.skipped.len(), 1);
+        prop_assert_eq!(report.skipped[0].block, victim as u64);
+        prop_assert_eq!(report.skipped[0].events, u64::from(meta.events));
+        prop_assert_eq!(report.events + report.skipped_events(), flat.len() as u64);
+
+        // Expected stream: everything except the victim's range.
+        let expected: Vec<_> = flat
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let seq = *i as u64;
+                seq < meta.first_seq || seq >= meta.end_seq()
+            })
+            .map(|(_, e)| *e)
+            .collect();
+        prop_assert_eq!(got.0, expected);
+    }
+
+    /// Seeking to a sequence number delivers exactly the tail of a full
+    /// scan.
+    #[test]
+    fn seek_to_sequence_equals_scan_tail(
+        seed in 0u64..1000,
+        pick in 0usize..1_000_000,
+    ) {
+        let (bytes, flat) = pack(512, seed);
+        let seq = (pick % (flat.len() + 2)) as u64;
+        let mut got = Collect::default();
+        let report = open(bytes)
+            .replay_from_seq(seq, &mut [&mut got])
+            .expect("seek replay");
+        let tail = &flat[(seq as usize).min(flat.len())..];
+        prop_assert!(report.is_clean());
+        prop_assert_eq!(report.events, tail.len() as u64);
+        prop_assert_eq!(&got.0[..], tail);
+    }
+
+    /// Corruption and parallel decode compose: par_replay skips the
+    /// same block the sequential path does.
+    #[test]
+    fn par_replay_handles_corruption_like_sequential(
+        seed in 0u64..1000,
+        pick in 0usize..1_000_000,
+    ) {
+        let (mut bytes, _flat) = pack(512, seed);
+        let reader = open(bytes.clone());
+        let index: Vec<_> = reader.index().to_vec();
+        drop(reader);
+        prop_assume!(index.len() >= 2);
+        let victim = pick % index.len();
+        let meta = index[victim];
+        bytes[meta.offset as usize + FRAME_LEN + (pick % meta.payload_len as usize)] ^= 0xaa;
+
+        let mut seq = Collect::default();
+        let mut par = Collect::default();
+        let seq_report = open(bytes.clone()).replay(&mut [&mut seq]).expect("replay");
+        let par_report = open(bytes).par_replay(&mut [&mut par]).expect("par_replay");
+        prop_assert_eq!(seq.0, par.0);
+        prop_assert_eq!(seq_report.skipped.len(), par_report.skipped.len());
+        prop_assert_eq!(seq_report.events, par_report.events);
+    }
+}
+
+#[test]
+fn replay_from_icount_starts_at_covering_block() {
+    let (bytes, flat) = pack(512, 5);
+    let total = flat.last().expect("events").0;
+    let target = total / 2;
+    let mut reader = open(bytes);
+    let block = reader.block_for_icount(target).expect("in range");
+    let first_seq = reader.index()[block].first_seq;
+    let mut got = Collect::default();
+    let report = reader
+        .replay_from_icount(target, &mut [&mut got])
+        .expect("icount replay");
+    assert!(report.is_clean());
+    assert_eq!(&got.0[..], &flat[first_seq as usize..]);
+    // The covering block's events reach past the target.
+    assert!(got.0.last().expect("events").0 >= target);
+}
+
+#[test]
+fn not_a_store_is_a_typed_error() {
+    let err = StoreReader::new(Cursor::new(b"spmtrc02not a store....".to_vec()))
+        .expect_err("flat trace is not a store");
+    assert!(matches!(err, spm_store::StoreError::Corrupt { .. }));
+    let err =
+        StoreReader::new(Cursor::new(b"spmstk99xxxxxxxx".to_vec())).expect_err("unknown version");
+    assert!(err.to_string().contains("version"));
+}
+
+#[test]
+fn empty_stream_round_trips() {
+    let mut bytes = Vec::new();
+    let writer = StoreWriter::new(&mut bytes);
+    let summary = writer.finish().expect("finish empty");
+    assert_eq!(summary.blocks, 0);
+    assert_eq!(summary.events, 0);
+    assert_eq!(
+        summary.file_bytes as usize,
+        spm_store::format::HEADER_LEN + FOOTER_LEN
+    );
+    let mut reader = open(bytes);
+    let mut got = Collect::default();
+    let report = reader.replay(&mut [&mut got]).expect("replay empty");
+    assert!(report.is_clean());
+    assert!(got.0.is_empty());
+}
