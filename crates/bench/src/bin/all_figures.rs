@@ -2,11 +2,12 @@
 //! `results/` (used to populate EXPERIMENTS.md), plus two artifacts:
 //! `results/BENCH_timings.json` (`spm-bench/timings/v2`, raw per-figure
 //! wall-clock spans captured through spm-obs) and
-//! `results/BENCH_report.json` (`spm-bench/report/v4`, the committed
-//! trajectory point: per-figure median/min/total across `--repeat`
-//! runs, suite-wide simulation throughput, and per-decoder ingest
-//! throughput from the `spmstk01` store figure — validated by
-//! `spm_report::bench::validate_bench_report`).
+//! `results/BENCH_report.json` (`spm-bench/report/v5`: per-figure
+//! median/min/total across `--repeat` runs, suite-wide simulation
+//! throughput, per-decoder ingest throughput from the `spmstk01` store
+//! figure, and the ingest-throughput `trajectory` carried forward from
+//! the previously committed report with this run appended — validated
+//! by `spm_report::bench::validate_bench_report`).
 //!
 //! Flags:
 //!
@@ -251,36 +252,123 @@ fn median_f64(samples: &mut [f64]) -> f64 {
     samples[(samples.len() - 1) / 2]
 }
 
-/// Renders the `ingest` section of the v4 report: per-decoder median
-/// throughput across every sample the repeats produced, in the fixed
-/// decoder order of the figure.
-fn ingest_json(samples: &[(String, f64)]) -> String {
+/// Per-decoder aggregate: name, median throughput, sample count — in
+/// the fixed decoder order of the ingest figure.
+fn decoder_medians(samples: &[(String, f64)]) -> Vec<(String, f64, usize)> {
+    spm_bench::ingest::DECODERS
+        .iter()
+        .map(|decoder| {
+            let mut values: Vec<f64> = samples
+                .iter()
+                .filter(|(name, _)| name == decoder)
+                .map(|(_, v)| *v)
+                .collect();
+            let n = values.len();
+            (decoder.to_string(), median_f64(&mut values), n)
+        })
+        .collect()
+}
+
+/// Renders a decoder list (shared by the `ingest` section and every
+/// trajectory point).
+fn decoders_json(medians: &[(String, f64, usize)], indent: &str) -> String {
+    let mut out = String::new();
+    for (i, (name, median, n)) in medians.iter().enumerate() {
+        let comma = if i + 1 == medians.len() { "" } else { "," };
+        out.push_str(&format!(
+            "{indent}{{\"name\": \"{name}\", \"median_events_per_sec\": {median:.0}, \
+\"n\": {n}}}{comma}\n"
+        ));
+    }
+    out
+}
+
+/// Renders the `ingest` section of the report.
+fn ingest_json(medians: &[(String, f64, usize)]) -> String {
     let mut out = format!(
         "  \"ingest\": {{\"workload\": \"{}\", \"decoders\": [\n",
         spm_bench::ingest::INGEST_WORKLOAD
     );
-    for (i, decoder) in spm_bench::ingest::DECODERS.iter().enumerate() {
-        let mut values: Vec<f64> = samples
-            .iter()
-            .filter(|(name, _)| name == decoder)
-            .map(|(_, v)| *v)
-            .collect();
-        let n = values.len();
-        let comma = if i + 1 == spm_bench::ingest::DECODERS.len() {
-            ""
-        } else {
-            ","
-        };
-        out.push_str(&format!(
-            "    {{\"name\": \"{decoder}\", \"median_events_per_sec\": {:.0}, \"n\": {n}}}{comma}\n",
-            median_f64(&mut values)
-        ));
-    }
+    out.push_str(&decoders_json(medians, "    "));
     out.push_str("  ]},\n");
     out
 }
 
-/// Renders the `spm-bench/report/v4` artifact (the schema
+/// One point of the ingest-throughput trajectory the v5 report carries
+/// forward across regenerations.
+struct TrajPoint {
+    seq: u64,
+    jobs: u64,
+    repeats: u64,
+    decoders: Vec<(String, f64, usize)>,
+}
+
+/// Loads the trajectory of the previously committed report so history
+/// accumulates instead of being overwritten. Missing file, unparsable
+/// JSON, or a pre-v5 schema all mean the history starts now (empty).
+fn previous_trajectory(path: &str) -> Vec<TrajPoint> {
+    use spm_obs::jsonl::Json;
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = spm_obs::jsonl::parse(&text) else {
+        return Vec::new();
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some(spm_report::bench::BENCH_REPORT_SCHEMA) {
+        return Vec::new();
+    }
+    let Some(Json::Arr(points)) = doc.get("trajectory") else {
+        return Vec::new();
+    };
+    let num = |j: &Json, key: &str| -> Option<f64> {
+        match j.get(key) {
+            Some(Json::Num(n)) if n.is_finite() => Some(*n),
+            _ => None,
+        }
+    };
+    points
+        .iter()
+        .filter_map(|point| {
+            let decoders = match point.get("decoders") {
+                Some(Json::Arr(list)) => list
+                    .iter()
+                    .filter_map(|d| {
+                        Some((
+                            d.get("name")?.as_str()?.to_string(),
+                            num(d, "median_events_per_sec")?,
+                            num(d, "n")? as usize,
+                        ))
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            Some(TrajPoint {
+                seq: num(point, "seq")? as u64,
+                jobs: num(point, "jobs")? as u64,
+                repeats: num(point, "repeats")? as u64,
+                decoders,
+            })
+        })
+        .collect()
+}
+
+/// Renders the `trajectory` section: prior points plus this run's.
+fn trajectory_json(points: &[TrajPoint]) -> String {
+    let mut out = String::from("  \"trajectory\": [\n");
+    for (i, point) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"seq\": {}, \"jobs\": {}, \"repeats\": {}, \"decoders\": [\n",
+            point.seq, point.jobs, point.repeats
+        ));
+        out.push_str(&decoders_json(&point.decoders, "      "));
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        out.push_str(&format!("    ]}}{comma}\n"));
+    }
+    out.push_str("  ],\n");
+    out
+}
+
+/// Renders the `spm-bench/report/v5` artifact (the schema
 /// `spm_report::bench::validate_bench_report` checks).
 fn report_json(
     host_parallelism: usize,
@@ -289,6 +377,7 @@ fn report_json(
     stats: &[FigureStat],
     events_per_sec: &mut [f64],
     ingest: &[(String, f64)],
+    trajectory: &[TrajPoint],
 ) -> String {
     events_per_sec.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let eps_median = if events_per_sec.is_empty() {
@@ -304,7 +393,8 @@ fn report_json(
         eps_median,
         events_per_sec.len()
     );
-    out.push_str(&ingest_json(ingest));
+    out.push_str(&ingest_json(&decoder_medians(ingest)));
+    out.push_str(&trajectory_json(trajectory));
     out.push_str("  \"figures\": [\n");
     for (i, s) in stats.iter().enumerate() {
         let comma = if i + 1 == stats.len() { "" } else { "," };
@@ -413,6 +503,19 @@ fn main() {
         io_exit("write results/BENCH_timings.json", &e);
     }
     let stats = figure_stats(&runs[repeats_start..]);
+    // Carry the committed report's ingest trajectory forward and append
+    // this run as its next point (oldest dropped beyond the cap).
+    let mut trajectory = previous_trajectory("results/BENCH_report.json");
+    trajectory.push(TrajPoint {
+        seq: trajectory.last().map_or(0, |p| p.seq) + 1,
+        jobs: jobs as u64,
+        repeats: repeat as u64,
+        decoders: decoder_medians(&ingest_samples),
+    });
+    let drop_count = trajectory
+        .len()
+        .saturating_sub(spm_report::bench::TRAJECTORY_CAP);
+    trajectory.drain(..drop_count);
     let report = report_json(
         spm_par::available_parallelism(),
         jobs,
@@ -420,6 +523,7 @@ fn main() {
         &stats,
         &mut events_per_sec,
         &ingest_samples,
+        &trajectory,
     );
     if let Err(message) = spm_report::bench::validate_bench_report(&report) {
         eprintln!("error[analysis]: generated bench report fails its own schema: {message}");

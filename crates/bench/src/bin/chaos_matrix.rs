@@ -1,0 +1,145 @@
+//! Crash-kill chaos matrix over the committed workloads (CI's
+//! durability gate, DESIGN.md §12).
+//!
+//! Sweeps simulated kills at sampled I/O operations across every
+//! committed workload, reopens each torn store, and asserts the
+//! durability invariant (no committed block lost, no partial event
+//! surfaced, byte-identical analysis versus the clean truncated
+//! reference at sampled points). Always writes the machine-readable
+//! fault report to `results/CHAOS_report.json` (`spm-bench/chaos/v1`)
+//! — CI uploads it even when the gate fails — then exits 9 if any
+//! crash point violated the invariant.
+//!
+//! Flags:
+//!
+//! - `--seed N` — fault-placement seed (default `0x50512006`, the
+//!   shared analysis seed; any seed must pass).
+//! - `--points N` — crash points sampled per workload (default 40).
+//! - `--out PATH` — fault-report path (default
+//!   `results/CHAOS_report.json`).
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use spm_bench::chaos::{run_matrix, WorkloadChaos, CHAOS_SCHEMA};
+use std::fs;
+
+/// Renders the `spm-bench/chaos/v1` fault report.
+fn report_json(seed: u64, max_points: usize, matrix: &[WorkloadChaos]) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"{CHAOS_SCHEMA}\",\n  \"seed\": {seed},\n  \
+\"max_points\": {max_points},\n  \"workloads\": [\n"
+    );
+    for (i, chaos) in matrix.iter().enumerate() {
+        let violations = chaos.violations();
+        let markers_checked = chaos
+            .crash_points
+            .iter()
+            .filter(|p| p.markers_checked)
+            .count();
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"clean_events\": {}, \"clean_ops\": {}, \
+\"crash_points\": {}, \"markers_checked\": {markers_checked}, \
+\"transient_retries\": {}, \"violations\": [",
+            chaos.workload,
+            chaos.clean_events,
+            chaos.clean_ops,
+            chaos.crash_points.len(),
+            chaos.transient_retries,
+        ));
+        for (j, violation) in violations.iter().enumerate() {
+            let comma = if j + 1 == violations.len() { "" } else { ", " };
+            out.push_str(&format!(
+                "\"{}\"{comma}",
+                violation.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        let comma = if i + 1 == matrix.len() { "" } else { "," };
+        out.push_str(&format!("]}}{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error[usage]: {message}");
+    eprintln!("usage: chaos_matrix [--seed N] [--points N] [--out PATH]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut seed = spm_bench::ANALYSIS_SEED;
+    let mut points = 40usize;
+    let mut out_path = String::from("results/CHAOS_report.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => usage("--seed needs an unsigned integer"),
+                };
+            }
+            "--points" => {
+                i += 1;
+                points = match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => usage("--points needs a positive integer"),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_path = match args.get(i) {
+                    Some(path) => path.clone(),
+                    None => usage("--out needs a path"),
+                };
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let matrix = spm_bench::exit_on_error(run_matrix(seed, points));
+
+    let report = report_json(seed, points, &matrix);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = fs::create_dir_all(dir) {
+                eprintln!("error[io]: create {}: {e}", dir.display());
+                std::process::exit(3);
+            }
+        }
+    }
+    if let Err(e) = fs::write(&out_path, &report) {
+        eprintln!("error[io]: write {out_path}: {e}");
+        std::process::exit(3);
+    }
+
+    let mut all_violations = Vec::new();
+    for chaos in &matrix {
+        let violations = chaos.violations();
+        println!(
+            "{}: {} crash points over {} ops ({} marker-checked), {} transient retries, {} violation(s)",
+            chaos.workload,
+            chaos.crash_points.len(),
+            chaos.clean_ops,
+            chaos.crash_points.iter().filter(|p| p.markers_checked).count(),
+            chaos.transient_retries,
+            violations.len()
+        );
+        all_violations.extend(violations);
+    }
+    println!("wrote {out_path}");
+    if !all_violations.is_empty() {
+        for violation in &all_violations {
+            eprintln!("error[analysis]: durability violation: {violation}");
+        }
+        std::process::exit(9);
+    }
+    println!(
+        "chaos matrix clean: {} workloads, seed {seed:#x}",
+        matrix.len()
+    );
+}

@@ -1,9 +1,14 @@
-//! Ingest-throughput figure: one recorded event stream decoded three
+//! Ingest-throughput figure: one recorded event stream decoded four
 //! ways — flat `spmtrc02` replay, sequential `spmstk01` store replay,
-//! and parallel store replay.
+//! parallel store replay, and recovery-path replay of a store whose
+//! ingest was killed mid-write by the seeded [`spm_store::FaultyIo`]
+//! failpoint disk (the crash-safety overhead of DESIGN.md §12:
+//! transient-retry absorption on the way in, torn-tail recovery on the
+//! way out).
 //!
 //! The rendered text contains only deterministic facts (event counts,
-//! byte sizes, block count, container overhead) so CI can byte-compare
+//! byte sizes, block count, container overhead, recovered prefix and
+//! retry counts — the fault schedule is seeded) so CI can byte-compare
 //! it as a golden; wall-clock throughput is machine-dependent and is
 //! emitted as `ingest/<decoder>_events_per_sec` gauges instead, which
 //! `all_figures` folds into the `ingest` section of
@@ -13,7 +18,7 @@ use crate::{analysis_error, workload};
 use spm_core::SpmError;
 use spm_sim::record::{replay, TraceRecorder};
 use spm_sim::{run, TraceEvent, TraceObserver};
-use spm_store::{StoreReader, StoreWriter};
+use spm_store::{FaultPlan, FaultyIo, RetryPolicy, StoreReader, StoreWriter};
 use std::io::Cursor;
 use std::time::Instant;
 
@@ -21,7 +26,15 @@ use std::time::Instant;
 pub const INGEST_WORKLOAD: &str = "gzip";
 
 /// The measured decode paths, in report order.
-pub const DECODERS: [&str; 3] = ["flat", "store", "store-par"];
+pub const DECODERS: [&str; 4] = ["flat", "store", "store-par", "store-faulted"];
+
+/// Seed of the faulted-ingest schedule (any seed must satisfy the
+/// durability invariant; this one is fixed so the figure is a golden).
+const FAULT_SEED: u64 = crate::ANALYSIS_SEED ^ 0x1265;
+
+/// One transient write error roughly every this many I/O operations on
+/// the faulted path.
+const TRANSIENT_ONE_IN: u32 = 16;
 
 /// Counts delivered events without retaining them.
 struct Count(u64);
@@ -45,9 +58,17 @@ pub struct IngestData {
     pub store_bytes: u64,
     /// Blocks in the container.
     pub blocks: u64,
-    /// Events redelivered by each decoder, in [`DECODERS`] order; all
-    /// must equal `events`.
-    pub decoded: [u64; 3],
+    /// Events redelivered by each decoder, in [`DECODERS`] order. The
+    /// first three must equal `events`; `store-faulted` recovers the
+    /// committed prefix of an ingest killed mid-write, so it is at most
+    /// `events` and at least the crash-time commit watermark.
+    pub decoded: [u64; 4],
+    /// Events the writer had durably committed when the faulted ingest
+    /// was killed (the floor for `decoded[store-faulted]`).
+    pub faulted_committed: u64,
+    /// Transient write errors the faulted ingest absorbed by retrying
+    /// before the kill (seeded, so deterministic).
+    pub faulted_retries: u64,
 }
 
 /// Times one decode path under an `ingest/<name>` span, reporting its
@@ -118,14 +139,78 @@ pub fn compute() -> Result<IngestData, SpmError> {
         Ok(count.0)
     })?;
 
+    // Faulted path: repack the same stream through the failpoint disk,
+    // flaky (retried transients) and then killed at 3/4 of the clean
+    // pass's I/O operations; the decode side then pays recovery (index
+    // rebuild, torn-tail discard) before replaying the committed
+    // prefix.
+    let (torn, faulted_committed, faulted_retries) = faulted_pack(&flat)?;
+    let recovered = StoreReader::new(Cursor::new(torn.clone()))
+        .map_err(|e| analysis_error("ingest/store-faulted", e))?
+        .info()
+        .events;
+    let faulted_decoded = timed_decode("store-faulted", recovered, || {
+        let mut reader = StoreReader::new(Cursor::new(torn.clone()))
+            .map_err(|e| analysis_error("ingest/store-faulted", e))?;
+        let mut count = Count(0);
+        let report = reader
+            .replay(&mut [&mut count])
+            .map_err(|e| analysis_error("ingest/store-faulted", e))?;
+        debug_assert!(report.is_clean());
+        Ok(count.0)
+    })?;
+    if faulted_decoded < faulted_committed {
+        return Err(analysis_error(
+            "ingest/store-faulted",
+            format!("recovered {faulted_decoded} events, {faulted_committed} were committed"),
+        ));
+    }
+
     Ok(IngestData {
         events: packed.events,
         instructions: summary.instrs,
         flat_bytes: flat.len() as u64,
         store_bytes: packed.file_bytes,
         blocks: packed.blocks,
-        decoded: [flat_decoded, store_decoded, par_decoded],
+        decoded: [flat_decoded, store_decoded, par_decoded, faulted_decoded],
+        faulted_committed,
+        faulted_retries,
     })
+}
+
+/// Repacks a recorded flat trace through [`FaultyIo`]: one clean pass
+/// to count I/O operations, then the measured pass with seeded
+/// transients and a kill at 3/4 of those operations. Returns the torn
+/// image, the commit watermark at the kill, and the retries absorbed.
+fn faulted_pack(flat: &[u8]) -> Result<(Vec<u8>, u64, u64), SpmError> {
+    let no_backoff = RetryPolicy {
+        max_retries: 3,
+        base_delay: std::time::Duration::ZERO,
+    };
+    let mut writer =
+        StoreWriter::new(FaultyIo::new(FaultPlan::new(FAULT_SEED))).retry_policy(no_backoff);
+    replay(flat, &mut [&mut writer]).map_err(|e| analysis_error("ingest/faulted-count", e))?;
+    let outcome = writer.finish_with_sink();
+    outcome
+        .result
+        .map_err(|e| analysis_error("ingest/faulted-count", e))?;
+    let clean_ops = outcome.sink.ops();
+
+    let plan = FaultPlan::new(FAULT_SEED)
+        .transient_one_in(TRANSIENT_ONE_IN)
+        .crash_at_op(clean_ops * 3 / 4);
+    let mut writer = StoreWriter::new(FaultyIo::new(plan)).retry_policy(no_backoff);
+    replay(flat, &mut [&mut writer]).map_err(|e| analysis_error("ingest/faulted-pack", e))?;
+    let outcome = writer.finish_with_sink();
+    if outcome.result.is_ok() {
+        return Err(analysis_error(
+            "ingest/faulted-pack",
+            "pack survived a scheduled kill",
+        ));
+    }
+    let committed = outcome.committed.events;
+    let retries = outcome.sink.injected_transients();
+    Ok((outcome.sink.into_bytes(), committed, retries))
 }
 
 /// Renders the figure. Every line is deterministic across machines.
@@ -144,6 +229,10 @@ pub fn render(d: &IngestData) -> String {
     for (name, decoded) in DECODERS.iter().zip(&d.decoded) {
         out.push_str(&format!("decoded[{name}]\t{decoded}\n"));
     }
+    out.push_str(&format!(
+        "faulted_committed\t{}\tfaulted_retries\t{}\n",
+        d.faulted_committed, d.faulted_retries
+    ));
     out.push_str(
         "# throughput is machine-dependent: see the `ingest` section of \
 results/BENCH_report.json\n",
@@ -170,9 +259,17 @@ mod tests {
         let d = compute().unwrap();
         assert!(d.events > 0);
         assert!(d.blocks >= 1);
-        for (name, decoded) in DECODERS.iter().zip(&d.decoded) {
+        for (name, decoded) in DECODERS.iter().zip(&d.decoded).take(3) {
             assert_eq!(*decoded, d.events, "decoder {name} lost events");
         }
+        // The faulted path was killed mid-write: it recovers at least
+        // every committed event, never more than the clean stream, and
+        // the kill at 3/4 of the ops must have lost the tail.
+        let faulted = d.decoded[3];
+        assert!(faulted >= d.faulted_committed, "committed events lost");
+        assert!(faulted < d.events, "the kill must lose the torn tail");
+        assert!(d.faulted_committed > 0, "kill too early: nothing durable");
+        assert!(d.faulted_retries > 0, "no transients injected");
         // The container pays per-block framing plus a footer index but
         // no more: well under 20% over the flat encoding.
         assert!(d.store_bytes > 0);

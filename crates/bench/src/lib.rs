@@ -21,6 +21,7 @@
 
 pub mod ablation;
 pub mod approaches;
+pub mod chaos;
 pub mod classifiers;
 pub mod fig03;
 pub mod fig04;

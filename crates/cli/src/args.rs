@@ -61,6 +61,7 @@ const VALUE_FLAGS: &[&str] = &[
     "out",
     "store",
     "block-size",
+    "sync",
     "input",
     "ilower",
     "limit",

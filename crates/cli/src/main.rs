@@ -12,7 +12,7 @@
 //! spm timeseries <workload> [--input train|ref] [--step N] [--plot]
 //! spm record <workload> [--input train|ref] --out FILE
 //! spm replay <tracefile>
-//! spm pack <workload|tracefile> --out FILE.spmstk [--block-size N] [--input train|ref]
+//! spm pack <workload|tracefile> --out FILE.spmstk [--block-size N] [--sync none|block|close] [--input train|ref]
 //! spm info <file.spmstk>
 //! spm report <metrics.jsonl>... [--html FILE]
 //! spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT] [--min-us N] [--html FILE]
@@ -55,7 +55,8 @@
 //! can dispatch on it: `2` usage, and [`SpmError::exit_code`] for the
 //! pipeline stages (`3` I/O, `4` workload DSL parse, `5` graph/marker
 //! file parse, `6` execution, `7` profiler, `8` trace decode,
-//! `9` analysis/clustering, `10` gated performance regression). A
+//! `9` analysis/clustering, `10` gated performance regression, `11`
+//! transient I/O errors that outlasted the store retry budget). A
 //! closed stdout pipe exits with the conventional SIGPIPE status `141`.
 //! Usage errors print the usage text to *stderr*, keeping stdout clean
 //! for pipelines. When marker partitioning degrades to fixed-length
@@ -118,7 +119,7 @@ impl From<SpmError> for CliError {
 }
 
 /// Exit code for usage errors (bad flags, unknown subcommands, missing
-/// arguments). Pipeline errors use [`SpmError::exit_code`] (3..=8).
+/// arguments). Pipeline errors use [`SpmError::exit_code`] (3..=11).
 const USAGE_EXIT: u8 = 2;
 
 fn main() -> ExitCode {
@@ -263,7 +264,8 @@ USAGE:
   spm timeseries <workload> [--input train|ref] [--step N] [--plot]
   spm record <workload> [--input train|ref] --out FILE
   spm replay <tracefile>
-  spm pack <workload|tracefile> --out FILE.spmstk [--block-size N] [--input train|ref]
+  spm pack <workload|tracefile> --out FILE.spmstk [--block-size N]
+           [--sync none|block|close] [--input train|ref]
   spm info <file.spmstk>
   spm report <metrics.jsonl>... [--html FILE]
   spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT]
@@ -276,6 +278,10 @@ FLAGS:
                       given positionally are detected automatically
   --block-size N      `pack`: pre-compression block budget in bytes
                       (default 262144)
+  --sync MODE         `pack`: durability policy recorded in the header
+                      (none | block | close; default block syncs every
+                      flushed block so a crash loses at most the block
+                      in flight)
   --input train|ref   which input to run (default: ref; select defaults to train)
   --ilower N          minimum average interval size in instructions (default 10000)
   --limit N           enable the max-interval-size (SimPoint) variant
@@ -311,7 +317,8 @@ OBSERVABILITY (any subcommand):
 EXIT CODES:
   0 ok, 2 usage, 3 I/O, 4 workload parse, 5 graph/marker parse,
   6 execution, 7 profiler (corrupt event stream), 8 trace decode,
-  9 analysis (clustering), 10 performance regression (report gate)
+  9 analysis (clustering), 10 performance regression (report gate),
+  11 transient I/O errors that outlasted the store retry budget
 ";
 
 /// A resolved analysis target: a built-in workload, or a workload file
@@ -520,7 +527,8 @@ fn is_store_file(name: &str) -> bool {
 }
 
 /// Maps a store failure into the pipeline taxonomy: I/O keeps exit 3,
-/// structural corruption joins the trace-decode class (exit 8).
+/// structural corruption joins the trace-decode class (exit 8), and
+/// an exhausted retry budget gets its own class (exit 11).
 fn store_error(path: &str, e: StoreError) -> CliError {
     match e {
         StoreError::Io { message } => SpmError::Io {
@@ -531,17 +539,44 @@ fn store_error(path: &str, e: StoreError) -> CliError {
             source: path.to_string(),
             error,
         },
+        StoreError::Exhausted { attempts, message } => SpmError::Exhausted {
+            path: path.to_string(),
+            attempts,
+            message,
+        },
     }
     .into()
 }
 
-fn open_store(path: &str) -> Result<StoreReader<std::io::BufReader<std::fs::File>>, CliError> {
+/// Opens a store, surfacing crash recovery: when the footer or index
+/// was unreadable and the reader rebuilt the index by walking block
+/// frames, a deduped `store/recovered` warning with the recovered
+/// watermarks goes to the structured stream, and one machine-readable
+/// line is appended to `err` (so batch workers warn once, byte-stable
+/// at any `--jobs`).
+fn open_store(
+    path: &str,
+    err: &mut String,
+) -> Result<StoreReader<std::io::BufReader<std::fs::File>>, CliError> {
     let reader = StoreReader::open(std::path::Path::new(path)).map_err(|e| store_error(path, e))?;
-    if reader.info().recovered_index {
-        spm_obs::warning(
-            "store/recovered-index-used",
-            &[("store", path.to_string().into())],
+    let info = *reader.info();
+    if info.recovered_index {
+        let fresh = spm_obs::warning(
+            "store/recovered",
+            &[
+                ("store", path.to_string().into()),
+                ("blocks", info.blocks.into()),
+                ("events", info.events.into()),
+                ("icount", info.total_icount.into()),
+                ("tail_bytes", info.recovered_tail_bytes.into()),
+            ],
         );
+        if fresh {
+            err.push_str(&format!(
+                "warning: store=recovered blocks={} events={} icount={} tail_bytes={} store={}\n",
+                info.blocks, info.events, info.total_icount, info.recovered_tail_bytes, path
+            ));
+        }
     }
     Ok(reader)
 }
@@ -699,7 +734,8 @@ fn cmd_select(parsed: &ParsedArgs) -> Result<(), CliError> {
 fn select_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliError> {
     let mut err = String::new();
     let graph = if is_store_file(name) {
-        store_graph(&mut open_store(name)?, name, &mut err)?
+        let mut reader = open_store(name, &mut err)?;
+        store_graph(&mut reader, name, &mut err)?
     } else {
         let w = target(name)?;
         let input = input_of(&w, parsed, "train")?;
@@ -757,8 +793,8 @@ fn partition_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliEr
 /// selected from the stored trace itself (the store holds one run, so
 /// it doubles as the profile). A second replay partitions it.
 fn partition_one_store(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliError> {
-    let mut reader = open_store(name)?;
     let mut err = String::new();
+    let mut reader = open_store(name, &mut err)?;
     let source = if let Some(path) = parsed.flags.get("markers") {
         let text = std::fs::read_to_string(path).map_err(|e| SpmError::Io {
             path: path.clone(),
@@ -834,7 +870,7 @@ fn simpoint_one(parsed: &ParsedArgs, name: &str) -> Result<CommandOutput, CliErr
     let kmax = (parsed.u64_flag("kmax", 10)?.max(1)) as usize;
     let mut err = String::new();
     let intervals = if is_store_file(name) {
-        let mut reader = open_store(name)?;
+        let mut reader = open_store(name, &mut err)?;
         // Trace-only mode: BBV width comes from the footer's recorded
         // block-id space (growing if the footer predates the program).
         let dims = reader.info().block_dims as usize;
@@ -1067,23 +1103,14 @@ impl TraceObserver for BlockDims {
     }
 }
 
-fn cmd_pack(parsed: &ParsedArgs) -> Result<(), CliError> {
-    let name = parsed.positional("workload|tracefile")?;
-    let out = parsed
-        .flags
-        .get("out")
-        .ok_or_else(|| CliError::Usage("pack requires --out FILE".into()))?
-        .clone();
-    let budget =
-        parsed.u64_flag("block-size", spm_store::format::DEFAULT_BLOCK_BUDGET as u64)? as usize;
-    let sink = std::fs::File::create(&out).map_err(|e| SpmError::Io {
-        path: out.clone(),
-        message: e.to_string(),
-    })?;
-    let mut writer = StoreWriter::with_block_budget(std::io::BufWriter::new(sink), budget);
-
-    // A flat trace file repacks directly; anything else is a workload
-    // (built-in or DSL file) executed through the writer.
+/// Feeds the pack source (flat trace file or workload run) through the
+/// writer. A flat trace file repacks directly; anything else is a
+/// workload (built-in or DSL file) executed through the writer.
+fn pack_feed<S: spm_store::StoreIo>(
+    writer: &mut StoreWriter<S>,
+    parsed: &ParsedArgs,
+    name: &str,
+) -> Result<(), CliError> {
     let is_flat_trace = std::path::Path::new(name).is_file()
         && std::fs::File::open(name)
             .and_then(|mut f| {
@@ -1099,7 +1126,7 @@ fn cmd_pack(parsed: &ParsedArgs) -> Result<(), CliError> {
         })?;
         warn_unverified_v1(&bytes);
         let mut dims = BlockDims::default();
-        let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut writer, &mut dims];
+        let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut *writer, &mut dims];
         spm_sim::record::replay(&bytes, &mut observers).map_err(|error| SpmError::Trace {
             source: name.to_string(),
             error,
@@ -1109,19 +1136,102 @@ fn cmd_pack(parsed: &ParsedArgs) -> Result<(), CliError> {
         let w = target(name)?;
         let input = input_of(&w, parsed, "ref")?;
         writer.set_block_dims(w.program.block_sizes().len() as u32);
-        run(&w.program, &input, &mut [&mut writer]).map_err(SpmError::Run)?;
+        run(&w.program, &input, &mut [&mut *writer]).map_err(SpmError::Run)?;
     }
-    let summary = writer.finish().map_err(|e| store_error(&out, e))?;
-    eprintln!(
-        "packed {} events ({} instructions) into {out}: {} blocks, {} bytes",
-        summary.events, summary.total_icount, summary.blocks, summary.file_bytes
-    );
     Ok(())
+}
+
+fn pack_summary_line(out: &str, summary: &spm_store::StoreSummary) -> String {
+    let mut line = format!(
+        "packed {} events ({} instructions) into {out}: {} blocks, {} bytes, sync={}",
+        summary.events,
+        summary.total_icount,
+        summary.blocks,
+        summary.file_bytes,
+        summary.sync_policy
+    );
+    if summary.retries > 0 {
+        line.push_str(&format!(", io retries={}", summary.retries));
+    }
+    line
+}
+
+fn cmd_pack(parsed: &ParsedArgs) -> Result<(), CliError> {
+    let name = parsed.positional("workload|tracefile")?;
+    let out = parsed
+        .flags
+        .get("out")
+        .ok_or_else(|| CliError::Usage("pack requires --out FILE".into()))?
+        .clone();
+    let budget =
+        parsed.u64_flag("block-size", spm_store::format::DEFAULT_BLOCK_BUDGET as u64)? as usize;
+    let sync = match parsed.flags.get("sync") {
+        Some(text) => spm_store::SyncPolicy::parse(text).ok_or_else(|| {
+            CliError::Usage(format!("--sync must be none|block|close, got '{text}'"))
+        })?,
+        None => spm_store::SyncPolicy::Block,
+    };
+
+    // Failpoint hook (DESIGN.md §12): SPM_PACK_FAULT routes the pack
+    // through the deterministic FaultyIo disk so crash-recovery tests
+    // exercise the real CLI end to end. The surviving (possibly torn)
+    // image is written to --out, exactly what a killed process leaves.
+    if let Ok(spec) = std::env::var("SPM_PACK_FAULT") {
+        return pack_through_failpoint(parsed, name, &out, budget, sync, &spec);
+    }
+
+    let sink = spm_store::FileIo::create(std::path::Path::new(&out)).map_err(|e| SpmError::Io {
+        path: out.clone(),
+        message: e.to_string(),
+    })?;
+    let mut writer = StoreWriter::with_block_budget(sink, budget).sync_policy(sync);
+    pack_feed(&mut writer, parsed, name)?;
+    let summary = writer.finish().map_err(|e| store_error(&out, e))?;
+    eprintln!("{}", pack_summary_line(&out, &summary));
+    Ok(())
+}
+
+/// `cmd_pack` through a [`spm_store::FaultyIo`] failpoint disk.
+fn pack_through_failpoint(
+    parsed: &ParsedArgs,
+    name: &str,
+    out: &str,
+    budget: usize,
+    sync: spm_store::SyncPolicy,
+    spec: &str,
+) -> Result<(), CliError> {
+    let plan = spm_store::FaultPlan::parse(spec)
+        .map_err(|m| CliError::Usage(format!("SPM_PACK_FAULT: {m}")))?;
+    let mut writer =
+        StoreWriter::with_block_budget(spm_store::FaultyIo::new(plan), budget).sync_policy(sync);
+    let feed = pack_feed(&mut writer, parsed, name);
+    let outcome = writer.finish_with_sink();
+    // Persist whatever survived — torn tail included — so downstream
+    // commands open the same bytes a real crash would leave.
+    std::fs::write(out, outcome.sink.bytes()).map_err(|e| SpmError::Io {
+        path: out.to_string(),
+        message: e.to_string(),
+    })?;
+    feed?;
+    match outcome.result {
+        Ok(summary) => {
+            eprintln!("{}", pack_summary_line(out, &summary));
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!(
+                "pack died after committing {} blocks / {} events (icount {}); surviving image written to {out}",
+                outcome.committed.blocks, outcome.committed.events, outcome.committed.icount
+            );
+            Err(store_error(out, e))
+        }
+    }
 }
 
 fn cmd_info(parsed: &ParsedArgs) -> Result<(), CliError> {
     let path = parsed.positional("storefile")?;
-    let reader = open_store(path)?;
+    let mut err = String::new();
+    let reader = open_store(path, &mut err)?;
     let info = *reader.info();
     println!("store: {path}");
     println!("  format:        spmstk01");
@@ -1132,9 +1242,27 @@ fn cmd_info(parsed: &ParsedArgs) -> Result<(), CliError> {
     println!("  block dims:    {}", info.block_dims);
     println!("  payload:       {} bytes", info.payload_bytes);
     println!("  file:          {} bytes", info.file_bytes);
+    println!("  sync policy:   {}", info.sync_policy);
+    println!(
+        "  durability:    {}",
+        if info.recovered_index {
+            "recovered-on-open"
+        } else {
+            "clean"
+        }
+    );
+    println!(
+        "  committed:     seq {} / icount {}",
+        info.events, info.total_icount
+    );
     if info.recovered_index {
+        println!(
+            "  torn tail:     {} bytes discarded",
+            info.recovered_tail_bytes
+        );
         eprintln!("warning: footer unreadable; index rebuilt from block frames");
     }
+    eprint!("{err}");
     Ok(())
 }
 

@@ -233,6 +233,194 @@ fn pack_repacks_flat_traces_and_warns_on_v1() {
     std::fs::remove_file(&store).ok();
 }
 
+fn spm_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_spm"));
+    cmd.args(args);
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    cmd.output().expect("spm binary runs")
+}
+
+/// Packs `workload` through the `SPM_PACK_FAULT` failpoint disk with a
+/// crash scheduled, leaving a torn store at the returned path.
+fn pack_torn(workload: &str, name: &str, fault: &str) -> PathBuf {
+    let store = tmp(name);
+    let out = spm_env(
+        &[
+            "pack",
+            workload,
+            "--input",
+            "train",
+            "--out",
+            store.to_str().expect("utf8"),
+            "--block-size",
+            "2048",
+        ],
+        &[("SPM_PACK_FAULT", fault)],
+    );
+    assert!(!out.status.success(), "crashed pack must fail");
+    assert_eq!(out.status.code(), Some(3), "crash is an I/O error");
+    let err = stderr(&out);
+    assert!(
+        err.contains("pack died after committing"),
+        "missing crash report: {err}"
+    );
+    assert!(store.is_file(), "surviving image must be written");
+    store
+}
+
+#[test]
+fn interrupted_pack_leaves_a_store_the_analyses_consume() {
+    let wl = workload_path("workloads/example.spm");
+    // Crash late enough that several 2 KiB blocks were committed.
+    let store = pack_torn(&wl, "torn.spmstk", "seed=3,crash-at-op=40");
+    let path = store.to_str().expect("utf8");
+
+    // select: exit 0, recovery warning, identical output at any --jobs.
+    let mut selects = Vec::new();
+    for jobs in ["1", "4"] {
+        let out = spm(&["select", "--store", path, "--jobs", jobs]);
+        assert!(
+            out.status.success(),
+            "torn store must degrade, not fail (--jobs {jobs}): {}",
+            stderr(&out)
+        );
+        let err = stderr(&out);
+        assert!(
+            err.contains("store=recovered"),
+            "missing recovery warning at --jobs {jobs}: {err}"
+        );
+        assert!(
+            stdout(&out).starts_with("markers v1"),
+            "still produces markers at --jobs {jobs}"
+        );
+        selects.push((stdout(&out), err));
+    }
+    assert_eq!(selects[0], selects[1], "recovery must not depend on --jobs");
+
+    // partition and simpoint consume the same torn store.
+    let out = spm(&["partition", path]);
+    assert!(out.status.success(), "partition: {}", stderr(&out));
+    assert!(stderr(&out).contains("store=recovered"), "{}", stderr(&out));
+    assert!(stdout(&out).starts_with("begin\tend\tphase"));
+    let out = spm(&["simpoint", path]);
+    assert!(out.status.success(), "simpoint: {}", stderr(&out));
+    assert!(stderr(&out).contains("store=recovered"), "{}", stderr(&out));
+
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn exhausted_retries_exit_with_their_own_code() {
+    let wl = workload_path("workloads/example.spm");
+    let store = tmp("stuck.spmstk");
+    // Op 5 fails with a transient error forever: the retry budget must
+    // run out and surface the dedicated exit code, distinct from plain
+    // I/O failures.
+    let out = spm_env(
+        &[
+            "pack",
+            &wl,
+            "--input",
+            "train",
+            "--out",
+            store.to_str().expect("utf8"),
+        ],
+        &[("SPM_PACK_FAULT", "stuck-at-op=5")],
+    );
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(11), "exhausted-retries exit code");
+    let err = stderr(&out);
+    assert!(
+        err.contains("retries exhausted") && err.contains("attempts"),
+        "missing exhaustion report: {err}"
+    );
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn transient_faults_are_absorbed_with_retry_telemetry() {
+    let wl = workload_path("workloads/example.spm");
+    let store = tmp("flaky.spmstk");
+    // One in four ops fails transiently; every failure must be retried
+    // away and reported in the summary line.
+    let out = spm_env(
+        &[
+            "pack",
+            &wl,
+            "--input",
+            "train",
+            "--out",
+            store.to_str().expect("utf8"),
+            "--block-size",
+            "2048",
+        ],
+        &[("SPM_PACK_FAULT", "seed=9,transient-one-in=4")],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("io retries="), "missing retry count: {err}");
+
+    // The flaky-but-successful pack is a normal clean store.
+    let info = spm(&["info", store.to_str().expect("utf8")]);
+    assert!(info.status.success());
+    assert!(stdout(&info).contains("durability:    clean"));
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn info_reports_durability_sync_policy_and_watermarks() {
+    let wl = workload_path("workloads/example.spm");
+
+    // Clean store, default policy.
+    let store = pack(&wl, "train", "durability.spmstk");
+    let out = spm(&["info", store.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("sync policy:   block"), "{text}");
+    assert!(text.contains("durability:    clean"), "{text}");
+    assert!(text.contains("committed:     seq "), "{text}");
+    assert!(!text.contains("torn tail:"), "{text}");
+    std::fs::remove_file(&store).ok();
+
+    // --sync is recorded in the header and reported back.
+    let store = tmp("nosync.spmstk");
+    let out = spm(&[
+        "pack",
+        &wl,
+        "--input",
+        "train",
+        "--out",
+        store.to_str().expect("utf8"),
+        "--sync",
+        "none",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("sync=none"), "{}", stderr(&out));
+    let info = spm(&["info", store.to_str().expect("utf8")]);
+    assert!(stdout(&info).contains("sync policy:   none"));
+    std::fs::remove_file(&store).ok();
+
+    // A bad --sync value is a usage error.
+    let out = spm(&["pack", &wl, "--out", "/tmp/x.spmstk", "--sync", "often"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("none|block|close"),
+        "{}",
+        stderr(&out)
+    );
+
+    // A torn store reports recovery and the discarded tail.
+    let store = pack_torn(&wl, "torninfo.spmstk", "seed=5,crash-at-op=31");
+    let info = spm(&["info", store.to_str().expect("utf8")]);
+    assert!(info.status.success(), "{}", stderr(&info));
+    let text = stdout(&info);
+    assert!(text.contains("durability:    recovered-on-open"), "{text}");
+    assert!(text.contains("torn tail:"), "{text}");
+    std::fs::remove_file(&store).ok();
+}
+
 #[test]
 fn replay_of_v1_trace_warns_once_on_stderr() {
     let trace = tmp("replay-v1.spmtrc");

@@ -154,6 +154,18 @@ pub enum SpmError {
         /// Human-readable verdict summary (ratios, medians, count).
         message: String,
     },
+    /// A transient I/O failure persisted through the bounded retry
+    /// budget (store ingest retry/backoff, DESIGN.md §12). Distinct
+    /// from `Io`: the operation was retried and *might* succeed if the
+    /// whole run is repeated, so scripts can dispatch on it.
+    Exhausted {
+        /// The path or resource being written.
+        path: String,
+        /// Attempts made (first try plus retries).
+        attempts: u32,
+        /// The operation and the last error it produced.
+        message: String,
+    },
 }
 
 impl SpmError {
@@ -169,6 +181,7 @@ impl SpmError {
     /// * 8 — trace decode failures (corrupted record file)
     /// * 9 — analysis failures (clustering, figure computation)
     /// * 10 — performance regressions (gated `spm report` comparisons)
+    /// * 11 — transient I/O errors that outlasted the retry budget
     pub fn exit_code(&self) -> u8 {
         match self {
             SpmError::Io { .. } => 3,
@@ -179,6 +192,7 @@ impl SpmError {
             SpmError::Trace { .. } => 8,
             SpmError::Analysis { .. } => 9,
             SpmError::Regression { .. } => 10,
+            SpmError::Exhausted { .. } => 11,
         }
     }
 
@@ -193,6 +207,7 @@ impl SpmError {
             SpmError::Trace { .. } => "trace-decode",
             SpmError::Analysis { .. } => "analysis",
             SpmError::Regression { .. } => "regression",
+            SpmError::Exhausted { .. } => "exhausted",
         }
     }
 }
@@ -208,6 +223,14 @@ impl fmt::Display for SpmError {
             SpmError::Trace { source, error } => write!(f, "{source}: {error}"),
             SpmError::Analysis { stage, message } => write!(f, "{stage}: {message}"),
             SpmError::Regression { stage, message } => write!(f, "{stage}: {message}"),
+            SpmError::Exhausted {
+                path,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "{path}: I/O retries exhausted after {attempts} attempts: {message}"
+            ),
         }
     }
 }
@@ -270,6 +293,11 @@ mod tests {
             SpmError::Regression {
                 stage: "cli/select/sim/run".into(),
                 message: "3.0x over baseline".into(),
+            },
+            SpmError::Exhausted {
+                path: "out.spmstore".into(),
+                attempts: 4,
+                message: "sync: interrupted".into(),
             },
         ];
         let mut codes: Vec<u8> = samples.iter().map(SpmError::exit_code).collect();

@@ -1,20 +1,53 @@
 //! Validation of the committed bench artifact
-//! (`results/BENCH_report.json`, schema `spm-bench/report/v4`).
+//! (`results/BENCH_report.json`, schema `spm-bench/report/v5`).
 //!
-//! The v4 report is the trajectory point the repo commits per PR: for
-//! each figure of the suite the repeat count and the median/min/total
-//! wall-clock across repeats, the suite-wide simulation throughput,
-//! and (new in v4) the per-decoder ingest throughput of the `spmstk01`
-//! store figure (flat vs store vs parallel store decode). Like the
-//! JSONL stream schema, the validator here is the *executable* schema:
-//! CI runs it against the committed file, and the writer
-//! (`all_figures`) is tested against it, so producer and consumer
-//! cannot drift apart silently.
+//! The report carries the current measurement — for each figure of the
+//! suite the repeat count and the median/min/total wall-clock across
+//! repeats, the suite-wide simulation throughput, and the per-decoder
+//! ingest throughput of the `spmstk01` store figure (flat vs store vs
+//! parallel vs crash-recovered decode) — plus (new in v5) the
+//! `trajectory`: the per-decoder ingest medians of *previous* committed
+//! reports, carried forward and appended to by `all_figures` on each
+//! regeneration, so ingest-throughput history accumulates in-repo
+//! instead of being overwritten. Like the JSONL stream schema, the
+//! validator here is the *executable* schema: CI runs it against the
+//! committed file, and the writer (`all_figures`) is tested against
+//! it, so producer and consumer cannot drift apart silently.
 
 use spm_obs::jsonl::{parse, Json};
 
 /// Schema identifier of the bench report artifact.
-pub const BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v4";
+pub const BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v5";
+
+/// Most trajectory points a report may carry (the writer drops the
+/// oldest beyond this).
+pub const TRAJECTORY_CAP: usize = 64;
+
+/// Validates one decoder entry (`{name, median_events_per_sec, n}`),
+/// shared by the `ingest` section and every trajectory point.
+fn check_decoders(decoders: &[Json], at: impl Fn(String) -> String) -> Result<(), String> {
+    for (i, dec) in decoders.iter().enumerate() {
+        let at = |message: String| at(format!("decoders[{i}]: {message}"));
+        let name = dec
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing `name`".into()))?;
+        if name.is_empty() {
+            return Err(at("`name` is empty".into()));
+        }
+        let median = finite_num(dec, "median_events_per_sec").map_err(&at)?;
+        if median < 0.0 {
+            return Err(at(format!(
+                "`median_events_per_sec` is negative ({median})"
+            )));
+        }
+        let n = finite_num(dec, "n").map_err(&at)?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(at("`n` must be a non-negative integer".into()));
+        }
+    }
+    Ok(())
+}
 
 fn finite_num(doc: &Json, key: &str) -> Result<f64, String> {
     match doc.get(key) {
@@ -87,25 +120,37 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
     if decoders.is_empty() {
         return Err("`ingest.decoders` is empty".into());
     }
-    for (i, dec) in decoders.iter().enumerate() {
-        let at = |message: String| format!("ingest.decoders[{i}]: {message}");
-        let name = dec
-            .get("name")
-            .and_then(Json::as_str)
-            .ok_or_else(|| at("missing `name`".into()))?;
-        if name.is_empty() {
-            return Err(at("`name` is empty".into()));
+    check_decoders(decoders, |message| format!("ingest.{message}"))?;
+
+    // The trajectory may be empty (a fresh v5 file has no history yet)
+    // but must be present, each point well-formed, and its sequence
+    // numbers strictly increasing.
+    let Some(Json::Arr(trajectory)) = doc.get("trajectory") else {
+        return Err("missing `trajectory` array".into());
+    };
+    if trajectory.len() > TRAJECTORY_CAP {
+        return Err(format!(
+            "`trajectory` has {} points, cap is {TRAJECTORY_CAP}",
+            trajectory.len()
+        ));
+    }
+    let mut last_seq = 0u64;
+    for (i, point) in trajectory.iter().enumerate() {
+        let at = |message: String| format!("trajectory[{i}]: {message}");
+        let seq = positive_int(point, "seq").map_err(&at)?;
+        if seq <= last_seq {
+            return Err(at(format!("`seq` {seq} not above predecessor {last_seq}")));
         }
-        let median = finite_num(dec, "median_events_per_sec").map_err(&at)?;
-        if median < 0.0 {
-            return Err(at(format!(
-                "`median_events_per_sec` is negative ({median})"
-            )));
+        last_seq = seq;
+        positive_int(point, "jobs").map_err(&at)?;
+        positive_int(point, "repeats").map_err(&at)?;
+        let Some(Json::Arr(decoders)) = point.get("decoders") else {
+            return Err(at("missing `decoders` array".into()));
+        };
+        if decoders.is_empty() {
+            return Err(at("`decoders` is empty".into()));
         }
-        let n = finite_num(dec, "n").map_err(&at)?;
-        if n < 0.0 || n.fract() != 0.0 {
-            return Err(at("`n` must be a non-negative integer".into()));
-        }
+        check_decoders(decoders, at)?;
     }
 
     let Some(Json::Arr(figures)) = doc.get("figures") else {
@@ -160,8 +205,17 @@ mod tests {
   "ingest": {{"workload": "gzip", "decoders": [
     {{"name": "flat", "median_events_per_sec": 90000000, "n": 2}},
     {{"name": "store", "median_events_per_sec": 85000000, "n": 2}},
-    {{"name": "store-par", "median_events_per_sec": 160000000, "n": 2}}
+    {{"name": "store-par", "median_events_per_sec": 160000000, "n": 2}},
+    {{"name": "store-faulted", "median_events_per_sec": 70000000, "n": 2}}
   ]}},
+  "trajectory": [
+    {{"seq": 1, "jobs": 4, "repeats": 2, "decoders": [
+      {{"name": "flat", "median_events_per_sec": 88000000, "n": 2}}
+    ]}},
+    {{"seq": 2, "jobs": 4, "repeats": 2, "decoders": [
+      {{"name": "flat", "median_events_per_sec": 90000000, "n": 2}}
+    ]}}
+  ],
   "figures": [
     {{"name": "fig03", "repeats": 2, "median_us": 60000, "min_us": 55000, "total_us": 125000}},
     {{"name": "fig04", "repeats": 2, "median_us": 1500000, "min_us": 1400000, "total_us": 2900000}}
@@ -177,9 +231,47 @@ mod tests {
 
     #[test]
     fn wrong_schema_tag_fails() {
-        let text = sample().replace("report/v4", "timings/v2");
+        let text = sample().replace("report/v5", "timings/v2");
         let err = validate_bench_report(&text).unwrap_err();
         assert!(err.contains("timings/v2"), "{err}");
+        // The previous major version is rejected too: a stale committed
+        // artifact must fail, not slide through.
+        let text = sample().replace("report/v5", "report/v4");
+        assert!(validate_bench_report(&text).is_err());
+    }
+
+    #[test]
+    fn missing_trajectory_fails_but_empty_passes() {
+        let start = sample().find("  \"trajectory\"").unwrap();
+        let mut text = sample();
+        let end = text.find("  \"figures\"").unwrap();
+        text.replace_range(start..end, "");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("trajectory"), "{err}");
+
+        // A fresh v5 file starts with no history.
+        let mut text = sample();
+        let start = text.find("\"trajectory\": [").unwrap() + "\"trajectory\": ".len();
+        let end = start + text[start..].find("],").unwrap();
+        text.replace_range(start..end + 1, "[]");
+        validate_bench_report(&text).unwrap();
+    }
+
+    #[test]
+    fn trajectory_points_are_checked() {
+        // Non-increasing sequence numbers fail.
+        let text = sample().replace("\"seq\": 2", "\"seq\": 1");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("trajectory[1]"), "{err}");
+        assert!(err.contains("not above predecessor"), "{err}");
+        // A malformed decoder inside a point fails with its location.
+        let text = sample().replace(
+            "{\"name\": \"flat\", \"median_events_per_sec\": 88000000, \"n\": 2}",
+            "{\"median_events_per_sec\": 88000000, \"n\": 2}",
+        );
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("trajectory[0]"), "{err}");
+        assert!(err.contains("decoders[0]"), "{err}");
     }
 
     #[test]

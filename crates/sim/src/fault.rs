@@ -20,11 +20,21 @@
 use crate::events::{TraceEvent, TraceObserver};
 
 /// Minimal deterministic generator for fault placement.
+///
+/// Public so other fault layers (e.g. `spm-store`'s failpoint I/O)
+/// place their faults with the same replayable generator instead of
+/// growing private near-copies.
 #[derive(Debug, Clone)]
-struct SplitMix64(u64);
+pub struct SplitMix64(u64);
 
 impl SplitMix64 {
-    fn next(&mut self) -> u64 {
+    /// Creates a generator whose whole sequence derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -33,8 +43,8 @@ impl SplitMix64 {
     }
 
     /// Uniform draw in `0..n` (`n > 0`).
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
     }
 }
 

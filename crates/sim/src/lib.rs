@@ -55,6 +55,6 @@ mod timing;
 
 pub use engine::{run, RunError, RunSummary, MAX_CALL_DEPTH};
 pub use events::{TraceEvent, TraceObserver};
-pub use fault::{FaultKind, FaultObserver, TraceCorruptor};
+pub use fault::{FaultKind, FaultObserver, SplitMix64, TraceCorruptor};
 pub use timeline::{Timeline, TimelineSample};
 pub use timing::{TimingConfig, TimingModel};

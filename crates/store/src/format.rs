@@ -9,7 +9,11 @@
 //!   0   8  magic "spmstk01"
 //!   8   4  block budget in bytes, u32 LE (writer's pre-compression
 //!          target; informational)
-//!   12  4  reserved, u32 LE (0)
+//!   12  1  sync policy the writer ran under, u8 (0 = none, 1 = block,
+//!          2 = close; unknown values read as none). Files from
+//!          writers predating this byte carry 0, which is accurate:
+//!          those writers never synced.
+//!   13  3  reserved (0)
 //!
 //! block (40-byte frame header + payload):
 //!   0   4  payload length in bytes, u32 LE
@@ -70,6 +74,69 @@ pub const FOOTER_LEN: usize = 56;
 
 /// Default pre-compression block budget (~256 KiB of encoded payload).
 pub const DEFAULT_BLOCK_BUDGET: usize = 256 * 1024;
+
+/// Byte offset of the sync-policy byte inside the header.
+pub const SYNC_POLICY_OFFSET: usize = 12;
+
+/// When the writer issues durability barriers (`sync`) to its sink.
+///
+/// The policy is recorded in the header (one byte at
+/// [`SYNC_POLICY_OFFSET`]) so a reader can tell how much a torn file
+/// was allowed to lose: under `Block`, everything up to the last
+/// committed block; under `None`/`Close`, potentially the whole file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Never sync; fastest, a crash may lose everything.
+    None,
+    /// Sync after every flushed block — each block is durable (and its
+    /// commit watermark advances) before the next begins. The default
+    /// for `spm pack`.
+    #[default]
+    Block,
+    /// Sync once when the container is finished.
+    Close,
+}
+
+impl SyncPolicy {
+    /// The header encoding of this policy.
+    pub fn header_byte(self) -> u8 {
+        match self {
+            SyncPolicy::None => 0,
+            SyncPolicy::Block => 1,
+            SyncPolicy::Close => 2,
+        }
+    }
+
+    /// Decodes a header byte; unknown values read as `None` (the
+    /// weakest promise — never claim durability a writer didn't give).
+    pub fn from_header_byte(byte: u8) -> Self {
+        match byte {
+            1 => SyncPolicy::Block,
+            2 => SyncPolicy::Close,
+            _ => SyncPolicy::None,
+        }
+    }
+
+    /// Parses the CLI spelling (`none` | `block` | `close`).
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "none" => Some(SyncPolicy::None),
+            "block" => Some(SyncPolicy::Block),
+            "close" => Some(SyncPolicy::Close),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SyncPolicy::None => "none",
+            SyncPolicy::Block => "block",
+            SyncPolicy::Close => "close",
+        })
+    }
+}
 
 /// FNV-1a 64-bit hash: the checksum of block payloads and of the index
 /// (the same function the flat `spmtrc02` header uses).
@@ -259,6 +326,16 @@ mod tests {
 
         raw[55] ^= 0xff;
         assert!(Footer::decode(&raw).is_err());
+    }
+
+    #[test]
+    fn sync_policy_round_trips_and_unknown_reads_as_none() {
+        for policy in [SyncPolicy::None, SyncPolicy::Block, SyncPolicy::Close] {
+            assert_eq!(SyncPolicy::from_header_byte(policy.header_byte()), policy);
+            assert_eq!(SyncPolicy::parse(&policy.to_string()), Some(policy));
+        }
+        assert_eq!(SyncPolicy::from_header_byte(0xff), SyncPolicy::None);
+        assert_eq!(SyncPolicy::parse("fsync"), None);
     }
 
     #[test]

@@ -1,0 +1,680 @@
+//! The store's write-side I/O seam: every byte [`StoreWriter`] emits
+//! goes through the [`StoreIo`] trait, so the same commit protocol runs
+//! against a real file ([`FileIo`]), plain memory (`Vec<u8>`), or the
+//! deterministic failpoint disk ([`FaultyIo`]) the chaos harness drives.
+//!
+//! [`FaultyIo`] models the disk, not the API: it tracks which prefix of
+//! the written bytes a crash would preserve (advanced by [`sync`]) and
+//! can inject, at seed-chosen operations, short writes, transient
+//! errors, `ENOSPC`, dropped syncs, and a simulated kill that leaves a
+//! torn tail — the adversarial inputs behind the durability claims in
+//! DESIGN.md §12. Fault placement uses the same replayable
+//! [`SplitMix64`] generator as `spm-sim`'s event/byte fault layer.
+//!
+//! Transient errors are absorbed by the writer's bounded
+//! retry/backoff policy ([`RetryPolicy`], with sleeps routed through
+//! the injectable [`Clock`] so tests never actually wait); exhausted
+//! retries surface as [`StoreError::Exhausted`].
+//!
+//! [`StoreWriter`]: crate::StoreWriter
+//! [`sync`]: StoreIo::sync
+
+use crate::StoreError;
+use spm_sim::SplitMix64;
+use std::io::{self, Write};
+use std::time::Duration;
+
+/// The write-side VFS: a sink with an explicit durability barrier.
+///
+/// `write` follows the `io::Write` contract (short writes are legal;
+/// callers loop), `flush` pushes buffered bytes toward the backing
+/// store with no durability promise, and `sync` returns only once every
+/// byte written so far would survive a crash.
+pub trait StoreIo {
+    /// Writes a prefix of `buf`, returning how many bytes were
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error`; transient kinds (see [`is_transient`]) may
+    /// succeed when retried.
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+
+    /// Pushes buffered bytes toward the backing store (no durability).
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` from the underlying sink.
+    fn flush(&mut self) -> io::Result<()>;
+
+    /// Durability barrier: everything written so far survives a crash
+    /// once this returns.
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` from the underlying sink.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl StoreIo for Vec<u8> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl<S: StoreIo + ?Sized> StoreIo for &mut S {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (**self).write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+}
+
+/// The production impl: a buffered file whose `sync` is a real
+/// `fdatasync` (flush the userspace buffer, then `sync_data`).
+#[derive(Debug)]
+pub struct FileIo {
+    inner: io::BufWriter<std::fs::File>,
+}
+
+impl FileIo {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` from `File::create`.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        Ok(Self {
+            inner: io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl StoreIo for FileIo {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.flush()?;
+        self.inner.get_ref().sync_data()
+    }
+}
+
+/// Whether an I/O error kind is worth retrying: the caller did nothing
+/// wrong and the same operation may succeed shortly.
+pub fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Bounded retry with exponential backoff for transient I/O errors.
+///
+/// `max_retries` counts *re*-attempts after the first try; delays are
+/// `base_delay * 2^n` for retry `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_delay: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every transient error is immediately fatal.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before retry `n` (0-based).
+    pub fn delay(&self, retry: u32) -> Duration {
+        self.base_delay
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+    }
+}
+
+/// Where retry backoff sleeps go — injectable so tests assert the
+/// exponential schedule without waiting it out.
+pub trait Clock: std::fmt::Debug {
+    /// Blocks for (at least) `duration`.
+    fn sleep(&self, duration: Duration);
+}
+
+/// The production clock: `std::thread::sleep`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+/// Runs `op`, absorbing transient failures with the policy's bounded
+/// backoff. Each retry increments `retries` and the `io/retry` counter;
+/// the first retry in a process also emits a deduped `io/retry`
+/// warning. Exhausting the budget yields [`StoreError::Exhausted`];
+/// non-transient errors yield [`StoreError::Io`] immediately.
+pub(crate) fn with_retries<T>(
+    policy: &RetryPolicy,
+    clock: &dyn Clock,
+    what: &str,
+    retries: &mut u64,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> Result<T, StoreError> {
+    let mut last = match op() {
+        Ok(value) => return Ok(value),
+        Err(e) if !is_transient(e.kind()) => {
+            return Err(StoreError::Io {
+                message: e.to_string(),
+            })
+        }
+        Err(e) => e,
+    };
+    for retry in 0..policy.max_retries {
+        *retries += 1;
+        spm_obs::counter_with("io/retry", 1, &[("op", what.to_string().into())]);
+        spm_obs::warning(
+            "io/retry",
+            &[
+                ("op", what.to_string().into()),
+                ("reason", last.to_string().into()),
+            ],
+        );
+        clock.sleep(policy.delay(retry));
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) if !is_transient(e.kind()) => {
+                return Err(StoreError::Io {
+                    message: e.to_string(),
+                })
+            }
+            Err(e) => last = e,
+        }
+    }
+    Err(StoreError::Exhausted {
+        attempts: policy.max_retries + 1,
+        message: format!("{what}: {last}"),
+    })
+}
+
+/// Seed-driven failpoint schedule for [`FaultyIo`]. Operations are
+/// numbered from 0 across writes, flushes, and syncs; every fault site
+/// is either pinned to an operation index or drawn by the seeded
+/// generator, so a failing run replays exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Seed for all randomized placement (torn-tail cut points, short
+    /// write lengths, transient draws).
+    pub seed: u64,
+    /// Simulate a kill at this operation: the op fails, every later op
+    /// fails, and the surviving bytes are the synced prefix plus a
+    /// seeded partial tail (what a real crash leaves on disk).
+    pub crash_at_op: Option<u64>,
+    /// Fail roughly one in `n` operations once with a transient
+    /// `Interrupted` error; the retry succeeds.
+    pub transient_one_in: Option<u32>,
+    /// From this operation on, every attempt fails transiently —
+    /// bounded retries must exhaust.
+    pub stuck_at_op: Option<u64>,
+    /// From this operation on, every write fails with `StorageFull`
+    /// (ENOSPC) — permanent, never retried.
+    pub full_at_op: Option<u64>,
+    /// Accept only a seeded prefix of roughly one in `n` writes.
+    pub short_one_in: Option<u32>,
+    /// Acknowledge syncs without making anything durable (a lying
+    /// disk): a later crash loses data the writer believed committed.
+    pub drop_syncs: bool,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (placement seeded by `seed` once faults
+    /// are enabled via the builder methods).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Kill the disk at operation `op` (0-based), leaving a torn tail.
+    pub fn crash_at_op(mut self, op: u64) -> Self {
+        self.crash_at_op = Some(op);
+        self
+    }
+
+    /// Inject one-shot transient errors roughly every `n` operations.
+    pub fn transient_one_in(mut self, n: u32) -> Self {
+        self.transient_one_in = Some(n.max(1));
+        self
+    }
+
+    /// Fail every attempt from operation `op` on with a transient
+    /// error.
+    pub fn stuck_at_op(mut self, op: u64) -> Self {
+        self.stuck_at_op = Some(op);
+        self
+    }
+
+    /// Fail every write from operation `op` on with ENOSPC.
+    pub fn full_at_op(mut self, op: u64) -> Self {
+        self.full_at_op = Some(op);
+        self
+    }
+
+    /// Accept only a partial prefix of roughly one in `n` writes.
+    pub fn short_one_in(mut self, n: u32) -> Self {
+        self.short_one_in = Some(n.max(1));
+        self
+    }
+
+    /// Acknowledge syncs without durability.
+    pub fn drop_syncs(mut self) -> Self {
+        self.drop_syncs = true;
+        self
+    }
+
+    /// Parses the failpoint spec format the CLI's `SPM_PACK_FAULT`
+    /// hook and the chaos harness share: comma-separated `key=value`
+    /// pairs (`seed`, `crash-at-op`, `transient-one-in`,
+    /// `stuck-at-op`, `full-at-op`, `short-one-in`) plus the bare flag
+    /// `drop-syncs`. Example: `seed=7,crash-at-op=12`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the bad key or value.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = match part.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (part.trim(), None),
+            };
+            let number = || -> Result<u64, String> {
+                value
+                    .ok_or_else(|| format!("fault key '{key}' needs =N"))?
+                    .parse::<u64>()
+                    .map_err(|_| {
+                        format!(
+                            "fault key '{key}' needs an integer, got '{}'",
+                            value.unwrap_or_default()
+                        )
+                    })
+            };
+            match key {
+                "seed" => plan.seed = number()?,
+                "crash-at-op" => plan.crash_at_op = Some(number()?),
+                "transient-one-in" => {
+                    plan.transient_one_in = Some(number()?.clamp(1, u64::from(u32::MAX)) as u32)
+                }
+                "stuck-at-op" => plan.stuck_at_op = Some(number()?),
+                "full-at-op" => plan.full_at_op = Some(number()?),
+                "short-one-in" => {
+                    plan.short_one_in = Some(number()?.clamp(1, u64::from(u32::MAX)) as u32)
+                }
+                "drop-syncs" => plan.drop_syncs = true,
+                other => return Err(format!("unknown fault key '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// In-memory disk with deterministic failpoints: the [`StoreIo`] impl
+/// the chaos harness and the fault-injection tests write through.
+///
+/// After a simulated crash, [`bytes`](Self::bytes) is the torn image a
+/// reopen would see: the synced prefix survives whole, the unsynced
+/// tail is cut at a seeded point. All further operations fail.
+#[derive(Debug)]
+pub struct FaultyIo {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    bytes: Vec<u8>,
+    /// Length of the prefix a crash preserves (advanced by `sync`).
+    synced_len: usize,
+    ops: u64,
+    crashed: bool,
+    /// A transient error was injected on the previous attempt; the
+    /// retry succeeds.
+    transient_pending: bool,
+    injected_transients: u64,
+    injected_shorts: u64,
+}
+
+impl FaultyIo {
+    /// A failpoint disk following `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            rng: SplitMix64::new(plan.seed ^ 0x6661_756c_7479_696f), // "faultyio"
+            bytes: Vec::new(),
+            synced_len: 0,
+            ops: 0,
+            crashed: false,
+            transient_pending: false,
+            injected_transients: 0,
+            injected_shorts: 0,
+        }
+    }
+
+    /// The current on-disk image (after a crash: the torn image).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the disk, returning the image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Operations observed so far (writes, flushes, syncs).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether the simulated kill has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Bytes guaranteed to survive a crash right now.
+    pub fn synced_len(&self) -> usize {
+        self.synced_len
+    }
+
+    /// Transient errors injected so far.
+    pub fn injected_transients(&self) -> u64 {
+        self.injected_transients
+    }
+
+    /// Short writes injected so far.
+    pub fn injected_shorts(&self) -> u64 {
+        self.injected_shorts
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::other("simulated crash: store I/O is dead")
+    }
+
+    /// Fires the kill: keep the synced prefix plus a seeded partial
+    /// tail, fail this and every later operation.
+    fn crash(&mut self, in_flight: &[u8]) -> io::Error {
+        self.bytes
+            .extend_from_slice(&in_flight[..self.rng.below(in_flight.len() as u64 + 1) as usize]);
+        let unsynced = self.bytes.len() - self.synced_len;
+        let keep = self.synced_len + self.rng.below(unsynced as u64 + 1) as usize;
+        self.bytes.truncate(keep);
+        self.crashed = true;
+        Self::crash_error()
+    }
+
+    /// Common per-operation fault gate. `in_flight` is the buffer a
+    /// crashing write may partially apply before the cut.
+    fn begin_op(&mut self, is_write: bool, in_flight: &[u8]) -> Result<u64, io::Error> {
+        if self.crashed {
+            return Err(Self::crash_error());
+        }
+        let op = self.ops;
+        self.ops += 1;
+        if self.plan.crash_at_op.is_some_and(|at| op >= at) {
+            return Err(self.crash(in_flight));
+        }
+        if self.plan.stuck_at_op.is_some_and(|at| op >= at) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected stuck transient (op {op})"),
+            ));
+        }
+        if is_write && self.plan.full_at_op.is_some_and(|at| op >= at) {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                format!("injected ENOSPC (op {op})"),
+            ));
+        }
+        if self.transient_pending {
+            self.transient_pending = false;
+        } else if self
+            .plan
+            .transient_one_in
+            .is_some_and(|n| self.rng.below(u64::from(n)) == 0)
+        {
+            self.transient_pending = true;
+            self.injected_transients += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient (op {op})"),
+            ));
+        }
+        Ok(op)
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.begin_op(true, buf)?;
+        let mut accept = buf.len();
+        if buf.len() > 1
+            && self
+                .plan
+                .short_one_in
+                .is_some_and(|n| self.rng.below(u64::from(n)) == 0)
+        {
+            self.injected_shorts += 1;
+            accept = 1 + self.rng.below(buf.len() as u64 - 1) as usize;
+        }
+        self.bytes.extend_from_slice(&buf[..accept]);
+        Ok(accept)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.begin_op(false, &[])?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.begin_op(false, &[])?;
+        if !self.plan.drop_syncs {
+            self.synced_len = self.bytes.len();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// Records requested sleeps instead of performing them.
+    #[derive(Debug, Default)]
+    struct RecordingClock(RefCell<Vec<Duration>>);
+
+    impl Clock for RecordingClock {
+        fn sleep(&self, duration: Duration) {
+            self.0.borrow_mut().push(duration);
+        }
+    }
+
+    #[test]
+    fn fault_plan_parses_the_shared_spec_format() {
+        let plan = FaultPlan::parse("seed=7,crash-at-op=12,drop-syncs").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.crash_at_op, Some(12));
+        assert!(plan.drop_syncs);
+        assert!(plan.transient_one_in.is_none());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("crash-at-op").is_err());
+        assert!(FaultPlan::parse("crash-at-op=x").is_err());
+    }
+
+    #[test]
+    fn vec_io_accepts_everything() {
+        let mut sink = Vec::new();
+        assert_eq!(StoreIo::write(&mut sink, b"abc").unwrap(), 3);
+        StoreIo::sync(&mut sink).unwrap();
+        assert_eq!(sink, b"abc");
+    }
+
+    #[test]
+    fn crash_keeps_synced_prefix_and_tears_the_tail() {
+        let mut io = FaultyIo::new(FaultPlan::new(7).crash_at_op(3));
+        StoreIo::write(&mut io, b"aaaa").unwrap(); // op 0
+        StoreIo::sync(&mut io).unwrap(); // op 1: 4 bytes durable
+        StoreIo::write(&mut io, b"bbbb").unwrap(); // op 2
+        let err = StoreIo::write(&mut io, b"cccc").unwrap_err(); // op 3: kill
+        assert!(err.to_string().contains("simulated crash"));
+        assert!(io.crashed());
+        // Synced prefix intact; unsynced tail torn at a seeded point.
+        assert!(io.bytes().len() >= 4 && io.bytes().len() <= 12);
+        assert_eq!(&io.bytes()[..4], b"aaaa");
+        // Everything after the kill fails.
+        assert!(StoreIo::write(&mut io, b"x").is_err());
+        assert!(StoreIo::sync(&mut io).is_err());
+    }
+
+    #[test]
+    fn same_seed_same_torn_image() {
+        let torn = |seed| {
+            let mut io = FaultyIo::new(FaultPlan::new(seed).crash_at_op(2));
+            StoreIo::write(&mut io, b"0123456789").unwrap();
+            StoreIo::write(&mut io, b"abcdefghij").unwrap();
+            let _ = StoreIo::write(&mut io, b"KLMNOPQRST");
+            io.into_bytes()
+        };
+        assert_eq!(torn(5), torn(5));
+    }
+
+    #[test]
+    fn dropped_syncs_lose_acknowledged_data() {
+        let mut io = FaultyIo::new(FaultPlan::new(1).drop_syncs().crash_at_op(2));
+        StoreIo::write(&mut io, b"aaaa").unwrap(); // op 0
+        StoreIo::sync(&mut io).unwrap(); // op 1: acknowledged, not durable
+        assert_eq!(io.synced_len(), 0);
+        let _ = StoreIo::sync(&mut io); // op 2: kill
+        assert!(io.bytes().len() <= 4, "lying sync must not pin the tail");
+    }
+
+    #[test]
+    fn transient_errors_clear_on_retry() {
+        let mut io = FaultyIo::new(FaultPlan::new(3).transient_one_in(1));
+        let err = StoreIo::write(&mut io, b"abc").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(StoreIo::write(&mut io, b"abc").unwrap(), 3);
+        assert!(io.injected_transients() >= 1);
+    }
+
+    #[test]
+    fn enospc_is_not_transient() {
+        let mut io = FaultyIo::new(FaultPlan::new(3).full_at_op(0));
+        let err = StoreIo::write(&mut io, b"abc").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(!is_transient(err.kind()));
+    }
+
+    #[test]
+    fn short_writes_accept_a_partial_prefix() {
+        let mut io = FaultyIo::new(FaultPlan::new(9).short_one_in(1));
+        let n = StoreIo::write(&mut io, b"0123456789").unwrap();
+        assert!((1..10).contains(&n), "short write accepted {n} bytes");
+        assert_eq!(io.bytes(), &b"0123456789"[..n]);
+    }
+
+    #[test]
+    fn retries_follow_exponential_backoff_and_succeed() {
+        let clock = RecordingClock::default();
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(2),
+        };
+        let mut retries = 0u64;
+        let mut attempts = 0u32;
+        let out = with_retries(&policy, &clock, "write", &mut retries, || {
+            attempts += 1;
+            if attempts < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+            } else {
+                Ok(attempts)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 3);
+        assert_eq!(retries, 2);
+        assert_eq!(
+            *clock.0.borrow(),
+            vec![Duration::from_millis(2), Duration::from_millis(4)]
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_are_a_typed_error() {
+        let clock = RecordingClock::default();
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::ZERO,
+        };
+        let mut retries = 0u64;
+        let err = with_retries(&policy, &clock, "sync", &mut retries, || {
+            Err::<(), _>(io::Error::new(io::ErrorKind::Interrupted, "stuck"))
+        })
+        .unwrap_err();
+        match err {
+            StoreError::Exhausted { attempts, message } => {
+                assert_eq!(attempts, 3);
+                assert!(message.contains("sync"), "{message}");
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn permanent_errors_bypass_the_retry_budget() {
+        let clock = RecordingClock::default();
+        let mut retries = 0u64;
+        let err = with_retries(
+            &RetryPolicy::default(),
+            &clock,
+            "write",
+            &mut retries,
+            || Err::<(), _>(io::Error::new(io::ErrorKind::StorageFull, "disk full")),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+        assert_eq!(retries, 0);
+        assert!(clock.0.borrow().is_empty());
+    }
+}

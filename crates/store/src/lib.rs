@@ -33,11 +33,14 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod format;
+pub mod io;
 mod reader;
 mod writer;
 
+pub use format::SyncPolicy;
+pub use io::{Clock, FaultPlan, FaultyIo, FileIo, RetryPolicy, StoreIo, SystemClock};
 pub use reader::{SkippedBlock, StoreInfo, StoreReader, StoreReplayReport};
-pub use writer::{StoreSummary, StoreWriter};
+pub use writer::{CommitMark, FinishOutcome, StoreSummary, StoreWriter};
 
 use spm_sim::record::DecodeError;
 use std::fmt;
@@ -63,6 +66,14 @@ pub enum StoreError {
         /// The underlying decode failure.
         error: DecodeError,
     },
+    /// A transient I/O failure persisted through the bounded retry
+    /// budget (see [`io::RetryPolicy`]).
+    Exhausted {
+        /// Attempts made (first try plus retries).
+        attempts: u32,
+        /// The operation and the last error it produced.
+        message: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -75,6 +86,12 @@ impl fmt::Display for StoreError {
             } => write!(f, "store block {block} corrupt: {error}"),
             StoreError::Corrupt { block: None, error } => {
                 write!(f, "store corrupt: {error}")
+            }
+            StoreError::Exhausted { attempts, message } => {
+                write!(
+                    f,
+                    "store I/O retries exhausted after {attempts} attempts: {message}"
+                )
             }
         }
     }
@@ -97,5 +114,10 @@ mod tests {
             message: "boom".into(),
         };
         assert!(e.to_string().contains("boom"));
+        let e = StoreError::Exhausted {
+            attempts: 4,
+            message: "sync: interrupted".into(),
+        };
+        assert!(e.to_string().contains("4 attempts"));
     }
 }

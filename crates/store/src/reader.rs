@@ -4,8 +4,8 @@
 //! a bounded window of blocks (plus the index) in memory.
 
 use crate::format::{
-    fnv1a64, BlockMeta, Footer, FOOTER_LEN, FRAME_LEN, HEADER_LEN, INDEX_ENTRY_LEN, MAGIC,
-    MAGIC_PREFIX,
+    fnv1a64, BlockMeta, Footer, SyncPolicy, FOOTER_LEN, FRAME_LEN, HEADER_LEN, INDEX_ENTRY_LEN,
+    MAGIC, MAGIC_PREFIX, SYNC_POLICY_OFFSET,
 };
 use crate::StoreError;
 use spm_sim::record::{decode_event, DecodeError};
@@ -32,6 +32,13 @@ pub struct StoreInfo {
     /// Whether the index was rebuilt by walking block frames because
     /// the footer or index was unreadable (a truncated file).
     pub recovered_index: bool,
+    /// The sync policy the writer recorded in the header (how much a
+    /// crash was allowed to lose; files from older writers read as
+    /// [`SyncPolicy::None`], which is what those writers did).
+    pub sync_policy: SyncPolicy,
+    /// Bytes past the last recovered block that recovery discarded
+    /// (the torn tail). 0 for clean opens.
+    pub recovered_tail_bytes: u64,
 }
 
 /// One skipped block in a [`StoreReplayReport`].
@@ -142,6 +149,7 @@ impl<R: Read + Seek> StoreReader<R> {
             });
         }
         let block_budget = crate::format::read_u32_le(&header, 8);
+        let sync_policy = SyncPolicy::from_header_byte(header[SYNC_POLICY_OFFSET]);
 
         match Self::read_footer_index(&mut source, file_bytes) {
             Ok((footer, index)) => {
@@ -158,6 +166,8 @@ impl<R: Read + Seek> StoreReader<R> {
                         payload_bytes,
                         file_bytes,
                         recovered_index: false,
+                        sync_policy,
+                        recovered_tail_bytes: 0,
                     },
                 })
             }
@@ -174,6 +184,9 @@ impl<R: Read + Seek> StoreReader<R> {
                 let events = index.last().map_or(0, |m| m.end_seq());
                 let total_icount = index.last().map_or(0, |m| m.end_icount);
                 let blocks = index.len() as u64;
+                let committed_end = index.last().map_or(HEADER_LEN as u64, |m| {
+                    m.offset + FRAME_LEN as u64 + u64::from(m.payload_len)
+                });
                 Ok(Self {
                     source,
                     index,
@@ -186,6 +199,8 @@ impl<R: Read + Seek> StoreReader<R> {
                         payload_bytes,
                         file_bytes,
                         recovered_index: true,
+                        sync_policy,
+                        recovered_tail_bytes: file_bytes.saturating_sub(committed_end),
                     },
                 })
             }
@@ -245,8 +260,13 @@ impl<R: Read + Seek> StoreReader<R> {
 
     /// Fallback for files without a readable footer: walk block frames
     /// from the top, keeping every frame that chains consistently
-    /// (monotonic sequence numbers and watermarks), and stop at the
-    /// first frame that does not.
+    /// (monotonic sequence numbers and watermarks) *and* whose payload
+    /// passes its checksum, and stop at the first frame that does not.
+    ///
+    /// The checksum requirement is what makes recovery safe on a torn
+    /// tail: a partially written block never joins the rebuilt index,
+    /// so a recovered store surfaces no partial events and its reported
+    /// totals count only blocks replay will actually deliver.
     fn walk_frames(source: &mut R, file_bytes: u64) -> Result<Vec<BlockMeta>, StoreError> {
         let io_err = |e: std::io::Error| StoreError::Io {
             message: e.to_string(),
@@ -259,7 +279,7 @@ impl<R: Read + Seek> StoreReader<R> {
             source.seek(SeekFrom::Start(offset)).map_err(io_err)?;
             let mut raw = [0u8; FRAME_LEN];
             source.read_exact(&mut raw).map_err(io_err)?;
-            let (meta, _checksum) = BlockMeta::decode_frame(&raw, offset);
+            let (meta, declared) = BlockMeta::decode_frame(&raw, offset);
             let end = offset + FRAME_LEN as u64 + u64::from(meta.payload_len);
             let chains = meta.first_seq == next_seq
                 && meta.start_icount == next_icount
@@ -267,6 +287,11 @@ impl<R: Read + Seek> StoreReader<R> {
                 && meta.events > 0
                 && end <= file_bytes;
             if !chains {
+                break;
+            }
+            let mut payload = vec![0u8; meta.payload_len as usize];
+            source.read_exact(&mut payload).map_err(io_err)?;
+            if fnv1a64(&payload) != declared {
                 break;
             }
             next_seq = meta.end_seq();

@@ -181,6 +181,66 @@ proptest! {
         prop_assert_eq!(&got.0[..], tail);
     }
 
+    /// Truncating *inside* the footer or the index (including mid-way
+    /// through an index entry or the footer's checksum field) loses no
+    /// block: every block frame is still intact, so recovery rebuilds
+    /// the full index and replay matches the flat stream exactly,
+    /// reporting the discarded tail.
+    #[test]
+    fn truncation_inside_footer_or_index_recovers_every_block(
+        seed in 0u64..1000,
+        pick in 0usize..1_000_000,
+    ) {
+        let (bytes, flat) = pack(512, seed);
+        let reader = open(bytes.clone());
+        let last = *reader.index().last().expect("blocks");
+        drop(reader);
+        // The index region starts right after the last block's payload;
+        // everything from there to EOF is index entries + footer.
+        let index_offset = (last.offset + FRAME_LEN as u64 + u64::from(last.payload_len)) as usize;
+        let tail_len = bytes.len() - index_offset;
+        let cut_at = index_offset + pick % tail_len;
+        let mut truncated = bytes;
+        truncated.truncate(cut_at);
+
+        let mut reader = StoreReader::new(Cursor::new(truncated)).expect("recovering open");
+        prop_assert!(reader.info().recovered_index);
+        prop_assert_eq!(reader.info().events, flat.len() as u64);
+        prop_assert_eq!(
+            reader.info().recovered_tail_bytes,
+            (cut_at - index_offset) as u64
+        );
+        let mut got = Collect::default();
+        let report = reader.replay(&mut [&mut got]).expect("replay");
+        prop_assert!(report.is_clean());
+        prop_assert_eq!(got.0, flat);
+    }
+
+    /// A store with zero committed blocks truncated inside its footer
+    /// still opens: recovery finds no frames and yields an empty,
+    /// replayable container rather than an error.
+    #[test]
+    fn zero_committed_blocks_truncated_footer_recovers_empty(
+        pick in 0usize..1_000_000,
+    ) {
+        let mut bytes = Vec::new();
+        StoreWriter::new(&mut bytes).finish().expect("finish empty");
+        let header_len = spm_store::format::HEADER_LEN;
+        // Cut anywhere inside the footer (the header must survive for
+        // the file to be recognizable as a store at all).
+        let cut_at = header_len + pick % (bytes.len() - header_len);
+        bytes.truncate(cut_at);
+
+        let mut reader = StoreReader::new(Cursor::new(bytes)).expect("recovering open");
+        prop_assert!(reader.info().recovered_index);
+        prop_assert_eq!(reader.info().blocks, 0);
+        prop_assert_eq!(reader.info().events, 0);
+        let mut got = Collect::default();
+        let report = reader.replay(&mut [&mut got]).expect("replay");
+        prop_assert!(report.is_clean());
+        prop_assert!(got.0.is_empty());
+    }
+
     /// Corruption and parallel decode compose: par_replay skips the
     /// same block the sequential path does.
     #[test]
