@@ -2,25 +2,40 @@
 //! `results/` (used to populate EXPERIMENTS.md), plus two artifacts:
 //! `results/BENCH_timings.json` (`spm-bench/timings/v2`, raw per-figure
 //! wall-clock spans captured through spm-obs) and
-//! `results/BENCH_report.json` (`spm-bench/report/v5`: per-figure
+//! `results/BENCH_report.json` (`spm-bench/report/v6`: per-figure
 //! median/min/total across `--repeat` runs, suite-wide simulation
 //! throughput, per-decoder ingest throughput from the `spmstk01` store
-//! figure, and the ingest-throughput `trajectory` carried forward from
-//! the previously committed report with this run appended — validated
-//! by `spm_report::bench::validate_bench_report`).
+//! figure, the ingest-throughput `trajectory` carried forward from
+//! the previously committed report with this run appended, and — since
+//! v6 — the statistical-profiler summary: suite-level sampling and
+//! allocation totals plus per-figure samples, heap traffic, and peak
+//! RSS, harvested from the always-on profiler of the first timed run —
+//! validated by `spm_report::bench::validate_bench_report`).
 //!
 //! Flags:
 //!
 //! - `--jobs N` — worker count for the per-workload fan-out inside each
 //!   figure (default: host parallelism).
 //! - `--repeat N` — timed repetitions of the suite at `--jobs N`
-//!   (default 1); the v3 report takes per-figure medians across them.
+//!   (default 1); the report takes per-figure medians across them.
 //! - `--compare-serial` — additionally run the whole suite at
 //!   `--jobs 1` first, assert every figure's text is byte-identical to
 //!   the parallel run, and record both runs in the timings artifact.
+//! - `--sample-hz N` — span-stack sampling rate of the always-on
+//!   profiler (default 97, deliberately low so the per-figure sample
+//!   counts stay cheap to collect; 0 keeps allocation/OS accounting
+//!   without a sampler thread).
+//! - `--profile FILE` — additionally write the first timed run's full
+//!   event stream (spans, samples, prof counters) to FILE as
+//!   schema-v2 JSONL for `spm report`.
 
 use std::fs;
 use std::sync::Arc;
+
+/// The counting allocator backs the per-figure allocation accounting;
+/// pass-through until `spm_obs::prof::enable` flips accounting on.
+#[global_allocator]
+static GLOBAL: spm_prof::CountingAllocator = spm_prof::CountingAllocator;
 
 /// Runs one figure computation under a `bench/<name>` span.
 fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
@@ -116,30 +131,97 @@ struct RunTiming {
     figures: Vec<(String, u64)>,
 }
 
-/// Runs the whole suite once at the given worker count, capturing the
-/// top-level `bench/<figure>` spans (nested pipeline spans would swamp
-/// the artifact; worker-thread spans carry no `bench/` prefix) plus
-/// every simulation-throughput gauge and the per-decoder
-/// `ingest/<decoder>_events_per_sec` gauges for the v4 report.
+/// One figure's slice of the profiler output: sampler hits whose folded
+/// stack roots in the figure's span, heap traffic attributed to the
+/// span, and the process peak RSS at its close.
+#[derive(Default, Clone)]
+struct FigProfile {
+    samples: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+    peak_rss_kb: u64,
+}
+
+/// The profiler's view of one suite run: session totals plus the
+/// per-figure attribution harvested from the event stream.
+#[derive(Default)]
+struct SuiteProfile {
+    sample_hz: u64,
+    samples: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+    heap_peak_bytes: u64,
+    figures: Vec<(String, FigProfile)>,
+}
+
+/// An unsigned field off an event, defaulting to 0 when absent.
+fn field_u64(event: &spm_obs::Event, key: &str) -> u64 {
+    event
+        .fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map_or(0, |(_, v)| match v {
+            spm_obs::Value::U64(n) => *n,
+            spm_obs::Value::F64(n) if n.is_finite() && *n >= 0.0 => *n as u64,
+            _ => 0,
+        })
+}
+
+/// A string field off an event.
+fn field_str<'a>(event: &'a spm_obs::Event, key: &str) -> Option<&'a str> {
+    event.fields.iter().find_map(|(k, v)| match v {
+        spm_obs::Value::Str(s) if k == key => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+/// Runs the whole suite once at the given worker count under the
+/// always-on profiler, capturing the top-level `bench/<figure>` spans
+/// (nested pipeline spans would swamp the artifact; worker-thread spans
+/// carry no `bench/` prefix), every simulation-throughput gauge, the
+/// per-decoder `ingest/<decoder>_events_per_sec` gauges, and the
+/// profiler's per-figure attribution for the v6 report. With a
+/// `profile` path the run's full event stream is additionally written
+/// as schema-v2 JSONL.
 #[allow(clippy::type_complexity)]
 fn run_once(
     jobs: usize,
+    sample_hz: u32,
+    profile: Option<&str>,
 ) -> (
     Vec<(&'static str, String)>,
     RunTiming,
     Vec<f64>,
     Vec<(String, f64)>,
+    SuiteProfile,
 ) {
     spm_par::set_default_jobs(jobs);
     let sink = Arc::new(spm_obs::MemorySink::new());
-    spm_obs::install(sink.clone());
+    match profile {
+        None => spm_obs::install(sink.clone()),
+        Some(path) => {
+            let jsonl = spm_obs::JsonlSink::create(std::path::Path::new(path))
+                .unwrap_or_else(|e| io_exit(&format!("create {path}"), &e));
+            spm_obs::install(Arc::new(spm_obs::Fanout::new(vec![
+                sink.clone(),
+                Arc::new(jsonl),
+            ])));
+        }
+    }
+    spm_obs::prof::enable(sample_hz);
     let figures = compute_figures();
+    // Finish before uninstall so the profiler's sample/counter events
+    // land in this run's sinks.
+    let summary = spm_obs::prof::finish();
     spm_obs::uninstall();
 
     let mut total_us = 0;
     let mut spans = Vec::new();
     let mut events_per_sec = Vec::new();
     let mut ingest = Vec::new();
+    let mut fig_profiles: Vec<(String, FigProfile)> = Vec::new();
+    let mut sampled: Vec<(String, u64)> = Vec::new();
+    let mut peak_rss: Vec<(String, u64)> = Vec::new();
     for event in sink.events() {
         match event.kind {
             spm_obs::EventKind::Span { dur_us }
@@ -147,6 +229,24 @@ fn run_once(
             {
                 total_us += dur_us;
                 spans.push((event.name["bench/".len()..].to_string(), dur_us));
+                fig_profiles.push((
+                    event.name.clone(),
+                    FigProfile {
+                        allocs: field_u64(&event, "allocs"),
+                        alloc_bytes: field_u64(&event, "alloc_bytes"),
+                        ..FigProfile::default()
+                    },
+                ));
+            }
+            spm_obs::EventKind::Sample { count } => {
+                if let Some(stack) = field_str(&event, "stack") {
+                    sampled.push((stack.to_string(), count));
+                }
+            }
+            spm_obs::EventKind::Gauge { .. } if event.name == "prof/os" => {
+                if let Some(stage) = field_str(&event, "stage") {
+                    peak_rss.push((stage.to_string(), field_u64(&event, "peak_rss_kb")));
+                }
             }
             spm_obs::EventKind::Gauge { value }
                 if event.name == "sim/events_per_sec" && value.is_finite() =>
@@ -165,6 +265,35 @@ fn run_once(
             _ => {}
         }
     }
+    // Attribute sampler hits and RSS peaks to their figure: a folded
+    // stack belongs to `bench/<name>` when that span is its root frame.
+    for (name, prof) in &mut fig_profiles {
+        let root = name.as_str();
+        prof.samples = sampled
+            .iter()
+            .filter(|(stack, _)| {
+                stack == root || (stack.starts_with(root) && stack.as_bytes()[root.len()] == b';')
+            })
+            .map(|(_, count)| count)
+            .sum();
+        prof.peak_rss_kb = peak_rss
+            .iter()
+            .filter(|(stage, _)| stage == root)
+            .map(|(_, kb)| *kb)
+            .max()
+            .unwrap_or(0);
+    }
+    let suite_profile = SuiteProfile {
+        sample_hz: u64::from(summary.sample_hz),
+        samples: summary.samples,
+        allocs: summary.allocs,
+        alloc_bytes: summary.alloc_bytes,
+        heap_peak_bytes: summary.heap_peak_bytes,
+        figures: fig_profiles
+            .into_iter()
+            .map(|(name, prof)| (name["bench/".len()..].to_string(), prof))
+            .collect(),
+    };
     (
         figures,
         RunTiming {
@@ -174,6 +303,7 @@ fn run_once(
         },
         events_per_sec,
         ingest,
+        suite_profile,
     )
 }
 
@@ -306,6 +436,9 @@ struct TrajPoint {
 /// Loads the trajectory of the previously committed report so history
 /// accumulates instead of being overwritten. Missing file, unparsable
 /// JSON, or a pre-v5 schema all mean the history starts now (empty).
+/// The previous major version (v5) is still *read* here — the format
+/// bump must not drop the accumulated ingest history — even though the
+/// validator only accepts the current schema.
 fn previous_trajectory(path: &str) -> Vec<TrajPoint> {
     use spm_obs::jsonl::Json;
     let Ok(text) = fs::read_to_string(path) else {
@@ -314,7 +447,10 @@ fn previous_trajectory(path: &str) -> Vec<TrajPoint> {
     let Ok(doc) = spm_obs::jsonl::parse(&text) else {
         return Vec::new();
     };
-    if doc.get("schema").and_then(Json::as_str) != Some(spm_report::bench::BENCH_REPORT_SCHEMA) {
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some(spm_report::bench::BENCH_REPORT_SCHEMA)
+        && schema != Some(spm_report::bench::PREV_BENCH_REPORT_SCHEMA)
+    {
         return Vec::new();
     }
     let Some(Json::Arr(points)) = doc.get("trajectory") else {
@@ -368,8 +504,10 @@ fn trajectory_json(points: &[TrajPoint]) -> String {
     out
 }
 
-/// Renders the `spm-bench/report/v5` artifact (the schema
-/// `spm_report::bench::validate_bench_report` checks).
+/// Renders the `spm-bench/report/v6` artifact (the schema
+/// `spm_report::bench::validate_bench_report` checks). One argument per
+/// top-level report section keeps the call site self-documenting.
+#[allow(clippy::too_many_arguments)]
 fn report_json(
     host_parallelism: usize,
     jobs: usize,
@@ -378,6 +516,7 @@ fn report_json(
     events_per_sec: &mut [f64],
     ingest: &[(String, f64)],
     trajectory: &[TrajPoint],
+    profile: &SuiteProfile,
 ) -> String {
     events_per_sec.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let eps_median = if events_per_sec.is_empty() {
@@ -393,15 +532,40 @@ fn report_json(
         eps_median,
         events_per_sec.len()
     );
+    out.push_str(&format!(
+        "  \"profile\": {{\"sample_hz\": {}, \"samples\": {}, \"allocs\": {}, \
+\"alloc_bytes\": {}, \"heap_peak_bytes\": {}}},\n",
+        profile.sample_hz,
+        profile.samples,
+        profile.allocs,
+        profile.alloc_bytes,
+        profile.heap_peak_bytes
+    ));
     out.push_str(&ingest_json(&decoder_medians(ingest)));
     out.push_str(&trajectory_json(trajectory));
     out.push_str("  \"figures\": [\n");
+    let empty = FigProfile::default();
     for (i, s) in stats.iter().enumerate() {
         let comma = if i + 1 == stats.len() { "" } else { "," };
+        // Per-figure profiler attribution from the first timed run; a
+        // figure the profiler never saw reports zeros, not absence.
+        let p = profile
+            .figures
+            .iter()
+            .find(|(name, _)| *name == s.name)
+            .map_or(&empty, |(_, p)| p);
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"repeats\": {repeats}, \"median_us\": {}, \
-\"min_us\": {}, \"total_us\": {}}}{comma}\n",
-            s.name, s.median_us, s.min_us, s.total_us
+\"min_us\": {}, \"total_us\": {}, \"profile\": {{\"samples\": {}, \"allocs\": {}, \
+\"alloc_bytes\": {}, \"peak_rss_kb\": {}}}}}{comma}\n",
+            s.name,
+            s.median_us,
+            s.min_us,
+            s.total_us,
+            p.samples,
+            p.allocs,
+            p.alloc_bytes,
+            p.peak_rss_kb
         ));
     }
     out.push_str("  ]\n}\n");
@@ -410,7 +574,10 @@ fn report_json(
 
 fn usage(message: &str) -> ! {
     eprintln!("error[usage]: {message}");
-    eprintln!("usage: all_figures [--jobs N] [--repeat N] [--compare-serial]");
+    eprintln!(
+        "usage: all_figures [--jobs N] [--repeat N] [--compare-serial] \
+[--sample-hz N] [--profile FILE]"
+    );
     std::process::exit(2)
 }
 
@@ -419,10 +586,17 @@ fn io_exit(what: &str, error: &std::io::Error) -> ! {
     std::process::exit(3)
 }
 
+/// Default sampling rate: low enough that the sampler never distorts
+/// the timed figures, high enough that multi-second figures land
+/// samples. A prime, so it cannot lock onto periodic work.
+const DEFAULT_SAMPLE_HZ: u32 = 97;
+
 fn main() {
     let mut jobs = spm_par::available_parallelism();
     let mut repeat = 1usize;
     let mut compare_serial = false;
+    let mut sample_hz = DEFAULT_SAMPLE_HZ;
+    let mut profile_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -442,6 +616,20 @@ fn main() {
                 };
             }
             "--compare-serial" => compare_serial = true,
+            "--sample-hz" => {
+                i += 1;
+                sample_hz = match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => usage("--sample-hz needs a non-negative integer"),
+                };
+            }
+            "--profile" => {
+                i += 1;
+                profile_path = match args.get(i) {
+                    Some(path) => Some(path.clone()),
+                    None => usage("--profile needs a file path"),
+                };
+            }
             other => usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
@@ -449,26 +637,31 @@ fn main() {
 
     let mut runs = Vec::new();
     let serial_figures = if compare_serial {
-        let (figures, timing, _, _) = run_once(1);
+        let (figures, timing, _, _, _) = run_once(1, sample_hz, None);
         runs.push(timing);
         Some(figures)
     } else {
         None
     };
-    // The v4 report aggregates over the `--repeat` runs at `--jobs N`;
-    // the serial comparison run (if any) stays out of its medians.
+    // The report aggregates over the `--repeat` runs at `--jobs N`;
+    // the serial comparison run (if any) stays out of its medians. The
+    // profiler summary (and the `--profile` stream) comes from the
+    // first timed run alone, so repeats never mix attributions.
     let repeats_start = runs.len();
     let mut figures = Vec::new();
     let mut events_per_sec = Vec::new();
     let mut ingest_samples = Vec::new();
+    let mut suite_profile = SuiteProfile::default();
     for rep in 0..repeat {
-        let (figs, timing, mut eps, mut ingest) = run_once(jobs);
+        let profile = (rep == 0).then_some(profile_path.as_deref()).flatten();
+        let (figs, timing, mut eps, mut ingest, prof) = run_once(jobs, sample_hz, profile);
         runs.push(timing);
         events_per_sec.append(&mut eps);
         ingest_samples.append(&mut ingest);
         if rep > 0 {
             continue;
         }
+        suite_profile = prof;
         if let Some(serial) = &serial_figures {
             for ((name, serial_text), (_, parallel_text)) in serial.iter().zip(&figs) {
                 if serial_text != parallel_text {
@@ -524,6 +717,7 @@ fn main() {
         &mut events_per_sec,
         &ingest_samples,
         &trajectory,
+        &suite_profile,
     );
     if let Err(message) = spm_report::bench::validate_bench_report(&report) {
         eprintln!("error[analysis]: generated bench report fails its own schema: {message}");
@@ -554,4 +748,15 @@ fn main() {
         stats.len(),
         events_per_sec.len()
     );
+    println!(
+        "profile: {} samples @ {} Hz, {} allocs / {} bytes, heap peak {} bytes",
+        suite_profile.samples,
+        suite_profile.sample_hz,
+        suite_profile.allocs,
+        suite_profile.alloc_bytes,
+        suite_profile.heap_peak_bytes
+    );
+    if let Some(path) = &profile_path {
+        println!("wrote {path}");
+    }
 }

@@ -79,6 +79,9 @@ const VALUE_FLAGS: &[&str] = &[
     "html",
     "threshold",
     "min-us",
+    "profile",
+    "sample-hz",
+    "folded",
 ];
 
 /// Parses a token stream (without the program name).
@@ -260,6 +263,17 @@ mod tests {
         assert!(p.has("verbose"));
         let p = parse_str("select gzip --verbose").unwrap();
         assert!(p.has("verbose"));
+    }
+
+    #[test]
+    fn profiling_flags_parse() {
+        let p = parse_str("select gzip --profile p.jsonl --sample-hz 199").unwrap();
+        assert_eq!(p.flags.get("profile").unwrap(), "p.jsonl");
+        assert_eq!(p.u64_flag("sample-hz", 99).unwrap(), 199);
+        let p = parse_str("select gzip --profile p.jsonl").unwrap();
+        assert_eq!(p.u64_flag("sample-hz", 99).unwrap(), 99);
+        let p = parse_str("report run.jsonl --folded out.folded").unwrap();
+        assert_eq!(p.flags.get("folded").unwrap(), "out.folded");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! spm replay <tracefile>
 //! spm pack <workload|tracefile> --out FILE.spmstk [--block-size N] [--sync none|block|close] [--input train|ref]
 //! spm info <file.spmstk>
-//! spm report <metrics.jsonl>... [--html FILE]
+//! spm report <metrics.jsonl>... [--html FILE] [--folded FILE]
 //! spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT] [--min-us N] [--html FILE]
 //! spm help
 //! ```
@@ -72,6 +72,17 @@
 //! the same structured stream as `warning` events, deduplicated per
 //! run and keyed by workload in batch runs.
 //!
+//! `--profile FILE` turns on the statistical profiler for any
+//! subcommand: a sampler thread (`--sample-hz`, default 99 Hz, 0
+//! disables sampling) walks the live span stacks into folded-stack
+//! `sample` events, the counting allocator attributes heap traffic to
+//! the enclosing span, and `/proc/self` deltas (CPU time, peak RSS,
+//! I/O bytes) are captured around top-level stages. Everything lands in
+//! FILE as schema-v2 JSONL next to the ordinary span events, so
+//! `spm report` renders it without extra flags — including a
+//! statistical flame view next to the span flame, and `--folded OUT`
+//! exports the stacks for external flamegraph tools.
+//!
 //! `spm report` closes the loop: it reads the `--metrics`/`--spans`
 //! JSONL files back (schema-validated) and renders a hierarchical
 //! flame view, a phase-quality dashboard, an optional self-contained
@@ -122,6 +133,12 @@ impl From<SpmError> for CliError {
 /// arguments). Pipeline errors use [`SpmError::exit_code`] (3..=11).
 const USAGE_EXIT: u8 = 2;
 
+/// The counting allocator is always installed; it stays pass-through
+/// (one relaxed atomic load per allocation) until `--profile` enables
+/// accounting.
+#[global_allocator]
+static GLOBAL: spm_prof::CountingAllocator = spm_prof::CountingAllocator;
+
 fn main() -> ExitCode {
     // Piping into `head` closes stdout early; exit quietly with the
     // conventional SIGPIPE status instead of panicking mid-print.
@@ -160,6 +177,8 @@ fn main() -> ExitCode {
         }
     };
     let result = {
+        // The command span must close before `prof::finish()` so its
+        // allocation fields and root OS deltas make it into the stream.
         let _span = spm_obs::span(&format!("cli/{}", parsed.command));
         match parsed.command.as_str() {
             "list" => cmd_list(),
@@ -186,6 +205,7 @@ fn main() -> ExitCode {
             ))),
         }
     };
+    spm_obs::prof::finish();
     spm_obs::flush();
     if let Some(sink) = verbose_sink {
         eprint!("{}", spm_obs::summary::render(&sink.events()));
@@ -200,10 +220,12 @@ fn main() -> ExitCode {
     }
 }
 
-/// Installs the event recorder requested by `--metrics`, `--spans`, and
-/// `-v`/`--verbose`. Returns the in-memory sink backing the verbose
-/// summary, when one was requested. With none of the three flags the
-/// recorder stays uninstalled and instrumentation is zero-cost.
+/// Installs the event recorder requested by `--metrics`, `--spans`,
+/// `-v`/`--verbose`, and `--profile`. Returns the in-memory sink
+/// backing the verbose summary, when one was requested. With none of
+/// the flags the recorder stays uninstalled and instrumentation is
+/// zero-cost. `--profile` additionally starts the statistical profiler
+/// (sampler thread plus allocation/OS accounting) at `--sample-hz`.
 fn setup_obs(parsed: &ParsedArgs) -> Result<Option<std::sync::Arc<spm_obs::MemorySink>>, CliError> {
     let mut sinks: Vec<std::sync::Arc<dyn spm_obs::Recorder>> = Vec::new();
     let open = |path: &str, spans_only: bool| -> Result<spm_obs::JsonlSink, CliError> {
@@ -226,6 +248,17 @@ fn setup_obs(parsed: &ParsedArgs) -> Result<Option<std::sync::Arc<spm_obs::Memor
     if let Some(path) = parsed.flags.get("spans") {
         sinks.push(std::sync::Arc::new(open(path, true)?));
     }
+    let mut profile_hz = None;
+    if let Some(path) = parsed.flags.get("profile") {
+        sinks.push(std::sync::Arc::new(open(path, false)?));
+        let hz = parsed.u64_flag("sample-hz", 99)?;
+        let hz = u32::try_from(hz).map_err(|_| {
+            CliError::Usage(format!(
+                "flag --sample-hz: `{hz}` is out of range (max 4294967295)"
+            ))
+        })?;
+        profile_hz = Some(hz);
+    }
     let mut verbose_sink = None;
     if parsed.has("verbose") {
         let sink = std::sync::Arc::new(spm_obs::MemorySink::new());
@@ -236,6 +269,11 @@ fn setup_obs(parsed: &ParsedArgs) -> Result<Option<std::sync::Arc<spm_obs::Memor
         0 => {}
         1 => spm_obs::install(sinks.remove(0)),
         _ => spm_obs::install(std::sync::Arc::new(spm_obs::Fanout::new(sinks))),
+    }
+    // Start the profiler only after the recorder is live so its final
+    // events have somewhere to land.
+    if let Some(hz) = profile_hz {
+        spm_obs::prof::enable(hz);
     }
     Ok(verbose_sink)
 }
@@ -267,7 +305,7 @@ USAGE:
   spm pack <workload|tracefile> --out FILE.spmstk [--block-size N]
            [--sync none|block|close] [--input train|ref]
   spm info <file.spmstk>
-  spm report <metrics.jsonl>... [--html FILE]
+  spm report <metrics.jsonl>... [--html FILE] [--folded FILE]
   spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT]
              [--min-us N] [--html FILE]
 
@@ -307,11 +345,19 @@ REPORT FLAGS:
   --min-us N          noise floor in microseconds (default 1000): stages
                       whose medians sit below it are never gated
   --html FILE         also write a self-contained HTML report
+  --folded FILE       export folded stacks (`path;path count` lines) for
+                      external flamegraph tools: profiler samples when
+                      present, span self-times otherwise
 
 OBSERVABILITY (any subcommand):
   --metrics FILE      write all pipeline events (spans, counters, gauges,
                       histograms, warnings) to FILE as JSON Lines
   --spans FILE        write span (timing) events only to FILE
+  --profile FILE      statistical profiler: sampled span stacks, per-stage
+                      allocation counts, and OS resource deltas (CPU, peak
+                      RSS, I/O) written to FILE as JSON Lines (schema v2)
+  --sample-hz N       sampling frequency for --profile in Hz (default 99;
+                      0 keeps allocation/OS accounting without a sampler)
   -v, --verbose       print a per-stage timing summary to stderr
 
 EXIT CODES:
@@ -1381,9 +1427,32 @@ fn write_html(path: &str, html: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Writes the folded-stack export for `spm report --folded OUT`: one
+/// `path;path count` line per stack, sampled stacks when the streams
+/// were profiled, span self-times otherwise — the input format of
+/// external flamegraph tooling.
+fn write_folded(path: &str, runs: &[spm_report::Run]) -> Result<(), CliError> {
+    let mut text = String::new();
+    for run in runs {
+        for line in spm_report::statflame::folded_lines(run) {
+            text.push_str(&line);
+            text.push('\n');
+        }
+    }
+    std::fs::write(path, text).map_err(|e| {
+        CliError::Pipeline(SpmError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })
+    })?;
+    eprintln!("# wrote {path}");
+    Ok(())
+}
+
 /// `spm report`: analyze metrics/spans streams written by `--metrics`
 /// or `--spans`. Plain mode renders a phase-quality dashboard plus a
-/// flame view per file; `--baseline`/`--candidate` mode renders a
+/// flame view per file (and the statistical flame when the stream holds
+/// profiler samples); `--baseline`/`--candidate` mode renders a
 /// noise-aware cross-run comparison and exits 10 when a stage regressed
 /// beyond the threshold.
 fn cmd_report(parsed: &ParsedArgs) -> Result<(), CliError> {
@@ -1426,9 +1495,15 @@ fn cmd_report(parsed: &ParsedArgs) -> Result<(), CliError> {
                     "{}",
                     spm_report::flame::render(&spm_report::flame::build(run))
                 );
+                if let Some(stat) = spm_report::statflame::render_run(run) {
+                    print!("{stat}");
+                }
             }
             if let Some(path) = parsed.flags.get("html") {
                 write_html(path, &spm_report::html::render_runs(&runs))?;
+            }
+            if let Some(path) = parsed.flags.get("folded") {
+                write_folded(path, &runs)?;
             }
             Ok(())
         }

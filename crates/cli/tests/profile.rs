@@ -1,0 +1,237 @@
+//! Golden schema test for the statistical profiler: runs `select` with
+//! `--profile` over every committed workload file, asserting that every
+//! emitted line validates against the schema-v2 event grammar and that
+//! the documented profiler events are present — and that *without*
+//! `--profile` the stream carries no profiler artifacts at all (the
+//! overhead guard: disabled profiling must leave no trace).
+
+use spm_obs::jsonl::{validate_line, Json};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn spm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spm"))
+        .args(args)
+        .output()
+        .expect("spm binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("spm-profile-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// Every `.spm` file shipped in `workloads/` (the same golden set the
+/// metrics schema test pins at four or more).
+fn workload_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../workloads");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("workloads/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "spm"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 4,
+        "expected at least 4 workload files, found {}",
+        files.len()
+    );
+    files
+}
+
+/// Runs `select <workload> --profile`, returning the validated events.
+fn profile_of(workload: &str, hz: &str, tag: &str) -> Vec<Json> {
+    let path = tmp(tag);
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = spm(&["select", workload, "--profile", path_str, "--sample-hz", hz]);
+    assert!(
+        out.status.success(),
+        "select --profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("profile file written");
+    let _ = std::fs::remove_file(&path);
+    text.lines()
+        .map(|line| {
+            validate_line(line).unwrap_or_else(|e| panic!("invalid profile line `{line}`: {e}"))
+        })
+        .collect()
+}
+
+fn names_of(events: &[Json]) -> Vec<String> {
+    events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str).map(String::from))
+        .collect()
+}
+
+fn counter_value(events: &[Json], name: &str) -> Option<f64> {
+    events.iter().find_map(|e| {
+        if e.get("name").and_then(Json::as_str) == Some(name) {
+            match e.get("value") {
+                Some(Json::Num(n)) => Some(*n),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    })
+}
+
+#[test]
+fn profile_schema_golden_over_committed_workloads() {
+    for (i, file) in workload_files().iter().enumerate() {
+        let workload = file.to_str().expect("utf-8 workload path");
+        let events = profile_of(workload, "199", &format!("golden-{i}"));
+        let names = names_of(&events);
+
+        // The allocation counters are unconditional at session end.
+        for counter in ["prof/allocs", "prof/alloc_bytes", "prof/heap_peak_bytes"] {
+            assert!(
+                names.iter().any(|n| n == counter),
+                "{workload}: missing {counter}"
+            );
+        }
+        let allocs = counter_value(&events, "prof/allocs").unwrap_or(0.0);
+        let bytes = counter_value(&events, "prof/alloc_bytes").unwrap_or(0.0);
+        assert!(
+            allocs > 0.0,
+            "{workload}: profiled run counted no allocations"
+        );
+        assert!(
+            bytes > 0.0,
+            "{workload}: profiled run counted no allocated bytes"
+        );
+
+        // The sampler ran (its counters exist) — but these runs are
+        // milliseconds long, so a zero sample count is legitimate.
+        assert!(names.iter().any(|n| n == "prof/samples"), "{workload}");
+        assert!(
+            names.iter().any(|n| n == "prof/sampler_ticks"),
+            "{workload}"
+        );
+
+        // The command span carries its cumulative allocation delta.
+        let span = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("cli/select"))
+            .unwrap_or_else(|| panic!("{workload}: no cli/select span"));
+        let fields = span.get("fields").expect("span has fields");
+        assert!(
+            matches!(fields.get("allocs"), Some(Json::Num(n)) if *n >= 0.0),
+            "{workload}: cli/select span has no allocs field: {fields:?}"
+        );
+
+        // Root-span OS deltas, when /proc/self is available.
+        if cfg!(target_os = "linux") {
+            let os = events
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some("prof/os"))
+                .unwrap_or_else(|| panic!("{workload}: no prof/os event"));
+            assert_eq!(
+                os.get("fields")
+                    .and_then(|f| f.get("stage"))
+                    .and_then(Json::as_str),
+                Some("cli/select"),
+                "{workload}: prof/os not attributed to the command span"
+            );
+        }
+    }
+}
+
+#[test]
+fn sample_hz_zero_keeps_accounting_but_no_sampler_events() {
+    let files = workload_files();
+    let workload = files[0].to_str().expect("utf-8 workload path");
+    let events = profile_of(workload, "0", "hz0");
+    let names = names_of(&events);
+    // Accounting still runs...
+    assert!(counter_value(&events, "prof/allocs").unwrap_or(0.0) > 0.0);
+    // ...but the sampler never existed: no sample events, no sampler
+    // counters, no rate gauge.
+    for absent in [
+        "prof/sample",
+        "prof/samples",
+        "prof/sampler_ticks",
+        "prof/sample_hz",
+    ] {
+        assert!(
+            !names.iter().any(|n| n == absent),
+            "--sample-hz 0 must not emit {absent}"
+        );
+    }
+}
+
+#[test]
+fn unprofiled_runs_carry_no_profiler_artifacts() {
+    // The overhead guard: `--metrics` without `--profile` must produce
+    // a stream with zero prof/* events and no allocation fields on
+    // spans — profiling off means *off*, not attenuated.
+    let files = workload_files();
+    let workload = files[0].to_str().expect("utf-8 workload path");
+    let path = tmp("unprofiled");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = spm(&["select", workload, "--metrics", path_str]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        !text.contains("prof/"),
+        "unprofiled stream has prof/* events:\n{text}"
+    );
+    assert!(
+        !text.contains("\"allocs\""),
+        "unprofiled spans carry allocation fields:\n{text}"
+    );
+    for line in text.lines() {
+        validate_line(line).unwrap_or_else(|e| panic!("invalid line `{line}`: {e}"));
+    }
+}
+
+#[test]
+fn folded_export_round_trips_through_report() {
+    // Profile a run, feed the stream to `spm report --folded`, and
+    // check the export parses as `path;path count` lines.
+    let files = workload_files();
+    let workload = files[0].to_str().expect("utf-8 workload path");
+    let profile = tmp("folded-profile");
+    let folded = tmp("folded-out");
+    let out = spm(&[
+        "select",
+        workload,
+        "--profile",
+        profile.to_str().expect("utf-8"),
+        "--sample-hz",
+        "199",
+    ]);
+    assert!(out.status.success());
+    let out = spm(&[
+        "report",
+        profile.to_str().expect("utf-8"),
+        "--folded",
+        folded.to_str().expect("utf-8"),
+    ]);
+    assert!(
+        out.status.success(),
+        "report --folded failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&folded).expect("folded file written");
+    let _ = std::fs::remove_file(&profile);
+    let _ = std::fs::remove_file(&folded);
+    // Fast runs may land zero samples, in which case the export falls
+    // back to span self-times — either way every line must be
+    // `stack count` with a positive integer count.
+    assert!(!text.is_empty(), "folded export is empty");
+    for line in text.lines() {
+        let (stack, count) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("folded line `{line}` has no count");
+        });
+        assert!(!stack.is_empty(), "empty stack in `{line}`");
+        let n: u64 = count
+            .parse()
+            .unwrap_or_else(|_| panic!("bad count in `{line}`"));
+        assert!(n > 0, "zero count in `{line}`");
+    }
+}

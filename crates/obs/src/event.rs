@@ -10,7 +10,15 @@ use spm_stats::LogHistogram;
 /// Version stamped into every serialized event (the `"v"` key of the
 /// JSONL encoding). Bump when the encoding changes shape; consumers must
 /// reject versions they do not know.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v1 → v2 added the `sample` kind (statistical profiler folded-stack
+/// counts, DESIGN.md §13). Consumers keep accepting every version in
+/// [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`]; v1 files simply never
+/// contain `sample` lines.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version consumers still accept (see [`SCHEMA_VERSION`]).
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// A field value. Numbers keep their native width; non-finite floats
 /// serialize as JSON `null` (JSON has no NaN/inf literals).
@@ -109,6 +117,13 @@ pub enum EventKind {
     /// A structured warning (degradations, fallbacks). Deduplicated per
     /// process: repeated emissions of an identical warning are dropped.
     Warning,
+    /// A statistical-profiler folded stack: `count` sampler hits whose
+    /// frames ride in the `stack` field (`;`-separated relative span
+    /// names, innermost last). Schema v2+.
+    Sample {
+        /// Number of sampler snapshots that observed this stack.
+        count: u64,
+    },
 }
 
 impl EventKind {
@@ -120,6 +135,7 @@ impl EventKind {
             EventKind::Gauge { .. } => "gauge",
             EventKind::Histogram { .. } => "hist",
             EventKind::Warning => "warning",
+            EventKind::Sample { .. } => "sample",
         }
     }
 }
@@ -216,5 +232,6 @@ mod tests {
             "hist"
         );
         assert_eq!(EventKind::Warning.tag(), "warning");
+        assert_eq!(EventKind::Sample { count: 3 }.tag(), "sample");
     }
 }

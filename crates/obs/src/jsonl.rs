@@ -12,14 +12,16 @@
 //!
 //! Kind-specific keys: `dur_us` (span), `value` (counter, gauge),
 //! `count` + `buckets` (hist, with `buckets` an array of
-//! `[lo, hi_exclusive, count]` triples). JSON has no NaN/Inf literals,
+//! `[lo, hi_exclusive, count]` triples), and `count` (sample, schema
+//! v2+, with the folded stack in the `stack` field). JSON has no
+//! NaN/Inf literals,
 //! so the encoder writes non-finite floats as `null` — and
 //! [`validate_line`] *rejects* such lines: a NaN metric is a bug in the
 //! emitter (an unguarded division, an empty statistic), not a value a
 //! consumer can aggregate, so emitters must guard non-finite values at
 //! the source. The contract is documented in DESIGN.md §9.
 
-use crate::event::{Event, EventKind, Value, SCHEMA_VERSION};
+use crate::event::{Event, EventKind, Value, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 use crate::recorder::Recorder;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -58,6 +60,9 @@ pub fn encode(event: &Event) -> String {
             out.push(']');
         }
         EventKind::Warning => {}
+        EventKind::Sample { count } => {
+            let _ = write!(out, ",\"count\":{count}");
+        }
     }
     out.push_str(",\"fields\":{");
     for (i, (k, v)) in event.fields.iter().enumerate() {
@@ -414,7 +419,7 @@ pub fn validate_line(line: &str) -> Result<Json, String> {
         .get("v")
         .and_then(Json::as_num)
         .ok_or("missing schema version `v`")?;
-    if v != SCHEMA_VERSION as f64 {
+    if v < MIN_SCHEMA_VERSION as f64 || v > SCHEMA_VERSION as f64 || v.fract() != 0.0 {
         return Err(format!("unknown schema version {v}"));
     }
     let kind = doc
@@ -476,6 +481,16 @@ pub fn validate_line(line: &str) -> Result<Json, String> {
             }
         }
         "warning" => {}
+        "sample" => {
+            if v < 2.0 {
+                return Err("`sample` kind requires schema v2".into());
+            }
+            finite("count")?;
+            match doc.get("fields").and_then(|f| f.get("stack")) {
+                Some(Json::Str(s)) if !s.is_empty() => {}
+                _ => return Err("sample without a `stack` field".into()),
+            }
+        }
         other => return Err(format!("unknown kind `{other}`")),
     }
     Ok(doc)
@@ -501,6 +516,8 @@ mod tests {
             Event::new("fallback", EventKind::Warning)
                 .with("reason", "no-markers")
                 .with("interval", 10_000u64),
+            Event::new("prof/sample", EventKind::Sample { count: 42 })
+                .with("stack", "cli/select;sim/run"),
         ];
         for e in &events {
             let line = encode(e);
@@ -602,6 +619,37 @@ mod tests {
                 .is_err(),
             "bucket pair, not triple"
         );
+    }
+
+    #[test]
+    fn v1_lines_still_validate_and_samples_require_v2() {
+        // Old v1 streams (pre-profiler) must keep validating.
+        validate_line("{\"v\":1,\"kind\":\"span\",\"name\":\"x\",\"dur_us\":1,\"fields\":{}}")
+            .unwrap();
+        // Current-version sample lines validate...
+        validate_line(
+            "{\"v\":2,\"kind\":\"sample\",\"name\":\"prof/sample\",\"count\":3,\"fields\":{\"stack\":\"a;b\"}}",
+        )
+        .unwrap();
+        // ...but the kind did not exist at v1, needs a count, and needs
+        // a non-empty folded stack.
+        assert!(validate_line(
+            "{\"v\":1,\"kind\":\"sample\",\"name\":\"prof/sample\",\"count\":3,\"fields\":{\"stack\":\"a\"}}"
+        )
+        .is_err());
+        assert!(validate_line(
+            "{\"v\":2,\"kind\":\"sample\",\"name\":\"prof/sample\",\"fields\":{\"stack\":\"a\"}}"
+        )
+        .is_err());
+        assert!(validate_line(
+            "{\"v\":2,\"kind\":\"sample\",\"name\":\"prof/sample\",\"count\":3,\"fields\":{}}"
+        )
+        .is_err());
+        // Fractional versions are not versions.
+        assert!(validate_line(
+            "{\"v\":1.5,\"kind\":\"span\",\"name\":\"x\",\"dur_us\":1,\"fields\":{}}"
+        )
+        .is_err());
     }
 
     #[test]

@@ -41,11 +41,12 @@
 
 pub mod event;
 pub mod jsonl;
+pub mod prof;
 mod recorder;
 mod span;
 pub mod summary;
 
-pub use event::{histogram_kind, Event, EventKind, Value, SCHEMA_VERSION};
+pub use event::{histogram_kind, Event, EventKind, Value, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 pub use jsonl::JsonlSink;
 pub use recorder::{
     enabled, flush, install, record, uninstall, warning_event, Fanout, MemorySink, Recorder,

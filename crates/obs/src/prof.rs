@@ -1,0 +1,557 @@
+//! The statistical profiling layer: span-stack sampling, allocation
+//! accounting, and OS resource snapshots (DESIGN.md §13).
+//!
+//! Three collectors, all always-compiled and off by default:
+//!
+//! * **Span-stack sampler.** Every thread that opens a span while
+//!   sampling is enabled publishes its current folded span stack
+//!   (relative span names joined by `;`, innermost last) into a
+//!   per-thread slot. A sampler thread snapshots every live slot at a
+//!   configurable rate and accumulates `stack → hit count`; [`finish`]
+//!   emits one [`EventKind::Sample`] event per distinct stack. No
+//!   unwinding, no signals — a snapshot is a mutex-guarded string read,
+//!   so stacks are never torn.
+//! * **Allocation accounting.** A counting `#[global_allocator]`
+//!   wrapper (the `spm-prof` crate; binaries opt in) calls
+//!   [`note_alloc`]/[`note_dealloc`]. Totals land in process-wide
+//!   atomics; per-thread counters let spans attribute allocation deltas
+//!   to stages (`allocs`/`alloc_bytes` span fields, recorded by
+//!   `span.rs` at close).
+//! * **OS resource snapshots.** Root spans (depth 0 on their thread)
+//!   capture `/proc/self/{stat,status,io}` at open and close and emit a
+//!   `prof/os` gauge carrying utime/stime, RSS, peak RSS, and I/O byte
+//!   deltas. Absent `/proc` (non-Linux), the collector degrades to
+//!   silence rather than error.
+//!
+//! When profiling is disabled every hook is one relaxed atomic load;
+//! the sampler thread does not exist and slots are never touched.
+
+use crate::event::{Event, EventKind};
+use crate::recorder::record;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Alloc + OS accounting enabled (set by [`enable`]).
+static ACCOUNTING: AtomicBool = AtomicBool::new(false);
+/// Folded-stack publication enabled (set by [`enable`] when `hz > 0`).
+static SAMPLING: AtomicBool = AtomicBool::new(false);
+
+static TOTAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_BYTES: AtomicI64 = AtomicI64::new(0);
+
+thread_local! {
+    static T_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static T_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Whether allocation/OS accounting is live. Inlined so the global
+/// allocator's fast path is one relaxed load.
+#[inline]
+pub fn accounting() -> bool {
+    ACCOUNTING.load(Ordering::Relaxed)
+}
+
+/// Whether the span-stack sampler is live (slots being published).
+#[inline]
+pub fn sampling() -> bool {
+    SAMPLING.load(Ordering::Relaxed)
+}
+
+/// Records one allocation of `bytes`. Called by the counting global
+/// allocator on every `alloc`; must therefore never allocate itself —
+/// only atomics and const-initialized thread-local cells are touched,
+/// and the thread-local falls back to process totals during TLS
+/// teardown.
+#[inline]
+pub fn note_alloc(bytes: usize) {
+    if !accounting() {
+        return;
+    }
+    let bytes = bytes as u64;
+    TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    TOTAL_ALLOC_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    let _ = T_ALLOCS.try_with(|c| c.set(c.get().wrapping_add(1)));
+    let _ = T_ALLOC_BYTES.try_with(|c| c.set(c.get().wrapping_add(bytes)));
+}
+
+/// Records one deallocation of `bytes` (see [`note_alloc`]).
+#[inline]
+pub fn note_dealloc(bytes: usize) {
+    if !accounting() {
+        return;
+    }
+    LIVE_BYTES.fetch_sub(bytes as i64, Ordering::Relaxed);
+}
+
+/// This thread's `(allocations, bytes)` counted so far. Spans snapshot
+/// this at open and report the delta at close.
+pub fn thread_alloc_counts() -> (u64, u64) {
+    let allocs = T_ALLOCS.try_with(Cell::get).unwrap_or(0);
+    let bytes = T_ALLOC_BYTES.try_with(Cell::get).unwrap_or(0);
+    (allocs, bytes)
+}
+
+// ---------------------------------------------------------------------
+// Span-stack slot table
+// ---------------------------------------------------------------------
+
+/// One thread's published folded stack. The sampler reads `stack` under
+/// its mutex — publication writes the whole string atomically with
+/// respect to sampling, so a snapshot never observes a torn path.
+struct Slot {
+    stack: Mutex<String>,
+    dead: AtomicBool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Registry of every thread slot ever published while sampling; dead
+/// slots (exited threads) are pruned on registration.
+static SLOTS: Mutex<Vec<Arc<Slot>>> = Mutex::new(Vec::new());
+
+/// Marks the slot dead when its thread exits, so the sampler stops
+/// reading it and the registry can drop it.
+struct SlotGuard(Arc<Slot>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.dead.store(true, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static SLOT: std::cell::OnceCell<SlotGuard> = const { std::cell::OnceCell::new() };
+}
+
+/// Publishes this thread's folded stack (empty string = no live span).
+/// Called from span open/close while [`sampling`] is on.
+pub(crate) fn publish(folded: &str) {
+    let _ = SLOT.try_with(|cell| {
+        let guard = cell.get_or_init(|| {
+            let slot = Arc::new(Slot {
+                stack: Mutex::new(String::new()),
+                dead: AtomicBool::new(false),
+            });
+            let mut slots = lock(&SLOTS);
+            slots.retain(|s| !s.dead.load(Ordering::Acquire));
+            slots.push(slot.clone());
+            SlotGuard(slot)
+        });
+        let mut stack = lock(&guard.0.stack);
+        stack.clear();
+        stack.push_str(folded);
+    });
+}
+
+/// Builds the folded representation of a span stack: each entry's
+/// relative name (the suffix past its parent's path plus `/`), joined
+/// by `;`.
+pub(crate) fn folded_from(stack: &[String]) -> String {
+    let mut out = String::new();
+    let mut parent_len = 0usize;
+    for entry in stack {
+        if !out.is_empty() {
+            out.push(';');
+        }
+        out.push_str(entry.get(parent_len..).unwrap_or(entry));
+        parent_len = entry.len() + 1;
+    }
+    out
+}
+
+/// One snapshot of every live, non-empty slot (test/sampler use).
+pub fn snapshot_stacks() -> Vec<String> {
+    let slots: Vec<Arc<Slot>> = lock(&SLOTS)
+        .iter()
+        .filter(|s| !s.dead.load(Ordering::Acquire))
+        .cloned()
+        .collect();
+    slots
+        .iter()
+        .filter_map(|slot| {
+            let stack = lock(&slot.stack);
+            (!stack.is_empty()).then(|| stack.clone())
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// OS resource snapshots
+// ---------------------------------------------------------------------
+
+/// Kernel ticks per second assumed when converting `/proc/self/stat`
+/// utime/stime to microseconds. `USER_HZ` is 100 on every mainstream
+/// Linux configuration and there is no std way to query it; DESIGN.md
+/// §13 documents the assumption.
+const TICKS_PER_SEC: u64 = 100;
+
+/// A point-in-time reading of `/proc/self/{stat,status,io}`.
+///
+/// `capture` returns `None` when `/proc` is unavailable (non-Linux) or
+/// unreadable; callers skip OS reporting in that case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OsSnapshot {
+    /// User-mode CPU time, microseconds (ticks × 10 000).
+    pub utime_us: u64,
+    /// Kernel-mode CPU time, microseconds.
+    pub stime_us: u64,
+    /// Current resident set size, kB (`VmRSS`).
+    pub rss_kb: u64,
+    /// Peak resident set size, kB (`VmHWM`; monotone per process).
+    pub peak_rss_kb: u64,
+    /// Bytes fetched from the storage layer (`read_bytes`).
+    pub read_bytes: u64,
+    /// Bytes sent to the storage layer (`write_bytes`).
+    pub write_bytes: u64,
+}
+
+impl OsSnapshot {
+    /// Reads the current process's resource usage from `/proc`.
+    pub fn capture() -> Option<OsSnapshot> {
+        let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+        // Field 2 is `(comm)` and may contain spaces; split after the
+        // closing paren. utime/stime are fields 14/15 (1-based), i.e.
+        // indexes 11/12 of the post-paren tail.
+        let tail = &stat[stat.rfind(')')? + 1..];
+        let cols: Vec<&str> = tail.split_whitespace().collect();
+        let ticks = |i: usize| cols.get(i).and_then(|s| s.parse::<u64>().ok());
+        let utime = ticks(11)?;
+        let stime = ticks(12)?;
+
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let kb = |key: &str| -> u64 {
+            status
+                .lines()
+                .find(|l| l.starts_with(key))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        };
+
+        // /proc/self/io can be absent (kernel config) — degrade to 0.
+        let io = std::fs::read_to_string("/proc/self/io").unwrap_or_default();
+        let io_field = |key: &str| -> u64 {
+            io.lines()
+                .find(|l| l.starts_with(key))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        };
+
+        Some(OsSnapshot {
+            utime_us: utime.saturating_mul(1_000_000 / TICKS_PER_SEC),
+            stime_us: stime.saturating_mul(1_000_000 / TICKS_PER_SEC),
+            rss_kb: kb("VmRSS:"),
+            peak_rss_kb: kb("VmHWM:"),
+            read_bytes: io_field("read_bytes:"),
+            write_bytes: io_field("write_bytes:"),
+        })
+    }
+}
+
+/// Builds the `prof/os` event for one closed root span: deltas for the
+/// monotone quantities, absolutes for RSS. The gauge value is the peak
+/// RSS so dashboards get a headline number without digging in fields.
+pub(crate) fn os_delta_event(path: &str, open: &OsSnapshot, close: &OsSnapshot) -> Event {
+    Event::new(
+        "prof/os",
+        EventKind::Gauge {
+            value: close.peak_rss_kb as f64,
+        },
+    )
+    .with("stage", path)
+    .with("utime_us", close.utime_us.saturating_sub(open.utime_us))
+    .with("stime_us", close.stime_us.saturating_sub(open.stime_us))
+    .with("rss_kb", close.rss_kb)
+    .with("peak_rss_kb", close.peak_rss_kb)
+    .with(
+        "read_bytes",
+        close.read_bytes.saturating_sub(open.read_bytes),
+    )
+    .with(
+        "write_bytes",
+        close.write_bytes.saturating_sub(open.write_bytes),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Sampler thread + session lifecycle
+// ---------------------------------------------------------------------
+
+struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<SampleCounts>,
+}
+
+#[derive(Default)]
+struct SampleCounts {
+    ticks: u64,
+    samples: u64,
+    stacks: BTreeMap<String, u64>,
+}
+
+struct Session {
+    hz: u32,
+    sampler: Option<SamplerHandle>,
+}
+
+static SESSION: Mutex<Option<Session>> = Mutex::new(None);
+
+/// What a profiling session observed; returned by [`finish`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfSummary {
+    /// Configured sampling rate (0 = sampler off).
+    pub sample_hz: u32,
+    /// Sampler wake-ups.
+    pub ticks: u64,
+    /// Stack observations (one per live thread per tick).
+    pub samples: u64,
+    /// Distinct folded stacks observed.
+    pub stacks: u64,
+    /// Total allocations counted.
+    pub allocs: u64,
+    /// Total bytes allocated.
+    pub alloc_bytes: u64,
+    /// Peak concurrently-live heap bytes observed by the counter.
+    pub heap_peak_bytes: u64,
+}
+
+/// Starts a profiling session: resets the allocation counters, turns on
+/// accounting, and (for `sample_hz > 0`) spawns the sampler thread.
+/// Idempotent — a second call while a session is live is a no-op.
+pub fn enable(sample_hz: u32) {
+    let mut session = lock(&SESSION);
+    if session.is_some() {
+        return;
+    }
+    TOTAL_ALLOCS.store(0, Ordering::Relaxed);
+    TOTAL_ALLOC_BYTES.store(0, Ordering::Relaxed);
+    LIVE_BYTES.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
+    ACCOUNTING.store(true, Ordering::Relaxed);
+    let sampler = (sample_hz > 0).then(|| spawn_sampler(sample_hz)).flatten();
+    if sampler.is_some() {
+        SAMPLING.store(true, Ordering::Relaxed);
+    }
+    *session = Some(Session {
+        hz: sample_hz,
+        sampler,
+    });
+}
+
+fn spawn_sampler(hz: u32) -> Option<SamplerHandle> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let period = Duration::from_secs_f64(1.0 / f64::from(hz.max(1)));
+    let join = std::thread::Builder::new()
+        .name("spm-prof-sampler".into())
+        .spawn(move || {
+            let mut counts = SampleCounts::default();
+            while !stop_flag.load(Ordering::Acquire) {
+                std::thread::sleep(period);
+                counts.ticks += 1;
+                for stack in snapshot_stacks() {
+                    counts.samples += 1;
+                    *counts.stacks.entry(stack).or_insert(0) += 1;
+                }
+            }
+            counts
+        })
+        .ok()?;
+    Some(SamplerHandle { stop, join })
+}
+
+/// Ends the profiling session: stops the sampler, emits the collected
+/// `prof/*` events through the installed recorder, and turns the
+/// collectors off. Returns what was observed (all-zero when no session
+/// was live).
+///
+/// Emitted events (schema v2, DESIGN.md §13): one `prof/sample` per
+/// distinct folded stack plus `prof/samples` / `prof/sampler_ticks`
+/// counters and a `prof/sample_hz` gauge (sampler sessions only), and
+/// always `prof/allocs`, `prof/alloc_bytes`, `prof/heap_peak_bytes`
+/// counters.
+pub fn finish() -> ProfSummary {
+    let Some(session) = lock(&SESSION).take() else {
+        return ProfSummary::default();
+    };
+    SAMPLING.store(false, Ordering::Relaxed);
+    let mut summary = ProfSummary {
+        sample_hz: session.hz,
+        ..ProfSummary::default()
+    };
+    if let Some(handle) = session.sampler {
+        handle.stop.store(true, Ordering::Release);
+        let counts = handle.join.join().unwrap_or_default();
+        summary.ticks = counts.ticks;
+        summary.samples = counts.samples;
+        summary.stacks = counts.stacks.len() as u64;
+        for (stack, count) in &counts.stacks {
+            record(
+                &Event::new("prof/sample", EventKind::Sample { count: *count })
+                    .with("stack", stack.as_str()),
+            );
+        }
+        record(&Event::new(
+            "prof/samples",
+            EventKind::Counter {
+                value: summary.samples,
+            },
+        ));
+        record(&Event::new(
+            "prof/sampler_ticks",
+            EventKind::Counter {
+                value: summary.ticks,
+            },
+        ));
+        record(&Event::new(
+            "prof/sample_hz",
+            EventKind::Gauge {
+                value: f64::from(session.hz),
+            },
+        ));
+    }
+    ACCOUNTING.store(false, Ordering::Relaxed);
+    summary.allocs = TOTAL_ALLOCS.load(Ordering::Relaxed);
+    summary.alloc_bytes = TOTAL_ALLOC_BYTES.load(Ordering::Relaxed);
+    summary.heap_peak_bytes = PEAK_BYTES.load(Ordering::Relaxed).max(0) as u64;
+    record(&Event::new(
+        "prof/allocs",
+        EventKind::Counter {
+            value: summary.allocs,
+        },
+    ));
+    record(&Event::new(
+        "prof/alloc_bytes",
+        EventKind::Counter {
+            value: summary.alloc_bytes,
+        },
+    ));
+    record(&Event::new(
+        "prof/heap_peak_bytes",
+        EventKind::Counter {
+            value: summary.heap_peak_bytes,
+        },
+    ));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+    use crate::recorder::tests::GLOBAL_TEST_LOCK;
+    use crate::recorder::{install, uninstall, MemorySink};
+    use crate::span::span;
+
+    #[test]
+    fn folded_strips_parent_prefixes() {
+        let stack = vec![
+            "cli/select".to_string(),
+            "cli/select/sim/run".to_string(),
+            "cli/select/sim/run/decode".to_string(),
+        ];
+        assert_eq!(folded_from(&stack), "cli/select;sim/run;decode");
+        assert_eq!(folded_from(&[]), "");
+        assert_eq!(folded_from(&["root".to_string()]), "root");
+    }
+
+    #[test]
+    fn alloc_hooks_are_inert_without_a_session() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        uninstall();
+        assert!(!accounting());
+        let before = thread_alloc_counts();
+        note_alloc(128);
+        note_dealloc(128);
+        assert_eq!(thread_alloc_counts(), before);
+        assert_eq!(finish(), ProfSummary::default());
+    }
+
+    #[test]
+    fn session_counts_allocations_and_peak() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        enable(0); // accounting only, no sampler thread
+        note_alloc(1000);
+        note_alloc(24);
+        note_dealloc(1000);
+        note_alloc(8);
+        let summary = finish();
+        uninstall();
+        assert_eq!(summary.allocs, 3);
+        assert_eq!(summary.alloc_bytes, 1032);
+        assert_eq!(summary.heap_peak_bytes, 1024);
+        assert_eq!(summary.samples, 0);
+        let events = sink.events();
+        assert!(events.iter().any(|e| e.name == "prof/allocs"));
+        assert!(
+            !events.iter().any(|e| e.name == "prof/samples"),
+            "hz=0 session must not emit sampler events"
+        );
+    }
+
+    #[test]
+    fn sampler_observes_a_held_span() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        enable(500);
+        {
+            let _outer = span("prof_test/outer");
+            let _inner = span("inner");
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        let summary = finish();
+        uninstall();
+        assert!(summary.ticks > 0, "sampler never ticked");
+        assert!(summary.samples > 0, "sampler saw no stacks");
+        let events = sink.events();
+        let stacks: Vec<&str> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Sample { .. }))
+            .filter_map(|e| match e.field("stack") {
+                Some(Value::Str(s)) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(!stacks.is_empty());
+        for s in &stacks {
+            assert!(
+                *s == "prof_test/outer" || *s == "prof_test/outer;inner",
+                "unexpected stack {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn os_snapshot_delta_event_is_wellformed() {
+        let Some(open) = OsSnapshot::capture() else {
+            return; // no /proc on this platform — collector degrades
+        };
+        let close = OsSnapshot::capture().unwrap_or(open);
+        let e = os_delta_event("cli/select", &open, &close);
+        assert_eq!(e.name, "prof/os");
+        assert_eq!(e.field("stage"), Some(&Value::Str("cli/select".into())));
+        assert!(e.field("utime_us").is_some());
+        assert!(e.field("peak_rss_kb").is_some());
+        let line = crate::jsonl::encode(&e);
+        crate::jsonl::validate_line(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+    }
+}

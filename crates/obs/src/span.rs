@@ -12,6 +12,7 @@
 //! entire cost is one atomic load.
 
 use crate::event::{Event, EventKind, Value};
+use crate::prof;
 use crate::recorder::{enabled, record};
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
@@ -52,6 +53,11 @@ pub struct Span {
     start: Option<Instant>,
     path: String,
     fields: Vec<(String, Value)>,
+    /// This thread's `(allocs, bytes)` at open, when allocation
+    /// accounting is live; the delta is attached at close.
+    alloc0: Option<(u64, u64)>,
+    /// OS resource reading at open; root spans only (DESIGN.md §13).
+    os0: Option<prof::OsSnapshot>,
 }
 
 /// Opens a span named `name` (path segments joined by `/` nest under
@@ -62,21 +68,40 @@ pub fn span(name: &str) -> Span {
             start: None,
             path: String::new(),
             fields: Vec::new(),
+            alloc0: None,
+            os0: None,
         };
     }
-    let path = SPAN_STACK.with(|stack| {
+    let (path, root) = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         let path = match stack.last() {
             Some(parent) => format!("{parent}/{name}"),
             None => name.to_string(),
         };
         stack.push(path.clone());
-        path
+        if prof::sampling() {
+            prof::publish(&prof::folded_from(&stack));
+        }
+        (path, stack.len() == 1)
     });
+    let (alloc0, os0) = if prof::accounting() {
+        (
+            Some(prof::thread_alloc_counts()),
+            if root {
+                prof::OsSnapshot::capture()
+            } else {
+                None
+            },
+        )
+    } else {
+        (None, None)
+    };
     Span {
         start: Some(Instant::now()),
         path,
         fields: Vec::new(),
+        alloc0,
+        os0,
     }
 }
 
@@ -114,9 +139,32 @@ impl Drop for Span {
             if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
                 stack.truncate(pos);
             }
+            if prof::sampling() {
+                prof::publish(&prof::folded_from(&stack));
+            }
         });
         let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         let mut fields = std::mem::take(&mut self.fields);
+        if let Some((allocs0, bytes0)) = self.alloc0 {
+            if prof::accounting() {
+                let (allocs1, bytes1) = prof::thread_alloc_counts();
+                fields.push((
+                    "allocs".to_string(),
+                    Value::U64(allocs1.wrapping_sub(allocs0)),
+                ));
+                fields.push((
+                    "alloc_bytes".to_string(),
+                    Value::U64(bytes1.wrapping_sub(bytes0)),
+                ));
+            }
+        }
+        if let Some(os0) = self.os0 {
+            if prof::accounting() {
+                if let Some(os1) = prof::OsSnapshot::capture() {
+                    record(&prof::os_delta_event(&self.path, &os0, &os1));
+                }
+            }
+        }
         if let Some(label) = thread_label() {
             fields.push(("thread".to_string(), Value::Str(label)));
         }
@@ -206,6 +254,66 @@ mod tests {
         assert_eq!(events[1].field("thread"), Some(&Value::Str("w7".into())));
         assert_eq!(events[2].field("thread"), None);
         assert_eq!(thread_label(), None);
+    }
+
+    #[test]
+    fn profiled_spans_attribute_allocs_and_root_os_deltas() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        crate::prof::enable(0);
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                crate::prof::note_alloc(64);
+            }
+            crate::prof::note_alloc(100);
+        }
+        crate::prof::finish();
+        uninstall();
+        let events = sink.events();
+        let inner = events
+            .iter()
+            .find(|e| e.name == "outer/inner")
+            .expect("inner span");
+        assert_eq!(inner.field("allocs"), Some(&Value::U64(1)));
+        assert_eq!(inner.field("alloc_bytes"), Some(&Value::U64(64)));
+        let outer = events.iter().find(|e| e.name == "outer").expect("outer");
+        // Outer sees its own plus the nested allocation (cumulative,
+        // like span durations).
+        assert_eq!(outer.field("allocs"), Some(&Value::U64(2)));
+        assert_eq!(outer.field("alloc_bytes"), Some(&Value::U64(164)));
+        if crate::prof::OsSnapshot::capture().is_some() {
+            let os = events
+                .iter()
+                .find(|e| e.name == "prof/os")
+                .expect("root span OS delta");
+            assert_eq!(os.field("stage"), Some(&Value::Str("outer".into())));
+        }
+        assert!(
+            !events.iter().any(|e| e.name == "outer/inner/prof"),
+            "nested spans must not emit OS deltas"
+        );
+    }
+
+    #[test]
+    fn unprofiled_spans_carry_no_prof_fields() {
+        let _guard = GLOBAL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        {
+            let _s = span("bare");
+        }
+        uninstall();
+        let events = sink.events();
+        assert_eq!(events[0].field("allocs"), None);
+        assert_eq!(events[0].field("alloc_bytes"), None);
+        assert!(!events.iter().any(|e| e.name == "prof/os"));
     }
 
     #[test]

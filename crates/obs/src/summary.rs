@@ -1,13 +1,20 @@
 //! Human-readable stage summary (the CLI's `-v` output): renders a
 //! buffered event stream as an indented span tree followed by the
-//! counters, gauges, histograms, and warnings observed.
+//! counters, gauges, histograms, samples, and warnings observed.
+//!
+//! Spans render in recorded order (that *is* the tree structure); all
+//! other events are stably sorted by name so the metric block is
+//! deterministic regardless of emission order — concurrent stages may
+//! interleave counters differently run to run, but the summary must
+//! diff clean.
 
 use crate::event::{Event, EventKind};
 use std::fmt::Write as _;
 
-/// Renders `events` (in recorded order) as the `-v` stage summary.
-/// Every line is prefixed with `# ` so the output can share stderr with
-/// other diagnostics.
+/// Renders `events` as the `-v` stage summary: spans in recorded order,
+/// then every other event sorted by name (stable — same-named events
+/// keep their stream order). Every line is prefixed with `# ` so the
+/// output can share stderr with other diagnostics.
 pub fn render(events: &[Event]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# -- stage summary --");
@@ -34,7 +41,12 @@ pub fn render(events: &[Event]) -> String {
         let _ = writeln!(out, "{line}");
     }
 
-    for event in events {
+    let mut metrics: Vec<&Event> = events
+        .iter()
+        .filter(|e| !matches!(e.kind, EventKind::Span { .. }))
+        .collect();
+    metrics.sort_by(|a, b| a.name.cmp(&b.name));
+    for event in metrics {
         match &event.kind {
             EventKind::Span { .. } => {}
             EventKind::Counter { value } => {
@@ -54,6 +66,9 @@ pub fn render(events: &[Event]) -> String {
             }
             EventKind::Warning => {
                 let _ = writeln!(out, "# warning {}{}", event.name, fmt_fields(event));
+            }
+            EventKind::Sample { count } => {
+                let _ = writeln!(out, "# {} x{count}{}", event.name, fmt_fields(event));
             }
         }
     }
@@ -131,6 +146,37 @@ mod tests {
         for line in text.lines() {
             assert!(line.starts_with('#'), "unprefixed line: {line}");
         }
+    }
+
+    #[test]
+    fn metric_order_is_deterministic_golden() {
+        // Golden: the metric block sorts by name regardless of the
+        // (nondeterministic, possibly concurrent) emission order; spans
+        // stay in stream order. Pinned byte-for-byte.
+        let events = vec![
+            Event::new("zeta/count", EventKind::Counter { value: 3 }),
+            Event::new("cli/run", EventKind::Span { dur_us: 1_000 }),
+            Event::new("alpha/rate", EventKind::Gauge { value: 1.0 }),
+            Event::new("mid/flag", EventKind::Warning),
+            Event::new("alpha/count", EventKind::Counter { value: 9 }),
+            Event::new("prof/sample", EventKind::Sample { count: 4 }).with("stack", "cli/run"),
+        ];
+        let text = render(&events);
+        assert_eq!(
+            text,
+            "# -- stage summary --\n\
+             # cli/run 1.00ms\n\
+             # alpha/count = 9\n\
+             # alpha/rate = 1.0000\n\
+             # warning mid/flag\n\
+             # prof/sample x4 [stack=cli/run]\n\
+             # zeta/count = 3\n"
+        );
+        // Shuffling the metric emission order must not change the text.
+        let mut shuffled = events.clone();
+        shuffled.swap(0, 4);
+        shuffled.swap(2, 3);
+        assert_eq!(render(&shuffled), text);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The allocator half of the spm statistical profiler (DESIGN.md §13).
+//!
+//! [`CountingAllocator`] wraps [`std::alloc::System`] and reports every
+//! allocation to [`spm_obs::prof`]'s counters. Binaries opt in:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: spm_prof::CountingAllocator = spm_prof::CountingAllocator;
+//! ```
+//!
+//! With no profiling session live ([`spm_obs::prof::enable`] not
+//! called) each hook is one relaxed atomic load on top of the system
+//! allocator — library code never pays for a collector nobody asked
+//! for.
+//!
+//! This crate exists because `spm-obs` is `#![forbid(unsafe_code)]` and
+//! implementing [`GlobalAlloc`] requires `unsafe`. Everything else —
+//! counters, the sampler thread, `/proc` snapshots — lives in
+//! `spm_obs::prof`, which this crate re-exports for convenience.
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+pub use spm_obs::prof::{
+    accounting, enable, finish, sampling, snapshot_stacks, thread_alloc_counts, OsSnapshot,
+    ProfSummary,
+};
+
+/// A [`GlobalAlloc`] that forwards to the system allocator and counts
+/// allocations into [`spm_obs::prof`] while a profiling session is
+/// live. The counting hooks never allocate (atomics and const-init
+/// thread-locals only), so there is no reentrancy hazard.
+pub struct CountingAllocator;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// GlobalAlloc contract; the counting hooks only touch atomics and
+// const-initialized thread-local cells and never allocate or unwind.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            spm_obs::prof::note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            spm_obs::prof::note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        spm_obs::prof::note_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            // Account a realloc as free(old) + alloc(new): totals stay
+            // an upper bound on traffic and live-byte tracking stays
+            // exact.
+            spm_obs::prof::note_dealloc(layout.size());
+            spm_obs::prof::note_alloc(new_size);
+        }
+        new_ptr
+    }
+}

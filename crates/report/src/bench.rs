@@ -1,23 +1,34 @@
 //! Validation of the committed bench artifact
-//! (`results/BENCH_report.json`, schema `spm-bench/report/v5`).
+//! (`results/BENCH_report.json`, schema `spm-bench/report/v6`).
 //!
 //! The report carries the current measurement — for each figure of the
 //! suite the repeat count and the median/min/total wall-clock across
 //! repeats, the suite-wide simulation throughput, and the per-decoder
 //! ingest throughput of the `spmstk01` store figure (flat vs store vs
-//! parallel vs crash-recovered decode) — plus (new in v5) the
+//! parallel vs crash-recovered decode) — plus (since v5) the
 //! `trajectory`: the per-decoder ingest medians of *previous* committed
 //! reports, carried forward and appended to by `all_figures` on each
 //! regeneration, so ingest-throughput history accumulates in-repo
-//! instead of being overwritten. Like the JSONL stream schema, the
-//! validator here is the *executable* schema: CI runs it against the
-//! committed file, and the writer (`all_figures`) is tested against
-//! it, so producer and consumer cannot drift apart silently.
+//! instead of being overwritten. v6 adds the statistical profiler
+//! (DESIGN.md §13): a suite-level `profile` object (sampling rate,
+//! total samples, allocation totals, heap peak) and a per-figure
+//! `profile` object (samples landing in the figure, allocs/bytes
+//! attributed to its span, peak RSS at its close) — the before/after
+//! evidence the ingest-optimization work gates on. Like the JSONL
+//! stream schema, the validator here is the *executable* schema: CI
+//! runs it against the committed file, and the writer (`all_figures`)
+//! is tested against it, so producer and consumer cannot drift apart
+//! silently.
 
 use spm_obs::jsonl::{parse, Json};
 
 /// Schema identifier of the bench report artifact.
-pub const BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v5";
+pub const BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v6";
+
+/// The previous schema identifier. The writer still *reads* v5 files
+/// (to carry their ingest trajectory forward across the format bump)
+/// but always writes, and the validator only accepts, v6.
+pub const PREV_BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v5";
 
 /// Most trajectory points a report may carry (the writer drops the
 /// oldest beyond this).
@@ -67,7 +78,30 @@ fn positive_int(doc: &Json, key: &str) -> Result<u64, String> {
     }
 }
 
-/// Validates a `spm-bench/report/v4` document.
+fn nonneg_int(doc: &Json, key: &str) -> Result<u64, String> {
+    let n = finite_num(doc, key)?;
+    if n >= 0.0 && n.fract() == 0.0 {
+        Ok(n as u64)
+    } else {
+        Err(format!("`{key}` must be a non-negative integer, got {n}"))
+    }
+}
+
+/// Validates a `profile` object. Suite-level and per-figure profiles
+/// share the integer-field convention; only the key set differs.
+fn check_profile(doc: &Json, keys: &[&str], at: impl Fn(String) -> String) -> Result<(), String> {
+    let profile = match doc.get("profile") {
+        Some(obj @ Json::Obj(_)) => obj,
+        Some(_) => return Err(at("`profile` is not an object".into())),
+        None => return Err(at("missing `profile` object".into())),
+    };
+    for key in keys {
+        nonneg_int(profile, key).map_err(|m| at(format!("profile: {m}")))?;
+    }
+    Ok(())
+}
+
+/// Validates a [`BENCH_REPORT_SCHEMA`] document.
 ///
 /// # Errors
 ///
@@ -104,6 +138,19 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
     if n < 0.0 || n.fract() != 0.0 {
         return Err("`events_per_sec.n` must be a non-negative integer".into());
     }
+
+    // v6: the suite-level profiler summary.
+    check_profile(
+        &doc,
+        &[
+            "sample_hz",
+            "samples",
+            "allocs",
+            "alloc_bytes",
+            "heap_peak_bytes",
+        ],
+        |m| m,
+    )?;
 
     let ingest = match doc.get("ingest") {
         Some(obj @ Json::Obj(_)) => obj,
@@ -186,6 +233,12 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
         if median_us > total_us {
             return Err(at(format!("median_us {median_us} > total_us {total_us}")));
         }
+        // v6: every figure carries its profiler summary.
+        check_profile(
+            fig,
+            &["samples", "allocs", "alloc_bytes", "peak_rss_kb"],
+            at,
+        )?;
     }
     Ok(())
 }
@@ -202,6 +255,7 @@ mod tests {
   "jobs": 4,
   "repeats": 2,
   "events_per_sec": {{"median": 150000000, "n": 12}},
+  "profile": {{"sample_hz": 7, "samples": 420, "allocs": 120000, "alloc_bytes": 90000000, "heap_peak_bytes": 30000000}},
   "ingest": {{"workload": "gzip", "decoders": [
     {{"name": "flat", "median_events_per_sec": 90000000, "n": 2}},
     {{"name": "store", "median_events_per_sec": 85000000, "n": 2}},
@@ -217,8 +271,8 @@ mod tests {
     ]}}
   ],
   "figures": [
-    {{"name": "fig03", "repeats": 2, "median_us": 60000, "min_us": 55000, "total_us": 125000}},
-    {{"name": "fig04", "repeats": 2, "median_us": 1500000, "min_us": 1400000, "total_us": 2900000}}
+    {{"name": "fig03", "repeats": 2, "median_us": 60000, "min_us": 55000, "total_us": 125000, "profile": {{"samples": 4, "allocs": 900, "alloc_bytes": 500000, "peak_rss_kb": 40000}}}},
+    {{"name": "fig04", "repeats": 2, "median_us": 1500000, "min_us": 1400000, "total_us": 2900000, "profile": {{"samples": 110, "allocs": 52000, "alloc_bytes": 41000000, "peak_rss_kb": 52000}}}}
   ]
 }}"#
         )
@@ -231,13 +285,41 @@ mod tests {
 
     #[test]
     fn wrong_schema_tag_fails() {
-        let text = sample().replace("report/v5", "timings/v2");
+        let text = sample().replace("report/v6", "timings/v2");
         let err = validate_bench_report(&text).unwrap_err();
         assert!(err.contains("timings/v2"), "{err}");
         // The previous major version is rejected too: a stale committed
         // artifact must fail, not slide through.
-        let text = sample().replace("report/v5", "report/v4");
+        let text = sample().replace(BENCH_REPORT_SCHEMA, PREV_BENCH_REPORT_SCHEMA);
         assert!(validate_bench_report(&text).is_err());
+    }
+
+    #[test]
+    fn missing_profile_sections_fail() {
+        // Suite-level profile is mandatory at v6.
+        let start = sample().find("  \"profile\"").unwrap();
+        let mut text = sample();
+        let end = text.find("  \"ingest\"").unwrap();
+        text.replace_range(start..end, "");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("profile"), "{err}");
+
+        // So is every figure's.
+        let text = sample().replace(
+            ", \"profile\": {\"samples\": 4, \"allocs\": 900, \"alloc_bytes\": 500000, \"peak_rss_kb\": 40000}",
+            "",
+        );
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("figures[0]"), "{err}");
+        assert!(err.contains("profile"), "{err}");
+
+        // And profile integers must be non-negative integers.
+        let text = sample().replace("\"samples\": 420", "\"samples\": -1");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let text = sample().replace("\"peak_rss_kb\": 40000", "\"peak_rss_kb\": 1.5");
+        let err = validate_bench_report(&text).unwrap_err();
+        assert!(err.contains("figures[0]"), "{err}");
     }
 
     #[test]

@@ -35,6 +35,20 @@ fn push_line(out: &mut String, line: &str) {
     out.push('\n');
 }
 
+/// Formats a byte count with binary-ish units (powers of 1000 keep the
+/// arithmetic honest for I/O counters).
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1_000_000_000 {
+        format!("{:.2} GB", bytes as f64 / 1e9)
+    } else if bytes >= 1_000_000 {
+        format!("{:.1} MB", bytes as f64 / 1e6)
+    } else if bytes >= 1_000 {
+        format!("{:.1} kB", bytes as f64 / 1e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
 /// Renders the dashboard for one run.
 pub fn render(run: &Run) -> String {
     let mut out = format!("== {} ==\n", run.label);
@@ -170,6 +184,68 @@ pub fn render(run: &Run) -> String {
         }
     }
 
+    // Profiler output (DESIGN.md §13): per-stage allocation / OS
+    // resource rows for every root stage the profiler snapshotted,
+    // plus the process-wide heap totals.
+    let os_rows: Vec<&crate::ingest::ReportEvent> = run
+        .events
+        .iter()
+        .filter(|e| e.name == "prof/os" && matches!(e.payload, Payload::Gauge { .. }))
+        .collect();
+    if !os_rows.is_empty() {
+        push_line(&mut out, "profile: per-stage resources:");
+        push_line(
+            &mut out,
+            &format!(
+                "  {:<24} {:>10} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}",
+                "stage", "allocs", "bytes", "peak RSS", "utime", "stime", "io read", "io write"
+            ),
+        );
+        for row in &os_rows {
+            let stage = row.field_str("stage").unwrap_or("?");
+            let span_field_sum = |key: &str| -> u64 {
+                run.events
+                    .iter()
+                    .filter(|e| e.name == stage && matches!(e.payload, Payload::Span { .. }))
+                    .filter_map(|e| e.field_num(key))
+                    .sum::<f64>() as u64
+            };
+            let n = |key: &str| row.field_num(key).unwrap_or(0.0) as u64;
+            push_line(
+                &mut out,
+                &format!(
+                    "  {:<24} {:>10} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}",
+                    stage,
+                    span_field_sum("allocs"),
+                    fmt_bytes(span_field_sum("alloc_bytes")),
+                    fmt_bytes(n("peak_rss_kb").saturating_mul(1024)),
+                    fmt_duration(n("utime_us")),
+                    fmt_duration(n("stime_us")),
+                    fmt_bytes(n("read_bytes")),
+                    fmt_bytes(n("write_bytes")),
+                ),
+            );
+        }
+    }
+    if let (Some(&allocs), Some(&bytes)) = (
+        run.counters("prof/allocs").last(),
+        run.counters("prof/alloc_bytes").last(),
+    ) {
+        let peak = run
+            .counters("prof/heap_peak_bytes")
+            .last()
+            .copied()
+            .unwrap_or(0);
+        push_line(
+            &mut out,
+            &format!(
+                "heap: {allocs} allocation(s), {} allocated, peak {} live",
+                fmt_bytes(bytes),
+                fmt_bytes(peak)
+            ),
+        );
+    }
+
     // Structured warnings, verbatim.
     let warnings: Vec<&crate::ingest::ReportEvent> = run
         .events
@@ -274,5 +350,42 @@ mod tests {
         assert!(!text.contains("VLI length histogram"), "{text}");
         assert!(!text.contains("warnings"), "{text}");
         assert!(!text.contains("limit variant"), "{text}");
+        assert!(!text.contains("profile:"), "{text}");
+        assert!(!text.contains("heap:"), "{text}");
+    }
+
+    #[test]
+    fn profiled_stream_renders_alloc_and_rss_table() {
+        let run = run_from(&[
+            Event::new("cli/select", EventKind::Span { dur_us: 9_000 })
+                .with("allocs", 1200u64)
+                .with("alloc_bytes", 5_500_000u64),
+            Event::new("prof/os", EventKind::Gauge { value: 34_000.0 })
+                .with("stage", "cli/select")
+                .with("utime_us", 8_000u64)
+                .with("stime_us", 1_000u64)
+                .with("rss_kb", 30_000u64)
+                .with("peak_rss_kb", 34_000u64)
+                .with("read_bytes", 4_096u64)
+                .with("write_bytes", 0u64),
+            Event::new("prof/allocs", EventKind::Counter { value: 1300 }),
+            Event::new("prof/alloc_bytes", EventKind::Counter { value: 6_000_000 }),
+            Event::new(
+                "prof/heap_peak_bytes",
+                EventKind::Counter { value: 2_000_000 },
+            ),
+        ]);
+        let text = render(&run);
+        assert!(text.contains("profile: per-stage resources:"), "{text}");
+        assert!(text.contains("cli/select"), "{text}");
+        assert!(text.contains("1200"), "{text}");
+        assert!(text.contains("5.5 MB"), "{text}");
+        assert!(text.contains("34.8 MB"), "{text}"); // 34_000 kB peak RSS
+        assert!(text.contains("8.00ms"), "{text}"); // utime
+        assert!(text.contains("4.1 kB"), "{text}"); // io read
+        assert!(
+            text.contains("heap: 1300 allocation(s), 6.0 MB allocated, peak 2.0 MB live"),
+            "{text}"
+        );
     }
 }

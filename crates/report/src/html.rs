@@ -11,6 +11,7 @@
 use crate::diff::{DiffConfig, StageDiff};
 use crate::flame::{self, FlameNode};
 use crate::ingest::Run;
+use crate::statflame::{self, StatNode};
 
 /// Escapes text for safe inclusion in HTML element content and
 /// attribute values.
@@ -38,7 +39,10 @@ pre { background: #252534; padding: 1em; border-radius: 4px; overflow-x: auto; }
 border-radius: 2px; white-space: nowrap; overflow: hidden; min-width: 2px; \
 box-sizing: border-box; }\n\
 .depth { margin-left: 1.2em; }\n\
-.meta { color: #9a9ab0; }\n";
+.meta { color: #9a9ab0; }\n\
+.sbar { background: #3c7ab4; }\n\
+.cols { display: flex; gap: 2em; flex-wrap: wrap; }\n\
+.col { flex: 1; min-width: 24em; }\n";
 
 fn render_node(node: &FlameNode, grand: u64, out: &mut String) {
     let pct = node.total_us as f64 * 100.0 / grand as f64;
@@ -78,6 +82,57 @@ fn flame_section(run: &Run, out: &mut String) {
     }
 }
 
+fn render_stat_node(node: &StatNode, grand: u64, out: &mut String) {
+    let pct = node.total as f64 * 100.0 / grand as f64;
+    out.push_str(&format!(
+        "<div class=\"frame\"><span class=\"bar sbar\" style=\"width:{:.2}%\" \
+title=\"{} total {} self {}\">{}</span> \
+<span class=\"meta\">{} self {} ({:.1}%)</span></div>\n",
+        pct.max(0.5),
+        escape(&node.name),
+        node.total,
+        node.self_,
+        escape(&node.name),
+        node.total,
+        node.self_,
+        pct,
+    ));
+    if !node.children.is_empty() {
+        out.push_str("<div class=\"depth\">\n");
+        for child in &node.children {
+            render_stat_node(child, grand, out);
+        }
+        out.push_str("</div>\n");
+    }
+}
+
+fn statflame_section(run: &Run, roots: &[StatNode], out: &mut String) {
+    let (samples, hz) = statflame::sampler_meta(run);
+    let grand: u64 = roots.iter().map(|r| r.total).sum();
+    out.push_str(&format!(
+        "<h2>statistical flame: {} <span class=\"meta\">({samples} samples @ {hz:.0} Hz)</span></h2>\n",
+        escape(&run.label),
+    ));
+    for root in roots {
+        render_stat_node(root, grand.max(1), out);
+    }
+}
+
+/// One run's flame block: the span flame alone for unprofiled runs, or
+/// the span and statistical flames side by side when samples exist.
+fn flames_for_run(run: &Run, out: &mut String) {
+    let stat_roots = statflame::build(run);
+    if stat_roots.is_empty() {
+        flame_section(run, out);
+        return;
+    }
+    out.push_str("<div class=\"cols\">\n<div class=\"col\">\n");
+    flame_section(run, out);
+    out.push_str("</div>\n<div class=\"col\">\n");
+    statflame_section(run, &stat_roots, out);
+    out.push_str("</div>\n</div>\n");
+}
+
 fn page(title: &str, body: &str) -> String {
     format!(
         "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
@@ -92,7 +147,7 @@ fn page(title: &str, body: &str) -> String {
 pub fn render_runs(runs: &[Run]) -> String {
     let mut body = String::new();
     for run in runs {
-        flame_section(run, &mut body);
+        flames_for_run(run, &mut body);
         body.push_str(&format!(
             "<pre>{}</pre>\n",
             escape(&crate::dashboard::render(run))
@@ -157,6 +212,31 @@ mod tests {
         // Balanced structure.
         assert_eq!(html.matches("<div").count(), html.matches("</div>").count());
         assert!(html.ends_with("</html>\n"), "{html}");
+    }
+
+    #[test]
+    fn profiled_run_renders_both_flames_side_by_side() {
+        let text = "\
+{\"v\":2,\"kind\":\"span\",\"name\":\"cli/select\",\"dur_us\":1000,\"fields\":{}}\n\
+{\"v\":2,\"kind\":\"sample\",\"name\":\"prof/sample\",\"count\":12,\"fields\":{\"stack\":\"cli/select;sim/run\"}}\n\
+{\"v\":2,\"kind\":\"counter\",\"name\":\"prof/samples\",\"value\":12,\"fields\":{}}\n\
+{\"v\":2,\"kind\":\"gauge\",\"name\":\"prof/sample_hz\",\"value\":99,\"fields\":{}}\n";
+        let run = load_str("gzip", text).unwrap();
+        let html = render_runs(&[run]);
+        assert!(html.contains("statistical flame: gzip"), "{html}");
+        assert!(html.contains("12 samples @ 99 Hz"), "{html}");
+        assert!(html.contains("class=\"cols\""), "{html}");
+        assert!(html.contains("class=\"bar sbar\""), "{html}");
+        // Still self-contained and balanced.
+        for needle in ["http://", "https://", "<script", "<link", "@import", "src="] {
+            assert!(!html.contains(needle), "found `{needle}` in:\n{html}");
+        }
+        assert_eq!(html.matches("<div").count(), html.matches("</div>").count());
+        // Unprofiled runs must not grow the side-by-side wrapper.
+        let plain = run_with("plain", &[("cli/select", 1000)]);
+        let html = render_runs(&[plain]);
+        assert!(!html.contains("class=\"cols\""), "{html}");
+        assert!(!html.contains("statistical flame"), "{html}");
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub enum Payload {
     },
     /// A structured warning.
     Warning,
+    /// A statistical-profiler folded-stack count (schema v2; the stack
+    /// itself rides in the `stack` field).
+    Sample {
+        /// Sampler hits on this stack.
+        count: u64,
+    },
 }
 
 /// One ingested event: name, payload, and fields.
@@ -123,6 +129,15 @@ impl Run {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Iterates `(folded_stack, count)` over the profiler's sample
+    /// events, in stream order.
+    pub fn samples(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.events.iter().filter_map(|e| match e.payload {
+            Payload::Sample { count } => e.field_str("stack").map(|s| (s, count)),
+            _ => None,
+        })
     }
 
     /// All values of the named counter, in stream order.
@@ -241,6 +256,9 @@ fn convert(doc: &Json) -> Result<ReportEvent, String> {
             Payload::Hist { count, buckets }
         }
         "warning" => Payload::Warning,
+        "sample" => Payload::Sample {
+            count: num("count")? as u64,
+        },
         other => return Err(format!("unknown kind `{other}`")),
     };
     let mut fields = Vec::new();
@@ -288,9 +306,15 @@ mod tests {
                 .with("avg_cov", 0.05),
             Event::new("partition/vli_lengths", histogram_kind(&hist)),
             Event::new("fallback/fixed-length", EventKind::Warning).with("reason", "no-markers"),
+            Event::new("prof/sample", EventKind::Sample { count: 17 })
+                .with("stack", "cli/select;sim/run"),
         ]);
         let run = load_str("test", &text).unwrap();
-        assert_eq!(run.events.len(), 5);
+        assert_eq!(run.events.len(), 6);
+        assert_eq!(
+            run.samples().collect::<Vec<_>>(),
+            vec![("cli/select;sim/run", 17)]
+        );
         assert_eq!(
             run.events[0].payload,
             Payload::Span { dur_us: 1234 },

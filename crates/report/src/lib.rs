@@ -25,7 +25,12 @@
 //! stream that loads here is exactly a stream the emitting side
 //! considers valid — including the rejection of non-finite metrics.
 //!
-//! [`bench`] additionally validates the `spm-bench/report/v4` artifact
+//! [`statflame`] renders the statistical-profiler side of a stream:
+//! sampled folded stacks become their own flame view (exact, rebuilt
+//! from the `;`-separated frames) next to the span flame, and
+//! [`statflame::folded_lines`] exports either as flamegraph input.
+//!
+//! [`bench`] additionally validates the `spm-bench/report/v6` artifact
 //! (`results/BENCH_report.json`) that `all_figures` writes.
 //!
 //! # Example
@@ -53,7 +58,9 @@ pub mod diff;
 pub mod flame;
 pub mod html;
 pub mod ingest;
+pub mod statflame;
 
 pub use diff::{diff_runs, gate, DiffConfig, StageDiff, StageStats, Verdict};
 pub use flame::FlameNode;
 pub use ingest::{load_file, load_str, Field, Payload, ReportEvent, Run};
+pub use statflame::StatNode;

@@ -1,0 +1,260 @@
+//! The statistical flame view: folded-stack sample counts from the
+//! span-stack sampler (DESIGN.md §13) reassembled into a stage tree,
+//! plus folded-stack export for external flamegraph tooling.
+//!
+//! Unlike the span flame ([`crate::flame`]), which reconstructs
+//! hierarchy from full span paths with a longest-prefix heuristic,
+//! sampled stacks carry their frames explicitly (`;`-separated relative
+//! span names), so the tree here is an exact trie of what the sampler
+//! observed. `total` counts samples anywhere under a frame; `self`
+//! counts samples whose innermost frame it was — the statistical
+//! equivalent of self time, and the number that says *where inside a
+//! stage* the wall clock actually goes.
+
+use crate::flame;
+use crate::ingest::{Payload, Run};
+use std::collections::BTreeMap;
+
+/// One frame in the sampled stage tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatNode {
+    /// Relative frame name (a span's name, not its full path).
+    pub name: String,
+    /// Samples observed at or below this frame.
+    pub total: u64,
+    /// Samples whose innermost frame this was.
+    pub self_: u64,
+    /// Child frames, most-sampled first.
+    pub children: Vec<StatNode>,
+}
+
+#[derive(Default)]
+struct Trie {
+    total: u64,
+    self_: u64,
+    children: BTreeMap<String, Trie>,
+}
+
+/// Builds the sampled stage forest (roots most-sampled first) from a
+/// run's `sample` events. Empty when the run carries none (v1 streams,
+/// unprofiled runs).
+pub fn build(run: &Run) -> Vec<StatNode> {
+    let mut root = Trie::default();
+    for (stack, count) in run.samples() {
+        let mut node = &mut root;
+        for frame in stack.split(';').filter(|f| !f.is_empty()) {
+            node = node.children.entry(frame.to_string()).or_default();
+            node.total += count;
+        }
+        node.self_ += count;
+    }
+    fn freeze(name: &str, trie: &Trie) -> StatNode {
+        let mut children: Vec<StatNode> = trie.children.iter().map(|(n, t)| freeze(n, t)).collect();
+        children.sort_by(|a, b| b.total.cmp(&a.total).then(a.name.cmp(&b.name)));
+        StatNode {
+            name: name.to_string(),
+            total: trie.total,
+            self_: trie.self_,
+            children,
+        }
+    }
+    let mut roots: Vec<StatNode> = root.children.iter().map(|(n, t)| freeze(n, t)).collect();
+    roots.sort_by(|a, b| b.total.cmp(&a.total).then(a.name.cmp(&b.name)));
+    roots
+}
+
+/// The run's sampler configuration `(samples, hz)`, from the
+/// `prof/samples` counter and `prof/sample_hz` gauge the profiler
+/// emits alongside the stacks. Zeroes when absent.
+pub fn sampler_meta(run: &Run) -> (u64, f64) {
+    let samples = run.counters("prof/samples").last().copied().unwrap_or(0);
+    let hz = run.gauges("prof/sample_hz").last().copied().unwrap_or(0.0);
+    (samples, hz)
+}
+
+/// Renders the sampled forest as an indented terminal tree with total
+/// and self sample counts, percentages of all samples, and a bar scaled
+/// to the widest root.
+pub fn render(roots: &[StatNode], samples: u64, hz: f64) -> String {
+    let grand: u64 = roots.iter().map(|r| r.total).sum();
+    let mut out = format!(
+        "statistical flame: {samples} sample(s) @ {hz:.0} Hz, {} stage(s)\n",
+        count_nodes(roots)
+    );
+    let width = roots
+        .iter()
+        .map(|r| max_label_width(r, 0))
+        .max()
+        .unwrap_or(0)
+        .max("stage".len());
+    out.push_str(&format!(
+        "  {:<width$}  {:>7}  {:>7}  {:>6}\n",
+        "stage", "total", "self", "%"
+    ));
+    for root in roots {
+        render_node(root, 0, grand.max(1), width, &mut out);
+    }
+    out
+}
+
+/// Renders a run's statistical flame, or `None` when it carries no
+/// samples (the caller then skips the section entirely).
+pub fn render_run(run: &Run) -> Option<String> {
+    let roots = build(run);
+    if roots.is_empty() {
+        return None;
+    }
+    let (samples, hz) = sampler_meta(run);
+    Some(render(&roots, samples, hz))
+}
+
+fn count_nodes(nodes: &[StatNode]) -> usize {
+    nodes.iter().map(|n| 1 + count_nodes(&n.children)).sum()
+}
+
+fn max_label_width(node: &StatNode, depth: usize) -> usize {
+    let own = depth * 2 + node.name.len();
+    node.children
+        .iter()
+        .map(|c| max_label_width(c, depth + 1))
+        .max()
+        .unwrap_or(0)
+        .max(own)
+}
+
+fn render_node(node: &StatNode, depth: usize, grand: u64, width: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", node.name);
+    let pct = node.total as f64 * 100.0 / grand as f64;
+    let bar_len = ((node.total.saturating_mul(24)) / grand).min(24) as usize;
+    let bar = "#".repeat(bar_len.max(1));
+    out.push_str(&format!(
+        "  {label:<width$}  {:>7}  {:>7}  {pct:>5.1}%  {bar}\n",
+        node.total, node.self_,
+    ));
+    for child in &node.children {
+        render_node(child, depth + 1, grand, width, out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Folded-stack export
+// ---------------------------------------------------------------------
+
+/// The run's folded stacks in the classic `frames;joined count` format
+/// external flamegraph tools consume.
+///
+/// Sampled runs export the sampler's stacks verbatim (count = sampler
+/// hits). Runs without samples fall back to the span flame: each stage
+/// with nonzero self time becomes one line whose frames are the node's
+/// ancestry and whose count is the self time in microseconds — so the
+/// export is useful on plain `--spans` streams too.
+pub fn folded_lines(run: &Run) -> Vec<String> {
+    let sampled: Vec<String> = run
+        .events
+        .iter()
+        .filter_map(|e| match e.payload {
+            Payload::Sample { count } => e.field_str("stack").map(|s| format!("{s} {count}")),
+            _ => None,
+        })
+        .collect();
+    if !sampled.is_empty() {
+        return sampled;
+    }
+    let mut out = Vec::new();
+    fn walk(node: &flame::FlameNode, prefix: &str, out: &mut Vec<String>) {
+        let path = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix};{}", node.name)
+        };
+        if node.self_us > 0 {
+            out.push(format!("{path} {}", node.self_us));
+        }
+        for child in &node.children {
+            walk(child, &path, out);
+        }
+    }
+    for root in flame::build(run) {
+        walk(&root, "", &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::load_str;
+
+    fn sample_line(stack: &str, count: u64) -> String {
+        format!(
+            "{{\"v\":2,\"kind\":\"sample\",\"name\":\"prof/sample\",\"count\":{count},\"fields\":{{\"stack\":\"{stack}\"}}}}"
+        )
+    }
+
+    #[test]
+    fn builds_exact_trie_from_folded_stacks() {
+        let text = [
+            sample_line("cli/select;sim/run", 30),
+            sample_line("cli/select;sim/run;decode", 10),
+            sample_line("cli/select", 5),
+            sample_line("w1/root", 2),
+        ]
+        .join("\n");
+        let run = load_str("t", &text).unwrap();
+        let roots = build(&run);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].name, "cli/select");
+        assert_eq!(roots[0].total, 45);
+        assert_eq!(roots[0].self_, 5);
+        assert_eq!(roots[0].children[0].name, "sim/run");
+        assert_eq!(roots[0].children[0].total, 40);
+        assert_eq!(roots[0].children[0].self_, 30);
+        assert_eq!(roots[0].children[0].children[0].self_, 10);
+        assert_eq!(roots[1].name, "w1/root");
+        assert_eq!(roots[1].total, 2);
+    }
+
+    #[test]
+    fn render_reports_counts_and_meta() {
+        let text = [
+            sample_line("a;b", 8),
+            sample_line("a", 2),
+            "{\"v\":2,\"kind\":\"counter\",\"name\":\"prof/samples\",\"value\":10,\"fields\":{}}"
+                .to_string(),
+            "{\"v\":2,\"kind\":\"gauge\",\"name\":\"prof/sample_hz\",\"value\":99,\"fields\":{}}"
+                .to_string(),
+        ]
+        .join("\n");
+        let run = load_str("t", &text).unwrap();
+        let rendered = render_run(&run).expect("samples present");
+        assert!(rendered.contains("10 sample(s) @ 99 Hz"), "{rendered}");
+        assert!(rendered.contains("100.0%"), "{rendered}");
+        assert!(rendered.contains('#'), "{rendered}");
+    }
+
+    #[test]
+    fn no_samples_means_no_section() {
+        let run = load_str(
+            "t",
+            "{\"v\":1,\"kind\":\"span\",\"name\":\"a\",\"dur_us\":5,\"fields\":{}}",
+        )
+        .unwrap();
+        assert!(render_run(&run).is_none());
+    }
+
+    #[test]
+    fn folded_export_prefers_samples_and_falls_back_to_spans() {
+        let sampled = load_str("t", &sample_line("x;y", 7)).unwrap();
+        assert_eq!(folded_lines(&sampled), vec!["x;y 7"]);
+
+        let spans = load_str(
+            "t",
+            "{\"v\":1,\"kind\":\"span\",\"name\":\"cli/select\",\"dur_us\":100,\"fields\":{}}\n\
+             {\"v\":1,\"kind\":\"span\",\"name\":\"cli/select/sim/run\",\"dur_us\":60,\"fields\":{}}",
+        )
+        .unwrap();
+        let lines = folded_lines(&spans);
+        assert_eq!(lines, vec!["cli/select 40", "cli/select;sim/run 60"]);
+    }
+}

@@ -1,5 +1,5 @@
 //! The committed bench trajectory point must validate against the
-//! executable v5 schema — the same check CI runs, so a hand-edited or
+//! executable v6 schema — the same check CI runs, so a hand-edited or
 //! stale artifact fails before it merges.
 
 use spm_report::bench::{validate_bench_report, BENCH_REPORT_SCHEMA};
@@ -14,7 +14,7 @@ fn committed_report() -> String {
 #[test]
 fn committed_bench_report_validates() {
     let text = committed_report();
-    validate_bench_report(&text).expect("results/BENCH_report.json matches the v5 schema");
+    validate_bench_report(&text).expect("results/BENCH_report.json matches the v6 schema");
     assert!(text.contains(BENCH_REPORT_SCHEMA));
 }
 
