@@ -2,7 +2,7 @@
 //! `results/` (used to populate EXPERIMENTS.md), plus two artifacts:
 //! `results/BENCH_timings.json` (`spm-bench/timings/v2`, raw per-figure
 //! wall-clock spans captured through spm-obs) and
-//! `results/BENCH_report.json` (`spm-bench/report/v6`: per-figure
+//! `results/BENCH_report.json` (`spm-bench/report/v7`: per-figure
 //! median/min/total across `--repeat` runs, suite-wide simulation
 //! throughput, per-decoder ingest throughput from the `spmstk01` store
 //! figure, the ingest-throughput `trajectory` carried forward from
@@ -504,7 +504,7 @@ fn trajectory_json(points: &[TrajPoint]) -> String {
     out
 }
 
-/// Renders the `spm-bench/report/v6` artifact (the schema
+/// Renders the `spm-bench/report/v7` artifact (the schema
 /// `spm_report::bench::validate_bench_report` checks). One argument per
 /// top-level report section keeps the call site self-documenting.
 #[allow(clippy::too_many_arguments)]

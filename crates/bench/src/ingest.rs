@@ -1,10 +1,20 @@
-//! Ingest-throughput figure: one recorded event stream decoded four
-//! ways — flat `spmtrc02` replay, sequential `spmstk01` store replay,
-//! parallel store replay, and recovery-path replay of a store whose
-//! ingest was killed mid-write by the seeded [`spm_store::FaultyIo`]
-//! failpoint disk (the crash-safety overhead of DESIGN.md §12:
-//! transient-retry absorption on the way in, torn-tail recovery on the
-//! way out).
+//! Ingest-throughput figure: one recorded event stream decoded six
+//! ways — flat `spmtrc02` replay, sequential `spmstk01` store replay
+//! through the legacy per-event virtual-dispatch path, the same replay
+//! with batched observer delivery (the production hot path), parallel
+//! store replay, sequential replay of an LZ-compressed container, and
+//! recovery-path replay of a store whose ingest was killed mid-write by
+//! the seeded [`spm_store::FaultyIo`] failpoint disk (the crash-safety
+//! overhead of DESIGN.md §12: transient-retry absorption on the way in,
+//! torn-tail recovery on the way out).
+//!
+//! Timed regions measure decode work only: containers are built,
+//! written to disk, and readers opened (file open, memory-map, header
+//! and index parse, recovery walks included) *before* the clock
+//! starts, so the figure compares decoders rather than setup costs.
+//! Store rows read real files through [`StoreReader::open`] — the
+//! production path, where block payloads are zero-copy slices of the
+//! page cache when the platform maps them.
 //!
 //! The rendered text contains only deterministic facts (event counts,
 //! byte sizes, block count, container overhead, recovered prefix and
@@ -18,15 +28,24 @@ use crate::{analysis_error, workload};
 use spm_core::SpmError;
 use spm_sim::record::{replay, TraceRecorder};
 use spm_sim::{run, TraceEvent, TraceObserver};
-use spm_store::{FaultPlan, FaultyIo, RetryPolicy, StoreReader, StoreWriter};
+use spm_store::{Compression, FaultPlan, FaultyIo, RetryPolicy, StoreReader, StoreWriter};
 use std::io::Cursor;
 use std::time::Instant;
 
 /// Workload whose `ref` input feeds the ingest measurement.
 pub const INGEST_WORKLOAD: &str = "gzip";
 
-/// The measured decode paths, in report order.
-pub const DECODERS: [&str; 4] = ["flat", "store", "store-par", "store-faulted"];
+/// The measured decode paths, in report order. `store` keeps the
+/// legacy one-virtual-call-per-event delivery as the regression
+/// baseline; `store-batch` is the production batched path.
+pub const DECODERS: [&str; 6] = [
+    "flat",
+    "store",
+    "store-batch",
+    "store-par",
+    "store-compressed",
+    "store-faulted",
+];
 
 /// Seed of the faulted-ingest schedule (any seed must satisfy the
 /// durability invariant; this one is fixed so the figure is a golden).
@@ -36,12 +55,34 @@ const FAULT_SEED: u64 = crate::ANALYSIS_SEED ^ 0x1265;
 /// the faulted path.
 const TRANSIENT_ONE_IN: u32 = 16;
 
-/// Counts delivered events without retaining them.
+/// Counts delivered events without retaining them, taking the batched
+/// delivery path when the decoder offers it.
 struct Count(u64);
 
 impl TraceObserver for Count {
     fn on_event(&mut self, _icount: u64, _event: &TraceEvent) {
         self.0 += 1;
+    }
+
+    fn on_batch(&mut self, batch: &[(u64, TraceEvent)]) {
+        self.0 += batch.len() as u64;
+    }
+}
+
+/// Forces one virtual call per event — the pre-batching store hot
+/// path, kept as a measured row so the figure shows what batched
+/// delivery buys over it.
+struct PerEvent<'a>(&'a mut dyn TraceObserver);
+
+impl TraceObserver for PerEvent<'_> {
+    fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+        self.0.on_event(icount, event);
+    }
+
+    fn on_batch(&mut self, batch: &[(u64, TraceEvent)]) {
+        for (icount, event) in batch {
+            self.0.on_event(*icount, event);
+        }
     }
 }
 
@@ -56,19 +97,47 @@ pub struct IngestData {
     pub flat_bytes: u64,
     /// `spmstk01` container size in bytes.
     pub store_bytes: u64,
+    /// LZ-compressed `spmstk01` container size in bytes.
+    pub compressed_bytes: u64,
     /// Blocks in the container.
     pub blocks: u64,
-    /// Events redelivered by each decoder, in [`DECODERS`] order. The
-    /// first three must equal `events`; `store-faulted` recovers the
-    /// committed prefix of an ingest killed mid-write, so it is at most
-    /// `events` and at least the crash-time commit watermark.
-    pub decoded: [u64; 4],
+    /// Events redelivered by each decoder, in [`DECODERS`] order. All
+    /// but `store-faulted` must equal `events`; `store-faulted`
+    /// recovers the committed prefix of an ingest killed mid-write, so
+    /// it is at most `events` and at least the crash-time commit
+    /// watermark.
+    pub decoded: [u64; 6],
     /// Events the writer had durably committed when the faulted ingest
     /// was killed (the floor for `decoded[store-faulted]`).
     pub faulted_committed: u64,
     /// Transient write errors the faulted ingest absorbed by retrying
     /// before the kill (seeded, so deterministic).
     pub faulted_retries: u64,
+}
+
+/// Writes container bytes to a scratch file so readers take the same
+/// mmap-backed path the CLI uses, returning an opened reader. The
+/// write, open, and index parse all happen outside any timed region.
+fn opened_store(
+    name: &str,
+    bytes: &[u8],
+) -> Result<
+    (
+        std::path::PathBuf,
+        StoreReader<std::io::BufReader<std::fs::File>>,
+    ),
+    SpmError,
+> {
+    // Unique per call: parallel test threads each run `compute`.
+    static SCRATCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let serial = SCRATCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "spm-bench-ingest-{}-{serial}-{name}.spmstk",
+        std::process::id()
+    ));
+    std::fs::write(&path, bytes).map_err(|e| analysis_error("ingest/write", e))?;
+    let reader = StoreReader::open(&path).map_err(|e| analysis_error("ingest/open", e))?;
+    Ok((path, reader))
 }
 
 /// Times one decode path under an `ingest/<name>` span, reporting its
@@ -105,10 +174,19 @@ pub fn compute() -> Result<IngestData, SpmError> {
     let mut store_buf = Vec::new();
     let mut writer = StoreWriter::new(&mut store_buf);
     writer.set_block_dims(w.program.block_sizes().len() as u32);
-    let summary = run(&w.program, &w.ref_input, &mut [&mut recorder, &mut writer])?;
+    let mut lz_buf = Vec::new();
+    let mut lz_writer = StoreWriter::new(&mut lz_buf).compression(Compression::Lz);
+    let summary = run(
+        &w.program,
+        &w.ref_input,
+        &mut [&mut recorder, &mut writer, &mut lz_writer],
+    )?;
     let packed = writer
         .finish()
         .map_err(|e| analysis_error("ingest/pack", e))?;
+    let lz_packed = lz_writer
+        .finish()
+        .map_err(|e| analysis_error("ingest/pack-compressed", e))?;
     let flat = recorder.into_bytes();
 
     let flat_decoded = timed_decode("flat", packed.events, || {
@@ -117,19 +195,33 @@ pub fn compute() -> Result<IngestData, SpmError> {
         Ok(count.0)
     })?;
 
-    let mut reader = StoreReader::new(Cursor::new(store_buf.clone()))
-        .map_err(|e| analysis_error("ingest/store", e))?;
+    // Legacy path: batched decode, but one virtual call per event at
+    // the observer boundary.
+    let (store_path, mut reader) = opened_store("plain", &store_buf)?;
     let store_decoded = timed_decode("store", packed.events, || {
         let mut count = Count(0);
+        let mut per_event = PerEvent(&mut count);
         let report = reader
-            .replay(&mut [&mut count])
+            .replay(&mut [&mut per_event])
             .map_err(|e| analysis_error("ingest/store", e))?;
         debug_assert!(report.is_clean());
         Ok(count.0)
     })?;
 
-    let mut reader = StoreReader::new(Cursor::new(store_buf))
-        .map_err(|e| analysis_error("ingest/store-par", e))?;
+    // Production path: whole blocks delivered per observer call.
+    let mut reader =
+        StoreReader::open(&store_path).map_err(|e| analysis_error("ingest/store-batch", e))?;
+    let batch_decoded = timed_decode("store-batch", packed.events, || {
+        let mut count = Count(0);
+        let report = reader
+            .replay(&mut [&mut count])
+            .map_err(|e| analysis_error("ingest/store-batch", e))?;
+        debug_assert!(report.is_clean());
+        Ok(count.0)
+    })?;
+
+    let mut reader =
+        StoreReader::open(&store_path).map_err(|e| analysis_error("ingest/store-par", e))?;
     let par_decoded = timed_decode("store-par", packed.events, || {
         let mut count = Count(0);
         let report = reader
@@ -138,20 +230,33 @@ pub fn compute() -> Result<IngestData, SpmError> {
         debug_assert!(report.is_clean());
         Ok(count.0)
     })?;
+    drop(reader);
+    std::fs::remove_file(&store_path).ok();
+    drop(store_buf);
+
+    let (lz_path, mut reader) = opened_store("lz", &lz_buf)?;
+    let compressed_decoded = timed_decode("store-compressed", packed.events, || {
+        let mut count = Count(0);
+        let report = reader
+            .replay(&mut [&mut count])
+            .map_err(|e| analysis_error("ingest/store-compressed", e))?;
+        debug_assert!(report.is_clean());
+        Ok(count.0)
+    })?;
+    drop(reader);
+    std::fs::remove_file(&lz_path).ok();
 
     // Faulted path: repack the same stream through the failpoint disk,
     // flaky (retried transients) and then killed at 3/4 of the clean
     // pass's I/O operations; the decode side then pays recovery (index
     // rebuild, torn-tail discard) before replaying the committed
-    // prefix.
+    // prefix. The open — including the recovery walk — happens before
+    // the clock starts, like every other row's setup.
     let (torn, faulted_committed, faulted_retries) = faulted_pack(&flat)?;
-    let recovered = StoreReader::new(Cursor::new(torn.clone()))
-        .map_err(|e| analysis_error("ingest/store-faulted", e))?
-        .info()
-        .events;
+    let mut reader = StoreReader::new(Cursor::new(torn))
+        .map_err(|e| analysis_error("ingest/store-faulted", e))?;
+    let recovered = reader.info().events;
     let faulted_decoded = timed_decode("store-faulted", recovered, || {
-        let mut reader = StoreReader::new(Cursor::new(torn.clone()))
-            .map_err(|e| analysis_error("ingest/store-faulted", e))?;
         let mut count = Count(0);
         let report = reader
             .replay(&mut [&mut count])
@@ -171,8 +276,16 @@ pub fn compute() -> Result<IngestData, SpmError> {
         instructions: summary.instrs,
         flat_bytes: flat.len() as u64,
         store_bytes: packed.file_bytes,
+        compressed_bytes: lz_packed.file_bytes,
         blocks: packed.blocks,
-        decoded: [flat_decoded, store_decoded, par_decoded, faulted_decoded],
+        decoded: [
+            flat_decoded,
+            store_decoded,
+            batch_decoded,
+            par_decoded,
+            compressed_decoded,
+            faulted_decoded,
+        ],
         faulted_committed,
         faulted_retries,
     })
@@ -225,6 +338,11 @@ pub fn render(d: &IngestData) -> String {
         "store_bytes\t{}\tcontainer_overhead\t{overhead:.4}\n",
         d.store_bytes
     ));
+    let ratio = d.compressed_bytes as f64 / d.store_bytes.max(1) as f64;
+    out.push_str(&format!(
+        "compressed_bytes\t{}\tcompression_ratio\t{ratio:.4}\n",
+        d.compressed_bytes
+    ));
     out.push_str(&format!("blocks\t{}\n", d.blocks));
     for (name, decoded) in DECODERS.iter().zip(&d.decoded) {
         out.push_str(&format!("decoded[{name}]\t{decoded}\n"));
@@ -259,13 +377,22 @@ mod tests {
         let d = compute().unwrap();
         assert!(d.events > 0);
         assert!(d.blocks >= 1);
-        for (name, decoded) in DECODERS.iter().zip(&d.decoded).take(3) {
+        // Every decoder but the deliberately torn one sees the full
+        // stream.
+        for (name, decoded) in DECODERS.iter().zip(&d.decoded).take(DECODERS.len() - 1) {
             assert_eq!(*decoded, d.events, "decoder {name} lost events");
         }
+        // LZ must shrink the container: event payloads are repetitive.
+        assert!(
+            d.compressed_bytes < d.store_bytes,
+            "compression grew the container: {} vs {}",
+            d.compressed_bytes,
+            d.store_bytes
+        );
         // The faulted path was killed mid-write: it recovers at least
         // every committed event, never more than the clean stream, and
         // the kill at 3/4 of the ops must have lost the tail.
-        let faulted = d.decoded[3];
+        let faulted = d.decoded[DECODERS.len() - 1];
         assert!(faulted >= d.faulted_committed, "committed events lost");
         assert!(faulted < d.events, "the kill must lose the torn tail");
         assert!(d.faulted_committed > 0, "kill too early: nothing durable");

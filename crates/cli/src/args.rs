@@ -53,7 +53,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["procs-only", "dot", "help", "plot", "verbose"];
+const BOOLEAN_FLAGS: &[&str] = &["procs-only", "dot", "help", "plot", "verbose", "compress"];
 
 /// Flags that take a value. Anything outside both lists is rejected
 /// rather than silently swallowing the next token.

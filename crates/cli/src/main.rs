@@ -12,7 +12,7 @@
 //! spm timeseries <workload> [--input train|ref] [--step N] [--plot]
 //! spm record <workload> [--input train|ref] --out FILE
 //! spm replay <tracefile>
-//! spm pack <workload|tracefile> --out FILE.spmstk [--block-size N] [--sync none|block|close] [--input train|ref]
+//! spm pack <workload|tracefile> --out FILE.spmstk [--block-size N] [--sync none|block|close] [--compress] [--input train|ref]
 //! spm info <file.spmstk>
 //! spm report <metrics.jsonl>... [--html FILE] [--folded FILE]
 //! spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT] [--min-us N] [--html FILE]
@@ -303,7 +303,7 @@ USAGE:
   spm record <workload> [--input train|ref] --out FILE
   spm replay <tracefile>
   spm pack <workload|tracefile> --out FILE.spmstk [--block-size N]
-           [--sync none|block|close] [--input train|ref]
+           [--sync none|block|close] [--compress] [--input train|ref]
   spm info <file.spmstk>
   spm report <metrics.jsonl>... [--html FILE] [--folded FILE]
   spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT]
@@ -320,6 +320,9 @@ FLAGS:
                       (none | block | close; default block syncs every
                       flushed block so a crash loses at most the block
                       in flight)
+  --compress          `pack`: LZ-compress each block payload (recorded
+                      in the header; replay decompresses transparently,
+                      composing with parallel decode and recovery)
   --input train|ref   which input to run (default: ref; select defaults to train)
   --ilower N          minimum average interval size in instructions (default 10000)
   --limit N           enable the max-interval-size (SimPoint) variant
@@ -1217,20 +1220,27 @@ fn cmd_pack(parsed: &ParsedArgs) -> Result<(), CliError> {
         })?,
         None => spm_store::SyncPolicy::Block,
     };
+    let compression = if parsed.flags.contains_key("compress") {
+        spm_store::Compression::Lz
+    } else {
+        spm_store::Compression::None
+    };
 
     // Failpoint hook (DESIGN.md §12): SPM_PACK_FAULT routes the pack
     // through the deterministic FaultyIo disk so crash-recovery tests
     // exercise the real CLI end to end. The surviving (possibly torn)
     // image is written to --out, exactly what a killed process leaves.
     if let Ok(spec) = std::env::var("SPM_PACK_FAULT") {
-        return pack_through_failpoint(parsed, name, &out, budget, sync, &spec);
+        return pack_through_failpoint(parsed, name, &out, budget, sync, compression, &spec);
     }
 
     let sink = spm_store::FileIo::create(std::path::Path::new(&out)).map_err(|e| SpmError::Io {
         path: out.clone(),
         message: e.to_string(),
     })?;
-    let mut writer = StoreWriter::with_block_budget(sink, budget).sync_policy(sync);
+    let mut writer = StoreWriter::with_block_budget(sink, budget)
+        .sync_policy(sync)
+        .compression(compression);
     pack_feed(&mut writer, parsed, name)?;
     let summary = writer.finish().map_err(|e| store_error(&out, e))?;
     eprintln!("{}", pack_summary_line(&out, &summary));
@@ -1244,12 +1254,14 @@ fn pack_through_failpoint(
     out: &str,
     budget: usize,
     sync: spm_store::SyncPolicy,
+    compression: spm_store::Compression,
     spec: &str,
 ) -> Result<(), CliError> {
     let plan = spm_store::FaultPlan::parse(spec)
         .map_err(|m| CliError::Usage(format!("SPM_PACK_FAULT: {m}")))?;
-    let mut writer =
-        StoreWriter::with_block_budget(spm_store::FaultyIo::new(plan), budget).sync_policy(sync);
+    let mut writer = StoreWriter::with_block_budget(spm_store::FaultyIo::new(plan), budget)
+        .sync_policy(sync)
+        .compression(compression);
     let feed = pack_feed(&mut writer, parsed, name);
     let outcome = writer.finish_with_sink();
     // Persist whatever survived — torn tail included — so downstream
@@ -1288,6 +1300,7 @@ fn cmd_info(parsed: &ParsedArgs) -> Result<(), CliError> {
     println!("  block dims:    {}", info.block_dims);
     println!("  payload:       {} bytes", info.payload_bytes);
     println!("  file:          {} bytes", info.file_bytes);
+    println!("  compression:   {}", info.compression);
     println!("  sync policy:   {}", info.sync_policy);
     println!(
         "  durability:    {}",

@@ -465,3 +465,144 @@ fn replay_reports_offset_of_first_undecodable_record() {
     );
     std::fs::remove_file(&trace).ok();
 }
+
+#[test]
+fn compressed_store_is_byte_identical_and_smaller() {
+    let wl = workload_path("workloads/gzip.spm");
+    let plain = pack(&wl, "train", "cmp-plain.spmstk");
+    let packed = tmp("cmp-lz.spmstk");
+    let out = spm(&[
+        "pack",
+        &wl,
+        "--input",
+        "train",
+        "--compress",
+        "--out",
+        packed.to_str().expect("utf8"),
+    ]);
+    assert!(
+        out.status.success(),
+        "compressed pack failed: {}",
+        stderr(&out)
+    );
+    let plain_len = std::fs::metadata(&plain).expect("plain meta").len();
+    let packed_len = std::fs::metadata(&packed).expect("packed meta").len();
+    assert!(
+        packed_len < plain_len,
+        "compressed store ({packed_len} bytes) not smaller than plain ({plain_len} bytes)"
+    );
+
+    // `info` names the codec.
+    let info = stdout(&spm(&["info", packed.to_str().expect("utf8")]));
+    assert!(info.contains("compression:   lz"), "{info}");
+    let info_plain = stdout(&spm(&["info", plain.to_str().expect("utf8")]));
+    assert!(info_plain.contains("compression:   none"), "{info_plain}");
+
+    // Every analysis output is byte-identical across flat, plain store,
+    // and compressed store, serial and parallel. Each command is paired
+    // with a store packed from its default input (select reads train,
+    // simpoint reads ref).
+    for (cmd, input) in [("select", "train"), ("simpoint", "ref")] {
+        let plain_in = pack(&wl, input, &format!("cmp-plain-{input}.spmstk"));
+        let packed_in = tmp(format!("cmp-lz-{input}.spmstk").as_str());
+        let out = spm(&[
+            "pack",
+            &wl,
+            "--input",
+            input,
+            "--compress",
+            "--out",
+            packed_in.to_str().expect("utf8"),
+        ]);
+        assert!(out.status.success(), "{cmd}: {}", stderr(&out));
+        let flat = spm(&[cmd, &wl]);
+        assert!(flat.status.success(), "{cmd}: {}", stderr(&flat));
+        for store in [&plain_in, &packed_in] {
+            for jobs in ["1", "4"] {
+                let stored = spm(&[
+                    cmd,
+                    "--store",
+                    store.to_str().expect("utf8"),
+                    "--jobs",
+                    jobs,
+                ]);
+                assert!(stored.status.success(), "{cmd}: {}", stderr(&stored));
+                assert_eq!(
+                    stdout(&stored),
+                    stdout(&flat),
+                    "{cmd} differs for {store:?} at --jobs {jobs}"
+                );
+            }
+        }
+        std::fs::remove_file(&plain_in).ok();
+        std::fs::remove_file(&packed_in).ok();
+    }
+    std::fs::remove_file(&plain).ok();
+    std::fs::remove_file(&packed).ok();
+}
+
+#[test]
+fn short_header_files_get_typed_errors_not_panics() {
+    // Every truncation of a store header — including the empty file —
+    // must produce a clean typed decode error (exit 8) from both `info`
+    // and the `--store` analyses. A panic or a raw io error would show
+    // up as a different exit code and stderr shape.
+    let wl = workload_path("workloads/example.spm");
+    let store = pack(&wl, "train", "short-hdr.spmstk");
+    let bytes = std::fs::read(&store).expect("read store");
+    let short = tmp("short-hdr-cut.spmstk");
+    for len in 0..16 {
+        std::fs::write(&short, &bytes[..len]).expect("write truncated");
+        for args in [
+            vec!["info", short.to_str().expect("utf8")],
+            vec!["select", "--store", short.to_str().expect("utf8")],
+        ] {
+            let out = spm(&args);
+            assert_eq!(
+                out.status.code(),
+                Some(8),
+                "len {len} {args:?}: expected decode-error exit, got {:?}\n{}",
+                out.status.code(),
+                stderr(&out)
+            );
+            let err = stderr(&out);
+            assert!(
+                !err.contains("panicked"),
+                "len {len} {args:?} panicked: {err}"
+            );
+        }
+    }
+    std::fs::remove_file(&store).ok();
+    std::fs::remove_file(&short).ok();
+}
+
+#[test]
+fn torn_compressed_pack_recovers_like_plain() {
+    // Crash-at-op faults compose with compression: the surviving image
+    // opens with a recovered index and the analyses still run.
+    let wl = workload_path("workloads/example.spm");
+    let store = tmp("torn-lz.spmstk");
+    let out = spm_env(
+        &[
+            "pack",
+            &wl,
+            "--input",
+            "train",
+            "--compress",
+            "--block-size",
+            "2048",
+            "--out",
+            store.to_str().expect("utf8"),
+        ],
+        &[("SPM_PACK_FAULT", "seed=3,crash-at-op=40")],
+    );
+    assert!(!out.status.success(), "faulted pack must fail");
+    let info = spm(&["info", store.to_str().expect("utf8")]);
+    assert!(info.status.success(), "{}", stderr(&info));
+    let text = stdout(&info);
+    assert!(text.contains("compression:   lz"), "{text}");
+    assert!(text.contains("recovered-on-open"), "{text}");
+    let sel = spm(&["select", "--store", store.to_str().expect("utf8")]);
+    assert!(sel.status.success(), "{}", stderr(&sel));
+    std::fs::remove_file(&store).ok();
+}

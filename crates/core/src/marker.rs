@@ -198,10 +198,11 @@ impl<'m> MarkerRuntime<'m> {
             self.firings.push(MarkerFiring { icount, marker: id });
         }
     }
-}
 
-impl TraceObserver for MarkerRuntime<'_> {
-    fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+    /// Processes one event; shared by the per-event and batch observer
+    /// entry points so the batch loop runs with static dispatch.
+    #[inline]
+    fn step(&mut self, icount: u64, event: &TraceEvent) {
         match *event {
             TraceEvent::Call { proc } => {
                 let ctx = self.context();
@@ -248,6 +249,18 @@ impl TraceObserver for MarkerRuntime<'_> {
                 self.stack.pop();
             }
             _ => {}
+        }
+    }
+}
+
+impl TraceObserver for MarkerRuntime<'_> {
+    fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+        self.step(icount, event);
+    }
+
+    fn on_batch(&mut self, batch: &[(u64, TraceEvent)]) {
+        for (icount, event) in batch {
+            self.step(*icount, event);
         }
     }
 }

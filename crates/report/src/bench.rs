@@ -1,5 +1,5 @@
 //! Validation of the committed bench artifact
-//! (`results/BENCH_report.json`, schema `spm-bench/report/v6`).
+//! (`results/BENCH_report.json`, schema `spm-bench/report/v7`).
 //!
 //! The report carries the current measurement — for each figure of the
 //! suite the repeat count and the median/min/total wall-clock across
@@ -23,12 +23,12 @@
 use spm_obs::jsonl::{parse, Json};
 
 /// Schema identifier of the bench report artifact.
-pub const BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v6";
+pub const BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v7";
 
-/// The previous schema identifier. The writer still *reads* v5 files
+/// The previous schema identifier. The writer still *reads* v6 files
 /// (to carry their ingest trajectory forward across the format bump)
-/// but always writes, and the validator only accepts, v6.
-pub const PREV_BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v5";
+/// but always writes, and the validator only accepts, v7.
+pub const PREV_BENCH_REPORT_SCHEMA: &str = "spm-bench/report/v6";
 
 /// Most trajectory points a report may carry (the writer drops the
 /// oldest beyond this).
@@ -285,7 +285,7 @@ mod tests {
 
     #[test]
     fn wrong_schema_tag_fails() {
-        let text = sample().replace("report/v6", "timings/v2");
+        let text = sample().replace("report/v7", "timings/v2");
         let err = validate_bench_report(&text).unwrap_err();
         assert!(err.contains("timings/v2"), "{err}");
         // The previous major version is rejected too: a stale committed

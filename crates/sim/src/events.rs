@@ -73,6 +73,24 @@ pub trait TraceObserver {
     /// Called for every event, with `icount` = total instructions
     /// executed up to and including this event.
     fn on_event(&mut self, icount: u64, event: &TraceEvent);
+
+    /// Delivers a run of consecutive events in one call.
+    ///
+    /// Batch delivery is an optimization, not a semantic change: the
+    /// default implementation forwards to [`on_event`] in order, so
+    /// `on_batch(batch)` must leave the observer in exactly the state
+    /// that delivering each event individually would. Hot-path decoders
+    /// (the `spm-store` block replay) call this once per decoded block;
+    /// even without an override it collapses per-event virtual dispatch
+    /// into one virtual call per batch, and observers with a hot inner
+    /// loop override it to iterate with static dispatch.
+    ///
+    /// [`on_event`]: TraceObserver::on_event
+    fn on_batch(&mut self, batch: &[(u64, TraceEvent)]) {
+        for (icount, event) in batch {
+            self.on_event(*icount, event);
+        }
+    }
 }
 
 /// Blanket implementation so plain closures can observe traces in tests
@@ -97,5 +115,24 @@ mod tests {
             obs.on_event(5, &TraceEvent::Finish);
         }
         assert_eq!(seen, vec![(5, true)]);
+    }
+
+    #[test]
+    fn default_batch_delivery_forwards_in_order() {
+        let mut seen = Vec::new();
+        {
+            let mut obs = |icount: u64, ev: &TraceEvent| {
+                seen.push((icount, *ev));
+            };
+            let batch = vec![
+                (3, TraceEvent::Call { proc: ProcId(1) }),
+                (3, TraceEvent::Return { proc: ProcId(1) }),
+                (9, TraceEvent::Finish),
+            ];
+            obs.on_batch(&batch);
+        }
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].0, 3);
+        assert_eq!(seen[2], (9, TraceEvent::Finish));
     }
 }

@@ -90,19 +90,58 @@ pub fn push_varint(out: &mut Vec<u8>, mut value: u64) {
 
 /// Reads a LEB128 varint at `*pos`, advancing it; inverse of
 /// [`push_varint`].
+///
+/// Only canonical (minimal-length) encodings are accepted: a multi-byte
+/// encoding ending in a zero byte carries no information in its last
+/// group and is rejected as [`DecodeError::NonCanonical`], and a tenth
+/// byte with any bit above the 64th set is an [`DecodeError::Overflow`]
+/// rather than a silent truncation. This makes `encode(decode(x))`
+/// byte-identical for every accepted input. The one- and two-byte
+/// shapes — deltas and interned ids, the overwhelming majority of trace
+/// varints — decode without entering the loop.
 pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let at = *pos;
+    if let Some(&b0) = bytes.get(at) {
+        if b0 & 0x80 == 0 {
+            *pos = at + 1;
+            return Ok(u64::from(b0));
+        }
+        if let Some(&b1) = bytes.get(at + 1) {
+            if b1 & 0x80 == 0 {
+                *pos = at + 2;
+                if b1 == 0 {
+                    return Err(DecodeError::NonCanonical { offset: at + 1 });
+                }
+                return Ok(u64::from(b0 & 0x7f) | (u64::from(b1) << 7));
+            }
+        }
+    }
+    read_varint_scalar(bytes, pos)
+}
+
+/// The byte-at-a-time reference decoder: the checked tail of
+/// [`read_varint`], and the specification its fast cases are
+/// differential-tested against.
+fn read_varint_scalar(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
-        let &byte = bytes
-            .get(*pos)
-            .ok_or(DecodeError::Truncated { offset: *pos })?;
+        let at = *pos;
+        let &byte = bytes.get(at).ok_or(DecodeError::Truncated { offset: at })?;
         *pos += 1;
         if shift >= 64 {
-            return Err(DecodeError::Overflow { offset: *pos - 1 });
+            return Err(DecodeError::Overflow { offset: at });
         }
-        value |= u64::from(byte & 0x7f) << shift;
+        let group = byte & 0x7f;
+        if shift == 63 && group > 1 {
+            // The 10th byte may only contribute the 64th bit.
+            return Err(DecodeError::Overflow { offset: at });
+        }
+        value |= u64::from(group) << shift;
         if byte & 0x80 == 0 {
+            if group == 0 && shift != 0 {
+                return Err(DecodeError::NonCanonical { offset: at });
+            }
             return Ok(value);
         }
         shift += 7;
@@ -122,6 +161,13 @@ pub enum DecodeError {
     /// overflowed.
     Overflow {
         /// Byte offset of the offending encoding.
+        offset: usize,
+    },
+    /// A varint used more bytes than its value needs (a zero-padded,
+    /// over-long encoding). The canonical encoder never emits these, so
+    /// accepting them would break `encode(decode(x))` byte-identity.
+    NonCanonical {
+        /// Byte offset of the redundant final byte.
         offset: usize,
     },
     /// An unknown event tag was found.
@@ -171,6 +217,9 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::Overflow { offset } => {
                 write!(f, "varint overflows 64 bits at byte {offset}")
+            }
+            DecodeError::NonCanonical { offset } => {
+                write!(f, "non-canonical (over-long) varint ends at byte {offset}")
             }
             DecodeError::BadTag { tag, offset } => {
                 write!(f, "unknown event tag {tag} at byte {offset}")
@@ -760,15 +809,56 @@ mod tests {
             replay(&trunc, &mut []),
             Err(DecodeError::Truncated { offset: 10 })
         );
-        // Varint overflow: 11 continuation bytes.
+        // Varint overflow: the 10th continuation byte carries bits past
+        // 2^64, caught on that byte rather than one later.
         let mut over = MAGIC_V1.to_vec();
         over.push(tag::FINISH);
         over.extend([0xff; 10]);
         over.push(0x01);
         assert_eq!(
             replay(&over, &mut []),
-            Err(DecodeError::Overflow { offset: 19 })
+            Err(DecodeError::Overflow { offset: 18 })
         );
+        // Non-canonical: a zero-padded (over-long) delta encoding.
+        let mut pad = MAGIC_V1.to_vec();
+        pad.push(tag::FINISH);
+        pad.extend([0x80, 0x00]); // over-long encoding of 0
+        assert_eq!(
+            replay(&pad, &mut []),
+            Err(DecodeError::NonCanonical { offset: 10 })
+        );
+    }
+
+    #[test]
+    fn varint_boundary_encodings() {
+        // u64::MAX is the longest canonical varint: nine 0xff bytes and
+        // a final 0x01 contributing only the 64th bit.
+        let mut bytes = Vec::new();
+        push_varint(&mut bytes, u64::MAX);
+        assert_eq!(bytes, [[0xff; 9].as_slice(), &[0x01]].concat());
+        let mut pos = 0;
+        assert_eq!(read_varint(&bytes, &mut pos), Ok(u64::MAX));
+        assert_eq!(pos, 10);
+        // A 10th byte with any higher bit set overflows.
+        let over = [[0xff; 9].as_slice(), &[0x02]].concat();
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&over, &mut pos),
+            Err(DecodeError::Overflow { offset: 9 })
+        );
+        // Over-long encodings of small values are rejected at the
+        // redundant final byte, at every length.
+        for len in 2..=10usize {
+            let mut padded = vec![0x81u8]; // canonical alone would be [0x01]
+            padded.extend(vec![0x80u8; len - 2]);
+            padded.push(0x00);
+            let mut pos = 0;
+            assert_eq!(
+                read_varint(&padded, &mut pos),
+                Err(DecodeError::NonCanonical { offset: len - 1 }),
+                "length {len}"
+            );
+        }
     }
 
     #[test]
@@ -883,6 +973,34 @@ mod tests {
                 prop_assert_eq!(read_varint(&bytes, &mut pos), Ok(v));
             }
             prop_assert_eq!(pos, bytes.len());
+        }
+
+        #[test]
+        fn fast_varint_matches_scalar_reference(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+            // The unrolled fast cases must agree with the byte-at-a-time
+            // reference decoder on every input: same value and same
+            // final position on success, same error (variant AND offset)
+            // on malformed prefixes.
+            let mut fast_pos = 0;
+            let mut slow_pos = 0;
+            let fast = read_varint(&bytes, &mut fast_pos);
+            let slow = read_varint_scalar(&bytes, &mut slow_pos);
+            prop_assert_eq!(fast, slow);
+            if fast.is_ok() {
+                prop_assert_eq!(fast_pos, slow_pos);
+            }
+        }
+
+        #[test]
+        fn decoded_varints_reencode_byte_identically(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+            // Canonical-only decoding makes encode(decode(x)) the
+            // identity on accepted prefixes.
+            let mut pos = 0;
+            if let Ok(value) = read_varint(&bytes, &mut pos) {
+                let mut reencoded = Vec::new();
+                push_varint(&mut reencoded, value);
+                prop_assert_eq!(&reencoded[..], &bytes[..pos]);
+            }
         }
 
         #[test]

@@ -13,19 +13,29 @@
 //!          2 = close; unknown values read as none). Files from
 //!          writers predating this byte carry 0, which is accurate:
 //!          those writers never synced.
-//!   13  3  reserved (0)
+//!   13  1  compression applied to every block payload, u8 (0 = none,
+//!          1 = lz; unknown values are rejected — decoding a payload
+//!          under the wrong codec would be garbage). Files from writers
+//!          predating this byte carry 0: uncompressed, which is what
+//!          those writers wrote.
+//!   14  2  reserved (0)
 //!
 //! block (40-byte frame header + payload):
-//!   0   4  payload length in bytes, u32 LE
+//!   0   4  payload length in bytes, u32 LE (the *stored* length: the
+//!          compressed length when the header enables compression)
 //!   4   4  event count, u32 LE
 //!   8   8  first event sequence number, u64 LE (0-based)
 //!   16  8  start instruction watermark, u64 LE (icount before the
 //!          block's first event; the first delta is relative to it)
 //!   24  8  end instruction watermark, u64 LE (icount after the last)
-//!   32  8  FNV-1a-64 checksum of the payload, u64 LE
+//!   32  8  FNV-1a-64 checksum of the stored payload bytes, u64 LE
+//!          (computed over what is on disk, so frame verification and
+//!          torn-tail recovery never need to decompress)
 //!   40  —  payload: events encoded exactly as the flat `spmtrc02`
 //!          payload (tag byte + LEB128 varints, icount delta-encoded),
-//!          with the delta base reset to the start watermark
+//!          with the delta base reset to the start watermark. Under
+//!          compression the stored bytes are the [`crate::compress`]
+//!          encoding of that event payload.
 //!
 //! index (40 bytes per block):
 //!   0   8  file offset of the block frame, u64 LE
@@ -77,6 +87,9 @@ pub const DEFAULT_BLOCK_BUDGET: usize = 256 * 1024;
 
 /// Byte offset of the sync-policy byte inside the header.
 pub const SYNC_POLICY_OFFSET: usize = 12;
+
+/// Byte offset of the compression byte inside the header.
+pub const COMPRESSION_OFFSET: usize = 13;
 
 /// When the writer issues durability barriers (`sync`) to its sink.
 ///
@@ -138,6 +151,63 @@ impl std::fmt::Display for SyncPolicy {
     }
 }
 
+/// The codec applied to every block payload, recorded in the header
+/// (one byte at [`COMPRESSION_OFFSET`]).
+///
+/// Unlike [`SyncPolicy`], an *unknown* byte here is rejected rather
+/// than defaulted: the value changes how payload bytes are interpreted,
+/// and decoding under the wrong codec would feed garbage downstream.
+/// Because blocks are compressed independently and the frame checksum
+/// covers the stored (compressed) bytes, compression composes with
+/// parallel decode and torn-tail recovery unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Payloads are stored as encoded (the historical format).
+    #[default]
+    None,
+    /// Payloads are stored under the zero-dependency LZ codec in
+    /// [`crate::compress`].
+    Lz,
+}
+
+impl Compression {
+    /// The header encoding of this codec.
+    pub fn header_byte(self) -> u8 {
+        match self {
+            Compression::None => 0,
+            Compression::Lz => 1,
+        }
+    }
+
+    /// Decodes a header byte; unknown values are `None` (reject —
+    /// never guess a codec).
+    pub fn from_header_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Compression::None),
+            1 => Some(Compression::Lz),
+            _ => None,
+        }
+    }
+
+    /// Parses the CLI spelling (`none` | `lz`).
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "none" => Some(Compression::None),
+            "lz" => Some(Compression::Lz),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Compression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Compression::None => "none",
+            Compression::Lz => "lz",
+        })
+    }
+}
+
 /// FNV-1a 64-bit hash: the checksum of block payloads and of the index
 /// (the same function the flat `spmtrc02` header uses).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -149,16 +219,25 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-pub(crate) fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
+/// Reads a little-endian `u64` at `at`, or a typed truncation error if
+/// the slice ends first (fixed-width fields never panic on short input).
+pub(crate) fn read_u64_le(bytes: &[u8], at: usize) -> Result<u64, DecodeError> {
+    let slice = bytes
+        .get(at..at.saturating_add(8))
+        .ok_or(DecodeError::Truncated { offset: at })?;
     let mut raw = [0u8; 8];
-    raw.copy_from_slice(&bytes[at..at + 8]);
-    u64::from_le_bytes(raw)
+    raw.copy_from_slice(slice);
+    Ok(u64::from_le_bytes(raw))
 }
 
-pub(crate) fn read_u32_le(bytes: &[u8], at: usize) -> u32 {
+/// Reads a little-endian `u32` at `at`; see [`read_u64_le`].
+pub(crate) fn read_u32_le(bytes: &[u8], at: usize) -> Result<u32, DecodeError> {
+    let slice = bytes
+        .get(at..at.saturating_add(4))
+        .ok_or(DecodeError::Truncated { offset: at })?;
     let mut raw = [0u8; 4];
-    raw.copy_from_slice(&bytes[at..at + 4]);
-    u32::from_le_bytes(raw)
+    raw.copy_from_slice(slice);
+    Ok(u32::from_le_bytes(raw))
 }
 
 /// Per-block metadata: one index entry (equivalently, one block frame
@@ -195,17 +274,17 @@ impl BlockMeta {
         out.extend_from_slice(&self.payload_len.to_le_bytes());
     }
 
-    /// Parses one index entry; `bytes` must hold at least
-    /// [`INDEX_ENTRY_LEN`] bytes at `at`.
-    pub fn decode_index_entry(bytes: &[u8], at: usize) -> Self {
-        Self {
-            offset: read_u64_le(bytes, at),
-            first_seq: read_u64_le(bytes, at + 8),
-            start_icount: read_u64_le(bytes, at + 16),
-            end_icount: read_u64_le(bytes, at + 24),
-            events: read_u32_le(bytes, at + 32),
-            payload_len: read_u32_le(bytes, at + 36),
-        }
+    /// Parses one index entry at `at`, or a typed truncation error if
+    /// `bytes` ends before the entry does.
+    pub fn decode_index_entry(bytes: &[u8], at: usize) -> Result<Self, DecodeError> {
+        Ok(Self {
+            offset: read_u64_le(bytes, at)?,
+            first_seq: read_u64_le(bytes, at + 8)?,
+            start_icount: read_u64_le(bytes, at + 16)?,
+            end_icount: read_u64_le(bytes, at + 24)?,
+            events: read_u32_le(bytes, at + 32)?,
+            payload_len: read_u32_le(bytes, at + 36)?,
+        })
     }
 
     /// Serializes the block frame-header form (which carries the
@@ -219,18 +298,20 @@ impl BlockMeta {
         out.extend_from_slice(&checksum.to_le_bytes());
     }
 
-    /// Parses a block frame header at `at` (which becomes the meta's
-    /// offset), returning the meta and the declared payload checksum.
-    pub fn decode_frame(bytes: &[u8; FRAME_LEN], offset: u64) -> (Self, u64) {
+    /// Parses a block frame header (which becomes the meta's offset),
+    /// returning the meta and the declared payload checksum. Accepts
+    /// any slice holding at least [`FRAME_LEN`] bytes; shorter input is
+    /// a typed truncation error, never a panic.
+    pub fn decode_frame(bytes: &[u8], offset: u64) -> Result<(Self, u64), DecodeError> {
         let meta = Self {
             offset,
-            payload_len: read_u32_le(bytes, 0),
-            events: read_u32_le(bytes, 4),
-            first_seq: read_u64_le(bytes, 8),
-            start_icount: read_u64_le(bytes, 16),
-            end_icount: read_u64_le(bytes, 24),
+            payload_len: read_u32_le(bytes, 0)?,
+            events: read_u32_le(bytes, 4)?,
+            first_seq: read_u64_le(bytes, 8)?,
+            start_icount: read_u64_le(bytes, 16)?,
+            end_icount: read_u64_le(bytes, 24)?,
         };
-        (meta, read_u64_le(bytes, 32))
+        Ok((meta, read_u64_le(bytes, 32)?))
     }
 }
 
@@ -264,18 +345,20 @@ impl Footer {
         out.extend_from_slice(MAGIC);
     }
 
-    /// Parses a footer, verifying the tail magic.
-    pub fn decode(bytes: &[u8; FOOTER_LEN]) -> Result<Self, DecodeError> {
-        if &bytes[48..56] != MAGIC {
+    /// Parses a footer, verifying the tail magic. Accepts any slice
+    /// holding at least [`FOOTER_LEN`] bytes; shorter input is a typed
+    /// truncation error, never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.get(48..56) != Some(MAGIC.as_slice()) {
             return Err(DecodeError::Truncated { offset: 48 });
         }
         Ok(Self {
-            index_offset: read_u64_le(bytes, 0),
-            block_count: read_u64_le(bytes, 8),
-            total_events: read_u64_le(bytes, 16),
-            total_icount: read_u64_le(bytes, 24),
-            index_checksum: read_u64_le(bytes, 32),
-            block_dims: read_u32_le(bytes, 40),
+            index_offset: read_u64_le(bytes, 0)?,
+            block_count: read_u64_le(bytes, 8)?,
+            total_events: read_u64_le(bytes, 16)?,
+            total_icount: read_u64_le(bytes, 24)?,
+            index_checksum: read_u64_le(bytes, 32)?,
+            block_dims: read_u32_le(bytes, 40)?,
         })
     }
 }
@@ -297,14 +380,42 @@ mod tests {
         let mut entry = Vec::new();
         meta.encode_index_entry(&mut entry);
         assert_eq!(entry.len(), INDEX_ENTRY_LEN);
-        assert_eq!(BlockMeta::decode_index_entry(&entry, 0), meta);
+        assert_eq!(BlockMeta::decode_index_entry(&entry, 0), Ok(meta));
 
         let mut frame = Vec::new();
         meta.encode_frame(0xdead_beef, &mut frame);
         assert_eq!(frame.len(), FRAME_LEN);
-        let mut raw = [0u8; FRAME_LEN];
-        raw.copy_from_slice(&frame);
-        assert_eq!(BlockMeta::decode_frame(&raw, 16), (meta, 0xdead_beef));
+        assert_eq!(BlockMeta::decode_frame(&frame, 16), Ok((meta, 0xdead_beef)));
+    }
+
+    #[test]
+    fn short_fixed_width_input_is_a_typed_error_not_a_panic() {
+        for len in 0..INDEX_ENTRY_LEN {
+            let short = vec![0u8; len];
+            assert!(
+                matches!(
+                    BlockMeta::decode_index_entry(&short, 0),
+                    Err(DecodeError::Truncated { .. })
+                ),
+                "index entry at {len} bytes"
+            );
+            assert!(
+                matches!(
+                    BlockMeta::decode_frame(&short, 0),
+                    Err(DecodeError::Truncated { .. })
+                ),
+                "frame at {len} bytes"
+            );
+        }
+        for len in 0..FOOTER_LEN {
+            assert!(
+                Footer::decode(&vec![0u8; len]).is_err(),
+                "footer at {len} bytes"
+            );
+        }
+        // An `at` near usize::MAX must not overflow the range arithmetic.
+        assert!(read_u64_le(&[0u8; 8], usize::MAX - 2).is_err());
+        assert!(read_u32_le(&[0u8; 4], usize::MAX).is_err());
     }
 
     #[test]
@@ -326,6 +437,19 @@ mod tests {
 
         raw[55] ^= 0xff;
         assert!(Footer::decode(&raw).is_err());
+    }
+
+    #[test]
+    fn compression_round_trips_and_unknown_is_rejected() {
+        for codec in [Compression::None, Compression::Lz] {
+            assert_eq!(
+                Compression::from_header_byte(codec.header_byte()),
+                Some(codec)
+            );
+            assert_eq!(Compression::parse(&codec.to_string()), Some(codec));
+        }
+        assert_eq!(Compression::from_header_byte(0xff), None);
+        assert_eq!(Compression::parse("gzip"), None);
     }
 
     #[test]

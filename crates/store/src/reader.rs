@@ -2,15 +2,27 @@
 //! container, verifies its index, and replays events to observers —
 //! sequentially or with parallel block decode — never holding more than
 //! a bounded window of blocks (plus the index) in memory.
+//!
+//! When the container is a real file on a unix platform, `open` also
+//! memory-maps it ([`crate::mmap`]): block payloads are then verified
+//! and decoded directly from the page cache as zero-copy slices, with
+//! no per-block seek/read/allocate cycle. The mapping is strictly an
+//! optimization — any source (and any platform without `mmap`) takes
+//! the buffered-read path with identical results.
 
 use crate::format::{
-    fnv1a64, BlockMeta, Footer, SyncPolicy, FOOTER_LEN, FRAME_LEN, HEADER_LEN, INDEX_ENTRY_LEN,
-    MAGIC, MAGIC_PREFIX, SYNC_POLICY_OFFSET,
+    fnv1a64, BlockMeta, Compression, Footer, SyncPolicy, COMPRESSION_OFFSET, FOOTER_LEN, FRAME_LEN,
+    HEADER_LEN, INDEX_ENTRY_LEN, MAGIC, MAGIC_PREFIX, SYNC_POLICY_OFFSET,
 };
+use crate::mmap::Mmap;
 use crate::StoreError;
 use spm_sim::record::{decode_event, DecodeError};
 use spm_sim::{TraceEvent, TraceObserver};
 use std::io::{Read, Seek, SeekFrom};
+
+/// Below this many blocks, `par_replay` decodes inline on the calling
+/// thread: worker handoff would cost more than the decode itself.
+const PAR_REPLAY_MIN_BLOCKS: usize = 4;
 
 /// Container-level facts from the header and footer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +51,10 @@ pub struct StoreInfo {
     /// Bytes past the last recovered block that recovery discarded
     /// (the torn tail). 0 for clean opens.
     pub recovered_tail_bytes: u64,
+    /// The per-block payload codec recorded in the header (files from
+    /// older writers read as [`Compression::None`], which is what those
+    /// writers produced).
+    pub compression: Compression,
 }
 
 /// One skipped block in a [`StoreReplayReport`].
@@ -84,10 +100,16 @@ pub struct StoreReader<R: Read + Seek> {
     source: R,
     index: Vec<BlockMeta>,
     info: StoreInfo,
+    /// Read-only map of the whole container when the source is a real
+    /// file and the platform supports it; `None` falls back to seeking
+    /// and reading through `source`.
+    mapped: Option<Mmap>,
 }
 
 impl StoreReader<std::io::BufReader<std::fs::File>> {
-    /// Opens a container file.
+    /// Opens a container file, memory-mapping it when the platform
+    /// allows so replay decodes payloads as zero-copy slices (buffered
+    /// reads otherwise — the results are identical).
     ///
     /// # Errors
     ///
@@ -99,7 +121,11 @@ impl StoreReader<std::io::BufReader<std::fs::File>> {
         let file = std::fs::File::open(path).map_err(|e| StoreError::Io {
             message: e.to_string(),
         })?;
-        Self::new(std::io::BufReader::new(file))
+        let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let mapped = Mmap::map(&file, len);
+        let mut reader = Self::new(std::io::BufReader::new(file))?;
+        reader.mapped = mapped;
+        Ok(reader)
     }
 }
 
@@ -148,8 +174,22 @@ impl<R: Read + Seek> StoreReader<R> {
                 },
             });
         }
-        let block_budget = crate::format::read_u32_le(&header, 8);
+        let block_budget = crate::format::read_u32_le(&header, 8)
+            .map_err(|error| StoreError::Corrupt { block: None, error })?;
         let sync_policy = SyncPolicy::from_header_byte(header[SYNC_POLICY_OFFSET]);
+        // Unlike the sync byte (which only describes how the file was
+        // written), an unknown codec byte cannot be defaulted: decoding
+        // payloads under the wrong codec would yield garbage, so the
+        // container is rejected as corrupt.
+        let compression = Compression::from_header_byte(header[COMPRESSION_OFFSET]).ok_or(
+            StoreError::Corrupt {
+                block: None,
+                error: DecodeError::BadTag {
+                    tag: header[COMPRESSION_OFFSET],
+                    offset: COMPRESSION_OFFSET,
+                },
+            },
+        )?;
 
         match Self::read_footer_index(&mut source, file_bytes) {
             Ok((footer, index)) => {
@@ -168,7 +208,9 @@ impl<R: Read + Seek> StoreReader<R> {
                         recovered_index: false,
                         sync_policy,
                         recovered_tail_bytes: 0,
+                        compression,
                     },
+                    mapped: None,
                 })
             }
             Err(error) => {
@@ -201,7 +243,9 @@ impl<R: Read + Seek> StoreReader<R> {
                         recovered_index: true,
                         sync_policy,
                         recovered_tail_bytes: file_bytes.saturating_sub(committed_end),
+                        compression,
                     },
+                    mapped: None,
                 })
             }
         }
@@ -254,7 +298,8 @@ impl<R: Read + Seek> StoreReader<R> {
         }
         let index = (0..footer.block_count as usize)
             .map(|i| BlockMeta::decode_index_entry(&index_bytes, i * INDEX_ENTRY_LEN))
-            .collect();
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(corrupt)?;
         Ok((footer, index))
     }
 
@@ -279,7 +324,9 @@ impl<R: Read + Seek> StoreReader<R> {
             source.seek(SeekFrom::Start(offset)).map_err(io_err)?;
             let mut raw = [0u8; FRAME_LEN];
             source.read_exact(&mut raw).map_err(io_err)?;
-            let (meta, declared) = BlockMeta::decode_frame(&raw, offset);
+            let Ok((meta, declared)) = BlockMeta::decode_frame(&raw, offset) else {
+                break;
+            };
             let end = offset + FRAME_LEN as u64 + u64::from(meta.payload_len);
             let chains = meta.first_seq == next_seq
                 && meta.start_icount == next_icount
@@ -330,9 +377,11 @@ impl<R: Read + Seek> StoreReader<R> {
         Some(self.index.partition_point(|m| m.end_icount <= icount))
     }
 
-    /// Reads one block's payload (without decoding), verifying its
-    /// frame header against the index and its payload checksum.
-    fn read_block(&mut self, block: usize) -> Result<Vec<u8>, DecodeError> {
+    /// Reads one block's payload (without decoding) into `payload`
+    /// (cleared first, so sequential replay reuses one buffer for the
+    /// whole scan), verifying its frame header against the index and
+    /// its payload checksum.
+    fn read_block_into(&mut self, block: usize, payload: &mut Vec<u8>) -> Result<(), DecodeError> {
         let meta = self.index[block];
         let io_trunc = |_| DecodeError::Truncated {
             offset: meta.offset as usize,
@@ -342,7 +391,7 @@ impl<R: Read + Seek> StoreReader<R> {
             .map_err(io_trunc)?;
         let mut raw = [0u8; FRAME_LEN];
         self.source.read_exact(&mut raw).map_err(io_trunc)?;
-        let (frame_meta, declared) = BlockMeta::decode_frame(&raw, meta.offset);
+        let (frame_meta, declared) = BlockMeta::decode_frame(&raw, meta.offset)?;
         if frame_meta != meta {
             // The frame header disagrees with the verified index: the
             // frame bytes are damaged.
@@ -351,15 +400,24 @@ impl<R: Read + Seek> StoreReader<R> {
                 actual: u64::from(meta.payload_len),
             });
         }
-        let mut payload = vec![0u8; meta.payload_len as usize];
-        self.source.read_exact(&mut payload).map_err(io_trunc)?;
-        let actual = fnv1a64(&payload);
+        payload.clear();
+        payload.resize(meta.payload_len as usize, 0);
+        self.source.read_exact(payload).map_err(io_trunc)?;
+        let actual = fnv1a64(payload);
         if actual != declared {
             return Err(DecodeError::ChecksumMismatch {
                 expected: declared,
                 actual,
             });
         }
+        Ok(())
+    }
+
+    /// Owned-allocation variant of [`read_block_into`](Self::read_block_into)
+    /// for the parallel path, where each block needs its own buffer.
+    fn read_block(&mut self, block: usize) -> Result<Vec<u8>, DecodeError> {
+        let mut payload = Vec::new();
+        self.read_block_into(block, &mut payload)?;
         Ok(payload)
     }
 
@@ -418,21 +476,45 @@ impl<R: Read + Seek> StoreReader<R> {
     ) -> Result<StoreReplayReport, StoreError> {
         let mut span = spm_obs::span("store/replay");
         let mut report = StoreReplayReport::default();
-        for block in first_block..self.index.len() {
-            let meta = self.index[block];
-            let payload = match self.read_block(block) {
-                Ok(payload) => payload,
-                Err(error) => {
-                    skip_block(&mut report, block as u64, meta, error);
-                    continue;
-                }
-            };
-            match deliver_block(&payload, meta, min_seq, observers) {
-                Ok(events) => {
-                    report.events += events;
-                    report.blocks += 1;
-                }
-                Err(error) => skip_block(&mut report, block as u64, meta, error),
+        let compression = self.info.compression;
+        // One arena reused across every block: decode allocates once
+        // for the whole replay, and delivery is one `on_batch` call
+        // per observer per block instead of one virtual call per event.
+        let mut arena: Vec<(u64, TraceEvent)> = Vec::new();
+        if let Some(map) = &self.mapped {
+            // Zero-copy path: payloads are verified and decoded
+            // straight out of the mapping, with no seek/read cycle.
+            let data = map.as_slice();
+            for block in first_block..self.index.len() {
+                let meta = self.index[block];
+                let decoded = mapped_block(data, meta)
+                    .and_then(|payload| decode_block_into(payload, meta, compression, &mut arena));
+                deliver_decoded(
+                    &mut report,
+                    block as u64,
+                    meta,
+                    &arena,
+                    min_seq,
+                    observers,
+                    decoded,
+                );
+            }
+        } else {
+            let mut scratch: Vec<u8> = Vec::new();
+            for block in first_block..self.index.len() {
+                let meta = self.index[block];
+                let decoded = self
+                    .read_block_into(block, &mut scratch)
+                    .and_then(|()| decode_block_into(&scratch, meta, compression, &mut arena));
+                deliver_decoded(
+                    &mut report,
+                    block as u64,
+                    meta,
+                    &arena,
+                    min_seq,
+                    observers,
+                    decoded,
+                );
             }
         }
         finish_replay_span(&mut span, &report);
@@ -444,56 +526,128 @@ impl<R: Read + Seek> StoreReader<R> {
     /// events to the observers strictly in order. Peak trace memory is
     /// O(batch × block size); output is byte-identical to the
     /// sequential path at any worker count.
+    ///
+    /// When fanning out cannot pay for itself — a single-core host, or
+    /// fewer blocks than the handoff is worth — the decode runs inline
+    /// on the calling thread instead; the `store/par_replay` span
+    /// records which mode ran in its `mode` field.
     pub fn par_replay(
         &mut self,
         observers: &mut [&mut dyn TraceObserver],
     ) -> Result<StoreReplayReport, StoreError> {
         let mut span = spm_obs::span("store/par_replay");
         let jobs = spm_par::default_jobs().max(1);
+        if jobs == 1
+            || spm_par::available_parallelism() == 1
+            || self.index.len() < PAR_REPLAY_MIN_BLOCKS
+        {
+            span.field("mode", "serial");
+            // The serial path opens (and closes) its own `store/replay`
+            // span; the outer span is left without replay counters so
+            // nothing is double-counted.
+            return self.replay_blocks(0, 0, observers);
+        }
+        span.field("mode", "parallel");
         let batch = jobs * 2;
+        let compression = self.info.compression;
         let mut report = StoreReplayReport::default();
         let mut block = 0usize;
-        while block < self.index.len() {
-            let upper = (block + batch).min(self.index.len());
-            // Serial I/O: read the batch's payloads (checksum-verified).
-            let mut payloads: Vec<(u64, BlockMeta, Result<Vec<u8>, DecodeError>)> = Vec::new();
-            for b in block..upper {
-                let meta = self.index[b];
-                payloads.push((b as u64, meta, self.read_block(b)));
-            }
-            // Parallel decode: each block decodes independently thanks
-            // to its per-block delta base and sequence watermark.
-            let decoded = spm_par::par_map(&payloads, |(_, meta, payload)| match payload {
-                Ok(payload) => decode_block(payload, *meta),
-                Err(error) => Err(*error),
-            });
-            // In-order delivery.
-            for ((b, meta, _), events) in payloads.iter().zip(decoded) {
-                match events {
-                    Ok(events) => {
-                        for (icount, event) in &events {
-                            for obs in observers.iter_mut() {
-                                obs.on_event(*icount, event);
-                            }
-                        }
-                        report.events += events.len() as u64;
-                        report.blocks += 1;
-                    }
-                    Err(error) => skip_block(&mut report, *b, *meta, error),
+        if let Some(map) = &self.mapped {
+            // Zero-copy parallel path: workers verify and decode
+            // payload slices of the shared mapping directly — the
+            // serial I/O stage disappears entirely.
+            let data = map.as_slice();
+            while block < self.index.len() {
+                let upper = (block + batch).min(self.index.len());
+                let metas = &self.index[block..upper];
+                let decoded = spm_par::par_map(metas, |meta| {
+                    mapped_block(data, *meta)
+                        .and_then(|payload| decode_block(payload, *meta, compression))
+                });
+                for ((b, meta), events) in (block..upper).zip(metas).zip(decoded) {
+                    deliver_par(&mut report, b as u64, *meta, observers, events);
                 }
+                block = upper;
             }
-            block = upper;
+        } else {
+            while block < self.index.len() {
+                let upper = (block + batch).min(self.index.len());
+                // Serial I/O: read the batch's payloads (checksum-verified).
+                let mut payloads: Vec<(u64, BlockMeta, Result<Vec<u8>, DecodeError>)> = Vec::new();
+                for b in block..upper {
+                    let meta = self.index[b];
+                    payloads.push((b as u64, meta, self.read_block(b)));
+                }
+                // Parallel decode: each block decodes independently thanks
+                // to its per-block delta base and sequence watermark.
+                let decoded = spm_par::par_map(&payloads, |(_, meta, payload)| match payload {
+                    Ok(payload) => decode_block(payload, *meta, compression),
+                    Err(error) => Err(*error),
+                });
+                // In-order delivery.
+                for ((b, meta, _), events) in payloads.iter().zip(decoded) {
+                    deliver_par(&mut report, *b, *meta, observers, events);
+                }
+                block = upper;
+            }
         }
         finish_replay_span(&mut span, &report);
         Ok(report)
     }
 }
 
-/// Decodes one verified payload into its event list, checking the
-/// block's declared event count and end watermark.
-fn decode_block(payload: &[u8], meta: BlockMeta) -> Result<Vec<(u64, TraceEvent)>, DecodeError> {
+/// Verifies one block directly against the file mapping — the frame
+/// header must match the verified index entry and the payload its
+/// checksum — and returns the payload as a zero-copy slice.
+fn mapped_block(data: &[u8], meta: BlockMeta) -> Result<&[u8], DecodeError> {
+    let start = meta.offset as usize;
+    let frame = data
+        .get(start..start.saturating_add(FRAME_LEN))
+        .ok_or(DecodeError::Truncated { offset: start })?;
+    let (frame_meta, declared) = BlockMeta::decode_frame(frame, meta.offset)?;
+    if frame_meta != meta {
+        // The frame header disagrees with the verified index: the
+        // frame bytes are damaged.
+        return Err(DecodeError::LengthMismatch {
+            declared: u64::from(frame_meta.payload_len),
+            actual: u64::from(meta.payload_len),
+        });
+    }
+    let at = start + FRAME_LEN;
+    let payload = data
+        .get(at..at.saturating_add(meta.payload_len as usize))
+        .ok_or(DecodeError::Truncated { offset: at })?;
+    let actual = fnv1a64(payload);
+    if actual != declared {
+        return Err(DecodeError::ChecksumMismatch {
+            expected: declared,
+            actual,
+        });
+    }
+    Ok(payload)
+}
+
+/// Decodes one verified (stored) payload into `events` — decompressing
+/// first under [`Compression::Lz`] — checking the block's declared
+/// event count and end watermark. `events` is cleared first, so a
+/// caller can reuse one arena across blocks.
+fn decode_block_into(
+    payload: &[u8],
+    meta: BlockMeta,
+    compression: Compression,
+    events: &mut Vec<(u64, TraceEvent)>,
+) -> Result<(), DecodeError> {
     let _span = spm_obs::span("store/decode_block");
-    let mut events = Vec::with_capacity(meta.events as usize);
+    events.clear();
+    let storage;
+    let payload = match compression {
+        Compression::None => payload,
+        Compression::Lz => {
+            storage = crate::compress::decompress(payload)?;
+            &storage
+        }
+    };
+    events.reserve(meta.events as usize);
     let mut pos = 0usize;
     let mut icount = meta.start_icount;
     while pos < payload.len() {
@@ -516,28 +670,67 @@ fn decode_block(payload: &[u8], meta: BlockMeta) -> Result<Vec<(u64, TraceEvent)
             actual: icount,
         });
     }
+    Ok(())
+}
+
+/// Owned-allocation variant of [`decode_block_into`] for the parallel
+/// path, where each worker needs its own event list.
+fn decode_block(
+    payload: &[u8],
+    meta: BlockMeta,
+    compression: Compression,
+) -> Result<Vec<(u64, TraceEvent)>, DecodeError> {
+    let mut events = Vec::new();
+    decode_block_into(payload, meta, compression, &mut events)?;
     Ok(events)
 }
 
-/// Decodes a verified payload and delivers it, skipping events with
-/// sequence number below `min_seq` (for seek-to-sequence replays).
-fn deliver_block(
-    payload: &[u8],
+/// Delivers one decoded block as a batch (skipping events with
+/// sequence number below `min_seq`), or records the skip if decoding
+/// failed.
+fn deliver_decoded(
+    report: &mut StoreReplayReport,
+    block: u64,
     meta: BlockMeta,
+    arena: &[(u64, TraceEvent)],
     min_seq: u64,
     observers: &mut [&mut dyn TraceObserver],
-) -> Result<u64, DecodeError> {
-    let events = decode_block(payload, meta)?;
-    let mut delivered = 0u64;
-    for (i, (icount, event)) in events.iter().enumerate() {
-        if meta.first_seq + i as u64 >= min_seq {
+    decoded: Result<(), DecodeError>,
+) {
+    match decoded {
+        Ok(()) => {
+            let skip = min_seq
+                .saturating_sub(meta.first_seq)
+                .min(arena.len() as u64) as usize;
+            let batch = &arena[skip..];
             for obs in observers.iter_mut() {
-                obs.on_event(*icount, event);
+                obs.on_batch(batch);
             }
-            delivered += 1;
+            report.events += batch.len() as u64;
+            report.blocks += 1;
         }
+        Err(error) => skip_block(report, block, meta, error),
     }
-    Ok(delivered)
+}
+
+/// In-order delivery for the parallel path: one batch per block.
+fn deliver_par(
+    report: &mut StoreReplayReport,
+    block: u64,
+    meta: BlockMeta,
+    observers: &mut [&mut dyn TraceObserver],
+    events: Result<Vec<(u64, TraceEvent)>, DecodeError>,
+) {
+    match events {
+        Ok(events) => {
+            for obs in observers.iter_mut() {
+                obs.on_batch(&events);
+            }
+            report.events += events.len() as u64;
+            report.blocks += 1;
+        }
+        Err(error) => skip_block(report, block, meta, error),
+    }
 }
 
 /// Records a skipped block in the report and the structured stream.

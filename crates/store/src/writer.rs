@@ -10,7 +10,7 @@
 //! guaranteed to survive a crash at any instant.
 
 use crate::format::{
-    fnv1a64, BlockMeta, Footer, SyncPolicy, DEFAULT_BLOCK_BUDGET, HEADER_LEN, MAGIC,
+    fnv1a64, BlockMeta, Compression, Footer, SyncPolicy, DEFAULT_BLOCK_BUDGET, HEADER_LEN, MAGIC,
 };
 use crate::io::{with_retries, Clock, RetryPolicy, StoreIo, SystemClock};
 use crate::StoreError;
@@ -103,6 +103,7 @@ pub struct StoreWriter<S: StoreIo> {
     block_dims: u32,
     header_written: bool,
     sync_policy: SyncPolicy,
+    compression: Compression,
     retry: RetryPolicy,
     clock: Box<dyn Clock>,
     committed: CommitMark,
@@ -137,6 +138,7 @@ impl<S: StoreIo> StoreWriter<S> {
             block_dims: 0,
             header_written: false,
             sync_policy: SyncPolicy::default(),
+            compression: Compression::default(),
             retry: RetryPolicy::default(),
             clock: Box::new(SystemClock),
             committed: CommitMark::default(),
@@ -150,6 +152,16 @@ impl<S: StoreIo> StoreWriter<S> {
     /// the policy is recorded in the header.
     pub fn sync_policy(mut self, policy: SyncPolicy) -> Self {
         self.sync_policy = policy;
+        self
+    }
+
+    /// Selects per-block payload compression (default:
+    /// [`Compression::None`]). Must be set before the first event —
+    /// the codec is recorded in the header and applies to every block.
+    /// The block budget stays a *pre*-compression bound, so blocks keep
+    /// their event capacity and on-disk frames simply shrink.
+    pub fn compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
         self
     }
 
@@ -267,7 +279,8 @@ impl<S: StoreIo> StoreWriter<S> {
         header.extend_from_slice(MAGIC);
         header.extend_from_slice(&(self.budget as u32).to_le_bytes());
         header.push(self.sync_policy.header_byte());
-        header.extend_from_slice(&[0u8; 3]);
+        header.push(self.compression.header_byte());
+        header.extend_from_slice(&[0u8; 2]);
         self.write_all(&header);
     }
 
@@ -279,24 +292,33 @@ impl<S: StoreIo> StoreWriter<S> {
         }
         let mut span = spm_obs::span("store/encode_block");
         self.ensure_header();
+        // Take the raw buffer so writing through `&mut self` does not
+        // alias it; the larger buffer is reclaimed below.
+        let raw = std::mem::take(&mut self.block);
+        let (stored, reuse_raw) = match self.compression {
+            Compression::None => (raw, None),
+            Compression::Lz => (crate::compress::compress(&raw), Some(raw)),
+        };
+        // The frame describes the *stored* bytes: payload_len and the
+        // checksum both cover what is on disk, so torn-write recovery
+        // and the replay checksum work without decompressing.
         let meta = BlockMeta {
             offset: self.written,
             first_seq: self.first_seq,
             start_icount: self.start_icount,
             end_icount: self.last_icount,
             events: self.block_events,
-            payload_len: self.block.len() as u32,
+            payload_len: stored.len() as u32,
         };
         let mut frame = Vec::with_capacity(crate::format::FRAME_LEN);
-        meta.encode_frame(fnv1a64(&self.block), &mut frame);
+        meta.encode_frame(fnv1a64(&stored), &mut frame);
         self.write_all(&frame);
-        let payload = std::mem::take(&mut self.block);
-        self.write_all(&payload);
-        self.block = payload;
+        self.write_all(&stored);
         if span.is_live() {
-            span.field("bytes", self.block.len() as u64);
+            span.field("bytes", stored.len() as u64);
             span.field("events", u64::from(self.block_events));
         }
+        self.block = reuse_raw.unwrap_or(stored);
         self.block.clear();
         self.index.push(meta);
         self.block_events = 0;

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use spm_ir::{Input, Program, ProgramBuilder, Trip};
 use spm_sim::{run, TraceEvent, TraceObserver};
 use spm_store::format::{FOOTER_LEN, FRAME_LEN};
-use spm_store::{StoreReader, StoreWriter};
+use spm_store::{Compression, StoreReader, StoreWriter};
 use std::io::Cursor;
 
 /// Records every delivered event, for byte-for-byte comparisons.
@@ -15,6 +15,26 @@ struct Collect(Vec<(u64, TraceEvent)>);
 impl TraceObserver for Collect {
     fn on_event(&mut self, icount: u64, event: &TraceEvent) {
         self.0.push((icount, *event));
+    }
+}
+
+/// Like [`Collect`], but takes the batched delivery path, recording
+/// batch boundaries — proving batch and per-event delivery carry the
+/// same stream.
+#[derive(Default)]
+struct BatchCollect {
+    events: Vec<(u64, TraceEvent)>,
+    batches: usize,
+}
+
+impl TraceObserver for BatchCollect {
+    fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+        self.events.push((icount, *event));
+    }
+
+    fn on_batch(&mut self, batch: &[(u64, TraceEvent)]) {
+        self.batches += 1;
+        self.events.extend_from_slice(batch);
     }
 }
 
@@ -293,6 +313,169 @@ fn not_a_store_is_a_typed_error() {
     let err =
         StoreReader::new(Cursor::new(b"spmstk99xxxxxxxx".to_vec())).expect_err("unknown version");
     assert!(err.to_string().contains("version"));
+}
+
+/// Like [`pack`], but with per-block LZ compression enabled.
+fn pack_compressed(budget: usize, seed: u64) -> (Vec<u8>, Vec<(u64, TraceEvent)>) {
+    let prog = program();
+    let mut flat = Collect::default();
+    let mut bytes = Vec::new();
+    let mut writer =
+        StoreWriter::with_block_budget(&mut bytes, budget).compression(Compression::Lz);
+    run(&prog, &Input::new("t", seed), &mut [&mut flat, &mut writer]).expect("sim run");
+    writer.finish().expect("finish");
+    (bytes, flat.0)
+}
+
+#[test]
+fn compressed_store_round_trips_and_shrinks() {
+    let (plain, flat) = pack(2048, 42);
+    let (packed, flat_c) = pack_compressed(2048, 42);
+    assert_eq!(flat, flat_c);
+    let mut reader = open(packed.clone());
+    assert_eq!(reader.info().compression, Compression::Lz);
+    assert!(
+        reader.info().payload_bytes < open(plain).info().payload_bytes,
+        "event streams are repetitive; LZ must shrink the payload"
+    );
+    let mut got = Collect::default();
+    let report = reader.replay(&mut [&mut got]).expect("replay");
+    assert!(report.is_clean());
+    assert_eq!(got.0, flat);
+    // Parallel decode composes with compression.
+    let mut par = Collect::default();
+    let report = open(packed).par_replay(&mut [&mut par]).expect("par");
+    assert!(report.is_clean());
+    assert_eq!(par.0, flat);
+}
+
+#[test]
+fn batch_delivery_is_identical_to_per_event_delivery() {
+    for pack_fn in [pack, pack_compressed] {
+        let (bytes, flat) = pack_fn(512, 23);
+        let mut per_event = Collect::default();
+        let mut batched = BatchCollect::default();
+        open(bytes.clone())
+            .replay(&mut [&mut per_event, &mut batched])
+            .expect("replay");
+        assert_eq!(per_event.0, flat);
+        assert_eq!(batched.events, flat);
+        assert!(batched.batches > 3, "one batch per block");
+        let mut batched_par = BatchCollect::default();
+        open(bytes)
+            .par_replay(&mut [&mut batched_par])
+            .expect("par");
+        assert_eq!(batched_par.events, flat);
+    }
+}
+
+#[test]
+fn corrupt_compressed_block_payload_is_skipped_not_fatal() {
+    let (mut bytes, flat) = pack_compressed(512, 9);
+    let reader = open(bytes.clone());
+    let index: Vec<_> = reader.index().to_vec();
+    drop(reader);
+    assert!(index.len() >= 2, "need multiple blocks");
+    let meta = index[1];
+    let payload_at = meta.offset as usize + FRAME_LEN;
+    // Flip a stored byte *and* re-stamp the frame checksum so the
+    // damage reaches the decompressor (not just the checksum check):
+    // the decompressor must fail typed, and replay must skip only this
+    // block.
+    bytes[payload_at + meta.payload_len as usize / 2] ^= 0x41;
+    let restamped =
+        spm_store::format::fnv1a64(&bytes[payload_at..payload_at + meta.payload_len as usize]);
+    bytes[meta.offset as usize + 32..meta.offset as usize + 40]
+        .copy_from_slice(&restamped.to_le_bytes());
+
+    let mut got = Collect::default();
+    let report = open(bytes).replay(&mut [&mut got]).expect("replay");
+    assert!(report.skipped.len() <= 1, "at most the damaged block");
+    assert_eq!(
+        report.events + report.skipped_events(),
+        flat.len() as u64,
+        "every event is either delivered or accounted to a skip"
+    );
+    if let Some(skip) = report.skipped.first() {
+        assert_eq!(skip.block, 1);
+    }
+}
+
+#[test]
+fn truncated_compressed_block_recovers_prefix() {
+    let (bytes, flat) = pack_compressed(512, 31);
+    let reader = open(bytes.clone());
+    let index: Vec<_> = reader.index().to_vec();
+    drop(reader);
+    assert!(index.len() >= 3);
+    // Cut mid-way through the third block's stored payload: recovery
+    // must keep exactly the first two blocks.
+    let victim = index[2];
+    let cut_at = victim.offset as usize + FRAME_LEN + victim.payload_len as usize / 2;
+    let mut torn = bytes;
+    torn.truncate(cut_at);
+    let mut reader = StoreReader::new(Cursor::new(torn)).expect("recovering open");
+    assert!(reader.info().recovered_index);
+    assert_eq!(reader.info().blocks, 2);
+    let mut got = Collect::default();
+    let report = reader.replay(&mut [&mut got]).expect("replay");
+    assert!(report.is_clean());
+    assert_eq!(got.0, flat[..index[1].end_seq() as usize]);
+}
+
+#[test]
+fn mapped_file_replay_matches_cursor_replay() {
+    for (name, pack_fn) in [("plain", pack as fn(_, _) -> _), ("lz", pack_compressed)] {
+        let (bytes, flat) = pack_fn(512, 77);
+        let path = std::env::temp_dir().join(format!(
+            "spm-roundtrip-mmap-{}-{name}.spmstore",
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes).expect("write store file");
+        // `open` takes the mmap fast path where the platform allows;
+        // results must match the Cursor (buffered) path exactly.
+        let mut mapped = StoreReader::open(&path).expect("open mapped");
+        let mut got = Collect::default();
+        let report = mapped.replay(&mut [&mut got]).expect("mapped replay");
+        assert!(report.is_clean());
+        assert_eq!(got.0, flat);
+        let mut par = Collect::default();
+        let mut mapped = StoreReader::open(&path).expect("open mapped");
+        mapped.par_replay(&mut [&mut par]).expect("mapped par");
+        assert_eq!(par.0, flat);
+        let mut seek = Collect::default();
+        let mut mapped = StoreReader::open(&path).expect("open mapped");
+        let mid = (flat.len() / 2) as u64;
+        mapped
+            .replay_from_seq(mid, &mut [&mut seek])
+            .expect("mapped seek");
+        assert_eq!(&seek.0[..], &flat[mid as usize..]);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn short_header_files_are_typed_errors() {
+    // Every truncation of the 16-byte header (and a valid-prefix file
+    // cut inside it) must produce a typed Corrupt error, never a panic.
+    let (bytes, _) = pack(512, 1);
+    for len in 0..spm_store::format::HEADER_LEN {
+        let err = StoreReader::new(Cursor::new(bytes[..len].to_vec()))
+            .expect_err("short header must not open");
+        assert!(
+            matches!(err, spm_store::StoreError::Corrupt { .. }),
+            "len {len}: {err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_compression_byte_is_rejected() {
+    let (mut bytes, _) = pack(512, 1);
+    bytes[spm_store::format::COMPRESSION_OFFSET] = 0x7e;
+    let err = StoreReader::new(Cursor::new(bytes)).expect_err("unknown codec");
+    assert!(matches!(err, spm_store::StoreError::Corrupt { .. }));
+    assert!(err.to_string().contains("126"), "{err}");
 }
 
 #[test]
