@@ -28,6 +28,11 @@
 //! - `--profile FILE` — additionally write the first timed run's full
 //!   event stream (spans, samples, prof counters) to FILE as
 //!   schema-v2 JSONL for `spm report`.
+//! - `--corpus DIR` — after writing the artifacts, ingest this suite
+//!   run into the content-addressed corpus at DIR (the bench report,
+//!   plus the `--profile` stream when one was written), so `spm corpus
+//!   query trajectory/regressions` can trend the suite across builds
+//!   beyond the report's cap-64 trajectory array.
 
 use std::fs;
 use std::sync::Arc;
@@ -576,7 +581,7 @@ fn usage(message: &str) -> ! {
     eprintln!("error[usage]: {message}");
     eprintln!(
         "usage: all_figures [--jobs N] [--repeat N] [--compare-serial] \
-[--sample-hz N] [--profile FILE]"
+[--sample-hz N] [--profile FILE] [--corpus DIR]"
     );
     std::process::exit(2)
 }
@@ -597,6 +602,7 @@ fn main() {
     let mut compare_serial = false;
     let mut sample_hz = DEFAULT_SAMPLE_HZ;
     let mut profile_path: Option<String> = None;
+    let mut corpus_dir: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -628,6 +634,13 @@ fn main() {
                 profile_path = match args.get(i) {
                     Some(path) => Some(path.clone()),
                     None => usage("--profile needs a file path"),
+                };
+            }
+            "--corpus" => {
+                i += 1;
+                corpus_dir = match args.get(i) {
+                    Some(dir) => Some(dir.clone()),
+                    None => usage("--corpus needs a directory"),
                 };
             }
             other => usage(&format!("unknown argument `{other}`")),
@@ -758,5 +771,28 @@ fn main() {
     );
     if let Some(path) = &profile_path {
         println!("wrote {path}");
+    }
+    if let Some(dir) = &corpus_dir {
+        let mut artifacts = vec![(
+            spm_corpus::ArtifactKind::BenchReport,
+            std::path::PathBuf::from("results/BENCH_report.json"),
+        )];
+        if let Some(path) = &profile_path {
+            artifacts.push((spm_corpus::ArtifactKind::Metrics, path.into()));
+        }
+        let spec = spm_corpus::RunSpec {
+            workload: "bench-suite".to_string(),
+            input: "-".to_string(),
+            seed: 0,
+            label: "all_figures".to_string(),
+            artifacts,
+        };
+        match spm_corpus::add(std::path::Path::new(dir), &spec) {
+            Ok(outcome) => print!("{}", spm_corpus::ingest::render_outcome(&spec, &outcome)),
+            Err(e) => {
+                eprintln!("error[{}]: corpus ingest: {e}", e.class());
+                std::process::exit(e.exit_code().into());
+            }
+        }
     }
 }

@@ -53,7 +53,15 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["procs-only", "dot", "help", "plot", "verbose", "compress"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "procs-only",
+    "dot",
+    "help",
+    "plot",
+    "verbose",
+    "compress",
+    "gate",
+];
 
 /// Flags that take a value. Anything outside both lists is rejected
 /// rather than silently swallowing the next token.
@@ -82,6 +90,14 @@ const VALUE_FLAGS: &[&str] = &[
     "profile",
     "sample-hz",
     "folded",
+    "dir",
+    "workload",
+    "seed",
+    "label",
+    "partition",
+    "bench-report",
+    "top",
+    "corpus",
 ];
 
 /// Parses a token stream (without the program name).
@@ -274,6 +290,24 @@ mod tests {
         assert_eq!(p.u64_flag("sample-hz", 99).unwrap(), 99);
         let p = parse_str("report run.jsonl --folded out.folded").unwrap();
         assert_eq!(p.flags.get("folded").unwrap(), "out.folded");
+    }
+
+    #[test]
+    fn corpus_flags_parse() {
+        let p = parse_str(
+            "corpus add --dir c --workload gzip --seed 2 --label x \
+             --markers m.txt --partition p.tsv --bench-report b.json",
+        )
+        .unwrap();
+        assert_eq!(p.positional, vec!["add"]);
+        assert_eq!(p.flags.get("dir").unwrap(), "c");
+        assert_eq!(p.flags.get("workload").unwrap(), "gzip");
+        assert_eq!(p.u64_flag("seed", 0).unwrap(), 2);
+        assert_eq!(p.flags.get("bench-report").unwrap(), "b.json");
+        let p = parse_str("corpus query regressions --dir c --top 5 --gate").unwrap();
+        assert_eq!(p.positional, vec!["query", "regressions"]);
+        assert_eq!(p.u64_flag("top", 20).unwrap(), 5);
+        assert!(p.has("gate"));
     }
 
     #[test]

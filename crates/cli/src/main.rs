@@ -16,6 +16,9 @@
 //! spm info <file.spmstk>
 //! spm report <metrics.jsonl>... [--html FILE] [--folded FILE]
 //! spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT] [--min-us N] [--html FILE]
+//! spm corpus add --dir DIR --workload NAME [--seed N] [--store|--metrics|--markers|--partition|--bench-report FILE]...
+//! spm corpus query stability|trajectory|regressions --dir DIR [--top N] [--gate]
+//! spm corpus html --dir DIR --out FILE
 //! spm help
 //! ```
 //!
@@ -38,6 +41,18 @@
 //! the same analyses off the container with bounded memory, decoding
 //! blocks in parallel. A corrupted block degrades to a structured
 //! `store/skipped-block` warning instead of failing the run.
+//!
+//! # Run corpus
+//!
+//! `corpus add` ingests a run's artifacts (store container, JSONL
+//! streams, marker file, partition table, bench report) into a
+//! content-addressed corpus directory: every blob is validated against
+//! its layer's schema and filed under its content key, so re-ingesting
+//! an unchanged run writes zero bytes. `corpus query` answers offline
+//! fleet-wide questions — marker stability across inputs/seeds,
+//! per-figure perf trajectories over every ingested bench report, and
+//! noise-aware cross-run regressions (`--gate` exits 10) — and
+//! `corpus html` renders all three as one self-contained dashboard.
 //!
 //! # Parallelism
 //!
@@ -196,6 +211,7 @@ fn main() -> ExitCode {
             "pack" => cmd_pack(&parsed),
             "info" => cmd_info(&parsed),
             "report" => cmd_report(&parsed),
+            "corpus" => cmd_corpus(&parsed),
             "help" | "--help" => {
                 print!("{HELP}");
                 Ok(())
@@ -242,14 +258,19 @@ fn setup_obs(parsed: &ParsedArgs) -> Result<Option<std::sync::Arc<spm_obs::Memor
             })
         })
     };
-    if let Some(path) = parsed.flags.get("metrics") {
+    // `corpus add` reuses `--metrics` as an *input* artifact path;
+    // opening it as an output sink here would truncate the very stream
+    // being ingested. File sinks stay off for the corpus subcommand
+    // (it only reads); `--verbose` below still works.
+    let file_sinks = parsed.command != "corpus";
+    if let Some(path) = parsed.flags.get("metrics").filter(|_| file_sinks) {
         sinks.push(std::sync::Arc::new(open(path, false)?));
     }
-    if let Some(path) = parsed.flags.get("spans") {
+    if let Some(path) = parsed.flags.get("spans").filter(|_| file_sinks) {
         sinks.push(std::sync::Arc::new(open(path, true)?));
     }
     let mut profile_hz = None;
-    if let Some(path) = parsed.flags.get("profile") {
+    if let Some(path) = parsed.flags.get("profile").filter(|_| file_sinks) {
         sinks.push(std::sync::Arc::new(open(path, false)?));
         let hz = parsed.u64_flag("sample-hz", 99)?;
         let hz = u32::try_from(hz).map_err(|_| {
@@ -308,6 +329,13 @@ USAGE:
   spm report <metrics.jsonl>... [--html FILE] [--folded FILE]
   spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT]
              [--min-us N] [--html FILE]
+  spm corpus add --dir DIR --workload NAME [--input NAME] [--seed N]
+             [--label TEXT] [--store FILE] [--metrics FILE]
+             [--markers FILE] [--partition FILE] [--bench-report FILE]
+  spm corpus query stability|trajectory|regressions --dir DIR
+             [--top N] [--threshold PCT] [--min-us N] [--gate]
+  spm corpus html --dir DIR --out FILE [--top N] [--threshold PCT]
+             [--min-us N]
 
 FLAGS:
   --out FILE          where `record` writes the trace (and `pack` the store)
@@ -338,6 +366,22 @@ FLAGS:
   --jobs N            worker threads for batch select/partition/simpoint
                       runs (default: host parallelism); output bytes are
                       identical at any worker count
+
+CORPUS FLAGS:
+  --dir DIR           the corpus directory (created by the first `add`)
+  --workload NAME     the run's workload coordinate for `corpus add`
+  --seed N            the run's input seed coordinate (default 0)
+  --label TEXT        display label (default `workload/input#seed`)
+  --store FILE        ingest an spmstk01 container (keyed by content)
+  --metrics FILE      ingest a metrics/spans/profile JSONL stream
+  --markers FILE      ingest a selected-marker file (`markers v1`)
+  --partition FILE    ingest a phase-partition table
+  --bench-report FILE ingest a results/BENCH_report.json
+  --top N             show the worst N regressions / series (default 20)
+  --gate              `query regressions`: exit 10 when any same-workload
+                      run pair regresses beyond the threshold
+  (the artifact flags double as observability flags elsewhere; for
+   `corpus` they always name input files and are never truncated)
 
 REPORT FLAGS:
   --baseline FILE     baseline metrics/spans stream for the diff mode
@@ -1289,10 +1333,15 @@ fn pack_through_failpoint(
 fn cmd_info(parsed: &ParsedArgs) -> Result<(), CliError> {
     let path = parsed.positional("storefile")?;
     let mut err = String::new();
-    let reader = open_store(path, &mut err)?;
+    let mut reader = open_store(path, &mut err)?;
     let info = *reader.info();
+    let key = reader.content_key().map_err(|e| store_error(path, e))?;
     println!("store: {path}");
     println!("  format:        spmstk01");
+    // The container's content key: the identity `spm corpus` files the
+    // blob under, printed as a greppable `key=<hex>` token so corpus
+    // entries are externally verifiable against the source container.
+    println!("  key={key:016x}");
     println!("  blocks:        {}", info.blocks);
     println!("  events:        {}", info.events);
     println!("  instructions:  {}", info.total_icount);
@@ -1530,4 +1579,138 @@ fn cmd_export(parsed: &ParsedArgs) -> Result<(), CliError> {
     let w = workload(parsed)?;
     print!("{}", spm_ir::write_workload(&w.program, &w.inputs));
     Ok(())
+}
+
+/// The `--dir` flag every corpus action requires.
+fn corpus_dir(parsed: &ParsedArgs) -> Result<std::path::PathBuf, CliError> {
+    parsed
+        .flags
+        .get("dir")
+        .map(std::path::PathBuf::from)
+        .ok_or_else(|| CliError::Usage("corpus needs --dir DIR".into()))
+}
+
+/// The regression-query knobs, shared by `corpus query regressions`
+/// and `corpus html` (same defaults as `spm report`).
+fn corpus_diff_config(parsed: &ParsedArgs) -> Result<spm_report::DiffConfig, CliError> {
+    Ok(spm_report::DiffConfig {
+        threshold: parsed.f64_flag("threshold", 25.0)? / 100.0,
+        min_us: parsed.u64_flag("min-us", 1_000)?,
+    })
+}
+
+fn cmd_corpus(parsed: &ParsedArgs) -> Result<(), CliError> {
+    use spm_corpus::ArtifactKind;
+    let action = parsed.positional("add|query|html")?;
+    match action {
+        "add" => {
+            let dir = corpus_dir(parsed)?;
+            let workload = parsed
+                .flags
+                .get("workload")
+                .ok_or_else(|| CliError::Usage("corpus add needs --workload NAME".into()))?;
+            let input = parsed.str_flag("input", "-");
+            let seed = parsed.u64_flag("seed", 0)?;
+            let mut artifacts = Vec::new();
+            for (kind, flag) in [
+                (ArtifactKind::Store, "store"),
+                (ArtifactKind::Metrics, "metrics"),
+                (ArtifactKind::Markers, "markers"),
+                (ArtifactKind::Partition, "partition"),
+                (ArtifactKind::BenchReport, "bench-report"),
+            ] {
+                if let Some(path) = parsed.flags.get(flag) {
+                    artifacts.push((kind, std::path::PathBuf::from(path)));
+                }
+            }
+            if artifacts.is_empty() {
+                return Err(CliError::Usage(
+                    "corpus add needs at least one artifact (--store/--metrics/--markers/\
+                     --partition/--bench-report)"
+                        .into(),
+                ));
+            }
+            let spec = spm_corpus::RunSpec {
+                workload: workload.clone(),
+                input: input.clone(),
+                seed,
+                label: parsed.str_flag("label", &format!("{workload}/{input}#{seed}")),
+                artifacts,
+            };
+            let outcome = spm_corpus::add(&dir, &spec)?;
+            print!("{}", spm_corpus::ingest::render_outcome(&spec, &outcome));
+            Ok(())
+        }
+        "query" => {
+            let what = parsed
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .ok_or_else(|| {
+                    CliError::Usage(
+                        "corpus query needs a kind: stability | trajectory | regressions".into(),
+                    )
+                })?;
+            if !matches!(what, "stability" | "trajectory" | "regressions") {
+                return Err(CliError::Usage(format!(
+                    "unknown corpus query `{what}` (stability | trajectory | regressions)"
+                )));
+            }
+            let corpus = spm_corpus::Corpus::load(&corpus_dir(parsed)?)?;
+            match what {
+                "stability" => {
+                    let groups = spm_corpus::query::stability(&corpus)?;
+                    print!("{}", spm_corpus::query::render_stability(&groups));
+                    Ok(())
+                }
+                "trajectory" => {
+                    let points = spm_corpus::query::trajectory(&corpus)?;
+                    print!("{}", spm_corpus::query::render_trajectory(&points));
+                    Ok(())
+                }
+                "regressions" => {
+                    let cfg = corpus_diff_config(parsed)?;
+                    let top = parsed.u64_flag("top", 20)? as usize;
+                    let report = spm_corpus::query::regressions(&corpus, &cfg)?;
+                    print!(
+                        "{}",
+                        spm_corpus::query::render_regressions(&report, &cfg, top)
+                    );
+                    if parsed.has("gate") {
+                        spm_corpus::query::gate(&report)?;
+                    }
+                    Ok(())
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown corpus query `{other}` (stability | trajectory | regressions)"
+                ))),
+            }
+        }
+        "html" => {
+            let out = parsed
+                .flags
+                .get("out")
+                .ok_or_else(|| CliError::Usage("corpus html needs --out FILE".into()))?;
+            let corpus = spm_corpus::Corpus::load(&corpus_dir(parsed)?)?;
+            let cfg = corpus_diff_config(parsed)?;
+            let top = parsed.u64_flag("top", 20)? as usize;
+            let stability = spm_corpus::query::stability(&corpus)?;
+            let trajectory = spm_corpus::query::trajectory(&corpus)?;
+            let regressions = spm_corpus::query::regressions(&corpus, &cfg)?;
+            write_html(
+                out,
+                &spm_corpus::html::render(
+                    &corpus,
+                    &stability,
+                    &trajectory,
+                    &regressions,
+                    &cfg,
+                    top,
+                ),
+            )
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown corpus action `{other}` (add | query | html)"
+        ))),
+    }
 }

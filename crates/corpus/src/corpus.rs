@@ -1,0 +1,108 @@
+//! Opening an existing corpus directory and reading its objects.
+
+use crate::manifest::{key_hex, RunManifest};
+use crate::CORPUS_MARKER;
+use spm_core::SpmError;
+use std::path::{Path, PathBuf};
+
+/// A loaded corpus: the directory plus every run manifest, sorted by
+/// ingest sequence (ties broken by run id, which cannot collide between
+/// distinct manifests).
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    dir: PathBuf,
+    runs: Vec<RunManifest>,
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> SpmError {
+    SpmError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+pub(crate) fn corpus_err(path: &Path, message: String) -> SpmError {
+    SpmError::Analysis {
+        stage: "corpus".into(),
+        message: format!("{}: {message}", path.display()),
+    }
+}
+
+impl Corpus {
+    /// Loads a corpus: verifies the `CORPUS` marker and parses every
+    /// manifest under `runs/` (fanned out over the worker pool; the
+    /// result order is independent of the worker count).
+    ///
+    /// # Errors
+    ///
+    /// [`SpmError::Io`] when the directory or a manifest cannot be
+    /// read; [`SpmError::Analysis`] when the marker or a manifest is
+    /// not a valid corpus document.
+    pub fn load(dir: &Path) -> Result<Self, SpmError> {
+        let marker_path = dir.join("CORPUS");
+        let marker = std::fs::read_to_string(&marker_path).map_err(|e| io_err(&marker_path, &e))?;
+        if marker.trim_end() != CORPUS_MARKER {
+            return Err(corpus_err(
+                &marker_path,
+                format!("not a corpus (marker is `{}`)", marker.trim_end()),
+            ));
+        }
+        let runs_dir = dir.join("runs");
+        let mut paths: Vec<PathBuf> = Vec::new();
+        let entries = std::fs::read_dir(&runs_dir).map_err(|e| io_err(&runs_dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&runs_dir, &e))?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        let mut runs = spm_par::try_par_map(&paths, |path| {
+            let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+            RunManifest::parse(&text).map_err(|m| corpus_err(path, m))
+        })?;
+        runs.sort_by_key(|a| (a.seq, a.run_id));
+        Ok(Corpus {
+            dir: dir.to_path_buf(),
+            runs,
+        })
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Every ingested run, in ingest order.
+    pub fn runs(&self) -> &[RunManifest] {
+        &self.runs
+    }
+
+    /// Where the object with this content key lives.
+    pub fn object_path(&self, key: u64) -> PathBuf {
+        self.dir.join("objects").join(key_hex(key))
+    }
+
+    /// Reads one object blob.
+    ///
+    /// # Errors
+    ///
+    /// [`SpmError::Io`] when the blob is missing or unreadable.
+    pub fn read_object(&self, key: u64) -> Result<Vec<u8>, SpmError> {
+        let path = self.object_path(key);
+        std::fs::read(&path).map_err(|e| io_err(&path, &e))
+    }
+
+    /// Reads one object blob as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// [`SpmError::Io`] when missing, [`SpmError::Analysis`] when the
+    /// blob is not UTF-8.
+    pub fn read_object_text(&self, key: u64) -> Result<String, SpmError> {
+        let bytes = self.read_object(key)?;
+        String::from_utf8(bytes)
+            .map_err(|_| corpus_err(&self.object_path(key), "object is not UTF-8 text".into()))
+    }
+}

@@ -115,32 +115,79 @@ fn stats_of(durs: &mut [u64]) -> StageStats {
     }
 }
 
-fn collect(run: &Run) -> BTreeMap<&str, StageStats> {
-    let mut by_path: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
-    for (path, dur_us) in run.spans() {
-        by_path.entry(path).or_default().push(dur_us);
+/// A run's spans aggregated per stage path, built **once** and reused
+/// across any number of pairwise comparisons.
+///
+/// [`diff_runs`] builds two of these ad hoc; callers that sweep many
+/// pairs — the `spm-corpus` cross-run regression query compares every
+/// same-workload pair — build one index per run up front and hand them
+/// to [`diff_indexes`], so each stream is parsed and aggregated exactly
+/// once instead of once per pair.
+#[derive(Debug, Clone, Default)]
+pub struct StageIndex {
+    stages: BTreeMap<String, StageStats>,
+}
+
+impl StageIndex {
+    /// Aggregates one run: spans grouped by full path, each stage
+    /// reduced to its [`StageStats`].
+    pub fn build(run: &Run) -> Self {
+        let mut by_path: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+        for (path, dur_us) in run.spans() {
+            by_path.entry(path).or_default().push(dur_us);
+        }
+        StageIndex {
+            stages: by_path
+                .into_iter()
+                .map(|(path, mut durs)| (path.to_string(), stats_of(&mut durs)))
+                .collect(),
+        }
     }
-    by_path
-        .into_iter()
-        .map(|(path, mut durs)| (path, stats_of(&mut durs)))
-        .collect()
+
+    /// The aggregated stats of one stage, if the run has it.
+    pub fn get(&self, path: &str) -> Option<StageStats> {
+        self.stages.get(path).copied()
+    }
+
+    /// Every stage path in the index, sorted.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.stages.keys().map(String::as_str)
+    }
+
+    /// Number of distinct stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the run had no spans at all.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
 }
 
 /// Compares two runs stage-by-stage. Results are sorted worst-first:
 /// regressions by descending ratio, then everything else by descending
 /// candidate total.
 pub fn diff_runs(baseline: &Run, candidate: &Run, cfg: &DiffConfig) -> Vec<StageDiff> {
-    let base = collect(baseline);
-    let cand = collect(candidate);
-    let mut paths: Vec<&str> = base.keys().chain(cand.keys()).copied().collect();
+    diff_indexes(
+        &StageIndex::build(baseline),
+        &StageIndex::build(candidate),
+        cfg,
+    )
+}
+
+/// Compares two pre-built [`StageIndex`]es under the same verdict and
+/// ordering semantics as [`diff_runs`].
+pub fn diff_indexes(base: &StageIndex, cand: &StageIndex, cfg: &DiffConfig) -> Vec<StageDiff> {
+    let mut paths: Vec<&str> = base.paths().chain(cand.paths()).collect();
     paths.sort_unstable();
     paths.dedup();
 
     let mut diffs: Vec<StageDiff> = paths
         .into_iter()
         .map(|path| {
-            let b = base.get(path).copied();
-            let c = cand.get(path).copied();
+            let b = base.get(path);
+            let c = cand.get(path);
             let ratio = match (b, c) {
                 (Some(b), Some(c)) if b.median_us > 0 => {
                     Some(c.median_us as f64 / b.median_us as f64)
@@ -389,6 +436,28 @@ mod tests {
         };
         assert_eq!(stage, "bad");
         assert!(message.contains("2 stage(s) regressed"), "{message}");
+    }
+
+    #[test]
+    fn prebuilt_indexes_match_diff_runs() {
+        let base = run_with("b", &[("sim/run", 10_000), ("cli/select", 5_000)]);
+        let cand1 = run_with("c1", &[("sim/run", 40_000), ("cli/select", 5_100)]);
+        let cand2 = run_with("c2", &[("sim/run", 9_000), ("new", 2_000)]);
+        let cfg = DiffConfig::default();
+        // One baseline index reused across many pairs produces exactly
+        // what the per-pair path produces.
+        let bi = StageIndex::build(&base);
+        assert_eq!(
+            diff_indexes(&bi, &StageIndex::build(&cand1), &cfg),
+            diff_runs(&base, &cand1, &cfg)
+        );
+        assert_eq!(
+            diff_indexes(&bi, &StageIndex::build(&cand2), &cfg),
+            diff_runs(&base, &cand2, &cfg)
+        );
+        assert_eq!(bi.len(), 2);
+        assert!(!bi.is_empty());
+        assert_eq!(bi.get("sim/run").map(|s| s.median_us), Some(10_000));
     }
 
     #[test]

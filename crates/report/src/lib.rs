@@ -60,7 +60,9 @@ pub mod html;
 pub mod ingest;
 pub mod statflame;
 
-pub use diff::{diff_runs, gate, DiffConfig, StageDiff, StageStats, Verdict};
+pub use diff::{
+    diff_indexes, diff_runs, gate, DiffConfig, StageDiff, StageIndex, StageStats, Verdict,
+};
 pub use flame::FlameNode;
 pub use ingest::{load_file, load_str, Field, Payload, ReportEvent, Run};
 pub use statflame::StatNode;

@@ -359,6 +359,79 @@ impl<R: Read + Seek> StoreReader<R> {
         &self.index
     }
 
+    /// The container's content key: FNV-1a-64 folded over the header,
+    /// every block's frame bytes and payload checksum (recomputed over
+    /// the stored bytes — for an intact container these are exactly the
+    /// checksums the frames and footer already declare), and the
+    /// committed totals. `spm info` prints it as `key=<16 hex digits>`,
+    /// and `spm corpus` names ingested containers by it.
+    ///
+    /// The key identifies the *committed content*: two byte-identical
+    /// containers key identically, any change to a block payload or
+    /// frame produces a new key, and a container whose redundant
+    /// footer/index was torn off keys the same as the clean prefix it
+    /// recovers to.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the source cannot be re-read, or
+    /// [`StoreError::Corrupt`] if an indexed block lies outside the
+    /// file.
+    pub fn content_key(&mut self) -> Result<u64, StoreError> {
+        let io_err = |e: std::io::Error| StoreError::Io {
+            message: e.to_string(),
+        };
+        let truncated = |block: usize, offset: u64| StoreError::Corrupt {
+            block: Some(block as u64),
+            error: DecodeError::Truncated {
+                offset: offset as usize,
+            },
+        };
+        let mut acc: Vec<u8> =
+            Vec::with_capacity(HEADER_LEN + self.index.len() * (FRAME_LEN + 8) + 16);
+        if let Some(map) = &self.mapped {
+            let data = map.as_slice();
+            let header = data.get(..HEADER_LEN).ok_or_else(|| truncated(0, 0))?;
+            acc.extend_from_slice(header);
+            for (block, meta) in self.index.iter().enumerate() {
+                let start = meta.offset as usize;
+                let end = start
+                    .checked_add(FRAME_LEN + meta.payload_len as usize)
+                    .filter(|&end| end <= data.len())
+                    .ok_or_else(|| truncated(block, meta.offset))?;
+                acc.extend_from_slice(&data[start..start + FRAME_LEN]);
+                let payload = &data[start + FRAME_LEN..end];
+                acc.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+            }
+        } else {
+            self.source.seek(SeekFrom::Start(0)).map_err(io_err)?;
+            let mut header = [0u8; HEADER_LEN];
+            self.source.read_exact(&mut header).map_err(io_err)?;
+            acc.extend_from_slice(&header);
+            let mut payload = Vec::new();
+            for block in 0..self.index.len() {
+                let meta = self.index[block];
+                self.source
+                    .seek(SeekFrom::Start(meta.offset))
+                    .map_err(io_err)?;
+                let mut frame = [0u8; FRAME_LEN];
+                self.source
+                    .read_exact(&mut frame)
+                    .map_err(|_| truncated(block, meta.offset))?;
+                payload.clear();
+                payload.resize(meta.payload_len as usize, 0);
+                self.source
+                    .read_exact(&mut payload)
+                    .map_err(|_| truncated(block, meta.offset))?;
+                acc.extend_from_slice(&frame);
+                acc.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+            }
+        }
+        acc.extend_from_slice(&self.info.events.to_le_bytes());
+        acc.extend_from_slice(&self.info.total_icount.to_le_bytes());
+        Ok(fnv1a64(&acc))
+    }
+
     /// The block containing event sequence number `seq`, by binary
     /// search — the O(log B) seek of the footer index.
     pub fn block_for_seq(&self, seq: u64) -> Option<usize> {

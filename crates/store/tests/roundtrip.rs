@@ -141,6 +141,46 @@ fn truncated_footer_recovers_block_prefix() {
     assert_eq!(got.0, flat[..kept_events as usize]);
 }
 
+#[test]
+fn content_key_identifies_committed_content() {
+    let (bytes, _) = pack(256, 42);
+    let key = open(bytes.clone()).content_key().expect("key");
+    // Identical bytes key identically (the corpus dedupe contract).
+    assert_eq!(open(bytes.clone()).content_key().expect("key"), key);
+    // A different event stream keys differently.
+    let (other, _) = pack(256, 43);
+    assert_ne!(open(other).content_key().expect("key"), key);
+    // So does the same stream under a different block partitioning.
+    let (repacked, _) = pack(512, 42);
+    assert_ne!(open(repacked).content_key().expect("key"), key);
+    // A single flipped payload byte keys differently.
+    let meta = open(bytes.clone()).index()[0];
+    let mut mutated = bytes.clone();
+    mutated[meta.offset as usize + FRAME_LEN] ^= 1;
+    assert_ne!(open(mutated).content_key().expect("key"), key);
+    // Tearing off the redundant index+footer leaves the committed
+    // content — and therefore the key — unchanged.
+    let reader = open(bytes.clone());
+    let last = *reader.index().last().expect("blocks");
+    drop(reader);
+    let mut torn = bytes.clone();
+    torn.truncate((last.offset + FRAME_LEN as u64 + u64::from(last.payload_len)) as usize);
+    let mut recovered = StoreReader::new(Cursor::new(torn)).expect("recovering open");
+    assert!(recovered.info().recovered_index);
+    assert_eq!(recovered.content_key().expect("key"), key);
+}
+
+#[test]
+fn content_key_is_identical_on_mapped_and_buffered_paths() {
+    let (bytes, _) = pack(256, 9);
+    let buffered = open(bytes.clone()).content_key().expect("key");
+    let path = std::env::temp_dir().join(format!("spm-content-key-{}.spmstk", std::process::id()));
+    std::fs::write(&path, &bytes).expect("write container");
+    let mapped = StoreReader::open(&path).expect("open file").content_key();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(mapped.expect("key"), buffered);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
