@@ -98,6 +98,17 @@ const VALUE_FLAGS: &[&str] = &[
     "bench-report",
     "top",
     "corpus",
+    "listen",
+    "health",
+    "serve-dir",
+    "budget",
+    "queue",
+    "converge",
+    "expect",
+    "connect",
+    "session",
+    "sessions",
+    "from-session",
 ];
 
 /// Parses a token stream (without the program name).
@@ -308,6 +319,37 @@ mod tests {
         assert_eq!(p.positional, vec!["query", "regressions"]);
         assert_eq!(p.u64_flag("top", 20).unwrap(), 5);
         assert!(p.has("gate"));
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let p = parse_str(
+            "serve --listen 127.0.0.1:7070 --health 127.0.0.1:7071 \
+             --serve-dir /tmp/serve --budget 1048576 --queue 4 \
+             --converge 3 --expect 2",
+        )
+        .unwrap();
+        assert_eq!(p.command, "serve");
+        assert_eq!(p.flags.get("listen").unwrap(), "127.0.0.1:7070");
+        assert_eq!(p.flags.get("health").unwrap(), "127.0.0.1:7071");
+        assert_eq!(p.flags.get("serve-dir").unwrap(), "/tmp/serve");
+        assert_eq!(p.u64_flag("budget", 0).unwrap(), 1_048_576);
+        assert_eq!(p.u64_flag("queue", 8).unwrap(), 4);
+        assert_eq!(p.u64_flag("converge", 0).unwrap(), 3);
+        assert_eq!(p.u64_flag("expect", 0).unwrap(), 2);
+        let p = parse_str(
+            "send workloads/gzip.spm --connect 127.0.0.1:7070 \
+             --session gz --sessions 3 --jobs 2",
+        )
+        .unwrap();
+        assert_eq!(p.command, "send");
+        assert_eq!(p.positional, vec!["workloads/gzip.spm"]);
+        assert_eq!(p.flags.get("connect").unwrap(), "127.0.0.1:7070");
+        assert_eq!(p.flags.get("session").unwrap(), "gz");
+        assert_eq!(p.u64_flag("sessions", 1).unwrap(), 3);
+        let p = parse_str("corpus add --dir c --from-session gz --serve-dir /tmp/serve").unwrap();
+        assert_eq!(p.flags.get("from-session").unwrap(), "gz");
+        assert_eq!(p.flags.get("serve-dir").unwrap(), "/tmp/serve");
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //! spm report <metrics.jsonl>... [--html FILE] [--folded FILE]
 //! spm report --baseline A.jsonl --candidate B.jsonl [--threshold PCT] [--min-us N] [--html FILE]
 //! spm corpus add --dir DIR --workload NAME [--seed N] [--store|--metrics|--markers|--partition|--bench-report FILE]...
+//! spm corpus add --dir DIR --from-session NAME --serve-dir DIR
 //! spm corpus query stability|trajectory|regressions --dir DIR [--top N] [--gate]
 //! spm corpus html --dir DIR --out FILE
+//! spm serve [--listen ADDR] [--health ADDR|none] [--serve-dir DIR] [--budget BYTES] [--queue N] [--converge N] [--expect N]
+//! spm send <workload|file.spmstk>... --connect ADDR [--session NAME] [--sessions N] [--jobs N]
 //! spm help
 //! ```
 //!
@@ -53,6 +56,20 @@
 //! per-figure perf trajectories over every ingested bench report, and
 //! noise-aware cross-run regressions (`--gate` exits 10) — and
 //! `corpus html` renders all three as one self-contained dashboard.
+//!
+//! # Streaming marker service
+//!
+//! `serve` runs the long-lived streaming service (`spm-serve`): many
+//! concurrent trace sessions over one socket, each running incremental
+//! call-loop analysis with marker deltas pushed back online, bounded
+//! queues with `BUSY` backpressure, per-session memory budgets, and —
+//! with `--serve-dir` — a crash-safe journal so sessions resume across
+//! client disconnects *and* server restarts. `send` is the client and
+//! load generator: it streams workloads (or `.spmstk` stores) to a
+//! server and prints the final marker set, byte-identical to the batch
+//! `spm select` output for the same selection flags. A finished
+//! session's journal and marker file ingest into the run corpus via
+//! `corpus add --from-session`.
 //!
 //! # Parallelism
 //!
@@ -110,6 +127,7 @@
 
 mod args;
 mod plot;
+mod serve_cli;
 
 use args::{parse, ArgError, ParsedArgs};
 use spm_core::predict::{DurationPredictor, MarkovPredictor, PhasePredictor};
@@ -212,6 +230,8 @@ fn main() -> ExitCode {
             "info" => cmd_info(&parsed),
             "report" => cmd_report(&parsed),
             "corpus" => cmd_corpus(&parsed),
+            "serve" => serve_cli::cmd_serve(&parsed),
+            "send" => serve_cli::cmd_send(&parsed),
             "help" | "--help" => {
                 print!("{HELP}");
                 Ok(())
@@ -332,10 +352,16 @@ USAGE:
   spm corpus add --dir DIR --workload NAME [--input NAME] [--seed N]
              [--label TEXT] [--store FILE] [--metrics FILE]
              [--markers FILE] [--partition FILE] [--bench-report FILE]
+  spm corpus add --dir DIR --from-session NAME --serve-dir DIR
   spm corpus query stability|trajectory|regressions --dir DIR
              [--top N] [--threshold PCT] [--min-us N] [--gate]
   spm corpus html --dir DIR --out FILE [--top N] [--threshold PCT]
              [--min-us N]
+  spm serve [--listen ADDR] [--health ADDR|none] [--serve-dir DIR]
+             [--budget BYTES] [--queue N] [--converge N] [--expect N]
+             [--ilower N] [--limit N] [--procs-only]
+  spm send <workload|file.spmstk>... --connect ADDR [--session NAME]
+             [--sessions N] [--block-size N] [--input train|ref] [--jobs N]
 
 FLAGS:
   --out FILE          where `record` writes the trace (and `pack` the store)
@@ -382,6 +408,34 @@ CORPUS FLAGS:
                       run pair regresses beyond the threshold
   (the artifact flags double as observability flags elsewhere; for
    `corpus` they always name input files and are never truncated)
+
+SERVE FLAGS:
+  --listen ADDR       wire-protocol listen address (default 127.0.0.1:0;
+                      the bound address is printed as the first stdout
+                      line: `serve: listening on HOST:PORT`)
+  --health ADDR|none  health endpoint address (default 127.0.0.1:0,
+                      printed as `serve: health on HOST:PORT`; `none`
+                      disables it); GET returns the current per-session
+                      gauges as schema-valid spm-obs JSONL
+  --serve-dir DIR     journal accepted blocks to DIR as crash-safe
+                      spmstk01 generations; sessions then resume across
+                      server restarts, and finished sessions leave
+                      `<name>.markers` next to the journal
+  --budget BYTES      per-session memory budget (default 67108864);
+                      overflow with a non-empty queue is BUSY
+                      backpressure, with an empty queue a typed fatal
+                      BUDGET_EXCEEDED
+  --queue N           bounded per-session queue capacity in blocks
+                      (default 8)
+  --converge N        consecutive unchanged updates before the online
+                      set counts as converged
+  --expect N          stop serving (and exit) once N sessions completed
+  --connect ADDR      `send`: the server address printed by `serve`
+  --session NAME      `send`: session name (default: workload stem)
+  --sessions N        `send`: stream N replica sessions per workload
+                      (suffix -1..-N), the serve-bench load shape
+  --from-session NAME `corpus add`: ingest a finished session's journal
+                      generations and marker file from --serve-dir
 
 REPORT FLAGS:
   --baseline FILE     baseline metrics/spans stream for the diff mode
@@ -1605,10 +1659,18 @@ fn cmd_corpus(parsed: &ParsedArgs) -> Result<(), CliError> {
     match action {
         "add" => {
             let dir = corpus_dir(parsed)?;
-            let workload = parsed
-                .flags
-                .get("workload")
-                .ok_or_else(|| CliError::Usage("corpus add needs --workload NAME".into()))?;
+            let workload = match (
+                parsed.flags.get("workload"),
+                parsed.flags.get("from-session"),
+            ) {
+                (Some(w), _) => w.clone(),
+                // A serve session's name doubles as the workload
+                // coordinate unless overridden.
+                (None, Some(session)) => session.clone(),
+                (None, None) => {
+                    return Err(CliError::Usage("corpus add needs --workload NAME".into()))
+                }
+            };
             let input = parsed.str_flag("input", "-");
             let seed = parsed.u64_flag("seed", 0)?;
             let mut artifacts = Vec::new();
@@ -1623,10 +1685,34 @@ fn cmd_corpus(parsed: &ParsedArgs) -> Result<(), CliError> {
                     artifacts.push((kind, std::path::PathBuf::from(path)));
                 }
             }
+            // `--from-session NAME --serve-dir DIR`: ingest what a
+            // finished serve session left on disk — every journal
+            // generation (the accepted, committed trace) plus the
+            // final marker file when the session was finalized.
+            if let Some(session) = parsed.flags.get("from-session") {
+                let serve_dir = parsed.flags.get("serve-dir").ok_or_else(|| {
+                    CliError::Usage("corpus add --from-session needs --serve-dir DIR".into())
+                })?;
+                let serve_dir = std::path::Path::new(serve_dir);
+                let journals = spm_serve::session::journal_generations(serve_dir, session);
+                if journals.is_empty() {
+                    return Err(CliError::Usage(format!(
+                        "no journal generations for session `{session}` under {}",
+                        serve_dir.display()
+                    )));
+                }
+                for journal in journals {
+                    artifacts.push((ArtifactKind::Store, journal));
+                }
+                let markers = serve_dir.join(format!("{session}.markers"));
+                if markers.is_file() {
+                    artifacts.push((ArtifactKind::Markers, markers));
+                }
+            }
             if artifacts.is_empty() {
                 return Err(CliError::Usage(
                     "corpus add needs at least one artifact (--store/--metrics/--markers/\
-                     --partition/--bench-report)"
+                     --partition/--bench-report/--from-session)"
                         .into(),
                 ));
             }

@@ -1,0 +1,318 @@
+//! End-to-end suite for the streaming marker service: `spm serve` +
+//! `spm send` against the committed workload files.
+//!
+//! The equivalence gate is the heart of it: the converged online
+//! marker set streamed through a real server process must be
+//! byte-identical to the batch `spm select` output for every committed
+//! workload, at `--jobs 1` and `--jobs 4`. On top of that: the health
+//! endpoint must serve schema-valid spm-obs JSONL with per-session
+//! memory gauges under the budget, a finished session must ingest into
+//! the run corpus via `--from-session`, and the failure classes must
+//! keep their typed exit codes.
+
+use spm_obs::jsonl::validate_line;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+fn spm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spm"))
+        .args(args)
+        .output()
+        .expect("spm binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("spm-serve-e2e-{}-{name}", std::process::id()));
+    p
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = tmp(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Every `.spm` file shipped in `workloads/`, sorted for a stable
+/// argument order.
+fn workload_files() -> Vec<String> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../workloads");
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .expect("workloads/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "spm"))
+        .map(|p| p.to_str().expect("utf-8 path").to_string())
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 4,
+        "expected at least 4 workload files, found {}",
+        files.len()
+    );
+    files
+}
+
+fn stem(path: &str) -> String {
+    PathBuf::from(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .expect("workload stem")
+        .to_string()
+}
+
+/// A running `spm serve` child with its discovered endpoints. The
+/// child is killed on drop so a failing assertion never leaks a
+/// server process.
+struct Serve {
+    child: Child,
+    addr: String,
+    health: String,
+}
+
+impl Serve {
+    fn start(extra: &[&str]) -> Serve {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_spm"))
+            .arg("serve")
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spm serve spawns");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let mut next = |prefix: &str| -> String {
+            let line = lines
+                .next()
+                .expect("serve announces its endpoint")
+                .expect("readable stdout");
+            line.strip_prefix(prefix)
+                .unwrap_or_else(|| panic!("expected `{prefix}...`, got `{line}`"))
+                .to_string()
+        };
+        let addr = next("serve: listening on ");
+        let health = next("serve: health on ");
+        Serve {
+            child,
+            addr,
+            health,
+        }
+    }
+
+    /// Waits for an `--expect N` server to stop on its own, asserting
+    /// a clean exit.
+    fn wait_success(mut self) {
+        let status = self.child.wait().expect("serve exits");
+        assert!(status.success(), "serve exited {status:?}");
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Splits a multi-unit `spm send` stdout into its `# session: NAME`
+/// sections.
+fn sections(stdout: &str) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for line in stdout.lines() {
+        if let Some(name) = line.strip_prefix("# session: ") {
+            out.push((name.to_string(), String::new()));
+        } else {
+            let (_, body) = out.last_mut().expect("section header before body");
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    out
+}
+
+/// The equivalence gate: for every committed workload, the marker set
+/// streamed through a live server (converged online, incremental
+/// analysis) is byte-identical to the batch `spm select` output — at
+/// `--jobs 1` and `--jobs 4` on the client side.
+#[test]
+fn online_send_matches_batch_select_at_any_job_count() {
+    let files = workload_files();
+    for jobs in ["1", "4"] {
+        let dir = fresh_dir(&format!("equiv-j{jobs}"));
+        let dir_text = dir.to_str().expect("utf-8 temp dir");
+        let count = files.len().to_string();
+        let serve = Serve::start(&["--serve-dir", dir_text, "--expect", &count]);
+        let mut args: Vec<&str> = vec!["send"];
+        args.extend(files.iter().map(String::as_str));
+        args.extend_from_slice(&["--connect", &serve.addr, "--jobs", jobs]);
+        let out = spm(&args);
+        assert!(
+            out.status.success(),
+            "spm send --jobs {jobs} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let got = sections(&stdout);
+        assert_eq!(got.len(), files.len(), "one section per workload");
+        for (file, (session, online)) in files.iter().zip(&got) {
+            assert_eq!(session, &stem(file), "sections in argument order");
+            let batch = spm(&["select", file]);
+            assert!(batch.status.success());
+            assert_eq!(
+                online,
+                &String::from_utf8_lossy(&batch.stdout).into_owned(),
+                "online markers for {file} diverge from batch at --jobs {jobs}"
+            );
+        }
+        serve.wait_success();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The health endpoint serves spm-obs JSONL: every line validates
+/// against the schema, the per-session gauges are present, and the
+/// session's live memory estimate stays under the configured budget.
+#[test]
+fn health_endpoint_is_schema_valid_and_session_memory_under_budget() {
+    let budget: f64 = 32.0 * 1024.0 * 1024.0;
+    let serve = Serve::start(&["--budget", "33554432"]);
+    let files = workload_files();
+    let gzip = files
+        .iter()
+        .find(|f| f.ends_with("gzip.spm"))
+        .expect("gzip workload committed");
+    let out = spm(&["send", gzip, "--connect", &serve.addr]);
+    assert!(
+        out.status.success(),
+        "send failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut stream =
+        std::net::TcpStream::connect(&serve.health).expect("health endpoint reachable");
+    stream
+        .write_all(b"GET / HTTP/1.0\r\n\r\n")
+        .expect("request written");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    let (_, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP header/body split");
+
+    let mut session_lines = 0usize;
+    let mut mem_seen = false;
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        let json = validate_line(line).unwrap_or_else(|e| panic!("invalid health line: {e}"));
+        let name = json
+            .get("name")
+            .and_then(|n| n.as_str())
+            .expect("named event")
+            .to_string();
+        if name.starts_with("serve/session/") {
+            session_lines += 1;
+            assert_eq!(
+                json.get("fields")
+                    .and_then(|f| f.get("session"))
+                    .and_then(|s| s.as_str()),
+                Some("gzip"),
+                "session gauges carry the session name"
+            );
+        }
+        if name == "serve/session/mem_bytes" {
+            mem_seen = true;
+            let value = json
+                .get("value")
+                .and_then(|v| v.as_num())
+                .expect("gauge value");
+            assert!(
+                value > 0.0 && value < budget,
+                "mem gauge {value} outside (0, {budget})"
+            );
+        }
+    }
+    assert!(session_lines > 0, "per-session gauges served");
+    assert!(mem_seen, "mem_bytes gauge served");
+}
+
+/// A finished session's on-disk artifacts (journal generation plus the
+/// final marker file) ingest into the run corpus via `--from-session`,
+/// and the stability query sees the run.
+#[test]
+fn finished_session_ingests_into_the_corpus() {
+    let serve_dir = fresh_dir("corpus-serve");
+    let corpus_dir = fresh_dir("corpus-store");
+    let serve_text = serve_dir.to_str().expect("utf-8");
+    let corpus_text = corpus_dir.to_str().expect("utf-8");
+    let files = workload_files();
+    let example = files
+        .iter()
+        .find(|f| f.ends_with("example.spm"))
+        .expect("example workload committed");
+
+    let serve = Serve::start(&["--serve-dir", serve_text, "--expect", "1"]);
+    let out = spm(&["send", example, "--connect", &serve.addr]);
+    assert!(out.status.success());
+    serve.wait_success();
+    assert!(serve_dir.join("example.g1.spmstk").is_file());
+    assert!(serve_dir.join("example.markers").is_file());
+
+    let add = spm(&[
+        "corpus",
+        "add",
+        "--dir",
+        corpus_text,
+        "--from-session",
+        "example",
+        "--serve-dir",
+        serve_text,
+    ]);
+    assert!(
+        add.status.success(),
+        "corpus add failed: {}",
+        String::from_utf8_lossy(&add.stderr)
+    );
+    let added = String::from_utf8_lossy(&add.stdout).into_owned();
+    assert!(added.contains("workload=example"), "got: {added}");
+    assert!(added.contains("artifacts=2"), "journal + markers: {added}");
+
+    let query = spm(&["corpus", "query", "stability", "--dir", corpus_text]);
+    assert!(query.status.success());
+    let text = String::from_utf8_lossy(&query.stdout).into_owned();
+    assert!(
+        text.contains("1 run(s) with markers across 1 workload(s)"),
+        "got: {text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+}
+
+/// Failure classes keep their typed exit codes: usage mistakes exit 2,
+/// transport failures exit 3 (I/O class), and a dead `--connect`
+/// target never hangs the client.
+#[test]
+fn typed_errors_keep_their_exit_codes() {
+    // `send` without --connect is a usage error.
+    let out = spm(&["send", "gzip"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // `serve` that cannot bind is an I/O failure.
+    let out = spm(&["serve", "--listen", "256.256.256.256:1"]);
+    assert_eq!(out.status.code(), Some(3));
+
+    // A connection-refused target is an I/O failure, not a hang: bind
+    // a listener, learn a dead port, close it again.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe port");
+        listener.local_addr().expect("probe addr").to_string()
+    };
+    let files = workload_files();
+    let out = spm(&["send", &files[0], "--connect", &dead]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -76,6 +76,7 @@ pub mod analysis;
 pub mod crossbin;
 pub mod error;
 pub mod graph;
+pub mod incremental;
 pub mod marker;
 pub mod predict;
 pub mod profile;
@@ -85,6 +86,7 @@ pub mod text;
 pub use analysis::{recursive_cycles, summarize, GraphSummary};
 pub use error::{FrameLabel, ProfileError, SpmError};
 pub use graph::{CallLoopGraph, Edge, EdgeId, Node, NodeId, NodeKey};
+pub use incremental::{IncrementalSelector, SelectionDelta, DEFAULT_CONVERGE_UPDATES};
 pub use marker::{
     fixed_length_intervals, partition, partition_with_fallback, FallbackReason, FliFallback,
     Marker, MarkerFiring, MarkerRuntime, MarkerSet, PartitionOutcome, Vli, PRELUDE_PHASE,

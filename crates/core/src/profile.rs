@@ -105,6 +105,21 @@ impl CallLoopProfiler {
         self.tolerated
     }
 
+    /// Frames currently open on the shadow stack. Mid-run this is the
+    /// live nesting depth; at end-of-trace a nonzero value means closes
+    /// were lost (lenient mode discards these frames in
+    /// [`into_graph`](Self::into_graph), strict mode errors). Exposed so
+    /// long-running sessions can report per-session degradation while
+    /// the profiler is still live, not only at end-of-trace.
+    pub fn dangling_frames(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Events consumed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
     /// Finishes profiling and returns the graph.
     ///
     /// # Errors

@@ -190,6 +190,31 @@ where
     Ok(out)
 }
 
+/// Spawns one long-lived named thread carrying the same observability
+/// contract as pool workers: the thread is named `spm-{name}` and
+/// registers `label` with `spm-obs`, so spans it closes stay
+/// attributable under concurrency. Unlike [`par_map`]'s scoped workers
+/// this thread owns its closure (`'static`) and outlives the caller —
+/// the primitive for long-running services (one thread per connection
+/// or per session) rather than fan-out over a slice.
+///
+/// # Errors
+///
+/// Returns the OS error when the thread cannot be spawned.
+pub fn spawn_labeled<T, F>(name: &str, label: &str, f: F) -> std::io::Result<thread::JoinHandle<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let label = label.to_string();
+    thread::Builder::new()
+        .name(format!("spm-{name}"))
+        .spawn(move || {
+            spm_obs::set_thread_label(&label);
+            f()
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

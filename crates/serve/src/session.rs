@@ -1,0 +1,583 @@
+//! Per-session state: the incremental selector, the crash-safe
+//! journal, and atomically published stats.
+//!
+//! A session is keyed by name and outlives any single connection: the
+//! analyzer state stays live across client disconnects, and — when the
+//! server journals to a directory — across server restarts too, by
+//! replaying the journaled generations back into a fresh selector.
+//!
+//! # Journal generations
+//!
+//! Each (re)incarnation of a session appends to its own container
+//! `<name>.g<N>.spmstk` under the serve directory: spmstk01 files are
+//! finalized by a footer, so a restarted server must not append to an
+//! old file — it replays every existing generation (the store reader's
+//! recovery path handles a torn last file) and opens generation
+//! `max + 1` for new blocks. `FIN` finishes the current generation and
+//! writes `<name>.markers` next to it, which is exactly what
+//! `spm corpus add --from-session` ingests.
+
+use crate::proto::{DoneMsg, WireBlock};
+use crate::ServeError;
+use spm_core::text::write_markers;
+use spm_core::{IncrementalSelector, SelectConfig, SelectionDelta};
+use spm_sim::{TraceEvent, TraceObserver};
+use spm_store::{FileIo, StoreReader, StoreWriter, SyncPolicy};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared per-session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Marker-selection parameters (same knobs as `spm select`).
+    pub select: SelectConfig,
+    /// Consecutive unchanged updates required for convergence.
+    pub converge_after: u64,
+    /// Per-session memory budget in bytes (queued events + analysis
+    /// state). Exceeding it with an empty queue is fatal; with a
+    /// non-empty queue it is backpressure.
+    pub mem_budget: u64,
+    /// Bounded queue capacity, in blocks.
+    pub queue_capacity: usize,
+    /// Journal directory; `None` disables journaling (sessions then
+    /// survive reconnects but not server restarts).
+    pub dir: Option<PathBuf>,
+    /// Test hook: artificial per-update analysis delay in milliseconds,
+    /// to make backpressure deterministic in tests. 0 in production.
+    pub analysis_delay_ms: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            select: SelectConfig::new(10_000),
+            converge_after: spm_core::DEFAULT_CONVERGE_UPDATES,
+            mem_budget: 64 * 1024 * 1024,
+            queue_capacity: 8,
+            dir: None,
+            analysis_delay_ms: 0,
+        }
+    }
+}
+
+/// Session lifecycle, published in [`SessionStats::state`].
+pub mod state {
+    /// Accepting blocks.
+    pub const LIVE: u64 = 0;
+    /// Finalized by `FIN`.
+    pub const DONE: u64 = 1;
+    /// Failed server-side (journal I/O, fatal protocol error).
+    pub const FAILED: u64 = 2;
+}
+
+/// Lock-free snapshot of one session, read by the health endpoint
+/// while the analyzer is running.
+#[derive(Debug, Default)]
+pub struct SessionStats {
+    /// Lifecycle: see [`state`].
+    pub state: AtomicU64,
+    /// Blocks accepted (enqueued).
+    pub blocks: AtomicU64,
+    /// Events analyzed.
+    pub events: AtomicU64,
+    /// Instruction-count watermark of the analyzed stream.
+    pub icount: AtomicU64,
+    /// Selection updates run.
+    pub updates: AtomicU64,
+    /// Current marker-set size.
+    pub markers: AtomicU64,
+    /// Consecutive unchanged updates.
+    pub stable_updates: AtomicU64,
+    /// 1 once the set has converged (may fall back to 0 if it moves).
+    pub converged: AtomicU64,
+    /// Tolerated structural mismatches (lenient profiler).
+    pub tolerated_events: AtomicU64,
+    /// Frames currently open on the shadow stack.
+    pub dangling_frames: AtomicU64,
+    /// Estimated live memory: queued bytes + analysis state.
+    pub mem_bytes: AtomicU64,
+    /// Bytes currently queued (decoded events awaiting analysis).
+    pub queued_bytes: AtomicU64,
+    /// Blocks currently queued.
+    pub queue_len: AtomicU64,
+    /// `BUSY` responses sent to this session's client.
+    pub busy_rejections: AtomicU64,
+    /// Events durably journaled so far (0 without a journal dir).
+    pub journal_events: AtomicU64,
+}
+
+impl SessionStats {
+    pub(crate) fn load(&self, field: &AtomicU64) -> u64 {
+        field.load(Ordering::Relaxed)
+    }
+
+    /// Reads every gauge the health endpoint publishes, as
+    /// `(name, value)` pairs.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("state", self.load(&self.state)),
+            ("blocks", self.load(&self.blocks)),
+            ("events", self.load(&self.events)),
+            ("icount", self.load(&self.icount)),
+            ("updates", self.load(&self.updates)),
+            ("markers", self.load(&self.markers)),
+            ("stable_updates", self.load(&self.stable_updates)),
+            ("converged", self.load(&self.converged)),
+            ("tolerated_events", self.load(&self.tolerated_events)),
+            ("dangling_frames", self.load(&self.dangling_frames)),
+            ("mem_bytes", self.load(&self.mem_bytes)),
+            ("queued_bytes", self.load(&self.queued_bytes)),
+            ("queue_len", self.load(&self.queue_len)),
+            ("busy_rejections", self.load(&self.busy_rejections)),
+            ("journal_events", self.load(&self.journal_events)),
+        ]
+    }
+}
+
+/// The analyzer-side state of one session (behind the server's per-
+/// session mutex; the connection and analyzer threads take turns).
+pub struct SessionCore {
+    /// Session name (registry key, journal file stem).
+    pub name: String,
+    config: SessionConfig,
+    selector: IncrementalSelector,
+    journal: Option<StoreWriter<FileIo>>,
+    journal_path: Option<PathBuf>,
+    /// Events accepted into the queue (the reconnect watermark).
+    pub accepted_events: u64,
+    /// Instruction-count watermark of the accepted stream.
+    pub accepted_icount: u64,
+    blocks: u64,
+    converged_at: u64,
+    /// Pending deltas, drained by the connection thread.
+    pub outbox: Vec<SelectionDelta>,
+    /// Set when the session failed server-side.
+    pub failure: Option<ServeError>,
+}
+
+/// The committed journal generations for session `name` under `dir`,
+/// oldest first. These are the on-disk artifacts `spm corpus add
+/// --from-session` ingests (together with `<name>.markers` once the
+/// session finalized); an unrestarted session has exactly one.
+pub fn journal_generations(dir: &Path, name: &str) -> Vec<PathBuf> {
+    generations(dir, name).0
+}
+
+/// The journal generation files for `name` under `dir`, in generation
+/// order, plus the next free generation number.
+fn generations(dir: &Path, name: &str) -> (Vec<PathBuf>, u32) {
+    let mut found: Vec<(u32, PathBuf)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let file = entry.file_name();
+            let Some(file) = file.to_str() else { continue };
+            let Some(rest) = file.strip_prefix(name) else {
+                continue;
+            };
+            let Some(gen_text) = rest
+                .strip_prefix(".g")
+                .and_then(|r| r.strip_suffix(".spmstk"))
+            else {
+                continue;
+            };
+            if let Ok(generation) = gen_text.parse::<u32>() {
+                found.push((generation, entry.path()));
+            }
+        }
+    }
+    found.sort();
+    let next = found.last().map_or(1, |(g, _)| g + 1);
+    (found.into_iter().map(|(_, p)| p).collect(), next)
+}
+
+impl SessionCore {
+    /// Opens (or resumes) the named session. With a journal directory,
+    /// existing generations are replayed into the fresh selector — a
+    /// torn last generation (server crash) recovers its committed
+    /// prefix through the store reader's frame-walking recovery.
+    ///
+    /// Returns the core plus whether journaled state was resumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the journal cannot be created or an
+    /// existing generation cannot be read at all.
+    pub fn open(name: &str, config: &SessionConfig) -> Result<(Self, bool), ServeError> {
+        let mut selector = IncrementalSelector::new(config.select, config.converge_after);
+        let mut accepted_events = 0u64;
+        let mut accepted_icount = 0u64;
+        let mut blocks = 0u64;
+        let mut resumed = false;
+        let mut journal_path = None;
+        let journal = if let Some(dir) = &config.dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ServeError::io(&dir.display().to_string(), &e))?;
+            let (existing, next) = generations(dir, name);
+            for path in &existing {
+                let replayed = replay_generation(path, &mut selector)?;
+                accepted_events += replayed.events;
+                accepted_icount = accepted_icount.max(replayed.icount);
+                blocks += replayed.blocks;
+                resumed = true;
+            }
+            let path = dir.join(format!("{name}.g{next}.spmstk"));
+            let sink = FileIo::create(&path)
+                .map_err(|e| ServeError::io(&path.display().to_string(), &e))?;
+            journal_path = Some(path);
+            Some(
+                StoreWriter::new(sink)
+                    .sync_policy(SyncPolicy::Block)
+                    .compression(spm_store::Compression::None),
+            )
+        } else {
+            None
+        };
+        let mut core = Self {
+            name: name.to_string(),
+            config: config.clone(),
+            selector,
+            journal,
+            journal_path,
+            accepted_events,
+            accepted_icount,
+            blocks,
+            converged_at: 0,
+            outbox: Vec::new(),
+            failure: None,
+        };
+        if resumed {
+            // Replay fed the selector block-by-block; fold the replayed
+            // stream into one settled update so the watermark and
+            // marker set are current before new blocks arrive.
+            core.converged_at = if core.selector.converged() {
+                core.selector.updates()
+            } else {
+                0
+            };
+        }
+        Ok((core, resumed))
+    }
+
+    /// Analyzes one decoded block: journal it, update the selector,
+    /// record convergence, and queue the delta for the connection
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the journal write fails; the session is
+    /// then marked failed (`failure` is set) and the error returned.
+    pub fn analyze(&mut self, events: &[(u64, TraceEvent)]) -> Result<(), ServeError> {
+        if self.config.analysis_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.config.analysis_delay_ms,
+            ));
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.on_batch(events);
+            // One journal block per accepted batch: the commit
+            // watermark advances with every block the client was
+            // acked, which is what reconnect-resume promises.
+            journal.checkpoint();
+            if let Some(e) = journal.fault() {
+                let err = ServeError::Io {
+                    context: format!("journal/{}", self.name),
+                    message: e.to_string(),
+                };
+                self.failure = Some(err.clone());
+                return Err(err);
+            }
+        }
+        let delta = self.selector.update(events);
+        self.blocks += 1;
+        // Record the FIRST convergence: the final chunk of a trace can
+        // still move the set (outermost call edges record traversal at
+        // the program's last Return), so convergence is a mid-stream
+        // signal and `converged_at` keeps the earliest observation.
+        if delta.converged && self.converged_at == 0 {
+            self.converged_at = delta.update;
+        }
+        self.outbox.push(delta);
+        Ok(())
+    }
+
+    /// Publishes the selector/journal state into `stats` (called by the
+    /// analyzer after each block, and at finish).
+    pub fn publish(&self, stats: &SessionStats) {
+        let s = &self.selector;
+        stats.blocks.store(self.blocks, Ordering::Relaxed);
+        stats.events.store(s.events(), Ordering::Relaxed);
+        stats.icount.store(s.icount(), Ordering::Relaxed);
+        stats.updates.store(s.updates(), Ordering::Relaxed);
+        stats
+            .markers
+            .store(s.markers().len() as u64, Ordering::Relaxed);
+        stats
+            .stable_updates
+            .store(s.stable_updates(), Ordering::Relaxed);
+        stats
+            .converged
+            .store(u64::from(s.converged()), Ordering::Relaxed);
+        stats
+            .tolerated_events
+            .store(s.tolerated_events(), Ordering::Relaxed);
+        stats
+            .dangling_frames
+            .store(s.dangling_frames() as u64, Ordering::Relaxed);
+        if let Some(journal) = &self.journal {
+            stats
+                .journal_events
+                .store(journal.committed().events, Ordering::Relaxed);
+        }
+        let queued = stats.queued_bytes.load(Ordering::Relaxed);
+        stats
+            .mem_bytes
+            .store(queued + self.mem_estimate(), Ordering::Relaxed);
+    }
+
+    /// Estimated bytes held by the analysis state (excluding the
+    /// queue, which is accounted separately).
+    pub fn mem_estimate(&self) -> u64 {
+        self.selector.mem_estimate()
+    }
+
+    /// Whether this block (by its first sequence number) skips past
+    /// the accepted watermark — a gap the server must reject, since
+    /// the journal would silently lose the missing events.
+    pub fn is_gap(&self, block: &WireBlock) -> bool {
+        block.meta.first_seq > self.accepted_events
+    }
+
+    /// Whether the block is entirely below the watermark (a resend
+    /// after reconnect) and can be acknowledged without analysis.
+    pub fn is_duplicate(&self, block: &WireBlock) -> bool {
+        block.meta.end_seq() <= self.accepted_events
+    }
+
+    /// Drops the already-accepted prefix of a block that straddles the
+    /// watermark (client re-chunked after a resume).
+    pub fn trim_overlap<'a>(
+        &self,
+        block: &WireBlock,
+        events: &'a [(u64, TraceEvent)],
+    ) -> &'a [(u64, TraceEvent)] {
+        let skip = self.accepted_events.saturating_sub(block.meta.first_seq) as usize;
+        &events[skip.min(events.len())..]
+    }
+
+    /// Finalizes the session: flush + footer the journal generation,
+    /// write `<name>.markers` beside it, and build the `DONE` summary.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the journal or marker file cannot be
+    /// written (the session is marked failed).
+    pub fn finish(&mut self) -> Result<DoneMsg, ServeError> {
+        let markers_text = write_markers(self.selector.markers());
+        if let Some(journal) = self.journal.take() {
+            journal.finish().map_err(|e| {
+                let err = ServeError::Io {
+                    context: format!("journal/{}", self.name),
+                    message: e.to_string(),
+                };
+                self.failure = Some(err.clone());
+                err
+            })?;
+        }
+        if let Some(dir) = &self.config.dir {
+            let path = dir.join(format!("{}.markers", self.name));
+            std::fs::write(&path, &markers_text)
+                .map_err(|e| ServeError::io(&path.display().to_string(), &e))?;
+        }
+        Ok(DoneMsg {
+            blocks: self.blocks,
+            events: self.selector.events(),
+            icount: self.selector.icount(),
+            updates: self.selector.updates(),
+            converged_at: self.converged_at,
+            tolerated_events: self.selector.tolerated_events(),
+            dangling_frames: self.selector.dangling_frames() as u64,
+            markers_text,
+        })
+    }
+
+    /// The path of the journal generation currently being written.
+    pub fn journal_path(&self) -> Option<&Path> {
+        self.journal_path.as_deref()
+    }
+
+    /// The current marker set rendered as a `markers v1` file.
+    pub fn markers_text(&self) -> String {
+        write_markers(self.selector.markers())
+    }
+}
+
+struct Replayed {
+    events: u64,
+    icount: u64,
+    blocks: u64,
+}
+
+/// Replays one journal generation into the selector, one update per
+/// stored block (matching the updates the original session ran). A
+/// file with no committed blocks contributes nothing.
+fn replay_generation(
+    path: &Path,
+    selector: &mut IncrementalSelector,
+) -> Result<Replayed, ServeError> {
+    struct PerBlock<'a> {
+        selector: &'a mut IncrementalSelector,
+        events: u64,
+        icount: u64,
+    }
+    impl TraceObserver for PerBlock<'_> {
+        fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+            self.on_batch(&[(icount, *event)]);
+        }
+
+        fn on_batch(&mut self, batch: &[(u64, TraceEvent)]) {
+            self.selector.update(batch);
+            self.events += batch.len() as u64;
+            if let Some(&(icount, _)) = batch.last() {
+                self.icount = self.icount.max(icount);
+            }
+        }
+    }
+
+    let mut reader = match StoreReader::open(path) {
+        Ok(r) => r,
+        Err(spm_store::StoreError::Corrupt { .. }) => {
+            // A generation with not even a readable header (e.g. the
+            // server died before the first commit) holds zero events.
+            return Ok(Replayed {
+                events: 0,
+                icount: 0,
+                blocks: 0,
+            });
+        }
+        Err(e) => {
+            return Err(ServeError::Io {
+                context: path.display().to_string(),
+                message: e.to_string(),
+            })
+        }
+    };
+    let blocks = reader.info().blocks;
+    let mut per_block = PerBlock {
+        selector,
+        events: 0,
+        icount: 0,
+    };
+    {
+        let mut observers: Vec<&mut dyn TraceObserver> = vec![&mut per_block];
+        reader.replay(&mut observers).map_err(|e| ServeError::Io {
+            context: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+    }
+    Ok(Replayed {
+        events: per_block.events,
+        icount: per_block.icount,
+        blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::chunk_events;
+    use spm_ir::{Input, ProgramBuilder, Trip};
+    use spm_sim::run;
+
+    fn trace() -> Vec<(u64, TraceEvent)> {
+        let mut b = ProgramBuilder::new("t");
+        b.proc("main", |p| {
+            p.loop_(Trip::Fixed(30), |outer| {
+                outer.call("work");
+            });
+        });
+        b.proc("work", |p| {
+            p.loop_(Trip::Fixed(40), |inner| {
+                inner.block(50).done();
+            });
+        });
+        let program = b.build("main").unwrap();
+
+        #[derive(Default)]
+        struct Tape(Vec<(u64, TraceEvent)>);
+        impl TraceObserver for Tape {
+            fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+                self.0.push((icount, *event));
+            }
+        }
+        let mut tape = Tape::default();
+        run(&program, &Input::new("t", 3), &mut [&mut tape]).unwrap();
+        tape.0
+    }
+
+    fn feed(core: &mut SessionCore, events: &[(u64, TraceEvent)], budget: usize) {
+        for block in chunk_events(events, budget) {
+            let decoded = block.decode_events().unwrap();
+            core.accepted_events = block.meta.end_seq();
+            core.accepted_icount = block.meta.end_icount;
+            core.analyze(&decoded).unwrap();
+        }
+    }
+
+    #[test]
+    fn journal_generations_resume_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("spm-serve-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = SessionConfig {
+            select: SelectConfig::new(2_000),
+            dir: Some(dir.clone()),
+            ..SessionConfig::default()
+        };
+        let events = trace();
+        let mid = events.len() / 2;
+
+        // First incarnation: half the stream, then FIN-less drop
+        // (finish the journal as a clean shutdown would).
+        let (mut first, resumed) = SessionCore::open("sess", &config).unwrap();
+        assert!(!resumed);
+        feed(&mut first, &events[..mid], 512);
+        let watermark = first.accepted_events;
+        first.finish().unwrap();
+
+        // Second incarnation resumes from the journal.
+        let (mut second, resumed) = SessionCore::open("sess", &config).unwrap();
+        assert!(resumed);
+        assert_eq!(second.accepted_events, watermark);
+
+        // Feed the rest; the final set matches a batch run.
+        let rest = chunk_events(&events, 512)
+            .into_iter()
+            .filter(|b| b.meta.first_seq >= watermark)
+            .collect::<Vec<_>>();
+        for block in rest {
+            let decoded = block.decode_events().unwrap();
+            let fresh = second.trim_overlap(&block, &decoded).to_vec();
+            second.accepted_events = block.meta.end_seq();
+            second.analyze(&fresh).unwrap();
+        }
+        let mut batch = IncrementalSelector::new(SelectConfig::new(2_000), 3);
+        batch.update(&events);
+        assert_eq!(second.markers_text(), write_markers(batch.markers()));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_and_gap_detection() {
+        let config = SessionConfig::default();
+        let (mut core, _) = SessionCore::open("s", &config).unwrap();
+        let events = trace();
+        let blocks = chunk_events(&events, 1024);
+        assert!(!core.is_gap(&blocks[0]));
+        assert!(core.is_gap(&blocks[1]), "skipping block 0 is a gap");
+        let decoded = blocks[0].decode_events().unwrap();
+        core.accepted_events = blocks[0].meta.end_seq();
+        core.analyze(&decoded).unwrap();
+        assert!(core.is_duplicate(&blocks[0]), "resent block 0 is a dup");
+        assert!(!core.is_gap(&blocks[1]));
+    }
+}

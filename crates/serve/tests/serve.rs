@@ -1,0 +1,433 @@
+//! End-to-end serve tests over loopback TCP: online/batch
+//! equivalence, reconnect-resume, restart-recovery, backpressure,
+//! budgets, health, and hostile-peer isolation.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use spm_core::text::write_markers;
+use spm_core::{CallLoopProfiler, SelectConfig};
+use spm_ir::{Input, ProgramBuilder, Trip};
+use spm_serve::proto::{self, Message};
+use spm_serve::{
+    send_events, SendConfig, SendFaultPlan, ServeError, Server, ServerConfig, SessionConfig,
+};
+use spm_sim::{run, TraceEvent, TraceObserver};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+#[derive(Default)]
+struct Tape(Vec<(u64, TraceEvent)>);
+
+impl TraceObserver for Tape {
+    fn on_event(&mut self, icount: u64, event: &TraceEvent) {
+        self.0.push((icount, *event));
+    }
+}
+
+/// A phased trace with enough structure for a non-trivial marker set.
+fn trace(scale: u64) -> Vec<(u64, TraceEvent)> {
+    let mut b = ProgramBuilder::new("serve-test");
+    b.proc("main", |p| {
+        p.loop_(Trip::Fixed(20 * scale), |outer| {
+            outer.call("phase_a");
+            outer.call("phase_b");
+        });
+    });
+    b.proc("phase_a", |p| {
+        p.loop_(Trip::Fixed(30), |inner| {
+            inner.block(40).done();
+        });
+    });
+    b.proc("phase_b", |p| {
+        p.loop_(Trip::Fixed(50), |inner| {
+            inner.block(25).done();
+        });
+    });
+    let program = b.build("main").unwrap();
+    let mut tape = Tape::default();
+    run(&program, &Input::new("t", 3), &mut [&mut tape]).unwrap();
+    tape.0
+}
+
+fn batch_markers(events: &[(u64, TraceEvent)], config: SelectConfig) -> String {
+    let mut profiler = CallLoopProfiler::new();
+    profiler.on_batch(events);
+    let graph = profiler.into_graph().unwrap();
+    write_markers(&spm_core::select_markers(&graph, &config).markers)
+}
+
+fn select_config() -> SelectConfig {
+    SelectConfig::new(2_000)
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        health_addr: None,
+        session: SessionConfig {
+            select: select_config(),
+            ..SessionConfig::default()
+        },
+        expect: None,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spm-serve-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn online_session_matches_batch_selection() {
+    let events = trace(1);
+    let server = Server::start(server_config()).unwrap();
+    let mut config = SendConfig::new(&server.addr().to_string(), "equiv");
+    config.block_budget = 512;
+    let outcome = send_events(&config, &events).unwrap();
+    assert!(!outcome.resumed);
+    assert_eq!(outcome.done.events, events.len() as u64);
+    assert_eq!(
+        outcome.done.markers_text,
+        batch_markers(&events, select_config()),
+        "online selection must converge to the batch marker set"
+    );
+    assert!(
+        outcome.done.converged_at > 0,
+        "a long repetitive trace should converge mid-stream"
+    );
+    assert!(!outcome.deltas.is_empty());
+    let report = server.stop();
+    assert_eq!(report.done, 1);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn deltas_compose_to_the_final_marker_count() {
+    let events = trace(1);
+    let server = Server::start(server_config()).unwrap();
+    let mut config = SendConfig::new(&server.addr().to_string(), "deltas");
+    config.block_budget = 1024;
+    let outcome = send_events(&config, &events).unwrap();
+    let mut set: Vec<String> = Vec::new();
+    for delta in &outcome.deltas {
+        for text in &delta.removed {
+            set.retain(|m| m != text);
+        }
+        for (_, text) in &delta.added {
+            set.push(text.clone());
+        }
+    }
+    let final_lines = outcome
+        .done
+        .markers_text
+        .lines()
+        .skip(1)
+        .filter(|l| !l.is_empty())
+        .count();
+    assert_eq!(set.len(), final_lines, "deltas must compose to the set");
+    server.stop();
+}
+
+#[test]
+fn disconnect_resumes_from_the_watermark() {
+    let events = trace(1);
+    let server = Server::start(server_config()).unwrap();
+    let mut config = SendConfig::new(&server.addr().to_string(), "resume");
+    config.block_budget = 512;
+    config.fault = SendFaultPlan {
+        drop_after_blocks: Some(3),
+    };
+    let outcome = send_events(&config, &events).unwrap();
+    assert_eq!(outcome.reconnects, 1);
+    assert!(
+        !outcome.resumed,
+        "the first connection opened a fresh session"
+    );
+    assert_eq!(
+        outcome.events_sent,
+        events.len() as u64,
+        "no event analyzed twice: fresh events across both connections add up"
+    );
+    assert_eq!(outcome.done.events, events.len() as u64, "nothing lost");
+    assert_eq!(
+        outcome.done.markers_text,
+        batch_markers(&events, select_config())
+    );
+    let report = server.stop();
+    assert_eq!(report.done, 1);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn server_restart_resumes_from_the_journal() {
+    let events = trace(1);
+    let dir = tmp("restart");
+    let mut config = server_config();
+    config.session.dir = Some(dir.clone());
+
+    // First server: stream part of the session, no FIN, then stop.
+    {
+        let server = Server::start(config.clone()).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut w = &stream;
+        proto::write_message(
+            &mut w,
+            &Message::Hello {
+                name: "restart".into(),
+            },
+        )
+        .unwrap();
+        let mut r = &stream;
+        let welcome = proto::read_message(&mut r).unwrap();
+        assert!(matches!(welcome, Message::Welcome { resumed: false, .. }));
+        let blocks = proto::chunk_events(&events, 512);
+        let half = blocks.len() / 2;
+        for block in &blocks[..half] {
+            'send: loop {
+                proto::write_message(&mut w, &Message::Block(block.clone())).unwrap();
+                loop {
+                    match proto::read_message(&mut r).unwrap() {
+                        Message::Ack { .. } => break 'send,
+                        Message::Delta(_) => {}
+                        Message::Busy { .. } => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            continue 'send;
+                        }
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                }
+            }
+        }
+        drop(stream);
+        server.stop();
+    }
+
+    // Second server on the same directory: the journaled prefix is
+    // replayed; the client resends everything and the server skips the
+    // committed prefix.
+    let server = Server::start(config).unwrap();
+    let mut send = SendConfig::new(&server.addr().to_string(), "restart");
+    send.block_budget = 512;
+    let outcome = send_events(&send, &events).unwrap();
+    assert!(outcome.resumed, "WELCOME must report the resumed session");
+    assert!(
+        outcome.skipped_events > 0,
+        "the journaled prefix must not be re-analyzed"
+    );
+    assert_eq!(outcome.done.events, events.len() as u64);
+    assert_eq!(
+        outcome.done.markers_text,
+        batch_markers(&events, select_config())
+    );
+
+    // The finished session left journal generations plus the final
+    // marker file for corpus ingest.
+    let markers_file = dir.join("restart.markers");
+    let on_disk = std::fs::read_to_string(&markers_file).unwrap();
+    assert_eq!(on_disk, outcome.done.markers_text);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn busy_backpressure_is_survivable_and_lossless() {
+    let events = trace(1);
+    let mut config = server_config();
+    config.session.queue_capacity = 1;
+    config.session.analysis_delay_ms = 15;
+    let server = Server::start(config).unwrap();
+    let mut send = SendConfig::new(&server.addr().to_string(), "busy");
+    send.block_budget = 256;
+    send.busy_backoff = std::time::Duration::from_millis(5);
+    let outcome = send_events(&send, &events).unwrap();
+    assert!(
+        outcome.busy_retries > 0,
+        "a 1-deep queue with slowed analysis must push back"
+    );
+    assert_eq!(outcome.done.events, events.len() as u64, "lossless");
+    assert_eq!(
+        outcome.done.markers_text,
+        batch_markers(&events, select_config())
+    );
+    let report = server.stop();
+    assert!(report.busy_rejections > 0);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn memory_budget_violation_is_a_typed_fatal_error() {
+    let events = trace(1);
+    let mut config = server_config();
+    config.session.mem_budget = 64; // far below one decoded block
+    let server = Server::start(config).unwrap();
+    let send = SendConfig::new(&server.addr().to_string(), "hog");
+    match send_events(&send, &events) {
+        Err(ServeError::Rejected { code, .. }) => {
+            assert_eq!(code, proto::ErrCode::BudgetExceeded);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    let report = server.stop();
+    assert_eq!(report.failed, 1);
+}
+
+#[test]
+fn malformed_peers_do_not_poison_other_sessions() {
+    let events = trace(1);
+    let server = Server::start(server_config()).unwrap();
+    let addr = server.addr();
+
+    // Hostile peers, each a distinct violation.
+    type Hostile = Box<dyn FnOnce(&mut TcpStream) + Send>;
+    let hostiles: Vec<Hostile> = vec![
+        // Garbage bytes instead of a HELLO frame.
+        Box::new(|s: &mut TcpStream| {
+            let _ = s.write_all(b"GET / HTTP/1.0\r\n\r\n");
+        }),
+        // Wrong protocol version.
+        Box::new(|s: &mut TcpStream| {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(b"spmsrv99");
+            payload.extend_from_slice(&1u64.to_le_bytes());
+            payload.push(b'x');
+            let mut frame = vec![0x01u8];
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            frame.extend_from_slice(&spm_store::format::fnv1a64(&payload).to_le_bytes());
+            let _ = s.write_all(&frame);
+        }),
+        // A frame truncated mid-payload, then a hard close.
+        Box::new(|s: &mut TcpStream| {
+            let msg = proto::encode_message(&Message::Hello { name: "t".into() });
+            let _ = s.write_all(&msg[..msg.len() / 2]);
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }),
+    ];
+    let mut waiters = Vec::new();
+    for hostile in hostiles {
+        let addr = addr.to_string();
+        waiters.push(std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            hostile(&mut stream);
+            // Drain whatever the server replies until it closes.
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+            let mut sink = [0u8; 4096];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        }));
+    }
+
+    // A well-behaved session runs to completion in the same window.
+    let mut send = SendConfig::new(&addr.to_string(), "good");
+    send.block_budget = 512;
+    let outcome = send_events(&send, &events).unwrap();
+    assert_eq!(
+        outcome.done.markers_text,
+        batch_markers(&events, select_config())
+    );
+    for waiter in waiters {
+        waiter.join().unwrap();
+    }
+    let report = server.stop();
+    assert_eq!(report.done, 1);
+    assert_eq!(report.failed, 0, "hostile peers must not fail sessions");
+    assert!(
+        report.protocol_errors >= 2,
+        "typed protocol violations are counted (got {})",
+        report.protocol_errors
+    );
+}
+
+#[test]
+fn wrong_version_hello_gets_a_typed_reply() {
+    let server = Server::start(server_config()).unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut payload = Vec::new();
+    payload.extend_from_slice(b"spmsrv77");
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.push(b's');
+    let mut frame = vec![0x01u8];
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&spm_store::format::fnv1a64(&payload).to_le_bytes());
+    let mut w = &stream;
+    w.write_all(&frame).unwrap();
+    let mut r = &stream;
+    match proto::read_message(&mut r).unwrap() {
+        Message::Err { code, .. } => {
+            assert_eq!(code, proto::ErrCode::UnsupportedVersion);
+        }
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    server.stop();
+}
+
+#[test]
+fn health_endpoint_serves_schema_valid_jsonl() {
+    let events = trace(1);
+    let mut config = server_config();
+    config.health_addr = Some("127.0.0.1:0".to_string());
+    let server = Server::start(config).unwrap();
+    let health = server.health_addr().unwrap();
+
+    let mut send = SendConfig::new(&server.addr().to_string(), "healthy");
+    send.block_budget = 512;
+    let outcome = send_events(&send, &events).unwrap();
+    assert_eq!(
+        outcome.done.markers_text,
+        batch_markers(&events, select_config())
+    );
+
+    let mut stream = TcpStream::connect(health).unwrap();
+    stream.write_all(b"GET /health HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK"));
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    assert!(!body.is_empty());
+    let mut session_lines = 0usize;
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        let parsed = spm_obs::jsonl::validate_line(line)
+            .unwrap_or_else(|e| panic!("invalid health line `{line}`: {e}"));
+        let name = parsed.get("name").and_then(|v| v.as_str()).unwrap();
+        if name.starts_with("serve/session/") {
+            session_lines += 1;
+        }
+    }
+    assert!(session_lines > 0, "per-session gauges must be published");
+    server.stop();
+}
+
+#[test]
+fn session_memory_gauge_stays_under_budget() {
+    let events = trace(2);
+    let mut config = server_config();
+    config.session.mem_budget = 32 * 1024 * 1024;
+    config.session.analysis_delay_ms = 2;
+    let server = Server::start(config.clone()).unwrap();
+    let mut send = SendConfig::new(&server.addr().to_string(), "bounded");
+    send.block_budget = 1024;
+
+    let sender = {
+        let send = send.clone();
+        let events = events.clone();
+        std::thread::spawn(move || send_events(&send, &events))
+    };
+    // Sample the gauge while the session streams.
+    let mut peak = 0u64;
+    while !sender.is_finished() {
+        if let Some(stats) = server.session_stats("bounded") {
+            peak = peak.max(stats.mem_bytes.load(std::sync::atomic::Ordering::Relaxed));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let outcome = sender.join().unwrap().unwrap();
+    assert_eq!(outcome.done.events, events.len() as u64);
+    assert!(
+        peak <= config.session.mem_budget,
+        "peak session memory {peak} exceeded the budget"
+    );
+    assert!(peak > 0, "the gauge must have been observed live");
+    server.stop();
+}

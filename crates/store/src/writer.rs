@@ -105,7 +105,7 @@ pub struct StoreWriter<S: StoreIo> {
     sync_policy: SyncPolicy,
     compression: Compression,
     retry: RetryPolicy,
-    clock: Box<dyn Clock>,
+    clock: Box<dyn Clock + Send>,
     committed: CommitMark,
     retries: u64,
     fault: Option<StoreError>,
@@ -174,7 +174,7 @@ impl<S: StoreIo> StoreWriter<S> {
 
     /// Routes retry backoff sleeps through `clock` (tests inject a
     /// recording clock so backoff is asserted, not waited out).
-    pub fn clock(mut self, clock: Box<dyn Clock>) -> Self {
+    pub fn clock(mut self, clock: Box<dyn Clock + Send>) -> Self {
         self.clock = clock;
         self
     }
@@ -327,6 +327,15 @@ impl<S: StoreIo> StoreWriter<S> {
         if self.sync_policy == SyncPolicy::Block {
             self.commit();
         }
+    }
+
+    /// Flushes the block currently being filled (if any) and, under
+    /// [`SyncPolicy::Block`], commits it — a streaming checkpoint for
+    /// callers whose durability unit is smaller than the block budget
+    /// (e.g. a server journaling each accepted network block). A
+    /// no-op when no events are buffered.
+    pub fn checkpoint(&mut self) {
+        self.flush_block();
     }
 
     /// Flushes the final block, writes the index and footer, issues
