@@ -24,6 +24,10 @@ pub const DEFAULT_BLOCK_BUDGET: usize = 64 * 1024;
 pub struct SendFaultPlan {
     /// Drop the connection (once) after this many acknowledged blocks.
     pub drop_after_blocks: Option<u64>,
+    /// Write `FIN`, then drop the connection (once) before reading the
+    /// reply — the server may have finalized by the time we reconnect,
+    /// and both paths must still end in the same `DONE`.
+    pub drop_after_fin: bool,
 }
 
 /// Client configuration.
@@ -256,8 +260,19 @@ pub fn send_events(
         }
     }
 
-    // Finalize: FIN, then drain deltas until DONE.
+    // Finalize: FIN, then drain deltas until DONE. A reconnect here
+    // re-HELLOs and re-FINs; if the server finalized in the meantime
+    // it replays the stored DONE instead of rejecting.
     loop {
+        if fault.drop_after_fin {
+            fault.drop_after_fin = false;
+            let mut writer = &conn.stream;
+            let _ = proto::write_message(&mut writer, &Message::Fin);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            outcome.reconnects += 1;
+            conn = connect(config)?;
+            continue;
+        }
         let mut writer = &conn.stream;
         let finished = proto::write_message(&mut writer, &Message::Fin)
             .and_then(|()| read_reply(&mut conn, &mut outcome.deltas));

@@ -37,6 +37,44 @@ pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
 /// Upper bound on a session name.
 pub const MAX_NAME: usize = 256;
 
+/// Validates a session name for use as a registry key and journal
+/// file stem: 1..=[`MAX_NAME`] bytes of `[A-Za-z0-9._-]`, not
+/// starting with a dot. The name is joined into the serve directory
+/// as `<name>.g<N>.spmstk` / `<name>.markers`, so anything looser
+/// would let a remote `HELLO` smuggle path separators (or `.`/`..`)
+/// into server-side paths.
+///
+/// # Errors
+///
+/// [`ProtoError::BadFrame`] naming the first offending byte.
+pub fn validate_session_name(name: &str) -> Result<(), ProtoError> {
+    if name.is_empty() || name.len() > MAX_NAME {
+        return Err(ProtoError::BadFrame {
+            detail: format!(
+                "session name must be 1..={MAX_NAME} bytes, got {}",
+                name.len()
+            ),
+        });
+    }
+    if name.starts_with('.') {
+        return Err(ProtoError::BadFrame {
+            detail: "session name must not start with `.`".to_string(),
+        });
+    }
+    if let Some(bad) = name
+        .chars()
+        .find(|c| !c.is_ascii_alphanumeric() && !matches!(c, '.' | '_' | '-'))
+    {
+        return Err(ProtoError::BadFrame {
+            detail: format!(
+                "session name contains `{}`; allowed: [A-Za-z0-9._-]",
+                bad.escape_default()
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Message tags.
 mod tag {
     pub const HELLO: u8 = 0x01;
@@ -507,14 +545,7 @@ impl Message {
                     });
                 }
                 let name = c.string("session name")?;
-                if name.is_empty() || name.len() > MAX_NAME {
-                    return Err(ProtoError::BadFrame {
-                        detail: format!(
-                            "session name must be 1..={MAX_NAME} bytes, got {}",
-                            name.len()
-                        ),
-                    });
-                }
+                validate_session_name(&name)?;
                 Message::Hello { name }
             }
             tag::WELCOME => Message::Welcome {
@@ -852,6 +883,29 @@ mod tests {
                 ),
                 "cut at {cut}: {err:?}"
             );
+        }
+    }
+
+    #[test]
+    fn hostile_session_names_are_rejected_at_decode() {
+        for bad in [
+            "../escape",
+            "a/b",
+            "a\\b",
+            ".hidden",
+            "..",
+            "has space",
+            "nul\u{0}",
+        ] {
+            let bytes = encode_message(&Message::Hello { name: bad.into() });
+            match read_message(&mut &bytes[..]) {
+                Err(ServeError::Proto(ProtoError::BadFrame { .. })) => {}
+                other => panic!("name {bad:?}: expected BadFrame, got {other:?}"),
+            }
+        }
+        for good in ["w", "gzip-2", "a.b_c-9", "x..y"] {
+            let bytes = encode_message(&Message::Hello { name: good.into() });
+            assert!(read_message(&mut &bytes[..]).is_ok(), "{good} must pass");
         }
     }
 

@@ -20,13 +20,17 @@
 //!
 //! Sessions outlive connections: a disconnect leaves the analyzer and
 //! its state in the registry, and the next `HELLO` with the same name
-//! reattaches and resumes from the accepted-events watermark.
+//! reattaches and resumes from the accepted-events watermark. That
+//! includes a session that already finalized — the reattached
+//! connection acks duplicate blocks and answers `FIN` by replaying
+//! the stored `DONE`, so losing the connection between the server's
+//! finalize and the client's `DONE` read is recoverable, not fatal.
 
 use crate::proto::{self, DeltaMsg, DoneMsg, ErrCode, Message, WireBlock};
 use crate::session::{state, SessionConfig, SessionCore, SessionStats};
 use crate::ServeError;
 use spm_sim::TraceEvent;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -137,6 +141,12 @@ impl SessionHandle {
 pub(crate) struct Shared {
     pub(crate) config: ServerConfig,
     pub(crate) registry: Mutex<HashMap<String, Arc<SessionHandle>>>,
+    /// Names whose `SessionCore::open` (possibly a long journal
+    /// replay) is in flight: the reservation keeps the registry lock
+    /// free during the replay, so one session's recovery never stalls
+    /// other attaches or the health endpoint. Lock order: `opening`
+    /// before `registry`, never both across a slow operation.
+    opening: Mutex<HashSet<String>>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) sessions: AtomicU64,
     pub(crate) done: AtomicU64,
@@ -166,32 +176,63 @@ impl Shared {
     }
 
     /// Looks up or creates the named session and marks it attached.
+    ///
+    /// A session that already finalized (`DONE`) reattaches normally:
+    /// the connection then acks everything below the watermark and
+    /// answers `FIN` with the stored `DONE`, so a client that lost its
+    /// connection mid-finalize can still collect the summary. Only
+    /// `FAILED` sessions reject reattachment.
     fn attach(
         self: &Arc<Self>,
         name: &str,
     ) -> Result<(Arc<SessionHandle>, bool), (ErrCode, String)> {
-        let mut registry = lock(&self.registry);
-        if let Some(handle) = registry.get(name) {
-            if handle.attached.swap(true, Ordering::AcqRel) {
+        {
+            let mut opening = lock(&self.opening);
+            let registry = lock(&self.registry);
+            if let Some(handle) = registry.get(name) {
+                if handle.attached.swap(true, Ordering::AcqRel) {
+                    return Err((
+                        ErrCode::Internal,
+                        format!("session `{name}` already has a live connection"),
+                    ));
+                }
+                let session_state = handle.stats.state.load(Ordering::Relaxed);
+                if session_state == state::FAILED {
+                    handle.attached.store(false, Ordering::Release);
+                    return Err((ErrCode::SessionFailed, format!("session `{name}` failed")));
+                }
+                return Ok((handle.clone(), true));
+            }
+            drop(registry);
+            if !opening.insert(name.to_string()) {
+                // Another connection is opening this name (possibly a
+                // long journal replay). Report the same transient
+                // condition the HELLO retry loop already rides out.
                 return Err((
                     ErrCode::Internal,
                     format!("session `{name}` already has a live connection"),
                 ));
             }
-            let session_state = handle.stats.state.load(Ordering::Relaxed);
-            if session_state != state::LIVE {
-                handle.attached.store(false, Ordering::Release);
-                let (code, what) = if session_state == state::DONE {
-                    (ErrCode::Internal, "already finalized")
-                } else {
-                    (ErrCode::SessionFailed, "failed")
-                };
-                return Err((code, format!("session `{name}` {what}")));
-            }
-            return Ok((handle.clone(), true));
         }
-        let (core, resumed) = SessionCore::open(name, &self.config.session)
-            .map_err(|e| (ErrCode::Internal, e.to_string()))?;
+        // Slow path — journal replay can take a while — runs with no
+        // lock held; the `opening` reservation keeps the name ours.
+        let result = self.open_session(name);
+        lock(&self.opening).remove(name);
+        result
+    }
+
+    /// Opens, registers, and starts the analyzer of a new (or resumed-
+    /// from-journal) session. The caller holds the `opening`
+    /// reservation for `name`; no lock is held across the open itself.
+    fn open_session(
+        self: &Arc<Self>,
+        name: &str,
+    ) -> Result<(Arc<SessionHandle>, bool), (ErrCode, String)> {
+        let (core, resumed) =
+            SessionCore::open(name, &self.config.session).map_err(|e| match e {
+                ServeError::Proto(p) => (p.code(), p.to_string()),
+                other => (ErrCode::Internal, other.to_string()),
+            })?;
         let handle = Arc::new(SessionHandle {
             stats: SessionStats::default(),
             accepted_events: AtomicU64::new(core.accepted_events),
@@ -217,7 +258,7 @@ impl Shared {
                 format!("cannot spawn analyzer thread: {e}"),
             ));
         }
-        registry.insert(name.to_string(), handle.clone());
+        lock(&self.registry).insert(name.to_string(), handle.clone());
         self.sessions.fetch_add(1, Ordering::Relaxed);
         Ok((handle, resumed))
     }
@@ -427,11 +468,16 @@ fn handle_block(
     if queue.finished {
         drop(queue);
         flush_deltas(stream, handle);
+        let detail = if lock(&handle.done).is_some() {
+            "session already finalized; new blocks rejected"
+        } else {
+            "session analyzer has exited"
+        };
         reply(
             stream,
             &Message::Err {
                 code: ErrCode::SessionFailed,
-                detail: "session analyzer has exited".to_string(),
+                detail: detail.to_string(),
             },
         );
         return Flow::Close;
@@ -451,9 +497,12 @@ fn handle_block(
         );
         return Flow::Continue;
     }
-    let mem = handle.stats.mem_bytes.load(Ordering::Relaxed);
-    let published_queue = handle.stats.queued_bytes.load(Ordering::Relaxed);
-    let analysis = mem.saturating_sub(published_queue);
+    // The analyzer publishes its state estimate as its own gauge, so
+    // this check never subtracts two gauges written at different
+    // instants (a stale pair could turn transient backpressure into
+    // the fatal path below); `queue.bytes` is read under the queue
+    // lock held here.
+    let analysis = handle.stats.analysis_bytes.load(Ordering::Relaxed);
     if analysis + queue.bytes + incoming > shared.config.session.mem_budget {
         if queued > 0 {
             // Draining the queue may shrink usage below budget: this
@@ -720,6 +769,7 @@ impl Server {
         let shared = Arc::new(Shared {
             config,
             registry: Mutex::new(HashMap::new()),
+            opening: Mutex::new(HashSet::new()),
             shutdown: AtomicBool::new(false),
             sessions: AtomicU64::new(0),
             done: AtomicU64::new(0),
@@ -840,6 +890,7 @@ fn snapshot_stats(stats: &SessionStats) -> SessionStats {
             "tolerated_events" => &out.tolerated_events,
             "dangling_frames" => &out.dangling_frames,
             "mem_bytes" => &out.mem_bytes,
+            "analysis_bytes" => &out.analysis_bytes,
             "queued_bytes" => &out.queued_bytes,
             "queue_len" => &out.queue_len,
             "busy_rejections" => &out.busy_rejections,

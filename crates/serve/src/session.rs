@@ -96,6 +96,10 @@ pub struct SessionStats {
     pub dangling_frames: AtomicU64,
     /// Estimated live memory: queued bytes + analysis state.
     pub mem_bytes: AtomicU64,
+    /// Analysis-state estimate alone (selector memory, no queue).
+    /// Published as its own gauge so the budget check never has to
+    /// subtract two gauges written at different instants.
+    pub analysis_bytes: AtomicU64,
     /// Bytes currently queued (decoded events awaiting analysis).
     pub queued_bytes: AtomicU64,
     /// Blocks currently queued.
@@ -126,6 +130,7 @@ impl SessionStats {
             ("tolerated_events", self.load(&self.tolerated_events)),
             ("dangling_frames", self.load(&self.dangling_frames)),
             ("mem_bytes", self.load(&self.mem_bytes)),
+            ("analysis_bytes", self.load(&self.analysis_bytes)),
             ("queued_bytes", self.load(&self.queued_bytes)),
             ("queue_len", self.load(&self.queue_len)),
             ("busy_rejections", self.load(&self.busy_rejections)),
@@ -200,9 +205,13 @@ impl SessionCore {
     ///
     /// # Errors
     ///
+    /// [`ServeError::Proto`] when the name is not a valid session name
+    /// (it becomes a journal file stem, so path characters are
+    /// rejected here even if a caller skipped the wire-level check);
     /// [`ServeError::Io`] when the journal cannot be created or an
     /// existing generation cannot be read at all.
     pub fn open(name: &str, config: &SessionConfig) -> Result<(Self, bool), ServeError> {
+        crate::proto::validate_session_name(name).map_err(ServeError::Proto)?;
         let mut selector = IncrementalSelector::new(config.select, config.converge_after);
         let mut accepted_events = 0u64;
         let mut accepted_icount = 0u64;
@@ -328,10 +337,10 @@ impl SessionCore {
                 .journal_events
                 .store(journal.committed().events, Ordering::Relaxed);
         }
+        let analysis = self.mem_estimate();
+        stats.analysis_bytes.store(analysis, Ordering::Relaxed);
         let queued = stats.queued_bytes.load(Ordering::Relaxed);
-        stats
-            .mem_bytes
-            .store(queued + self.mem_estimate(), Ordering::Relaxed);
+        stats.mem_bytes.store(queued + analysis, Ordering::Relaxed);
     }
 
     /// Estimated bytes held by the analysis state (excluding the
@@ -563,6 +572,28 @@ mod tests {
         batch.update(&events);
         assert_eq!(second.markers_text(), write_markers(batch.markers()));
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traversal_session_names_cannot_open() {
+        let dir = std::env::temp_dir().join(format!("spm-serve-names-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = SessionConfig {
+            dir: Some(dir.clone()),
+            ..SessionConfig::default()
+        };
+        for bad in ["../evil", "a/b", ".hidden", "a\\b"] {
+            match SessionCore::open(bad, &config) {
+                Err(ServeError::Proto(_)) => {}
+                Err(other) => panic!("name {bad:?}: expected Proto rejection, got {other}"),
+                Ok(_) => panic!("name {bad:?}: open must fail"),
+            }
+        }
+        assert!(
+            !dir.exists(),
+            "a rejected name must not even create the serve dir"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

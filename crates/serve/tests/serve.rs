@@ -138,6 +138,7 @@ fn disconnect_resumes_from_the_watermark() {
     config.block_budget = 512;
     config.fault = SendFaultPlan {
         drop_after_blocks: Some(3),
+        ..SendFaultPlan::default()
     };
     let outcome = send_events(&config, &events).unwrap();
     assert_eq!(outcome.reconnects, 1);
@@ -158,6 +159,73 @@ fn disconnect_resumes_from_the_watermark() {
     let report = server.stop();
     assert_eq!(report.done, 1);
     assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn disconnect_after_fin_recovers_the_done_summary() {
+    let events = trace(1);
+    let server = Server::start(server_config()).unwrap();
+    let mut config = SendConfig::new(&server.addr().to_string(), "findrop");
+    config.block_budget = 512;
+    config.fault = SendFaultPlan {
+        drop_after_fin: true,
+        ..SendFaultPlan::default()
+    };
+    let outcome = send_events(&config, &events).unwrap();
+    assert_eq!(outcome.reconnects, 1);
+    assert_eq!(outcome.done.events, events.len() as u64);
+    assert_eq!(
+        outcome.done.markers_text,
+        batch_markers(&events, select_config())
+    );
+    let report = server.stop();
+    assert_eq!(report.done, 1, "one finalize, even across the drop");
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn finished_session_reattach_replays_done() {
+    let events = trace(1);
+    let server = Server::start(server_config()).unwrap();
+    let mut config = SendConfig::new(&server.addr().to_string(), "twice");
+    config.block_budget = 512;
+    let first = send_events(&config, &events).unwrap();
+    // A rerun of the same session (a client that lost the DONE reply
+    // and started over) skips everything below the watermark and
+    // collects the stored summary instead of an `already finalized`
+    // rejection.
+    let second = send_events(&config, &events).unwrap();
+    assert!(second.resumed, "the finalized session must reattach");
+    assert_eq!(second.events_sent, 0, "nothing re-analyzed");
+    assert_eq!(second.done, first.done, "the stored DONE is replayed");
+    let report = server.stop();
+    assert_eq!(report.done, 1, "replaying DONE is not a second finalize");
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn traversal_session_name_is_rejected_before_touching_disk() {
+    let dir = tmp("traverse");
+    let mut config = server_config();
+    config.session.dir = Some(dir.clone());
+    let server = Server::start(config).unwrap();
+    for name in ["../escapee", "sub/dir", ".sneaky"] {
+        let send = SendConfig::new(&server.addr().to_string(), name);
+        match send_events(&send, &trace(1)) {
+            Err(ServeError::Rejected { code, .. }) => {
+                assert_eq!(code, proto::ErrCode::BadFrame, "name {name:?}");
+            }
+            Err(other) => panic!("name {name:?}: expected BadFrame rejection, got {other}"),
+            Ok(_) => panic!("name {name:?}: the server must reject it"),
+        }
+    }
+    assert!(
+        !dir.parent().unwrap().join("escapee.g1.spmstk").exists(),
+        "no journal file may appear outside the serve dir"
+    );
+    assert!(!dir.exists(), "rejected names never created the serve dir");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
